@@ -1,0 +1,56 @@
+//===- bench/BenchCommon.cpp ----------------------------------------------==//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+using namespace namer;
+using namespace namer::bench;
+
+std::string_view bench::ablationName(Ablation A) {
+  switch (A) {
+  case Ablation::Full:
+    return "Namer";
+  case Ablation::NoClassifier:
+    return "w/o C";
+  case Ablation::NoAnalyses:
+    return "w/o A";
+  case Ablation::NoClassifierNoAnalyses:
+    return "w/o C & A";
+  }
+  return "<unknown>";
+}
+
+corpus::Corpus bench::makeCorpus(corpus::Language Lang) {
+  corpus::CorpusConfig Config;
+  Config.Lang = Lang;
+  return corpus::generateCorpus(Config);
+}
+
+std::unique_ptr<NamerPipeline> bench::makePipeline(const corpus::Corpus &C,
+                                                   Ablation A) {
+  PipelineConfig Config;
+  Config.UseClassifier = A == Ablation::Full || A == Ablation::NoAnalyses;
+  Config.UseAnalyses = A == Ablation::Full || A == Ablation::NoClassifier;
+  auto Pipeline = std::make_unique<NamerPipeline>(Config);
+  Pipeline->build(C);
+  return Pipeline;
+}
+
+EvaluatedPipeline bench::runEvaluation(const corpus::Corpus &C,
+                                       const corpus::InspectionOracle &Oracle,
+                                       Ablation A) {
+  EvaluatedPipeline Out;
+  Out.Pipeline = makePipeline(C, A);
+  EvaluationConfig Config;
+  Out.Result = evaluatePipeline(*Out.Pipeline, Oracle, Config);
+  return Out;
+}
+
+void bench::printHeading(const std::string &Title,
+                         const std::string &Subtitle) {
+  std::printf("\n=== %s ===\n", Title.c_str());
+  if (!Subtitle.empty())
+    std::printf("%s\n", Subtitle.c_str());
+  std::printf("\n");
+}

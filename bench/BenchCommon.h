@@ -1,0 +1,59 @@
+//===- bench/BenchCommon.h - Shared benchmark harness -----------*- C++ -*-==//
+///
+/// \file
+/// Common setup for the per-table benchmark binaries: deterministic corpus
+/// generation, pipeline construction per ablation, and the evaluation
+/// protocol. Every bench prints the paper table it regenerates; absolute
+/// numbers differ from the paper (the corpus is simulated, ~1000x smaller)
+/// but the qualitative shape must match (see EXPERIMENTS.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_BENCH_BENCHCOMMON_H
+#define NAMER_BENCH_BENCHCOMMON_H
+
+#include "namer/Evaluation.h"
+#include "support/TextTable.h"
+
+#include <memory>
+#include <string>
+
+namespace namer {
+namespace bench {
+
+/// The four rows of Tables 2 and 5.
+enum class Ablation : uint8_t {
+  Full,            ///< Namer
+  NoClassifier,    ///< w/o C
+  NoAnalyses,      ///< w/o A
+  NoClassifierNoAnalyses, ///< w/o C & A
+};
+
+std::string_view ablationName(Ablation A);
+
+/// Deterministic corpus for one language (the same corpus every bench
+/// sees).
+corpus::Corpus makeCorpus(corpus::Language Lang);
+
+/// Builds a pipeline over \p C with the given ablation.
+std::unique_ptr<NamerPipeline> makePipeline(const corpus::Corpus &C,
+                                            Ablation A);
+
+/// A built pipeline together with its evaluation result.
+struct EvaluatedPipeline {
+  std::unique_ptr<NamerPipeline> Pipeline;
+  EvaluationResult Result;
+};
+
+/// Runs the Section 5 evaluation protocol on a fresh pipeline.
+EvaluatedPipeline runEvaluation(const corpus::Corpus &C,
+                                const corpus::InspectionOracle &Oracle,
+                                Ablation A);
+
+/// Prints a heading in a consistent style.
+void printHeading(const std::string &Title, const std::string &Subtitle);
+
+} // namespace bench
+} // namespace namer
+
+#endif // NAMER_BENCH_BENCHCOMMON_H

@@ -1,0 +1,136 @@
+//===- bench/DlComparison.cpp ---------------------------------------------==//
+
+#include "DlComparison.h"
+
+#include "BenchCommon.h"
+#include "neural/Detector.h"
+#include "neural/Ggnn.h"
+#include "neural/Great.h"
+#include "neural/VarMisuse.h"
+
+#include <cstdio>
+
+using namespace namer;
+using namespace namer::bench;
+using namespace namer::neural;
+using corpus::InspectionOutcome;
+
+namespace {
+
+struct InspectionTally {
+  size_t Semantic = 0, Quality = 0, FalsePositives = 0;
+
+  void add(const InspectionOutcome &Out) {
+    switch (Out.Result) {
+    case InspectionOutcome::Verdict::SemanticDefect:
+      ++Semantic;
+      break;
+    case InspectionOutcome::Verdict::CodeQualityIssue:
+      ++Quality;
+      break;
+    case InspectionOutcome::Verdict::FalsePositive:
+      ++FalsePositives;
+      break;
+    }
+  }
+  size_t total() const { return Semantic + Quality + FalsePositives; }
+  double precision() const {
+    return total() == 0 ? 0.0
+                        : static_cast<double>(Semantic + Quality) / total();
+  }
+};
+
+InspectionTally inspectNeuralReports(
+    const std::vector<NeuralReport> &Reports,
+    const corpus::InspectionOracle &Oracle) {
+  InspectionTally Tally;
+  for (const NeuralReport &R : Reports)
+    Tally.add(Oracle.inspect(R.File, R.Line, R.Original, R.Suggested));
+  return Tally;
+}
+
+} // namespace
+
+int bench::runDlComparison(corpus::Language Lang, const char *TableName) {
+  printHeading(std::string(TableName) +
+                   ": precision of GGNN, Great and Namer",
+               "Networks trained on synthetic VarMisuse bugs, evaluated on "
+               "the unmodified corpus (real mistake distribution).");
+
+  corpus::Corpus C = makeCorpus(Lang);
+  corpus::InspectionOracle Oracle(C);
+
+  // --- Namer -------------------------------------------------------------
+  EvaluatedPipeline E = runEvaluation(C, Oracle, Ablation::Full);
+  const EvaluationResult &NamerResult = E.Result;
+
+  // --- Synthetic training / accuracy check --------------------------------
+  VarMisuseConfig VC;
+  std::vector<GraphSample> Train = buildSyntheticDataset(C, VC, 1500);
+  VC.Seed = 0xBEEF;
+  std::vector<GraphSample> Test = buildSyntheticDataset(C, VC, 400);
+  std::printf("Synthetic VarMisuse data: %zu train / %zu test samples\n",
+              Train.size(), Test.size());
+
+  GgnnModel Ggnn{GgnnModel::Config()};
+  Ggnn.train(Train);
+  double GgnnAccuracy = Ggnn.repairAccuracy(Test);
+  std::printf("GGNN synthetic repair accuracy: %.0f%% (paper: 71%% Python "
+              "/ 83%% Java)\n",
+              GgnnAccuracy * 100);
+
+  GreatModel Great{GreatModel::Config()};
+  Great.train(Train);
+  GreatModel::Accuracy GreatAccuracy = Great.evaluate(Test);
+  std::printf("Great synthetic accuracy: classification %.0f%%, "
+              "localization %.0f%%, repair %.0f%%\n"
+              "  (paper: 91%% / 83%% / 79%% Python, 91%% / 82%% / 81%% "
+              "Java)\n\n",
+              GreatAccuracy.Classification * 100,
+              GreatAccuracy.Localization * 100, GreatAccuracy.Repair * 100);
+
+  // --- Real-issue detection ------------------------------------------------
+  // "We tuned the confidence levels so that both GGNN and Great reported
+  // around 5x fewer issues than Namer."
+  size_t MaxReports = std::max<size_t>(1, NamerResult.numReports() / 5);
+  std::vector<GraphSample> Real = buildRealUseSites(C, VC, 20000);
+  std::printf("Scanning %zu real use sites; confidence tuned to ~%zu "
+              "reports per network.\n\n",
+              Real.size(), MaxReports);
+
+  auto GgnnReports = detectRealIssues(
+      Real, [&](const GraphSample &S) { return Ggnn.predictRepair(S); },
+      MaxReports);
+  auto GreatReports = detectRealIssues(
+      Real, [&](const GraphSample &S) { return Great.predictRepair(S); },
+      MaxReports);
+  InspectionTally GgnnTally = inspectNeuralReports(GgnnReports, Oracle);
+  InspectionTally GreatTally = inspectNeuralReports(GreatReports, Oracle);
+
+  TextTable Table;
+  Table.setHeader({"System", "Reports", "Semantic defects",
+                   "Code quality issues", "False positives", "Precision"});
+  Table.addRow({"GGNN", std::to_string(GgnnTally.total()),
+                std::to_string(GgnnTally.Semantic),
+                std::to_string(GgnnTally.Quality),
+                std::to_string(GgnnTally.FalsePositives),
+                TextTable::formatPercent(GgnnTally.precision())});
+  Table.addRow({"Great", std::to_string(GreatTally.total()),
+                std::to_string(GreatTally.Semantic),
+                std::to_string(GreatTally.Quality),
+                std::to_string(GreatTally.FalsePositives),
+                TextTable::formatPercent(GreatTally.precision())});
+  Table.addRow({"Namer", std::to_string(NamerResult.numReports()),
+                std::to_string(NamerResult.numSemantic()),
+                std::to_string(NamerResult.numQuality()),
+                std::to_string(NamerResult.numFalsePositives()),
+                TextTable::formatPercent(NamerResult.precision())});
+  std::fputs(Table.render().c_str(), stdout);
+
+  std::printf("\nExpected shape (paper): the networks are accurate on "
+              "synthetic bugs yet\nimprecise on the real mistake "
+              "distribution (up to ~16%%), while Namer reports\n~5x more "
+              "issues at ~70%% precision -- the distribution mismatch "
+              "result.\n");
+  return 0;
+}

@@ -1,0 +1,27 @@
+//===- bench/DlComparison.h - Tables 10/11 shared driver --------*- C++ -*-==//
+///
+/// \file
+/// The Section 5.6 experiment, shared by the Python (Table 10) and Java
+/// (Table 11) benches: train GGNN and Great on synthetic variable-misuse
+/// bugs, confirm they reach high accuracy on held-out synthetic bugs, then
+/// run them and Namer over the unmodified corpus and compare precision on
+/// inspected reports. The confidence knob makes the networks report ~5x
+/// fewer issues than Namer, as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_BENCH_DLCOMPARISON_H
+#define NAMER_BENCH_DLCOMPARISON_H
+
+#include "corpus/Corpus.h"
+
+namespace namer {
+namespace bench {
+
+/// Runs the full comparison and prints the table. Returns 0 on success.
+int runDlComparison(corpus::Language Lang, const char *TableName);
+
+} // namespace bench
+} // namespace namer
+
+#endif // NAMER_BENCH_DLCOMPARISON_H

@@ -1,0 +1,123 @@
+//===- bench/speed_per_file.cpp -------------------------------------------==//
+//
+// Regenerates the Section 5.1 "Speed of Namer" measurement with
+// google-benchmark: per-file time for parsing + the Section 4.1 analyses +
+// AST+ transform + name path extraction, for both languages, plus the
+// k-call-site sensitivity ablation (the analyses dominate the runtime, so
+// k is the lever).
+//
+// Paper reference: 20 ms per Java file, 39 ms per Python file on a 2.60GHz
+// Xeon core. Our simulated files are smaller, so absolute numbers are
+// lower; the Python/Java ordering and the growth with k are what carries.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Origins.h"
+#include "ast/Statements.h"
+#include "corpus/Corpus.h"
+#include "frontend/java/JavaParser.h"
+#include "frontend/python/PythonParser.h"
+#include "namepath/NamePath.h"
+#include "transform/AstPlus.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace namer;
+
+namespace {
+
+/// One corpus per language, generated once.
+const corpus::Corpus &pythonCorpus() {
+  static corpus::Corpus C = [] {
+    corpus::CorpusConfig Config;
+    Config.NumRepos = 40;
+    return corpus::generateCorpus(Config);
+  }();
+  return C;
+}
+
+const corpus::Corpus &javaCorpus() {
+  static corpus::Corpus C = [] {
+    corpus::CorpusConfig Config;
+    Config.Lang = corpus::Language::Java;
+    Config.NumRepos = 40;
+    return corpus::generateCorpus(Config);
+  }();
+  return C;
+}
+
+/// Full per-file front half of the pipeline.
+void processFile(const corpus::SourceFile &File, corpus::Language Lang,
+                 const WellKnownRegistry &Registry, unsigned K) {
+  AstContext Ctx;
+  Tree Module(Ctx);
+  if (Lang == corpus::Language::Python)
+    Module = std::move(python::parsePython(File.Text, Ctx).Module);
+  else
+    Module = std::move(java::parseJava(File.Text, Ctx).Module);
+  AnalysisConfig Config;
+  Config.CallSiteSensitivity = K;
+  OriginMap Origins = computeOrigins(Module, Registry, Config).Origins;
+  transformToAstPlus(Module, Origins);
+  NamePathTable Table;
+  for (NodeId Root : collectStatementRoots(Module)) {
+    Tree Stmt = projectStatement(Module, Root);
+    benchmark::DoNotOptimize(StmtPaths::fromTree(Stmt, Table));
+  }
+}
+
+void perFile(benchmark::State &State, const corpus::Corpus &C,
+             corpus::Language Lang, unsigned K) {
+  WellKnownRegistry Registry = Lang == corpus::Language::Python
+                                   ? WellKnownRegistry::forPython()
+                                   : WellKnownRegistry::forJava();
+  // Round-robin over the corpus files so the mean is per-file.
+  std::vector<const corpus::SourceFile *> Files;
+  for (const corpus::Repository &Repo : C.Repos)
+    for (const corpus::SourceFile &File : Repo.Files)
+      Files.push_back(&File);
+  size_t Index = 0;
+  for (auto _ : State) {
+    (void)_;
+    processFile(*Files[Index], Lang, Registry, K);
+    Index = (Index + 1) % Files.size();
+  }
+}
+
+void BM_PythonPerFile(benchmark::State &State) {
+  perFile(State, pythonCorpus(), corpus::Language::Python,
+          static_cast<unsigned>(State.range(0)));
+}
+
+void BM_JavaPerFile(benchmark::State &State) {
+  perFile(State, javaCorpus(), corpus::Language::Java,
+          static_cast<unsigned>(State.range(0)));
+}
+
+/// Parse-only baseline to show the analyses dominate (Section 5.1).
+void BM_PythonParseOnly(benchmark::State &State) {
+  const corpus::Corpus &C = pythonCorpus();
+  std::vector<const corpus::SourceFile *> Files;
+  for (const corpus::Repository &Repo : C.Repos)
+    for (const corpus::SourceFile &File : Repo.Files)
+      Files.push_back(&File);
+  size_t Index = 0;
+  for (auto _ : State) {
+    (void)_;
+    AstContext Ctx;
+    benchmark::DoNotOptimize(
+        python::parsePython(Files[Index]->Text, Ctx).Module.size());
+    Index = (Index + 1) % Files.size();
+  }
+}
+
+} // namespace
+
+// k-call-site sensitivity sweep: k = 0 (insensitive), 2, 5 (paper default).
+BENCHMARK(BM_PythonPerFile)->Arg(0)->Arg(2)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_JavaPerFile)->Arg(0)->Arg(2)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PythonParseOnly)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

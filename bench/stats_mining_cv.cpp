@@ -1,0 +1,138 @@
+//===- bench/stats_mining_cv.cpp ------------------------------------------==//
+//
+// Regenerates the Section 5.1-5.3 statistics that are reported in prose
+// rather than a numbered table:
+//
+//   * mined pattern counts and corpus coverage (Python: 65,619 patterns;
+//     496,306 violating statements; 50% of files and 92% of repositories
+//     with a violation. Java: 79,417 patterns; 1.8M violations; 11% of
+//     files, 77% of repositories);
+//   * confusing word pair counts (950K Java / 150K Python at GitHub scale);
+//   * the 30x repeated 80/20 cross-validation of the classifier (Python:
+//     81/81/81/80; Java: 90/90/90/89 accuracy/precision/recall/F1) and the
+//     model-family selection;
+//   * ablation sweeps over the design knobs DESIGN.md calls out: the
+//     pruneUncommon satisfaction ratio and the minimum pattern support.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+using namespace namer;
+using namespace namer::bench;
+
+namespace {
+
+void statsFor(corpus::Language Lang, const char *Name) {
+  std::printf("--- %s ---\n\n", Name);
+  corpus::Corpus C = makeCorpus(Lang);
+  corpus::InspectionOracle Oracle(C);
+  EvaluatedPipeline E = runEvaluation(C, Oracle, Ablation::Full);
+  NamerPipeline &P = *E.Pipeline;
+
+  size_t Consistency = 0, Confusing = 0;
+  for (const NamePattern &Pt : P.patterns())
+    (Pt.Kind == PatternKind::Consistency ? Consistency : Confusing)++;
+
+  std::unordered_set<StmtId> ViolatingStmts;
+  for (const Violation &V : P.violations())
+    ViolatingStmts.insert(V.Stmt);
+
+  TextTable Stats;
+  Stats.setHeader({"Statistic", "Value"});
+  Stats.addRow({"files", std::to_string(P.numFiles())});
+  Stats.addRow({"repositories", std::to_string(P.numRepos())});
+  Stats.addRow({"statements", std::to_string(P.statements().size())});
+  Stats.addRow({"mined name patterns", std::to_string(P.patterns().size())});
+  Stats.addRow({"  consistency", std::to_string(Consistency)});
+  Stats.addRow({"  confusing word", std::to_string(Confusing)});
+  Stats.addRow({"confusing word pairs", std::to_string(P.pairs().numPairs())});
+  Stats.addRow({"violations", std::to_string(P.violations().size())});
+  Stats.addRow({"violating statements",
+                std::to_string(ViolatingStmts.size())});
+  Stats.addRow(
+      {"files with a violation",
+       std::to_string(P.numFilesWithViolations()) + " (" +
+           TextTable::formatPercent(
+               static_cast<double>(P.numFilesWithViolations()) /
+               static_cast<double>(P.numFiles())) +
+           ")"});
+  Stats.addRow(
+      {"repos with a violation",
+       std::to_string(P.numReposWithViolations()) + " (" +
+           TextTable::formatPercent(
+               static_cast<double>(P.numReposWithViolations()) /
+               static_cast<double>(P.numRepos())) +
+           ")"});
+  std::fputs(Stats.render().c_str(), stdout);
+
+  std::printf("\nClassifier cross-validation (30x random 80/20 splits):\n");
+  TextTable Cv;
+  Cv.setHeader({"Model", "Accuracy", "Precision", "Recall", "F1"});
+  for (const auto &[Family, M] : P.classifier().selectionResults())
+    Cv.addRow({Family + (Family == P.classifier().selectedFamily()
+                             ? " (selected)"
+                             : ""),
+               TextTable::formatPercent(M.Accuracy),
+               TextTable::formatPercent(M.Precision),
+               TextTable::formatPercent(M.Recall),
+               TextTable::formatPercent(M.F1)});
+  std::fputs(Cv.render().c_str(), stdout);
+  std::printf("\n");
+}
+
+/// Ablation: sweep the pruneUncommon knobs and report pattern/violation
+/// counts, exposing the recall/precision trade-off the paper discusses in
+/// Section 2 ("Classifying violated patterns").
+void sweepMiningKnobs(corpus::Language Lang, const char *Name) {
+  std::printf("--- %s: mining-threshold ablation ---\n\n", Name);
+  corpus::Corpus C = makeCorpus(Lang);
+  corpus::InspectionOracle Oracle(C);
+
+  TextTable Sweep;
+  Sweep.setHeader({"min support", "min ratio", "patterns", "violations",
+                   "violation FP rate"});
+  for (uint32_t Support : {20u, 40u, 80u}) {
+    for (double Ratio : {0.7, 0.8, 0.9}) {
+      PipelineConfig Config;
+      Config.Miner.MinPatternSupport = Support;
+      Config.Miner.MinSatisfactionRatio = Ratio;
+      NamerPipeline P(Config);
+      P.build(C);
+      size_t FalsePositives = 0;
+      for (const Violation &V : P.violations()) {
+        Report R = P.makeReport(V);
+        auto Out = Oracle.inspect(R.File, R.Line, R.Original, R.Suggested);
+        FalsePositives +=
+            Out.Result ==
+            corpus::InspectionOutcome::Verdict::FalsePositive;
+      }
+      double FpRate = P.violations().empty()
+                          ? 0.0
+                          : static_cast<double>(FalsePositives) /
+                                static_cast<double>(P.violations().size());
+      Sweep.addRow({std::to_string(Support), TextTable::formatDouble(Ratio, 1),
+                    std::to_string(P.patterns().size()),
+                    std::to_string(P.violations().size()),
+                    TextTable::formatPercent(FpRate)});
+    }
+  }
+  std::fputs(Sweep.render().c_str(), stdout);
+  std::printf("\nLower thresholds trigger more violations at a higher false "
+              "positive rate --\nthe trade-off the defect classifier "
+              "resolves (Section 2).\n\n");
+}
+
+} // namespace
+
+int main() {
+  printHeading("Sections 5.1-5.3: mining statistics and cross-validation",
+               "Pattern counts, corpus coverage, confusing word pairs, "
+               "classifier CV, and threshold ablations.");
+  statsFor(corpus::Language::Python, "Python");
+  statsFor(corpus::Language::Java, "Java");
+  sweepMiningKnobs(corpus::Language::Python, "Python");
+  return 0;
+}

@@ -1,0 +1,18 @@
+//===- bench/table10_dl_python.cpp ----------------------------------------==//
+//
+// Regenerates Table 10: precision comparison of GGNN, Great and Namer on
+// randomly selected reports for Python.
+//
+// Paper reference (Table 10, 134 reports):
+//   GGNN    1 semantic   20 quality   113 FP   16%
+//   Great   2 semantic    9 quality   123 FP    8%
+//   Namer   5 semantic   89 quality    40 FP   70%
+//
+//===----------------------------------------------------------------------===//
+
+#include "DlComparison.h"
+
+int main() {
+  return namer::bench::runDlComparison(namer::corpus::Language::Python,
+                                       "Table 10 (Python)");
+}

@@ -1,0 +1,18 @@
+//===- bench/table11_dl_java.cpp ------------------------------------------==//
+//
+// Regenerates Table 11: precision comparison of GGNN, Great and Namer on
+// randomly selected reports for Java.
+//
+// Paper reference (Table 11, 97 reports):
+//   GGNN    2 semantic   7 quality   88 FP    9%
+//   Great   2 semantic   3 quality   92 FP    5%
+//   Namer   2 semantic  64 quality   31 FP   68%
+//
+//===----------------------------------------------------------------------===//
+
+#include "DlComparison.h"
+
+int main() {
+  return namer::bench::runDlComparison(namer::corpus::Language::Java,
+                                       "Table 11 (Java)");
+}

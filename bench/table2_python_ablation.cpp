@@ -1,0 +1,51 @@
+//===- bench/table2_python_ablation.cpp -----------------------------------==//
+//
+// Regenerates Table 2: precision of Namer and its ablations on 300
+// randomly selected violations from the Python dataset. "C" is the defect
+// classifier, "A" the static analyses.
+//
+// Paper reference (Table 2):
+//   Namer      134 reports   5 semantic   89 quality   40 FP   70%
+//   w/o C      300 reports  13 semantic  124 quality  163 FP   46%
+//   w/o A       88 reports   2 semantic   50 quality   36 FP   59%
+//   w/o C & A  300 reports  12 semantic  108 quality  180 FP   40%
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+using namespace namer;
+using namespace namer::bench;
+
+int main() {
+  printHeading("Table 2: Python precision of Namer and ablations",
+               "300 randomly selected violations per baseline; reports "
+               "inspected by the corpus oracle.");
+
+  corpus::Corpus C = makeCorpus(corpus::Language::Python);
+  corpus::InspectionOracle Oracle(C);
+
+  TextTable Table;
+  Table.setHeader({"Baseline", "Report", "Semantic defect",
+                   "Code quality issue", "False positive", "Precision"});
+  for (Ablation A :
+       {Ablation::Full, Ablation::NoClassifier, Ablation::NoAnalyses,
+        Ablation::NoClassifierNoAnalyses}) {
+    EvaluatedPipeline E = runEvaluation(C, Oracle, A);
+    const EvaluationResult &R = E.Result;
+    Table.addRow({std::string(ablationName(A)),
+                  std::to_string(R.numReports()),
+                  std::to_string(R.numSemantic()),
+                  std::to_string(R.numQuality()),
+                  std::to_string(R.numFalsePositives()),
+                  TextTable::formatPercent(R.precision())});
+  }
+  std::fputs(Table.render().c_str(), stdout);
+  std::printf("\nExpected shape (paper): Namer's precision well above every "
+              "ablation;\nremoving the classifier floods reports with false "
+              "positives; removing the\nanalyses loses issues and "
+              "precision.\n");
+  return 0;
+}

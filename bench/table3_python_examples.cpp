@@ -1,0 +1,85 @@
+//===- bench/table3_python_examples.cpp -----------------------------------==//
+//
+// Regenerates Table 3: example reports by Namer for Python. The pipeline
+// is mined on the standard corpus, then pointed at curated files
+// reproducing the paper's examples; the bench prints each reported
+// statement and suggested fix.
+//
+//   1  self.assertTrue(vec, 4)            -> Equal     (semantic)
+//   2  for i in xrange(10)                -> range     (semantic)
+//   3  self.assertEquals(3, val)          -> Equal     (semantic)
+//   5  def evolve(self, ..., **args)      -> kwargs    (quality)
+//   6  self.sz = N.array(sz)              -> np        (quality)
+//   7  assertTrue(os.path.islink(path))   -> exists    (false positive)
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+using namespace namer;
+using namespace namer::bench;
+
+int main() {
+  printHeading("Table 3: example reports by Namer for Python",
+               "Patterns mined from the simulated Big Code corpus, applied "
+               "to the paper's example statements.");
+
+  // Mine patterns once on a corpus whose last repository holds the example
+  // files, so statements get file/repo-level statistics like any other.
+  corpus::Corpus C = makeCorpus(corpus::Language::Python);
+  corpus::Repository Examples;
+  Examples.Name = "paper-examples";
+  corpus::SourceFile F;
+  F.Path = "examples/table3.py";
+  F.Text = "import os\n"
+           "from unittest import TestCase\n"
+           "import numpy as N\n"
+           "\n"
+           "class TestVectors(TestCase):\n"
+           "    def test_vec(self):\n"
+           "        self.assertTrue(self.vec.coord, 4)\n"
+           "    def test_val(self):\n"
+           "        self.assertEquals(self.box.val, 3)\n"
+           "    def test_link(self):\n"
+           "        self.assertTrue(os.path.islink(self.archive_path))\n"
+           "\n"
+           "class Evolver(object):\n"
+           "    def evolve(self, **args):\n"
+           "        self.update(**args)\n"
+           "    def resize(self, sz):\n"
+           "        self.sz = N.array(sz)\n"
+           "\n"
+           "def scan_items(items):\n"
+           "    total = 0\n"
+           "    for i in xrange(len(items)):\n"
+           "        total = total + items[i].weight\n"
+           "    return total\n";
+  Examples.Files.push_back(F);
+  C.Repos.push_back(Examples);
+
+  corpus::InspectionOracle Oracle(C);
+  EvaluatedPipeline E = runEvaluation(C, Oracle, Ablation::NoClassifier);
+  NamerPipeline &P = *E.Pipeline;
+
+  TextTable Table;
+  Table.setHeader({"Line", "Reported statement context", "Original",
+                   "Suggested fix", "Pattern"});
+  size_t Found = 0;
+  for (const Violation &V : P.violations()) {
+    Report R = P.makeReport(V);
+    if (R.File != "examples/table3.py")
+      continue;
+    ++Found;
+    Table.addRow({std::to_string(R.Line), R.File, R.Original, R.Suggested,
+                  R.Kind == PatternKind::Consistency ? "consistency"
+                                                     : "confusing word"});
+  }
+  std::fputs(Table.render().c_str(), stdout);
+  std::printf("\n%zu reports on the example file. Expected fixes: True->"
+              "Equal, Equals->Equal,\nxrange->range, args->kwargs, N->np, "
+              "plus the islink->exists false positive.\n",
+              Found);
+  return 0;
+}

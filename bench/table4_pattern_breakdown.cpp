@@ -1,0 +1,132 @@
+//===- bench/table4_pattern_breakdown.cpp ---------------------------------==//
+//
+// Regenerates Table 4 (Python) and the matching Section 5.3 statistics
+// (Java): a manual inspection of 100 reports per pattern type with a
+// breakdown of code quality issue categories, plus the per-type report
+// distribution percentages of Sections 5.2/5.3.
+//
+// Paper reference (Table 4, Python, 100 reports each):
+//            Consistency  Confusing word
+//   Semantic       1            9
+//   Quality       71           53
+//   FP            28           38
+// and ~29% of reports from consistency / ~81% from confusing word
+// patterns (10% both). Java: 14.5% / 91.7% (6.2% both).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "support/Rng.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace namer;
+using namespace namer::bench;
+using corpus::InspectionOutcome;
+
+namespace {
+
+void breakdownFor(corpus::Language Lang, const char *Name) {
+  corpus::Corpus C = makeCorpus(Lang);
+  corpus::InspectionOracle Oracle(C);
+  EvaluatedPipeline E = runEvaluation(C, Oracle, Ablation::Full);
+  NamerPipeline &P = *E.Pipeline;
+
+  // Distribution of reports per pattern type: fraction of reported fixes
+  // found by consistency / confusing-word patterns (some by both).
+  std::map<uint64_t, unsigned> FixKinds; // (stmt, prefix) -> kind bitmask
+  for (const Violation &V : P.violations()) {
+    Report R = P.makeReport(V);
+    if (!P.classify(V))
+      continue;
+    uint64_t Key = (static_cast<uint64_t>(R.Stmt) << 20) ^ R.Line;
+    FixKinds[Key] |= R.Kind == PatternKind::Consistency ? 1u : 2u;
+  }
+  size_t Total = FixKinds.size(), FromCons = 0, FromConf = 0, FromBoth = 0;
+  for (const auto &[Key, Mask] : FixKinds) {
+    (void)Key;
+    FromCons += (Mask & 1u) != 0;
+    FromConf += (Mask & 2u) != 0;
+    FromBoth += Mask == 3u;
+  }
+  if (Total == 0)
+    Total = 1;
+  std::printf("%s report distribution: %.0f%% consistency, %.0f%% confusing "
+              "word, %.0f%% detected by both\n\n",
+              Name, 100.0 * FromCons / Total, 100.0 * FromConf / Total,
+              100.0 * FromBoth / Total);
+
+  // 100 inspected reports per pattern type.
+  struct Bucket {
+    size_t Semantic = 0, Quality = 0, FalsePositive = 0;
+    std::map<corpus::IssueCategory, size_t> Categories;
+  };
+  std::map<PatternKind, Bucket> Buckets;
+  Rng Sampler(4242);
+  std::vector<size_t> Order(P.violations().size());
+  for (size_t I = 0; I != Order.size(); ++I)
+    Order[I] = I;
+  Sampler.shuffle(Order);
+  for (size_t Idx : Order) {
+    const Violation &V = P.violations()[Idx];
+    if (!P.classify(V))
+      continue;
+    Report R = P.makeReport(V);
+    Bucket &B = Buckets[R.Kind];
+    if (B.Semantic + B.Quality + B.FalsePositive >= 100)
+      continue;
+    auto Out = Oracle.inspect(R.File, R.Line, R.Original, R.Suggested);
+    switch (Out.Result) {
+    case InspectionOutcome::Verdict::SemanticDefect:
+      ++B.Semantic;
+      break;
+    case InspectionOutcome::Verdict::CodeQualityIssue:
+      ++B.Quality;
+      ++B.Categories[Out.Category];
+      break;
+    case InspectionOutcome::Verdict::FalsePositive:
+      ++B.FalsePositive;
+      break;
+    }
+  }
+
+  TextTable Table;
+  Table.setHeader({"Inspection outcome", "Consistency", "Confusing word"});
+  auto &Cons = Buckets[PatternKind::Consistency];
+  auto &Conf = Buckets[PatternKind::ConfusingWord];
+  Table.addRow({"Semantic defect", std::to_string(Cons.Semantic),
+                std::to_string(Conf.Semantic)});
+  Table.addRow({"Code quality issue", std::to_string(Cons.Quality),
+                std::to_string(Conf.Quality)});
+  Table.addRow({"False positive", std::to_string(Cons.FalsePositive),
+                std::to_string(Conf.FalsePositive)});
+  Table.addSeparator();
+  for (corpus::IssueCategory Cat :
+       {corpus::IssueCategory::ConfusingName,
+        corpus::IssueCategory::IndescriptiveName,
+        corpus::IssueCategory::InconsistentName,
+        corpus::IssueCategory::MinorIssue, corpus::IssueCategory::Typo}) {
+    Table.addRow({std::string(corpus::issueCategoryName(Cat)),
+                  std::to_string(Cons.Categories[Cat]),
+                  std::to_string(Conf.Categories[Cat])});
+  }
+  std::fputs(Table.render().c_str(), stdout);
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  printHeading("Table 4: per-pattern-type inspection (100 reports each)",
+               "Plus the Section 5.2/5.3 report distribution per pattern "
+               "type.");
+  std::printf("--- Python ---\n");
+  breakdownFor(corpus::Language::Python, "Python");
+  std::printf("--- Java (Section 5.3 statistics) ---\n");
+  breakdownFor(corpus::Language::Java, "Java");
+  std::printf("Expected shape (paper): confusing-word patterns recover more "
+              "semantic\ndefects; consistency patterns produce fewer false "
+              "positives.\n");
+  return 0;
+}

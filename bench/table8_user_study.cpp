@@ -1,0 +1,111 @@
+//===- bench/table8_user_study.cpp ----------------------------------------==//
+//
+// Regenerates Tables 7 and 8: the Section 5.4 user study. The original
+// study showed 5 code-quality reports (one per Table 4 category) to 7
+// professional developers and asked at what condition they would accept
+// each fix. Humans are unavailable here, so this bench SIMULATES the study
+// with developer personas whose acceptance propensities are calibrated to
+// the published response distribution; the simulation is labeled as such
+// (DESIGN.md, substitution 4).
+//
+// Paper reference (Table 8; 7 responses per category):
+//   Category        Not accepted  IDE plugin  Pull request  Fix manually
+//   Confusing            0            3            2             2
+//   Indescriptive        0            3            2             2
+//   Inconsistent         2            0            4             1
+//   Minor issue          2            4            0             1
+//   Typo                 1            2            1             3
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "support/Rng.h"
+#include "support/TextTable.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace namer;
+
+namespace {
+
+/// One developer persona: relative propensity toward each response kind,
+/// per issue severity class.
+struct Persona {
+  const char *Name;
+  double Tooling;   ///< affinity for automation (IDE/PR) vs manual
+  double Tolerance; ///< how often low-severity reports are rejected
+};
+
+/// Acceptance-condition categories of the study.
+enum Response { NotAccepted, IdePlugin, PullRequest, FixManually };
+
+/// Per-category severity priors, shaped after the study's findings:
+/// renaming-style issues are accepted but only with tool support;
+/// inconsistent names are polarizing; typos are often fixed by hand.
+struct CategoryProfile {
+  corpus::IssueCategory Category;
+  double RejectBias;  ///< baseline probability of rejection
+  double ManualBias;  ///< probability a fix is worth manual effort
+  double PrBias;      ///< preference for a PR over an IDE hint
+};
+
+} // namespace
+
+int main() {
+  std::printf("=== Tables 7+8: user study on code quality issue severity "
+              "===\n");
+  std::printf("SIMULATED: persona model replaying the study protocol (7 "
+              "developers x 5\nreports); see DESIGN.md substitution 4.\n\n");
+
+  const CategoryProfile Profiles[] = {
+      {corpus::IssueCategory::ConfusingName, 0.05, 0.60, 0.40},
+      {corpus::IssueCategory::IndescriptiveName, 0.05, 0.60, 0.40},
+      {corpus::IssueCategory::InconsistentName, 0.30, 0.35, 0.80},
+      {corpus::IssueCategory::MinorIssue, 0.30, 0.30, 0.10},
+      {corpus::IssueCategory::Typo, 0.15, 0.90, 0.35},
+  };
+  const Persona Developers[] = {
+      {"dev-a", 0.9, 0.1}, {"dev-b", 0.7, 0.3}, {"dev-c", 0.8, 0.2},
+      {"dev-d", 0.5, 0.5}, {"dev-e", 0.6, 0.2}, {"dev-f", 0.9, 0.4},
+      {"dev-g", 0.4, 0.1},
+  };
+
+  Rng G(20210625); // last day of PLDI'21
+
+  TextTable Table;
+  Table.setHeader({"Issue category", "Not accepted", "Accepted w/ IDE plugin",
+                   "Accepted w/ pull request", "Would even fix manually"});
+  size_t TotalNotAccepted = 0, TotalManual = 0;
+  for (const CategoryProfile &Profile : Profiles) {
+    size_t Counts[4] = {0, 0, 0, 0};
+    for (const Persona &Dev : Developers) {
+      Response R;
+      if (G.chance(Profile.RejectBias + Dev.Tolerance * 0.3)) {
+        R = NotAccepted;
+      } else if (G.chance(Profile.ManualBias * (1.0 - Dev.Tooling))) {
+        R = FixManually;
+      } else {
+        R = G.chance(Profile.PrBias) ? PullRequest : IdePlugin;
+      }
+      ++Counts[R];
+    }
+    TotalNotAccepted += Counts[NotAccepted];
+    TotalManual += Counts[FixManually];
+    Table.addRow({std::string(corpus::issueCategoryName(Profile.Category)),
+                  std::to_string(Counts[NotAccepted]),
+                  std::to_string(Counts[IdePlugin]),
+                  std::to_string(Counts[PullRequest]),
+                  std::to_string(Counts[FixManually])});
+  }
+  std::fputs(Table.render().c_str(), stdout);
+  std::printf("\nOf %zu responses, %zu rejected an issue and %zu would fix "
+              "one manually.\nPaper: 5 rejections and 9 manual fixes out of "
+              "35; most acceptances require\ntool support (IDE plugin or "
+              "automatic pull request), which motivates Namer.\n",
+              sizeof(Profiles) / sizeof(Profiles[0]) *
+                  (sizeof(Developers) / sizeof(Developers[0])),
+              TotalNotAccepted, TotalManual);
+  return 0;
+}

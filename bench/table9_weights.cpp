@@ -1,0 +1,78 @@
+//===- bench/table9_weights.cpp -------------------------------------------==//
+//
+// Regenerates Table 9: feature weights of the learned defect classifier,
+// averaged over the Python and Java classifiers, for the three multi-level
+// feature families (identical statements, satisfaction counts, violation
+// counts) at file / repository / dataset level.
+//
+// Paper reference (Table 9):
+//   Feature              File     Repo     Dataset
+//   Identical statement  0.6345  -2.854    -
+//   Satisfaction count   1.86     0.468   -0.7305
+//   Violation count     -1.121   -1.0655   1.5565
+//
+// The headline observation: the same feature family can contribute with
+// OPPOSITE signs at different levels (e.g. violations local to a file
+// argue for a real issue, while globally noisy patterns argue against).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+using namespace namer;
+using namespace namer::bench;
+
+int main() {
+  printHeading("Table 9: feature weights of the learned classifier",
+               "Averaged over the trained Python and Java classifiers; "
+               "weights act on standardized features.");
+
+  std::vector<double> Sum(NumViolationFeatures, 0.0);
+  for (corpus::Language Lang :
+       {corpus::Language::Python, corpus::Language::Java}) {
+    corpus::Corpus C = makeCorpus(Lang);
+    corpus::InspectionOracle Oracle(C);
+    EvaluatedPipeline E = runEvaluation(C, Oracle, Ablation::Full);
+    std::vector<double> W = E.Pipeline->classifier().featureWeights();
+    for (size_t I = 0; I != NumViolationFeatures; ++I)
+      Sum[I] += W[I] / 2.0;
+  }
+
+  // Table 9 rows: features 2-3 (identical stmts), 10-12 (satisfaction
+  // counts), 7-9 (violation counts); indices are 0-based in the vector.
+  TextTable Table;
+  Table.setHeader({"Feature", "File level", "Repo level", "Entire dataset"});
+  Table.addRow({"Identical statement", TextTable::formatDouble(Sum[1], 3),
+                TextTable::formatDouble(Sum[2], 3), "-"});
+  Table.addRow({"Satisfaction count", TextTable::formatDouble(Sum[9], 3),
+                TextTable::formatDouble(Sum[10], 3),
+                TextTable::formatDouble(Sum[11], 3)});
+  Table.addRow({"Violation count", TextTable::formatDouble(Sum[6], 3),
+                TextTable::formatDouble(Sum[7], 3),
+                TextTable::formatDouble(Sum[8], 3)});
+  std::fputs(Table.render().c_str(), stdout);
+
+  std::printf("\nAll 17 feature weights:\n");
+  TextTable Full;
+  Full.setHeader({"#", "Feature", "Weight"});
+  for (size_t I = 0; I != NumViolationFeatures; ++I)
+    Full.addRow({std::to_string(I + 1), ViolationFeatureNames[I],
+                 TextTable::formatDouble(Sum[I], 3)});
+  std::fputs(Full.render().c_str(), stdout);
+
+  // The paper's qualitative claim: some feature family flips sign across
+  // levels (any pair of levels within one family).
+  auto FamilyFlips = [&](size_t A, size_t B, size_t Cc) {
+    return Sum[A] * Sum[B] < 0 || Sum[A] * Sum[Cc] < 0 ||
+           Sum[B] * Sum[Cc] < 0;
+  };
+  bool SignFlip = FamilyFlips(6, 7, 8) || FamilyFlips(9, 10, 11) ||
+                  FamilyFlips(3, 4, 5) || Sum[1] * Sum[2] < 0;
+  std::printf("\nSign flip across levels within a feature family: %s "
+              "(paper: yes -- jointly\nconsidering local and global "
+              "statistics is key to the classifier).\n",
+              SignFlip ? "YES" : "no");
+  return 0;
+}

@@ -1,0 +1,87 @@
+//===- examples/java_exceptions.cpp - Java exception-handling audit -------==//
+//
+// Domain scenario 3: auditing exception handling in a Java codebase, the
+// Table 6 workload. The pipeline flags catch clauses that swallow Error
+// (catch Throwable) and stack traces that are fetched but dropped
+// (getStackTrace vs printStackTrace) -- both semantic defects -- and shows
+// how the static analyses resolve the receiver types that make these
+// patterns precise.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Origins.h"
+#include "frontend/java/JavaParser.h"
+#include "namer/Pipeline.h"
+
+#include <cstdio>
+
+using namespace namer;
+
+int main() {
+  corpus::Repository Audited;
+  Audited.Name = "payments-service";
+  corpus::SourceFile F;
+  F.Path = "src/RetryLoop.java";
+  F.Text = "public class RetryLoop {\n"
+           "    public void submitBatch() {\n"
+           "        try {\n"
+           "            this.worker.send();\n"
+           "        } catch (Throwable e) {\n"
+           "            e.getStackTrace();\n"
+           "        }\n"
+           "    }\n"
+           "    public void drainQueue() {\n"
+           "        try {\n"
+           "            this.worker.process();\n"
+           "        } catch (Exception e) {\n"
+           "            e.printStackTrace();\n"
+           "        }\n"
+           "    }\n"
+           "}\n";
+  Audited.Files.push_back(F);
+
+  // Show what the Section 4.1 analyses see in this file.
+  {
+    AstContext Ctx;
+    auto Parsed = java::parseJava(F.Text, Ctx);
+    AnalysisResult Analysis =
+        computeOrigins(Parsed.Module, WellKnownRegistry::forJava());
+    std::printf("static analysis of %s: %zu Datalog facts, %zu derived "
+                "tuples, k=%u\n",
+                F.Path.c_str(), Analysis.NumFacts, Analysis.NumDerivedTuples,
+                Analysis.EffectiveK);
+    for (const auto &[Node, Origin] : Analysis.Origins) {
+      std::string_view Name = Parsed.Module.valueText(Node);
+      if (Name == "e" || Name == "printStackTrace" || Name == "getStackTrace")
+        std::printf("  origin of '%.*s' resolved to '%.*s'\n",
+                    static_cast<int>(Name.size()), Name.data(),
+                    static_cast<int>(Ctx.text(Origin).size()),
+                    Ctx.text(Origin).data());
+    }
+  }
+
+  corpus::CorpusConfig Config;
+  Config.Lang = corpus::Language::Java;
+  Config.NumRepos = 200;
+  corpus::Corpus BigCode = corpus::generateCorpus(Config);
+  BigCode.Repos.push_back(Audited);
+
+  NamerPipeline Namer;
+  Namer.build(BigCode);
+
+  std::printf("\naudit results for %s:\n", Audited.Name.c_str());
+  size_t Issues = 0;
+  for (const Violation &V : Namer.violations()) {
+    Report R = Namer.makeReport(V);
+    if (R.File != F.Path)
+      continue;
+    ++Issues;
+    std::printf("  %s:%u: replace '%s' with '%s'\n", R.File.c_str(), R.Line,
+                R.Original.c_str(), R.Suggested.c_str());
+  }
+  std::printf("%zu issue(s). Expected: Throwable -> Exception and "
+              "get[StackTrace] -> print[StackTrace];\nthe clean drainQueue "
+              "method must stay silent.\n",
+              Issues);
+  return Issues >= 2 ? 0 : 1;
+}

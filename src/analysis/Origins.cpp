@@ -1,0 +1,1038 @@
+//===- analysis/Origins.cpp -----------------------------------------------==//
+
+#include "analysis/Origins.h"
+
+#include "analysis/datalog/Datalog.h"
+
+#include "ast/Statements.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using namespace namer;
+using datalog::Atom;
+using datalog::Engine;
+using datalog::Literal;
+using datalog::RelationId;
+using datalog::Rule;
+using datalog::Term;
+
+namespace {
+
+/// A function-like scope: a module, function or method.
+struct Scope {
+  NodeId Definition = InvalidNode; // FunctionDef, or Module for scope 0
+  NodeId Body = InvalidNode;       // Body node holding the statements
+  std::string Name;    // function name ("" for module)
+  std::string Class;   // enclosing class name ("" outside classes)
+  std::vector<NodeId> Params; // Param nodes in order
+  std::unordered_set<std::string> Assigned; // locally bound names
+};
+
+/// One k-bounded call string. Context 0 is the empty string.
+using ContextId = uint32_t;
+
+/// Primitive types get value origins from the data flow analysis, not
+/// allocation-site types (Section 4.1 treats them separately).
+bool isPrimitiveType(std::string_view Name) {
+  return Name == "int" || Name == "long" || Name == "double" ||
+         Name == "float" || Name == "boolean" || Name == "char" ||
+         Name == "short" || Name == "byte" || Name == "void";
+}
+
+struct OriginComputer {
+  const Tree &M;
+  const WellKnownRegistry &Registry;
+  AnalysisConfig Config;
+  AstContext &Ctx;
+
+  // Structure.
+  std::vector<Scope> Scopes;
+  std::unordered_map<NodeId, uint32_t> ScopeOfBody; // Body node -> scope idx
+  std::unordered_map<std::string, std::string> LocalBases;
+  std::unordered_map<std::string, std::unordered_map<std::string, uint32_t>>
+      Methods; // class -> method name -> scope idx
+  std::unordered_map<std::string, uint32_t> FreeFunctions;
+  std::unordered_map<std::string, std::string> ModuleAliases;
+  std::unordered_map<std::string, std::string> FieldTypes; // class.field -> T
+  std::unordered_map<std::string, std::string> DeclaredTypes; // scoped var -> T
+
+  // Contexts.
+  struct CallEdge {
+    uint32_t CallerScope;
+    NodeId CallSite;
+    uint32_t CalleeScope;
+  };
+  std::vector<CallEdge> CallEdges;
+  // Per scope, the set of contexts it is analyzed under. Context content is
+  // a call string; identity is interned below.
+  std::vector<std::vector<ContextId>> ScopeContexts;
+  std::unordered_map<std::string, ContextId> ContextIds;
+  unsigned EffectiveK = 0;
+
+  // Datalog.
+  Engine E;
+  RelationId RelAlloc, RelMove, RelLoad, RelStore, RelVpt, RelFieldPt,
+      RelValueOrigin;
+  StringInterner Atoms; // atom universe (separate from AST symbols)
+  std::unordered_map<Atom, std::string> SiteType; // site atom -> type name
+  std::unordered_map<std::string, uint32_t> AssignCounts; // kill analysis
+  /// (call site, callee context) pairs currently being expanded; guards the
+  /// return-flow walk against recursive call graphs.
+  std::unordered_set<uint64_t> ActiveCalls;
+  size_t FactCount = 0;
+
+  OriginComputer(const Tree &Module, const WellKnownRegistry &Registry,
+                 AnalysisConfig Config)
+      : M(Module), Registry(Registry), Config(Config),
+        Ctx(Module.context()) {}
+
+  AnalysisResult run();
+
+  // Phase A.
+  void discoverStructure();
+  void scanScopeBindings(uint32_t ScopeIdx, NodeId N);
+  // Phase B.
+  void buildCallGraph();
+  uint32_t resolveCallee(uint32_t CallerScope, NodeId CallNode) const;
+  void buildContexts();
+  ContextId pushContext(ContextId Caller, NodeId CallSite, unsigned K);
+  // Phase C.
+  void extractFacts();
+  void extractScopeFacts(uint32_t ScopeIdx, ContextId Ctx);
+  void extractStmtFacts(uint32_t ScopeIdx, ContextId Ctx, NodeId Stmt);
+  /// Returns the atom holding the value of expression \p N, emitting
+  /// load/alloc/move facts as needed, or 0 when untracked.
+  Atom evalExpr(uint32_t ScopeIdx, ContextId Cx, NodeId N);
+  void assignTo(uint32_t ScopeIdx, ContextId Cx, NodeId Target, Atom Value,
+                NodeId ValueNode);
+  // Phase E.
+  void assignOrigins(AnalysisResult &Result);
+
+  // Helpers.
+  Atom varAtom(uint32_t ScopeIdx, ContextId Cx, std::string_view Name) {
+    return Atoms.intern("v:" + std::to_string(ScopeIdx) + ":" +
+                        std::to_string(Cx) + ":" + std::string(Name));
+  }
+  Atom siteAtom(NodeId N, std::string_view Type) {
+    Atom A = Atoms.intern("s:" + std::to_string(N));
+    if (!Type.empty())
+      SiteType.emplace(A, std::string(Type));
+    return A;
+  }
+  Atom fieldAtom(std::string_view Name) {
+    return Atoms.intern("f:" + std::string(Name));
+  }
+  Atom originAtom(std::string_view Name) {
+    return Atoms.intern("o:" + std::string(Name));
+  }
+  void fact(RelationId Rel, std::initializer_list<Atom> As) {
+    E.addFact(Rel, As);
+    ++FactCount;
+  }
+
+  std::string identText(NodeId N) const {
+    return std::string(M.valueText(N));
+  }
+  /// The Ident child of a wrapper node, or InvalidNode.
+  NodeId identOf(NodeId N) const {
+    for (NodeId C : M.node(N).Children)
+      if (M.node(C).Kind == NodeKind::Ident)
+        return C;
+    return InvalidNode;
+  }
+  /// Variable scope resolution: the scope where \p Name is bound when
+  /// referenced from \p ScopeIdx (local, else module).
+  uint32_t resolveVarScope(uint32_t ScopeIdx, const std::string &Name) const {
+    if (Scopes[ScopeIdx].Assigned.count(Name))
+      return ScopeIdx;
+    return 0; // module scope
+  }
+};
+
+// --- Phase A: structure ------------------------------------------------------
+
+void OriginComputer::discoverStructure() {
+  // Scope 0 = module.
+  Scope ModuleScope;
+  ModuleScope.Definition = M.root();
+  ModuleScope.Body = M.root();
+  Scopes.push_back(ModuleScope);
+  ScopeOfBody[M.root()] = 0;
+
+  // Walk once to find classes and functions.
+  for (NodeId N = 0; N != M.size(); ++N) {
+    const Node &Nd = M.node(N);
+    if (Nd.Kind == NodeKind::ClassDef) {
+      NodeId NameIdent = identOf(N);
+      if (NameIdent == InvalidNode)
+        continue;
+      std::string ClassName = identText(NameIdent);
+      std::string Base;
+      for (NodeId C : Nd.Children) {
+        if (M.node(C).Kind != NodeKind::BasesList)
+          continue;
+        for (NodeId B : M.node(C).Children) {
+          // Python: NameLoad base; Java: TypeRef base.
+          NodeId BI = identOf(B);
+          if (BI != InvalidNode) {
+            Base = identText(BI);
+            break;
+          }
+        }
+      }
+      LocalBases[ClassName] = Base;
+      continue;
+    }
+    if (Nd.Kind == NodeKind::FunctionDef) {
+      Scope S;
+      S.Definition = N;
+      NodeId NameIdent = identOf(N);
+      S.Name = NameIdent == InvalidNode ? "<lambda>" : identText(NameIdent);
+      NodeId ClassDef = enclosingNode(M, N, NodeKind::ClassDef);
+      if (ClassDef != InvalidNode) {
+        NodeId CI = identOf(ClassDef);
+        S.Class = CI == InvalidNode ? "" : identText(CI);
+      }
+      for (NodeId C : Nd.Children) {
+        if (M.node(C).Kind == NodeKind::ParamList)
+          for (NodeId P : M.node(C).Children)
+            S.Params.push_back(P);
+        if (M.node(C).Kind == NodeKind::Body)
+          S.Body = C;
+      }
+      uint32_t Idx = static_cast<uint32_t>(Scopes.size());
+      Scopes.push_back(std::move(S));
+      if (Scopes[Idx].Body != InvalidNode)
+        ScopeOfBody[Scopes[Idx].Body] = Idx;
+      if (!Scopes[Idx].Class.empty())
+        Methods[Scopes[Idx].Class][Scopes[Idx].Name] = Idx;
+      else
+        FreeFunctions[Scopes[Idx].Name] = Idx;
+      continue;
+    }
+    if (Nd.Kind == NodeKind::Import) {
+      // Import [module (, alias)]: bind alias (or module name) to module.
+      const auto &Kids = Nd.Children;
+      if (Kids.empty())
+        continue;
+      std::string Module = identText(Kids[0]);
+      if (M.valueText(N) == "FromImport") {
+        // FromImport [module, name (, alias)]: the bound name is a library
+        // symbol; alias to "module.name".
+        if (Kids.size() >= 2) {
+          std::string Symbol = identText(Kids[1]);
+          std::string Bound = Kids.size() >= 3 ? identText(Kids[2]) : Symbol;
+          ModuleAliases[Bound] = Symbol; // e.g. TestCase -> TestCase
+        }
+        continue;
+      }
+      std::string Bound = Kids.size() >= 2 ? identText(Kids[1]) : Module;
+      ModuleAliases[Bound] = Module;
+      continue;
+    }
+  }
+
+  // Collect assigned names per scope.
+  for (uint32_t I = 0; I != Scopes.size(); ++I) {
+    for (NodeId P : Scopes[I].Params) {
+      NodeId PI = identOf(P);
+      if (PI != InvalidNode)
+        Scopes[I].Assigned.insert(identText(PI));
+    }
+    scanScopeBindings(I, Scopes[I].Body);
+  }
+}
+
+void OriginComputer::scanScopeBindings(uint32_t ScopeIdx, NodeId N) {
+  if (N == InvalidNode)
+    return;
+  const Node &Nd = M.node(N);
+  // Do not descend into nested function/class scopes (their bodies bind
+  // their own names), except for the scope's own definition node.
+  if ((Nd.Kind == NodeKind::FunctionDef || Nd.Kind == NodeKind::ClassDef) &&
+      N != Scopes[ScopeIdx].Definition && N != Scopes[ScopeIdx].Body)
+    return;
+  if (Nd.Kind == NodeKind::NameStore) {
+    NodeId I = identOf(N);
+    if (I != InvalidNode)
+      Scopes[ScopeIdx].Assigned.insert(identText(I));
+  }
+  if (Nd.Kind == NodeKind::Catch) {
+    // The bound exception variable is a direct Ident child.
+    for (NodeId C : Nd.Children)
+      if (M.node(C).Kind == NodeKind::Ident)
+        Scopes[ScopeIdx].Assigned.insert(identText(C));
+  }
+  for (NodeId C : Nd.Children)
+    scanScopeBindings(ScopeIdx, C);
+}
+
+// --- Phase B: call graph and contexts ----------------------------------------
+
+uint32_t OriginComputer::resolveCallee(uint32_t CallerScope,
+                                       NodeId CallNode) const {
+  const Node &Call = M.node(CallNode);
+  if (Call.Children.empty())
+    return UINT32_MAX;
+  NodeId Callee = Call.Children[0];
+  const Node &CalleeNode = M.node(Callee);
+  if (CalleeNode.Kind == NodeKind::NameLoad) {
+    NodeId I = identOf(Callee);
+    if (I == InvalidNode)
+      return UINT32_MAX;
+    std::string Name = identText(I);
+    auto FIt = FreeFunctions.find(Name);
+    if (FIt != FreeFunctions.end())
+      return FIt->second;
+    // Constructor call of a file-local class: resolves to __init__ or the
+    // Java constructor (same name as the class).
+    auto BIt = LocalBases.find(Name);
+    if (BIt != LocalBases.end()) {
+      auto MIt = Methods.find(Name);
+      if (MIt != Methods.end()) {
+        auto Init = MIt->second.find("__init__");
+        if (Init != MIt->second.end())
+          return Init->second;
+        auto Ctor = MIt->second.find(Name);
+        if (Ctor != MIt->second.end())
+          return Ctor->second;
+      }
+    }
+    return UINT32_MAX;
+  }
+  if (CalleeNode.Kind == NodeKind::AttributeLoad &&
+      CalleeNode.Children.size() == 2) {
+    // self.m(...) / this.m(...): resolve within the enclosing class
+    // hierarchy defined in this file.
+    NodeId Receiver = CalleeNode.Children[0];
+    NodeId AttrNode = CalleeNode.Children[1];
+    NodeId RI = identOf(Receiver);
+    NodeId AI = identOf(AttrNode);
+    if (RI == InvalidNode || AI == InvalidNode)
+      return UINT32_MAX;
+    std::string Recv = identText(RI);
+    if (Recv != "self" && Recv != "this")
+      return UINT32_MAX;
+    std::string Method = identText(AI);
+    std::string Class = Scopes[CallerScope].Class;
+    for (int Depth = 0; Depth < 16 && !Class.empty(); ++Depth) {
+      auto MIt = Methods.find(Class);
+      if (MIt != Methods.end()) {
+        auto It = MIt->second.find(Method);
+        if (It != MIt->second.end())
+          return It->second;
+      }
+      auto BIt = LocalBases.find(Class);
+      Class = BIt == LocalBases.end() ? "" : BIt->second;
+    }
+  }
+  return UINT32_MAX;
+}
+
+void OriginComputer::buildCallGraph() {
+  for (NodeId N = 0; N != M.size(); ++N) {
+    if (M.node(N).Kind != NodeKind::Call)
+      continue;
+    // The enclosing scope: nearest FunctionDef body, else module.
+    uint32_t Caller = 0;
+    NodeId Fn = enclosingNode(M, N, NodeKind::FunctionDef);
+    if (Fn != InvalidNode) {
+      for (uint32_t I = 1; I != Scopes.size(); ++I)
+        if (Scopes[I].Definition == Fn)
+          Caller = I;
+    }
+    uint32_t Callee = resolveCallee(Caller, N);
+    if (Callee != UINT32_MAX)
+      CallEdges.push_back(CallEdge{Caller, N, Callee});
+  }
+}
+
+ContextId OriginComputer::pushContext(ContextId Caller, NodeId CallSite,
+                                      unsigned K) {
+  // Contexts are interned strings "cs1.cs2..." (most recent first),
+  // truncated to K sites.
+  std::string CallerKey;
+  for (const auto &[Key, Id] : ContextIds)
+    if (Id == Caller)
+      CallerKey = Key;
+  std::string Key = std::to_string(CallSite);
+  if (!CallerKey.empty())
+    Key += "." + CallerKey;
+  // Truncate to K components.
+  size_t Components = 1, Pos = 0;
+  while ((Pos = Key.find('.', Pos)) != std::string::npos) {
+    ++Components;
+    if (Components > K) {
+      Key.resize(Pos);
+      break;
+    }
+    ++Pos;
+  }
+  auto [It, Inserted] = ContextIds.emplace(Key, ContextIds.size() + 1);
+  (void)Inserted;
+  return It->second;
+}
+
+void OriginComputer::buildContexts() {
+  unsigned K = Config.CallSiteSensitivity;
+  while (true) {
+    ContextIds.clear();
+    ScopeContexts.assign(Scopes.size(), {});
+    // Every scope is a possible entry point: context 0 (empty string).
+    for (auto &Ctxs : ScopeContexts)
+      Ctxs.push_back(0);
+    if (K > 0) {
+      // Propagate along call edges to a fixpoint (contexts only grow).
+      bool Changed = true;
+      size_t Guard = 0;
+      while (Changed && Guard++ < 64) {
+        Changed = false;
+        for (const CallEdge &Edge : CallEdges) {
+          for (ContextId CallerCtx : ScopeContexts[Edge.CallerScope]) {
+            ContextId NewCtx = pushContext(CallerCtx, Edge.CallSite, K);
+            auto &Dest = ScopeContexts[Edge.CalleeScope];
+            if (std::find(Dest.begin(), Dest.end(), NewCtx) == Dest.end()) {
+              Dest.push_back(NewCtx);
+              Changed = true;
+            }
+          }
+        }
+      }
+    }
+    size_t Total = 0;
+    for (const auto &Ctxs : ScopeContexts)
+      Total += Ctxs.size();
+    double Avg = static_cast<double>(Total) /
+                 static_cast<double>(std::max<size_t>(1, Scopes.size()));
+    if (Avg <= Config.MaxAvgContextsPerFunction || K == 0) {
+      EffectiveK = K;
+      return;
+    }
+    --K; // combinatorial explosion: back off (Section 4.1)
+  }
+}
+
+// --- Phase C: fact extraction -------------------------------------------------
+
+void OriginComputer::extractFacts() {
+  RelAlloc = E.addRelation("alloc", 2);
+  RelMove = E.addRelation("move", 2);
+  RelLoad = E.addRelation("load", 3);
+  RelStore = E.addRelation("store", 3);
+  RelVpt = E.addRelation("vpt", 2);
+  RelFieldPt = E.addRelation("fieldPt", 3);
+  RelValueOrigin = E.addRelation("valueOrigin", 2);
+
+  // vpt(v, s) :- alloc(v, s).
+  E.addRule(Rule{Literal{RelVpt, {Term::var(0), Term::var(1)}},
+                 {Literal{RelAlloc, {Term::var(0), Term::var(1)}}}});
+  // vpt(to, s) :- move(to, from), vpt(from, s).
+  E.addRule(Rule{Literal{RelVpt, {Term::var(0), Term::var(2)}},
+                 {Literal{RelMove, {Term::var(0), Term::var(1)}},
+                  Literal{RelVpt, {Term::var(1), Term::var(2)}}}});
+  // fieldPt(b, f, s) :- store(base, f, from), vpt(base, b), vpt(from, s).
+  E.addRule(Rule{
+      Literal{RelFieldPt, {Term::var(3), Term::var(1), Term::var(4)}},
+      {Literal{RelStore, {Term::var(0), Term::var(1), Term::var(2)}},
+       Literal{RelVpt, {Term::var(0), Term::var(3)}},
+       Literal{RelVpt, {Term::var(2), Term::var(4)}}}});
+  // vpt(to, s) :- load(to, base, f), vpt(base, b), fieldPt(b, f, s).
+  E.addRule(
+      Rule{Literal{RelVpt, {Term::var(0), Term::var(4)}},
+           {Literal{RelLoad, {Term::var(0), Term::var(1), Term::var(2)}},
+            Literal{RelVpt, {Term::var(1), Term::var(3)}},
+            Literal{RelFieldPt, {Term::var(3), Term::var(2), Term::var(4)}}}});
+  // valueOrigin(to, o) :- move(to, from), valueOrigin(from, o).
+  E.addRule(Rule{Literal{RelValueOrigin, {Term::var(0), Term::var(2)}},
+                 {Literal{RelMove, {Term::var(0), Term::var(1)}},
+                  Literal{RelValueOrigin, {Term::var(1), Term::var(2)}}}});
+
+  for (uint32_t S = 0; S != Scopes.size(); ++S)
+    for (ContextId Cx : ScopeContexts[S])
+      extractScopeFacts(S, Cx);
+}
+
+void OriginComputer::extractScopeFacts(uint32_t ScopeIdx, ContextId Cx) {
+  const Scope &S = Scopes[ScopeIdx];
+
+  // Parameters: self/this points to an instance of the enclosing class;
+  // other parameters of entry contexts are opaque. Java parameters carry
+  // declared types.
+  for (NodeId P : S.Params) {
+    NodeId PI = identOf(P);
+    if (PI == InvalidNode)
+      continue;
+    std::string Name = identText(PI);
+    if ((Name == "self" || Name == "this") && !S.Class.empty()) {
+      fact(RelAlloc, {varAtom(ScopeIdx, Cx, Name),
+                      siteAtom(P, S.Class)});
+      continue;
+    }
+    // Declared parameter type (Java): Param [TypeRef, Ident]. Primitive
+    // parameters carry no object identity.
+    for (NodeId C : M.node(P).Children) {
+      if (M.node(C).Kind != NodeKind::TypeRef)
+        continue;
+      NodeId TI = identOf(C);
+      if (TI != InvalidNode && !isPrimitiveType(identText(TI)))
+        fact(RelAlloc, {varAtom(ScopeIdx, Cx, Name),
+                        siteAtom(P, identText(TI))});
+    }
+  }
+  // Java implicit this.
+  if (!S.Class.empty() && S.Definition != InvalidNode)
+    fact(RelAlloc, {varAtom(ScopeIdx, Cx, "this"),
+                    siteAtom(S.Definition, S.Class)});
+
+  if (S.Body == InvalidNode)
+    return;
+  // Walk statements of this scope only (not nested functions).
+  std::vector<NodeId> Work = {S.Body};
+  while (!Work.empty()) {
+    NodeId N = Work.back();
+    Work.pop_back();
+    const Node &Nd = M.node(N);
+    if ((Nd.Kind == NodeKind::FunctionDef || Nd.Kind == NodeKind::ClassDef) &&
+        N != S.Definition)
+      continue;
+    if (isStatementKind(Nd.Kind) && Nd.Kind != NodeKind::FunctionDef &&
+        Nd.Kind != NodeKind::ClassDef)
+      extractStmtFacts(ScopeIdx, Cx, N);
+    for (NodeId C : Nd.Children)
+      Work.push_back(C);
+  }
+}
+
+void OriginComputer::extractStmtFacts(uint32_t ScopeIdx, ContextId Cx,
+                                      NodeId Stmt) {
+  const Node &Nd = M.node(Stmt);
+  switch (Nd.Kind) {
+  case NodeKind::Assign: {
+    // Children: target(s)..., value (last non-Body child).
+    std::vector<NodeId> Kids;
+    for (NodeId C : Nd.Children)
+      if (M.node(C).Kind != NodeKind::Body)
+        Kids.push_back(C);
+    if (Kids.size() < 2)
+      return;
+    NodeId Value = Kids.back();
+    Atom V = evalExpr(ScopeIdx, Cx, Value);
+    for (size_t I = 0; I + 1 < Kids.size(); ++I)
+      assignTo(ScopeIdx, Cx, Kids[I], V, Value);
+    return;
+  }
+  case NodeKind::AugAssign: {
+    // x += e kills x's origin; model as an assignment counted twice.
+    if (Nd.Children.empty())
+      return;
+    NodeId Target = Nd.Children.front();
+    if (M.node(Target).Kind == NodeKind::NameStore) {
+      NodeId I = identOf(Target);
+      if (I != InvalidNode) {
+        std::string Name = identText(I);
+        uint32_t VarScope = resolveVarScope(ScopeIdx, Name);
+        AssignCounts["v:" + std::to_string(VarScope) + ":" + Name] += 2;
+      }
+    }
+    return;
+  }
+  case NodeKind::VarDecl: {
+    // Java: VarDecl [TypeRef, NameStore, init?].
+    NodeId Type = InvalidNode, Store = InvalidNode, Init = InvalidNode;
+    for (NodeId C : Nd.Children) {
+      switch (M.node(C).Kind) {
+      case NodeKind::TypeRef:
+        Type = C;
+        break;
+      case NodeKind::NameStore:
+        Store = C;
+        break;
+      case NodeKind::Body:
+        break;
+      default:
+        Init = C;
+        break;
+      }
+    }
+    if (Store == InvalidNode)
+      return;
+    NodeId SI = identOf(Store);
+    if (SI == InvalidNode)
+      return;
+    std::string Name = identText(SI);
+    Scopes[ScopeIdx].Assigned.insert(Name);
+    if (Type != InvalidNode) {
+      NodeId TI = identOf(Type);
+      if (TI != InvalidNode) {
+        std::string TypeName = identText(TI);
+        DeclaredTypes[std::to_string(ScopeIdx) + ":" + Name] = TypeName;
+        // Primitive locals (loop indices, counters) have value origins
+        // from the data flow analysis, not allocation-site types.
+        if (!isPrimitiveType(TypeName))
+          fact(RelAlloc,
+               {varAtom(ScopeIdx, Cx, Name), siteAtom(Type, TypeName)});
+      }
+    }
+    if (Init != InvalidNode) {
+      Atom V = evalExpr(ScopeIdx, Cx, Init);
+      assignTo(ScopeIdx, Cx, Store, V, Init);
+    }
+    return;
+  }
+  case NodeKind::For: {
+    // Python foreach: For [target, iter, Body...]. Java foreach handled by
+    // the VarDecl child; classic for by its VarDecl/ExprStmt children.
+    if (Nd.Children.size() >= 2 &&
+        (M.node(Nd.Children[0]).Kind == NodeKind::NameStore ||
+         M.node(Nd.Children[0]).Kind == NodeKind::TupleLit)) {
+      Atom V = evalExpr(ScopeIdx, Cx, Nd.Children[1]);
+      assignTo(ScopeIdx, Cx, Nd.Children[0], V, Nd.Children[1]);
+    }
+    return;
+  }
+  case NodeKind::Catch: {
+    // Catch [TypeRef, Ident, Body]: the variable holds an instance of the
+    // caught type.
+    NodeId Type = InvalidNode, Var = InvalidNode;
+    for (NodeId C : Nd.Children) {
+      if (M.node(C).Kind == NodeKind::TypeRef && Type == InvalidNode)
+        Type = C;
+      if (M.node(C).Kind == NodeKind::Ident)
+        Var = C;
+    }
+    if (Type == InvalidNode || Var == InvalidNode)
+      return;
+    NodeId TI = identOf(Type);
+    if (TI == InvalidNode)
+      return;
+    std::string Name = identText(Var);
+    DeclaredTypes[std::to_string(ScopeIdx) + ":" + Name] = identText(TI);
+    fact(RelAlloc,
+         {varAtom(ScopeIdx, Cx, Name), siteAtom(Type, identText(TI))});
+    return;
+  }
+  case NodeKind::ExprStmt:
+  case NodeKind::Return:
+  case NodeKind::Raise:
+  case NodeKind::While:
+  case NodeKind::If: {
+    // Evaluate non-Body children for their call side effects.
+    for (NodeId C : Nd.Children)
+      if (M.node(C).Kind != NodeKind::Body)
+        evalExpr(ScopeIdx, Cx, C);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+Atom OriginComputer::evalExpr(uint32_t ScopeIdx, ContextId Cx, NodeId N) {
+  const Node &Nd = M.node(N);
+  switch (Nd.Kind) {
+  case NodeKind::NameLoad: {
+    NodeId I = identOf(N);
+    if (I == InvalidNode)
+      return 0;
+    std::string Name = identText(I);
+    // Module alias? Bind to a module-typed site once.
+    auto AIt = ModuleAliases.find(Name);
+    uint32_t VarScope = resolveVarScope(ScopeIdx, Name);
+    Atom V = varAtom(VarScope, VarScope == ScopeIdx ? Cx : 0, Name);
+    if (AIt != ModuleAliases.end() && VarScope == 0 &&
+        !Scopes[0].Assigned.count(Name))
+      fact(RelAlloc, {V, siteAtom(I, AIt->second)});
+    return V;
+  }
+  case NodeKind::AttributeLoad: {
+    if (Nd.Children.size() != 2)
+      return 0;
+    Atom Base = evalExpr(ScopeIdx, Cx, Nd.Children[0]);
+    NodeId AI = identOf(Nd.Children[1]);
+    if (Base == 0 || AI == InvalidNode)
+      return 0;
+    Atom Result = Atoms.intern("e:" + std::to_string(N) + ":" +
+                               std::to_string(Cx));
+    fact(RelLoad, {Result, Base, fieldAtom(identText(AI))});
+    return Result;
+  }
+  case NodeKind::Call:
+  case NodeKind::New: {
+    // Evaluate arguments for side effects and collect their atoms.
+    std::vector<Atom> Args;
+    for (size_t I = 1; I < Nd.Children.size(); ++I)
+      Args.push_back(evalExpr(ScopeIdx, Cx, Nd.Children[I]));
+
+    Atom Result = Atoms.intern("e:" + std::to_string(N) + ":" +
+                               std::to_string(Cx));
+    // Java object creation: new T(...) allocates a T.
+    if (Nd.Kind == NodeKind::New) {
+      NodeId TI = Nd.Children.empty() ? InvalidNode : identOf(Nd.Children[0]);
+      if (TI != InvalidNode)
+        fact(RelAlloc, {Result, siteAtom(N, identText(TI))});
+      return Result;
+    }
+
+    uint32_t Callee = UINT32_MAX;
+    for (const CallEdge &Edge : CallEdges)
+      if (Edge.CallSite == N && Edge.CallerScope == ScopeIdx)
+        Callee = Edge.CalleeScope;
+
+    // Python constructor call: Widget() allocates an instance that also
+    // flows into __init__'s self when the class defines one.
+    bool IsConstructor = false;
+    if (!Nd.Children.empty() &&
+        M.node(Nd.Children[0]).Kind == NodeKind::NameLoad) {
+      NodeId CI = identOf(Nd.Children[0]);
+      if (CI != InvalidNode && LocalBases.count(identText(CI))) {
+        fact(RelAlloc, {Result, siteAtom(N, identText(CI))});
+        IsConstructor = true;
+      }
+    }
+
+    if (Callee != UINT32_MAX) {
+      ContextId CalleeCx =
+          EffectiveK == 0 ? 0 : pushContext(Cx, N, EffectiveK);
+      // Guard: the context must have been materialized during
+      // buildContexts; otherwise fall back to the entry context.
+      const auto &Ctxs = ScopeContexts[Callee];
+      if (std::find(Ctxs.begin(), Ctxs.end(), CalleeCx) == Ctxs.end())
+        CalleeCx = 0;
+      // Bind actuals to formals (skipping an implicit self/this formal
+      // when the call is a method call through self).
+      const Scope &CalleeScope = Scopes[Callee];
+      size_t FormalBase = 0;
+      if (!CalleeScope.Params.empty()) {
+        NodeId PI = identOf(CalleeScope.Params[0]);
+        if (PI != InvalidNode && identText(PI) == "self") {
+          // The receiver flows into self: the caller's self for method
+          // calls, the freshly allocated instance for constructor calls.
+          Atom Recv = IsConstructor ? Result : varAtom(ScopeIdx, Cx, "self");
+          fact(RelMove, {varAtom(Callee, CalleeCx, "self"), Recv});
+          FormalBase = 1;
+        }
+      }
+      for (size_t I = 0; I != Args.size(); ++I) {
+        size_t FormalIdx = FormalBase + I;
+        if (FormalIdx >= CalleeScope.Params.size() || Args[I] == 0)
+          continue;
+        NodeId PI = identOf(CalleeScope.Params[FormalIdx]);
+        if (PI != InvalidNode)
+          fact(RelMove,
+               {varAtom(Callee, CalleeCx, identText(PI)), Args[I]});
+      }
+      // Return values: move every returned expression into the result.
+      // Recursive call chains revisit the same (site, context) pair once
+      // contexts saturate at k; skip re-expansion to guarantee termination.
+      uint64_t CallKey = (static_cast<uint64_t>(N) << 24) ^ CalleeCx;
+      if (ActiveCalls.insert(CallKey).second) {
+        std::vector<NodeId> Work = {CalleeScope.Body};
+        while (!Work.empty()) {
+          NodeId W = Work.back();
+          Work.pop_back();
+          if (W == InvalidNode)
+            continue;
+          const Node &WN = M.node(W);
+          if ((WN.Kind == NodeKind::FunctionDef ||
+               WN.Kind == NodeKind::ClassDef) &&
+              W != CalleeScope.Definition)
+            continue;
+          if (WN.Kind == NodeKind::Return && !WN.Children.empty()) {
+            Atom Ret = evalExpr(Callee, CalleeCx, WN.Children[0]);
+            if (Ret != 0)
+              fact(RelMove, {Result, Ret});
+          }
+          for (NodeId C : WN.Children)
+            Work.push_back(C);
+        }
+        ActiveCalls.erase(CallKey);
+      }
+      return Result;
+    }
+
+    // External call: fresh allocation site (Section 4.1), typed by the
+    // registry when the callee is known; the value origin is the function
+    // name (the data flow analysis of primitive values).
+    NodeId CalleeExpr = Nd.Children.empty() ? InvalidNode : Nd.Children[0];
+    std::string CalleeName;
+    if (CalleeExpr != InvalidNode) {
+      const Node &CE = M.node(CalleeExpr);
+      if (CE.Kind == NodeKind::NameLoad) {
+        NodeId I = identOf(CalleeExpr);
+        if (I != InvalidNode)
+          CalleeName = identText(I);
+      } else if (CE.Kind == NodeKind::AttributeLoad &&
+                 CE.Children.size() == 2) {
+        evalExpr(ScopeIdx, Cx, CE.Children[0]); // receiver side effects
+        NodeId I = identOf(CE.Children[1]);
+        if (I != InvalidNode)
+          CalleeName = identText(I);
+      }
+    }
+    if (!CalleeName.empty()) {
+      // Constructor of a file-local class without __init__ (already
+      // allocated above) or of a known library class.
+      if (IsConstructor)
+        return Result;
+      if (Registry.isKnownClass(CalleeName)) {
+        fact(RelAlloc, {Result, siteAtom(N, CalleeName)});
+        return Result;
+      }
+      auto RetType = Registry.callOrigin(CalleeName);
+      if (RetType && Registry.isKnownClass(*RetType))
+        fact(RelAlloc, {Result, siteAtom(N, *RetType)});
+      fact(RelValueOrigin, {Result, originAtom(CalleeName)});
+      return Result;
+    }
+    return Result;
+  }
+  case NodeKind::Cast: {
+    // (T) e: the result is a T.
+    NodeId TI = Nd.Children.empty() ? InvalidNode : identOf(Nd.Children[0]);
+    for (size_t I = 1; I < Nd.Children.size(); ++I)
+      evalExpr(ScopeIdx, Cx, Nd.Children[I]);
+    Atom Result = Atoms.intern("e:" + std::to_string(N) + ":" +
+                               std::to_string(Cx));
+    if (TI != InvalidNode)
+      fact(RelAlloc, {Result, siteAtom(N, identText(TI))});
+    return Result;
+  }
+  case NodeKind::TupleLit:
+  case NodeKind::ListLit:
+  case NodeKind::DictLit:
+  case NodeKind::BinOp:
+  case NodeKind::UnaryOp:
+  case NodeKind::Compare:
+  case NodeKind::Subscript:
+  case NodeKind::KeywordArg:
+  case NodeKind::StarArg:
+  case NodeKind::If: {
+    for (NodeId C : Nd.Children)
+      if (M.node(C).Kind != NodeKind::Body)
+        evalExpr(ScopeIdx, Cx, C);
+    return 0;
+  }
+  default:
+    return 0;
+  }
+}
+
+void OriginComputer::assignTo(uint32_t ScopeIdx, ContextId Cx, NodeId Target,
+                              Atom Value, NodeId ValueNode) {
+  (void)ValueNode;
+  const Node &Nd = M.node(Target);
+  switch (Nd.Kind) {
+  case NodeKind::NameStore: {
+    NodeId I = identOf(Target);
+    if (I == InvalidNode)
+      return;
+    std::string Name = identText(I);
+    uint32_t VarScope = resolveVarScope(ScopeIdx, Name);
+    if (Cx == 0 || VarScope == ScopeIdx)
+      ++AssignCounts["v:" + std::to_string(VarScope) + ":" + Name];
+    if (Value != 0)
+      fact(RelMove, {varAtom(VarScope, VarScope == ScopeIdx ? Cx : 0, Name),
+                     Value});
+    return;
+  }
+  case NodeKind::AttributeStore: {
+    if (Nd.Children.size() != 2 || Value == 0)
+      return;
+    Atom Base = evalExpr(ScopeIdx, Cx, Nd.Children[0]);
+    NodeId AI = identOf(Nd.Children[1]);
+    if (Base == 0 || AI == InvalidNode)
+      return;
+    fact(RelStore, {Base, fieldAtom(identText(AI)), Value});
+    return;
+  }
+  case NodeKind::TupleLit:
+  case NodeKind::ListLit:
+    // Tuple unpacking: element-wise tracking is out of scope; just count
+    // the kills.
+    for (NodeId C : Nd.Children)
+      assignTo(ScopeIdx, Cx, C, 0, InvalidNode);
+    return;
+  default:
+    return;
+  }
+}
+
+// --- Phase E: origin assignment -----------------------------------------------
+
+void OriginComputer::assignOrigins(AnalysisResult &Result) {
+  // vpt lookup: var atom -> set of types.
+  std::unordered_map<Atom, std::vector<Atom>> Vpt;
+  for (const auto &T : E.relation(RelVpt).tuples())
+    Vpt[T.Values[0]].push_back(T.Values[1]);
+  std::unordered_map<Atom, std::vector<Atom>> ValOrigin;
+  for (const auto &T : E.relation(RelValueOrigin).tuples())
+    ValOrigin[T.Values[0]].push_back(T.Values[1]);
+
+  // Unified type of an atom's points-to set, or "" when mixed/absent.
+  auto UnifiedType = [&](Atom V) -> std::string {
+    auto It = Vpt.find(V);
+    if (It == Vpt.end() || It->second.empty())
+      return "";
+    std::string Type;
+    for (Atom Site : It->second) {
+      auto SIt = SiteType.find(Site);
+      if (SIt == SiteType.end())
+        return "";
+      if (Type.empty())
+        Type = SIt->second;
+      else if (Type != SIt->second)
+        return "";
+    }
+    return Type;
+  };
+  auto UnifiedValueOrigin = [&](Atom V) -> std::string {
+    auto It = ValOrigin.find(V);
+    if (It == ValOrigin.end() || It->second.size() != 1)
+      return "";
+    std::string Name(Atoms.text(It->second[0]));
+    return Name.substr(2); // strip "o:"
+  };
+
+  auto ScopeOf = [&](NodeId N) -> uint32_t {
+    NodeId Fn = enclosingNode(M, N, NodeKind::FunctionDef);
+    if (Fn == InvalidNode)
+      return 0;
+    for (uint32_t I = 1; I != Scopes.size(); ++I)
+      if (Scopes[I].Definition == Fn)
+        return I;
+    return 0;
+  };
+
+  for (NodeId N = 0; N != M.size(); ++N) {
+    const Node &Nd = M.node(N);
+    if (Nd.Kind != NodeKind::Ident || Nd.Parent == InvalidNode)
+      continue;
+    const Node &Parent = M.node(Nd.Parent);
+
+    // Variable references.
+    if (Parent.Kind == NodeKind::NameLoad ||
+        Parent.Kind == NodeKind::NameStore) {
+      std::string Name = identText(N);
+      uint32_t S = ScopeOf(N);
+      uint32_t VarScope = resolveVarScope(S, Name);
+      // Aggregate over all contexts of the variable's scope.
+      std::string Type;
+      bool Mixed = false;
+      for (ContextId Cx : ScopeContexts[VarScope]) {
+        std::string T = UnifiedType(varAtom(VarScope, Cx, Name));
+        if (T.empty())
+          continue;
+        if (Type.empty())
+          Type = T;
+        else if (Type != T)
+          Mixed = true;
+      }
+      if (!Type.empty() && !Mixed && Type != Name) {
+        Result.Origins[N] =
+            Ctx.intern(Registry.generalize(Type, LocalBases));
+        continue;
+      }
+      // Value origin (primitive data flow): only when assigned once.
+      auto KillIt =
+          AssignCounts.find("v:" + std::to_string(VarScope) + ":" + Name);
+      bool Killed = KillIt != AssignCounts.end() && KillIt->second > 1;
+      if (!Killed) {
+        std::string Origin;
+        bool OriginMixed = false;
+        for (ContextId Cx : ScopeContexts[VarScope]) {
+          std::string O = UnifiedValueOrigin(varAtom(VarScope, Cx, Name));
+          if (O.empty())
+            continue;
+          if (Origin.empty())
+            Origin = O;
+          else if (Origin != O)
+            OriginMixed = true;
+        }
+        if (!Origin.empty() && !OriginMixed && Origin != Name)
+          Result.Origins[N] = Ctx.intern(Origin);
+      }
+      continue;
+    }
+
+    // Callee method names: origin = the class defining the method on the
+    // receiver's (generalized) type.
+    if (Parent.Kind == NodeKind::Attr) {
+      NodeId AttrLoad = Parent.Parent;
+      if (AttrLoad == InvalidNode)
+        continue;
+      const Node &AL = M.node(AttrLoad);
+      if (AL.Kind != NodeKind::AttributeLoad || AL.Children.size() != 2)
+        continue;
+      NodeId GrandParent = AL.Parent;
+      bool IsCallee = GrandParent != InvalidNode &&
+                      M.node(GrandParent).Kind == NodeKind::Call &&
+                      M.node(GrandParent).Children[0] == AttrLoad;
+      // Receiver type via a NameLoad receiver.
+      NodeId Receiver = AL.Children[0];
+      std::string RecvType;
+      if (M.node(Receiver).Kind == NodeKind::NameLoad) {
+        NodeId RI = identOf(Receiver);
+        if (RI != InvalidNode) {
+          std::string RecvName = identText(RI);
+          uint32_t S = ScopeOf(N);
+          uint32_t VarScope = resolveVarScope(S, RecvName);
+          for (ContextId Cx : ScopeContexts[VarScope]) {
+            std::string T = UnifiedType(varAtom(VarScope, Cx, RecvName));
+            if (!T.empty()) {
+              RecvType = T;
+              break;
+            }
+          }
+        }
+      }
+      if (RecvType.empty())
+        continue;
+      std::string General = Registry.generalize(RecvType, LocalBases);
+      if (IsCallee) {
+        auto Owner = Registry.methodOwner(General, identText(N));
+        Result.Origins[N] = Ctx.intern(Owner ? *Owner : General);
+      } else if (General != identText(N)) {
+        Result.Origins[N] = Ctx.intern(General);
+      }
+      continue;
+    }
+
+    // Catch variables and Java declared types: generalize the declared
+    // class when the registry knows a better ancestor.
+    if (Parent.Kind == NodeKind::TypeRef) {
+      std::string TypeName = identText(N);
+      std::string General = Registry.generalize(TypeName, LocalBases);
+      if (General != TypeName)
+        Result.Origins[N] = Ctx.intern(General);
+      continue;
+    }
+  }
+}
+
+AnalysisResult OriginComputer::run() {
+  AnalysisResult Result;
+  discoverStructure();
+  buildCallGraph();
+  buildContexts();
+  extractFacts();
+  E.run();
+  assignOrigins(Result);
+  Result.NumFacts = FactCount;
+  Result.NumDerivedTuples = E.totalTuples();
+  Result.EffectiveK = EffectiveK;
+  Result.NumContexts = ContextIds.size() + 1;
+  return Result;
+}
+
+} // namespace
+
+AnalysisResult namer::computeOrigins(const Tree &Module,
+                                     const WellKnownRegistry &Registry,
+                                     const AnalysisConfig &Config) {
+  return OriginComputer(Module, Registry, Config).run();
+}

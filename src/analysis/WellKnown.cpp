@@ -1,0 +1,222 @@
+//===- analysis/WellKnown.cpp ---------------------------------------------==//
+
+#include "analysis/WellKnown.h"
+
+using namespace namer;
+
+void WellKnownRegistry::addClass(std::string_view Name, std::string_view Base,
+                                 std::vector<std::string> Methods) {
+  ClassInfo &Info = Classes[std::string(Name)];
+  Info.Base = std::string(Base);
+  for (std::string &M : Methods)
+    Info.Methods.insert(std::move(M));
+}
+
+void WellKnownRegistry::addModule(std::string_view Name) {
+  Modules.insert(std::string(Name));
+}
+
+void WellKnownRegistry::addFunction(std::string_view Name,
+                                    std::string_view ReturnType) {
+  Functions[std::string(Name)] = std::string(ReturnType);
+}
+
+std::optional<std::string>
+WellKnownRegistry::baseOf(std::string_view Name) const {
+  auto It = Classes.find(std::string(Name));
+  if (It == Classes.end() || It->second.Base.empty())
+    return std::nullopt;
+  return It->second.Base;
+}
+
+std::optional<std::string>
+WellKnownRegistry::methodOwner(std::string_view Class,
+                               std::string_view Method) const {
+  std::string Current(Class);
+  for (int Depth = 0; Depth < 16; ++Depth) {
+    auto It = Classes.find(Current);
+    if (It == Classes.end())
+      return std::nullopt;
+    if (It->second.Methods.count(std::string(Method)))
+      return Current;
+    if (It->second.Base.empty())
+      return std::nullopt;
+    Current = It->second.Base;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string>
+WellKnownRegistry::callOrigin(std::string_view Name) const {
+  auto It = Functions.find(std::string(Name));
+  if (It == Functions.end())
+    return std::nullopt;
+  return It->second.empty() ? std::string(Name) : It->second;
+}
+
+std::string WellKnownRegistry::generalize(
+    std::string_view Class,
+    const std::unordered_map<std::string, std::string> &LocalBases) const {
+  std::string Current(Class);
+  for (int Depth = 0; Depth < 16; ++Depth) {
+    // The universal roots carry no naming signal; generalizing Conn ->
+    // object would erase the useful class identity.
+    if (isKnownClass(Current) && Current != "object" && Current != "Object")
+      return Current;
+    auto It = LocalBases.find(Current);
+    if (It == LocalBases.end() || It->second.empty())
+      return std::string(Class);
+    Current = It->second;
+  }
+  return std::string(Class);
+}
+
+WellKnownRegistry WellKnownRegistry::forPython() {
+  WellKnownRegistry R;
+  // unittest: the assert* family on TestCase drives the Figure 2 /
+  // Table 3 idioms.
+  R.addClass("TestCase", "object",
+             {"assertTrue", "assertFalse", "assertEqual", "assertEquals",
+              "assertNotEqual", "assertIn", "assertNotIn", "assertIsNone",
+              "assertIsNotNone", "assertRaises", "assertAlmostEqual",
+              "assertGreater", "assertLess", "setUp", "tearDown", "run",
+              "fail"});
+  R.addClass("object", "");
+  // Common exception hierarchy.
+  R.addClass("BaseException", "object");
+  R.addClass("Exception", "BaseException");
+  R.addClass("ValueError", "Exception");
+  R.addClass("TypeError", "Exception");
+  R.addClass("KeyError", "Exception");
+  R.addClass("IOError", "Exception");
+  R.addClass("RuntimeError", "Exception");
+  R.addClass("AttributeError", "Exception");
+  R.addClass("StopIteration", "Exception");
+  // Builtin container/string types.
+  R.addClass("dict", "object",
+             {"get", "keys", "values", "items", "update", "pop",
+              "setdefault"});
+  R.addClass("list", "object",
+             {"append", "extend", "insert", "remove", "pop", "sort",
+              "index", "count"});
+  R.addClass("str", "object",
+             {"split", "join", "strip", "lower", "upper", "replace",
+              "format", "startswith", "endswith", "find", "encode",
+              "decode"});
+  R.addClass("set", "object", {"add", "remove", "discard", "union"});
+  R.addClass("file", "object", {"read", "write", "close", "readlines",
+                                "readline", "flush"});
+  // Threading / logging flavors seen in the corpus.
+  R.addClass("Thread", "object", {"start", "run", "join", "is_alive"});
+  R.addClass("Logger", "object",
+             {"debug", "info", "warning", "error", "critical", "exception",
+              "log"});
+  // Modules.
+  for (const char *M :
+       {"numpy", "os", "os.path", "sys", "re", "json", "logging", "math",
+        "time", "random", "collections", "unittest", "itertools",
+        "threading", "subprocess"})
+    R.addModule(M);
+  // Free functions with useful value origins.
+  R.addFunction("range");
+  R.addFunction("xrange");
+  R.addFunction("len");
+  R.addFunction("open", "file");
+  R.addFunction("int");
+  R.addFunction("float");
+  R.addFunction("str", "str");
+  R.addFunction("list", "list");
+  R.addFunction("dict", "dict");
+  R.addFunction("set", "set");
+  R.addFunction("sorted", "list");
+  R.addFunction("enumerate");
+  R.addFunction("zip");
+  R.addFunction("isinstance");
+  R.addFunction("getattr");
+  R.addFunction("abs");
+  R.addFunction("min");
+  R.addFunction("max");
+  R.addFunction("sum");
+  return R;
+}
+
+WellKnownRegistry WellKnownRegistry::forJava() {
+  WellKnownRegistry R;
+  R.addClass("Object", "",
+             {"toString", "equals", "hashCode", "getClass", "clone"});
+  // The Throwable hierarchy behind Table 6, example 3.
+  R.addClass("Throwable", "Object",
+             {"getMessage", "getStackTrace", "printStackTrace", "getCause",
+              "initCause", "addSuppressed"});
+  R.addClass("Exception", "Throwable");
+  R.addClass("RuntimeException", "Exception");
+  R.addClass("IllegalArgumentException", "RuntimeException");
+  R.addClass("IllegalStateException", "RuntimeException");
+  R.addClass("NullPointerException", "RuntimeException");
+  R.addClass("IOException", "Exception");
+  R.addClass("FileNotFoundException", "IOException");
+  R.addClass("InterruptedException", "Exception");
+  R.addClass("Error", "Throwable");
+  R.addClass("OutOfMemoryError", "Error");
+  // Core library types.
+  R.addClass("String", "Object",
+             {"length", "charAt", "substring", "indexOf", "split", "trim",
+              "toLowerCase", "toUpperCase", "equalsIgnoreCase", "contains",
+              "replace", "startsWith", "endsWith", "isEmpty", "format"});
+  R.addClass("StringBuilder", "Object",
+             {"append", "toString", "length", "insert", "reverse",
+              "deleteCharAt"});
+  R.addClass("StringBuffer", "Object", {"append", "toString", "length"});
+  R.addClass("StringWriter", "Object", {"write", "toString", "getBuffer"});
+  R.addClass("List", "Object",
+             {"add", "get", "size", "remove", "contains", "isEmpty",
+              "clear", "indexOf", "iterator", "addAll"});
+  R.addClass("ArrayList", "List");
+  R.addClass("LinkedList", "List");
+  R.addClass("Map", "Object",
+             {"put", "get", "containsKey", "remove", "keySet", "values",
+              "entrySet", "size", "isEmpty", "clear"});
+  R.addClass("HashMap", "Map");
+  R.addClass("TreeMap", "Map");
+  R.addClass("Set", "Object", {"add", "contains", "remove", "size"});
+  R.addClass("HashSet", "Set");
+  R.addClass("Iterator", "Object", {"hasNext", "next", "remove"});
+  R.addClass("Thread", "Object",
+             {"start", "run", "join", "sleep", "interrupt", "isAlive"});
+  R.addClass("File", "Object",
+             {"exists", "getName", "getPath", "delete", "mkdir", "mkdirs",
+              "isDirectory", "listFiles", "getAbsolutePath"});
+  R.addClass("Scanner", "Object",
+             {"nextLine", "nextInt", "next", "hasNext", "close"});
+  // Android surface that Table 6 examples 5-6 rely on.
+  R.addClass("Context", "Object",
+             {"startActivity", "getString", "getResources",
+              "getSystemService", "getApplicationContext"});
+  R.addClass("Activity", "Context",
+             {"onCreate", "findViewById", "setContentView", "finish",
+              "getIntent", "runOnUiThread"});
+  R.addClass("Intent", "Object",
+             {"putExtra", "getStringExtra", "setAction", "addFlags",
+              "setClass"});
+  R.addClass("Dialog", "Object", {"show", "dismiss", "hide", "setTitle"});
+  R.addClass("ProgressDialog", "Dialog",
+             {"setMessage", "setProgress", "setIndeterminate"});
+  R.addClass("View", "Object",
+             {"setVisibility", "setOnClickListener", "findViewById",
+              "invalidate", "getContext"});
+  R.addClass("TextView", "View", {"setText", "getText", "setTextColor"});
+  R.addClass("Button", "TextView", {});
+  R.addClass("Bundle", "Object", {"putString", "getString", "putInt",
+                                  "getInt"});
+  // JUnit.
+  R.addClass("TestCase", "Object",
+             {"assertTrue", "assertFalse", "assertEquals", "assertNotNull",
+              "assertNull", "assertSame", "fail", "setUp", "tearDown"});
+  // Free/static functions.
+  R.addFunction("valueOf", "String");
+  R.addFunction("parseInt");
+  R.addFunction("parseDouble");
+  R.addFunction("currentTimeMillis");
+  R.addFunction("format", "String");
+  return R;
+}

@@ -1,0 +1,93 @@
+//===- analysis/WellKnown.h - Library knowledge base ------------*- C++ -*-==//
+///
+/// \file
+/// Namer analyzes every file in isolation (Section 4.1), so symbols defined
+/// outside the file resolve against a registry of well-known library
+/// classes, methods and functions. The paper's pipeline gets this knowledge
+/// from the analyzed ecosystems (unittest / numpy / os for Python;
+/// java.lang / android / junit for Java); we ship the same facts as data.
+///
+/// The registry answers three questions the origin computation needs:
+///   * is this a known class, and what is its superclass?
+///   * which class in a hierarchy defines a given method?
+///   * what type (or producing-function origin) does a call return?
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_ANALYSIS_WELLKNOWN_H
+#define NAMER_ANALYSIS_WELLKNOWN_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace namer {
+
+/// Immutable knowledge base about one language's standard ecosystem.
+class WellKnownRegistry {
+public:
+  /// Built-in facts for the Python ecosystem the corpus draws from.
+  static WellKnownRegistry forPython();
+  /// Built-in facts for the Java ecosystem.
+  static WellKnownRegistry forJava();
+  /// An empty registry (ablation: no library knowledge).
+  static WellKnownRegistry empty() { return WellKnownRegistry(); }
+
+  /// Registers class \p Name with optional superclass and methods.
+  void addClass(std::string_view Name, std::string_view Base = "",
+                std::vector<std::string> Methods = {});
+
+  /// Registers a module (import target), e.g. "numpy" or "os.path".
+  void addModule(std::string_view Name);
+
+  /// Registers a free function with the type its result should be
+  /// attributed to ("" means the function name itself is the origin).
+  void addFunction(std::string_view Name, std::string_view ReturnType = "");
+
+  bool isKnownClass(std::string_view Name) const {
+    return Classes.count(std::string(Name)) != 0;
+  }
+  bool isKnownModule(std::string_view Name) const {
+    return Modules.count(std::string(Name)) != 0;
+  }
+  bool isKnownFunction(std::string_view Name) const {
+    return Functions.count(std::string(Name)) != 0;
+  }
+
+  /// Superclass of \p Name, or nullopt for unknown classes and roots.
+  std::optional<std::string> baseOf(std::string_view Name) const;
+
+  /// Walks the registered hierarchy from \p Class upward and returns the
+  /// class that defines \p Method, or nullopt.
+  std::optional<std::string> methodOwner(std::string_view Class,
+                                         std::string_view Method) const;
+
+  /// Origin to attribute to a call of free function \p Name: its declared
+  /// return type if registered with one, otherwise the function name.
+  std::optional<std::string> callOrigin(std::string_view Name) const;
+
+  /// Generalizes \p Class to the closest well-known ancestor: returns the
+  /// first class on the path Class, base(Class), ... that this registry
+  /// knows, using \p LocalBases for classes defined in the current file.
+  /// Returns \p Class unchanged when nothing on the path is known.
+  std::string
+  generalize(std::string_view Class,
+             const std::unordered_map<std::string, std::string> &LocalBases)
+      const;
+
+private:
+  struct ClassInfo {
+    std::string Base;
+    std::unordered_set<std::string> Methods;
+  };
+  std::unordered_map<std::string, ClassInfo> Classes;
+  std::unordered_set<std::string> Modules;
+  std::unordered_map<std::string, std::string> Functions;
+};
+
+} // namespace namer
+
+#endif // NAMER_ANALYSIS_WELLKNOWN_H

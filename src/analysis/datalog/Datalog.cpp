@@ -1,0 +1,180 @@
+//===- analysis/datalog/Datalog.cpp ---------------------------------------==//
+
+#include "analysis/datalog/Datalog.h"
+
+#include "support/Hashing.h"
+
+#include <cassert>
+
+using namespace namer;
+using namespace namer::datalog;
+
+size_t TupleHash::operator()(const DlTuple &T) const {
+  uint64_t H = FnvOffsetBasis;
+  for (Atom A : T.Values)
+    H = hashU32(H, A);
+  return static_cast<size_t>(H);
+}
+
+bool Relation::insert(const DlTuple &T) {
+  if (!Set.insert(T).second)
+    return false;
+  Pending.push_back(T);
+  return true;
+}
+
+const std::vector<uint32_t> *Relation::firstColumnMatches(Atom First) const {
+  auto It = FirstIndex.find(First);
+  return It == FirstIndex.end() ? nullptr : &It->second;
+}
+
+void Relation::rotateDelta() {
+  Delta = std::move(Pending);
+  Pending.clear();
+  for (const DlTuple &T : Delta) {
+    FirstIndex[T.Values[0]].push_back(static_cast<uint32_t>(Tuples.size()));
+    Tuples.push_back(T);
+  }
+}
+
+RelationId Engine::addRelation(std::string Name, size_t Arity) {
+  assert(Arity >= 1 && Arity <= MaxArity && "unsupported arity");
+  Relations.emplace_back(std::move(Name), Arity);
+  return static_cast<RelationId>(Relations.size() - 1);
+}
+
+void Engine::addFact(RelationId Rel, std::initializer_list<Atom> Atoms) {
+  DlTuple T;
+  size_t I = 0;
+  for (Atom A : Atoms) {
+    assert(I < MaxArity && "too many atoms in fact");
+    T.Values[I++] = A;
+  }
+  assert(I == Relations[Rel].arity() && "fact arity mismatch");
+  addFact(Rel, T);
+}
+
+void Engine::addFact(RelationId Rel, const DlTuple &T) {
+  Relations[Rel].insert(T);
+}
+
+namespace {
+
+/// Matches \p T against literal \p L under \p Bindings, extending them on
+/// success. Restores nothing; the caller snapshots.
+bool matchTuple(const Literal &L, const DlTuple &T,
+                std::unordered_map<uint32_t, Atom> &Bindings) {
+  for (size_t I = 0, E = L.Terms.size(); I != E; ++I) {
+    const Term &Tm = L.Terms[I];
+    Atom Value = T.Values[I];
+    if (!Tm.IsVariable) {
+      if (Tm.Id != Value)
+        return false;
+      continue;
+    }
+    auto [It, Inserted] = Bindings.emplace(Tm.Id, Value);
+    if (!Inserted && It->second != Value)
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+void Engine::joinFrom(const Rule &R, size_t DeltaPos, size_t BodyPos,
+                      std::unordered_map<uint32_t, Atom> &Bindings) {
+  if (BodyPos == R.Body.size()) {
+    DlTuple Head;
+    for (size_t I = 0, E = R.Head.Terms.size(); I != E; ++I) {
+      const Term &Tm = R.Head.Terms[I];
+      if (Tm.IsVariable) {
+        auto It = Bindings.find(Tm.Id);
+        assert(It != Bindings.end() && "unbound head variable");
+        Head.Values[I] = It->second;
+      } else {
+        Head.Values[I] = Tm.Id;
+      }
+    }
+    Relations[R.Head.Relation].insert(Head);
+    return;
+  }
+
+  const Literal &L = R.Body[BodyPos];
+  const Relation &Rel = Relations[L.Relation];
+
+  // Delta position reads only the last generation (semi-naive).
+  if (BodyPos == DeltaPos) {
+    for (const DlTuple &T : Rel.delta()) {
+      auto Saved = Bindings;
+      if (matchTuple(L, T, Bindings))
+        joinFrom(R, DeltaPos, BodyPos + 1, Bindings);
+      Bindings = std::move(Saved);
+    }
+    return;
+  }
+
+  // Use the first-column index when the first term is already bound.
+  const Term &First = L.Terms[0];
+  Atom FirstValue = 0;
+  bool FirstBound = false;
+  if (!First.IsVariable) {
+    FirstValue = First.Id;
+    FirstBound = true;
+  } else {
+    auto It = Bindings.find(First.Id);
+    if (It != Bindings.end()) {
+      FirstValue = It->second;
+      FirstBound = true;
+    }
+  }
+
+  if (FirstBound) {
+    const std::vector<uint32_t> *Matches = Rel.firstColumnMatches(FirstValue);
+    if (!Matches)
+      return;
+    for (uint32_t Index : *Matches) {
+      auto Saved = Bindings;
+      if (matchTuple(L, Rel.tuples()[Index], Bindings))
+        joinFrom(R, DeltaPos, BodyPos + 1, Bindings);
+      Bindings = std::move(Saved);
+    }
+    return;
+  }
+
+  for (const DlTuple &T : Rel.tuples()) {
+    auto Saved = Bindings;
+    if (matchTuple(L, T, Bindings))
+      joinFrom(R, DeltaPos, BodyPos + 1, Bindings);
+    Bindings = std::move(Saved);
+  }
+}
+
+void Engine::evaluateRule(const Rule &R, size_t DeltaPos) {
+  std::unordered_map<uint32_t, Atom> Bindings;
+  joinFrom(R, DeltaPos, 0, Bindings);
+}
+
+void Engine::run() {
+  // Initial generation: all facts become the first delta.
+  for (Relation &Rel : Relations)
+    Rel.rotateDelta();
+
+  bool Changed = true;
+  while (Changed) {
+    for (const Rule &R : Rules)
+      for (size_t DeltaPos = 0; DeltaPos != R.Body.size(); ++DeltaPos)
+        evaluateRule(R, DeltaPos);
+    Changed = false;
+    for (Relation &Rel : Relations) {
+      Changed |= Rel.hasPending();
+      Rel.rotateDelta();
+    }
+  }
+}
+
+size_t Engine::totalTuples() const {
+  size_t Total = 0;
+  for (const Relation &Rel : Relations)
+    Total += Rel.size();
+  return Total;
+}

@@ -1,0 +1,142 @@
+//===- analysis/datalog/Datalog.h - Datalog engine --------------*- C++ -*-==//
+///
+/// \file
+/// A compact Datalog engine with semi-naive evaluation. Section 4.1 of the
+/// paper states "our points-to analysis is implemented in Datalog"; this is
+/// that substrate. Relations hold tuples of interned 32-bit atoms; rules
+/// are Horn clauses whose body literals join over shared variables.
+///
+/// The engine supports arities 1-4, negation-free recursive rules, and
+/// indexes relations on their first column, which is enough for the
+/// Andersen-style points-to and value-origin rules Namer needs while
+/// remaining small enough to read in one sitting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_ANALYSIS_DATALOG_DATALOG_H
+#define NAMER_ANALYSIS_DATALOG_DATALOG_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace namer {
+namespace datalog {
+
+/// A constant in the Datalog universe.
+using Atom = uint32_t;
+
+/// Maximum relation arity supported.
+inline constexpr size_t MaxArity = 4;
+
+/// A tuple of atoms; unused trailing slots are zero.
+struct DlTuple {
+  std::array<Atom, MaxArity> Values{};
+
+  friend bool operator==(const DlTuple &A, const DlTuple &B) {
+    return A.Values == B.Values;
+  }
+};
+
+struct TupleHash {
+  size_t operator()(const DlTuple &T) const;
+};
+
+using RelationId = uint32_t;
+
+/// A term in a rule literal: either a variable (joined positionally) or a
+/// constant atom.
+struct Term {
+  bool IsVariable;
+  uint32_t Id; // variable id or constant atom
+
+  static Term var(uint32_t V) { return Term{true, V}; }
+  static Term constant(Atom A) { return Term{false, A}; }
+};
+
+/// One literal R(t1, ..., tk) in a rule head or body.
+struct Literal {
+  RelationId Relation;
+  std::vector<Term> Terms;
+};
+
+/// Horn clause: Head :- Body[0], Body[1], ...
+struct Rule {
+  Literal Head;
+  std::vector<Literal> Body;
+};
+
+/// A set of tuples with a first-column index and semi-naive delta
+/// bookkeeping.
+class Relation {
+public:
+  explicit Relation(std::string Name, size_t Arity)
+      : Name(std::move(Name)), Arity(Arity) {}
+
+  /// Inserts \p T; returns true if it was new. New tuples land in the
+  /// pending delta until the engine rotates generations.
+  bool insert(const DlTuple &T);
+
+  bool contains(const DlTuple &T) const { return Set.count(T) != 0; }
+  size_t size() const { return Tuples.size(); }
+  size_t arity() const { return Arity; }
+  const std::string &name() const { return Name; }
+
+  const std::vector<DlTuple> &tuples() const { return Tuples; }
+  const std::vector<DlTuple> &delta() const { return Delta; }
+
+  /// Tuple indices whose first column equals \p First.
+  const std::vector<uint32_t> *firstColumnMatches(Atom First) const;
+
+  /// Moves pending tuples into the current delta (engine internal).
+  void rotateDelta();
+  bool hasPending() const { return !Pending.empty(); }
+
+private:
+  std::string Name;
+  size_t Arity;
+  std::vector<DlTuple> Tuples;
+  std::unordered_set<DlTuple, TupleHash> Set;
+  std::unordered_map<Atom, std::vector<uint32_t>> FirstIndex;
+  std::vector<DlTuple> Delta;
+  std::vector<DlTuple> Pending;
+};
+
+/// The engine: declare relations, add facts and rules, run to fixpoint.
+class Engine {
+public:
+  RelationId addRelation(std::string Name, size_t Arity);
+
+  /// Declares a fact; atoms beyond the relation's arity must be zero.
+  void addFact(RelationId Rel, std::initializer_list<Atom> Atoms);
+  void addFact(RelationId Rel, const DlTuple &T);
+
+  void addRule(Rule R) { Rules.push_back(std::move(R)); }
+
+  /// Semi-naive evaluation to fixpoint.
+  void run();
+
+  const Relation &relation(RelationId Id) const { return Relations[Id]; }
+  size_t numRelations() const { return Relations.size(); }
+
+  /// Total derived + base tuples across all relations (for stats).
+  size_t totalTuples() const;
+
+private:
+  /// Evaluates \p R with body position \p DeltaPos reading the delta
+  /// generation; inserts derived heads.
+  void evaluateRule(const Rule &R, size_t DeltaPos);
+  void joinFrom(const Rule &R, size_t DeltaPos, size_t BodyPos,
+                std::unordered_map<uint32_t, Atom> &Bindings);
+
+  std::vector<Relation> Relations;
+  std::vector<Rule> Rules;
+};
+
+} // namespace datalog
+} // namespace namer
+
+#endif // NAMER_ANALYSIS_DATALOG_DATALOG_H

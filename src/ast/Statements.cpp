@@ -1,0 +1,76 @@
+//===- ast/Statements.cpp -------------------------------------------------==//
+
+#include "ast/Statements.h"
+
+using namespace namer;
+
+bool namer::isStatementKind(NodeKind Kind) {
+  switch (Kind) {
+  case NodeKind::Assign:
+  case NodeKind::AugAssign:
+  case NodeKind::ExprStmt:
+  case NodeKind::Return:
+  case NodeKind::For:
+  case NodeKind::While:
+  case NodeKind::If:
+  case NodeKind::Catch:
+  case NodeKind::Raise:
+  case NodeKind::VarDecl:
+  // Definition headers are statements too: Namer reports issues on
+  // function signatures (Table 3, example 5) and class declarations.
+  case NodeKind::FunctionDef:
+  case NodeKind::ClassDef:
+    return true;
+  default:
+    return false;
+  }
+}
+
+static void collectFrom(const Tree &Module, NodeId N,
+                        std::vector<NodeId> &Out) {
+  const Node &Nd = Module.node(N);
+  if (isStatementKind(Nd.Kind)) {
+    Out.push_back(N);
+    // Header expressions (a for-init declaration, an if condition) belong
+    // to this statement; only nested bodies contribute further statements.
+    for (NodeId C : Nd.Children)
+      if (Module.node(C).Kind == NodeKind::Body)
+        collectFrom(Module, C, Out);
+    return;
+  }
+  for (NodeId C : Nd.Children)
+    collectFrom(Module, C, Out);
+}
+
+std::vector<NodeId> namer::collectStatementRoots(const Tree &Module) {
+  std::vector<NodeId> Out;
+  if (!Module.empty())
+    collectFrom(Module, Module.root(), Out);
+  return Out;
+}
+
+static bool skipBodies(const Tree &T, NodeId N) {
+  return T.node(N).Kind == NodeKind::Body;
+}
+
+Tree namer::projectStatement(const Tree &Module, NodeId Stmt) {
+  Tree Result(Module.context());
+  NodeId Root = Stmt;
+  // ExprStmt is a transparent wrapper: the statement AST of
+  // "self.assertTrue(x, 90)" is rooted at the Call (see Figure 2(b)).
+  const Node &Nd = Module.node(Stmt);
+  if (Nd.Kind == NodeKind::ExprStmt && Nd.Children.size() == 1)
+    Root = Nd.Children.front();
+  Result.copySubtree(Module, Root, InvalidNode, skipBodies);
+  return Result;
+}
+
+NodeId namer::enclosingNode(const Tree &Module, NodeId N, NodeKind Kind) {
+  NodeId Current = Module.node(N).Parent;
+  while (Current != InvalidNode) {
+    if (Module.node(Current).Kind == Kind)
+      return Current;
+    Current = Module.node(Current).Parent;
+  }
+  return InvalidNode;
+}

@@ -1,0 +1,38 @@
+//===- ast/Statements.h - Statement slicing ---------------------*- C++ -*-==//
+///
+/// \file
+/// Definition 3.1 works on per-statement ASTs: "part of the abstract syntax
+/// tree of the whole program, projected on a specific statement only". This
+/// header enumerates statement roots in a module tree and projects each into
+/// a standalone statement Tree. Compound statements (for/if/while/try)
+/// contribute their header only; nested bodies are sliced separately.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_AST_STATEMENTS_H
+#define NAMER_AST_STATEMENTS_H
+
+#include "ast/Tree.h"
+
+#include <vector>
+
+namespace namer {
+
+/// Returns true if \p Kind starts a statement for Namer's purposes.
+bool isStatementKind(NodeKind Kind);
+
+/// Collects the ids of all statement roots in \p Module, in source order.
+std::vector<NodeId> collectStatementRoots(const Tree &Module);
+
+/// Projects the statement rooted at \p Stmt of \p Module into a fresh tree:
+/// a deep copy that stops at Body children (so loop/if bodies are excluded)
+/// and unwraps ExprStmt wrappers to their expression.
+Tree projectStatement(const Tree &Module, NodeId Stmt);
+
+/// Walks parent links from \p N and returns the nearest enclosing node of
+/// kind \p Kind, or InvalidNode.
+NodeId enclosingNode(const Tree &Module, NodeId N, NodeKind Kind);
+
+} // namespace namer
+
+#endif // NAMER_AST_STATEMENTS_H

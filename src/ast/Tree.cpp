@@ -1,0 +1,233 @@
+//===- ast/Tree.cpp -------------------------------------------------------==//
+
+#include "ast/Tree.h"
+
+#include <algorithm>
+#include <cstddef>
+
+using namespace namer;
+
+std::string_view namer::kindName(NodeKind Kind) {
+  switch (Kind) {
+  case NodeKind::Module:
+    return "Module";
+  case NodeKind::ClassDef:
+    return "ClassDef";
+  case NodeKind::FunctionDef:
+    return "FunctionDef";
+  case NodeKind::ParamList:
+    return "ParamList";
+  case NodeKind::Param:
+    return "Param";
+  case NodeKind::Body:
+    return "Body";
+  case NodeKind::BasesList:
+    return "BasesList";
+  case NodeKind::Assign:
+    return "Assign";
+  case NodeKind::AugAssign:
+    return "AugAssign";
+  case NodeKind::ExprStmt:
+    return "ExprStmt";
+  case NodeKind::Return:
+    return "Return";
+  case NodeKind::For:
+    return "For";
+  case NodeKind::While:
+    return "While";
+  case NodeKind::If:
+    return "If";
+  case NodeKind::Try:
+    return "Try";
+  case NodeKind::Catch:
+    return "Catch";
+  case NodeKind::Raise:
+    return "Raise";
+  case NodeKind::Import:
+    return "Import";
+  case NodeKind::Break:
+    return "Break";
+  case NodeKind::Continue:
+    return "Continue";
+  case NodeKind::Pass:
+    return "Pass";
+  case NodeKind::VarDecl:
+    return "VarDecl";
+  case NodeKind::Call:
+    return "Call";
+  case NodeKind::AttributeLoad:
+    return "AttributeLoad";
+  case NodeKind::AttributeStore:
+    return "AttributeStore";
+  case NodeKind::NameLoad:
+    return "NameLoad";
+  case NodeKind::NameStore:
+    return "NameStore";
+  case NodeKind::Attr:
+    return "Attr";
+  case NodeKind::Num:
+    return "Num";
+  case NodeKind::Str:
+    return "Str";
+  case NodeKind::Bool:
+    return "Bool";
+  case NodeKind::NoneLit:
+    return "NoneLit";
+  case NodeKind::BinOp:
+    return "BinOp";
+  case NodeKind::UnaryOp:
+    return "UnaryOp";
+  case NodeKind::Compare:
+    return "Compare";
+  case NodeKind::Subscript:
+    return "Subscript";
+  case NodeKind::ListLit:
+    return "ListLit";
+  case NodeKind::DictLit:
+    return "DictLit";
+  case NodeKind::TupleLit:
+    return "TupleLit";
+  case NodeKind::KeywordArg:
+    return "KeywordArg";
+  case NodeKind::StarArg:
+    return "StarArg";
+  case NodeKind::New:
+    return "New";
+  case NodeKind::Cast:
+    return "Cast";
+  case NodeKind::TypeRef:
+    return "TypeRef";
+  case NodeKind::Ident:
+    return "Ident";
+  case NodeKind::Op:
+    return "Op";
+  case NodeKind::NumArgs:
+    return "NumArgs";
+  case NodeKind::NumST:
+    return "NumST";
+  case NodeKind::Origin:
+    return "Origin";
+  case NodeKind::Subtoken:
+    return "Subtoken";
+  }
+  return "<unknown>";
+}
+
+bool namer::kindCarriesName(NodeKind Kind) {
+  switch (Kind) {
+  case NodeKind::NameLoad:
+  case NodeKind::NameStore:
+  case NodeKind::Attr:
+  case NodeKind::Param:
+  case NodeKind::TypeRef:
+  case NodeKind::FunctionDef:
+  case NodeKind::ClassDef:
+  case NodeKind::KeywordArg:
+  case NodeKind::Catch:  // the bound exception variable
+  case NodeKind::Import: // module / alias names
+    return true;
+  default:
+    return false;
+  }
+}
+
+AstContext::AstContext() {
+  constexpr size_t NumKinds = static_cast<size_t>(NodeKind::Subtoken) + 1;
+  KindSymbols.reserve(NumKinds);
+  for (size_t I = 0; I != NumKinds; ++I)
+    KindSymbols.push_back(Strings.intern(kindName(static_cast<NodeKind>(I))));
+  NumSym = Strings.intern("NUM");
+  StrSym = Strings.intern("STR");
+  BoolSym = Strings.intern("BOOL");
+  TopSym = Strings.intern("<top>");
+}
+
+NodeId Tree::addNodeWithValue(NodeKind Kind, Symbol Value, NodeId Parent,
+                              uint32_t Line) {
+  NodeId Id = static_cast<NodeId>(Nodes.size());
+  Nodes.push_back(Node{Kind, Value, Parent, Line, {}});
+  if (Parent != InvalidNode) {
+    assert(Parent < Nodes.size() - 1 && "parent must precede child");
+    Nodes[Parent].Children.push_back(Id);
+  } else if (Root == InvalidNode) {
+    Root = Id;
+  }
+  return Id;
+}
+
+NodeId Tree::insertAbove(NodeId N, NodeKind Kind, Symbol Value) {
+  assert(N < Nodes.size() && "node id out of range");
+  NodeId Parent = Nodes[N].Parent;
+  NodeId Id = static_cast<NodeId>(Nodes.size());
+  Nodes.push_back(Node{Kind, Value, Parent, Nodes[N].Line, {N}});
+  if (Parent != InvalidNode) {
+    auto &Siblings = Nodes[Parent].Children;
+    auto It = std::find(Siblings.begin(), Siblings.end(), N);
+    assert(It != Siblings.end() && "child missing from parent list");
+    *It = Id;
+  } else if (Root == N) {
+    Root = Id;
+  }
+  Nodes[N].Parent = Id;
+  return Id;
+}
+
+void Tree::reparent(NodeId Child, NodeId NewParent) {
+  NodeId OldParent = node(Child).Parent;
+  if (OldParent != InvalidNode) {
+    auto &Kids = Nodes[OldParent].Children;
+    // Search from the back: parsers re-parent recently attached nodes.
+    for (size_t I = Kids.size(); I > 0; --I) {
+      if (Kids[I - 1] == Child) {
+        Kids.erase(Kids.begin() + static_cast<ptrdiff_t>(I - 1));
+        break;
+      }
+    }
+  }
+  Nodes[Child].Parent = NewParent;
+  Nodes[NewParent].Children.push_back(Child);
+}
+
+uint32_t Tree::childIndex(NodeId Child) const {
+  NodeId Parent = node(Child).Parent;
+  assert(Parent != InvalidNode && "root has no child index");
+  const auto &Siblings = node(Parent).Children;
+  auto It = std::find(Siblings.begin(), Siblings.end(), Child);
+  assert(It != Siblings.end() && "child missing from parent list");
+  return static_cast<uint32_t>(It - Siblings.begin());
+}
+
+void Tree::dumpNode(NodeId N, std::string &Out) const {
+  const Node &Nd = node(N);
+  if (Nd.Children.empty()) {
+    Out += valueText(N);
+    return;
+  }
+  Out += '(';
+  Out += valueText(N);
+  for (NodeId C : Nd.Children) {
+    Out += ' ';
+    dumpNode(C, Out);
+  }
+  Out += ')';
+}
+
+std::string Tree::dump() const {
+  if (Root == InvalidNode)
+    return "()";
+  std::string Out;
+  dumpNode(Root, Out);
+  return Out;
+}
+
+NodeId Tree::copySubtree(const Tree &Source, NodeId N, NodeId NewParent,
+                         bool (*SkipChild)(const Tree &, NodeId)) {
+  const Node &Src = Source.node(N);
+  NodeId Copy = addNodeWithValue(Src.Kind, Src.Value, NewParent, Src.Line);
+  for (NodeId C : Src.Children) {
+    if (SkipChild && SkipChild(Source, C))
+      continue;
+    copySubtree(Source, C, Copy, SkipChild);
+  }
+  return Copy;
+}

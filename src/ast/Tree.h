@@ -1,0 +1,231 @@
+//===- ast/Tree.h - Abstract syntax trees (Definition 3.1) ------*- C++ -*-==//
+///
+/// \file
+/// The AST representation of Definition 3.1: a tuple <N, T, r, delta, V,
+/// phi> with non-terminal and terminal nodes, a root, an ordered child
+/// function delta and a node-value function phi. Values are interned
+/// symbols; trees are arena vectors of nodes owned by the Tree object.
+///
+/// Both language frontends produce these trees, the transform pass rewrites
+/// them into AST+ form, and name paths (Definition 3.2) are extracted from
+/// them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_AST_TREE_H
+#define NAMER_AST_TREE_H
+
+#include "support/StringInterner.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace namer {
+
+/// Index of a node within its owning Tree.
+using NodeId = uint32_t;
+inline constexpr NodeId InvalidNode = static_cast<NodeId>(-1);
+
+/// Structural kind of an AST node. The kind drives transforms and analysis;
+/// name-path comparison uses the node *value* (phi), which for structural
+/// kinds equals the kind spelling ("Call", "AttributeLoad", ...).
+enum class NodeKind : uint8_t {
+  // Structure
+  Module,
+  ClassDef,
+  FunctionDef,
+  ParamList,
+  Param,
+  Body,
+  BasesList,
+  // Statements
+  Assign,
+  AugAssign,
+  ExprStmt,
+  Return,
+  For,
+  While,
+  If,
+  Try,
+  Catch,
+  Raise,
+  Import,
+  Break,
+  Continue,
+  Pass,
+  VarDecl,
+  // Expressions
+  Call,
+  AttributeLoad,
+  AttributeStore,
+  NameLoad,
+  NameStore,
+  Attr,
+  Num,
+  Str,
+  Bool,
+  NoneLit,
+  BinOp,
+  UnaryOp,
+  Compare,
+  Subscript,
+  ListLit,
+  DictLit,
+  TupleLit,
+  KeywordArg,
+  StarArg,
+  New,
+  Cast,
+  TypeRef,
+  /// A raw identifier terminal under a wrapper node (NameLoad -> Ident
+  /// "self"); replaced by NumST(k) during the AST+ transform.
+  Ident,
+  /// An operator terminal ("+", "==", ...) under BinOp/Compare/UnaryOp.
+  Op,
+  // Introduced by the AST+ transform (Section 3.1)
+  NumArgs,
+  NumST,
+  Origin,
+  Subtoken,
+};
+
+/// Returns the canonical spelling of \p Kind ("Call", "NameLoad", ...).
+std::string_view kindName(NodeKind Kind);
+
+/// Returns true for kinds whose nodes carry an identifier name subject to
+/// subtoken splitting (transform step 3).
+bool kindCarriesName(NodeKind Kind);
+
+/// Shared per-pipeline state: the string interner plus pre-interned symbols
+/// for every node kind and the special literal tokens NUM/STR/BOOL.
+class AstContext {
+public:
+  AstContext();
+
+  StringInterner &strings() { return Strings; }
+  const StringInterner &strings() const { return Strings; }
+
+  /// Symbol for kindName(Kind).
+  Symbol kindSymbol(NodeKind Kind) const {
+    return KindSymbols[static_cast<size_t>(Kind)];
+  }
+
+  Symbol numSymbol() const { return NumSym; }
+  Symbol strSymbol() const { return StrSym; }
+  Symbol boolSymbol() const { return BoolSym; }
+  /// Origin "top": the value was modified after creation (Section 4.1).
+  Symbol topSymbol() const { return TopSym; }
+
+  Symbol intern(std::string_view Text) { return Strings.intern(Text); }
+  std::string_view text(Symbol S) const { return Strings.text(S); }
+
+private:
+  StringInterner Strings;
+  std::vector<Symbol> KindSymbols;
+  Symbol NumSym, StrSym, BoolSym, TopSym;
+};
+
+/// One AST node. Terminal nodes are exactly the nodes with no children at
+/// the time of an operation (Definition 3.1's T set).
+struct Node {
+  NodeKind Kind;
+  Symbol Value = EpsilonSymbol;
+  NodeId Parent = InvalidNode;
+  uint32_t Line = 0;
+  std::vector<NodeId> Children;
+};
+
+/// An arena-allocated ordered tree over Node.
+class Tree {
+public:
+  explicit Tree(AstContext &Ctx) : Ctx(&Ctx) {}
+
+  AstContext &context() const { return *Ctx; }
+
+  /// Appends a node with an explicit value symbol; links it as the last
+  /// child of \p Parent (or makes it the root when Parent is InvalidNode
+  /// and no root exists yet). Named distinctly from addNode because Symbol
+  /// and NodeId are both 32-bit integers.
+  NodeId addNodeWithValue(NodeKind Kind, Symbol Value, NodeId Parent,
+                          uint32_t Line = 0);
+
+  /// Appends a structural node whose value is the kind spelling.
+  NodeId addNode(NodeKind Kind, NodeId Parent, uint32_t Line = 0) {
+    return addNodeWithValue(Kind, Ctx->kindSymbol(Kind), Parent, Line);
+  }
+
+  /// Appends a node with a text value interned on the fly.
+  NodeId addNode(NodeKind Kind, std::string_view Value, NodeId Parent,
+                 uint32_t Line = 0) {
+    return addNodeWithValue(Kind, Ctx->intern(Value), Parent, Line);
+  }
+
+  /// Inserts a new node between \p N and its parent, preserving the child
+  /// slot. Used by the AST+ transform to add NumArgs/NumST/Origin parents.
+  /// \returns the id of the inserted node.
+  NodeId insertAbove(NodeId N, NodeKind Kind, Symbol Value);
+
+  /// Replaces the value of \p N.
+  void setValue(NodeId N, Symbol Value) { Nodes[N].Value = Value; }
+
+  /// Replaces the kind of \p N (used for load -> store conversion when the
+  /// parser discovers an expression is an assignment target).
+  void setKind(NodeId N, NodeKind Kind) { Nodes[N].Kind = Kind; }
+
+  const Node &node(NodeId N) const {
+    assert(N < Nodes.size() && "node id out of range");
+    return Nodes[N];
+  }
+
+  /// Mutable access for tree surgery (parsers re-parent nodes when they
+  /// discover an expression was the left operand of a larger one).
+  Node &mutableNode(NodeId N) {
+    assert(N < Nodes.size() && "node id out of range");
+    return Nodes[N];
+  }
+
+  /// Detaches \p Child from its current parent's child list and appends it
+  /// to \p NewParent's. The subtree below Child is unaffected.
+  void reparent(NodeId Child, NodeId NewParent);
+
+  NodeId root() const { return Root; }
+  void setRoot(NodeId N) { Root = N; }
+
+  size_t size() const { return Nodes.size(); }
+  bool empty() const { return Nodes.empty(); }
+
+  /// True if \p N currently has no children.
+  bool isTerminal(NodeId N) const { return node(N).Children.empty(); }
+
+  /// The index of \p Child within its parent's child list.
+  uint32_t childIndex(NodeId Child) const;
+
+  /// Value text convenience.
+  std::string_view valueText(NodeId N) const {
+    return Ctx->text(node(N).Value);
+  }
+
+  /// Renders the tree as an s-expression, e.g.
+  /// (Call (AttributeLoad (NameLoad self) (Attr assertTrue)) (Num 90)).
+  std::string dump() const;
+
+  /// Deep-copies the subtree rooted at \p N of \p Source into this tree
+  /// under \p NewParent, skipping children for which \p SkipChild returns
+  /// true. \returns the id of the copied root.
+  NodeId copySubtree(const Tree &Source, NodeId N, NodeId NewParent,
+                     bool (*SkipChild)(const Tree &, NodeId) = nullptr);
+
+private:
+  void dumpNode(NodeId N, std::string &Out) const;
+
+  AstContext *Ctx;
+  std::vector<Node> Nodes;
+  NodeId Root = InvalidNode;
+};
+
+} // namespace namer
+
+#endif // NAMER_AST_TREE_H

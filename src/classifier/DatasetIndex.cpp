@@ -1,0 +1,44 @@
+//===- classifier/DatasetIndex.cpp ----------------------------------------==//
+
+#include "classifier/DatasetIndex.h"
+
+#include "support/Hashing.h"
+
+using namespace namer;
+
+void DatasetIndex::addStatement(const StmtRecord &Stmt,
+                                const std::vector<PatternHit> &Hits) {
+  ++FileStmtCounts[comboKey(Stmt.File, Stmt.TextHash)];
+  ++RepoStmtCounts[comboKey(Stmt.Repo, Stmt.TextHash)];
+  for (const PatternHit &Hit : Hits) {
+    auto Bump = [&](PatternCounts &Counts) {
+      ++Counts.Matches;
+      if (Hit.Result == MatchResult::Satisfied)
+        ++Counts.Satisfactions;
+      else
+        ++Counts.Violations;
+    };
+    Bump(FilePattern[comboKey(Hit.Pattern, Stmt.File)]);
+    Bump(RepoPattern[comboKey(Hit.Pattern, Stmt.Repo)]);
+  }
+}
+
+uint32_t DatasetIndex::identicalInFile(FileId File, uint64_t TextHash) const {
+  auto It = FileStmtCounts.find(comboKey(File, TextHash));
+  return It == FileStmtCounts.end() ? 0 : It->second;
+}
+
+uint32_t DatasetIndex::identicalInRepo(RepoId Repo, uint64_t TextHash) const {
+  auto It = RepoStmtCounts.find(comboKey(Repo, TextHash));
+  return It == RepoStmtCounts.end() ? 0 : It->second;
+}
+
+PatternCounts DatasetIndex::fileCounts(PatternId Pattern, FileId File) const {
+  auto It = FilePattern.find(comboKey(Pattern, File));
+  return It == FilePattern.end() ? PatternCounts() : It->second;
+}
+
+PatternCounts DatasetIndex::repoCounts(PatternId Pattern, RepoId Repo) const {
+  auto It = RepoPattern.find(comboKey(Pattern, Repo));
+  return It == RepoPattern.end() ? PatternCounts() : It->second;
+}

@@ -1,0 +1,77 @@
+//===- classifier/DatasetIndex.h - Multi-level statistics -------*- C++ -*-==//
+///
+/// \file
+/// The Table 1 features measure violation statistics at three levels: the
+/// file containing the statement, the repository containing it, and the
+/// entire mining dataset. This index accumulates, per pattern, the match /
+/// satisfaction / violation counts at file and repository granularity
+/// (dataset-level counts live on NamePattern), plus identical-statement
+/// counts (features 2-3) keyed by statement text hash.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_CLASSIFIER_DATASETINDEX_H
+#define NAMER_CLASSIFIER_DATASETINDEX_H
+
+#include "pattern/PatternIndex.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace namer {
+
+/// Ids assigned by the pipeline during ingestion.
+using FileId = uint32_t;
+using RepoId = uint32_t;
+using StmtId = uint32_t;
+
+/// One statement as the pipeline stores it.
+struct StmtRecord {
+  FileId File;
+  RepoId Repo;
+  uint32_t Line;
+  uint64_t TextHash; ///< fingerprint of the projected statement
+  StmtPaths Paths;
+};
+
+/// A pattern violation by a statement: the classifier's input unit.
+struct Violation {
+  StmtId Stmt;
+  PatternId Pattern;
+};
+
+/// Match/satisfaction/violation counters.
+struct PatternCounts {
+  uint32_t Matches = 0;
+  uint32_t Satisfactions = 0;
+  uint32_t Violations = 0;
+};
+
+class DatasetIndex {
+public:
+  /// Accumulates one evaluated statement. \p Hits are the pattern hits of
+  /// \p Stmt (from PatternIndex::evaluate).
+  void addStatement(const StmtRecord &Stmt,
+                    const std::vector<PatternHit> &Hits);
+
+  /// Identical statement counts (features 2-3).
+  uint32_t identicalInFile(FileId File, uint64_t TextHash) const;
+  uint32_t identicalInRepo(RepoId Repo, uint64_t TextHash) const;
+
+  /// Per-pattern counters (features 4-12).
+  PatternCounts fileCounts(PatternId Pattern, FileId File) const;
+  PatternCounts repoCounts(PatternId Pattern, RepoId Repo) const;
+
+private:
+  static uint64_t comboKey(uint32_t A, uint64_t B) {
+    return (static_cast<uint64_t>(A) << 40) ^ B;
+  }
+  std::unordered_map<uint64_t, uint32_t> FileStmtCounts; // (file,hash)
+  std::unordered_map<uint64_t, uint32_t> RepoStmtCounts; // (repo,hash)
+  std::unordered_map<uint64_t, PatternCounts> FilePattern; // (pattern,file)
+  std::unordered_map<uint64_t, PatternCounts> RepoPattern; // (pattern,repo)
+};
+
+} // namespace namer
+
+#endif // NAMER_CLASSIFIER_DATASETINDEX_H

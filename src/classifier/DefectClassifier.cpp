@@ -1,0 +1,62 @@
+//===- classifier/DefectClassifier.cpp ------------------------------------==//
+
+#include "classifier/DefectClassifier.h"
+
+#include <cassert>
+
+using namespace namer;
+using namespace namer::ml;
+
+ml::Metrics
+DefectClassifier::train(const std::vector<std::vector<double>> &Features,
+                        const std::vector<bool> &Labels) {
+  assert(Features.size() == Labels.size() && "label count mismatch");
+  assert(!Features.empty() && "cannot train on an empty set");
+  size_t N = Features.size(), D = Features.front().size();
+
+  Matrix Raw(N, D);
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = 0; J != D; ++J)
+      Raw.at(I, J) = Features[I][J];
+
+  Scaler.fit(Raw);
+  Matrix Scaled = Scaler.transform(Raw);
+  Projector.fit(Scaled, Cfg.PcaComponents);
+  Matrix Projected = Projector.transform(Scaled);
+
+  SelectedFamily = Cfg.ModelFamily;
+  SelectionResults.clear();
+  Metrics Selected;
+  if (SelectedFamily.empty()) {
+    SelectedFamily =
+        selectModel(Projected, Labels, {"svm-linear", "logreg", "lda"},
+                    Cfg.CrossValidation, &SelectionResults);
+    for (const auto &[Name, M] : SelectionResults)
+      if (Name == SelectedFamily)
+        Selected = M;
+  } else {
+    Selected = crossValidate(
+        Projected, Labels, [&] { return makeClassifier(SelectedFamily); },
+        Cfg.CrossValidation);
+    SelectionResults.emplace_back(SelectedFamily, Selected);
+  }
+
+  Model = makeClassifier(SelectedFamily);
+  assert(Model && "unknown model family");
+  Model->fit(Projected, Labels);
+  return Selected;
+}
+
+bool DefectClassifier::predict(const std::vector<double> &Features) const {
+  return decision(Features) >= 0.0;
+}
+
+double DefectClassifier::decision(const std::vector<double> &Features) const {
+  assert(Model && "classifier not trained");
+  return Model->decision(Projector.transform(Scaler.transform(Features)));
+}
+
+std::vector<double> DefectClassifier::featureWeights() const {
+  assert(Model && "classifier not trained");
+  return Projector.backProject(Model->weights());
+}

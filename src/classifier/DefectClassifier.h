@@ -1,0 +1,72 @@
+//===- classifier/DefectClassifier.h - The Section 4.2 classifier -*- C++ -*-=//
+///
+/// \file
+/// The trained half of Namer's recipe: standardization + PCA preprocessing
+/// feeding a linear binary model, trained on a small manually labeled set
+/// of violations (120 in the paper). Reports a violation iff the model
+/// predicts true. Also exposes the weights mapped back to the original
+/// feature space, which Table 9 prints per level.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_CLASSIFIER_DEFECTCLASSIFIER_H
+#define NAMER_CLASSIFIER_DEFECTCLASSIFIER_H
+
+#include "classifier/Features.h"
+#include "ml/Evaluation.h"
+#include "ml/Preprocess.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace namer {
+
+class DefectClassifier {
+public:
+  struct Config {
+    /// Model family; empty selects by cross-validation over the paper's
+    /// three candidates (Section 5.1).
+    std::string ModelFamily;
+    /// PCA components kept; 0 keeps all 17.
+    size_t PcaComponents = 0;
+    ml::CrossValidationConfig CrossValidation;
+  };
+
+  explicit DefectClassifier(Config C) : Cfg(std::move(C)) {}
+  DefectClassifier() : DefectClassifier(Config()) {}
+
+  /// Trains on labeled feature vectors. Returns the cross-validation
+  /// metrics of the selected family (averaged over the repeats), which
+  /// Section 5.2/5.3 report.
+  ml::Metrics train(const std::vector<std::vector<double>> &Features,
+                    const std::vector<bool> &Labels);
+
+  /// True = report the violation as a naming issue.
+  bool predict(const std::vector<double> &Features) const;
+  /// Signed decision value (distance from the separating hyperplane).
+  double decision(const std::vector<double> &Features) const;
+
+  /// Weights in the original 17-feature space, scaled like the trained
+  /// (standardized) inputs. Valid after train().
+  std::vector<double> featureWeights() const;
+
+  const std::string &selectedFamily() const { return SelectedFamily; }
+  /// Per-family cross-validation metrics gathered during selection.
+  const std::vector<std::pair<std::string, ml::Metrics>> &
+  selectionResults() const {
+    return SelectionResults;
+  }
+
+private:
+  Config Cfg;
+  ml::Standardizer Scaler;
+  ml::Pca Projector;
+  std::unique_ptr<ml::BinaryClassifier> Model;
+  std::string SelectedFamily;
+  std::vector<std::pair<std::string, ml::Metrics>> SelectionResults;
+};
+
+} // namespace namer
+
+#endif // NAMER_CLASSIFIER_DEFECTCLASSIFIER_H

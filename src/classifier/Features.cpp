@@ -1,0 +1,92 @@
+//===- classifier/Features.cpp --------------------------------------------==//
+
+#include "classifier/Features.h"
+
+#include "support/EditDistance.h"
+
+#include <cassert>
+
+using namespace namer;
+
+const char *const namer::ViolationFeatureNames[NumViolationFeatures] = {
+    "stmt name paths",
+    "identical stmts (file)",
+    "identical stmts (repo)",
+    "satisfaction rate (file)",
+    "satisfaction rate (repo)",
+    "satisfaction rate (dataset)",
+    "violation count (file)",
+    "violation count (repo)",
+    "violation count (dataset)",
+    "satisfaction count (file)",
+    "satisfaction count (repo)",
+    "satisfaction count (dataset)",
+    "targets function name",
+    "condition size",
+    "match ratio",
+    "edit distance",
+    "is confusing pair",
+};
+
+bool namer::patternTargetsFunctionName(const NamePattern &Pattern,
+                                       const NamePathTable &Table,
+                                       const AstContext &Ctx) {
+  if (Pattern.Deduction.empty())
+    return false;
+  Symbol AttrSym = Ctx.kindSymbol(NodeKind::Attr);
+  const NamePath &Path = Table.path(Pattern.Deduction.front());
+  for (const PathStep &Step : Path.Prefix)
+    if (Step.Value == AttrSym)
+      return true;
+  return false;
+}
+
+std::vector<double>
+namer::extractViolationFeatures(const Violation &V, const StmtRecord &Stmt,
+                                const FeatureInputs &Inputs) {
+  assert(V.Pattern < Inputs.Patterns.size() && "pattern id out of range");
+  const NamePattern &P = Inputs.Patterns[V.Pattern];
+
+  PatternCounts File = Inputs.Index.fileCounts(V.Pattern, Stmt.File);
+  PatternCounts Repo = Inputs.Index.repoCounts(V.Pattern, Stmt.Repo);
+  auto Rate = [](uint32_t Sat, uint32_t Matches) {
+    return Matches == 0 ? 0.0
+                        : static_cast<double>(Sat) /
+                              static_cast<double>(Matches);
+  };
+
+  SuggestedFix Fix = deriveFix(P, Stmt.Paths, Inputs.Table);
+  std::string Original(Inputs.Ctx.text(Fix.Original));
+  std::string Suggested(Inputs.Ctx.text(Fix.Suggested));
+
+  double StmtPathCount = static_cast<double>(Stmt.Paths.Paths.size());
+  double DeductionSize = static_cast<double>(P.Deduction.size());
+  double MatchRatio =
+      StmtPathCount - DeductionSize <= 0.0
+          ? 1.0
+          : static_cast<double>(P.Condition.size()) /
+                (StmtPathCount - DeductionSize);
+
+  std::vector<double> Features(NumViolationFeatures);
+  Features[0] = StmtPathCount;
+  Features[1] = Inputs.Index.identicalInFile(Stmt.File, Stmt.TextHash);
+  Features[2] = Inputs.Index.identicalInRepo(Stmt.Repo, Stmt.TextHash);
+  Features[3] = Rate(File.Satisfactions, File.Matches);
+  Features[4] = Rate(Repo.Satisfactions, Repo.Matches);
+  Features[5] = P.datasetSatisfactionRate();
+  Features[6] = File.Violations;
+  Features[7] = Repo.Violations;
+  Features[8] = P.DatasetViolations;
+  Features[9] = File.Satisfactions;
+  Features[10] = Repo.Satisfactions;
+  Features[11] = P.DatasetSatisfactions;
+  Features[12] =
+      patternTargetsFunctionName(P, Inputs.Table, Inputs.Ctx) ? 1.0 : 0.0;
+  Features[13] = static_cast<double>(P.Condition.size());
+  Features[14] = MatchRatio;
+  Features[15] = static_cast<double>(editDistance(Original, Suggested));
+  Features[16] = Inputs.Pairs.isConfusingPair(Fix.Original, Fix.Suggested)
+                     ? 1.0
+                     : 0.0;
+  return Features;
+}

@@ -1,0 +1,60 @@
+//===- classifier/Features.h - Violation features (Table 1) -----*- C++ -*-==//
+///
+/// \file
+/// Extracts the 17 features of Table 1 for a violation (statement s,
+/// pattern p):
+///
+///    1    number of name paths of s
+///    2-3  statements identical to s at file / repository level
+///    4-6  satisfaction rate of p at file / repository / dataset level
+///    7-9  violation count of p at file / repository / dataset level
+///   10-12 satisfaction count of p at file / repository / dataset level
+///   13    whether p targets an object name or a function name
+///   14    number of name paths in p's condition
+///   15    match ratio between p and s
+///   16    edit distance between the original and the suggested name
+///   17    whether <original, suggested> is a mined confusing word pair
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_CLASSIFIER_FEATURES_H
+#define NAMER_CLASSIFIER_FEATURES_H
+
+#include "classifier/DatasetIndex.h"
+#include "histmine/ConfusingPairs.h"
+
+#include <string>
+#include <vector>
+
+namespace namer {
+
+inline constexpr size_t NumViolationFeatures = 17;
+
+/// Human-readable feature names, index-aligned with the vector.
+extern const char *const ViolationFeatureNames[NumViolationFeatures];
+
+/// Everything the extractor needs besides the violation itself.
+struct FeatureInputs {
+  const NamePathTable &Table;
+  const AstContext &Ctx;
+  const DatasetIndex &Index;
+  const std::vector<NamePattern> &Patterns;
+  const ConfusingPairMiner &Pairs;
+};
+
+/// Computes the feature vector of \p V (a Violated evaluation of
+/// Patterns[V.Pattern] by \p Stmt).
+std::vector<double> extractViolationFeatures(const Violation &V,
+                                             const StmtRecord &Stmt,
+                                             const FeatureInputs &Inputs);
+
+/// True if \p Pattern targets a function/method name (the deduction path
+/// runs through an Attr node); false when it targets an object name.
+/// Feature 13.
+bool patternTargetsFunctionName(const NamePattern &Pattern,
+                                const NamePathTable &Table,
+                                const AstContext &Ctx);
+
+} // namespace namer
+
+#endif // NAMER_CLASSIFIER_FEATURES_H

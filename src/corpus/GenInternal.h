@@ -1,0 +1,111 @@
+//===- corpus/GenInternal.h - generator internals ---------------*- C++ -*-==//
+///
+/// \file
+/// Shared machinery of the Python and Java corpus generators: the
+/// line-oriented file builder that records seeded issues with their line
+/// numbers, per-repository vocabulary/style state, and the name pools.
+/// Internal header; include only from corpus/*.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_CORPUS_GENINTERNAL_H
+#define NAMER_CORPUS_GENINTERNAL_H
+
+#include "corpus/Corpus.h"
+#include "support/Rng.h"
+
+#include <string>
+#include <vector>
+
+namespace namer {
+namespace corpus {
+namespace detail {
+
+/// Accumulates file text line by line; issues attach to the next emitted
+/// line.
+class FileBuilder {
+public:
+  void line(const std::string &Text) {
+    Content += Text;
+    Content += '\n';
+    ++CurrentLine;
+  }
+  void blank() { line(""); }
+
+  /// Records a seeded issue on the *next* line emitted via line().
+  void issueOnNextLine(IssueKind Kind, IssueCategory Category,
+                       std::string Bad, std::string Good) {
+    Pending.push_back(SeededIssue{Kind, Category, CurrentLine,
+                                  std::move(Bad), std::move(Good)});
+  }
+
+  SourceFile finish(std::string Path) {
+    SourceFile F;
+    F.Path = std::move(Path);
+    F.Text = std::move(Content);
+    F.Issues = std::move(Pending);
+    Content.clear();
+    Pending.clear();
+    CurrentLine = 1;
+    return F;
+  }
+
+private:
+  std::string Content;
+  uint32_t CurrentLine = 1;
+  std::vector<SeededIssue> Pending;
+};
+
+/// Name pools shared by both languages.
+extern const char *const FieldNames[];
+extern const size_t NumFieldNames;
+extern const char *const Verbs[];
+extern const size_t NumVerbs;
+extern const char *const ClassNouns[];
+extern const size_t NumClassNouns;
+extern const char *const WiringPairs[][2]; // {field, legit-different-rhs}
+extern const size_t NumWiringPairs;
+extern const char *const ConfusablePairs[][2]; // {correct, confused-with}
+extern const size_t NumConfusablePairs;
+
+/// Per-repository style and vocabulary.
+struct RepoStyle {
+  std::vector<const char *> Fields; // repo's field-name subset
+  std::vector<const char *> Nouns;  // repo's class-noun subset
+  /// Synthetic project-specific words ("melkor", "zanti") that are rare at
+  /// corpus scale, mirroring the heavy tail of real identifier vocabulary.
+  std::vector<std::string> RareWords;
+  bool UsesIslinkIdiom = false;     // Python FP source
+  bool UsesWriterNaming = false;    // Java FP source (outputWriter)
+  bool UsesCustomJsonLike = false;  // Java FP source (ConektaObject-like)
+  std::string CustomClassPrefix;    // e.g. "Conekta"
+
+  const char *field(Rng &G) const {
+    return Fields[G.bounded(Fields.size())];
+  }
+  const std::string &rare(Rng &G) const {
+    return RareWords[G.bounded(RareWords.size())];
+  }
+  const char *noun(Rng &G) const { return Nouns[G.bounded(Nouns.size())]; }
+  const char *verb(Rng &G) const { return Verbs[G.bounded(NumVerbs)]; }
+};
+
+RepoStyle makeRepoStyle(Rng &G);
+
+/// Makes a one-character typo of \p Word (drop / duplicate / swap), always
+/// different from the input.
+std::string typoOf(const std::string &Word, Rng &G);
+
+/// Language-specific repository generators (in PythonGen.cpp/JavaGen.cpp).
+Repository generatePythonRepo(const CorpusConfig &Config,
+                              const std::string &Name, Rng &G,
+                              std::vector<CommitPair> &Commits);
+Repository generateJavaRepo(const CorpusConfig &Config,
+                            const std::string &Name, Rng &G,
+                            std::vector<CommitPair> &Commits);
+
+} // namespace detail
+} // namespace corpus
+} // namespace namer
+
+#endif // NAMER_CORPUS_GENINTERNAL_H

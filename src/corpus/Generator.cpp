@@ -1,0 +1,255 @@
+//===- corpus/Generator.cpp - corpus generation driver --------------------==//
+
+#include "corpus/Corpus.h"
+
+#include "corpus/GenInternal.h"
+#include "support/Hashing.h"
+
+#include <unordered_set>
+
+using namespace namer;
+using namespace namer::corpus;
+using namespace namer::corpus::detail;
+
+std::string_view corpus::issueKindName(IssueKind Kind) {
+  switch (Kind) {
+  case IssueKind::SemanticDefect:
+    return "semantic defect";
+  case IssueKind::CodeQualityIssue:
+    return "code quality issue";
+  }
+  return "<unknown>";
+}
+
+std::string_view corpus::issueCategoryName(IssueCategory Category) {
+  switch (Category) {
+  case IssueCategory::ConfusingName:
+    return "confusing name";
+  case IssueCategory::IndescriptiveName:
+    return "indescriptive name";
+  case IssueCategory::InconsistentName:
+    return "inconsistent name";
+  case IssueCategory::MinorIssue:
+    return "minor issue";
+  case IssueCategory::Typo:
+    return "typo";
+  case IssueCategory::ApiMisuse:
+    return "api misuse";
+  case IssueCategory::DeprecatedApi:
+    return "deprecated api";
+  case IssueCategory::WrongType:
+    return "wrong type";
+  }
+  return "<unknown>";
+}
+
+// --- Shared name pools --------------------------------------------------------
+
+namespace namer {
+namespace corpus {
+namespace detail {
+
+const char *const FieldNames[] = {
+    "name",   "key",    "value",  "port",   "host",   "path",   "size",
+    "count",  "mode",   "index",  "color",  "title",  "label",  "width",
+    "height", "offset", "token",  "user",   "text",   "data",   "total",
+    "status", "result", "config", "buffer", "cursor", "weight", "angle",
+    "speed",  "depth",  "level",  "score",  "price",  "amount", "rate",
+    "flag",   "state",  "line",   "word",   "node",   "item",   "entry",
+    "event",  "queue",  "stack",  "cache",  "limit",  "start",  "end",
+    "owner",
+};
+const size_t NumFieldNames = sizeof(FieldNames) / sizeof(FieldNames[0]);
+
+const char *const Verbs[] = {
+    "get",    "set",   "add",     "remove", "update", "create", "build",
+    "load",   "save",  "parse",   "init",   "compute", "find",  "check",
+    "make",   "read",  "write",   "send",   "handle", "process", "render",
+    "fetch",  "apply", "reset",   "clear",  "open",   "close",  "run",
+    "start",  "stop",  "validate", "convert", "merge", "split", "format",
+    "encode", "decode", "sort",   "filter", "count",
+};
+const size_t NumVerbs = sizeof(Verbs) / sizeof(Verbs[0]);
+
+const char *const ClassNouns[] = {
+    "Manager",  "Handler", "Parser",  "Builder",    "Writer",  "Reader",
+    "Client",   "Server",  "Worker",  "Service",    "Controller", "Helper",
+    "Factory",  "Provider", "Adapter", "Wrapper",   "Monitor", "Tracker",
+    "Logger",   "Cache",   "Queue",   "Store",      "Pool",    "Engine",
+    "Router",   "Session", "Config",  "Task",       "Job",     "Widget",
+    "Picture",  "Slide",   "Document", "Record",    "Account", "Order",
+    "Product",  "Message", "Report",  "Profile",
+};
+const size_t NumClassNouns = sizeof(ClassNouns) / sizeof(ClassNouns[0]);
+
+// Legitimate "self.<field> = <other>" wiring: correct code that violates
+// consistency patterns (the false positive population).
+const char *const WiringPairs[][2] = {
+    {"handler", "callback"}, {"parent", "owner"},   {"logger", "log"},
+    {"target", "dest"},      {"source", "origin"},  {"output", "stream"},
+    {"store", "backend"},    {"worker", "thread"},  {"conn", "channel"},
+    {"factory", "maker"},
+};
+const size_t NumWiringPairs = sizeof(WiringPairs) / sizeof(WiringPairs[0]);
+
+// Semantically adjacent words developers confuse ({correct, confused}).
+const char *const ConfusablePairs[][2] = {
+    {"key", "name"},   {"key", "value"}, {"max", "min"}, {"y", "x"},
+    {"end", "start"},  {"height", "width"}, {"last", "first"},
+    {"dest", "src"},   {"col", "row"},   {"close", "open"},
+};
+const size_t NumConfusablePairs =
+    sizeof(ConfusablePairs) / sizeof(ConfusablePairs[0]);
+
+namespace {
+
+/// Synthesizes a pronounceable project-specific word from random
+/// consonant-vowel syllables.
+std::string synthesizeWord(Rng &G) {
+  static const char *Consonants = "bcdfgklmnprstvz";
+  static const char *Vowels = "aeiou";
+  std::string Word;
+  size_t Syllables = 2 + G.bounded(2);
+  for (size_t I = 0; I != Syllables; ++I) {
+    Word += Consonants[G.bounded(15)];
+    Word += Vowels[G.bounded(5)];
+  }
+  if (G.chance(0.5))
+    Word += Consonants[G.bounded(15)];
+  return Word;
+}
+
+} // namespace
+
+RepoStyle makeRepoStyle(Rng &G) {
+  RepoStyle S;
+  // Each repo uses a vocabulary subset so names recur within a repo.
+  size_t NumFields = 8 + G.bounded(8);
+  for (size_t I = 0; I != NumFields; ++I)
+    S.Fields.push_back(FieldNames[G.bounded(NumFieldNames)]);
+  size_t NumNouns = 3 + G.bounded(4);
+  for (size_t I = 0; I != NumNouns; ++I)
+    S.Nouns.push_back(ClassNouns[G.bounded(NumClassNouns)]);
+  size_t NumRare = 16 + G.bounded(16);
+  for (size_t I = 0; I != NumRare; ++I)
+    S.RareWords.push_back(synthesizeWord(G));
+  S.UsesIslinkIdiom = G.chance(0.06);
+  S.UsesWriterNaming = G.chance(0.10);
+  S.UsesCustomJsonLike = G.chance(0.05);
+  if (S.UsesCustomJsonLike) {
+    const char *Prefixes[] = {"Conekta", "Acme", "Zylo", "Vexo", "Quanta"};
+    S.CustomClassPrefix = Prefixes[G.bounded(5)];
+  }
+  return S;
+}
+
+std::string typoOf(const std::string &Word, Rng &G) {
+  if (Word.size() < 3)
+    return Word + Word.back();
+  std::string Out = Word;
+  switch (G.bounded(3)) {
+  case 0: // drop the last character: port -> por
+    Out.pop_back();
+    break;
+  case 1: // duplicate a character: public -> publick is handled by case 2;
+          // generic duplication: name -> namme
+    Out.insert(Out.begin() + static_cast<long>(1 + G.bounded(Word.size() - 1)),
+               Out[Word.size() / 2]);
+    break;
+  default: // swap two adjacent characters: value -> vaule
+    std::swap(Out[Word.size() / 2 - 1], Out[Word.size() / 2]);
+    break;
+  }
+  if (Out == Word)
+    Out.pop_back();
+  return Out;
+}
+
+} // namespace detail
+} // namespace corpus
+} // namespace namer
+
+// --- Driver --------------------------------------------------------------------
+
+namespace {
+
+/// Pure-noise commit stream: legitimate refactorings whose renames teach
+/// the confusing-pair miner the ecosystem vocabulary (isfile -> exists,
+/// name -> key, min -> max, ...), plus structural edits that must mine
+/// nothing.
+void appendNoiseCommits(Corpus &C, const CorpusConfig &Config, Rng &G) {
+  struct NoisePair {
+    const char *Before;
+    const char *After;
+  };
+  static const NoisePair PythonNoise[] = {
+      {"import os\ndef check(p):\n    if os.path.isfile(p):\n"
+       "        return p\n    return None\n",
+       "import os\ndef check(p):\n    if os.path.exists(p):\n"
+       "        return p\n    return None\n"},
+      {"a = item.get_name()\n", "a = item.get_key()\n"},
+      {"low = values.min_bound\n", "low = values.max_bound\n"},
+      {"point = shape.x_coord\n", "point = shape.y_coord\n"},
+      {"first = rows.start_index\n", "first = rows.end_index\n"},
+      {"x = f(a)\n", "x = f(a, b)\n"},           // structural noise
+      {"totalCount = 1\n", "resultValue = 1\n"}, // full rename noise
+  };
+  static const NoisePair JavaNoise[] = {
+      {"class C { void m() { int a = item.getName(); } }",
+       "class C { void m() { int a = item.getKey(); } }"},
+      {"class C { void m() { int lo = r.getMinValue(); } }",
+       "class C { void m() { int lo = r.getMaxValue(); } }"},
+      {"class C { void m() { f(a); } }",
+       "class C { void m() { f(a, b); } }"},
+      {"class C { void m() { int totalCount = 1; } }",
+       "class C { void m() { int resultValue = 1; } }"},
+  };
+  for (size_t I = 0; I != Config.NoiseCommits; ++I) {
+    if (Config.Lang == Language::Python) {
+      const NoisePair &P =
+          PythonNoise[G.bounded(sizeof(PythonNoise) / sizeof(NoisePair))];
+      C.Commits.push_back(CommitPair{P.Before, P.After});
+    } else {
+      const NoisePair &P =
+          JavaNoise[G.bounded(sizeof(JavaNoise) / sizeof(NoisePair))];
+      C.Commits.push_back(CommitPair{P.Before, P.After});
+    }
+  }
+}
+
+} // namespace
+
+Corpus corpus::generateCorpus(const CorpusConfig &Config) {
+  Corpus C;
+  C.Lang = Config.Lang;
+  Rng Root(Config.Seed);
+  for (size_t I = 0; I != Config.NumRepos; ++I) {
+    Rng RepoRng = Root.fork();
+    std::string Name = "repo" + std::to_string(I);
+    if (Config.Lang == Language::Python)
+      C.Repos.push_back(
+          generatePythonRepo(Config, Name, RepoRng, C.Commits));
+    else
+      C.Repos.push_back(generateJavaRepo(Config, Name, RepoRng, C.Commits));
+  }
+  Rng NoiseRng = Root.fork();
+  appendNoiseCommits(C, Config, NoiseRng);
+  deduplicateFiles(C);
+  return C;
+}
+
+size_t corpus::deduplicateFiles(Corpus &C) {
+  std::unordered_set<uint64_t> Seen;
+  size_t Removed = 0;
+  for (Repository &Repo : C.Repos) {
+    std::vector<SourceFile> Kept;
+    for (SourceFile &F : Repo.Files) {
+      if (Seen.insert(hashString(F.Text)).second)
+        Kept.push_back(std::move(F));
+      else
+        ++Removed;
+    }
+    Repo.Files = std::move(Kept);
+  }
+  return Removed;
+}

@@ -1,0 +1,425 @@
+//===- corpus/JavaGen.cpp - Java corpus generation ------------------------==//
+//
+// Emits Java repositories around the Table 6 idioms: POJO constructors
+// (this.x = x), classic int-indexed loops, exception handling with
+// printStackTrace, Android intents and dialogs, and builder/writer
+// patterns. False-positive populations come from repositories that
+// consistently use descriptive-but-nonstandard local names (outputWriter)
+// and in-house classes that shadow common library names (ConektaObject).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/GenInternal.h"
+
+#include <cctype>
+
+using namespace namer;
+using namespace namer::corpus;
+using namespace namer::corpus::detail;
+
+namespace {
+
+struct Seeder {
+  const CorpusConfig &Config;
+  Rng &G;
+  std::vector<CommitPair> &Commits;
+
+  bool roll() { return G.chance(Config.MistakeRate); }
+
+  void commitFix(const std::string &BadStmt, const std::string &GoodStmt) {
+    if (!G.chance(Config.CommitFixRate))
+      return;
+    auto Wrap = [](const std::string &Stmt) {
+      return "class Fix { void apply() { " + Stmt + " } }";
+    };
+    Commits.push_back(CommitPair{Wrap(BadStmt), Wrap(GoodStmt)});
+  }
+};
+
+std::string capitalize(const std::string &Word) {
+  std::string Out = Word;
+  if (!Out.empty())
+    Out[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(Out[0])));
+  return Out;
+}
+
+std::string num(Rng &G) { return std::to_string(G.bounded(100)); }
+
+// --- File kinds -----------------------------------------------------------
+
+/// POJO with constructor wiring, getters and setters.
+SourceFile emitPojoFile(const RepoStyle &S, Seeder &Seed, Rng &G,
+                        size_t FileIndex) {
+  FileBuilder B;
+  std::string Noun = S.noun(G);
+  B.line("public class " + Noun + std::to_string(FileIndex) + " {");
+
+  std::vector<std::string> Fields;
+  int NumFields = static_cast<int>(G.range(3, 6));
+  for (int I = 0; I != NumFields; ++I)
+    Fields.push_back(S.field(G));
+
+  const char *Types[] = {"int", "String", "long", "boolean", "double"};
+  std::vector<std::string> FieldTypes;
+  for (int I = 0; I != NumFields; ++I)
+    FieldTypes.push_back(Types[G.bounded(5)]);
+
+  for (int I = 0; I != NumFields; ++I)
+    B.line("    private " + FieldTypes[static_cast<size_t>(I)] + " " +
+           Fields[static_cast<size_t>(I)] + ";");
+  B.blank();
+
+  // Constructor: this.x = x.
+  std::string Params;
+  for (int I = 0; I != NumFields; ++I) {
+    if (I)
+      Params += ", ";
+    Params += FieldTypes[static_cast<size_t>(I)] + " " +
+              Fields[static_cast<size_t>(I)];
+  }
+  B.line("    public " + Noun + std::to_string(FileIndex) + "(" + Params +
+         ") {");
+  for (const std::string &F : Fields) {
+    std::string Good = "        this." + F + " = " + F + ";";
+    if (Seed.roll()) {
+      switch (G.bounded(3)) {
+      case 0: {
+        // Table 6 ex. 4 shape: typo on the right-hand side.
+        std::string Bad = typoOf(F, G);
+        B.issueOnNextLine(IssueKind::CodeQualityIssue, IssueCategory::Typo,
+                          Bad, F);
+        std::string BadLine = "        this." + F + " = " + Bad + ";";
+        B.line(BadLine);
+        Seed.commitFix("this." + F + " = " + Bad + ";",
+                       "this." + F + " = " + F + ";");
+        break;
+      }
+      case 1: {
+        size_t P = G.bounded(NumConfusablePairs);
+        std::string Correct = ConfusablePairs[P][0];
+        std::string Confused = ConfusablePairs[P][1];
+        B.issueOnNextLine(IssueKind::CodeQualityIssue,
+                          IssueCategory::ConfusingName, Confused, Correct);
+        B.line("        this." + Correct + " = " + Confused + ";");
+        Seed.commitFix("this." + Correct + " = " + Confused + ";",
+                       "this." + Correct + " = " + Correct + ";");
+        break;
+      }
+      default: {
+        // Inconsistent: wires an unrelated vocabulary name.
+        std::string Other = S.field(G);
+        if (Other == F) {
+          B.line(Good);
+          break;
+        }
+        B.issueOnNextLine(IssueKind::CodeQualityIssue,
+                          IssueCategory::InconsistentName, Other, F);
+        B.line("        this." + F + " = " + Other + ";");
+        break;
+      }
+      }
+    } else if (G.chance(0.18)) {
+      // Legitimate wiring (FP population): ecosystem-wide pairs (separable
+      // via dataset-level features), project-specific right-hand sides,
+      // and vocabulary names that are textually indistinguishable from
+      // inconsistent-name mistakes (the irreducible FP floor).
+      switch (G.bounded(3)) {
+      case 0: {
+        size_t P = G.bounded(NumWiringPairs);
+        B.line(std::string("        this.") + WiringPairs[P][0] + " = " +
+               WiringPairs[P][1] + ";");
+        break;
+      }
+      case 1:
+        B.line("        this." + F + " = " + S.rare(G) + ";");
+        break;
+      default: {
+        std::string Other = S.field(G);
+        B.line("        this." + F + " = " +
+               (Other == F ? S.rare(G) : Other) + ";");
+        break;
+      }
+      }
+    } else {
+      B.line(Good);
+    }
+  }
+  B.line("    }");
+  B.blank();
+
+  // Getters / setters.
+  for (int I = 0; I != NumFields; ++I) {
+    const std::string &F = Fields[static_cast<size_t>(I)];
+    const std::string &T = FieldTypes[static_cast<size_t>(I)];
+    B.line("    public " + T + " get" + capitalize(F) + "() {");
+    if (Seed.roll()) {
+      std::string Other = S.field(G);
+      if (Other != F) {
+        B.issueOnNextLine(IssueKind::CodeQualityIssue,
+                          IssueCategory::InconsistentName, Other, F);
+        B.line("        return this." + Other + ";");
+        B.line("    }");
+        continue;
+      }
+    }
+    B.line("        return this." + F + ";");
+    B.line("    }");
+    if (G.chance(0.5)) {
+      if (Seed.roll()) {
+        B.issueOnNextLine(IssueKind::CodeQualityIssue,
+                          IssueCategory::IndescriptiveName, "v", F);
+        B.line("    public void set" + capitalize(F) + "(" + T + " v) {");
+        B.line("        this." + F + " = v;");
+      } else {
+        B.line("    public void set" + capitalize(F) + "(" + T + " " + F +
+               ") {");
+        B.line("        this." + F + " = " + F + ";");
+      }
+      B.line("    }");
+    }
+  }
+  B.line("}");
+  return B.finish("src/" + Noun + std::to_string(FileIndex) + ".java");
+}
+
+/// Loops over arrays/collections: the int-index idiom (Table 6 ex. 2).
+SourceFile emitLoopFile(const RepoStyle &S, Seeder &Seed, Rng &G,
+                        size_t FileIndex) {
+  FileBuilder B;
+  B.line("public class Util" + std::to_string(FileIndex) + " {");
+  int NumMethods = static_cast<int>(G.range(2, 5));
+  for (int M = 0; M != NumMethods; ++M) {
+    std::string Field = S.field(G);
+    B.line("    public static int sum" + capitalize(Field) + "(int[] " +
+           Field + "s) {");
+    B.line("        int total = 0;");
+    std::string GoodFor =
+        "        for (int i = 0; i < " + Field + "s.length; i++) {";
+    if (Seed.roll() && G.chance(0.3)) {
+      std::string BadFor =
+          "        for (double i = 1; i < " + Field + "s.length; i++) {";
+      B.issueOnNextLine(IssueKind::SemanticDefect, IssueCategory::WrongType,
+                        "double", "int");
+      B.line(BadFor);
+      B.line("            total = total + " + num(G) + ";");
+      Seed.commitFix("for (double i = 1; i < n; i++) { total = total + 1; }",
+                     "for (int i = 1; i < n; i++) { total = total + 1; }");
+    } else {
+      B.line(GoodFor);
+      B.line("            total = total + " + Field + "s[(int) i];");
+    }
+    B.line("        }");
+    B.line("        return total;");
+    B.line("    }");
+  }
+  B.line("}");
+  return B.finish("src/Util" + std::to_string(FileIndex) + ".java");
+}
+
+/// Exception handling: catch Exception + printStackTrace (Table 6 ex. 1/3).
+SourceFile emitExceptionFile(const RepoStyle &S, Seeder &Seed, Rng &G,
+                             size_t FileIndex) {
+  FileBuilder B;
+  std::string Noun = S.noun(G);
+  B.line("public class " + Noun + "Runner" + std::to_string(FileIndex) +
+         " {");
+  int NumMethods = static_cast<int>(G.range(2, 4));
+  for (int M = 0; M != NumMethods; ++M) {
+    std::string Verb = S.verb(G);
+    std::string Field = S.field(G);
+    B.line("    public void " + Verb + capitalize(Field) + "() {");
+    B.line("        try {");
+    B.line("            this.worker." + Verb + "();");
+    bool BadCatch = Seed.roll() && G.chance(0.3);
+    if (BadCatch) {
+      // Table 6 ex. 3: catching Throwable includes catching Error.
+      B.issueOnNextLine(IssueKind::SemanticDefect, IssueCategory::ApiMisuse,
+                        "Throwable", "Exception");
+      B.line("        } catch (Throwable e) {");
+      Seed.commitFix("try { run(); } catch (Throwable e) { }",
+                     "try { run(); } catch (Exception e) { }");
+    } else {
+      B.line("        } catch (Exception e) {");
+    }
+    if (Seed.roll() && G.chance(0.3)) {
+      // Table 6 ex. 1: getStackTrace result dropped on the floor.
+      B.issueOnNextLine(IssueKind::SemanticDefect, IssueCategory::ApiMisuse,
+                        "get", "print");
+      B.line("            e.getStackTrace();");
+      Seed.commitFix("e.getStackTrace();", "e.printStackTrace();");
+    } else {
+      B.line("            e.printStackTrace();");
+    }
+    B.line("        }");
+    B.line("    }");
+  }
+  B.line("}");
+  return B.finish("src/" + Noun + "Runner" + std::to_string(FileIndex) +
+                  ".java");
+}
+
+/// Android activity starting intents (Table 6 ex. 5) and dialogs (ex. 6).
+SourceFile emitAndroidFile(const RepoStyle &S, Seeder &Seed, Rng &G,
+                           size_t FileIndex) {
+  FileBuilder B;
+  std::string Noun = S.noun(G);
+  B.line("public class " + Noun + "Activity" + std::to_string(FileIndex) +
+         " extends Activity {");
+  int NumMethods = static_cast<int>(G.range(2, 4));
+  for (int M = 0; M != NumMethods; ++M) {
+    std::string Field = S.field(G);
+    if (G.chance(0.5)) {
+      B.line("    public void open" + capitalize(Field) +
+             "(Context context) {");
+      if (Seed.roll()) {
+        // Table 6 ex. 5: indescriptive intent variable.
+        B.line("        Intent i = new Intent();");
+        B.line("        i.putExtra(\"" + Field + "\", this." + Field + ");");
+        B.issueOnNextLine(IssueKind::CodeQualityIssue,
+                          IssueCategory::IndescriptiveName, "i", "intent");
+        B.line("        context.startActivity(i);");
+        Seed.commitFix("context.startActivity(i);",
+                       "context.startActivity(intent);");
+      } else {
+        B.line("        Intent intent = new Intent();");
+        B.line("        intent.putExtra(\"" + Field + "\", this." + Field +
+               ");");
+        B.line("        context.startActivity(intent);");
+      }
+      B.line("    }");
+      continue;
+    }
+    B.line("    public void finish" + capitalize(Field) + "() {");
+    if (Seed.roll()) {
+      // Table 6 ex. 6: "prog" abbreviation of progress.
+      B.line("        ProgressDialog progDialog = new ProgressDialog();");
+      B.issueOnNextLine(IssueKind::CodeQualityIssue,
+                        IssueCategory::ConfusingName, "prog", "progress");
+      B.line("        progDialog.dismiss();");
+      Seed.commitFix("ProgressDialog progDialog = new ProgressDialog(); "
+                     "progDialog.dismiss();",
+                     "ProgressDialog progressDialog = new ProgressDialog(); "
+                     "progressDialog.dismiss();");
+    } else {
+      B.line("        ProgressDialog progressDialog = new ProgressDialog();");
+      B.line("        progressDialog.dismiss();");
+    }
+    B.line("    }");
+  }
+  B.line("}");
+  return B.finish("src/" + Noun + "Activity" + std::to_string(FileIndex) +
+                  ".java");
+}
+
+/// Writer/builder file. In UsesWriterNaming repos, locals are consistently
+/// named output<Type> (the Table 6 ex. 7 false positive); elsewhere the
+/// conventional lowercase-type name is used.
+SourceFile emitWriterFile(const RepoStyle &S, Rng &G, size_t FileIndex) {
+  FileBuilder B;
+  B.line("public class Render" + std::to_string(FileIndex) + " {");
+  int NumMethods = static_cast<int>(G.range(2, 4));
+  for (int M = 0; M != NumMethods; ++M) {
+    std::string Field = S.field(G);
+    B.line("    public String render" + capitalize(Field) + "() {");
+    if (S.UsesWriterNaming) {
+      B.line("        StringWriter outputWriter = new StringWriter();");
+      B.line("        outputWriter.write(this." + Field + ");");
+      B.line("        return outputWriter.toString();");
+    } else {
+      B.line("        StringWriter stringWriter = new StringWriter();");
+      B.line("        stringWriter.write(this." + Field + ");");
+      B.line("        return stringWriter.toString();");
+    }
+    B.line("    }");
+  }
+  B.line("}");
+  return B.finish("src/Render" + std::to_string(FileIndex) + ".java");
+}
+
+/// In-house class whose name shadows a common naming position (Table 6
+/// ex. 8): ConektaObject resource = new ConektaObject(); correct code.
+SourceFile emitCustomClassFile(const RepoStyle &S, Rng &G,
+                               size_t FileIndex) {
+  FileBuilder B;
+  std::string Class = S.CustomClassPrefix + "Object";
+  B.line("public class " + Class + "Factory" + std::to_string(FileIndex) +
+         " {");
+  int NumMethods = static_cast<int>(G.range(2, 4));
+  for (int M = 0; M != NumMethods; ++M) {
+    std::string Field = S.field(G);
+    B.line("    public " + Class + " create" + capitalize(Field) + "() {");
+    B.line("        " + Class + " resource = new " + Class + "();");
+    B.line("        resource.put(\"" + Field + "\", this." + Field + ");");
+    B.line("        return resource;");
+    B.line("    }");
+  }
+  B.line("}");
+  return B.finish("src/" + Class + "Factory" + std::to_string(FileIndex) +
+                  ".java");
+}
+
+/// JSON-ish object wiring with the common library class: the majority
+/// counterpart of the custom-class files.
+SourceFile emitJsonFile(const RepoStyle &S, Rng &G, size_t FileIndex) {
+  FileBuilder B;
+  B.line("public class Payload" + std::to_string(FileIndex) + " {");
+  int NumMethods = static_cast<int>(G.range(2, 4));
+  for (int M = 0; M != NumMethods; ++M) {
+    std::string Field = S.field(G);
+    B.line("    public JsonObject encode" + capitalize(Field) + "() {");
+    B.line("        JsonObject resource = new JsonObject();");
+    B.line("        resource.put(\"" + Field + "\", this." + Field + ");");
+    B.line("        return resource;");
+    B.line("    }");
+  }
+  B.line("}");
+  return B.finish("src/Payload" + std::to_string(FileIndex) + ".java");
+}
+
+} // namespace
+
+Repository corpus::detail::generateJavaRepo(const CorpusConfig &Config,
+                                            const std::string &Name, Rng &G,
+                                            std::vector<CommitPair> &Commits) {
+  Repository Repo;
+  Repo.Name = Name;
+  RepoStyle Style = makeRepoStyle(G);
+  Seeder Seed{Config, G, Commits};
+
+  size_t NumFiles = Config.MinFilesPerRepo +
+                    G.bounded(Config.MaxFilesPerRepo -
+                              Config.MinFilesPerRepo + 1);
+  for (size_t I = 0; I != NumFiles; ++I) {
+    switch (G.bounded(10)) {
+    case 0:
+    case 1:
+    case 2:
+    case 3:
+      Repo.Files.push_back(emitPojoFile(Style, Seed, G, I));
+      break;
+    case 4:
+    case 5:
+      Repo.Files.push_back(emitLoopFile(Style, Seed, G, I));
+      break;
+    case 6:
+    case 7:
+      Repo.Files.push_back(emitExceptionFile(Style, Seed, G, I));
+      break;
+    case 8:
+      Repo.Files.push_back(emitAndroidFile(Style, Seed, G, I));
+      break;
+    default:
+      if (Style.UsesCustomJsonLike)
+        Repo.Files.push_back(emitCustomClassFile(Style, G, I));
+      else
+        Repo.Files.push_back(emitJsonFile(Style, G, I));
+      break;
+    }
+  }
+  Repo.Files.push_back(emitWriterFile(Style, G, NumFiles));
+  // Paths are unique corpus-wide (the inspection oracle and report
+  // consumers key on them).
+  for (SourceFile &F : Repo.Files)
+    F.Path = Name + "/" + F.Path;
+  return Repo;
+}

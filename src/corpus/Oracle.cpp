@@ -1,0 +1,56 @@
+//===- corpus/Oracle.cpp --------------------------------------------------==//
+
+#include "corpus/Oracle.h"
+
+using namespace namer;
+using namespace namer::corpus;
+
+namespace {
+
+std::string key(const std::string &File, uint32_t Line) {
+  return File + ":" + std::to_string(Line);
+}
+
+} // namespace
+
+InspectionOracle::InspectionOracle(const Corpus &C) {
+  for (const Repository &Repo : C.Repos) {
+    for (const SourceFile &F : Repo.Files) {
+      for (const SeededIssue &Issue : F.Issues) {
+        ByFileLine[key(F.Path, Issue.Line)].push_back(Issue);
+        ++NumIssues;
+      }
+    }
+  }
+}
+
+const SeededIssue *InspectionOracle::find(const std::string &File,
+                                          uint32_t Line,
+                                          const std::string &Original) const {
+  for (int Delta : {0, 1, -1}) {
+    uint32_t Probe = Line + static_cast<uint32_t>(Delta);
+    auto It = ByFileLine.find(key(File, Probe));
+    if (It == ByFileLine.end())
+      continue;
+    for (const SeededIssue &Issue : It->second)
+      if (Issue.BadToken == Original)
+        return &Issue;
+  }
+  return nullptr;
+}
+
+InspectionOutcome InspectionOracle::inspect(const std::string &File,
+                                            uint32_t Line,
+                                            const std::string &Original,
+                                            const std::string &Suggested) const {
+  InspectionOutcome Out;
+  const SeededIssue *Issue = find(File, Line, Original);
+  if (!Issue)
+    return Out; // false positive
+  Out.Result = Issue->Kind == IssueKind::SemanticDefect
+                   ? InspectionOutcome::Verdict::SemanticDefect
+                   : InspectionOutcome::Verdict::CodeQualityIssue;
+  Out.Category = Issue->Category;
+  Out.FixMatchesGroundTruth = Issue->GoodToken == Suggested;
+  return Out;
+}

@@ -1,0 +1,65 @@
+//===- corpus/Oracle.h - Inspection oracle ----------------------*- C++ -*-==//
+///
+/// \file
+/// Replays the paper's manual report inspection (Section 5.1): each report
+/// is classified as a semantic defect, a code quality issue, or a false
+/// positive. The corpus generator recorded ground truth for every seeded
+/// mistake, so the oracle resolves a report by locating a seeded issue at
+/// the reported file/line whose bad token matches the reported original
+/// name. Reports with no matching seeded issue are false positives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_CORPUS_ORACLE_H
+#define NAMER_CORPUS_ORACLE_H
+
+#include "corpus/Corpus.h"
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace namer {
+namespace corpus {
+
+/// Inspection verdict for a single report.
+struct InspectionOutcome {
+  enum class Verdict : uint8_t {
+    SemanticDefect,
+    CodeQualityIssue,
+    FalsePositive,
+  };
+  Verdict Result = Verdict::FalsePositive;
+  /// Valid when Result != FalsePositive.
+  IssueCategory Category = IssueCategory::MinorIssue;
+  /// True when the suggested token equals the recorded correct token.
+  bool FixMatchesGroundTruth = false;
+};
+
+class InspectionOracle {
+public:
+  explicit InspectionOracle(const Corpus &C);
+
+  /// Inspects one report: \p File and \p Line locate the statement;
+  /// \p Original is the flagged subtoken, \p Suggested the proposed fix.
+  /// Lines within +/- 1 of the recorded issue line are accepted (the
+  /// parser may anchor a statement on a continuation line).
+  InspectionOutcome inspect(const std::string &File, uint32_t Line,
+                            const std::string &Original,
+                            const std::string &Suggested) const;
+
+  size_t numSeededIssues() const { return NumIssues; }
+
+private:
+  const SeededIssue *find(const std::string &File, uint32_t Line,
+                          const std::string &Original) const;
+
+  // (file path + line) -> issues at that line.
+  std::unordered_map<std::string, std::vector<SeededIssue>> ByFileLine;
+  size_t NumIssues = 0;
+};
+
+} // namespace corpus
+} // namespace namer
+
+#endif // NAMER_CORPUS_ORACLE_H

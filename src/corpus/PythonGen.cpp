@@ -1,0 +1,461 @@
+//===- corpus/PythonGen.cpp - Python corpus generation --------------------==//
+//
+// Emits Python repositories built from the naming idioms the paper's
+// evaluation revolves around: unittest assertions (Figure 2, Table 3
+// ex. 1/3), range loops (ex. 2), constructor field assignment (Example
+// 3.8), keyworded-argument signatures (ex. 5), numpy aliasing (ex. 6) and
+// os.path usage (ex. 7). Mistakes are seeded at CorpusConfig::MistakeRate
+// following the realistic distribution described in DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/GenInternal.h"
+
+using namespace namer;
+using namespace namer::corpus;
+using namespace namer::corpus::detail;
+
+namespace {
+
+/// Per-file mistake seeding context: decides whether a given opportunity
+/// becomes a seeded mistake and emits fixing commits.
+struct Seeder {
+  const CorpusConfig &Config;
+  Rng &G;
+  std::vector<CommitPair> &Commits;
+
+  bool roll() { return G.chance(Config.MistakeRate); }
+
+  /// Emits a fixing commit for a one-line mistake, wrapped so it parses.
+  void commitFix(const std::string &BadLine, const std::string &GoodLine,
+                 bool InsideTestMethod) {
+    if (!G.chance(Config.CommitFixRate))
+      return;
+    auto Wrap = [&](const std::string &Line) {
+      if (InsideTestMethod)
+        return "from unittest import TestCase\n"
+               "class TestFix(TestCase):\n"
+               "    def test_it(self):\n"
+               "    " +
+               Line + "\n";
+      return "def fixed_fn(self, value):\n" + Line + "\n";
+    };
+    Commits.push_back(CommitPair{Wrap(BadLine), Wrap(GoodLine)});
+  }
+};
+
+std::string num(Rng &G) { return std::to_string(G.bounded(100)); }
+
+// --- File kinds -----------------------------------------------------------
+
+/// unittest file: the Figure 2 ecosystem.
+SourceFile emitTestFile(const RepoStyle &S, Seeder &Seed, Rng &G,
+                        size_t FileIndex) {
+  FileBuilder B;
+  B.line("import os");
+  B.line("from unittest import TestCase");
+  B.blank();
+  std::string Noun = S.noun(G);
+  B.line("class Test" + Noun + "(TestCase):");
+  int NumMethods = static_cast<int>(G.range(3, 6));
+  for (int M = 0; M != NumMethods; ++M) {
+    std::string Field = S.field(G);
+    B.line("    def test_" + Field + "_" + std::to_string(M) + "(self):");
+    int NumStatements = static_cast<int>(G.range(2, 4));
+    for (int St = 0; St != NumStatements; ++St) {
+      // Project-specific receiver/attribute names: rare at corpus scale,
+      // so their paths fall below the mining frequency filter and the
+      // FP-tree keeps the generic assert idiom in one branch (matching the
+      // heavy-tailed vocabulary of real GitHub code).
+      std::string Obj = S.rare(G);
+      std::string Attr = S.rare(G);
+      switch (G.bounded(5)) {
+      case 0:
+      case 1: { // assertEqual(<expr>, NUM): the headline idiom.
+        std::string Expr = "self." + Obj + "." + Attr;
+        std::string Literal = num(G);
+        std::string Good =
+            "        self.assertEqual(" + Expr + ", " + Literal + ")";
+        // Semantic defects are rarer than quality issues in real code
+        // (Table 2 finds 5 vs 89); halve the seeding rate here.
+        if (Seed.roll() && G.chance(0.3)) {
+          if (G.chance(0.6)) {
+            // Table 3 ex. 1: wrong API, a semantic defect.
+            std::string Bad = "        self.assertTrue(" + Expr + ", " +
+                              Literal + ")";
+            B.issueOnNextLine(IssueKind::SemanticDefect,
+                              IssueCategory::ApiMisuse, "True", "Equal");
+            B.line(Bad);
+            Seed.commitFix(Bad, Good, /*InsideTestMethod=*/true);
+          } else {
+            // Table 3 ex. 3: deprecated assertEquals.
+            std::string Bad = "        self.assertEquals(" + Expr + ", " +
+                              Literal + ")";
+            B.issueOnNextLine(IssueKind::SemanticDefect,
+                              IssueCategory::DeprecatedApi, "Equals",
+                              "Equal");
+            B.line(Bad);
+            Seed.commitFix(Bad, Good, /*InsideTestMethod=*/true);
+          }
+        } else {
+          B.line(Good);
+        }
+        break;
+      }
+      case 2: // single-argument assertTrue: the legitimate use.
+        B.line("        self.assertTrue(self." + Obj + ".is_valid())");
+        break;
+      case 3: // os.path existence check inside assertTrue.
+        B.line("        self.assertTrue(os.path.exists(self." + Field +
+               "_" + Attr + "))");
+        break;
+      default:
+        B.line("        self.assertIn('" + Attr + "', self." + Obj + ")");
+        break;
+      }
+    }
+  }
+  return B.finish("tests/test_" + Noun + std::to_string(FileIndex) + ".py");
+}
+
+/// Repo-consistent rare idiom: assertTrue(os.path.islink(...)). Correct
+/// code, but a minority usage the pattern matcher will flag (the Table 3
+/// ex. 7 false positive).
+SourceFile emitIslinkTestFile(const RepoStyle &S, Rng &G, size_t FileIndex) {
+  FileBuilder B;
+  B.line("import os");
+  B.line("from unittest import TestCase");
+  B.blank();
+  B.line("class TestSymlinks" + std::to_string(FileIndex) + "(TestCase):");
+  int NumMethods = static_cast<int>(G.range(3, 5));
+  for (int M = 0; M != NumMethods; ++M) {
+    std::string Field = S.field(G);
+    B.line("    def test_link_" + Field + "(self):");
+    B.line("        self.assertTrue(os.path.islink(self." + Field +
+           "_path))");
+  }
+  return B.finish("tests/test_links" + std::to_string(FileIndex) + ".py");
+}
+
+/// Data class file: constructor field assignment, getters, setters.
+SourceFile emitModelFile(const RepoStyle &S, Seeder &Seed, Rng &G,
+                         size_t FileIndex) {
+  FileBuilder B;
+  std::string Noun = S.noun(G);
+  B.line("class " + Noun + "(object):");
+
+  // Constructor fields.
+  std::vector<std::string> Fields;
+  int NumFields = static_cast<int>(G.range(3, 6));
+  for (int I = 0; I != NumFields; ++I)
+    Fields.push_back(S.field(G));
+  std::string Params;
+  for (const std::string &F : Fields)
+    Params += ", " + F;
+  B.line("    def __init__(self" + Params + "):");
+  for (const std::string &F : Fields) {
+    std::string Good = "        self." + F + " = " + F;
+    if (Seed.roll()) {
+      switch (G.bounded(3)) {
+      case 0: { // typo on the right-hand side (Table 7 "por").
+        std::string Bad = typoOf(F, G);
+        B.issueOnNextLine(IssueKind::CodeQualityIssue, IssueCategory::Typo,
+                          Bad, F);
+        std::string BadLine = "        self." + F + " = " + Bad;
+        B.line(BadLine);
+        Seed.commitFix(BadLine, Good, /*InsideTestMethod=*/false);
+        break;
+      }
+      case 1: { // confusable word (key/name, min/max, ...).
+        size_t P = G.bounded(NumConfusablePairs);
+        std::string Correct = ConfusablePairs[P][0];
+        std::string Confused = ConfusablePairs[P][1];
+        B.issueOnNextLine(IssueKind::CodeQualityIssue,
+                          IssueCategory::ConfusingName, Confused, Correct);
+        std::string BadLine = "        self." + Correct + " = " + Confused;
+        B.line(BadLine);
+        Seed.commitFix(BadLine, "        self." + Correct + " = " + Correct,
+                       /*InsideTestMethod=*/false);
+        break;
+      }
+      default: { // inconsistent: assigns an unrelated vocabulary name.
+        std::string Other = S.field(G);
+        if (Other == F)
+          Other = std::string(FieldNames[(G.bounded(NumFieldNames))]);
+        if (Other == F) {
+          B.line(Good);
+          break;
+        }
+        B.issueOnNextLine(IssueKind::CodeQualityIssue,
+                          IssueCategory::InconsistentName, Other, F);
+        B.line("        self." + F + " = " + Other);
+        break;
+      }
+      }
+    } else if (G.chance(0.18)) {
+      // Legitimate wiring: correct code that violates the idiom (the FP
+      // population). Half uses ecosystem-wide pairs (separable by the
+      // classifier's dataset-level features), half uses project-specific
+      // right-hand sides that look exactly like inconsistent-name
+      // mistakes (the irreducible FP floor the paper reports).
+      if (G.chance(0.5)) {
+        size_t P = G.bounded(NumWiringPairs);
+        B.line(std::string("        self.") + WiringPairs[P][0] + " = " +
+               WiringPairs[P][1]);
+      } else {
+        B.line("        self." + std::string(S.field(G)) + " = " +
+               S.rare(G));
+      }
+    } else {
+      B.line(Good);
+    }
+  }
+
+  // Getters (consistency idiom: method subtoken == returned field).
+  for (const std::string &F : Fields) {
+    B.line("    def get_" + F + "(self):");
+    if (Seed.roll()) {
+      std::string Other = S.field(G);
+      if (Other == F)
+        Other = "data";
+      if (Other != F) {
+        B.issueOnNextLine(IssueKind::CodeQualityIssue,
+                          IssueCategory::InconsistentName, Other, F);
+        B.line("        return self." + Other);
+        continue;
+      }
+    }
+    B.line("        return self." + F);
+  }
+
+  // Setters; the minority "value" parameter style is a minor issue.
+  for (size_t I = 0; I + 1 < Fields.size(); I += 2) {
+    const std::string &F = Fields[I];
+    if (Seed.roll()) {
+      B.line("    def set_" + F + "(self, value):");
+      B.issueOnNextLine(IssueKind::CodeQualityIssue,
+                        IssueCategory::MinorIssue, "value", F);
+      B.line("        self." + F + " = value");
+      continue;
+    }
+    if (Seed.roll()) {
+      // Indescriptive single-letter parameter.
+      B.line("    def set_" + F + "(self, v):");
+      B.issueOnNextLine(IssueKind::CodeQualityIssue,
+                        IssueCategory::IndescriptiveName, "v", F);
+      B.line("        self." + F + " = v");
+      continue;
+    }
+    B.line("    def set_" + F + "(self, " + F + "):");
+    B.line("        self." + F + " = " + F);
+  }
+  return B.finish("src/" + Noun + std::to_string(FileIndex) + ".py");
+}
+
+/// Loops and utility functions: the range/xrange ecosystem.
+SourceFile emitLoopFile(const RepoStyle &S, Seeder &Seed, Rng &G,
+                        size_t FileIndex) {
+  FileBuilder B;
+  int NumFunctions = static_cast<int>(G.range(2, 5));
+  for (int Fn = 0; Fn != NumFunctions; ++Fn) {
+    std::string Field = S.field(G);
+    std::string Verb = S.verb(G);
+    B.line("def " + Verb + "_" + Field + "s(items):");
+    B.line("    total = 0");
+    std::string Good = "    for i in range(len(items)):";
+    if (Seed.roll() && G.chance(0.3)) {
+      std::string Bad = "    for i in xrange(len(items)):";
+      B.issueOnNextLine(IssueKind::SemanticDefect,
+                        IssueCategory::DeprecatedApi, "xrange", "range");
+      B.line(Bad);
+      Seed.commitFix(Bad, Good, /*InsideTestMethod=*/false);
+    } else {
+      B.line(Good);
+    }
+    B.line("        total = total + items[i]." + Field);
+    B.line("    return total");
+    B.blank();
+  }
+  return B.finish("src/util" + std::to_string(FileIndex) + ".py");
+}
+
+/// numpy file: the np-alias idiom (Table 3 ex. 6).
+SourceFile emitNumpyFile(const RepoStyle &S, Seeder &Seed, Rng &G,
+                         size_t FileIndex) {
+  FileBuilder B;
+  bool BadAlias = Seed.roll(); // whole-file confusing alias
+  std::string Alias = BadAlias ? "N" : "np";
+  B.line("import numpy as " + Alias);
+  B.blank();
+  int NumFunctions = static_cast<int>(G.range(2, 4));
+  for (int Fn = 0; Fn != NumFunctions; ++Fn) {
+    std::string Field = S.field(G);
+    const char *Ops[] = {"array", "zeros", "asarray", "ones"};
+    std::string Op = Ops[G.bounded(4)];
+    if (G.chance(0.5)) {
+      B.line("def make_" + Field + "_array(values):");
+      if (BadAlias)
+        B.issueOnNextLine(IssueKind::CodeQualityIssue,
+                          IssueCategory::ConfusingName, "N", "np");
+      B.line("    result = " + Alias + "." + Op + "(values)");
+      B.line("    return result");
+      B.blank();
+      continue;
+    }
+    // Method-style: stores the array into an attribute (the Table 3 ex. 6
+    // shape, self.sz = np.array(sz)).
+    std::string Param = S.rare(G);
+    B.line("class " + std::string(S.noun(G)) + "Array" +
+           std::to_string(Fn) + "(object):");
+    B.line("    def resize_" + Field + "(self, " + Param + "):");
+    if (BadAlias)
+      B.issueOnNextLine(IssueKind::CodeQualityIssue,
+                        IssueCategory::ConfusingName, "N", "np");
+    B.line("        self." + Param + " = " + Alias + "." + Op + "(" +
+           Param + ")");
+    B.blank();
+  }
+  if (BadAlias)
+    Seed.commitFix("import numpy as N\nx = N.array(values)",
+                   "import numpy as np\nx = np.array(values)",
+                   /*InsideTestMethod=*/false);
+  return B.finish("src/arrays" + std::to_string(FileIndex) + ".py");
+}
+
+/// API-forwarding file: the *args/**kwargs idiom (Table 3 ex. 5).
+SourceFile emitKwargsFile(const RepoStyle &S, Seeder &Seed, Rng &G,
+                          size_t FileIndex) {
+  FileBuilder B;
+  std::string Noun = S.noun(G);
+  B.line("class " + Noun + "Proxy(object):");
+  int NumMethods = static_cast<int>(G.range(2, 4));
+  for (int M = 0; M != NumMethods; ++M) {
+    std::string Verb = S.verb(G);
+    std::string Field = S.field(G);
+    if (Seed.roll()) {
+      // Table 3 ex. 5: args used for keyworded variable-length arguments.
+      B.issueOnNextLine(IssueKind::CodeQualityIssue,
+                        IssueCategory::MinorIssue, "args", "kwargs");
+      B.line("    def " + Verb + "_" + Field + "(self, **args):");
+      B.line("        self.target." + Verb + "(**args)");
+      Seed.commitFix("def fwd(self, **args):\n"
+                     "    self.target.call(**args)",
+                     "def fwd(self, **kwargs):\n"
+                     "    self.target.call(**kwargs)",
+                     /*InsideTestMethod=*/false);
+      continue;
+    }
+    if (G.chance(0.5)) {
+      B.line("    def " + Verb + "_" + Field + "(self, **kwargs):");
+      B.line("        self.target." + Verb + "(**kwargs)");
+    } else {
+      B.line("    def " + Verb + "_" + Field +
+             "(self, *args, **kwargs):");
+      B.line("        self.target." + Verb + "(*args, **kwargs)");
+    }
+  }
+  return B.finish("src/proxy" + std::to_string(FileIndex) + ".py");
+}
+
+/// In-house validator class: methods named assert<Word>(value, NUM) that
+/// are perfectly correct. With the Section 4.1 analyses the receiver's
+/// origin differs from TestCase and the unittest patterns do not match;
+/// without them ("w/o A") these statements collide with the mined assert
+/// idiom and become false positives -- the precision gap of Table 2.
+SourceFile emitValidatorFile(const RepoStyle &S, Rng &G, size_t FileIndex) {
+  FileBuilder B;
+  std::string Noun = S.noun(G);
+  // Half of the validators define their own two-argument assertTrue(value,
+  // code) -- legitimate for that class, and textually identical to the
+  // unittest misuse. Only the receiver's origin tells them apart.
+  const char *Checks[] = {"True", "State", "Range", "Shape", "Limit",
+                          "Bounds"};
+  std::string Check = Checks[G.bounded(2) == 0 ? 0 : 1 + G.bounded(5)];
+  B.line("class " + Noun + "Checker(object):");
+  B.line("    def assert" + Check + "(self, value, code):");
+  B.line("        if value != code:");
+  B.line("            raise ValueError(value)");
+  // Sparse usage keeps the per-file/per-repo violation statistics of these
+  // statements close to those of genuine mistakes, so the "w/o A"
+  // classifier cannot separate them (only the analyses can).
+  int NumMethods = static_cast<int>(G.range(1, 2));
+  for (int M = 0; M != NumMethods; ++M) {
+    std::string Field = S.rare(G);
+    B.line("    def check_" + Field + "_" + std::to_string(M) + "(self):");
+    B.line("        self.assert" + Check + "(self." + S.rare(G) + "." +
+           S.rare(G) + ", " + num(G) + ")");
+  }
+  return B.finish("src/checker" + std::to_string(FileIndex) + ".py");
+}
+
+/// os.path utility file.
+SourceFile emitPathFile(const RepoStyle &S, Rng &G, size_t FileIndex) {
+  FileBuilder B;
+  B.line("import os");
+  B.blank();
+  int NumFunctions = static_cast<int>(G.range(2, 4));
+  for (int Fn = 0; Fn != NumFunctions; ++Fn) {
+    std::string Field = S.field(G);
+    B.line("def load_" + Field + "(path):");
+    B.line("    if os.path.exists(path):");
+    B.line("        handle = open(path)");
+    B.line("        " + Field + " = handle.read()");
+    B.line("        handle.close()");
+    B.line("        return " + Field);
+    B.line("    return None");
+    B.blank();
+  }
+  return B.finish("src/files" + std::to_string(FileIndex) + ".py");
+}
+
+} // namespace
+
+Repository corpus::detail::generatePythonRepo(const CorpusConfig &Config,
+                                              const std::string &Name,
+                                              Rng &G,
+                                              std::vector<CommitPair> &Commits) {
+  Repository Repo;
+  Repo.Name = Name;
+  RepoStyle Style = makeRepoStyle(G);
+  Seeder Seed{Config, G, Commits};
+
+  size_t NumFiles = Config.MinFilesPerRepo +
+                    G.bounded(Config.MaxFilesPerRepo -
+                              Config.MinFilesPerRepo + 1);
+  for (size_t I = 0; I != NumFiles; ++I) {
+    switch (G.bounded(11)) {
+    case 0:
+    case 1:
+    case 2:
+      Repo.Files.push_back(emitTestFile(Style, Seed, G, I));
+      break;
+    case 3:
+    case 4:
+    case 5:
+      Repo.Files.push_back(emitModelFile(Style, Seed, G, I));
+      break;
+    case 6:
+      Repo.Files.push_back(emitLoopFile(Style, Seed, G, I));
+      break;
+    case 7:
+      Repo.Files.push_back(emitNumpyFile(Style, Seed, G, I));
+      break;
+    case 8:
+      Repo.Files.push_back(emitKwargsFile(Style, Seed, G, I));
+      break;
+    case 9:
+      Repo.Files.push_back(emitValidatorFile(Style, G, I));
+      break;
+    default:
+      Repo.Files.push_back(emitPathFile(Style, G, I));
+      break;
+    }
+  }
+  if (Style.UsesIslinkIdiom)
+    Repo.Files.push_back(emitIslinkTestFile(Style, G, NumFiles));
+  // Paths are unique corpus-wide (the inspection oracle and report
+  // consumers key on them).
+  for (SourceFile &F : Repo.Files)
+    F.Path = Name + "/" + F.Path;
+  return Repo;
+}

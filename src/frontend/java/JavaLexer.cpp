@@ -1,0 +1,160 @@
+//===- frontend/java/JavaLexer.cpp ----------------------------------------==//
+
+#include "frontend/java/JavaLexer.h"
+
+#include <cctype>
+
+using namespace namer;
+using namespace namer::java;
+
+namespace {
+
+bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '$';
+}
+bool isIdentCont(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '$';
+}
+bool isDigit(char C) { return std::isdigit(static_cast<unsigned char>(C)); }
+
+// Note: ">>"-family operators are deliberately absent so that nested
+// generics (List<List<String>>) lex as two '>' tokens; right shifts are
+// outside the supported subset.
+constexpr std::string_view MultiOps[] = {
+    "<<=", "...", "->", "::", "++", "--", "&&", "||", "==", "!=",
+    "<=",  ">=",  "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "<<",
+};
+
+} // namespace
+
+LexResult namer::java::lexJava(std::string_view Src) {
+  LexResult Result;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  auto Push = [&](TokenKind Kind, std::string Text) {
+    Result.Tokens.push_back(Token{Kind, std::move(Text), Line});
+  };
+  auto Peek = [&](size_t Ahead = 0) {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  };
+  auto Error = [&](const std::string &Message) {
+    Result.Errors.push_back("line " + std::to_string(Line) + ": " + Message);
+  };
+
+  while (Pos < Src.size()) {
+    char C = Src[Pos];
+    if (C == '\n') {
+      ++Line;
+      ++Pos;
+      continue;
+    }
+    if (C == ' ' || C == '\t' || C == '\r') {
+      ++Pos;
+      continue;
+    }
+    if (C == '/' && Peek(1) == '/') {
+      while (Pos < Src.size() && Src[Pos] != '\n')
+        ++Pos;
+      continue;
+    }
+    if (C == '/' && Peek(1) == '*') {
+      Pos += 2;
+      while (Pos < Src.size() && !(Src[Pos] == '*' && Peek(1) == '/')) {
+        if (Src[Pos] == '\n')
+          ++Line;
+        ++Pos;
+      }
+      if (Pos < Src.size())
+        Pos += 2;
+      else
+        Error("unterminated block comment");
+      continue;
+    }
+    if (isIdentStart(C)) {
+      size_t Start = Pos;
+      while (Pos < Src.size() && isIdentCont(Src[Pos]))
+        ++Pos;
+      Push(TokenKind::Name, std::string(Src.substr(Start, Pos - Start)));
+      continue;
+    }
+    if (isDigit(C) || (C == '.' && isDigit(Peek(1)))) {
+      size_t Start = Pos;
+      while (Pos < Src.size() &&
+             (isIdentCont(Src[Pos]) || Src[Pos] == '.')) {
+        // Exponent signs inside float literals: 1e-5.
+        if ((Src[Pos] == 'e' || Src[Pos] == 'E') && Pos + 1 < Src.size() &&
+            (Src[Pos + 1] == '+' || Src[Pos + 1] == '-'))
+          ++Pos;
+        ++Pos;
+      }
+      Push(TokenKind::Number, std::string(Src.substr(Start, Pos - Start)));
+      continue;
+    }
+    if (C == '"') {
+      ++Pos;
+      std::string Text;
+      while (Pos < Src.size() && Src[Pos] != '"') {
+        if (Src[Pos] == '\\' && Pos + 1 < Src.size()) {
+          Text += Src[Pos];
+          Text += Src[Pos + 1];
+          Pos += 2;
+          continue;
+        }
+        if (Src[Pos] == '\n') {
+          Error("unterminated string literal");
+          break;
+        }
+        Text += Src[Pos];
+        ++Pos;
+      }
+      if (Pos < Src.size() && Src[Pos] == '"')
+        ++Pos;
+      Push(TokenKind::String, std::move(Text));
+      continue;
+    }
+    if (C == '\'') {
+      ++Pos;
+      std::string Text;
+      while (Pos < Src.size() && Src[Pos] != '\'') {
+        if (Src[Pos] == '\\' && Pos + 1 < Src.size()) {
+          Text += Src[Pos];
+          Text += Src[Pos + 1];
+          Pos += 2;
+          continue;
+        }
+        if (Src[Pos] == '\n') {
+          Error("unterminated char literal");
+          break;
+        }
+        Text += Src[Pos];
+        ++Pos;
+      }
+      if (Pos < Src.size() && Src[Pos] == '\'')
+        ++Pos;
+      Push(TokenKind::CharLit, std::move(Text));
+      continue;
+    }
+    bool Matched = false;
+    for (std::string_view Op : MultiOps) {
+      if (Src.substr(Pos, Op.size()) == Op) {
+        Push(TokenKind::Operator, std::string(Op));
+        Pos += Op.size();
+        Matched = true;
+        break;
+      }
+    }
+    if (Matched)
+      continue;
+    constexpr std::string_view SingleOps = "+-*/%<>=!&|^~?:;,.(){}[]@";
+    if (SingleOps.find(C) != std::string_view::npos) {
+      Push(TokenKind::Operator, std::string(1, C));
+      ++Pos;
+      continue;
+    }
+    Error(std::string("unexpected character '") + C + "'");
+    ++Pos;
+  }
+  Result.Tokens.push_back(Token{TokenKind::EndOfFile, "", Line});
+  return Result;
+}

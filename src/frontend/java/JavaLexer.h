@@ -1,0 +1,47 @@
+//===- frontend/java/JavaLexer.h - Java lexer -------------------*- C++ -*-==//
+///
+/// \file
+/// Tokenizer for the Java subset Namer analyzes. Brace-structured, so much
+/// simpler than the Python lexer; handles line/block comments, char/string
+/// literals and Java's multi-character operators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_FRONTEND_JAVA_JAVALEXER_H
+#define NAMER_FRONTEND_JAVA_JAVALEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace namer {
+namespace java {
+
+enum class TokenKind : uint8_t {
+  Name,
+  Number,
+  String,
+  CharLit,
+  Operator,
+  EndOfFile,
+};
+
+struct Token {
+  TokenKind Kind;
+  std::string Text;
+  uint32_t Line;
+};
+
+struct LexResult {
+  std::vector<Token> Tokens;
+  std::vector<std::string> Errors;
+};
+
+/// Lexes \p Source; never fails hard.
+LexResult lexJava(std::string_view Source);
+
+} // namespace java
+} // namespace namer
+
+#endif // NAMER_FRONTEND_JAVA_JAVALEXER_H

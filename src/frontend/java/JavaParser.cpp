@@ -1,0 +1,1196 @@
+//===- frontend/java/JavaParser.cpp ---------------------------------------==//
+
+#include "frontend/java/JavaParser.h"
+
+#include "frontend/java/JavaLexer.h"
+
+#include <cassert>
+
+using namespace namer;
+using namespace namer::java;
+
+namespace {
+
+constexpr std::string_view Modifiers[] = {
+    "public",   "private",  "protected", "static",   "final",
+    "abstract", "native",   "transient", "volatile", "synchronized",
+    "strictfp", "default",
+};
+
+constexpr std::string_view PrimitiveTypes[] = {
+    "void", "boolean", "byte", "char", "short", "int", "long", "float",
+    "double",
+};
+
+bool isModifier(std::string_view Text) {
+  for (std::string_view M : Modifiers)
+    if (Text == M)
+      return true;
+  return false;
+}
+
+bool isPrimitive(std::string_view Text) {
+  for (std::string_view P : PrimitiveTypes)
+    if (Text == P)
+      return true;
+  return false;
+}
+
+bool isReservedStatementWord(std::string_view Text) {
+  return Text == "if" || Text == "for" || Text == "while" || Text == "do" ||
+         Text == "try" || Text == "return" || Text == "throw" ||
+         Text == "break" || Text == "continue" || Text == "switch" ||
+         Text == "new" || Text == "class" || Text == "else" ||
+         Text == "case" || Text == "instanceof" || Text == "assert";
+}
+
+class Parser {
+public:
+  Parser(std::string_view Source, AstContext &Ctx)
+      : Ctx(Ctx), Result(Ctx), T(Result.Module) {
+    LexResult Lexed = lexJava(Source);
+    Tokens = std::move(Lexed.Tokens);
+    for (auto &E : Lexed.Errors)
+      Result.Errors.push_back("lex: " + E);
+  }
+
+  ParseResult run() {
+    NodeId Module = T.addNode(NodeKind::Module, InvalidNode);
+    T.setRoot(Module);
+    parseCompilationUnit(Module);
+    return std::move(Result);
+  }
+
+private:
+  // --- Token cursor -------------------------------------------------------
+  const Token &cur() const { return Tokens[Pos]; }
+  const Token &peek(size_t Ahead = 1) const {
+    size_t I = Pos + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  void advance() {
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+  }
+  bool at(TokenKind Kind) const { return cur().Kind == Kind; }
+  bool atOp(std::string_view Op) const {
+    return cur().Kind == TokenKind::Operator && cur().Text == Op;
+  }
+  bool atName(std::string_view Name) const {
+    return cur().Kind == TokenKind::Name && cur().Text == Name;
+  }
+  bool eatOp(std::string_view Op) {
+    if (!atOp(Op))
+      return false;
+    advance();
+    return true;
+  }
+  bool eatName(std::string_view Name) {
+    if (!atName(Name))
+      return false;
+    advance();
+    return true;
+  }
+  uint32_t line() const { return cur().Line; }
+
+  void error(const std::string &Message) {
+    Result.Errors.push_back("line " + std::to_string(cur().Line) + ": " +
+                            Message);
+  }
+
+  /// Skips to just after the next ';' at the current brace depth, or to the
+  /// closing '}' of the current block.
+  void syncStatement() {
+    int Depth = 0;
+    while (!at(TokenKind::EndOfFile)) {
+      if (atOp("{"))
+        ++Depth;
+      if (atOp("}")) {
+        if (Depth == 0)
+          return;
+        --Depth;
+      }
+      bool WasSemicolon = Depth == 0 && atOp(";");
+      advance();
+      if (WasSemicolon)
+        return;
+    }
+  }
+
+  void skipAnnotations() {
+    while (atOp("@")) {
+      advance();
+      if (at(TokenKind::Name))
+        advance();
+      while (eatOp("."))
+        if (at(TokenKind::Name))
+          advance();
+      if (atOp("("))
+        skipBalanced("(", ")");
+    }
+  }
+
+  void skipModifiers() {
+    while (true) {
+      skipAnnotations();
+      if (at(TokenKind::Name) && isModifier(cur().Text)) {
+        // "default" is both a modifier and a switch label; only skip it when
+        // a type-ish token follows.
+        if (cur().Text == "default" && peek().Kind == TokenKind::Operator)
+          return;
+        advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  void skipBalanced(std::string_view Open, std::string_view Close) {
+    assert(atOp(Open) && "skipBalanced requires the opening token");
+    int Depth = 0;
+    while (!at(TokenKind::EndOfFile)) {
+      if (atOp(Open))
+        ++Depth;
+      else if (atOp(Close)) {
+        --Depth;
+        if (Depth == 0) {
+          advance();
+          return;
+        }
+      }
+      advance();
+    }
+  }
+
+  // --- Types --------------------------------------------------------------
+  /// Returns the number of tokens a type occupies starting at offset
+  /// \p Start, or 0 if the tokens do not form a type.
+  size_t scanType(size_t Start) const;
+  NodeId parseType(NodeId Parent);
+
+  // --- Structure ----------------------------------------------------------
+  void parseCompilationUnit(NodeId Module);
+  void parseTypeDecl(NodeId Parent);
+  void parseClassBody(NodeId Body, std::string_view ClassName);
+  void parseMember(NodeId Body, std::string_view ClassName);
+  void parseMethodRest(NodeId Parent, std::string_view Name, uint32_t Ln);
+  void parseBlock(NodeId Body);
+  void parseStatement(NodeId Parent);
+  void parseFor(NodeId Parent);
+  void parseIf(NodeId Parent);
+  void parseTry(NodeId Parent);
+  void parseVarDecl(NodeId Parent, bool ExpectSemicolon);
+
+  // --- Expressions --------------------------------------------------------
+  NodeId parseExpression(NodeId Parent); // assignment level
+  NodeId parseTernary(NodeId Parent);
+  NodeId parseBinary(NodeId Parent, int MinPrecedence);
+  NodeId parseUnary(NodeId Parent);
+  NodeId parsePostfix(NodeId Parent);
+  NodeId parseAtom(NodeId Parent);
+  void parseCallArgs(NodeId Call);
+  NodeId parseNew(NodeId Parent);
+
+  void convertToStore(NodeId N);
+
+  NodeId addIdent(std::string_view Name, NodeId Parent) {
+    return T.addNode(NodeKind::Ident, Name, Parent, line());
+  }
+
+  AstContext &Ctx;
+  ParseResult Result;
+  Tree &T;
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+};
+
+void Parser::convertToStore(NodeId N) {
+  const Node &Nd = T.node(N);
+  switch (Nd.Kind) {
+  case NodeKind::NameLoad:
+    T.setKind(N, NodeKind::NameStore);
+    T.setValue(N, Ctx.kindSymbol(NodeKind::NameStore));
+    return;
+  case NodeKind::AttributeLoad:
+    T.setKind(N, NodeKind::AttributeStore);
+    T.setValue(N, Ctx.kindSymbol(NodeKind::AttributeStore));
+    return;
+  default:
+    return;
+  }
+}
+
+// --- Types ----------------------------------------------------------------
+
+size_t Parser::scanType(size_t Start) const {
+  size_t I = Start;
+  auto Tok = [&](size_t Idx) -> const Token & {
+    return Idx < Tokens.size() ? Tokens[Idx] : Tokens.back();
+  };
+  if (Tok(I).Kind != TokenKind::Name)
+    return 0;
+  if (isReservedStatementWord(Tok(I).Text))
+    return 0;
+  ++I;
+  // Dotted name: java.util.List.
+  while (Tok(I).Kind == TokenKind::Operator && Tok(I).Text == "." &&
+         Tok(I + 1).Kind == TokenKind::Name)
+    I += 2;
+  // Generics: List<...> with nesting.
+  if (Tok(I).Kind == TokenKind::Operator && Tok(I).Text == "<") {
+    int Depth = 0;
+    size_t J = I;
+    while (J < Tokens.size()) {
+      const Token &Tk = Tok(J);
+      if (Tk.Kind == TokenKind::EndOfFile)
+        return 0;
+      if (Tk.Kind == TokenKind::Operator) {
+        if (Tk.Text == "<")
+          ++Depth;
+        else if (Tk.Text == ">") {
+          --Depth;
+          if (Depth == 0) {
+            ++J;
+            break;
+          }
+        } else if (Tk.Text != "," && Tk.Text != "." && Tk.Text != "?" &&
+                   Tk.Text != "[" && Tk.Text != "]") {
+          return 0; // not a generic argument list after all
+        }
+      } else if (Tk.Kind != TokenKind::Name) {
+        return 0;
+      } else if (Tk.Kind == TokenKind::Name && Tk.Text == "extends") {
+        // wildcard bounds are fine
+      }
+      ++J;
+    }
+    I = J;
+  }
+  // Array dims.
+  while (Tok(I).Kind == TokenKind::Operator && Tok(I).Text == "[" &&
+         Tok(I + 1).Kind == TokenKind::Operator && Tok(I + 1).Text == "]")
+    I += 2;
+  return I - Start;
+}
+
+NodeId Parser::parseType(NodeId Parent) {
+  uint32_t Ln = line();
+  NodeId Type = T.addNode(NodeKind::TypeRef, Parent, Ln);
+  if (!at(TokenKind::Name)) {
+    error("expected type name");
+    addIdent("<error>", Type);
+    return Type;
+  }
+  std::string Name = cur().Text;
+  advance();
+  while (atOp(".") && peek().Kind == TokenKind::Name) {
+    advance();
+    Name += '.';
+    Name += cur().Text;
+    advance();
+  }
+  addIdent(Name, Type);
+  if (atOp("<")) {
+    // Generic arguments become nested TypeRef children.
+    advance();
+    while (!atOp(">") && !at(TokenKind::EndOfFile)) {
+      if (atOp("?")) { // wildcard
+        advance();
+        if (eatName("extends") || eatName("super"))
+          parseType(Type);
+        else
+          T.addNode(NodeKind::TypeRef, "Wildcard", Type, line());
+      } else if (at(TokenKind::Name)) {
+        parseType(Type);
+      } else {
+        break;
+      }
+      if (!eatOp(","))
+        break;
+    }
+    if (!eatOp(">"))
+      error("expected '>' in generic type");
+  }
+  while (atOp("[") && peek().Kind == TokenKind::Operator &&
+         peek().Text == "]") {
+    advance();
+    advance();
+    T.addNode(NodeKind::Op, "[]", Type, Ln);
+  }
+  return Type;
+}
+
+// --- Structure --------------------------------------------------------------
+
+void Parser::parseCompilationUnit(NodeId Module) {
+  while (!at(TokenKind::EndOfFile)) {
+    skipAnnotations();
+    if (atName("package")) {
+      // package a.b.c;
+      while (!atOp(";") && !at(TokenKind::EndOfFile))
+        advance();
+      eatOp(";");
+      continue;
+    }
+    if (atName("import")) {
+      uint32_t Ln = line();
+      advance();
+      eatName("static");
+      std::string Path;
+      while (at(TokenKind::Name) || atOp("*")) {
+        Path += cur().Text.empty() ? "*" : cur().Text;
+        advance();
+        if (!eatOp("."))
+          break;
+        Path += '.';
+      }
+      NodeId Import = T.addNode(NodeKind::Import, Module, Ln);
+      addIdent(Path, Import);
+      eatOp(";");
+      continue;
+    }
+    if (at(TokenKind::Name) &&
+        (isModifier(cur().Text) || cur().Text == "class" ||
+         cur().Text == "interface" || cur().Text == "enum")) {
+      parseTypeDecl(Module);
+      continue;
+    }
+    if (atOp(";")) {
+      advance();
+      continue;
+    }
+    error("unexpected token '" + cur().Text + "' at top level");
+    advance();
+  }
+}
+
+void Parser::parseTypeDecl(NodeId Parent) {
+  skipModifiers();
+  bool IsEnum = atName("enum");
+  if (!eatName("class") && !eatName("interface") && !eatName("enum")) {
+    error("expected type declaration");
+    syncStatement();
+    return;
+  }
+  uint32_t Ln = line();
+  NodeId Class = T.addNode(NodeKind::ClassDef, Parent, Ln);
+  std::string ClassName = "<error>";
+  if (at(TokenKind::Name)) {
+    ClassName = cur().Text;
+    addIdent(ClassName, Class);
+    advance();
+  } else {
+    error("expected class name");
+    addIdent(ClassName, Class);
+  }
+  // Type parameters: class Foo<T extends Bar>.
+  if (atOp("<"))
+    skipBalanced("<", ">");
+  NodeId Bases = T.addNode(NodeKind::BasesList, Class, Ln);
+  if (eatName("extends")) {
+    parseType(Bases);
+    while (eatOp(",")) // interface multiple inheritance
+      parseType(Bases);
+  }
+  if (eatName("implements")) {
+    parseType(Bases);
+    while (eatOp(","))
+      parseType(Bases);
+  }
+  NodeId Body = T.addNode(NodeKind::Body, Class, Ln);
+  if (!eatOp("{")) {
+    error("expected '{' in type declaration");
+    return;
+  }
+  if (IsEnum) {
+    // Enum constants: NAME(args)?, ... ;
+    while (at(TokenKind::Name) && !isModifier(cur().Text)) {
+      addIdent(cur().Text, Body);
+      advance();
+      if (atOp("("))
+        skipBalanced("(", ")");
+      if (atOp("{"))
+        skipBalanced("{", "}");
+      if (!eatOp(","))
+        break;
+    }
+    eatOp(";");
+  }
+  parseClassBody(Body, ClassName);
+}
+
+void Parser::parseClassBody(NodeId Body, std::string_view ClassName) {
+  while (!atOp("}") && !at(TokenKind::EndOfFile))
+    parseMember(Body, ClassName);
+  eatOp("}");
+}
+
+void Parser::parseMember(NodeId Body, std::string_view ClassName) {
+  skipModifiers();
+  if (atOp(";")) {
+    advance();
+    return;
+  }
+  if (atName("class") || atName("interface") || atName("enum"))
+    return parseTypeDecl(Body);
+  if (atOp("{")) { // static / instance initializer
+    NodeId Block = T.addNode(NodeKind::Body, Body, line());
+    advance();
+    parseBlock(Block);
+    return;
+  }
+  // Method type parameters: <T> T identity(...).
+  if (atOp("<"))
+    skipBalanced("<", ">");
+
+  // Constructor: ClassName '('.
+  if (at(TokenKind::Name) && cur().Text == ClassName &&
+      peek().Kind == TokenKind::Operator && peek().Text == "(") {
+    uint32_t Ln = line();
+    std::string Name = cur().Text;
+    advance();
+    return parseMethodRest(Body, Name, Ln);
+  }
+
+  size_t TypeLen = scanType(Pos);
+  if (TypeLen == 0) {
+    error("unexpected member starting with '" + cur().Text + "'");
+    syncStatement();
+    return;
+  }
+  size_t AfterType = Pos + TypeLen;
+  const Token &NameTok =
+      AfterType < Tokens.size() ? Tokens[AfterType] : Tokens.back();
+  const Token &AfterName =
+      AfterType + 1 < Tokens.size() ? Tokens[AfterType + 1] : Tokens.back();
+
+  if (NameTok.Kind == TokenKind::Name &&
+      AfterName.Kind == TokenKind::Operator && AfterName.Text == "(") {
+    // Method: the return type is skipped, not kept in the tree; the pattern
+    // layer keys on the name + parameters, mirroring the Python frontend.
+    uint32_t Ln = line();
+    for (size_t I = 0; I != TypeLen; ++I)
+      advance();
+    std::string Name = cur().Text;
+    advance();
+    return parseMethodRest(Body, Name, Ln);
+  }
+  // Field declaration(s).
+  parseVarDecl(Body, /*ExpectSemicolon=*/true);
+}
+
+void Parser::parseMethodRest(NodeId Parent, std::string_view Name,
+                             uint32_t Ln) {
+  NodeId Fn = T.addNode(NodeKind::FunctionDef, Parent, Ln);
+  addIdent(Name, Fn);
+  NodeId Params = T.addNode(NodeKind::ParamList, Fn, Ln);
+  if (eatOp("(")) {
+    while (!atOp(")") && !at(TokenKind::EndOfFile)) {
+      skipAnnotations();
+      eatName("final");
+      NodeId P = T.addNode(NodeKind::Param, "Param", Params, line());
+      parseType(P);
+      if (eatOp("...")) // varargs
+        T.setValue(P, Ctx.intern("StarParam"));
+      if (at(TokenKind::Name)) {
+        addIdent(cur().Text, P);
+        advance();
+      } else {
+        error("expected parameter name");
+      }
+      while (atOp("[") && peek().Text == "]") {
+        advance();
+        advance();
+      }
+      if (!eatOp(","))
+        break;
+    }
+    if (!eatOp(")"))
+      error("expected ')' after parameters");
+  } else {
+    error("expected '(' in method declaration");
+  }
+  if (eatName("throws")) {
+    parseType(Fn);
+    while (eatOp(","))
+      parseType(Fn);
+  }
+  NodeId Body = T.addNode(NodeKind::Body, Fn, Ln);
+  if (atOp("{")) {
+    advance();
+    parseBlock(Body);
+    return;
+  }
+  eatOp(";"); // abstract / interface method
+}
+
+void Parser::parseBlock(NodeId Body) {
+  while (!atOp("}") && !at(TokenKind::EndOfFile))
+    parseStatement(Body);
+  eatOp("}");
+}
+
+void Parser::parseVarDecl(NodeId Parent, bool ExpectSemicolon) {
+  uint32_t Ln = line();
+  // One VarDecl node per declarator; the type is re-attached to each.
+  size_t TypeStart = Pos;
+  size_t TypeLen = scanType(Pos);
+  if (TypeLen == 0) {
+    error("expected a type in declaration");
+    syncStatement();
+    return;
+  }
+  bool First = true;
+  while (true) {
+    NodeId Decl = T.addNode(NodeKind::VarDecl, Parent, Ln);
+    size_t Resume = Pos;
+    Pos = TypeStart;
+    parseType(Decl);
+    if (First) {
+      First = false;
+    } else {
+      Pos = Resume;
+    }
+    NodeId Store = T.addNode(NodeKind::NameStore, Decl, line());
+    if (at(TokenKind::Name)) {
+      addIdent(cur().Text, Store);
+      advance();
+    } else {
+      error("expected variable name");
+      addIdent("<error>", Store);
+    }
+    while (atOp("[") && peek().Text == "]") { // trailing array dims
+      advance();
+      advance();
+    }
+    if (eatOp("=")) {
+      if (atOp("{")) { // array initializer
+        NodeId List = T.addNode(NodeKind::ListLit, Decl, line());
+        advance();
+        while (!atOp("}") && !at(TokenKind::EndOfFile)) {
+          if (atOp("{")) { // nested initializer: flatten coarsely
+            skipBalanced("{", "}");
+          } else {
+            parseExpression(List);
+          }
+          if (!eatOp(","))
+            break;
+        }
+        eatOp("}");
+      } else {
+        parseExpression(Decl);
+      }
+    }
+    if (!eatOp(","))
+      break;
+  }
+  if (ExpectSemicolon && !eatOp(";")) {
+    error("expected ';' after declaration");
+    syncStatement();
+  }
+}
+
+void Parser::parseStatement(NodeId Parent) {
+  skipAnnotations();
+  uint32_t Ln = line();
+  if (atOp(";")) {
+    advance();
+    return;
+  }
+  if (atOp("{")) {
+    advance();
+    parseBlock(Parent); // flatten nested blocks into the enclosing body
+    return;
+  }
+  if (atName("if"))
+    return parseIf(Parent);
+  if (atName("for"))
+    return parseFor(Parent);
+  if (atName("while")) {
+    advance();
+    NodeId While = T.addNode(NodeKind::While, Parent, Ln);
+    if (eatOp("(")) {
+      parseExpression(While);
+      if (!eatOp(")"))
+        error("expected ')'");
+    }
+    NodeId Body = T.addNode(NodeKind::Body, While, Ln);
+    if (eatOp("{"))
+      parseBlock(Body);
+    else
+      parseStatement(Body);
+    return;
+  }
+  if (atName("do")) {
+    advance();
+    NodeId While = T.addNode(NodeKind::While, Parent, Ln);
+    NodeId Body = T.addNode(NodeKind::Body, While, Ln);
+    if (eatOp("{"))
+      parseBlock(Body);
+    else
+      parseStatement(Body);
+    if (eatName("while") && eatOp("(")) {
+      parseExpression(While);
+      eatOp(")");
+    }
+    eatOp(";");
+    return;
+  }
+  if (atName("try"))
+    return parseTry(Parent);
+  if (atName("return")) {
+    advance();
+    NodeId Ret = T.addNode(NodeKind::Return, Parent, Ln);
+    if (!atOp(";"))
+      parseExpression(Ret);
+    if (!eatOp(";"))
+      syncStatement();
+    return;
+  }
+  if (atName("throw")) {
+    advance();
+    NodeId Throw = T.addNode(NodeKind::Raise, Parent, Ln);
+    parseExpression(Throw);
+    if (!eatOp(";"))
+      syncStatement();
+    return;
+  }
+  if (atName("break")) {
+    advance();
+    T.addNode(NodeKind::Break, Parent, Ln);
+    if (at(TokenKind::Name))
+      advance(); // label
+    eatOp(";");
+    return;
+  }
+  if (atName("continue")) {
+    advance();
+    T.addNode(NodeKind::Continue, Parent, Ln);
+    if (at(TokenKind::Name))
+      advance(); // label
+    eatOp(";");
+    return;
+  }
+  if (atName("switch")) {
+    advance();
+    NodeId If = T.addNode(NodeKind::If, Parent, Ln);
+    if (eatOp("(")) {
+      parseExpression(If);
+      eatOp(")");
+    }
+    NodeId Body = T.addNode(NodeKind::Body, If, Ln);
+    if (eatOp("{")) {
+      while (!atOp("}") && !at(TokenKind::EndOfFile)) {
+        if (atName("case")) {
+          advance();
+          // Consume the case label expression up to ':'.
+          while (!atOp(":") && !at(TokenKind::EndOfFile))
+            advance();
+          eatOp(":");
+          continue;
+        }
+        if (atName("default")) {
+          advance();
+          eatOp(":");
+          continue;
+        }
+        parseStatement(Body);
+      }
+      eatOp("}");
+    }
+    return;
+  }
+  if (atName("synchronized") && peek().Kind == TokenKind::Operator &&
+      peek().Text == "(") {
+    advance();
+    NodeId Stmt = T.addNode(NodeKind::ExprStmt, Parent, Ln);
+    eatOp("(");
+    parseExpression(Stmt);
+    eatOp(")");
+    if (eatOp("{"))
+      parseBlock(Parent);
+    return;
+  }
+  if (atName("assert")) {
+    advance();
+    NodeId Stmt = T.addNode(NodeKind::ExprStmt, Parent, Ln);
+    parseExpression(Stmt);
+    if (eatOp(":"))
+      parseExpression(Stmt);
+    if (!eatOp(";"))
+      syncStatement();
+    return;
+  }
+
+  // Local variable declaration?
+  size_t TypeLen = scanType(Pos);
+  if (TypeLen != 0) {
+    size_t After = Pos + TypeLen;
+    const Token &NameTok =
+        After < Tokens.size() ? Tokens[After] : Tokens.back();
+    const Token &AfterName =
+        After + 1 < Tokens.size() ? Tokens[After + 1] : Tokens.back();
+    bool LooksLikeDecl =
+        NameTok.Kind == TokenKind::Name &&
+        !isReservedStatementWord(NameTok.Text) &&
+        AfterName.Kind == TokenKind::Operator &&
+        (AfterName.Text == "=" || AfterName.Text == ";" ||
+         AfterName.Text == "," || AfterName.Text == "[" ||
+         AfterName.Text == ":");
+    if (LooksLikeDecl)
+      return parseVarDecl(Parent, /*ExpectSemicolon=*/true);
+  }
+
+  // Expression statement.
+  NodeId Stmt = T.addNode(NodeKind::ExprStmt, Parent, Ln);
+  parseExpression(Stmt);
+  if (!eatOp(";")) {
+    error("expected ';' after expression");
+    syncStatement();
+  }
+}
+
+void Parser::parseIf(NodeId Parent) {
+  uint32_t Ln = line();
+  advance(); // if
+  NodeId If = T.addNode(NodeKind::If, Parent, Ln);
+  if (eatOp("(")) {
+    parseExpression(If);
+    if (!eatOp(")"))
+      error("expected ')' in if");
+  }
+  NodeId Then = T.addNode(NodeKind::Body, If, Ln);
+  if (eatOp("{"))
+    parseBlock(Then);
+  else
+    parseStatement(Then);
+  if (eatName("else")) {
+    NodeId Else = T.addNode(NodeKind::Body, If, line());
+    if (eatOp("{"))
+      parseBlock(Else);
+    else
+      parseStatement(Else);
+  }
+}
+
+void Parser::parseFor(NodeId Parent) {
+  uint32_t Ln = line();
+  advance(); // for
+  NodeId For = T.addNode(NodeKind::For, Parent, Ln);
+  if (!eatOp("(")) {
+    error("expected '(' in for");
+    syncStatement();
+    return;
+  }
+  // Foreach: for (Type name : expr).
+  size_t TypeLen = scanType(Pos);
+  if (TypeLen != 0) {
+    size_t After = Pos + TypeLen;
+    const Token &NameTok =
+        After < Tokens.size() ? Tokens[After] : Tokens.back();
+    const Token &AfterName =
+        After + 1 < Tokens.size() ? Tokens[After + 1] : Tokens.back();
+    if (NameTok.Kind == TokenKind::Name &&
+        AfterName.Kind == TokenKind::Operator && AfterName.Text == ":") {
+      NodeId Decl = T.addNode(NodeKind::VarDecl, For, Ln);
+      parseType(Decl);
+      NodeId Store = T.addNode(NodeKind::NameStore, Decl, line());
+      addIdent(cur().Text, Store);
+      advance();
+      eatOp(":");
+      parseExpression(For);
+      eatOp(")");
+      NodeId Body = T.addNode(NodeKind::Body, For, Ln);
+      if (eatOp("{"))
+        parseBlock(Body);
+      else
+        parseStatement(Body);
+      return;
+    }
+    // Classic for with declaration init: for (int i = 0; ...).
+    size_t After2 = Pos + TypeLen;
+    const Token &N2 = After2 < Tokens.size() ? Tokens[After2] : Tokens.back();
+    const Token &A2 =
+        After2 + 1 < Tokens.size() ? Tokens[After2 + 1] : Tokens.back();
+    if (N2.Kind == TokenKind::Name && A2.Kind == TokenKind::Operator &&
+        (A2.Text == "=" || A2.Text == ";")) {
+      parseVarDecl(For, /*ExpectSemicolon=*/false);
+    } else if (!atOp(";")) {
+      parseExpression(For);
+      while (eatOp(","))
+        parseExpression(For);
+    }
+  } else if (!atOp(";")) {
+    parseExpression(For);
+    while (eatOp(","))
+      parseExpression(For);
+  }
+  eatOp(";");
+  if (!atOp(";"))
+    parseExpression(For); // condition
+  eatOp(";");
+  if (!atOp(")")) {
+    parseExpression(For); // update
+    while (eatOp(","))
+      parseExpression(For);
+  }
+  eatOp(")");
+  NodeId Body = T.addNode(NodeKind::Body, For, Ln);
+  if (eatOp("{"))
+    parseBlock(Body);
+  else
+    parseStatement(Body);
+}
+
+void Parser::parseTry(NodeId Parent) {
+  uint32_t Ln = line();
+  advance(); // try
+  NodeId Try = T.addNode(NodeKind::Try, Parent, Ln);
+  // try-with-resources.
+  if (atOp("(")) {
+    advance();
+    while (!atOp(")") && !at(TokenKind::EndOfFile)) {
+      if (scanType(Pos) != 0)
+        parseVarDecl(Try, /*ExpectSemicolon=*/false);
+      else
+        parseExpression(Try);
+      if (!eatOp(";"))
+        break;
+    }
+    eatOp(")");
+  }
+  NodeId Body = T.addNode(NodeKind::Body, Try, Ln);
+  if (eatOp("{"))
+    parseBlock(Body);
+  while (atName("catch")) {
+    uint32_t CatchLn = line();
+    advance();
+    NodeId Catch = T.addNode(NodeKind::Catch, Try, CatchLn);
+    if (eatOp("(")) {
+      eatName("final");
+      parseType(Catch);
+      while (eatOp("|")) // multi-catch
+        parseType(Catch);
+      if (at(TokenKind::Name)) {
+        addIdent(cur().Text, Catch);
+        advance();
+      }
+      eatOp(")");
+    }
+    NodeId CatchBody = T.addNode(NodeKind::Body, Catch, CatchLn);
+    if (eatOp("{"))
+      parseBlock(CatchBody);
+  }
+  if (eatName("finally")) {
+    NodeId Finally = T.addNode(NodeKind::Body, Try, line());
+    if (eatOp("{"))
+      parseBlock(Finally);
+  }
+}
+
+// --- Expressions ------------------------------------------------------------
+
+NodeId Parser::parseExpression(NodeId Parent) {
+  NodeId Left = parseTernary(Parent);
+  constexpr std::string_view AssignOps[] = {"=",  "+=", "-=", "*=", "/=",
+                                            "%=", "&=", "|=", "^=", "<<="};
+  for (std::string_view Op : AssignOps) {
+    if (!atOp(Op))
+      continue;
+    uint32_t Ln = line();
+    advance();
+    bool IsPlain = Op == "=";
+    NodeId Assign = T.addNode(
+        IsPlain ? NodeKind::Assign : NodeKind::AugAssign, Parent, Ln);
+    T.reparent(Left, Assign);
+    convertToStore(Left);
+    if (!IsPlain)
+      T.addNode(NodeKind::Op, Op, Assign, Ln);
+    parseExpression(Assign);
+    return Assign;
+  }
+  return Left;
+}
+
+NodeId Parser::parseTernary(NodeId Parent) {
+  NodeId Cond = parseBinary(Parent, 0);
+  if (!atOp("?"))
+    return Cond;
+  uint32_t Ln = line();
+  advance();
+  NodeId If = T.addNode(NodeKind::If, Parent, Ln);
+  T.reparent(Cond, If);
+  parseExpression(If);
+  if (!eatOp(":"))
+    error("expected ':' in conditional expression");
+  parseExpression(If);
+  return If;
+}
+
+namespace {
+struct BinaryOp {
+  std::string_view Text;
+  int Precedence;
+  bool IsCompare;
+};
+constexpr BinaryOp BinaryOps[] = {
+    {"||", 1, false}, {"&&", 2, false},  {"|", 3, false},  {"^", 4, false},
+    {"&", 5, false},  {"==", 6, true},   {"!=", 6, true},  {"<", 7, true},
+    {">", 7, true},   {"<=", 7, true},   {">=", 7, true},  {"<<", 8, false},
+    {"+", 9, false},  {"-", 9, false},   {"*", 10, false}, {"/", 10, false},
+    {"%", 10, false},
+};
+} // namespace
+
+NodeId Parser::parseBinary(NodeId Parent, int MinPrecedence) {
+  NodeId Left = parseUnary(Parent);
+  while (true) {
+    // instanceof at comparison precedence.
+    if (atName("instanceof") && MinPrecedence <= 7) {
+      advance();
+      NodeId Cmp = T.addNode(NodeKind::Compare, Parent, line());
+      T.reparent(Left, Cmp);
+      T.addNode(NodeKind::Op, "instanceof", Cmp, line());
+      parseType(Cmp);
+      Left = Cmp;
+      continue;
+    }
+    const BinaryOp *Found = nullptr;
+    for (const BinaryOp &Op : BinaryOps) {
+      if (atOp(Op.Text) && Op.Precedence >= MinPrecedence) {
+        Found = &Op;
+        break;
+      }
+    }
+    if (!Found)
+      return Left;
+    advance();
+    NodeId Bin = T.addNode(
+        Found->IsCompare ? NodeKind::Compare : NodeKind::BinOp, Parent,
+        line());
+    T.reparent(Left, Bin);
+    T.addNode(NodeKind::Op, Found->Text, Bin, line());
+    parseBinary(Bin, Found->Precedence + 1);
+    Left = Bin;
+  }
+}
+
+NodeId Parser::parseUnary(NodeId Parent) {
+  uint32_t Ln = line();
+  if (atOp("!") || atOp("~") || atOp("-") || atOp("+") || atOp("++") ||
+      atOp("--")) {
+    std::string Op = cur().Text;
+    advance();
+    NodeId Un = T.addNode(NodeKind::UnaryOp, Parent, Ln);
+    T.addNode(NodeKind::Op, Op, Un, Ln);
+    parseUnary(Un);
+    return Un;
+  }
+  // Cast: "(Type) unary". Heuristic: parenthesized type followed by a token
+  // that can start an operand.
+  if (atOp("(")) {
+    size_t TypeLen = scanType(Pos + 1);
+    if (TypeLen != 0) {
+      size_t CloseIdx = Pos + 1 + TypeLen;
+      const Token &Close =
+          CloseIdx < Tokens.size() ? Tokens[CloseIdx] : Tokens.back();
+      const Token &Next =
+          CloseIdx + 1 < Tokens.size() ? Tokens[CloseIdx + 1] : Tokens.back();
+      bool NextStartsOperand =
+          Next.Kind == TokenKind::Name || Next.Kind == TokenKind::Number ||
+          Next.Kind == TokenKind::String || Next.Kind == TokenKind::CharLit ||
+          (Next.Kind == TokenKind::Operator &&
+           (Next.Text == "(" || Next.Text == "!" || Next.Text == "~"));
+      const Token &TypeTok = Tokens[Pos + 1];
+      bool TypeLooksLikeType =
+          isPrimitive(TypeTok.Text) ||
+          (!TypeTok.Text.empty() && std::isupper(static_cast<unsigned char>(
+                                        TypeTok.Text[0])));
+      if (Close.Kind == TokenKind::Operator && Close.Text == ")" &&
+          NextStartsOperand && TypeLooksLikeType) {
+        advance(); // (
+        NodeId Cast = T.addNode(NodeKind::Cast, Parent, Ln);
+        parseType(Cast);
+        eatOp(")");
+        parseUnary(Cast);
+        return Cast;
+      }
+    }
+  }
+  return parsePostfix(Parent);
+}
+
+NodeId Parser::parsePostfix(NodeId Parent) {
+  NodeId Base = parseAtom(Parent);
+  while (true) {
+    if (atOp(".")) {
+      uint32_t Ln = line();
+      advance();
+      if (atOp("<")) // explicit method type args: obj.<T>method()
+        skipBalanced("<", ">");
+      NodeId Attr = T.addNode(NodeKind::AttributeLoad, Parent, Ln);
+      T.reparent(Base, Attr);
+      NodeId AttrName = T.addNode(NodeKind::Attr, Attr, Ln);
+      if (at(TokenKind::Name)) {
+        addIdent(cur().Text, AttrName);
+        advance();
+      } else {
+        error("expected member name after '.'");
+        addIdent("<error>", AttrName);
+      }
+      Base = Attr;
+      continue;
+    }
+    if (atOp("(")) {
+      uint32_t Ln = line();
+      NodeId Call = T.addNode(NodeKind::Call, Parent, Ln);
+      T.reparent(Base, Call);
+      parseCallArgs(Call);
+      Base = Call;
+      continue;
+    }
+    if (atOp("[")) {
+      uint32_t Ln = line();
+      advance();
+      NodeId Sub = T.addNode(NodeKind::Subscript, Parent, Ln);
+      T.reparent(Base, Sub);
+      if (!atOp("]"))
+        parseExpression(Sub);
+      if (!eatOp("]"))
+        error("expected ']'");
+      Base = Sub;
+      continue;
+    }
+    if (atOp("++") || atOp("--")) {
+      uint32_t Ln = line();
+      NodeId Un = T.addNode(NodeKind::UnaryOp, Parent, Ln);
+      T.reparent(Base, Un);
+      T.addNode(NodeKind::Op, cur().Text, Un, Ln);
+      advance();
+      Base = Un;
+      continue;
+    }
+    if (atOp("::")) { // method reference: consume coarsely
+      advance();
+      if (at(TokenKind::Name) || atName("new"))
+        advance();
+      continue;
+    }
+    return Base;
+  }
+}
+
+void Parser::parseCallArgs(NodeId Call) {
+  bool Ok = eatOp("(");
+  assert(Ok && "parseCallArgs requires '('");
+  (void)Ok;
+  while (!atOp(")") && !at(TokenKind::EndOfFile)) {
+    // Lambda argument: x -> expr or (x, y) -> expr. Modeled as the body
+    // expression only.
+    if (at(TokenKind::Name) && peek().Kind == TokenKind::Operator &&
+        peek().Text == "->") {
+      advance();
+      advance();
+      if (atOp("{"))
+        skipBalanced("{", "}");
+      else
+        parseExpression(Call);
+    } else {
+      parseExpression(Call);
+      if (atOp("->")) { // (args) -> body after a parenthesized list
+        advance();
+        if (atOp("{"))
+          skipBalanced("{", "}");
+        else
+          parseExpression(Call);
+      }
+    }
+    if (!eatOp(","))
+      break;
+  }
+  if (!eatOp(")"))
+    error("expected ')' in call");
+}
+
+NodeId Parser::parseNew(NodeId Parent) {
+  uint32_t Ln = line();
+  advance(); // new
+  NodeId New = T.addNode(NodeKind::New, Parent, Ln);
+  parseType(New);
+  if (atOp("(")) {
+    parseCallArgs(New);
+    if (atOp("{")) // anonymous class body
+      skipBalanced("{", "}");
+    return New;
+  }
+  // Array creation: new int[10], new int[]{...}.
+  while (atOp("[")) {
+    advance();
+    if (!atOp("]"))
+      parseExpression(New);
+    eatOp("]");
+  }
+  if (atOp("{"))
+    skipBalanced("{", "}");
+  return New;
+}
+
+NodeId Parser::parseAtom(NodeId Parent) {
+  uint32_t Ln = line();
+  if (at(TokenKind::Number)) {
+    NodeId Num = T.addNode(NodeKind::Num, Parent, Ln);
+    T.addNode(NodeKind::Ident, cur().Text, Num, Ln);
+    advance();
+    return Num;
+  }
+  if (at(TokenKind::String)) {
+    NodeId Str = T.addNode(NodeKind::Str, Parent, Ln);
+    T.addNode(NodeKind::Ident, cur().Text, Str, Ln);
+    advance();
+    return Str;
+  }
+  if (at(TokenKind::CharLit)) {
+    NodeId Str = T.addNode(NodeKind::Str, Parent, Ln);
+    T.addNode(NodeKind::Ident, cur().Text, Str, Ln);
+    advance();
+    return Str;
+  }
+  if (atName("true") || atName("false")) {
+    NodeId Bool = T.addNode(NodeKind::Bool, Parent, Ln);
+    T.addNode(NodeKind::Ident, cur().Text, Bool, Ln);
+    advance();
+    return Bool;
+  }
+  if (atName("null")) {
+    NodeId None = T.addNode(NodeKind::NoneLit, Parent, Ln);
+    T.addNode(NodeKind::Ident, "null", None, Ln);
+    advance();
+    return None;
+  }
+  if (atName("new"))
+    return parseNew(Parent);
+  if (at(TokenKind::Name)) {
+    NodeId Name = T.addNode(NodeKind::NameLoad, Parent, Ln);
+    addIdent(cur().Text, Name);
+    advance();
+    return Name;
+  }
+  if (eatOp("(")) {
+    NodeId Inner = parseExpression(Parent);
+    if (!eatOp(")"))
+      error("expected ')'");
+    return Inner;
+  }
+  error("unexpected token '" + cur().Text + "' in expression");
+  NodeId Err = T.addNode(NodeKind::NameLoad, Parent, Ln);
+  addIdent("<error>", Err);
+  if (!at(TokenKind::EndOfFile) && !atOp(";") && !atOp("}"))
+    advance();
+  return Err;
+}
+
+} // namespace
+
+ParseResult namer::java::parseJava(std::string_view Source, AstContext &Ctx) {
+  return Parser(Source, Ctx).run();
+}

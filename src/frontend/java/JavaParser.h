@@ -1,0 +1,40 @@
+//===- frontend/java/JavaParser.h - Java parser -----------------*- C++ -*-==//
+///
+/// \file
+/// Recursive-descent parser for the Java subset: classes with fields,
+/// methods and constructors, local variable declarations, control flow
+/// (if/for/foreach/while/do/try-catch/switch-lite), object creation,
+/// casts, generics and arrays. Produces the same AST node vocabulary as the
+/// Python frontend so the pattern layer is language-agnostic.
+///
+/// Error-tolerant: diagnostics are recorded and parsing resynchronizes at
+/// ';' or '}' boundaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_FRONTEND_JAVA_JAVAPARSER_H
+#define NAMER_FRONTEND_JAVA_JAVAPARSER_H
+
+#include "ast/Tree.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace namer {
+namespace java {
+
+struct ParseResult {
+  Tree Module;
+  std::vector<std::string> Errors;
+
+  explicit ParseResult(AstContext &Ctx) : Module(Ctx) {}
+};
+
+/// Parses \p Source into a module tree allocated in \p Ctx.
+ParseResult parseJava(std::string_view Source, AstContext &Ctx);
+
+} // namespace java
+} // namespace namer
+
+#endif // NAMER_FRONTEND_JAVA_JAVAPARSER_H

@@ -1,0 +1,246 @@
+//===- frontend/python/PythonLexer.cpp ------------------------------------==//
+
+#include "frontend/python/PythonLexer.h"
+
+#include <cctype>
+
+using namespace namer;
+using namespace namer::python;
+
+namespace {
+
+bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+bool isIdentCont(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+bool isDigit(char C) { return std::isdigit(static_cast<unsigned char>(C)); }
+
+/// Multi-character operators, longest first so maximal munch works.
+constexpr std::string_view MultiOps[] = {
+    "**=", "//=", "<<=", ">>=", "...", "->", "**", "//", "<<", ">>",
+    "<=",  ">=",  "==",  "!=",  "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",  ":=",
+};
+
+class Lexer {
+public:
+  explicit Lexer(std::string_view Source) : Src(Source) {}
+
+  LexResult run();
+
+private:
+  void error(const std::string &Message);
+  void lexLine();
+  void handleIndent(size_t Spaces);
+  void lexString(char Quote, bool Triple);
+  void push(TokenKind Kind, std::string Text) {
+    Result.Tokens.push_back(Token{Kind, std::move(Text), Line});
+  }
+
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  bool atEnd() const { return Pos >= Src.size(); }
+
+  std::string_view Src;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  int BracketDepth = 0;
+  std::vector<size_t> IndentStack{0};
+  bool LastWasNewline = true;
+  LexResult Result;
+};
+
+void Lexer::error(const std::string &Message) {
+  Result.Errors.push_back("line " + std::to_string(Line) + ": " + Message);
+}
+
+void Lexer::handleIndent(size_t Spaces) {
+  if (Spaces > IndentStack.back()) {
+    IndentStack.push_back(Spaces);
+    push(TokenKind::Indent, "");
+    return;
+  }
+  while (Spaces < IndentStack.back()) {
+    IndentStack.pop_back();
+    push(TokenKind::Dedent, "");
+  }
+  if (Spaces != IndentStack.back()) {
+    // Inconsistent dedent: align to the nearest level and carry on.
+    error("inconsistent indentation");
+    IndentStack.push_back(Spaces);
+  }
+}
+
+void Lexer::lexString(char Quote, bool Triple) {
+  std::string Text;
+  while (!atEnd()) {
+    char C = peek();
+    if (C == '\\' && Pos + 1 < Src.size()) {
+      Text += C;
+      Text += Src[Pos + 1];
+      Pos += 2;
+      continue;
+    }
+    if (Triple && C == Quote && peek(1) == Quote && peek(2) == Quote) {
+      Pos += 3;
+      push(TokenKind::String, std::move(Text));
+      return;
+    }
+    if (!Triple && C == Quote) {
+      ++Pos;
+      push(TokenKind::String, std::move(Text));
+      return;
+    }
+    if (C == '\n') {
+      if (!Triple) {
+        error("unterminated string literal");
+        push(TokenKind::String, std::move(Text));
+        return;
+      }
+      ++Line;
+    }
+    Text += C;
+    ++Pos;
+  }
+  error("unterminated string literal at end of file");
+  push(TokenKind::String, std::move(Text));
+}
+
+LexResult Lexer::run() {
+  while (!atEnd()) {
+    // At a fresh logical line (outside brackets) measure indentation.
+    if (LastWasNewline && BracketDepth == 0) {
+      size_t Spaces = 0;
+      while (!atEnd() && (peek() == ' ' || peek() == '\t')) {
+        Spaces += peek() == '\t' ? 8 - Spaces % 8 : 1;
+        ++Pos;
+      }
+      // Blank lines and comment-only lines don't affect indentation.
+      if (atEnd())
+        break;
+      if (peek() == '\n') {
+        ++Pos;
+        ++Line;
+        continue;
+      }
+      if (peek() == '#') {
+        while (!atEnd() && peek() != '\n')
+          ++Pos;
+        continue;
+      }
+      handleIndent(Spaces);
+      LastWasNewline = false;
+    }
+
+    char C = peek();
+    if (C == '\n') {
+      ++Pos;
+      ++Line;
+      if (BracketDepth == 0) {
+        push(TokenKind::Newline, "");
+        LastWasNewline = true;
+      }
+      continue;
+    }
+    if (C == ' ' || C == '\t' || C == '\r') {
+      ++Pos;
+      continue;
+    }
+    if (C == '#') {
+      while (!atEnd() && peek() != '\n')
+        ++Pos;
+      continue;
+    }
+    if (C == '\\' && peek(1) == '\n') {
+      Pos += 2;
+      ++Line;
+      continue;
+    }
+    if (isIdentStart(C)) {
+      size_t Start = Pos;
+      while (!atEnd() && isIdentCont(peek()))
+        ++Pos;
+      std::string Text(Src.substr(Start, Pos - Start));
+      // String prefixes: r"", b"", f"", u"" and combinations.
+      if ((peek() == '"' || peek() == '\'') && Text.size() <= 2) {
+        bool AllPrefix = true;
+        for (char P : Text) {
+          char L = static_cast<char>(std::tolower(static_cast<unsigned char>(P)));
+          if (L != 'r' && L != 'b' && L != 'f' && L != 'u')
+            AllPrefix = false;
+        }
+        if (AllPrefix) {
+          char Quote = peek();
+          bool Triple = peek(1) == Quote && peek(2) == Quote;
+          Pos += Triple ? 3 : 1;
+          lexString(Quote, Triple);
+          continue;
+        }
+      }
+      push(TokenKind::Name, std::move(Text));
+      continue;
+    }
+    if (isDigit(C) || (C == '.' && isDigit(peek(1)))) {
+      size_t Start = Pos;
+      while (!atEnd() && (isIdentCont(peek()) || peek() == '.'))
+        ++Pos;
+      // Handle exponent sign: 1e-5.
+      if (!atEnd() && (peek() == '+' || peek() == '-') && Pos > Start &&
+          (Src[Pos - 1] == 'e' || Src[Pos - 1] == 'E')) {
+        ++Pos;
+        while (!atEnd() && isDigit(peek()))
+          ++Pos;
+      }
+      push(TokenKind::Number, std::string(Src.substr(Start, Pos - Start)));
+      continue;
+    }
+    if (C == '"' || C == '\'') {
+      bool Triple = peek(1) == C && peek(2) == C;
+      Pos += Triple ? 3 : 1;
+      lexString(C, Triple);
+      continue;
+    }
+    // Operators and punctuation.
+    bool Matched = false;
+    for (std::string_view Op : MultiOps) {
+      if (Src.substr(Pos, Op.size()) == Op) {
+        push(TokenKind::Operator, std::string(Op));
+        Pos += Op.size();
+        Matched = true;
+        break;
+      }
+    }
+    if (Matched)
+      continue;
+    if (C == '(' || C == '[' || C == '{')
+      ++BracketDepth;
+    else if (C == ')' || C == ']' || C == '}')
+      BracketDepth = BracketDepth > 0 ? BracketDepth - 1 : 0;
+    constexpr std::string_view SingleOps = "+-*/%<>=.,:;()[]{}@&|^~";
+    if (SingleOps.find(C) != std::string_view::npos) {
+      push(TokenKind::Operator, std::string(1, C));
+      ++Pos;
+      continue;
+    }
+    error(std::string("unexpected character '") + C + "'");
+    ++Pos;
+  }
+
+  if (!LastWasNewline)
+    push(TokenKind::Newline, "");
+  while (IndentStack.size() > 1) {
+    IndentStack.pop_back();
+    push(TokenKind::Dedent, "");
+  }
+  push(TokenKind::EndOfFile, "");
+  return std::move(Result);
+}
+
+} // namespace
+
+LexResult namer::python::lexPython(std::string_view Source) {
+  return Lexer(Source).run();
+}

@@ -1,0 +1,52 @@
+//===- frontend/python/PythonLexer.h - Python lexer -------------*- C++ -*-==//
+///
+/// \file
+/// An indentation-aware lexer for the Python subset Namer analyzes. Emits
+/// INDENT/DEDENT tokens following the CPython tokenizer's stack algorithm,
+/// suppresses newlines inside brackets, and tolerates malformed input (the
+/// corpus is real-world-shaped, so the pipeline must never die on one file).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_FRONTEND_PYTHON_PYTHONLEXER_H
+#define NAMER_FRONTEND_PYTHON_PYTHONLEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace namer {
+namespace python {
+
+enum class TokenKind : uint8_t {
+  Name,
+  Number,
+  String,
+  Operator,
+  Newline,
+  Indent,
+  Dedent,
+  EndOfFile,
+};
+
+struct Token {
+  TokenKind Kind;
+  std::string Text;
+  uint32_t Line;
+};
+
+/// Result of lexing one file: the token stream plus recoverable diagnostics.
+struct LexResult {
+  std::vector<Token> Tokens;
+  std::vector<std::string> Errors;
+};
+
+/// Lexes \p Source. Never fails hard: unknown characters are skipped with a
+/// diagnostic, unterminated strings are closed at end of line.
+LexResult lexPython(std::string_view Source);
+
+} // namespace python
+} // namespace namer
+
+#endif // NAMER_FRONTEND_PYTHON_PYTHONLEXER_H

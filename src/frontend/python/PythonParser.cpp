@@ -1,0 +1,1019 @@
+//===- frontend/python/PythonParser.cpp -----------------------------------==//
+
+#include "frontend/python/PythonParser.h"
+
+#include "frontend/python/PythonLexer.h"
+
+#include <cassert>
+
+using namespace namer;
+using namespace namer::python;
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::string_view Source, AstContext &Ctx)
+      : Ctx(Ctx), Result(Ctx), T(Result.Module) {
+    LexResult Lexed = lexPython(Source);
+    Tokens = std::move(Lexed.Tokens);
+    for (auto &E : Lexed.Errors)
+      Result.Errors.push_back("lex: " + E);
+  }
+
+  ParseResult run() {
+    NodeId Module = T.addNode(NodeKind::Module, InvalidNode);
+    T.setRoot(Module);
+    parseStatements(Module, /*TopLevel=*/true);
+    return std::move(Result);
+  }
+
+private:
+  // --- Token cursor -------------------------------------------------------
+  const Token &cur() const { return Tokens[Pos]; }
+  const Token &peek(size_t Ahead = 1) const {
+    size_t I = Pos + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  void advance() {
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+  }
+  bool at(TokenKind Kind) const { return cur().Kind == Kind; }
+  bool atOp(std::string_view Op) const {
+    return cur().Kind == TokenKind::Operator && cur().Text == Op;
+  }
+  bool atName(std::string_view Name) const {
+    return cur().Kind == TokenKind::Name && cur().Text == Name;
+  }
+  bool eatOp(std::string_view Op) {
+    if (!atOp(Op))
+      return false;
+    advance();
+    return true;
+  }
+  bool eatName(std::string_view Name) {
+    if (!atName(Name))
+      return false;
+    advance();
+    return true;
+  }
+  uint32_t line() const { return cur().Line; }
+
+  void error(const std::string &Message) {
+    Result.Errors.push_back("line " + std::to_string(cur().Line) + ": " +
+                            Message);
+  }
+
+  /// Skips to just after the next Newline (or a Dedent/EOF), the standard
+  /// resynchronization point.
+  void syncToNextLine() {
+    while (!at(TokenKind::EndOfFile) && !at(TokenKind::Dedent)) {
+      bool WasNewline = at(TokenKind::Newline);
+      advance();
+      if (WasNewline)
+        return;
+    }
+  }
+
+  // --- Statements ---------------------------------------------------------
+  void parseStatements(NodeId Parent, bool TopLevel);
+  void parseStatement(NodeId Parent);
+  void parseSuite(NodeId Body);
+  void parseClassDef(NodeId Parent);
+  void parseFunctionDef(NodeId Parent);
+  void parseIf(NodeId Parent, bool IsElif);
+  void parseFor(NodeId Parent);
+  void parseWhile(NodeId Parent);
+  void parseTry(NodeId Parent);
+  void parseWith(NodeId Parent);
+  void parseImport(NodeId Parent);
+  void parseFromImport(NodeId Parent);
+  void parseSimpleStatement(NodeId Parent);
+  void expectNewline();
+
+  // --- Expressions --------------------------------------------------------
+  NodeId parseExprList(NodeId Parent); // a, b, c -> TupleLit
+  NodeId parseExpr(NodeId Parent);     // ternary / lambda entry
+  NodeId parseOr(NodeId Parent);
+  NodeId parseAnd(NodeId Parent);
+  NodeId parseNot(NodeId Parent);
+  NodeId parseComparison(NodeId Parent);
+  NodeId parseArith(NodeId Parent);
+  NodeId parseTerm(NodeId Parent);
+  NodeId parseFactor(NodeId Parent);
+  NodeId parsePower(NodeId Parent);
+  NodeId parsePostfix(NodeId Parent);
+  NodeId parseAtom(NodeId Parent);
+  void parseCallArgs(NodeId Call);
+
+  /// Rewrites a load expression into store form after discovering it is an
+  /// assignment target.
+  void convertToStore(NodeId N);
+
+  NodeId addIdent(std::string_view Name, NodeId Parent) {
+    return T.addNode(NodeKind::Ident, Name, Parent, line());
+  }
+
+  AstContext &Ctx;
+  ParseResult Result;
+  Tree &T;
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  /// Set while parsing a for-statement target so the comparison parser does
+  /// not consume the 'in' keyword.
+  bool NoIn = false;
+};
+
+void Parser::convertToStore(NodeId N) {
+  const Node &Nd = T.node(N);
+  switch (Nd.Kind) {
+  case NodeKind::NameLoad:
+    T.setKind(N, NodeKind::NameStore);
+    T.setValue(N, Ctx.kindSymbol(NodeKind::NameStore));
+    return;
+  case NodeKind::AttributeLoad:
+    T.setKind(N, NodeKind::AttributeStore);
+    T.setValue(N, Ctx.kindSymbol(NodeKind::AttributeStore));
+    return;
+  case NodeKind::TupleLit:
+  case NodeKind::ListLit:
+    for (NodeId C : Nd.Children)
+      convertToStore(C);
+    return;
+  case NodeKind::Subscript:
+    return; // subscript stores keep their shape
+  default:
+    return; // tolerate odd targets (e.g. call results) without rewriting
+  }
+}
+
+void Parser::expectNewline() {
+  if (at(TokenKind::Newline)) {
+    advance();
+    return;
+  }
+  if (at(TokenKind::EndOfFile) || at(TokenKind::Dedent))
+    return;
+  if (atOp(";")) {
+    advance();
+    return;
+  }
+  error("expected end of statement near '" + cur().Text + "'");
+  syncToNextLine();
+}
+
+void Parser::parseStatements(NodeId Parent, bool TopLevel) {
+  while (!at(TokenKind::EndOfFile)) {
+    if (at(TokenKind::Dedent)) {
+      if (!TopLevel)
+        return;
+      advance();
+      continue;
+    }
+    if (at(TokenKind::Newline) || at(TokenKind::Indent)) {
+      advance();
+      continue;
+    }
+    parseStatement(Parent);
+  }
+}
+
+void Parser::parseStatement(NodeId Parent) {
+  // Decorators: consume the line, we don't model them.
+  while (atOp("@")) {
+    syncToNextLine();
+  }
+  if (atName("class"))
+    return parseClassDef(Parent);
+  if (atName("def"))
+    return parseFunctionDef(Parent);
+  if (atName("if"))
+    return parseIf(Parent, /*IsElif=*/false);
+  if (atName("for"))
+    return parseFor(Parent);
+  if (atName("while"))
+    return parseWhile(Parent);
+  if (atName("try"))
+    return parseTry(Parent);
+  if (atName("with"))
+    return parseWith(Parent);
+  if (atName("import"))
+    return parseImport(Parent);
+  if (atName("from"))
+    return parseFromImport(Parent);
+  parseSimpleStatement(Parent);
+}
+
+void Parser::parseSuite(NodeId Body) {
+  if (!eatOp(":")) {
+    error("expected ':'");
+    syncToNextLine();
+    return;
+  }
+  if (at(TokenKind::Newline)) {
+    advance();
+    if (!at(TokenKind::Indent)) {
+      error("expected an indented block");
+      return;
+    }
+    advance();
+    while (!at(TokenKind::Dedent) && !at(TokenKind::EndOfFile)) {
+      if (at(TokenKind::Newline) || at(TokenKind::Indent)) {
+        advance();
+        continue;
+      }
+      parseStatement(Body);
+    }
+    if (at(TokenKind::Dedent))
+      advance();
+    return;
+  }
+  // Single-line suite: "if x: return y".
+  parseSimpleStatement(Body);
+}
+
+void Parser::parseClassDef(NodeId Parent) {
+  uint32_t Ln = line();
+  advance(); // class
+  NodeId Class = T.addNode(NodeKind::ClassDef, Parent, Ln);
+  if (at(TokenKind::Name)) {
+    addIdent(cur().Text, Class);
+    advance();
+  } else {
+    error("expected class name");
+    addIdent("<error>", Class);
+  }
+  NodeId Bases = T.addNode(NodeKind::BasesList, Class, Ln);
+  if (eatOp("(")) {
+    while (!atOp(")") && !at(TokenKind::EndOfFile)) {
+      parseExpr(Bases);
+      if (!eatOp(","))
+        break;
+    }
+    if (!eatOp(")"))
+      error("expected ')' after base classes");
+  }
+  NodeId Body = T.addNode(NodeKind::Body, Class, Ln);
+  parseSuite(Body);
+}
+
+void Parser::parseFunctionDef(NodeId Parent) {
+  uint32_t Ln = line();
+  advance(); // def
+  NodeId Fn = T.addNode(NodeKind::FunctionDef, Parent, Ln);
+  if (at(TokenKind::Name)) {
+    addIdent(cur().Text, Fn);
+    advance();
+  } else {
+    error("expected function name");
+    addIdent("<error>", Fn);
+  }
+  NodeId Params = T.addNode(NodeKind::ParamList, Fn, Ln);
+  if (eatOp("(")) {
+    while (!atOp(")") && !at(TokenKind::EndOfFile)) {
+      std::string_view ParamValue = "Param";
+      if (eatOp("**"))
+        ParamValue = "KwParam";
+      else if (eatOp("*"))
+        ParamValue = "StarParam";
+      NodeId P = T.addNode(NodeKind::Param, ParamValue, Params, line());
+      if (at(TokenKind::Name)) {
+        addIdent(cur().Text, P);
+        advance();
+      } else if (ParamValue == "Param") {
+        error("expected parameter name");
+        advance();
+      }
+      if (eatOp(":")) // annotation
+        parseExpr(P);
+      if (eatOp("=")) // default value
+        parseExpr(P);
+      if (!eatOp(","))
+        break;
+    }
+    if (!eatOp(")"))
+      error("expected ')' after parameters");
+  } else {
+    error("expected '(' after function name");
+  }
+  if (eatOp("->")) // return annotation
+    parseExpr(Fn);
+  NodeId Body = T.addNode(NodeKind::Body, Fn, Ln);
+  parseSuite(Body);
+}
+
+void Parser::parseIf(NodeId Parent, bool IsElif) {
+  uint32_t Ln = line();
+  advance(); // if / elif
+  (void)IsElif;
+  NodeId If = T.addNode(NodeKind::If, Parent, Ln);
+  parseExpr(If);
+  NodeId Then = T.addNode(NodeKind::Body, If, Ln);
+  parseSuite(Then);
+  if (atName("elif")) {
+    NodeId Else = T.addNode(NodeKind::Body, If, line());
+    parseIf(Else, /*IsElif=*/true);
+    return;
+  }
+  if (atName("else")) {
+    advance();
+    NodeId Else = T.addNode(NodeKind::Body, If, line());
+    parseSuite(Else);
+  }
+}
+
+void Parser::parseFor(NodeId Parent) {
+  uint32_t Ln = line();
+  advance(); // for
+  NodeId For = T.addNode(NodeKind::For, Parent, Ln);
+  NoIn = true;
+  NodeId Target = parseExprList(For);
+  NoIn = false;
+  convertToStore(Target);
+  if (!eatName("in"))
+    error("expected 'in' in for statement");
+  parseExprList(For);
+  NodeId Body = T.addNode(NodeKind::Body, For, Ln);
+  parseSuite(Body);
+  if (atName("else")) {
+    advance();
+    NodeId Else = T.addNode(NodeKind::Body, For, line());
+    parseSuite(Else);
+  }
+}
+
+void Parser::parseWhile(NodeId Parent) {
+  uint32_t Ln = line();
+  advance(); // while
+  NodeId While = T.addNode(NodeKind::While, Parent, Ln);
+  parseExpr(While);
+  NodeId Body = T.addNode(NodeKind::Body, While, Ln);
+  parseSuite(Body);
+  if (atName("else")) {
+    advance();
+    NodeId Else = T.addNode(NodeKind::Body, While, line());
+    parseSuite(Else);
+  }
+}
+
+void Parser::parseTry(NodeId Parent) {
+  uint32_t Ln = line();
+  advance(); // try
+  NodeId Try = T.addNode(NodeKind::Try, Parent, Ln);
+  NodeId Body = T.addNode(NodeKind::Body, Try, Ln);
+  parseSuite(Body);
+  while (atName("except")) {
+    uint32_t CatchLn = line();
+    advance();
+    NodeId Catch = T.addNode(NodeKind::Catch, Try, CatchLn);
+    if (!atOp(":")) {
+      if (at(TokenKind::Name) && !atName("as")) {
+        NodeId Type = T.addNode(NodeKind::TypeRef, Catch, CatchLn);
+        addIdent(cur().Text, Type);
+        advance();
+        // Dotted exception types: module.Error.
+        while (eatOp(".")) {
+          if (at(TokenKind::Name)) {
+            addIdent(cur().Text, Type);
+            advance();
+          }
+        }
+      } else if (atOp("(")) {
+        // Tuple of exception types.
+        parseExpr(Catch);
+      }
+      if (eatName("as") && at(TokenKind::Name)) {
+        addIdent(cur().Text, Catch);
+        advance();
+      } else if (eatOp(",") && at(TokenKind::Name)) { // Python 2 style
+        addIdent(cur().Text, Catch);
+        advance();
+      }
+    }
+    NodeId CatchBody = T.addNode(NodeKind::Body, Catch, CatchLn);
+    parseSuite(CatchBody);
+  }
+  if (atName("else")) {
+    advance();
+    NodeId Else = T.addNode(NodeKind::Body, Try, line());
+    parseSuite(Else);
+  }
+  if (atName("finally")) {
+    advance();
+    NodeId Finally = T.addNode(NodeKind::Body, Try, line());
+    parseSuite(Finally);
+  }
+}
+
+void Parser::parseWith(NodeId Parent) {
+  // "with E as N:" binds N to E; model as an assignment with an attached
+  // body so points-to sees the binding and statement slicing sees the body.
+  uint32_t Ln = line();
+  advance(); // with
+  NodeId Assign = T.addNode(NodeKind::Assign, Parent, Ln);
+  NodeId Expr = parseExpr(Assign);
+  if (eatName("as")) {
+    NodeId Target = parseExpr(Assign);
+    convertToStore(Target);
+    // Reorder to Assign[target, value]: swap the two children.
+    auto &Kids = T.mutableNode(Assign).Children;
+    assert(Kids.size() == 2);
+    std::swap(Kids[0], Kids[1]);
+  }
+  (void)Expr;
+  // Additional context managers on the same line: consume.
+  while (eatOp(",")) {
+    parseExpr(Assign);
+    if (eatName("as"))
+      parseExpr(Assign);
+  }
+  NodeId Body = T.addNode(NodeKind::Body, Assign, Ln);
+  parseSuite(Body);
+}
+
+void Parser::parseImport(NodeId Parent) {
+  uint32_t Ln = line();
+  advance(); // import
+  while (true) {
+    NodeId Import = T.addNode(NodeKind::Import, Parent, Ln);
+    std::string Module;
+    while (at(TokenKind::Name)) {
+      Module += cur().Text;
+      advance();
+      if (!eatOp("."))
+        break;
+      Module += '.';
+    }
+    addIdent(Module.empty() ? "<error>" : Module, Import);
+    if (eatName("as") && at(TokenKind::Name)) {
+      addIdent(cur().Text, Import);
+      advance();
+    }
+    if (!eatOp(","))
+      break;
+  }
+  expectNewline();
+}
+
+void Parser::parseFromImport(NodeId Parent) {
+  uint32_t Ln = line();
+  advance(); // from
+  std::string Module;
+  while (at(TokenKind::Name) || atOp(".")) {
+    if (atOp(".")) {
+      Module += '.';
+      advance();
+      continue;
+    }
+    Module += cur().Text;
+    advance();
+    if (atOp("."))
+      continue;
+    break;
+  }
+  if (!eatName("import")) {
+    error("expected 'import' in from-import");
+    syncToNextLine();
+    return;
+  }
+  if (eatOp("*")) {
+    NodeId Import = T.addNode(NodeKind::Import, "FromImport", Parent, Ln);
+    addIdent(Module, Import);
+    addIdent("*", Import);
+    expectNewline();
+    return;
+  }
+  bool Paren = eatOp("(");
+  while (at(TokenKind::Name)) {
+    NodeId Import = T.addNode(NodeKind::Import, "FromImport", Parent, Ln);
+    addIdent(Module, Import);
+    addIdent(cur().Text, Import);
+    advance();
+    if (eatName("as") && at(TokenKind::Name)) {
+      addIdent(cur().Text, Import);
+      advance();
+    }
+    if (!eatOp(","))
+      break;
+    while (at(TokenKind::Newline)) // inside parens newlines are suppressed,
+      advance();                   // but be permissive
+  }
+  if (Paren && !eatOp(")"))
+    error("expected ')' in from-import");
+  expectNewline();
+}
+
+void Parser::parseSimpleStatement(NodeId Parent) {
+  uint32_t Ln = line();
+  if (atName("return")) {
+    advance();
+    NodeId Ret = T.addNode(NodeKind::Return, Parent, Ln);
+    if (!at(TokenKind::Newline) && !at(TokenKind::EndOfFile) &&
+        !at(TokenKind::Dedent))
+      parseExprList(Ret);
+    expectNewline();
+    return;
+  }
+  if (atName("raise")) {
+    advance();
+    NodeId Raise = T.addNode(NodeKind::Raise, Parent, Ln);
+    if (!at(TokenKind::Newline) && !at(TokenKind::EndOfFile))
+      parseExpr(Raise);
+    if (eatName("from"))
+      parseExpr(Raise);
+    expectNewline();
+    return;
+  }
+  if (atName("pass")) {
+    advance();
+    T.addNode(NodeKind::Pass, Parent, Ln);
+    expectNewline();
+    return;
+  }
+  if (atName("break")) {
+    advance();
+    T.addNode(NodeKind::Break, Parent, Ln);
+    expectNewline();
+    return;
+  }
+  if (atName("continue")) {
+    advance();
+    T.addNode(NodeKind::Continue, Parent, Ln);
+    expectNewline();
+    return;
+  }
+  if (atName("global") || atName("nonlocal") || atName("del") ||
+      atName("assert") || atName("yield")) {
+    // Modeled coarsely: parse the operand expressions into an ExprStmt so
+    // their names still contribute name paths.
+    advance();
+    NodeId Stmt = T.addNode(NodeKind::ExprStmt, Parent, Ln);
+    if (!at(TokenKind::Newline) && !at(TokenKind::EndOfFile) &&
+        !at(TokenKind::Dedent))
+      parseExprList(Stmt);
+    if (eatOp(",")) // assert expr, message
+      parseExpr(Stmt);
+    expectNewline();
+    return;
+  }
+  // Python 2 print statement.
+  if (atName("print") && !(peek().Kind == TokenKind::Operator &&
+                           (peek().Text == "(" || peek().Text == "=" ||
+                            peek().Text == "."))) {
+    advance();
+    NodeId Stmt = T.addNode(NodeKind::ExprStmt, Parent, Ln);
+    NodeId Call = T.addNode(NodeKind::Call, Stmt, Ln);
+    NodeId Callee = T.addNode(NodeKind::NameLoad, Call, Ln);
+    addIdent("print", Callee);
+    if (!at(TokenKind::Newline) && !at(TokenKind::EndOfFile) &&
+        !at(TokenKind::Dedent)) {
+      parseExpr(Call);
+      while (eatOp(","))
+        parseExpr(Call);
+    }
+    expectNewline();
+    return;
+  }
+
+  // Expression statement or assignment.
+  NodeId Stmt = T.addNode(NodeKind::ExprStmt, Parent, Ln);
+  NodeId First = parseExprList(Stmt);
+
+  if (atOp(":")) { // annotated assignment "x: T = v"; drop the annotation
+    advance();
+    NodeId Annotation = parseExpr(Stmt);
+    auto &Kids = T.mutableNode(Stmt).Children;
+    assert(!Kids.empty() && Kids.back() == Annotation);
+    (void)Annotation;
+    Kids.pop_back();
+  }
+
+  constexpr std::string_view AugOps[] = {"+=", "-=", "*=", "/=", "//=",
+                                         "%=", "**=", "&=", "|=", "^=",
+                                         "<<=", ">>="};
+  bool IsAug = false;
+  for (std::string_view Op : AugOps)
+    IsAug |= atOp(Op);
+
+  if (atOp("=") || IsAug) {
+    NodeKind Kind = IsAug ? NodeKind::AugAssign : NodeKind::Assign;
+    T.setKind(Stmt, Kind);
+    T.setValue(Stmt, Ctx.kindSymbol(Kind));
+    convertToStore(First);
+    if (IsAug) {
+      T.addNode(NodeKind::Op, cur().Text, Stmt, line());
+      advance();
+      parseExprList(Stmt);
+    } else {
+      advance();
+      NodeId Value = parseExprList(Stmt);
+      // Chained assignment "a = b = c": successive '=' make the previous
+      // value a target too.
+      while (atOp("=")) {
+        advance();
+        convertToStore(Value);
+        Value = parseExprList(Stmt);
+      }
+    }
+  }
+  expectNewline();
+}
+
+// --- Expressions ----------------------------------------------------------
+
+NodeId Parser::parseExprList(NodeId Parent) {
+  NodeId First = parseExpr(Parent);
+  if (!atOp(","))
+    return First;
+  // Wrap into a TupleLit: re-parent the first element.
+  NodeId Tuple = T.addNode(NodeKind::TupleLit, Parent, line());
+  T.reparent(First, Tuple);
+  while (eatOp(",")) {
+    if (at(TokenKind::Newline) || atOp(")") || atOp("]") || atOp("}") ||
+        atOp("=") || atOp(":"))
+      break; // trailing comma
+    parseExpr(Tuple);
+  }
+  return Tuple;
+}
+
+NodeId Parser::parseExpr(NodeId Parent) {
+  if (atName("lambda")) {
+    uint32_t Ln = line();
+    advance();
+    NodeId Lambda = T.addNode(NodeKind::FunctionDef, "Lambda", Parent, Ln);
+    NodeId Params = T.addNode(NodeKind::ParamList, Lambda, Ln);
+    while (at(TokenKind::Name)) {
+      NodeId P = T.addNode(NodeKind::Param, "Param", Params, line());
+      addIdent(cur().Text, P);
+      advance();
+      if (eatOp("="))
+        parseExpr(P);
+      if (!eatOp(","))
+        break;
+    }
+    if (!eatOp(":"))
+      error("expected ':' in lambda");
+    NodeId Body = T.addNode(NodeKind::Body, Lambda, Ln);
+    parseExpr(Body);
+    return Lambda;
+  }
+  NodeId Value = parseOr(Parent);
+  if (atName("if")) {
+    // Conditional expression: "a if cond else b". Wrap as If expression.
+    advance();
+    NodeId If = T.addNode(NodeKind::If, Parent, line());
+    T.reparent(Value, If);
+    parseOr(If);
+    if (eatName("else"))
+      parseExpr(If);
+    return If;
+  }
+  return Value;
+}
+
+NodeId Parser::parseOr(NodeId Parent) {
+  NodeId Left = parseAnd(Parent);
+  while (atName("or")) {
+    advance();
+    NodeId Bin = T.addNode(NodeKind::BinOp, Parent, line());
+    T.reparent(Left, Bin);
+    T.addNode(NodeKind::Op, "or", Bin, line());
+    parseAnd(Bin);
+    Left = Bin;
+  }
+  return Left;
+}
+
+NodeId Parser::parseAnd(NodeId Parent) {
+  NodeId Left = parseNot(Parent);
+  while (atName("and")) {
+    advance();
+    NodeId Bin = T.addNode(NodeKind::BinOp, Parent, line());
+    T.reparent(Left, Bin);
+    T.addNode(NodeKind::Op, "and", Bin, line());
+    parseNot(Bin);
+    Left = Bin;
+  }
+  return Left;
+}
+
+NodeId Parser::parseNot(NodeId Parent) {
+  if (atName("not")) {
+    uint32_t Ln = line();
+    advance();
+    NodeId Un = T.addNode(NodeKind::UnaryOp, Parent, Ln);
+    T.addNode(NodeKind::Op, "not", Un, Ln);
+    parseNot(Un);
+    return Un;
+  }
+  return parseComparison(Parent);
+}
+
+NodeId Parser::parseComparison(NodeId Parent) {
+  NodeId Left = parseArith(Parent);
+  while (true) {
+    std::string Op;
+    if (atOp("<") || atOp(">") || atOp("<=") || atOp(">=") || atOp("==") ||
+        atOp("!=")) {
+      Op = cur().Text;
+      advance();
+    } else if (atName("in") && !NoIn) {
+      Op = "in";
+      advance();
+    } else if (atName("is")) {
+      Op = "is";
+      advance();
+      if (eatName("not"))
+        Op = "is not";
+    } else if (atName("not") && peek().Kind == TokenKind::Name &&
+               peek().Text == "in") {
+      advance();
+      advance();
+      Op = "not in";
+    } else {
+      break;
+    }
+    NodeId Cmp = T.addNode(NodeKind::Compare, Parent, line());
+    T.reparent(Left, Cmp);
+    T.addNode(NodeKind::Op, Op, Cmp, line());
+    parseArith(Cmp);
+    Left = Cmp;
+  }
+  return Left;
+}
+
+NodeId Parser::parseArith(NodeId Parent) {
+  NodeId Left = parseTerm(Parent);
+  while (atOp("+") || atOp("-") || atOp("|") || atOp("^") || atOp("&") ||
+         atOp("<<") || atOp(">>")) {
+    std::string Op = cur().Text;
+    advance();
+    NodeId Bin = T.addNode(NodeKind::BinOp, Parent, line());
+    T.reparent(Left, Bin);
+    T.addNode(NodeKind::Op, Op, Bin, line());
+    parseTerm(Bin);
+    Left = Bin;
+  }
+  return Left;
+}
+
+NodeId Parser::parseTerm(NodeId Parent) {
+  NodeId Left = parseFactor(Parent);
+  while (atOp("*") || atOp("/") || atOp("%") || atOp("//")) {
+    std::string Op = cur().Text;
+    advance();
+    NodeId Bin = T.addNode(NodeKind::BinOp, Parent, line());
+    T.reparent(Left, Bin);
+    T.addNode(NodeKind::Op, Op, Bin, line());
+    parseFactor(Bin);
+    Left = Bin;
+  }
+  return Left;
+}
+
+NodeId Parser::parseFactor(NodeId Parent) {
+  if (atOp("-") || atOp("+") || atOp("~")) {
+    uint32_t Ln = line();
+    std::string Op = cur().Text;
+    advance();
+    NodeId Un = T.addNode(NodeKind::UnaryOp, Parent, Ln);
+    T.addNode(NodeKind::Op, Op, Un, Ln);
+    parseFactor(Un);
+    return Un;
+  }
+  return parsePower(Parent);
+}
+
+NodeId Parser::parsePower(NodeId Parent) {
+  NodeId Left = parsePostfix(Parent);
+  if (atOp("**")) {
+    advance();
+    NodeId Bin = T.addNode(NodeKind::BinOp, Parent, line());
+    T.reparent(Left, Bin);
+    T.addNode(NodeKind::Op, "**", Bin, line());
+    parseFactor(Bin);
+    return Bin;
+  }
+  return Left;
+}
+
+NodeId Parser::parsePostfix(NodeId Parent) {
+  NodeId Base = parseAtom(Parent);
+  while (true) {
+    if (atOp(".")) {
+      uint32_t Ln = line();
+      advance();
+      NodeId Attr = T.addNode(NodeKind::AttributeLoad, Parent, Ln);
+      T.reparent(Base, Attr);
+      NodeId AttrName = T.addNode(NodeKind::Attr, Attr, Ln);
+      if (at(TokenKind::Name)) {
+        addIdent(cur().Text, AttrName);
+        advance();
+      } else {
+        error("expected attribute name after '.'");
+        addIdent("<error>", AttrName);
+      }
+      Base = Attr;
+      continue;
+    }
+    if (atOp("(")) {
+      uint32_t Ln = line();
+      NodeId Call = T.addNode(NodeKind::Call, Parent, Ln);
+      T.reparent(Base, Call);
+      parseCallArgs(Call);
+      Base = Call;
+      continue;
+    }
+    if (atOp("[")) {
+      uint32_t Ln = line();
+      advance();
+      NodeId Sub = T.addNode(NodeKind::Subscript, Parent, Ln);
+      T.reparent(Base, Sub);
+      if (!atOp("]")) {
+        parseExpr(Sub);
+        // Slices: a[1:2], a[::2] - parse the remaining pieces.
+        while (eatOp(":"))
+          if (!atOp("]") && !atOp(":"))
+            parseExpr(Sub);
+        while (eatOp(","))
+          parseExpr(Sub);
+      }
+      if (!eatOp("]"))
+        error("expected ']'");
+      Base = Sub;
+      continue;
+    }
+    return Base;
+  }
+}
+
+void Parser::parseCallArgs(NodeId Call) {
+  bool Ok = eatOp("(");
+  assert(Ok && "parseCallArgs requires '('");
+  (void)Ok;
+  while (!atOp(")") && !at(TokenKind::EndOfFile)) {
+    uint32_t Ln = line();
+    if (eatOp("**")) {
+      NodeId Star = T.addNode(NodeKind::StarArg, "KwStarArg", Call, Ln);
+      parseExpr(Star);
+    } else if (eatOp("*")) {
+      NodeId Star = T.addNode(NodeKind::StarArg, "StarArg", Call, Ln);
+      parseExpr(Star);
+    } else if (at(TokenKind::Name) && peek().Kind == TokenKind::Operator &&
+               peek().Text == "=") {
+      NodeId Kw = T.addNode(NodeKind::KeywordArg, Call, Ln);
+      addIdent(cur().Text, Kw);
+      advance();
+      advance(); // '='
+      parseExpr(Kw);
+    } else {
+      NodeId Arg = parseExpr(Call);
+      // Generator expression argument: f(x for x in xs). Consume the
+      // comprehension tail; the element expression already parsed.
+      if (atName("for")) {
+        while (!atOp(")") && !at(TokenKind::EndOfFile) &&
+               !at(TokenKind::Newline))
+          advance();
+      }
+      (void)Arg;
+    }
+    if (!eatOp(","))
+      break;
+  }
+  if (!eatOp(")"))
+    error("expected ')' in call");
+}
+
+NodeId Parser::parseAtom(NodeId Parent) {
+  uint32_t Ln = line();
+  if (at(TokenKind::Number)) {
+    NodeId Num = T.addNode(NodeKind::Num, Parent, Ln);
+    T.addNode(NodeKind::Ident, cur().Text, Num, Ln);
+    advance();
+    return Num;
+  }
+  if (at(TokenKind::String)) {
+    NodeId Str = T.addNode(NodeKind::Str, Parent, Ln);
+    T.addNode(NodeKind::Ident, cur().Text, Str, Ln);
+    advance();
+    // Implicit string concatenation: "a" "b".
+    while (at(TokenKind::String))
+      advance();
+    return Str;
+  }
+  if (atName("True") || atName("False")) {
+    NodeId Bool = T.addNode(NodeKind::Bool, Parent, Ln);
+    T.addNode(NodeKind::Ident, cur().Text, Bool, Ln);
+    advance();
+    return Bool;
+  }
+  if (atName("None")) {
+    NodeId None = T.addNode(NodeKind::NoneLit, Parent, Ln);
+    T.addNode(NodeKind::Ident, "None", None, Ln);
+    advance();
+    return None;
+  }
+  if (at(TokenKind::Name)) {
+    NodeId Name = T.addNode(NodeKind::NameLoad, Parent, Ln);
+    addIdent(cur().Text, Name);
+    advance();
+    return Name;
+  }
+  if (eatOp("(")) {
+    if (atOp(")")) { // empty tuple
+      advance();
+      return T.addNode(NodeKind::TupleLit, Parent, Ln);
+    }
+    // Parse into a temporary tuple; unwrap if it stays a single expression.
+    NodeId Tuple = T.addNode(NodeKind::TupleLit, Parent, Ln);
+    parseExpr(Tuple);
+    if (atName("for")) { // generator expression
+      while (!atOp(")") && !at(TokenKind::EndOfFile))
+        advance();
+    }
+    bool IsTuple = false;
+    while (eatOp(",")) {
+      IsTuple = true;
+      if (atOp(")"))
+        break;
+      parseExpr(Tuple);
+    }
+    if (!eatOp(")"))
+      error("expected ')'");
+    if (!IsTuple && T.node(Tuple).Children.size() == 1) {
+      // Unwrap: replace the tuple with its single child in Parent. The
+      // empty TupleLit node stays in the arena, unreachable from the root.
+      NodeId Child = T.node(Tuple).Children.front();
+      auto &Kids = T.mutableNode(Parent).Children;
+      assert(!Kids.empty() && Kids.back() == Tuple);
+      Kids.back() = Child;
+      T.mutableNode(Child).Parent = Parent;
+      T.mutableNode(Tuple).Children.clear();
+      return Child;
+    }
+    return Tuple;
+  }
+  if (eatOp("[")) {
+    NodeId List = T.addNode(NodeKind::ListLit, Parent, Ln);
+    while (!atOp("]") && !at(TokenKind::EndOfFile)) {
+      parseExpr(List);
+      if (atName("for")) { // list comprehension tail
+        int Depth = 1;
+        while (Depth > 0 && !at(TokenKind::EndOfFile)) {
+          if (atOp("["))
+            ++Depth;
+          if (atOp("]"))
+            --Depth;
+          if (Depth > 0)
+            advance();
+        }
+        break;
+      }
+      if (!eatOp(","))
+        break;
+    }
+    if (!eatOp("]"))
+      error("expected ']'");
+    return List;
+  }
+  if (eatOp("{")) {
+    NodeId Dict = T.addNode(NodeKind::DictLit, Parent, Ln);
+    while (!atOp("}") && !at(TokenKind::EndOfFile)) {
+      parseExpr(Dict);
+      if (eatOp(":"))
+        parseExpr(Dict);
+      if (atName("for")) { // dict/set comprehension tail
+        int Depth = 1;
+        while (Depth > 0 && !at(TokenKind::EndOfFile)) {
+          if (atOp("{"))
+            ++Depth;
+          if (atOp("}"))
+            --Depth;
+          if (Depth > 0)
+            advance();
+        }
+        break;
+      }
+      if (!eatOp(","))
+        break;
+    }
+    if (!eatOp("}"))
+      error("expected '}'");
+    return Dict;
+  }
+  error("unexpected token '" + cur().Text + "'");
+  NodeId Err = T.addNode(NodeKind::NameLoad, Parent, Ln);
+  addIdent("<error>", Err);
+  if (!at(TokenKind::Newline) && !at(TokenKind::EndOfFile))
+    advance();
+  return Err;
+}
+
+} // namespace
+
+ParseResult namer::python::parsePython(std::string_view Source,
+                                       AstContext &Ctx) {
+  return Parser(Source, Ctx).run();
+}

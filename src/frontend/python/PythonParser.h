@@ -1,0 +1,42 @@
+//===- frontend/python/PythonParser.h - Python parser -----------*- C++ -*-==//
+///
+/// \file
+/// Recursive-descent parser for the Python subset the corpus uses: classes,
+/// functions, assignments, control flow, calls with keyword/star arguments,
+/// attribute chains, literals, imports and try/except. Produces the module
+/// AST of Definition 3.1; statement-level trees are sliced from it with
+/// ast/Statements.h.
+///
+/// The parser is error-tolerant: on a syntax error it records a diagnostic
+/// and resynchronizes at the next logical line, because the Big Code corpus
+/// must be minable even when individual files are malformed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_FRONTEND_PYTHON_PYTHONPARSER_H
+#define NAMER_FRONTEND_PYTHON_PYTHONPARSER_H
+
+#include "ast/Tree.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace namer {
+namespace python {
+
+/// A parsed module plus recoverable diagnostics.
+struct ParseResult {
+  Tree Module;
+  std::vector<std::string> Errors;
+
+  explicit ParseResult(AstContext &Ctx) : Module(Ctx) {}
+};
+
+/// Parses \p Source into a module tree allocated in \p Ctx.
+ParseResult parsePython(std::string_view Source, AstContext &Ctx);
+
+} // namespace python
+} // namespace namer
+
+#endif // NAMER_FRONTEND_PYTHON_PYTHONPARSER_H

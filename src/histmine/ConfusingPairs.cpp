@@ -1,0 +1,106 @@
+//===- histmine/ConfusingPairs.cpp ----------------------------------------==//
+
+#include "histmine/ConfusingPairs.h"
+
+#include "support/Subtokens.h"
+
+#include <algorithm>
+#include <cctype>
+
+using namespace namer;
+
+namespace {
+
+uint64_t pairKey(Symbol Mistaken, Symbol Correct) {
+  return (static_cast<uint64_t>(Mistaken) << 32) | Correct;
+}
+
+} // namespace
+
+void ConfusingPairMiner::recordRename(std::string_view Old,
+                                      std::string_view New) {
+  if (Old == New)
+    return;
+  std::vector<std::string> OldToks = splitSubtokens(Old);
+  std::vector<std::string> NewToks = splitSubtokens(New);
+  if (OldToks.size() != NewToks.size() || OldToks.empty())
+    return;
+  // Exactly one differing subtoken qualifies as a confusing pair.
+  size_t DiffIndex = OldToks.size();
+  size_t DiffCount = 0;
+  for (size_t I = 0; I != OldToks.size(); ++I) {
+    if (OldToks[I] != NewToks[I]) {
+      DiffIndex = I;
+      ++DiffCount;
+    }
+  }
+  if (DiffCount != 1)
+    return;
+  // Literal edits (changing 90 to 17) are value changes, not naming fixes.
+  auto IsNumeric = [](const std::string &Tok) {
+    for (char C : Tok)
+      if (!std::isdigit(static_cast<unsigned char>(C)) && C != '.')
+        return false;
+    return !Tok.empty();
+  };
+  if (IsNumeric(OldToks[DiffIndex]) || IsNumeric(NewToks[DiffIndex]))
+    return;
+  Symbol Mistaken = Ctx.intern(OldToks[DiffIndex]);
+  Symbol Correct = Ctx.intern(NewToks[DiffIndex]);
+  ++Counts[pairKey(Mistaken, Correct)];
+}
+
+void ConfusingPairMiner::matchNodes(const Tree &Before, NodeId A,
+                                    const Tree &After, NodeId B) {
+  const Node &NA = Before.node(A);
+  const Node &NB = After.node(B);
+  if (NA.Kind != NB.Kind)
+    return;
+  if (NA.Kind == NodeKind::Ident && NA.Value != NB.Value) {
+    recordRename(Before.valueText(A), After.valueText(B));
+    return;
+  }
+  // Align children pairwise over the common prefix; structural inserts and
+  // deletes beyond it are not name renames.
+  size_t Common = std::min(NA.Children.size(), NB.Children.size());
+  for (size_t I = 0; I != Common; ++I)
+    matchNodes(Before, NA.Children[I], After, NB.Children[I]);
+}
+
+void ConfusingPairMiner::addCommit(const Tree &Before, const Tree &After) {
+  if (Before.empty() || After.empty())
+    return;
+  matchNodes(Before, Before.root(), After, After.root());
+}
+
+std::vector<ConfusingPair> ConfusingPairMiner::pairs() const {
+  std::vector<ConfusingPair> Out;
+  Out.reserve(Counts.size());
+  for (const auto &[Key, Count] : Counts)
+    Out.push_back(ConfusingPair{static_cast<Symbol>(Key >> 32),
+                                static_cast<Symbol>(Key & 0xffffffffu),
+                                Count});
+  std::sort(Out.begin(), Out.end(),
+            [](const ConfusingPair &X, const ConfusingPair &Y) {
+              if (X.Count != Y.Count)
+                return X.Count > Y.Count;
+              if (X.Mistaken != Y.Mistaken)
+                return X.Mistaken < Y.Mistaken;
+              return X.Correct < Y.Correct;
+            });
+  return Out;
+}
+
+std::unordered_set<Symbol> ConfusingPairMiner::correctWords() const {
+  std::unordered_set<Symbol> Out;
+  for (const auto &[Key, Count] : Counts) {
+    (void)Count;
+    Out.insert(static_cast<Symbol>(Key & 0xffffffffu));
+  }
+  return Out;
+}
+
+bool ConfusingPairMiner::isConfusingPair(Symbol Mistaken,
+                                         Symbol Correct) const {
+  return Counts.find(pairKey(Mistaken, Correct)) != Counts.end();
+}

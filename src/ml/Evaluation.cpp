@@ -1,0 +1,115 @@
+//===- ml/Evaluation.cpp --------------------------------------------------==//
+
+#include "ml/Evaluation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace namer;
+using namespace namer::ml;
+
+Metrics ml::computeMetrics(const std::vector<bool> &Predicted,
+                           const std::vector<bool> &Actual) {
+  assert(Predicted.size() == Actual.size() && "prediction count mismatch");
+  size_t TP = 0, TN = 0, FP = 0, FN = 0;
+  for (size_t I = 0; I != Predicted.size(); ++I) {
+    if (Predicted[I] && Actual[I])
+      ++TP;
+    else if (Predicted[I] && !Actual[I])
+      ++FP;
+    else if (!Predicted[I] && Actual[I])
+      ++FN;
+    else
+      ++TN;
+  }
+  Metrics M;
+  M.Support = Predicted.size();
+  if (M.Support == 0)
+    return M;
+  M.Accuracy = static_cast<double>(TP + TN) / static_cast<double>(M.Support);
+  M.Precision = TP + FP == 0 ? 0.0
+                             : static_cast<double>(TP) /
+                                   static_cast<double>(TP + FP);
+  M.Recall = TP + FN == 0
+                 ? 0.0
+                 : static_cast<double>(TP) / static_cast<double>(TP + FN);
+  M.F1 = M.Precision + M.Recall == 0
+             ? 0.0
+             : 2.0 * M.Precision * M.Recall / (M.Precision + M.Recall);
+  return M;
+}
+
+Metrics ml::averageMetrics(const std::vector<Metrics> &Runs) {
+  Metrics Avg;
+  if (Runs.empty())
+    return Avg;
+  for (const Metrics &M : Runs) {
+    Avg.Accuracy += M.Accuracy;
+    Avg.Precision += M.Precision;
+    Avg.Recall += M.Recall;
+    Avg.F1 += M.F1;
+    Avg.Support += M.Support;
+  }
+  double N = static_cast<double>(Runs.size());
+  Avg.Accuracy /= N;
+  Avg.Precision /= N;
+  Avg.Recall /= N;
+  Avg.F1 /= N;
+  return Avg;
+}
+
+Metrics ml::crossValidate(
+    const Matrix &X, const std::vector<bool> &Y,
+    const std::function<std::unique_ptr<BinaryClassifier>()> &Factory,
+    const CrossValidationConfig &Config) {
+  size_t N = X.rows();
+  Rng R(Config.Seed);
+  std::vector<Metrics> Runs;
+  for (size_t Repeat = 0; Repeat != Config.Repeats; ++Repeat) {
+    std::vector<size_t> Order(N);
+    std::iota(Order.begin(), Order.end(), 0);
+    R.shuffle(Order);
+    size_t TrainCount = static_cast<size_t>(
+        static_cast<double>(N) * Config.TrainFraction);
+    TrainCount = std::min(std::max<size_t>(TrainCount, 1), N - 1);
+
+    Matrix TrainX(TrainCount, X.cols());
+    std::vector<bool> TrainY(TrainCount);
+    for (size_t I = 0; I != TrainCount; ++I) {
+      for (size_t J = 0; J != X.cols(); ++J)
+        TrainX.at(I, J) = X.at(Order[I], J);
+      TrainY[I] = Y[Order[I]];
+    }
+    auto Model = Factory();
+    Model->fit(TrainX, TrainY);
+
+    std::vector<bool> Predicted, Actual;
+    for (size_t I = TrainCount; I != N; ++I) {
+      Predicted.push_back(Model->predict(X.rowVector(Order[I])));
+      Actual.push_back(Y[Order[I]]);
+    }
+    Runs.push_back(computeMetrics(Predicted, Actual));
+  }
+  return averageMetrics(Runs);
+}
+
+std::string
+ml::selectModel(const Matrix &X, const std::vector<bool> &Y,
+                const std::vector<std::string> &Families,
+                const CrossValidationConfig &Config,
+                std::vector<std::pair<std::string, Metrics>> *All) {
+  std::string Best;
+  double BestF1 = -1.0;
+  for (const std::string &Family : Families) {
+    Metrics M = crossValidate(
+        X, Y, [&] { return makeClassifier(Family); }, Config);
+    if (All)
+      All->emplace_back(Family, M);
+    if (M.F1 > BestF1) {
+      BestF1 = M.F1;
+      Best = Family;
+    }
+  }
+  return Best;
+}

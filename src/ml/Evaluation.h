@@ -1,0 +1,64 @@
+//===- ml/Evaluation.h - Metrics and cross-validation -----------*- C++ -*-==//
+///
+/// \file
+/// The evaluation harness of Section 5.1/5.2: accuracy, precision, recall
+/// and F1 on binary predictions, plus the repeated 80/20 holdout
+/// cross-validation used for model selection (the paper repeats the split
+/// 30 times and averages).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_ML_EVALUATION_H
+#define NAMER_ML_EVALUATION_H
+
+#include "ml/Models.h"
+#include "support/Rng.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace namer {
+namespace ml {
+
+struct Metrics {
+  double Accuracy = 0;
+  double Precision = 0;
+  double Recall = 0;
+  double F1 = 0;
+  size_t Support = 0; ///< number of evaluated samples
+};
+
+/// Computes binary metrics. Precision/recall treat "true" as positive;
+/// both are 0 when undefined (no predicted / actual positives).
+Metrics computeMetrics(const std::vector<bool> &Predicted,
+                       const std::vector<bool> &Actual);
+
+/// Averages metrics element-wise.
+Metrics averageMetrics(const std::vector<Metrics> &Runs);
+
+struct CrossValidationConfig {
+  double TrainFraction = 0.8;
+  size_t Repeats = 30;
+  uint64_t Seed = 1;
+};
+
+/// Repeated random-split evaluation of a classifier family (fresh model per
+/// split, built by \p Factory).
+Metrics crossValidate(
+    const Matrix &X, const std::vector<bool> &Y,
+    const std::function<std::unique_ptr<BinaryClassifier>()> &Factory,
+    const CrossValidationConfig &Config = CrossValidationConfig());
+
+/// Runs crossValidate for each family name and returns the best-scoring
+/// name by F1 (the Section 5.1 model selection).
+std::string selectModel(const Matrix &X, const std::vector<bool> &Y,
+                        const std::vector<std::string> &Families,
+                        const CrossValidationConfig &Config,
+                        std::vector<std::pair<std::string, Metrics>> *All =
+                            nullptr);
+
+} // namespace ml
+} // namespace namer
+
+#endif // NAMER_ML_EVALUATION_H

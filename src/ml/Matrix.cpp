@@ -1,0 +1,36 @@
+//===- ml/Matrix.cpp ------------------------------------------------------==//
+
+#include "ml/Matrix.h"
+
+using namespace namer;
+using namespace namer::ml;
+
+Matrix Matrix::multiply(const Matrix &Other) const {
+  assert(NumCols == Other.NumRows && "dimension mismatch in multiply");
+  Matrix Result(NumRows, Other.NumCols);
+  for (size_t I = 0; I != NumRows; ++I)
+    for (size_t K = 0; K != NumCols; ++K) {
+      double V = at(I, K);
+      if (V == 0.0)
+        continue;
+      for (size_t J = 0; J != Other.NumCols; ++J)
+        Result.at(I, J) += V * Other.at(K, J);
+    }
+  return Result;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix Result(NumCols, NumRows);
+  for (size_t I = 0; I != NumRows; ++I)
+    for (size_t J = 0; J != NumCols; ++J)
+      Result.at(J, I) = at(I, J);
+  return Result;
+}
+
+double ml::dot(const std::vector<double> &A, const std::vector<double> &B) {
+  assert(A.size() == B.size() && "dot of different lengths");
+  double Sum = 0;
+  for (size_t I = 0; I != A.size(); ++I)
+    Sum += A[I] * B[I];
+  return Sum;
+}

@@ -1,0 +1,65 @@
+//===- ml/Matrix.h - Dense matrices for the ML layer ------------*- C++ -*-==//
+///
+/// \file
+/// A minimal dense row-major matrix of doubles: just enough linear algebra
+/// for feature standardization, PCA via Jacobi rotations, and the linear
+/// classifiers of Section 4.2. Deliberately not a general BLAS; clarity
+/// over absolute speed (feature matrices here are 120 x 17).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_ML_MATRIX_H
+#define NAMER_ML_MATRIX_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace namer {
+namespace ml {
+
+class Matrix {
+public:
+  Matrix() = default;
+  Matrix(size_t Rows, size_t Cols, double Fill = 0.0)
+      : NumRows(Rows), NumCols(Cols), Data(Rows * Cols, Fill) {}
+
+  size_t rows() const { return NumRows; }
+  size_t cols() const { return NumCols; }
+
+  double &at(size_t R, size_t C) {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+  double at(size_t R, size_t C) const {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+
+  /// Pointer to row \p R (contiguous NumCols doubles).
+  double *row(size_t R) { return &Data[R * NumCols]; }
+  const double *row(size_t R) const { return &Data[R * NumCols]; }
+
+  /// Copies row \p R into a vector.
+  std::vector<double> rowVector(size_t R) const {
+    return std::vector<double>(row(R), row(R) + NumCols);
+  }
+
+  /// this * Other.
+  Matrix multiply(const Matrix &Other) const;
+  /// Transpose.
+  Matrix transposed() const;
+
+private:
+  size_t NumRows = 0;
+  size_t NumCols = 0;
+  std::vector<double> Data;
+};
+
+/// Dot product of equal-length vectors.
+double dot(const std::vector<double> &A, const std::vector<double> &B);
+
+} // namespace ml
+} // namespace namer
+
+#endif // NAMER_ML_MATRIX_H

@@ -1,0 +1,219 @@
+//===- ml/Models.cpp ------------------------------------------------------==//
+
+#include "ml/Models.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+using namespace namer;
+using namespace namer::ml;
+
+// --- LinearSvm ---------------------------------------------------------------
+
+void LinearSvm::fit(const Matrix &X, const std::vector<bool> &Y) {
+  assert(X.rows() == Y.size() && "label count mismatch");
+  size_t N = X.rows(), D = X.cols();
+  W.assign(D, 0.0);
+  B = 0.0;
+  if (N == 0)
+    return;
+  // Averaged Pegasos: iterate in a fixed coprime stride so consecutive
+  // updates mix classes even when the input is class-ordered, and average
+  // the iterates of the second half of training for stability.
+  std::vector<double> AvgW(D, 0.0);
+  double AvgB = 0.0;
+  size_t AvgCount = 0;
+  size_t TotalSteps = Cfg.Epochs * N;
+  size_t Stride = 1;
+  for (size_t Candidate : {7919u, 104729u, 1299709u, 15485863u}) {
+    if (std::gcd(Candidate, N) == 1) {
+      Stride = Candidate;
+      break;
+    }
+  }
+  size_t Step = 1;
+  for (size_t Epoch = 0; Epoch != Cfg.Epochs; ++Epoch) {
+    for (size_t K = 0; K != N; ++K, ++Step) {
+      size_t I = (K * Stride + Epoch) % N;
+      double Eta = 1.0 / (Cfg.Lambda * static_cast<double>(Step));
+      double Label = Y[I] ? 1.0 : -1.0;
+      const double *Row = X.row(I);
+      double Score = B;
+      for (size_t J = 0; J != D; ++J)
+        Score += W[J] * Row[J];
+      // L2 shrink; the bias is treated as the weight of a constant 1.0
+      // feature and regularized too, which keeps early (large-Eta) steps
+      // from blowing it up.
+      double Shrink = 1.0 - Eta * Cfg.Lambda;
+      for (double &Wj : W)
+        Wj *= Shrink;
+      B *= Shrink;
+      if (Label * Score < 1.0) {
+        for (size_t J = 0; J != D; ++J)
+          W[J] += Eta * Label * Row[J];
+        B += Eta * Label;
+      }
+      if (Step * 2 >= TotalSteps) {
+        for (size_t J = 0; J != D; ++J)
+          AvgW[J] += W[J];
+        AvgB += B;
+        ++AvgCount;
+      }
+    }
+  }
+  if (AvgCount > 0) {
+    for (size_t J = 0; J != D; ++J)
+      W[J] = AvgW[J] / static_cast<double>(AvgCount);
+    B = AvgB / static_cast<double>(AvgCount);
+  }
+}
+
+double LinearSvm::decision(const std::vector<double> &Row) const {
+  assert(Row.size() == W.size() && "feature count mismatch");
+  return dot(W, Row) + B;
+}
+
+// --- LogisticRegression --------------------------------------------------------
+
+void LogisticRegression::fit(const Matrix &X, const std::vector<bool> &Y) {
+  assert(X.rows() == Y.size() && "label count mismatch");
+  size_t N = X.rows(), D = X.cols();
+  W.assign(D, 0.0);
+  B = 0.0;
+  if (N == 0)
+    return;
+  std::vector<double> GradW(D);
+  for (size_t Epoch = 0; Epoch != Cfg.Epochs; ++Epoch) {
+    std::fill(GradW.begin(), GradW.end(), 0.0);
+    double GradB = 0.0;
+    for (size_t I = 0; I != N; ++I) {
+      const double *Row = X.row(I);
+      double Score = B;
+      for (size_t J = 0; J != D; ++J)
+        Score += W[J] * Row[J];
+      double P = 1.0 / (1.0 + std::exp(-Score));
+      double Err = P - (Y[I] ? 1.0 : 0.0);
+      for (size_t J = 0; J != D; ++J)
+        GradW[J] += Err * Row[J];
+      GradB += Err;
+    }
+    double Scale = Cfg.LearningRate / static_cast<double>(N);
+    for (size_t J = 0; J != D; ++J)
+      W[J] -= Scale * (GradW[J] + Cfg.Lambda * W[J]);
+    B -= Scale * GradB;
+  }
+}
+
+double LogisticRegression::decision(const std::vector<double> &Row) const {
+  assert(Row.size() == W.size() && "feature count mismatch");
+  return dot(W, Row) + B;
+}
+
+// --- LinearDiscriminant ----------------------------------------------------
+
+namespace {
+
+/// Solves A x = b with Gaussian elimination and partial pivoting. A is
+/// overwritten. Returns false if singular.
+bool solveLinearSystem(Matrix A, std::vector<double> B,
+                       std::vector<double> &X) {
+  size_t D = A.rows();
+  for (size_t Col = 0; Col != D; ++Col) {
+    // Pivot.
+    size_t Pivot = Col;
+    for (size_t R = Col + 1; R != D; ++R)
+      if (std::fabs(A.at(R, Col)) > std::fabs(A.at(Pivot, Col)))
+        Pivot = R;
+    if (std::fabs(A.at(Pivot, Col)) < 1e-12)
+      return false;
+    if (Pivot != Col) {
+      for (size_t C = 0; C != D; ++C)
+        std::swap(A.at(Pivot, C), A.at(Col, C));
+      std::swap(B[Pivot], B[Col]);
+    }
+    for (size_t R = Col + 1; R != D; ++R) {
+      double Factor = A.at(R, Col) / A.at(Col, Col);
+      if (Factor == 0.0)
+        continue;
+      for (size_t C = Col; C != D; ++C)
+        A.at(R, C) -= Factor * A.at(Col, C);
+      B[R] -= Factor * B[Col];
+    }
+  }
+  X.assign(D, 0.0);
+  for (size_t RI = D; RI != 0; --RI) {
+    size_t R = RI - 1;
+    double Sum = B[R];
+    for (size_t C = R + 1; C != D; ++C)
+      Sum -= A.at(R, C) * X[C];
+    X[R] = Sum / A.at(R, R);
+  }
+  return true;
+}
+
+} // namespace
+
+void LinearDiscriminant::fit(const Matrix &X, const std::vector<bool> &Y) {
+  assert(X.rows() == Y.size() && "label count mismatch");
+  size_t N = X.rows(), D = X.cols();
+  W.assign(D, 0.0);
+  B = 0.0;
+  size_t N1 = 0;
+  for (bool L : Y)
+    N1 += L;
+  size_t N0 = N - N1;
+  if (N0 == 0 || N1 == 0)
+    return; // degenerate: everything one class
+
+  std::vector<double> Mu0(D, 0.0), Mu1(D, 0.0);
+  for (size_t I = 0; I != N; ++I) {
+    auto &Mu = Y[I] ? Mu1 : Mu0;
+    for (size_t J = 0; J != D; ++J)
+      Mu[J] += X.at(I, J);
+  }
+  for (size_t J = 0; J != D; ++J) {
+    Mu0[J] /= static_cast<double>(N0);
+    Mu1[J] /= static_cast<double>(N1);
+  }
+  // Pooled within-class covariance with ridge.
+  Matrix Sigma(D, D);
+  for (size_t I = 0; I != N; ++I) {
+    const auto &Mu = Y[I] ? Mu1 : Mu0;
+    for (size_t A = 0; A != D; ++A)
+      for (size_t Bc = 0; Bc != D; ++Bc)
+        Sigma.at(A, Bc) +=
+            (X.at(I, A) - Mu[A]) * (X.at(I, Bc) - Mu[Bc]);
+  }
+  double Scale = N > 2 ? 1.0 / static_cast<double>(N - 2) : 1.0;
+  for (size_t A = 0; A != D; ++A) {
+    for (size_t Bc = 0; Bc != D; ++Bc)
+      Sigma.at(A, Bc) *= Scale;
+    Sigma.at(A, A) += Cfg.Ridge;
+  }
+  std::vector<double> Diff(D);
+  for (size_t J = 0; J != D; ++J)
+    Diff[J] = Mu1[J] - Mu0[J];
+  if (!solveLinearSystem(std::move(Sigma), std::move(Diff), W)) {
+    W.assign(D, 0.0);
+    return;
+  }
+  // Threshold at the projected midpoint (equal priors).
+  double M0 = dot(W, Mu0), M1 = dot(W, Mu1);
+  B = -(M0 + M1) / 2.0;
+}
+
+double LinearDiscriminant::decision(const std::vector<double> &Row) const {
+  assert(Row.size() == W.size() && "feature count mismatch");
+  return dot(W, Row) + B;
+}
+
+std::unique_ptr<BinaryClassifier> ml::makeClassifier(const std::string &Name) {
+  if (Name == "svm-linear")
+    return std::make_unique<LinearSvm>();
+  if (Name == "logreg")
+    return std::make_unique<LogisticRegression>();
+  if (Name == "lda")
+    return std::make_unique<LinearDiscriminant>();
+  return nullptr;
+}

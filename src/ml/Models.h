@@ -1,0 +1,120 @@
+//===- ml/Models.h - Linear binary classifiers ------------------*- C++ -*-==//
+///
+/// \file
+/// The three model families Section 5.1 cross-validates for the defect
+/// classifier: a linear-kernel support vector machine (the selected model),
+/// logistic regression, and linear discriminant analysis. All expose the
+/// same interface: fit on a labeled matrix, produce a signed decision
+/// value, and report weights (Table 9 prints them).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_ML_MODELS_H
+#define NAMER_ML_MODELS_H
+
+#include "ml/Matrix.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace namer {
+namespace ml {
+
+/// Interface of a binary classifier over real feature vectors. Labels are
+/// true ("report the violation") / false ("prune it").
+class BinaryClassifier {
+public:
+  virtual ~BinaryClassifier() = default;
+
+  /// Trains on rows of \p X with labels \p Y (same length as X.rows()).
+  virtual void fit(const Matrix &X, const std::vector<bool> &Y) = 0;
+
+  /// Signed score; >= 0 classifies as true.
+  virtual double decision(const std::vector<double> &Row) const = 0;
+
+  bool predict(const std::vector<double> &Row) const {
+    return decision(Row) >= 0.0;
+  }
+
+  /// Linear weights (without bias). All three families are linear.
+  virtual const std::vector<double> &weights() const = 0;
+  virtual double bias() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Linear-kernel SVM trained by subgradient descent on the L2-regularized
+/// hinge loss (Pegasos-style schedule). Deterministic given the data.
+class LinearSvm : public BinaryClassifier {
+public:
+  struct Config {
+    double Lambda = 0.001; ///< L2 regularization strength
+    size_t Epochs = 200;
+  };
+  LinearSvm() = default;
+  explicit LinearSvm(Config C) : Cfg(C) {}
+
+  void fit(const Matrix &X, const std::vector<bool> &Y) override;
+  double decision(const std::vector<double> &Row) const override;
+  const std::vector<double> &weights() const override { return W; }
+  double bias() const override { return B; }
+  std::string name() const override { return "svm-linear"; }
+
+private:
+  Config Cfg;
+  std::vector<double> W;
+  double B = 0.0;
+};
+
+/// Logistic regression trained by full-batch gradient descent.
+class LogisticRegression : public BinaryClassifier {
+public:
+  struct Config {
+    double LearningRate = 0.1;
+    double Lambda = 0.001;
+    size_t Epochs = 500;
+  };
+  LogisticRegression() = default;
+  explicit LogisticRegression(Config C) : Cfg(C) {}
+
+  void fit(const Matrix &X, const std::vector<bool> &Y) override;
+  double decision(const std::vector<double> &Row) const override;
+  const std::vector<double> &weights() const override { return W; }
+  double bias() const override { return B; }
+  std::string name() const override { return "logreg"; }
+
+private:
+  Config Cfg;
+  std::vector<double> W;
+  double B = 0.0;
+};
+
+/// Two-class linear discriminant analysis: w = Sigma^-1 (mu1 - mu0), with a
+/// small ridge on Sigma for stability.
+class LinearDiscriminant : public BinaryClassifier {
+public:
+  struct Config {
+    double Ridge = 1e-3;
+  };
+  LinearDiscriminant() = default;
+  explicit LinearDiscriminant(Config C) : Cfg(C) {}
+
+  void fit(const Matrix &X, const std::vector<bool> &Y) override;
+  double decision(const std::vector<double> &Row) const override;
+  const std::vector<double> &weights() const override { return W; }
+  double bias() const override { return B; }
+  std::string name() const override { return "lda"; }
+
+private:
+  Config Cfg;
+  std::vector<double> W;
+  double B = 0.0;
+};
+
+/// Factory by family name ("svm-linear", "logreg", "lda").
+std::unique_ptr<BinaryClassifier> makeClassifier(const std::string &Name);
+
+} // namespace ml
+} // namespace namer
+
+#endif // NAMER_ML_MODELS_H

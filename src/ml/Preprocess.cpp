@@ -1,0 +1,155 @@
+//===- ml/Preprocess.cpp --------------------------------------------------==//
+
+#include "ml/Preprocess.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+using namespace namer;
+using namespace namer::ml;
+
+void Standardizer::fit(const Matrix &X) {
+  size_t N = X.rows(), D = X.cols();
+  Means.assign(D, 0.0);
+  Stddevs.assign(D, 1.0);
+  if (N == 0)
+    return;
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = 0; J != D; ++J)
+      Means[J] += X.at(I, J);
+  for (double &M : Means)
+    M /= static_cast<double>(N);
+  std::vector<double> Var(D, 0.0);
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = 0; J != D; ++J) {
+      double Delta = X.at(I, J) - Means[J];
+      Var[J] += Delta * Delta;
+    }
+  for (size_t J = 0; J != D; ++J) {
+    double S = std::sqrt(Var[J] / static_cast<double>(N));
+    Stddevs[J] = S > 1e-12 ? S : 1.0;
+  }
+}
+
+Matrix Standardizer::transform(const Matrix &X) const {
+  Matrix Out(X.rows(), X.cols());
+  for (size_t I = 0; I != X.rows(); ++I)
+    for (size_t J = 0; J != X.cols(); ++J)
+      Out.at(I, J) = (X.at(I, J) - Means[J]) / Stddevs[J];
+  return Out;
+}
+
+std::vector<double>
+Standardizer::transform(const std::vector<double> &Row) const {
+  std::vector<double> Out(Row.size());
+  for (size_t J = 0; J != Row.size(); ++J)
+    Out[J] = (Row[J] - Means[J]) / Stddevs[J];
+  return Out;
+}
+
+std::vector<double> ml::jacobiEigen(Matrix A, Matrix &Vectors) {
+  size_t D = A.rows();
+  assert(A.cols() == D && "jacobiEigen requires a square matrix");
+  // V starts as identity; rows become eigenvectors after accumulation.
+  Matrix V(D, D);
+  for (size_t I = 0; I != D; ++I)
+    V.at(I, I) = 1.0;
+
+  for (int Sweep = 0; Sweep < 100; ++Sweep) {
+    double Off = 0;
+    for (size_t P = 0; P != D; ++P)
+      for (size_t Q = P + 1; Q != D; ++Q)
+        Off += A.at(P, Q) * A.at(P, Q);
+    if (Off < 1e-20)
+      break;
+    for (size_t P = 0; P != D; ++P) {
+      for (size_t Q = P + 1; Q != D; ++Q) {
+        double Apq = A.at(P, Q);
+        if (std::fabs(Apq) < 1e-18)
+          continue;
+        double Theta = (A.at(Q, Q) - A.at(P, P)) / (2.0 * Apq);
+        double T = (Theta >= 0 ? 1.0 : -1.0) /
+                   (std::fabs(Theta) + std::sqrt(Theta * Theta + 1.0));
+        double C = 1.0 / std::sqrt(T * T + 1.0);
+        double S = T * C;
+        // Rotate A on both sides.
+        for (size_t K = 0; K != D; ++K) {
+          double Akp = A.at(K, P), Akq = A.at(K, Q);
+          A.at(K, P) = C * Akp - S * Akq;
+          A.at(K, Q) = S * Akp + C * Akq;
+        }
+        for (size_t K = 0; K != D; ++K) {
+          double Apk = A.at(P, K), Aqk = A.at(Q, K);
+          A.at(P, K) = C * Apk - S * Aqk;
+          A.at(Q, K) = S * Apk + C * Aqk;
+        }
+        // Accumulate rotation into V (rows are eigenvectors).
+        for (size_t K = 0; K != D; ++K) {
+          double Vpk = V.at(P, K), Vqk = V.at(Q, K);
+          V.at(P, K) = C * Vpk - S * Vqk;
+          V.at(Q, K) = S * Vpk + C * Vqk;
+        }
+      }
+    }
+  }
+
+  // Sort by decreasing eigenvalue.
+  std::vector<size_t> Order(D);
+  std::iota(Order.begin(), Order.end(), 0);
+  std::sort(Order.begin(), Order.end(), [&](size_t X, size_t Y) {
+    return A.at(X, X) > A.at(Y, Y);
+  });
+  std::vector<double> Eigenvalues(D);
+  Vectors = Matrix(D, D);
+  for (size_t I = 0; I != D; ++I) {
+    Eigenvalues[I] = A.at(Order[I], Order[I]);
+    for (size_t K = 0; K != D; ++K)
+      Vectors.at(I, K) = V.at(Order[I], K);
+  }
+  return Eigenvalues;
+}
+
+void Pca::fit(const Matrix &X, size_t Keep) {
+  size_t N = X.rows(), D = X.cols();
+  // Covariance (X assumed centered by the standardizer).
+  Matrix Cov(D, D);
+  for (size_t I = 0; I != N; ++I)
+    for (size_t A = 0; A != D; ++A)
+      for (size_t B = 0; B != D; ++B)
+        Cov.at(A, B) += X.at(I, A) * X.at(I, B);
+  double Scale = N > 1 ? 1.0 / static_cast<double>(N - 1) : 1.0;
+  for (size_t A = 0; A != D; ++A)
+    for (size_t B = 0; B != D; ++B)
+      Cov.at(A, B) *= Scale;
+
+  Matrix Vectors;
+  Eigenvalues = jacobiEigen(std::move(Cov), Vectors);
+  size_t Count = Keep == 0 ? D : std::min(Keep, D);
+  Components = Matrix(Count, D);
+  for (size_t I = 0; I != Count; ++I)
+    for (size_t J = 0; J != D; ++J)
+      Components.at(I, J) = Vectors.at(I, J);
+  Eigenvalues.resize(Count);
+}
+
+Matrix Pca::transform(const Matrix &X) const {
+  return X.multiply(Components.transposed());
+}
+
+std::vector<double> Pca::transform(const std::vector<double> &Row) const {
+  std::vector<double> Out(Components.rows(), 0.0);
+  for (size_t I = 0; I != Components.rows(); ++I)
+    for (size_t J = 0; J != Row.size(); ++J)
+      Out[I] += Components.at(I, J) * Row[J];
+  return Out;
+}
+
+std::vector<double>
+Pca::backProject(const std::vector<double> &W) const {
+  std::vector<double> Out(Components.cols(), 0.0);
+  for (size_t I = 0; I != Components.rows(); ++I)
+    for (size_t J = 0; J != Components.cols(); ++J)
+      Out[J] += Components.at(I, J) * W[I];
+  return Out;
+}

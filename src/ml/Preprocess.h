@@ -1,0 +1,70 @@
+//===- ml/Preprocess.h - Standardization and PCA ----------------*- C++ -*-==//
+///
+/// \file
+/// The feature preprocessing of Section 5.1: "we used feature
+/// standardization and principal component analysis as a preprocessing
+/// step for the features." Standardizer centers/scales each column; Pca
+/// diagonalizes the covariance matrix with cyclic Jacobi rotations and
+/// projects onto the leading components.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_ML_PREPROCESS_H
+#define NAMER_ML_PREPROCESS_H
+
+#include "ml/Matrix.h"
+
+#include <vector>
+
+namespace namer {
+namespace ml {
+
+/// Per-column zero-mean unit-variance scaling.
+class Standardizer {
+public:
+  /// Learns column means and standard deviations from \p X.
+  void fit(const Matrix &X);
+  /// Applies the learned scaling. Constant columns pass through centered.
+  Matrix transform(const Matrix &X) const;
+  std::vector<double> transform(const std::vector<double> &Row) const;
+
+  const std::vector<double> &means() const { return Means; }
+  const std::vector<double> &stddevs() const { return Stddevs; }
+
+private:
+  std::vector<double> Means;
+  std::vector<double> Stddevs;
+};
+
+/// PCA via Jacobi eigendecomposition of the covariance matrix.
+class Pca {
+public:
+  /// Learns the projection from \p X (assumed standardized). Keeps the
+  /// \p Components leading eigenvectors; 0 keeps all.
+  void fit(const Matrix &X, size_t Components = 0);
+
+  Matrix transform(const Matrix &X) const;
+  std::vector<double> transform(const std::vector<double> &Row) const;
+
+  /// Maps weights in component space back to original feature space:
+  /// w_orig = V * w_comp. Used to report Table 9 feature weights.
+  std::vector<double> backProject(const std::vector<double> &W) const;
+
+  size_t numComponents() const { return Components.rows(); }
+  const std::vector<double> &eigenvalues() const { return Eigenvalues; }
+
+private:
+  Matrix Components; // rows = components, cols = original features
+  std::vector<double> Eigenvalues;
+};
+
+/// Symmetric eigendecomposition helper (exposed for testing): diagonalizes
+/// \p A in place with cyclic Jacobi rotations; returns eigenvalues and
+/// fills \p Vectors with eigenvectors as rows, sorted by decreasing
+/// eigenvalue.
+std::vector<double> jacobiEigen(Matrix A, Matrix &Vectors);
+
+} // namespace ml
+} // namespace namer
+
+#endif // NAMER_ML_PREPROCESS_H

@@ -1,0 +1,122 @@
+//===- namepath/NamePath.cpp ----------------------------------------------==//
+
+#include "namepath/NamePath.h"
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cctype>
+
+using namespace namer;
+
+static void extractFrom(const Tree &T, NodeId N,
+                        std::vector<PathStep> &Prefix,
+                        std::vector<NamePath> &Out) {
+  const Node &Nd = T.node(N);
+  if (Nd.Children.empty()) {
+    Out.push_back(NamePath{Prefix, Nd.Value});
+    return;
+  }
+  for (uint32_t I = 0, E = static_cast<uint32_t>(Nd.Children.size()); I != E;
+       ++I) {
+    Prefix.push_back(PathStep{Nd.Value, I});
+    extractFrom(T, Nd.Children[I], Prefix, Out);
+    Prefix.pop_back();
+  }
+}
+
+std::vector<NamePath> namer::extractNamePaths(const Tree &StmtTree,
+                                              size_t MaxPaths) {
+  std::vector<NamePath> Out;
+  if (StmtTree.empty())
+    return Out;
+  std::vector<PathStep> Prefix;
+  extractFrom(StmtTree, StmtTree.root(), Prefix, Out);
+  if (MaxPaths != 0 && Out.size() > MaxPaths)
+    Out.resize(MaxPaths);
+  return Out;
+}
+
+std::string namer::formatNamePath(const NamePath &Path,
+                                  const AstContext &Ctx) {
+  std::string Out;
+  for (const PathStep &Step : Path.Prefix) {
+    Out += Ctx.text(Step.Value);
+    Out += ' ';
+    Out += std::to_string(Step.Index);
+    Out += ' ';
+  }
+  Out += Path.isSymbolic() ? "<eps>" : std::string(Ctx.text(Path.End));
+  return Out;
+}
+
+size_t NamePathTable::PathHash::operator()(const NamePath &P) const {
+  uint64_t H = FnvOffsetBasis;
+  for (const PathStep &Step : P.Prefix) {
+    H = hashU32(H, Step.Value);
+    H = hashU32(H, Step.Index);
+  }
+  H = hashU32(H, P.End);
+  return static_cast<size_t>(H);
+}
+
+PathId NamePathTable::intern(const NamePath &Path) {
+  auto It = Map.find(Path);
+  if (It != Map.end())
+    return It->second;
+  PathId Id = static_cast<PathId>(Paths.size());
+  Paths.push_back(Path);
+  Map.emplace(Path, Id);
+
+  NamePath PrefixKey{Path.Prefix, EpsilonSymbol};
+  auto PIt = PrefixMap.find(PrefixKey);
+  if (PIt == PrefixMap.end())
+    PIt = PrefixMap.emplace(std::move(PrefixKey), NextPrefix++).first;
+  Prefixes.push_back(PIt->second);
+  return Id;
+}
+
+PathId NamePathTable::lookup(const NamePath &Path) const {
+  auto It = Map.find(Path);
+  return It == Map.end() ? InvalidPathId : It->second;
+}
+
+PathId NamePathTable::symbolicVersion(PathId Id) {
+  NamePath Sym{Paths[Id].Prefix, EpsilonSymbol};
+  return intern(Sym);
+}
+
+bool NamePathTable::less(PathId A, PathId B) const {
+  const NamePath &PA = Paths[A];
+  const NamePath &PB = Paths[B];
+  if (PA.Prefix != PB.Prefix)
+    return std::lexicographical_compare(
+        PA.Prefix.begin(), PA.Prefix.end(), PB.Prefix.begin(),
+        PB.Prefix.end(), [](const PathStep &X, const PathStep &Y) {
+          return X.Value != Y.Value ? X.Value < Y.Value : X.Index < Y.Index;
+        });
+  return PA.End < PB.End;
+}
+
+StmtPaths StmtPaths::fromTree(const Tree &StmtTree, NamePathTable &Table,
+                              size_t MaxPaths) {
+  StmtPaths Result;
+  AstContext &Ctx = StmtTree.context();
+  for (const NamePath &Path : extractNamePaths(StmtTree, MaxPaths)) {
+    PathId Id = Table.intern(Path);
+    Result.Paths.push_back(Id);
+    PrefixId Prefix = Table.prefixOf(Id);
+    Result.EndByPrefix.emplace(Prefix, Path.End);
+    // Case-fold the end for consistency-pattern comparison.
+    std::string Folded(Ctx.text(Path.End));
+    for (char &C : Folded)
+      C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+    Result.FoldedEndByPrefix.emplace(Prefix, Ctx.intern(Folded));
+  }
+  return Result;
+}
+
+bool StmtPaths::containsPath(PathId Id, const NamePathTable &Table) const {
+  auto It = EndByPrefix.find(Table.prefixOf(Id));
+  return It != EndByPrefix.end() && It->second == Table.endOf(Id);
+}

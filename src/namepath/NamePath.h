@@ -1,0 +1,150 @@
+//===- namepath/NamePath.h - Name paths (Definition 3.2) --------*- C++ -*-==//
+///
+/// \file
+/// Name paths are Namer's program abstraction for identifier name usages: a
+/// path from the root of a transformed statement AST to a leaf subtoken.
+/// Each path is a prefix S (a list of (node value, child index) pairs) plus
+/// an end node n, which is either a concrete subtoken symbol or the special
+/// symbolic node epsilon.
+///
+/// This header defines the path type, the relational operators ~ and = of
+/// Definition 3.4, extraction from trees, and a NamePathTable that interns
+/// paths and prefixes into dense ids for the FP-tree miner and the matcher.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_NAMEPATH_NAMEPATH_H
+#define NAMER_NAMEPATH_NAMEPATH_H
+
+#include "ast/Tree.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace namer {
+
+/// One element of a name path prefix: a non-terminal node's value and the
+/// index of the next node in its child list.
+struct PathStep {
+  Symbol Value;
+  uint32_t Index;
+
+  friend bool operator==(const PathStep &A, const PathStep &B) {
+    return A.Value == B.Value && A.Index == B.Index;
+  }
+  friend auto operator<=>(const PathStep &A, const PathStep &B) = default;
+};
+
+/// A name path <S, n>. End == EpsilonSymbol makes the path symbolic.
+struct NamePath {
+  std::vector<PathStep> Prefix;
+  Symbol End = EpsilonSymbol;
+
+  bool isSymbolic() const { return End == EpsilonSymbol; }
+
+  friend bool operator==(const NamePath &A, const NamePath &B) = default;
+};
+
+/// Definition 3.4: np1 ~ np2 iff the prefixes are equal.
+inline bool samePrefix(const NamePath &A, const NamePath &B) {
+  return A.Prefix == B.Prefix;
+}
+
+/// Definition 3.4: np1 = np2 iff prefixes are equal and the end nodes are
+/// equal or either is epsilon.
+inline bool pathEquals(const NamePath &A, const NamePath &B) {
+  return samePrefix(A, B) &&
+         (A.End == EpsilonSymbol || B.End == EpsilonSymbol || A.End == B.End);
+}
+
+/// Extracts all concrete name paths of \p StmtTree in a deterministic
+/// top-down traversal (the order of Figure 2(d)). Every leaf produces one
+/// path; prefixes are unique by construction because the last prefix step
+/// carries the leaf's child index. \p MaxPaths truncates to the first k
+/// paths (the paper keeps the first 10; pass 0 for no limit).
+std::vector<NamePath> extractNamePaths(const Tree &StmtTree,
+                                       size_t MaxPaths = 0);
+
+/// Renders a path in the paper's notation:
+/// "NumArgs(2) 0 Call 0 AttributeLoad 1 Attr 0 NumST(2) 1 TestCase 0 True".
+std::string formatNamePath(const NamePath &Path, const AstContext &Ctx);
+
+/// Dense id of an interned name path.
+using PathId = uint32_t;
+/// Dense id of an interned prefix.
+using PrefixId = uint32_t;
+inline constexpr PathId InvalidPathId = static_cast<PathId>(-1);
+
+/// Interns name paths and their prefixes. Mining and matching work on
+/// PathId/PrefixId instead of structural comparison.
+class NamePathTable {
+public:
+  /// Interns \p Path (and its prefix). Idempotent.
+  PathId intern(const NamePath &Path);
+
+  /// Returns the id of \p Path if present, InvalidPathId otherwise.
+  PathId lookup(const NamePath &Path) const;
+
+  const NamePath &path(PathId Id) const { return Paths[Id]; }
+  PrefixId prefixOf(PathId Id) const { return Prefixes[Id]; }
+  Symbol endOf(PathId Id) const { return Paths[Id].End; }
+  bool isSymbolic(PathId Id) const { return Paths[Id].isSymbolic(); }
+
+  /// Returns the id of the symbolic path with the same prefix as \p Id
+  /// (interning it if needed).
+  PathId symbolicVersion(PathId Id);
+
+  /// Total-order comparator on path content; used by the miner's sort()
+  /// calls so FP-tree layout does not depend on interning order.
+  bool less(PathId A, PathId B) const;
+
+  size_t size() const { return Paths.size(); }
+  size_t numPrefixes() const { return NextPrefix; }
+
+private:
+  struct PathHash {
+    size_t operator()(const NamePath &P) const;
+  };
+  std::vector<NamePath> Paths;
+  std::vector<PrefixId> Prefixes; // PathId -> PrefixId
+  std::unordered_map<NamePath, PathId, PathHash> Map;
+  std::unordered_map<NamePath, PrefixId, PathHash> PrefixMap; // End==eps key
+  PrefixId NextPrefix = 0;
+};
+
+/// A statement rendered as interned paths: the representation fed to the
+/// matcher. Includes a prefix -> end index because satisfaction checks are
+/// prefix lookups (Definitions 3.7 and 3.9). Ends are also kept in a
+/// case-folded form: consistency patterns compare names case-insensitively
+/// ("Intent intent" is consistent) while confusing-word patterns stay
+/// case-sensitive ("Equal" vs "Equals" differ).
+struct StmtPaths {
+  std::vector<PathId> Paths;
+  std::unordered_map<PrefixId, Symbol> EndByPrefix;
+  std::unordered_map<PrefixId, Symbol> FoldedEndByPrefix;
+
+  /// Builds from a transformed statement tree.
+  static StmtPaths fromTree(const Tree &StmtTree, NamePathTable &Table,
+                            size_t MaxPaths = 10);
+
+  bool containsPath(PathId Id, const NamePathTable &Table) const;
+  bool containsPrefix(PrefixId Id) const {
+    return EndByPrefix.find(Id) != EndByPrefix.end();
+  }
+  /// End symbol at \p Prefix, or EpsilonSymbol if absent.
+  Symbol endAt(PrefixId Prefix) const {
+    auto It = EndByPrefix.find(Prefix);
+    return It == EndByPrefix.end() ? EpsilonSymbol : It->second;
+  }
+  /// Case-folded end symbol at \p Prefix, or EpsilonSymbol if absent.
+  Symbol foldedEndAt(PrefixId Prefix) const {
+    auto It = FoldedEndByPrefix.find(Prefix);
+    return It == FoldedEndByPrefix.end() ? EpsilonSymbol : It->second;
+  }
+};
+
+} // namespace namer
+
+#endif // NAMER_NAMEPATH_NAMEPATH_H

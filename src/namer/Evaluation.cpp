@@ -1,0 +1,140 @@
+//===- namer/Evaluation.cpp -----------------------------------------------==//
+
+#include "namer/Evaluation.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+using namespace namer;
+using corpus::InspectionOutcome;
+
+size_t EvaluationResult::numSemantic() const {
+  size_t N = 0;
+  for (const InspectedReport &R : Reports)
+    N += R.Outcome.Result == InspectionOutcome::Verdict::SemanticDefect;
+  return N;
+}
+
+size_t EvaluationResult::numQuality() const {
+  size_t N = 0;
+  for (const InspectedReport &R : Reports)
+    N += R.Outcome.Result == InspectionOutcome::Verdict::CodeQualityIssue;
+  return N;
+}
+
+size_t EvaluationResult::numFalsePositives() const {
+  size_t N = 0;
+  for (const InspectedReport &R : Reports)
+    N += R.Outcome.Result == InspectionOutcome::Verdict::FalsePositive;
+  return N;
+}
+
+double EvaluationResult::precision() const {
+  if (Reports.empty())
+    return 0.0;
+  return static_cast<double>(Reports.size() - numFalsePositives()) /
+         static_cast<double>(Reports.size());
+}
+
+std::map<corpus::IssueCategory, size_t>
+EvaluationResult::qualityBreakdown() const {
+  std::map<corpus::IssueCategory, size_t> Out;
+  for (const InspectedReport &R : Reports)
+    if (R.Outcome.Result == InspectionOutcome::Verdict::CodeQualityIssue)
+      ++Out[R.Outcome.Category];
+  return Out;
+}
+
+namespace {
+
+InspectionOutcome inspectViolation(const NamerPipeline &Pipeline,
+                                   const corpus::InspectionOracle &Oracle,
+                                   const Violation &V) {
+  Report R = Pipeline.makeReport(V);
+  return Oracle.inspect(R.File, R.Line, R.Original, R.Suggested);
+}
+
+} // namespace
+
+void namer::collectBalancedLabels(const NamerPipeline &Pipeline,
+                                  const corpus::InspectionOracle &Oracle,
+                                  size_t Target, uint64_t Seed,
+                                  std::vector<size_t> &Indices,
+                                  std::vector<bool> &Labels) {
+  const auto &Violations = Pipeline.violations();
+  std::vector<size_t> Order(Violations.size());
+  std::iota(Order.begin(), Order.end(), 0);
+  Rng R(Seed);
+  R.shuffle(Order);
+
+  size_t WantTrue = Target / 2, WantFalse = Target - Target / 2;
+  for (size_t Idx : Order) {
+    if (WantTrue == 0 && WantFalse == 0)
+      break;
+    InspectionOutcome Out =
+        inspectViolation(Pipeline, Oracle, Violations[Idx]);
+    bool IsTrue = Out.Result != InspectionOutcome::Verdict::FalsePositive;
+    if (IsTrue && WantTrue > 0) {
+      Indices.push_back(Idx);
+      Labels.push_back(true);
+      --WantTrue;
+    } else if (!IsTrue && WantFalse > 0) {
+      Indices.push_back(Idx);
+      Labels.push_back(false);
+      --WantFalse;
+    }
+  }
+}
+
+EvaluationResult namer::evaluatePipeline(
+    NamerPipeline &Pipeline, const corpus::InspectionOracle &Oracle,
+    const EvaluationConfig &Config) {
+  EvaluationResult Result;
+  const auto &Violations = Pipeline.violations();
+  if (Violations.empty())
+    return Result;
+
+  // Step 1-2: balanced labels + training (only in classifier mode; the
+  // labels are still collected so the evaluation pool is identical across
+  // ablations).
+  std::vector<size_t> LabeledIdx;
+  std::vector<bool> Labels;
+  collectBalancedLabels(Pipeline, Oracle, Config.NumLabeled, Config.Seed,
+                        LabeledIdx, Labels);
+  const PipelineConfig &PC = Pipeline.config();
+  if (PC.UseClassifier && !LabeledIdx.empty()) {
+    std::vector<Violation> Labeled;
+    for (size_t Idx : LabeledIdx)
+      Labeled.push_back(Violations[Idx]);
+    Result.TrainingMetrics = Pipeline.trainClassifier(Labeled, Labels);
+    Result.SelectedModel = Pipeline.classifier().selectedFamily();
+  }
+
+  // Step 3: sample violations outside the training set.
+  std::unordered_set<size_t> Used(LabeledIdx.begin(), LabeledIdx.end());
+  std::vector<size_t> Pool;
+  for (size_t I = 0; I != Violations.size(); ++I)
+    if (!Used.count(I))
+      Pool.push_back(I);
+  Rng R(Config.Seed ^ 0x5eedf00dULL);
+  R.shuffle(Pool);
+  if (Pool.size() > Config.NumEvaluated)
+    Pool.resize(Config.NumEvaluated);
+  Result.ViolationsEvaluated = Pool.size();
+
+  // Step 4: classify and inspect.
+  for (size_t Idx : Pool) {
+    const Violation &V = Violations[Idx];
+    if (PC.UseClassifier && !Pipeline.classify(V))
+      continue;
+    InspectedReport IR;
+    IR.R = Pipeline.makeReport(V);
+    IR.Outcome = Oracle.inspect(IR.R.File, IR.R.Line, IR.R.Original,
+                                IR.R.Suggested);
+    Result.Reports.push_back(std::move(IR));
+  }
+  return Result;
+}

@@ -1,0 +1,74 @@
+//===- namer/Evaluation.h - The Section 5 evaluation protocol ---*- C++ -*-==//
+///
+/// \file
+/// Drives the paper's evaluation over a built pipeline:
+///
+///   1. a small set of violations is labeled (the paper labels 120 by
+///      hand, half true / half false; the corpus oracle replays that),
+///   2. the defect classifier trains on those labels,
+///   3. a random sample of the remaining violations is classified,
+///   4. every resulting report is inspected and counted as a semantic
+///      defect, code quality issue, or false positive.
+///
+/// Tables 2, 4, 5, 10 and 11 are tabulations of EvaluationResult.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_NAMER_EVALUATION_H
+#define NAMER_NAMER_EVALUATION_H
+
+#include "corpus/Oracle.h"
+#include "namer/Pipeline.h"
+
+#include <map>
+
+namespace namer {
+
+struct EvaluationConfig {
+  /// Number of violations labeled for training (paper: 120, balanced).
+  size_t NumLabeled = 120;
+  /// Number of violations sampled for inspection (paper: 300).
+  size_t NumEvaluated = 300;
+  uint64_t Seed = 99;
+};
+
+/// One inspected report.
+struct InspectedReport {
+  Report R;
+  corpus::InspectionOutcome Outcome;
+};
+
+struct EvaluationResult {
+  size_t ViolationsEvaluated = 0;
+  std::vector<InspectedReport> Reports;
+  ml::Metrics TrainingMetrics;
+  std::string SelectedModel;
+
+  size_t numReports() const { return Reports.size(); }
+  size_t numSemantic() const;
+  size_t numQuality() const;
+  size_t numFalsePositives() const;
+  double precision() const;
+  /// Code-quality category breakdown (Table 4 rows).
+  std::map<corpus::IssueCategory, size_t> qualityBreakdown() const;
+};
+
+/// Runs the protocol. The pipeline must be built; training is performed
+/// here when the pipeline's configuration uses the classifier.
+EvaluationResult evaluatePipeline(NamerPipeline &Pipeline,
+                                  const corpus::InspectionOracle &Oracle,
+                                  const EvaluationConfig &Config);
+
+/// Labels violations with the oracle until \p Target labels are collected,
+/// balanced between true and false. Returns the selected indices (into
+/// Pipeline.violations()) and their labels; used both by evaluatePipeline
+/// and by benches that train standalone classifiers.
+void collectBalancedLabels(const NamerPipeline &Pipeline,
+                           const corpus::InspectionOracle &Oracle,
+                           size_t Target, uint64_t Seed,
+                           std::vector<size_t> &Indices,
+                           std::vector<bool> &Labels);
+
+} // namespace namer
+
+#endif // NAMER_NAMER_EVALUATION_H

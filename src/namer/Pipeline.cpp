@@ -1,0 +1,191 @@
+//===- namer/Pipeline.cpp -------------------------------------------------==//
+
+#include "namer/Pipeline.h"
+
+#include "ast/Statements.h"
+#include "frontend/java/JavaParser.h"
+#include "frontend/python/PythonParser.h"
+#include "pattern/PatternIndex.h"
+#include "support/Hashing.h"
+#include "transform/AstPlus.h"
+
+#include <cassert>
+#include <chrono>
+#include <unordered_set>
+
+using namespace namer;
+
+NamerPipeline::NamerPipeline(PipelineConfig Config)
+    : Config(std::move(Config)), Ctx(std::make_unique<AstContext>()),
+      Pairs(std::make_unique<ConfusingPairMiner>(*Ctx)),
+      Classifier(this->Config.Classifier) {}
+
+void NamerPipeline::ingestFile(const corpus::SourceFile &File, RepoId Repo,
+                               corpus::Language Lang) {
+  auto Start = std::chrono::steady_clock::now();
+
+  Tree Module(*Ctx);
+  size_t Errors = 0;
+  if (Lang == corpus::Language::Python) {
+    auto R = python::parsePython(File.Text, *Ctx);
+    Module = std::move(R.Module);
+    Errors = R.Errors.size();
+  } else {
+    auto R = java::parseJava(File.Text, *Ctx);
+    Module = std::move(R.Module);
+    Errors = R.Errors.size();
+  }
+  ParseErrors += Errors;
+
+  OriginMap Origins;
+  if (Config.UseAnalyses)
+    Origins = computeOrigins(Module, Registry, Config.Analysis).Origins;
+  transformToAstPlus(Module, Origins);
+
+  FileId FId = static_cast<FileId>(FilePaths.size());
+  FilePaths.push_back(File.Path);
+  for (NodeId Root : collectStatementRoots(Module)) {
+    NodeKind Kind = Module.node(Root).Kind;
+    // Definition headers contribute paths through their signature only;
+    // classes add little and blow up statement counts, so skip them.
+    if (Kind == NodeKind::ClassDef)
+      continue;
+    Tree Stmt = projectStatement(Module, Root);
+    StmtRecord Record;
+    Record.File = FId;
+    Record.Repo = Repo;
+    Record.Line = Module.node(Root).Line;
+    Record.TextHash = hashString(Stmt.dump());
+    Record.Paths = StmtPaths::fromTree(Stmt, Table);
+    if (Record.Paths.Paths.empty())
+      continue;
+    Statements.push_back(std::move(Record));
+  }
+
+  auto End = std::chrono::steady_clock::now();
+  TotalBuildMillis +=
+      std::chrono::duration<double, std::milli>(End - Start).count();
+}
+
+void NamerPipeline::build(const corpus::Corpus &C) {
+  assert(Statements.empty() && "build() must be called once");
+  Registry = C.Lang == corpus::Language::Python
+                 ? WellKnownRegistry::forPython()
+                 : WellKnownRegistry::forJava();
+
+  // Phase 1: ingest all files.
+  NumRepos = C.Repos.size();
+  for (RepoId R = 0; R != C.Repos.size(); ++R)
+    for (const corpus::SourceFile &File : C.Repos[R].Files)
+      ingestFile(File, R, C.Lang);
+
+  // Phase 2: confusing word pairs from the commit history.
+  for (const corpus::CommitPair &Commit : C.Commits) {
+    Tree Before(*Ctx), After(*Ctx);
+    if (C.Lang == corpus::Language::Python) {
+      Before = std::move(python::parsePython(Commit.Before, *Ctx).Module);
+      After = std::move(python::parsePython(Commit.After, *Ctx).Module);
+    } else {
+      Before = std::move(java::parseJava(Commit.Before, *Ctx).Module);
+      After = std::move(java::parseJava(Commit.After, *Ctx).Module);
+    }
+    Pairs->addCommit(Before, After);
+  }
+
+  // Phase 3: mine both pattern kinds (Algorithm 1).
+  std::vector<StmtPaths> AllPaths;
+  AllPaths.reserve(Statements.size());
+  for (const StmtRecord &S : Statements)
+    AllPaths.push_back(S.Paths);
+
+  PatternMiner Consistency(PatternKind::Consistency, Table, *Ctx,
+                           Config.Miner);
+  PatternMiner Confusing(PatternKind::ConfusingWord, Table, *Ctx,
+                         Config.Miner);
+  Confusing.setCorrectWords(Pairs->correctWords());
+  for (const StmtPaths &S : AllPaths) {
+    Consistency.countPaths(S);
+    Confusing.countPaths(S);
+  }
+  for (const StmtPaths &S : AllPaths) {
+    Consistency.addStatement(S);
+    Confusing.addStatement(S);
+  }
+  Patterns = Consistency.pruneUncommon(Consistency.generate(), AllPaths);
+  for (NamePattern &P :
+       Confusing.pruneUncommon(Confusing.generate(), AllPaths))
+    Patterns.push_back(std::move(P));
+
+  // Phase 4: evaluate every statement, accumulate multi-level statistics,
+  // and collect violations.
+  PatternIndex Index2(Patterns, Table);
+  std::vector<PatternHit> Hits;
+  std::unordered_set<FileId> ViolatingFiles;
+  std::unordered_set<RepoId> ViolatingRepos;
+  for (StmtId S = 0; S != Statements.size(); ++S) {
+    Hits.clear();
+    Index2.evaluate(Statements[S].Paths, Hits);
+    Index.addStatement(Statements[S], Hits);
+    // Several mined patterns (condition variants of the same idiom) can
+    // flag the same fix; keep one violation per (statement, fix) pair.
+    std::unordered_set<uint64_t> SeenFixes;
+    for (const PatternHit &Hit : Hits) {
+      if (Hit.Result != MatchResult::Violated)
+        continue;
+      SuggestedFix Fix =
+          deriveFix(Patterns[Hit.Pattern], Statements[S].Paths, Table);
+      uint64_t Key = (static_cast<uint64_t>(Fix.Prefix) << 32) ^
+                     (static_cast<uint64_t>(Fix.Suggested) << 8) ^
+                     static_cast<uint64_t>(Patterns[Hit.Pattern].Kind);
+      if (!SeenFixes.insert(Key).second)
+        continue;
+      Violations.push_back(Violation{S, Hit.Pattern});
+      ViolatingFiles.insert(Statements[S].File);
+      ViolatingRepos.insert(Statements[S].Repo);
+    }
+  }
+  FilesWithViolations = ViolatingFiles.size();
+  ReposWithViolations = ViolatingRepos.size();
+}
+
+std::vector<double> NamerPipeline::features(const Violation &V) const {
+  FeatureInputs Inputs{Table, *Ctx, Index, Patterns, *Pairs};
+  return extractViolationFeatures(V, Statements[V.Stmt], Inputs);
+}
+
+ml::Metrics
+NamerPipeline::trainClassifier(const std::vector<Violation> &Labeled,
+                               const std::vector<bool> &Labels) {
+  std::vector<std::vector<double>> Features;
+  Features.reserve(Labeled.size());
+  for (const Violation &V : Labeled)
+    Features.push_back(features(V));
+  ml::Metrics M = Classifier.train(Features, Labels);
+  Trained = true;
+  return M;
+}
+
+bool NamerPipeline::classify(const Violation &V) const {
+  assert(Trained && "trainClassifier must run before classify");
+  return Classifier.predict(features(V));
+}
+
+double NamerPipeline::decision(const Violation &V) const {
+  assert(Trained && "trainClassifier must run before decision");
+  return Classifier.decision(features(V));
+}
+
+Report NamerPipeline::makeReport(const Violation &V) const {
+  const StmtRecord &Stmt = Statements[V.Stmt];
+  SuggestedFix Fix = deriveFix(Patterns[V.Pattern], Stmt.Paths, Table);
+  Report R;
+  R.File = FilePaths[Stmt.File];
+  R.Line = Stmt.Line;
+  R.Original = std::string(Ctx->text(Fix.Original));
+  R.Suggested = std::string(Ctx->text(Fix.Suggested));
+  R.Kind = Patterns[V.Pattern].Kind;
+  R.Stmt = V.Stmt;
+  if (Trained)
+    R.Confidence = decision(V);
+  return R;
+}

@@ -1,0 +1,43 @@
+//===- neural/Detector.cpp ------------------------------------------------==//
+
+#include "neural/Detector.h"
+
+#include <algorithm>
+
+using namespace namer;
+using namespace namer::neural;
+
+std::vector<NeuralReport> neural::detectRealIssues(
+    const std::vector<GraphSample> &RealSites,
+    const std::function<std::vector<float>(const GraphSample &)> &PredictRepair,
+    size_t MaxReports) {
+  std::vector<NeuralReport> Reports;
+  for (const GraphSample &Site : RealSites) {
+    if (Site.CandidateNames.size() < 2)
+      continue;
+    std::vector<float> Probs = PredictRepair(Site);
+    size_t Arg = static_cast<size_t>(
+        std::max_element(Probs.begin(), Probs.end()) - Probs.begin());
+    // Index of the currently present name.
+    size_t Current = Probs.size();
+    for (size_t I = 0; I != Site.CandidateNames.size(); ++I)
+      if (Site.CandidateNames[I] == Site.CurrentName)
+        Current = I;
+    if (Current == Probs.size() || Arg == Current)
+      continue;
+    NeuralReport R;
+    R.File = Site.File;
+    R.Line = Site.Line;
+    R.Original = Site.CurrentName;
+    R.Suggested = Site.CandidateNames[Arg];
+    R.Confidence = Probs[Arg] - Probs[Current];
+    Reports.push_back(std::move(R));
+  }
+  std::sort(Reports.begin(), Reports.end(),
+            [](const NeuralReport &A, const NeuralReport &B) {
+              return A.Confidence > B.Confidence;
+            });
+  if (Reports.size() > MaxReports)
+    Reports.resize(MaxReports);
+  return Reports;
+}

@@ -1,0 +1,44 @@
+//===- neural/Detector.h - Real-issue detection with neural models -*- C++-*-=//
+///
+/// \file
+/// The Section 5.6 evaluation step: run a trained misuse model over the
+/// unmodified corpus and report use sites where the model prefers a
+/// different name than the one present, ranked by confidence margin. The
+/// paper tunes the confidence level so the networks report about 5x fewer
+/// issues than Namer; MaxReports implements that knob.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_NEURAL_DETECTOR_H
+#define NAMER_NEURAL_DETECTOR_H
+
+#include "neural/ProgramGraph.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace namer {
+namespace neural {
+
+struct NeuralReport {
+  std::string File;
+  uint32_t Line = 0;
+  std::string Original;
+  std::string Suggested;
+  float Confidence = 0;
+};
+
+/// Scans \p RealSites with \p PredictRepair (candidate probabilities) and
+/// returns up to \p MaxReports reports, most confident first. A site is
+/// reported when the model's argmax differs from the current name; the
+/// confidence is the probability margin.
+std::vector<NeuralReport> detectRealIssues(
+    const std::vector<GraphSample> &RealSites,
+    const std::function<std::vector<float>(const GraphSample &)> &PredictRepair,
+    size_t MaxReports);
+
+} // namespace neural
+} // namespace namer
+
+#endif // NAMER_NEURAL_DETECTOR_H

@@ -1,0 +1,119 @@
+//===- neural/Ggnn.cpp ----------------------------------------------------==//
+
+#include "neural/Ggnn.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace namer;
+using namespace namer::neural;
+
+GgnnModel::GgnnModel(Config C) : Cfg(C) {
+  Rng G(Cfg.Seed);
+  float Scale = 1.0f / std::sqrt(static_cast<float>(Cfg.Hidden));
+  auto Param = [&](size_t R, size_t Cl) {
+    Tensor P(R, Cl, /*RequiresGrad=*/true);
+    P.initUniform(G, Scale);
+    Parameters.push_back(P);
+    return P;
+  };
+  Embedding = Param(Cfg.VocabBuckets, Cfg.Hidden);
+  for (size_t E = 0; E != NumEdgeTypes; ++E)
+    MessageWeights.push_back(Param(Cfg.Hidden, Cfg.Hidden));
+  Wz = Param(Cfg.Hidden, Cfg.Hidden);
+  Uz = Param(Cfg.Hidden, Cfg.Hidden);
+  Bz = Param(1, Cfg.Hidden);
+  Wr = Param(Cfg.Hidden, Cfg.Hidden);
+  Ur = Param(Cfg.Hidden, Cfg.Hidden);
+  Br = Param(1, Cfg.Hidden);
+  Wh = Param(Cfg.Hidden, Cfg.Hidden);
+  Uh = Param(Cfg.Hidden, Cfg.Hidden);
+  Bh = Param(1, Cfg.Hidden);
+}
+
+Tensor GgnnModel::forward(Tape &T, const GraphSample &Sample) {
+  Tensor H = embed(T, Embedding, Sample.NodeLabels);
+  size_t N = Sample.numNodes();
+  for (size_t Step = 0; Step != Cfg.Steps; ++Step) {
+    // Typed messages: M = sum_t aggregate(H W_t, edges_t).
+    Tensor M;
+    for (size_t E = 0; E != NumEdgeTypes; ++E) {
+      if (Sample.Edges[E].empty())
+        continue;
+      Tensor Transformed = matmul(T, H, MessageWeights[E]);
+      Tensor Part = aggregate(T, Transformed, Sample.Edges[E], N);
+      M = M.valid() ? add(T, M, Part) : Part;
+    }
+    if (!M.valid())
+      break;
+    // GRU update.
+    Tensor Z = sigmoid(
+        T, add(T, add(T, matmul(T, M, Wz), matmul(T, H, Uz)), Bz));
+    Tensor R = sigmoid(
+        T, add(T, add(T, matmul(T, M, Wr), matmul(T, H, Ur)), Br));
+    Tensor HC = tanhOp(
+        T, add(T, add(T, matmul(T, M, Wh), matmul(T, mul(T, R, H), Uh)),
+               Bh));
+    H = add(T, mul(T, oneMinus(T, Z), H), mul(T, Z, HC));
+  }
+  return H;
+}
+
+Tensor GgnnModel::repairLogits(Tape &T, const GraphSample &Sample,
+                               Tensor H) {
+  Tensor Hole = gatherRows(T, H, {Sample.HoleNode});          // [1 x D]
+  Tensor Cands = gatherRows(T, H, Sample.CandidateNodes);     // [K x D]
+  return matmulT(T, Hole, Cands);                             // [1 x K]
+}
+
+float GgnnModel::train(const std::vector<GraphSample> &Samples) {
+  Adam Optimizer(Parameters, Adam::Config{Cfg.LearningRate, 0.9f, 0.999f,
+                                          1e-8f});
+  float LastLoss = 0;
+  for (size_t Epoch = 0; Epoch != Cfg.Epochs; ++Epoch) {
+    float Total = 0;
+    size_t Count = 0;
+    for (const GraphSample &Sample : Samples) {
+      if (Sample.CandidateNodes.size() < 2)
+        continue;
+      Tape T;
+      Tensor H = forward(T, Sample);
+      Tensor Logits = repairLogits(T, Sample, H);
+      float Loss =
+          softmaxCrossEntropy(T, Logits, {Sample.CorrectCandidate});
+      T.backward();
+      Optimizer.step();
+      Total += Loss;
+      ++Count;
+    }
+    LastLoss = Count ? Total / static_cast<float>(Count) : 0.0f;
+  }
+  return LastLoss;
+}
+
+std::vector<float> GgnnModel::predictRepair(const GraphSample &Sample) {
+  Tape T;
+  Tensor H = forward(T, Sample);
+  Tensor Logits = repairLogits(T, Sample, H);
+  Tensor Probs = softmax(T, Logits);
+  T.clear();
+  std::vector<float> Out(Probs.cols());
+  for (size_t I = 0; I != Probs.cols(); ++I)
+    Out[I] = Probs.at(0, I);
+  return Out;
+}
+
+double GgnnModel::repairAccuracy(const std::vector<GraphSample> &Samples) {
+  size_t Correct = 0, Total = 0;
+  for (const GraphSample &Sample : Samples) {
+    if (Sample.CandidateNodes.size() < 2)
+      continue;
+    std::vector<float> Probs = predictRepair(Sample);
+    size_t Arg = static_cast<size_t>(
+        std::max_element(Probs.begin(), Probs.end()) - Probs.begin());
+    Correct += Arg == Sample.CorrectCandidate;
+    ++Total;
+  }
+  return Total ? static_cast<double>(Correct) / static_cast<double>(Total)
+               : 0.0;
+}

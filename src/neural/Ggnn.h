@@ -1,0 +1,60 @@
+//===- neural/Ggnn.h - Gated graph neural network baseline ------*- C++ -*-==//
+///
+/// \file
+/// Re-implementation of the GGNN variable-misuse model of Allamanis et al.
+/// (ICLR'18), the first deep baseline of Section 5.6: node embeddings are
+/// refined by T rounds of typed message passing with a GRU update; a
+/// masked use-site ("hole") is repaired by scoring every in-scope
+/// candidate against the hole state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_NEURAL_GGNN_H
+#define NAMER_NEURAL_GGNN_H
+
+#include "neural/ProgramGraph.h"
+#include "neural/Tensor.h"
+
+#include <vector>
+
+namespace namer {
+namespace neural {
+
+class GgnnModel {
+public:
+  struct Config {
+    size_t VocabBuckets = 128;
+    size_t Hidden = 32;
+    size_t Steps = 4;
+    size_t Epochs = 3;
+    float LearningRate = 5e-3f;
+    uint64_t Seed = 23;
+  };
+
+  explicit GgnnModel(Config C);
+
+  /// Trains on synthetic samples; returns the final-epoch mean loss.
+  float train(const std::vector<GraphSample> &Samples);
+
+  /// Softmax probabilities over the sample's candidates.
+  std::vector<float> predictRepair(const GraphSample &Sample);
+
+  /// Fraction of samples whose argmax candidate is the correct one.
+  double repairAccuracy(const std::vector<GraphSample> &Samples);
+
+private:
+  Tensor forward(Tape &T, const GraphSample &Sample);
+  Tensor repairLogits(Tape &T, const GraphSample &Sample, Tensor H);
+
+  Config Cfg;
+  Tensor Embedding;                    // [Vocab x D]
+  std::vector<Tensor> MessageWeights;  // per edge type [D x D]
+  // GRU parameters.
+  Tensor Wz, Uz, Bz, Wr, Ur, Br, Wh, Uh, Bh;
+  std::vector<Tensor> Parameters;
+};
+
+} // namespace neural
+} // namespace namer
+
+#endif // NAMER_NEURAL_GGNN_H

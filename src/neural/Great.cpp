@@ -1,0 +1,174 @@
+//===- neural/Great.cpp ---------------------------------------------------==//
+
+#include "neural/Great.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace namer;
+using namespace namer::neural;
+
+GreatModel::GreatModel(Config C) : Cfg(C) {
+  Rng G(Cfg.Seed);
+  float Scale = 1.0f / std::sqrt(static_cast<float>(Cfg.Hidden));
+  auto Param = [&](size_t R, size_t Cl, float S) {
+    Tensor P(R, Cl, /*RequiresGrad=*/true);
+    P.initUniform(G, S);
+    Parameters.push_back(P);
+    return P;
+  };
+  Embedding = Param(Cfg.VocabBuckets, Cfg.Hidden, Scale);
+  for (size_t L = 0; L != Cfg.Layers; ++L) {
+    Layer Lay;
+    Lay.Wq = Param(Cfg.Hidden, Cfg.Hidden, Scale);
+    Lay.Wk = Param(Cfg.Hidden, Cfg.Hidden, Scale);
+    Lay.Wv = Param(Cfg.Hidden, Cfg.Hidden, Scale);
+    Lay.Wo = Param(Cfg.Hidden, Cfg.Hidden, Scale);
+    Lay.F1 = Param(Cfg.Hidden, Cfg.Hidden * 2, Scale);
+    Lay.F2 = Param(Cfg.Hidden * 2, Cfg.Hidden, Scale);
+    for (size_t E = 0; E != NumEdgeTypes; ++E)
+      Lay.EdgeBias.push_back(Param(1, 1, 0.1f));
+    Layers.push_back(std::move(Lay));
+  }
+  NoBugQuery = Param(1, Cfg.Hidden, Scale);
+  NoBugBias = Param(1, 1, 0.1f);
+  NoBugPool = Param(1, Cfg.Hidden, Scale);
+  LocProj = Param(Cfg.Hidden, Cfg.Hidden, Scale);
+}
+
+Tensor GreatModel::forward(Tape &T, const GraphSample &Sample) {
+  Tensor H = embed(T, Embedding, Sample.NodeLabels);
+  float InvSqrtD = 1.0f / std::sqrt(static_cast<float>(Cfg.Hidden));
+  for (Layer &Lay : Layers) {
+    Tensor Q = matmul(T, H, Lay.Wq);
+    Tensor K = matmul(T, H, Lay.Wk);
+    Tensor V = matmul(T, H, Lay.Wv);
+    Tensor Logits = scale(T, matmulT(T, Q, K), InvSqrtD); // [N x N]
+    // Global relational attention: bias logits along typed edges.
+    for (size_t E = 0; E != NumEdgeTypes; ++E)
+      if (!Sample.Edges[E].empty())
+        Logits = addEdgeBias(T, Logits, Sample.Edges[E], Lay.EdgeBias[E]);
+    Tensor Attn = softmax(T, Logits);
+    Tensor Mixed = matmul(T, matmul(T, Attn, V), Lay.Wo);
+    H = add(T, H, Mixed); // residual
+    Tensor FF = matmul(T, relu(T, matmul(T, H, Lay.F1)), Lay.F2);
+    H = add(T, H, FF); // residual
+  }
+  return H;
+}
+
+Tensor GreatModel::locLogits(Tape &T, const GraphSample &Sample, Tensor H) {
+  // Pointer over [no-bug] + use sites: score_i = (hole-agnostic) projection
+  // of each use-site state against a learned no-bug anchor.
+  Tensor Sites = gatherRows(T, H, Sample.UseSites);    // [U x D]
+  Tensor Projected = matmul(T, Sites, LocProj);        // [U x D]
+  // Each site scored against the no-bug query: how "suspicious" it is.
+  Tensor Scores = matmulT(T, NoBugQuery, Projected);   // [1 x U]
+  // The no-bug logit is a bias plus a pooled-graph term, so it can react
+  // to how suspicious the whole function looks.
+  float InvU = 1.0f / static_cast<float>(Sample.UseSites.size());
+  Tensor Pooled = scale(T, matmul(T, Scores, Projected), InvU); // [1 x D]
+  Tensor PoolScore = matmulT(T, NoBugPool, Pooled);             // [1 x 1]
+  Tensor NoBug = add(T, NoBugBias, PoolScore);                  // [1 x 1]
+  // Concatenate [NoBug | Scores] manually.
+  Tensor Out(1, Scores.cols() + 1);
+  Out.at(0, 0) = NoBug.at(0, 0);
+  for (size_t I = 0; I != Scores.cols(); ++I)
+    Out.at(0, I + 1) = Scores.at(0, I);
+  T.record([NoBug, Scores, Out]() mutable {
+    NoBug.data().gradAt(0, 0) += Out.data().gradAt(0, 0);
+    for (size_t I = 0; I != Scores.cols(); ++I)
+      Scores.data().gradAt(0, I) += Out.data().gradAt(0, I + 1);
+  });
+  return Out;
+}
+
+Tensor GreatModel::repairLogits(Tape &T, const GraphSample &Sample,
+                                Tensor H) {
+  Tensor Hole = gatherRows(T, H, {Sample.HoleNode});
+  Tensor Cands = gatherRows(T, H, Sample.CandidateNodes);
+  return matmulT(T, Hole, Cands);
+}
+
+float GreatModel::train(const std::vector<GraphSample> &Samples) {
+  Adam Optimizer(Parameters, Adam::Config{Cfg.LearningRate, 0.9f, 0.999f,
+                                          1e-8f});
+  float LastLoss = 0;
+  for (size_t Epoch = 0; Epoch != Cfg.Epochs; ++Epoch) {
+    float Total = 0;
+    size_t Count = 0;
+    for (const GraphSample &Sample : Samples) {
+      if (Sample.CandidateNodes.size() < 2 || Sample.UseSites.empty())
+        continue;
+      Tape T;
+      Tensor H = forward(T, Sample);
+      float Loss = 0;
+      // Localization target: slot 0 = no bug, else 1 + hole index.
+      uint32_t LocTarget = Sample.IsBuggy ? Sample.HoleUseIndex + 1 : 0;
+      Loss += softmaxCrossEntropy(T, locLogits(T, Sample, H), {LocTarget});
+      // Repair target only supervises buggy samples.
+      if (Sample.IsBuggy)
+        Loss += softmaxCrossEntropy(T, repairLogits(T, Sample, H),
+                                    {Sample.CorrectCandidate});
+      T.backward();
+      Optimizer.step();
+      Total += Loss;
+      ++Count;
+    }
+    LastLoss = Count ? Total / static_cast<float>(Count) : 0.0f;
+  }
+  return LastLoss;
+}
+
+std::vector<float>
+GreatModel::predictLocalization(const GraphSample &Sample) {
+  Tape T;
+  Tensor H = forward(T, Sample);
+  Tensor Probs = softmax(T, locLogits(T, Sample, H));
+  T.clear();
+  std::vector<float> Out(Probs.cols());
+  for (size_t I = 0; I != Probs.cols(); ++I)
+    Out[I] = Probs.at(0, I);
+  return Out;
+}
+
+std::vector<float> GreatModel::predictRepair(const GraphSample &Sample) {
+  Tape T;
+  Tensor H = forward(T, Sample);
+  Tensor Probs = softmax(T, repairLogits(T, Sample, H));
+  T.clear();
+  std::vector<float> Out(Probs.cols());
+  for (size_t I = 0; I != Probs.cols(); ++I)
+    Out[I] = Probs.at(0, I);
+  return Out;
+}
+
+GreatModel::Accuracy
+GreatModel::evaluate(const std::vector<GraphSample> &Samples) {
+  size_t ClsCorrect = 0, ClsTotal = 0;
+  size_t LocCorrect = 0, RepCorrect = 0, BugTotal = 0;
+  for (const GraphSample &Sample : Samples) {
+    if (Sample.CandidateNodes.size() < 2 || Sample.UseSites.empty())
+      continue;
+    std::vector<float> Loc = predictLocalization(Sample);
+    size_t LocArg = static_cast<size_t>(
+        std::max_element(Loc.begin(), Loc.end()) - Loc.begin());
+    bool PredictedBuggy = LocArg != 0;
+    ClsCorrect += PredictedBuggy == Sample.IsBuggy;
+    ++ClsTotal;
+    if (!Sample.IsBuggy)
+      continue;
+    ++BugTotal;
+    LocCorrect += LocArg == Sample.HoleUseIndex + 1;
+    std::vector<float> Rep = predictRepair(Sample);
+    size_t RepArg = static_cast<size_t>(
+        std::max_element(Rep.begin(), Rep.end()) - Rep.begin());
+    RepCorrect += RepArg == Sample.CorrectCandidate;
+  }
+  Accuracy A;
+  A.Classification =
+      ClsTotal ? static_cast<double>(ClsCorrect) / ClsTotal : 0.0;
+  A.Localization = BugTotal ? static_cast<double>(LocCorrect) / BugTotal : 0.0;
+  A.Repair = BugTotal ? static_cast<double>(RepCorrect) / BugTotal : 0.0;
+  return A;
+}

@@ -1,0 +1,75 @@
+//===- neural/Great.h - Relation-aware transformer baseline -----*- C++ -*-==//
+///
+/// \file
+/// Re-implementation of Great (Hellendoorn et al., ICLR'20), the second
+/// deep baseline of Section 5.6: a transformer encoder whose attention
+/// logits carry learned per-edge-type biases (global relational
+/// attention), with the joint localize-and-repair head of Vasic et al.:
+/// a localization pointer over [no-bug] + use sites, and a repair pointer
+/// over candidates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_NEURAL_GREAT_H
+#define NAMER_NEURAL_GREAT_H
+
+#include "neural/ProgramGraph.h"
+#include "neural/Tensor.h"
+
+#include <vector>
+
+namespace namer {
+namespace neural {
+
+class GreatModel {
+public:
+  struct Config {
+    size_t VocabBuckets = 128;
+    size_t Hidden = 32;
+    size_t Layers = 2;
+    size_t Epochs = 10;
+    float LearningRate = 1e-3f;
+    uint64_t Seed = 29;
+  };
+
+  explicit GreatModel(Config C);
+
+  /// Trains on synthetic samples with the joint localization+repair loss.
+  float train(const std::vector<GraphSample> &Samples);
+
+  /// Probabilities over [no-bug] followed by the sample's use sites.
+  std::vector<float> predictLocalization(const GraphSample &Sample);
+  /// Probabilities over the sample's candidates.
+  std::vector<float> predictRepair(const GraphSample &Sample);
+
+  struct Accuracy {
+    double Classification = 0; ///< buggy vs not
+    double Localization = 0;   ///< right use site (among buggy samples)
+    double Repair = 0;         ///< right candidate (among buggy samples)
+  };
+  Accuracy evaluate(const std::vector<GraphSample> &Samples);
+
+private:
+  Tensor forward(Tape &T, const GraphSample &Sample);
+  Tensor locLogits(Tape &T, const GraphSample &Sample, Tensor H);
+  Tensor repairLogits(Tape &T, const GraphSample &Sample, Tensor H);
+
+  Config Cfg;
+  Tensor Embedding;
+  struct Layer {
+    Tensor Wq, Wk, Wv, Wo;
+    Tensor F1, F2; // feed-forward
+    std::vector<Tensor> EdgeBias; // 1x1 per edge type
+  };
+  std::vector<Layer> Layers;
+  Tensor NoBugQuery; // [1 x D] suspicion query
+  Tensor NoBugBias;  // [1 x 1] learned no-bug logit bias
+  Tensor NoBugPool;  // [1 x D] pooled-graph no-bug query
+  Tensor LocProj;    // [D x D]
+  std::vector<Tensor> Parameters;
+};
+
+} // namespace neural
+} // namespace namer
+
+#endif // NAMER_NEURAL_GREAT_H

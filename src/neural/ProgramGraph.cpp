@@ -1,0 +1,183 @@
+//===- neural/ProgramGraph.cpp --------------------------------------------==//
+
+#include "neural/ProgramGraph.h"
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace namer;
+using namespace namer::neural;
+
+uint32_t neural::vocabBucket(std::string_view Token, size_t Buckets) {
+  // Bucket 0 is the hole mask.
+  return 1 + static_cast<uint32_t>(hashString(Token) % (Buckets - 1));
+}
+
+namespace {
+
+/// Collects local variable names bound in the function: parameters plus
+/// NameStore targets.
+void collectLocalNames(const Tree &M, NodeId N,
+                       std::unordered_set<std::string> &Names) {
+  const Node &Nd = M.node(N);
+  if (Nd.Kind == NodeKind::Param || Nd.Kind == NodeKind::NameStore) {
+    for (NodeId C : Nd.Children)
+      if (M.node(C).Kind == NodeKind::Ident)
+        Names.insert(std::string(M.valueText(C)));
+  }
+  for (NodeId C : Nd.Children) {
+    // Nested functions own their names.
+    if (M.node(C).Kind == NodeKind::FunctionDef)
+      continue;
+    collectLocalNames(M, C, Names);
+  }
+}
+
+void collectSubtree(const Tree &M, NodeId N, std::vector<NodeId> &Order) {
+  Order.push_back(N);
+  for (NodeId C : M.node(N).Children)
+    collectSubtree(M, C, Order);
+}
+
+} // namespace
+
+std::vector<NodeId> neural::collectUseSites(const Tree &Module,
+                                            NodeId FnDef) {
+  std::unordered_set<std::string> Locals;
+  collectLocalNames(Module, FnDef, Locals);
+  std::vector<NodeId> Order;
+  collectSubtree(Module, FnDef, Order);
+  std::vector<NodeId> Uses;
+  for (NodeId N : Order) {
+    if (Module.node(N).Kind != NodeKind::NameLoad)
+      continue;
+    for (NodeId C : Module.node(N).Children) {
+      if (Module.node(C).Kind != NodeKind::Ident)
+        continue;
+      std::string Name(Module.valueText(C));
+      if (Locals.count(Name) && Name != "self" && Name != "this")
+        Uses.push_back(C);
+    }
+  }
+  return Uses;
+}
+
+bool neural::buildGraphSample(const Tree &Module, NodeId FnDef,
+                              NodeId UseIdent,
+                              const std::string &CorrectName,
+                              size_t VocabBuckets, GraphSample &Out) {
+  // Candidate names: local variables of the function.
+  std::unordered_set<std::string> LocalSet;
+  collectLocalNames(Module, FnDef, LocalSet);
+  LocalSet.insert(CorrectName);
+  if (LocalSet.size() < 2)
+    return false;
+
+  std::vector<NodeId> Order;
+  collectSubtree(Module, FnDef, Order);
+  std::unordered_map<NodeId, uint32_t> Dense;
+  Dense.reserve(Order.size());
+  for (uint32_t I = 0; I != Order.size(); ++I)
+    Dense[Order[I]] = I;
+  auto HoleIt = Dense.find(UseIdent);
+  if (HoleIt == Dense.end())
+    return false;
+
+  Out = GraphSample();
+  Out.HoleNode = HoleIt->second;
+  Out.NodeLabels.resize(Order.size());
+  Out.Line = Module.node(UseIdent).Line;
+  Out.CurrentName = std::string(Module.valueText(UseIdent));
+
+  // Labels; the hole is masked to bucket 0.
+  for (uint32_t I = 0; I != Order.size(); ++I)
+    Out.NodeLabels[I] =
+        I == Out.HoleNode
+            ? 0
+            : vocabBucket(Module.valueText(Order[I]), VocabBuckets);
+
+  // Child/Parent edges, token sequence, and per-name occurrence chains.
+  std::vector<uint32_t> Tokens; // dense ids of leaves in order
+  std::unordered_map<std::string, uint32_t> LastOccurrence; // name -> dense
+  std::unordered_map<std::string, uint32_t> FirstOccurrence;
+  for (uint32_t I = 0; I != Order.size(); ++I) {
+    NodeId N = Order[I];
+    const Node &Nd = Module.node(N);
+    for (NodeId C : Nd.Children) {
+      uint32_t CI = Dense[C];
+      Out.Edges[static_cast<size_t>(EdgeType::Child)].push_back({I, CI});
+      Out.Edges[static_cast<size_t>(EdgeType::Parent)].push_back({CI, I});
+    }
+    if (Nd.Children.empty())
+      Tokens.push_back(I);
+    // Variable occurrence chains (LastUse covers use->use; LastWrite is
+    // approximated by linking store occurrences into the same chain).
+    if (Nd.Kind == NodeKind::Ident && Nd.Parent != InvalidNode) {
+      NodeKind PK = Module.node(Nd.Parent).Kind;
+      if (PK == NodeKind::NameLoad || PK == NodeKind::NameStore ||
+          PK == NodeKind::Param) {
+        // The hole participates under its CURRENT (possibly wrong) name.
+        std::string Name(Module.valueText(N));
+        auto It = LastOccurrence.find(Name);
+        if (It != LastOccurrence.end()) {
+          EdgeType Kind = PK == NodeKind::NameStore ? EdgeType::LastWrite
+                                                    : EdgeType::LastUse;
+          Out.Edges[static_cast<size_t>(Kind)].push_back({It->second, I});
+          Out.Edges[static_cast<size_t>(Kind)].push_back({I, It->second});
+        } else {
+          FirstOccurrence.emplace(Name, I);
+        }
+        LastOccurrence[Name] = I;
+      }
+    }
+    // ComputedFrom: assignment target <- value leaves (coarse: link the
+    // Assign node to its children is already covered by Child; link the
+    // first child subtree root to the last child subtree root).
+    if (Nd.Kind == NodeKind::Assign && Nd.Children.size() >= 2) {
+      uint32_t Target = Dense[Nd.Children.front()];
+      uint32_t Value = Dense[Nd.Children.back()];
+      Out.Edges[static_cast<size_t>(EdgeType::ComputedFrom)].push_back(
+          {Value, Target});
+    }
+  }
+  for (size_t I = 0; I + 1 < Tokens.size(); ++I) {
+    Out.Edges[static_cast<size_t>(EdgeType::NextToken)].push_back(
+        {Tokens[I], Tokens[I + 1]});
+    Out.Edges[static_cast<size_t>(EdgeType::PrevToken)].push_back(
+        {Tokens[I + 1], Tokens[I]});
+  }
+
+  // Candidates: deterministic order (sorted names); representative node =
+  // first occurrence, or the hole itself when the name never occurs
+  // elsewhere.
+  std::vector<std::string> Names(LocalSet.begin(), LocalSet.end());
+  std::sort(Names.begin(), Names.end());
+  Out.CorrectCandidate = UINT32_MAX;
+  for (const std::string &Name : Names) {
+    uint32_t Rep = Out.HoleNode;
+    auto It = FirstOccurrence.find(Name);
+    if (It != FirstOccurrence.end() && It->second != Out.HoleNode)
+      Rep = It->second;
+    else if (LastOccurrence.count(Name) &&
+             LastOccurrence[Name] != Out.HoleNode)
+      Rep = LastOccurrence[Name];
+    if (Name == CorrectName)
+      Out.CorrectCandidate = static_cast<uint32_t>(Out.CandidateNodes.size());
+    Out.CandidateNodes.push_back(Rep);
+    Out.CandidateNames.push_back(Name);
+  }
+  if (Out.CorrectCandidate == UINT32_MAX)
+    return false;
+
+  // Use sites for localization.
+  for (NodeId U : collectUseSites(Module, FnDef)) {
+    uint32_t DI = Dense[U];
+    if (DI == Out.HoleNode)
+      Out.HoleUseIndex = static_cast<uint32_t>(Out.UseSites.size());
+    Out.UseSites.push_back(DI);
+  }
+  return true;
+}

@@ -1,0 +1,84 @@
+//===- neural/ProgramGraph.h - Program graphs for GGNN/Great ----*- C++ -*-==//
+///
+/// \file
+/// The program-graph encoding of Allamanis et al. (GGNN) and Hellendoorn
+/// et al. (Great): AST nodes plus token-level and data-flow edges
+/// (Child, NextToken, LastUse, LastWrite, ComputedFrom), with a VarMisuse
+/// task annotation: a masked "hole" occurrence of a variable and the set
+/// of in-scope candidate names.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_NEURAL_PROGRAMGRAPH_H
+#define NAMER_NEURAL_PROGRAMGRAPH_H
+
+#include "ast/Tree.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace namer {
+namespace neural {
+
+enum class EdgeType : uint8_t {
+  Child,
+  Parent,
+  NextToken,
+  PrevToken,
+  LastUse,
+  LastWrite,
+  ComputedFrom,
+};
+inline constexpr size_t NumEdgeTypes = 7;
+
+using Edge = std::pair<uint32_t, uint32_t>;
+
+/// One VarMisuse sample: the graph of a function with a masked use site.
+struct GraphSample {
+  /// Vocabulary-bucket label per node; the hole node is bucket 0.
+  std::vector<uint32_t> NodeLabels;
+  std::array<std::vector<Edge>, NumEdgeTypes> Edges;
+  /// The masked use-site node.
+  uint32_t HoleNode = 0;
+  /// One representative node per candidate name.
+  std::vector<uint32_t> CandidateNodes;
+  std::vector<std::string> CandidateNames;
+  /// Index of the correct name in CandidateNames.
+  uint32_t CorrectCandidate = 0;
+  /// All use-site nodes (for Great's localization head).
+  std::vector<uint32_t> UseSites;
+  /// Position of HoleNode in UseSites.
+  uint32_t HoleUseIndex = 0;
+  /// Whether the hole currently holds a wrong name (synthetic-bug label).
+  bool IsBuggy = false;
+
+  // Provenance for the real-issue evaluation.
+  std::string File;
+  uint32_t Line = 0;
+  std::string CurrentName;
+
+  size_t numNodes() const { return NodeLabels.size(); }
+};
+
+/// Hashes a token into one of \p Buckets - 1 vocabulary buckets (bucket 0
+/// is reserved for the hole mask).
+uint32_t vocabBucket(std::string_view Token, size_t Buckets);
+
+/// Builds a VarMisuse sample from the function subtree rooted at \p FnDef
+/// of \p Module. \p UseIdent is the Ident node (a NameLoad child) to mask
+/// as the hole; \p CorrectName is the name that *should* be there. Returns
+/// false if the function has fewer than two candidate names.
+bool buildGraphSample(const Tree &Module, NodeId FnDef, NodeId UseIdent,
+                      const std::string &CorrectName, size_t VocabBuckets,
+                      GraphSample &Out);
+
+/// Collects the NameLoad Ident occurrences inside \p FnDef that refer to
+/// local variables (the model's use sites).
+std::vector<NodeId> collectUseSites(const Tree &Module, NodeId FnDef);
+
+} // namespace neural
+} // namespace namer
+
+#endif // NAMER_NEURAL_PROGRAMGRAPH_H

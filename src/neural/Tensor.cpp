@@ -1,0 +1,319 @@
+//===- neural/Tensor.cpp --------------------------------------------------==//
+
+#include "neural/Tensor.h"
+
+#include <cmath>
+
+using namespace namer;
+using namespace namer::neural;
+
+void Tensor::initUniform(Rng &G, float Scale) {
+  for (float &V : Data->Value)
+    V = static_cast<float>((G.uniform() * 2.0 - 1.0) * Scale);
+}
+
+Tensor neural::matmul(Tape &T, Tensor A, Tensor B) {
+  assert(A.cols() == B.rows() && "matmul shape mismatch");
+  Tensor C(A.rows(), B.cols());
+  for (size_t I = 0; I != A.rows(); ++I)
+    for (size_t K = 0; K != A.cols(); ++K) {
+      float V = A.at(I, K);
+      if (V == 0.0f)
+        continue;
+      for (size_t J = 0; J != B.cols(); ++J)
+        C.at(I, J) += V * B.at(K, J);
+    }
+  T.record([A, B, C]() mutable {
+    // dA = dC x B^T; dB = A^T x dC.
+    auto &DC = C.data().Grad;
+    for (size_t I = 0; I != A.rows(); ++I)
+      for (size_t J = 0; J != B.cols(); ++J) {
+        float G = DC[I * B.cols() + J];
+        if (G == 0.0f)
+          continue;
+        for (size_t K = 0; K != A.cols(); ++K) {
+          A.data().gradAt(I, K) += G * B.at(K, J);
+          B.data().gradAt(K, J) += G * A.at(I, K);
+        }
+      }
+  });
+  return C;
+}
+
+Tensor neural::add(Tape &T, Tensor A, Tensor B) {
+  bool Broadcast = B.rows() == 1 && A.rows() != 1;
+  assert(A.cols() == B.cols() && (Broadcast || A.rows() == B.rows()) &&
+         "add shape mismatch");
+  Tensor C(A.rows(), A.cols());
+  for (size_t I = 0; I != A.rows(); ++I)
+    for (size_t J = 0; J != A.cols(); ++J)
+      C.at(I, J) = A.at(I, J) + B.at(Broadcast ? 0 : I, J);
+  T.record([A, B, C, Broadcast]() mutable {
+    for (size_t I = 0; I != A.rows(); ++I)
+      for (size_t J = 0; J != A.cols(); ++J) {
+        float G = C.data().gradAt(I, J);
+        A.data().gradAt(I, J) += G;
+        B.data().gradAt(Broadcast ? 0 : I, J) += G;
+      }
+  });
+  return C;
+}
+
+Tensor neural::sub(Tape &T, Tensor A, Tensor B) {
+  assert(A.rows() == B.rows() && A.cols() == B.cols() &&
+         "sub shape mismatch");
+  Tensor C(A.rows(), A.cols());
+  for (size_t I = 0; I != A.data().size(); ++I)
+    C.data().Value[I] = A.data().Value[I] - B.data().Value[I];
+  T.record([A, B, C]() mutable {
+    for (size_t I = 0; I != A.data().size(); ++I) {
+      A.data().Grad[I] += C.data().Grad[I];
+      B.data().Grad[I] -= C.data().Grad[I];
+    }
+  });
+  return C;
+}
+
+Tensor neural::mul(Tape &T, Tensor A, Tensor B) {
+  assert(A.rows() == B.rows() && A.cols() == B.cols() &&
+         "mul shape mismatch");
+  Tensor C(A.rows(), A.cols());
+  for (size_t I = 0; I != A.data().size(); ++I)
+    C.data().Value[I] = A.data().Value[I] * B.data().Value[I];
+  T.record([A, B, C]() mutable {
+    for (size_t I = 0; I != A.data().size(); ++I) {
+      A.data().Grad[I] += C.data().Grad[I] * B.data().Value[I];
+      B.data().Grad[I] += C.data().Grad[I] * A.data().Value[I];
+    }
+  });
+  return C;
+}
+
+Tensor neural::scale(Tape &T, Tensor A, float Scalar) {
+  Tensor C(A.rows(), A.cols());
+  for (size_t I = 0; I != A.data().size(); ++I)
+    C.data().Value[I] = A.data().Value[I] * Scalar;
+  T.record([A, C, Scalar]() mutable {
+    for (size_t I = 0; I != A.data().size(); ++I)
+      A.data().Grad[I] += C.data().Grad[I] * Scalar;
+  });
+  return C;
+}
+
+Tensor neural::relu(Tape &T, Tensor A) {
+  Tensor C(A.rows(), A.cols());
+  for (size_t I = 0; I != A.data().size(); ++I)
+    C.data().Value[I] = A.data().Value[I] > 0 ? A.data().Value[I] : 0.0f;
+  T.record([A, C]() mutable {
+    for (size_t I = 0; I != A.data().size(); ++I)
+      if (A.data().Value[I] > 0)
+        A.data().Grad[I] += C.data().Grad[I];
+  });
+  return C;
+}
+
+Tensor neural::tanhOp(Tape &T, Tensor A) {
+  Tensor C(A.rows(), A.cols());
+  for (size_t I = 0; I != A.data().size(); ++I)
+    C.data().Value[I] = std::tanh(A.data().Value[I]);
+  T.record([A, C]() mutable {
+    for (size_t I = 0; I != A.data().size(); ++I) {
+      float Y = C.data().Value[I];
+      A.data().Grad[I] += C.data().Grad[I] * (1.0f - Y * Y);
+    }
+  });
+  return C;
+}
+
+Tensor neural::sigmoid(Tape &T, Tensor A) {
+  Tensor C(A.rows(), A.cols());
+  for (size_t I = 0; I != A.data().size(); ++I)
+    C.data().Value[I] = 1.0f / (1.0f + std::exp(-A.data().Value[I]));
+  T.record([A, C]() mutable {
+    for (size_t I = 0; I != A.data().size(); ++I) {
+      float Y = C.data().Value[I];
+      A.data().Grad[I] += C.data().Grad[I] * Y * (1.0f - Y);
+    }
+  });
+  return C;
+}
+
+Tensor neural::oneMinus(Tape &T, Tensor A) {
+  Tensor C(A.rows(), A.cols());
+  for (size_t I = 0; I != A.data().size(); ++I)
+    C.data().Value[I] = 1.0f - A.data().Value[I];
+  T.record([A, C]() mutable {
+    for (size_t I = 0; I != A.data().size(); ++I)
+      A.data().Grad[I] -= C.data().Grad[I];
+  });
+  return C;
+}
+
+Tensor neural::softmax(Tape &T, Tensor A) {
+  Tensor C(A.rows(), A.cols());
+  for (size_t I = 0; I != A.rows(); ++I) {
+    float Max = A.at(I, 0);
+    for (size_t J = 1; J != A.cols(); ++J)
+      Max = std::max(Max, A.at(I, J));
+    float Sum = 0;
+    for (size_t J = 0; J != A.cols(); ++J) {
+      C.at(I, J) = std::exp(A.at(I, J) - Max);
+      Sum += C.at(I, J);
+    }
+    for (size_t J = 0; J != A.cols(); ++J)
+      C.at(I, J) /= Sum;
+  }
+  T.record([A, C]() mutable {
+    // dA_j = y_j * (dC_j - sum_k dC_k y_k) per row.
+    for (size_t I = 0; I != A.rows(); ++I) {
+      float Dot = 0;
+      for (size_t K = 0; K != A.cols(); ++K)
+        Dot += C.data().gradAt(I, K) * C.at(I, K);
+      for (size_t J = 0; J != A.cols(); ++J)
+        A.data().gradAt(I, J) +=
+            C.at(I, J) * (C.data().gradAt(I, J) - Dot);
+    }
+  });
+  return C;
+}
+
+Tensor neural::embed(Tape &T, Tensor Table,
+                     const std::vector<uint32_t> &Indices) {
+  Tensor C(Indices.size(), Table.cols());
+  for (size_t I = 0; I != Indices.size(); ++I) {
+    assert(Indices[I] < Table.rows() && "embedding index out of range");
+    for (size_t J = 0; J != Table.cols(); ++J)
+      C.at(I, J) = Table.at(Indices[I], J);
+  }
+  T.record([Table, C, Indices]() mutable {
+    for (size_t I = 0; I != Indices.size(); ++I)
+      for (size_t J = 0; J != Table.cols(); ++J)
+        Table.data().gradAt(Indices[I], J) += C.data().gradAt(I, J);
+  });
+  return C;
+}
+
+Tensor neural::gatherRows(Tape &T, Tensor A,
+                          const std::vector<uint32_t> &Indices) {
+  return embed(T, A, Indices);
+}
+
+float neural::softmaxCrossEntropy(Tape &T, Tensor Logits,
+                                  const std::vector<uint32_t> &Targets) {
+  assert(Targets.size() == Logits.rows() && "target count mismatch");
+  Tensor Probs = softmax(T, Logits);
+  float Loss = 0;
+  float Scale = 1.0f / static_cast<float>(Targets.size());
+  for (size_t I = 0; I != Targets.size(); ++I) {
+    float P = std::max(Probs.at(I, Targets[I]), 1e-9f);
+    Loss -= std::log(P);
+    // Seed the softmax gradient directly: d/dp of -log(p) averaged.
+    Probs.data().gradAt(I, Targets[I]) = -Scale / P;
+  }
+  return Loss * Scale;
+}
+
+Tensor neural::matmulT(Tape &T, Tensor A, Tensor B) {
+  assert(A.cols() == B.cols() && "matmulT shape mismatch");
+  Tensor C(A.rows(), B.rows());
+  for (size_t I = 0; I != A.rows(); ++I)
+    for (size_t J = 0; J != B.rows(); ++J) {
+      float Sum = 0;
+      for (size_t K = 0; K != A.cols(); ++K)
+        Sum += A.at(I, K) * B.at(J, K);
+      C.at(I, J) = Sum;
+    }
+  T.record([A, B, C]() mutable {
+    for (size_t I = 0; I != A.rows(); ++I)
+      for (size_t J = 0; J != B.rows(); ++J) {
+        float G = C.data().gradAt(I, J);
+        if (G == 0.0f)
+          continue;
+        for (size_t K = 0; K != A.cols(); ++K) {
+          A.data().gradAt(I, K) += G * B.at(J, K);
+          B.data().gradAt(J, K) += G * A.at(I, K);
+        }
+      }
+  });
+  return C;
+}
+
+Tensor neural::transpose(Tape &T, Tensor A) {
+  Tensor C(A.cols(), A.rows());
+  for (size_t I = 0; I != A.rows(); ++I)
+    for (size_t J = 0; J != A.cols(); ++J)
+      C.at(J, I) = A.at(I, J);
+  T.record([A, C]() mutable {
+    for (size_t I = 0; I != A.rows(); ++I)
+      for (size_t J = 0; J != A.cols(); ++J)
+        A.data().gradAt(I, J) += C.data().gradAt(J, I);
+  });
+  return C;
+}
+
+Tensor neural::aggregate(
+    Tape &T, Tensor In,
+    const std::vector<std::pair<uint32_t, uint32_t>> &Edges,
+    size_t NumNodes) {
+  Tensor C(NumNodes, In.cols());
+  for (const auto &[U, V] : Edges) {
+    assert(U < In.rows() && V < NumNodes && "edge endpoint out of range");
+    for (size_t J = 0; J != In.cols(); ++J)
+      C.at(V, J) += In.at(U, J);
+  }
+  // Copy the edge list into the closure: the tape may outlive the caller's
+  // edge vector.
+  T.record([In, C, Edges]() mutable {
+    for (const auto &[U, V] : Edges)
+      for (size_t J = 0; J != In.cols(); ++J)
+        In.data().gradAt(U, J) += C.data().gradAt(V, J);
+  });
+  return C;
+}
+
+Tensor neural::addEdgeBias(
+    Tape &T, Tensor Logits,
+    const std::vector<std::pair<uint32_t, uint32_t>> &Edges, Tensor Beta) {
+  assert(Beta.rows() == 1 && Beta.cols() == 1 && "Beta must be 1x1");
+  Tensor C(Logits.rows(), Logits.cols());
+  C.data().Value = Logits.data().Value;
+  float B = Beta.at(0, 0);
+  for (const auto &[U, V] : Edges)
+    if (U < C.rows() && V < C.cols())
+      C.at(U, V) += B;
+  T.record([Logits, C, Edges, Beta]() mutable {
+    for (size_t I = 0; I != Logits.data().size(); ++I)
+      Logits.data().Grad[I] += C.data().Grad[I];
+    for (const auto &[U, V] : Edges)
+      if (U < C.rows() && V < C.cols())
+        Beta.data().gradAt(0, 0) += C.data().gradAt(U, V);
+  });
+  return C;
+}
+
+Adam::Adam(std::vector<Tensor> Parameters, Config C)
+    : Parameters(std::move(Parameters)), Cfg(C) {
+  for (Tensor &P : this->Parameters) {
+    M.emplace_back(P.data().size(), 0.0f);
+    V.emplace_back(P.data().size(), 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++T;
+  float Correction1 = 1.0f - std::pow(Cfg.Beta1, static_cast<float>(T));
+  float Correction2 = 1.0f - std::pow(Cfg.Beta2, static_cast<float>(T));
+  for (size_t P = 0; P != Parameters.size(); ++P) {
+    TensorData &D = Parameters[P].data();
+    for (size_t I = 0; I != D.size(); ++I) {
+      float G = D.Grad[I];
+      M[P][I] = Cfg.Beta1 * M[P][I] + (1 - Cfg.Beta1) * G;
+      V[P][I] = Cfg.Beta2 * V[P][I] + (1 - Cfg.Beta2) * G * G;
+      float MHat = M[P][I] / Correction1;
+      float VHat = V[P][I] / Correction2;
+      D.Value[I] -= Cfg.LearningRate * MHat /
+                    (std::sqrt(VHat) + Cfg.Epsilon);
+      D.Grad[I] = 0.0f;
+    }
+  }
+}

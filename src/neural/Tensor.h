@@ -1,0 +1,168 @@
+//===- neural/Tensor.h - Tape-based autograd tensors ------------*- C++ -*-==//
+///
+/// \file
+/// A compact reverse-mode automatic differentiation engine for the GGNN and
+/// Great baselines (Section 5.6). Tensors are dense float matrices
+/// [rows x cols]; a Tape records operations and replays their adjoints in
+/// reverse. The original models run on TensorFlow/GPU; these baselines are
+/// small enough (vocabulary-hashed embeddings, hidden size ~32) that a
+/// straightforward CPU implementation trains in seconds, which is all the
+/// distribution-mismatch experiment needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_NEURAL_TENSOR_H
+#define NAMER_NEURAL_TENSOR_H
+
+#include "support/Rng.h"
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace namer {
+namespace neural {
+
+/// Shared tensor storage: value and gradient buffers plus shape.
+struct TensorData {
+  size_t Rows = 0, Cols = 0;
+  std::vector<float> Value;
+  std::vector<float> Grad;
+  bool RequiresGrad = false;
+
+  size_t size() const { return Rows * Cols; }
+  float &at(size_t R, size_t C) { return Value[R * Cols + C]; }
+  float at(size_t R, size_t C) const { return Value[R * Cols + C]; }
+  float &gradAt(size_t R, size_t C) { return Grad[R * Cols + C]; }
+};
+
+/// Value-semantic handle to shared storage.
+class Tensor {
+public:
+  Tensor() = default;
+  Tensor(size_t Rows, size_t Cols, bool RequiresGrad = false) {
+    Data = std::make_shared<TensorData>();
+    Data->Rows = Rows;
+    Data->Cols = Cols;
+    Data->Value.assign(Rows * Cols, 0.0f);
+    Data->Grad.assign(Rows * Cols, 0.0f);
+    Data->RequiresGrad = RequiresGrad;
+  }
+
+  bool valid() const { return Data != nullptr; }
+  size_t rows() const { return Data->Rows; }
+  size_t cols() const { return Data->Cols; }
+  TensorData &data() { return *Data; }
+  const TensorData &data() const { return *Data; }
+
+  float &at(size_t R, size_t C) { return Data->at(R, C); }
+  float at(size_t R, size_t C) const {
+    return static_cast<const TensorData &>(*Data).at(R, C);
+  }
+
+  /// Fills with uniform values in [-Scale, Scale].
+  void initUniform(Rng &G, float Scale);
+
+  void zeroGrad() { std::fill(Data->Grad.begin(), Data->Grad.end(), 0.0f); }
+
+private:
+  std::shared_ptr<TensorData> Data;
+};
+
+/// Records the computation so backward() can run adjoints in reverse.
+class Tape {
+public:
+  /// Registers a backward closure for the op just executed.
+  void record(std::function<void()> Backward) {
+    Ops.push_back(std::move(Backward));
+  }
+
+  /// Runs all adjoints in reverse order, then clears the tape.
+  void backward() {
+    for (size_t I = Ops.size(); I != 0; --I)
+      Ops[I - 1]();
+    Ops.clear();
+  }
+
+  void clear() { Ops.clear(); }
+  size_t size() const { return Ops.size(); }
+
+private:
+  std::vector<std::function<void()>> Ops;
+};
+
+// --- Differentiable operations ------------------------------------------------
+// Every op allocates its output, computes forward, and records the adjoint.
+
+/// C = A x B.
+Tensor matmul(Tape &T, Tensor A, Tensor B);
+/// C = A + B (same shape), or row-broadcast when B is [1 x cols].
+Tensor add(Tape &T, Tensor A, Tensor B);
+/// C = A - B (same shape).
+Tensor sub(Tape &T, Tensor A, Tensor B);
+/// C = A * B element-wise (same shape).
+Tensor mul(Tape &T, Tensor A, Tensor B);
+/// C = A * Scalar.
+Tensor scale(Tape &T, Tensor A, float Scalar);
+Tensor relu(Tape &T, Tensor A);
+Tensor tanhOp(Tape &T, Tensor A);
+Tensor sigmoid(Tape &T, Tensor A);
+/// C = 1 - A element-wise.
+Tensor oneMinus(Tape &T, Tensor A);
+/// Row-wise softmax.
+Tensor softmax(Tape &T, Tensor A);
+/// Gathers rows: Out[i] = Table[Indices[i]]. Gradient scatters back.
+Tensor embed(Tape &T, Tensor Table, const std::vector<uint32_t> &Indices);
+/// Selects rows: Out[i] = A[Indices[i]].
+Tensor gatherRows(Tape &T, Tensor A, const std::vector<uint32_t> &Indices);
+/// Mean negative log-likelihood of Targets under row-wise softmax(Logits).
+/// Returns the scalar loss value and seeds the gradient.
+float softmaxCrossEntropy(Tape &T, Tensor Logits,
+                          const std::vector<uint32_t> &Targets);
+/// C = A x B^T.
+Tensor matmulT(Tape &T, Tensor A, Tensor B);
+/// C = A^T.
+Tensor transpose(Tape &T, Tensor A);
+/// Graph message aggregation: Out[v] += In[u] for every edge (u, v).
+/// Out has \p NumNodes rows.
+Tensor aggregate(Tape &T, Tensor In,
+                 const std::vector<std::pair<uint32_t, uint32_t>> &Edges,
+                 size_t NumNodes);
+/// Relation-aware attention bias (Great): Logits[u][v] += Beta (a 1x1
+/// parameter) for every edge (u, v). Returns the biased logits.
+Tensor addEdgeBias(Tape &T, Tensor Logits,
+                   const std::vector<std::pair<uint32_t, uint32_t>> &Edges,
+                   Tensor Beta);
+
+/// Adam optimizer over a fixed parameter list.
+class Adam {
+public:
+  struct Config {
+    float LearningRate = 1e-2f;
+    float Beta1 = 0.9f;
+    float Beta2 = 0.999f;
+    float Epsilon = 1e-8f;
+  };
+
+  explicit Adam(std::vector<Tensor> Parameters)
+      : Adam(std::move(Parameters), Config()) {}
+  Adam(std::vector<Tensor> Parameters, Config C);
+
+  /// Applies one update from accumulated gradients, then zeroes them.
+  void step();
+
+  const std::vector<Tensor> &parameters() const { return Parameters; }
+
+private:
+  std::vector<Tensor> Parameters;
+  Config Cfg;
+  std::vector<std::vector<float>> M, V;
+  size_t T = 0;
+};
+
+} // namespace neural
+} // namespace namer
+
+#endif // NAMER_NEURAL_TENSOR_H

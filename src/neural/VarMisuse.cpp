@@ -1,0 +1,131 @@
+//===- neural/VarMisuse.cpp -----------------------------------------------==//
+
+#include "neural/VarMisuse.h"
+
+#include "frontend/java/JavaParser.h"
+#include "frontend/python/PythonParser.h"
+
+#include <algorithm>
+
+using namespace namer;
+using namespace namer::neural;
+
+namespace {
+
+/// Parses one corpus file into a module tree.
+Tree parseFile(const corpus::SourceFile &File, corpus::Language Lang,
+               AstContext &Ctx) {
+  if (Lang == corpus::Language::Python)
+    return std::move(python::parsePython(File.Text, Ctx).Module);
+  return std::move(java::parseJava(File.Text, Ctx).Module);
+}
+
+std::vector<NodeId> functionDefs(const Tree &Module) {
+  std::vector<NodeId> Out;
+  for (NodeId N = 0; N != Module.size(); ++N)
+    if (Module.node(N).Kind == NodeKind::FunctionDef)
+      Out.push_back(N);
+  return Out;
+}
+
+size_t subtreeSize(const Tree &M, NodeId N) {
+  size_t Count = 1;
+  for (NodeId C : M.node(N).Children)
+    Count += subtreeSize(M, C);
+  return Count;
+}
+
+} // namespace
+
+std::vector<GraphSample>
+neural::buildSyntheticDataset(const corpus::Corpus &C,
+                              const VarMisuseConfig &Config,
+                              size_t MaxSamples) {
+  std::vector<GraphSample> Samples;
+  Rng G(Config.Seed);
+  for (const corpus::Repository &Repo : C.Repos) {
+    for (const corpus::SourceFile &File : Repo.Files) {
+      if (Samples.size() >= MaxSamples)
+        return Samples;
+      AstContext Ctx;
+      Tree Module = parseFile(File, C.Lang, Ctx);
+      for (NodeId Fn : functionDefs(Module)) {
+        if (Samples.size() >= MaxSamples)
+          break;
+        if (subtreeSize(Module, Fn) > Config.MaxNodes)
+          continue;
+        std::vector<NodeId> Uses = collectUseSites(Module, Fn);
+        if (Uses.empty())
+          continue;
+        NodeId Use = Uses[G.bounded(Uses.size())];
+        std::string Original(Module.valueText(Use));
+
+        GraphSample Sample;
+        bool InjectBug = G.chance(Config.BugRate);
+        if (InjectBug) {
+          // Replace the use with a different in-scope name, then build the
+          // graph from the corrupted tree and restore.
+          GraphSample Probe;
+          if (!buildGraphSample(Module, Fn, Use, Original,
+                                Config.VocabBuckets, Probe))
+            continue;
+          std::vector<std::string> Others;
+          for (const std::string &Name : Probe.CandidateNames)
+            if (Name != Original)
+              Others.push_back(Name);
+          if (Others.empty())
+            continue;
+          const std::string &Wrong = Others[G.bounded(Others.size())];
+          Symbol Saved = Module.node(Use).Value;
+          Module.setValue(Use, Ctx.intern(Wrong));
+          bool Ok = buildGraphSample(Module, Fn, Use, Original,
+                                     Config.VocabBuckets, Sample);
+          Module.setValue(Use, Saved);
+          if (!Ok)
+            continue;
+          Sample.IsBuggy = true;
+        } else {
+          if (!buildGraphSample(Module, Fn, Use, Original,
+                                Config.VocabBuckets, Sample))
+            continue;
+          Sample.IsBuggy = false;
+        }
+        Sample.File = File.Path;
+        Samples.push_back(std::move(Sample));
+      }
+    }
+  }
+  return Samples;
+}
+
+std::vector<GraphSample>
+neural::buildRealUseSites(const corpus::Corpus &C,
+                          const VarMisuseConfig &Config, size_t MaxSamples) {
+  std::vector<GraphSample> Samples;
+  for (const corpus::Repository &Repo : C.Repos) {
+    for (const corpus::SourceFile &File : Repo.Files) {
+      if (Samples.size() >= MaxSamples)
+        return Samples;
+      AstContext Ctx;
+      Tree Module = parseFile(File, C.Lang, Ctx);
+      for (NodeId Fn : functionDefs(Module)) {
+        if (Samples.size() >= MaxSamples)
+          break;
+        if (subtreeSize(Module, Fn) > Config.MaxNodes)
+          continue;
+        for (NodeId Use : collectUseSites(Module, Fn)) {
+          if (Samples.size() >= MaxSamples)
+            break;
+          std::string Current(Module.valueText(Use));
+          GraphSample Sample;
+          if (!buildGraphSample(Module, Fn, Use, Current,
+                                Config.VocabBuckets, Sample))
+            continue;
+          Sample.File = File.Path;
+          Samples.push_back(std::move(Sample));
+        }
+      }
+    }
+  }
+  return Samples;
+}

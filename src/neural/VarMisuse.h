@@ -1,0 +1,51 @@
+//===- neural/VarMisuse.h - VarMisuse task construction ---------*- C++ -*-==//
+///
+/// \file
+/// Builds the training and evaluation data of Section 5.6. GGNN and Great
+/// train on synthetic variable-misuse bugs: a use of a variable is replaced
+/// by another in-scope variable ("we followed the original works to
+/// introduce synthetic changes to the programs in our Python and Java
+/// datasets"). At evaluation time the models run over the *unmodified*
+/// corpus, where the only wrong names are the realistic seeded mistakes;
+/// the distribution mismatch between the two is the experiment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_NEURAL_VARMISUSE_H
+#define NAMER_NEURAL_VARMISUSE_H
+
+#include "corpus/Corpus.h"
+#include "neural/ProgramGraph.h"
+#include "support/Rng.h"
+
+#include <vector>
+
+namespace namer {
+namespace neural {
+
+struct VarMisuseConfig {
+  size_t VocabBuckets = 128;
+  /// Skip functions with graphs larger than this (CPU budget).
+  size_t MaxNodes = 400;
+  /// Fraction of synthetic samples that carry an injected bug.
+  double BugRate = 0.5;
+  uint64_t Seed = 17;
+};
+
+/// Synthetic dataset: samples with injected bugs (IsBuggy) and clean
+/// counterparts. At most \p MaxSamples samples.
+std::vector<GraphSample> buildSyntheticDataset(const corpus::Corpus &C,
+                                               const VarMisuseConfig &Config,
+                                               size_t MaxSamples);
+
+/// Real evaluation stream: every local-variable use site of the unmodified
+/// corpus becomes one sample (hole = the site, CorrectName = whatever is
+/// currently there). At most \p MaxSamples samples.
+std::vector<GraphSample> buildRealUseSites(const corpus::Corpus &C,
+                                           const VarMisuseConfig &Config,
+                                           size_t MaxSamples);
+
+} // namespace neural
+} // namespace namer
+
+#endif // NAMER_NEURAL_VARMISUSE_H

@@ -1,0 +1,32 @@
+//===- pattern/FPTree.cpp -------------------------------------------------==//
+
+#include "pattern/FPTree.h"
+
+using namespace namer;
+
+void FPTree::update(const std::vector<PathId> &Items) {
+  if (Items.empty())
+    return;
+  FPNodeId Current = RootId;
+  for (PathId Item : Items) {
+    auto It = Nodes[Current].Children.find(Item);
+    if (It == Nodes[Current].Children.end()) {
+      FPNodeId Fresh = static_cast<FPNodeId>(Nodes.size());
+      Nodes[Current].Children.emplace(Item, Fresh);
+      Nodes.emplace_back();
+      Nodes[Fresh].Item = Item;
+      Current = Fresh;
+    } else {
+      Current = It->second;
+    }
+    ++Nodes[Current].Count;
+  }
+  Nodes[Current].IsLast = true;
+}
+
+size_t FPTree::numGenerationPoints() const {
+  size_t Count = 0;
+  for (const FPNode &Nd : Nodes)
+    Count += Nd.IsLast;
+  return Count;
+}

@@ -1,0 +1,54 @@
+//===- pattern/FPTree.h - Frequent pattern tree -----------------*- C++ -*-==//
+///
+/// \file
+/// The FP-tree of Algorithm 1 (after Han et al. and Leung et al.): a prefix
+/// tree over sorted name path lists. Each node stores one path item, its
+/// occurrence count, and the isLast flag marking insertion end points where
+/// Algorithm 2 generates patterns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_PATTERN_FPTREE_H
+#define NAMER_PATTERN_FPTREE_H
+
+#include "namepath/NamePath.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace namer {
+
+/// Prefix tree over PathId sequences with counts and isLast flags.
+class FPTree {
+public:
+  using FPNodeId = uint32_t;
+  static constexpr FPNodeId RootId = 0;
+
+  struct FPNode {
+    PathId Item = InvalidPathId; // invalid at the root
+    uint32_t Count = 0;
+    bool IsLast = false;
+    std::unordered_map<PathId, FPNodeId> Children;
+  };
+
+  FPTree() { Nodes.emplace_back(); }
+
+  /// Inserts \p Items (already sorted as condition + deduction), bumping
+  /// counts along the path and flagging the final node as a generation
+  /// point.
+  void update(const std::vector<PathId> &Items);
+
+  const FPNode &node(FPNodeId Id) const { return Nodes[Id]; }
+  size_t size() const { return Nodes.size(); }
+
+  /// Number of insertion end points (isLast nodes).
+  size_t numGenerationPoints() const;
+
+private:
+  std::vector<FPNode> Nodes;
+};
+
+} // namespace namer
+
+#endif // NAMER_PATTERN_FPTREE_H

@@ -1,0 +1,248 @@
+//===- pattern/Miner.cpp --------------------------------------------------==//
+
+#include "pattern/Miner.h"
+
+#include "pattern/PatternIndex.h"
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace namer;
+
+PatternMiner::PatternMiner(PatternKind Kind, NamePathTable &Table,
+                           const AstContext &Ctx, MinerConfig Config)
+    : Kind(Kind), Table(Table), Ctx(Ctx), Config(Config) {}
+
+void PatternMiner::countPaths(const StmtPaths &Stmt) {
+  size_t Limit = std::min(Stmt.Paths.size(), Config.MaxPathsPerStmt);
+  for (size_t I = 0; I != Limit; ++I)
+    ++PathFrequency[Stmt.Paths[I]];
+}
+
+std::vector<PathId> PatternMiner::regularizedPaths(const StmtPaths &Stmt) const {
+  std::vector<PathId> Out;
+  size_t Limit = std::min(Stmt.Paths.size(), Config.MaxPathsPerStmt);
+  for (size_t I = 0; I != Limit; ++I) {
+    PathId P = Stmt.Paths[I];
+    auto It = PathFrequency.find(P);
+    if (It != PathFrequency.end() && It->second >= Config.MinPathFrequency)
+      Out.push_back(P);
+  }
+  return Out;
+}
+
+void PatternMiner::addStatement(const StmtPaths &Stmt) {
+  std::vector<PathId> Paths = regularizedPaths(Stmt);
+  if (Paths.empty())
+    return;
+  auto Less = [this](PathId A, PathId B) { return Table.less(A, B); };
+
+  if (Kind == PatternKind::Consistency) {
+    // Every pair of name-subtoken paths with equal end nodes is one way to
+    // split (Algorithm 1, line 6).
+    for (size_t I = 0; I != Paths.size(); ++I) {
+      if (!isNameSubtokenPath(Paths[I], Table, Ctx))
+        continue;
+      for (size_t J = I + 1; J != Paths.size(); ++J) {
+        if (Stmt.foldedEndAt(Table.prefixOf(Paths[I])) !=
+                Stmt.foldedEndAt(Table.prefixOf(Paths[J])) ||
+            !isNameSubtokenPath(Paths[J], Table, Ctx))
+          continue;
+        std::vector<PathId> Cond;
+        for (size_t K = 0; K != Paths.size(); ++K)
+          if (K != I && K != J)
+            Cond.push_back(Paths[K]);
+        if (Cond.size() > Config.MaxConditionPaths)
+          continue;
+        std::sort(Cond.begin(), Cond.end(), Less);
+        std::vector<PathId> Deduct = {Paths[I], Paths[J]};
+        std::sort(Deduct.begin(), Deduct.end(), Less);
+        Cond.insert(Cond.end(), Deduct.begin(), Deduct.end());
+        Tree.update(Cond);
+      }
+    }
+    return;
+  }
+
+  // Confusing word: every path ending in a correct word is one way to
+  // split (Definition 3.9).
+  for (size_t I = 0; I != Paths.size(); ++I) {
+    if (!CorrectWords.count(Table.endOf(Paths[I])))
+      continue;
+    if (!isNameSubtokenPath(Paths[I], Table, Ctx))
+      continue;
+    std::vector<PathId> Cond;
+    for (size_t K = 0; K != Paths.size(); ++K)
+      if (K != I)
+        Cond.push_back(Paths[K]);
+    if (Cond.size() > Config.MaxConditionPaths)
+      continue;
+    std::sort(Cond.begin(), Cond.end(), Less);
+    Cond.push_back(Paths[I]);
+    Tree.update(Cond);
+  }
+}
+
+void PatternMiner::emitPatterns(const std::vector<PathId> &Visited,
+                                uint32_t Count,
+                                std::vector<NamePattern> &Out) const {
+  size_t DeductSize = Kind == PatternKind::Consistency ? 2 : 1;
+  if (Visited.size() < DeductSize)
+    return;
+
+  std::vector<PathId> Deduct(Visited.end() - DeductSize, Visited.end());
+  if (Kind == PatternKind::Consistency) {
+    // The deduction pair becomes symbolic (end nodes set to epsilon).
+    for (PathId &D : Deduct)
+      D = Table.symbolicVersion(D);
+    if (Deduct[0] == Deduct[1])
+      return; // both positions collapsed to the same prefix
+  }
+  std::vector<PathId> Conds(Visited.begin(), Visited.end() - DeductSize);
+
+  auto Emit = [&](std::vector<PathId> Cond) {
+    NamePattern P;
+    P.Kind = Kind;
+    P.Condition = std::move(Cond);
+    P.Deduction = Deduct;
+    P.Support = Count;
+    Out.push_back(std::move(P));
+  };
+
+  Emit(Conds);
+  if (Config.Conditions == MinerConfig::ConditionPolicy::FullOnly ||
+      Conds.empty())
+    return;
+
+  if (Config.Conditions == MinerConfig::ConditionPolicy::LeaveOneOut) {
+    for (size_t Skip = 0; Skip != Conds.size(); ++Skip) {
+      std::vector<PathId> Subset;
+      for (size_t I = 0; I != Conds.size(); ++I)
+        if (I != Skip)
+          Subset.push_back(Conds[I]);
+      Emit(std::move(Subset));
+    }
+    return;
+  }
+
+  // AllSubsets: enumerate proper subsets (Algorithm 2, line 7), bounded.
+  size_t Limit = std::min(Conds.size(), Config.MaxConditionPaths);
+  size_t Emitted = 0;
+  for (uint64_t Mask = 0; Mask + 1 < (1ULL << Conds.size()) &&
+                          Emitted < Config.MaxPatternsPerNode;
+       ++Mask) {
+    if (static_cast<size_t>(__builtin_popcountll(Mask)) > Limit)
+      continue;
+    std::vector<PathId> Subset;
+    for (size_t I = 0; I != Conds.size(); ++I)
+      if (Mask & (1ULL << I))
+        Subset.push_back(Conds[I]);
+    Emit(std::move(Subset));
+    ++Emitted;
+  }
+}
+
+void PatternMiner::genFromNode(FPTree::FPNodeId NodeId,
+                               std::vector<PathId> &Visited,
+                               std::vector<NamePattern> &Out) const {
+  const FPTree::FPNode &Nd = Tree.node(NodeId);
+  if (NodeId != FPTree::RootId)
+    Visited.push_back(Nd.Item);
+  if (Nd.IsLast)
+    emitPatterns(Visited, Nd.Count, Out);
+  for (const auto &[Item, Child] : Nd.Children) {
+    (void)Item;
+    genFromNode(Child, Visited, Out);
+  }
+  if (NodeId != FPTree::RootId)
+    Visited.pop_back();
+}
+
+std::vector<NamePattern> PatternMiner::generate() {
+  std::vector<NamePattern> Raw;
+  std::vector<PathId> Visited;
+  genFromNode(FPTree::RootId, Visited, Raw);
+
+  // Deduplicate structurally equal patterns; supports add up because they
+  // come from disjoint FP-tree insertions (e.g. the same consistency
+  // pattern discovered under different concrete end words).
+  struct Key {
+    PatternKind Kind;
+    std::vector<PathId> Condition, Deduction;
+    bool operator==(const Key &O) const {
+      return Kind == O.Kind && Condition == O.Condition &&
+             Deduction == O.Deduction;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const {
+      uint64_t H = hashU32(FnvOffsetBasis, static_cast<uint32_t>(K.Kind));
+      for (PathId P : K.Condition)
+        H = hashU32(H, P);
+      H = hashU32(H, 0xffffffffu);
+      for (PathId P : K.Deduction)
+        H = hashU32(H, P);
+      return static_cast<size_t>(H);
+    }
+  };
+  std::unordered_map<Key, size_t, KeyHash> Seen;
+  std::vector<NamePattern> Result;
+  for (NamePattern &P : Raw) {
+    Key K{P.Kind, P.Condition, P.Deduction};
+    auto It = Seen.find(K);
+    if (It == Seen.end()) {
+      Seen.emplace(std::move(K), Result.size());
+      Result.push_back(std::move(P));
+      continue;
+    }
+    Result[It->second].Support += P.Support;
+  }
+
+  // Canonical order: FP-tree children live in hash maps, so traversal order
+  // is not meaningful; sort by path content for reproducible output.
+  auto PathsLess = [this](const std::vector<PathId> &A,
+                          const std::vector<PathId> &B) {
+    return std::lexicographical_compare(
+        A.begin(), A.end(), B.begin(), B.end(),
+        [this](PathId X, PathId Y) { return Table.less(X, Y); });
+  };
+  std::sort(Result.begin(), Result.end(),
+            [&](const NamePattern &A, const NamePattern &B) {
+              if (A.Kind != B.Kind)
+                return A.Kind < B.Kind;
+              if (A.Condition != B.Condition)
+                return PathsLess(A.Condition, B.Condition);
+              return PathsLess(A.Deduction, B.Deduction);
+            });
+  return Result;
+}
+
+std::vector<NamePattern>
+PatternMiner::pruneUncommon(std::vector<NamePattern> Patterns,
+                            const std::vector<StmtPaths> &Dataset) const {
+  PatternIndex Index(Patterns, Table);
+  std::vector<PatternHit> Hits;
+  for (const StmtPaths &Stmt : Dataset) {
+    Hits.clear();
+    Index.evaluate(Stmt, Hits);
+    for (const PatternHit &Hit : Hits) {
+      NamePattern &P = Patterns[Hit.Pattern];
+      ++P.DatasetMatches;
+      if (Hit.Result == MatchResult::Satisfied)
+        ++P.DatasetSatisfactions;
+      else
+        ++P.DatasetViolations;
+    }
+  }
+  std::vector<NamePattern> Kept;
+  for (NamePattern &P : Patterns) {
+    if (P.Support < Config.MinPatternSupport)
+      continue;
+    if (P.DatasetMatches == 0 ||
+        P.datasetSatisfactionRate() < Config.MinSatisfactionRatio)
+      continue;
+    Kept.push_back(std::move(P));
+  }
+  return Kept;
+}

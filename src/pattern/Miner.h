@@ -1,0 +1,112 @@
+//===- pattern/Miner.h - Mining name patterns (Section 3.3) -----*- C++ -*-==//
+///
+/// \file
+/// Implements Algorithm 1 (minePatterns) and Algorithm 2 (genPatterns):
+/// grow an FP-tree from the condition/deduction splits of every statement's
+/// name paths, traverse it to generate candidate patterns, then prune
+/// uncommon ones by their satisfaction/match ratio over the mining dataset.
+///
+/// Regularization follows Section 5.1: at most 10 paths per statement,
+/// infrequent paths dropped (default: fewer than 10 occurrences), at most
+/// 10 condition paths, and a minimum pattern occurrence count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_PATTERN_MINER_H
+#define NAMER_PATTERN_MINER_H
+
+#include "pattern/FPTree.h"
+#include "pattern/NamePattern.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace namer {
+
+struct MinerConfig {
+  /// Keep only the first k name paths of a statement (Section 5.1).
+  size_t MaxPathsPerStmt = 10;
+  /// Paths occurring fewer times than this across the dataset are dropped
+  /// before splitting (Algorithm 1, line 5 regularization).
+  uint32_t MinPathFrequency = 10;
+  /// Maximal number of name paths in a condition (Algorithm 2, line 6).
+  size_t MaxConditionPaths = 10;
+  /// pruneUncommon: minimal occurrence count of a kept pattern. The paper
+  /// uses 100 for Python and 500 for Java at GitHub scale; scale with your
+  /// corpus.
+  uint32_t MinPatternSupport = 100;
+  /// pruneUncommon: minimal satisfactions/matches ratio (paper: 0.8).
+  double MinSatisfactionRatio = 0.8;
+  /// Algorithm 2 enumerates combinations of condition paths at each
+  /// generation point. FullOnly emits just the full condition (the
+  /// behavior of Figure 3(b)); LeaveOneOut adds every condition missing
+  /// one path (a bounded form of the combination enumeration that lets a
+  /// pattern generalize past one co-varying path); AllSubsets enumerates
+  /// every subset, bounded by MaxPatternsPerNode.
+  enum class ConditionPolicy : uint8_t { FullOnly, LeaveOneOut, AllSubsets };
+  ConditionPolicy Conditions = ConditionPolicy::LeaveOneOut;
+  size_t MaxPatternsPerNode = 64;
+};
+
+/// Mines one kind of name pattern from a stream of statements. Usage:
+///
+///   PatternMiner Miner(Kind, Table, Ctx, Config);
+///   for (stmt : dataset) Miner.countPaths(stmt);     // pass 1
+///   for (stmt : dataset) Miner.addStatement(stmt);   // pass 2 (FP-tree)
+///   auto Patterns = Miner.generate();
+///   Patterns = Miner.pruneUncommon(std::move(Patterns), dataset);
+class PatternMiner {
+public:
+  PatternMiner(PatternKind Kind, NamePathTable &Table, const AstContext &Ctx,
+               MinerConfig Config = MinerConfig());
+
+  /// Sets the correct-word vocabulary for confusing word mining: paths
+  /// whose end is a correct word of some mined confusing pair become
+  /// deduction candidates (Definition 3.9).
+  void setCorrectWords(std::unordered_set<Symbol> Words) {
+    CorrectWords = std::move(Words);
+  }
+
+  /// Pass 1: accumulate path frequencies for the regularization filter.
+  void countPaths(const StmtPaths &Stmt);
+
+  /// Pass 2: split the statement's paths into condition/deduction in every
+  /// admissible way and update the FP-tree (Algorithm 1, lines 4-7).
+  void addStatement(const StmtPaths &Stmt);
+
+  /// Traverses the FP-tree and generates candidate patterns (Algorithm 2),
+  /// deduplicated with summed support.
+  std::vector<NamePattern> generate();
+
+  /// Algorithm 1, line 9: keeps patterns whose occurrence count and
+  /// satisfaction ratio over \p Dataset pass the config thresholds, and
+  /// fills in the dataset-level statistics.
+  std::vector<NamePattern>
+  pruneUncommon(std::vector<NamePattern> Patterns,
+                const std::vector<StmtPaths> &Dataset) const;
+
+  const FPTree &tree() const { return Tree; }
+
+private:
+  /// Returns the statement's paths after the frequency filter and the
+  /// first-k truncation.
+  std::vector<PathId> regularizedPaths(const StmtPaths &Stmt) const;
+
+  void genFromNode(FPTree::FPNodeId Node, std::vector<PathId> &Visited,
+                   std::vector<NamePattern> &Out) const;
+  void emitPatterns(const std::vector<PathId> &Visited, uint32_t Count,
+                    std::vector<NamePattern> &Out) const;
+
+  PatternKind Kind;
+  NamePathTable &Table;
+  const AstContext &Ctx;
+  MinerConfig Config;
+  FPTree Tree;
+  std::unordered_map<PathId, uint32_t> PathFrequency;
+  std::unordered_set<Symbol> CorrectWords;
+};
+
+} // namespace namer
+
+#endif // NAMER_PATTERN_MINER_H

@@ -1,0 +1,92 @@
+//===- pattern/NamePattern.cpp --------------------------------------------==//
+
+#include "pattern/NamePattern.h"
+
+#include <cassert>
+
+using namespace namer;
+
+MatchResult namer::evaluatePattern(const NamePattern &Pattern,
+                                   const StmtPaths &Stmt,
+                                   const NamePathTable &Table) {
+  // Match (Definition 3.6): every condition path exists concretely and
+  // every deduction prefix exists.
+  for (PathId C : Pattern.Condition)
+    if (!Stmt.containsPath(C, Table))
+      return MatchResult::NoMatch;
+  for (PathId D : Pattern.Deduction)
+    if (!Stmt.containsPrefix(Table.prefixOf(D)))
+      return MatchResult::NoMatch;
+
+  if (Pattern.Kind == PatternKind::Consistency) {
+    assert(Pattern.Deduction.size() == 2 &&
+           "consistency deduction must have two paths");
+    // Case-insensitive: "Intent intent" conforms to the idiom.
+    Symbol E1 = Stmt.foldedEndAt(Table.prefixOf(Pattern.Deduction[0]));
+    Symbol E2 = Stmt.foldedEndAt(Table.prefixOf(Pattern.Deduction[1]));
+    return E1 == E2 ? MatchResult::Satisfied : MatchResult::Violated;
+  }
+
+  assert(Pattern.Kind == PatternKind::ConfusingWord &&
+         Pattern.Deduction.size() == 1 &&
+         "confusing word deduction must have one path");
+  PathId D = Pattern.Deduction[0];
+  Symbol Actual = Stmt.endAt(Table.prefixOf(D));
+  return Actual == Table.endOf(D) ? MatchResult::Satisfied
+                                  : MatchResult::Violated;
+}
+
+SuggestedFix namer::deriveFix(const NamePattern &Pattern,
+                              const StmtPaths &Stmt,
+                              const NamePathTable &Table) {
+  if (Pattern.Kind == PatternKind::ConfusingWord) {
+    PrefixId Prefix = Table.prefixOf(Pattern.Deduction[0]);
+    return SuggestedFix{Prefix, Stmt.endAt(Prefix),
+                        Table.endOf(Pattern.Deduction[0])};
+  }
+  // Consistency: rename the second position to the first. The choice of
+  // direction is a heuristic; the classifier features are symmetric in it.
+  PrefixId P1 = Table.prefixOf(Pattern.Deduction[0]);
+  PrefixId P2 = Table.prefixOf(Pattern.Deduction[1]);
+  return SuggestedFix{P2, Stmt.endAt(P2), Stmt.endAt(P1)};
+}
+
+std::string namer::formatPattern(const NamePattern &Pattern,
+                                 const NamePathTable &Table,
+                                 const AstContext &Ctx) {
+  std::string Out = "Condition:\n";
+  for (PathId C : Pattern.Condition) {
+    Out += "  ";
+    Out += formatNamePath(Table.path(C), Ctx);
+    Out += '\n';
+  }
+  Out += "Deduction:\n";
+  for (PathId D : Pattern.Deduction) {
+    Out += "  ";
+    Out += formatNamePath(Table.path(D), Ctx);
+    Out += '\n';
+  }
+  return Out;
+}
+
+bool namer::isNameSubtokenPath(PathId Id, const NamePathTable &Table,
+                               const AstContext &Ctx) {
+  const NamePath &P = Table.path(Id);
+  if (P.isSymbolic())
+    return false;
+  if (P.End == Ctx.numSymbol() || P.End == Ctx.strSymbol() ||
+      P.End == Ctx.boolSymbol())
+    return false;
+  // The leaf's parent chain within the prefix: the last step is either the
+  // NumST node or an Origin node directly below one.
+  if (P.Prefix.empty())
+    return false;
+  auto IsNumSt = [&](Symbol S) {
+    std::string_view Text = Ctx.text(S);
+    return Text.size() > 6 && Text.substr(0, 6) == "NumST(";
+  };
+  const PathStep &Last = P.Prefix.back();
+  if (IsNumSt(Last.Value))
+    return true;
+  return P.Prefix.size() >= 2 && IsNumSt(P.Prefix[P.Prefix.size() - 2].Value);
+}

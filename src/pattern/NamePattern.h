@@ -1,0 +1,100 @@
+//===- pattern/NamePattern.h - Name patterns (Section 3.2) ------*- C++ -*-==//
+///
+/// \file
+/// A name pattern is a pair (condition C, deduction D) of name path sets
+/// (Definition 3.6). Namer mines two kinds:
+///
+///   * consistency patterns (Definition 3.7): D = {d1, d2}, both symbolic;
+///     a matching statement must name the two positions identically;
+///   * confusing word patterns (Definition 3.9): D = {d}, concrete, whose
+///     end is the "correct" word of a mined confusing word pair.
+///
+/// This header defines the pattern type and the match / satisfaction /
+/// violation evaluation against a statement's name paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_PATTERN_NAMEPATTERN_H
+#define NAMER_PATTERN_NAMEPATTERN_H
+
+#include "namepath/NamePath.h"
+
+#include <string>
+#include <vector>
+
+namespace namer {
+
+enum class PatternKind : uint8_t { Consistency, ConfusingWord };
+
+/// Dense id of a pattern within a mined pattern set.
+using PatternId = uint32_t;
+
+struct NamePattern {
+  PatternKind Kind;
+  /// Concrete paths that must all be present for the pattern to match,
+  /// sorted by NamePathTable::less.
+  std::vector<PathId> Condition;
+  /// Consistency: two symbolic paths. ConfusingWord: one concrete path.
+  std::vector<PathId> Deduction;
+  /// Occurrence count at the generating FP-tree node.
+  uint32_t Support = 0;
+  /// Dataset-wide statistics filled by pruneUncommon; these feed the
+  /// classifier's "entire mining dataset" features (Table 1, rows 6/9/12).
+  uint32_t DatasetMatches = 0;
+  uint32_t DatasetSatisfactions = 0;
+  uint32_t DatasetViolations = 0;
+
+  /// Satisfactions / matches over the mining dataset; 0 when never matched.
+  double datasetSatisfactionRate() const {
+    return DatasetMatches == 0
+               ? 0.0
+               : static_cast<double>(DatasetSatisfactions) / DatasetMatches;
+  }
+
+  friend bool operator==(const NamePattern &A, const NamePattern &B) {
+    return A.Kind == B.Kind && A.Condition == B.Condition &&
+           A.Deduction == B.Deduction;
+  }
+};
+
+/// Outcome of evaluating one pattern against one statement.
+enum class MatchResult : uint8_t {
+  NoMatch,   ///< the statement does not match the pattern
+  Satisfied, ///< matches and conforms to the naming idiom
+  Violated,  ///< matches but contradicts the deduction: potential issue
+};
+
+/// Evaluates \p Pattern against statement \p Stmt (Definitions 3.6, 3.7,
+/// 3.9).
+MatchResult evaluatePattern(const NamePattern &Pattern, const StmtPaths &Stmt,
+                            const NamePathTable &Table);
+
+/// The concrete fix a violated pattern implies: change the subtoken found
+/// at \p Prefix from \p Original to \p Suggested.
+struct SuggestedFix {
+  PrefixId Prefix;
+  Symbol Original;
+  Symbol Suggested;
+};
+
+/// Derives the fix for a violation of \p Pattern by \p Stmt. For confusing
+/// word patterns the fix replaces the end at the deduction prefix with the
+/// correct word; for consistency patterns the second deduction position is
+/// renamed to match the first. Must only be called when evaluatePattern
+/// returned Violated.
+SuggestedFix deriveFix(const NamePattern &Pattern, const StmtPaths &Stmt,
+                       const NamePathTable &Table);
+
+/// Human-readable rendering for reports and the bench tables.
+std::string formatPattern(const NamePattern &Pattern,
+                          const NamePathTable &Table, const AstContext &Ctx);
+
+/// Returns true if the interned path ends in an identifier subtoken (its
+/// leaf sits under a NumST node and is not a NUM/STR/BOOL literal token).
+/// Consistency deductions are only built over such paths.
+bool isNameSubtokenPath(PathId Id, const NamePathTable &Table,
+                        const AstContext &Ctx);
+
+} // namespace namer
+
+#endif // NAMER_PATTERN_NAMEPATTERN_H

@@ -1,0 +1,49 @@
+//===- pattern/PatternIndex.cpp -------------------------------------------==//
+
+#include "pattern/PatternIndex.h"
+
+#include <cassert>
+
+using namespace namer;
+
+PatternIndex::PatternIndex(const std::vector<NamePattern> &Patterns,
+                           const NamePathTable &Table)
+    : Patterns(Patterns), Table(Table) {
+  for (PatternId Id = 0; Id != Patterns.size(); ++Id) {
+    const NamePattern &P = Patterns[Id];
+    if (!P.Condition.empty()) {
+      ByConditionPath[P.Condition.front()].push_back(Id);
+      continue;
+    }
+    assert(!P.Deduction.empty() && "pattern without condition or deduction");
+    ByDeductionPrefix[Table.prefixOf(P.Deduction.front())].push_back(Id);
+  }
+}
+
+void PatternIndex::evaluate(const StmtPaths &Stmt,
+                            std::vector<PatternHit> &Out) const {
+  auto Consider = [&](PatternId Id) {
+    MatchResult Result = evaluatePattern(Patterns[Id], Stmt, Table);
+    if (Result != MatchResult::NoMatch)
+      Out.push_back(PatternHit{Id, Result});
+  };
+  // Candidates via condition paths present in the statement. A pattern is
+  // keyed exactly once (by its first condition path), so no deduplication
+  // is needed.
+  for (PathId P : Stmt.Paths) {
+    auto It = ByConditionPath.find(P);
+    if (It == ByConditionPath.end())
+      continue;
+    for (PatternId Id : It->second)
+      Consider(Id);
+  }
+  // Unconditioned patterns via deduction prefixes.
+  for (const auto &[Prefix, End] : Stmt.EndByPrefix) {
+    (void)End;
+    auto It = ByDeductionPrefix.find(Prefix);
+    if (It == ByDeductionPrefix.end())
+      continue;
+    for (PatternId Id : It->second)
+      Consider(Id);
+  }
+}

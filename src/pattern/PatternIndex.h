@@ -1,0 +1,50 @@
+//===- pattern/PatternIndex.h - Fast pattern matching -----------*- C++ -*-==//
+///
+/// \file
+/// Inverted index from name paths to the patterns conditioned on them, so
+/// evaluating a statement against tens of thousands of mined patterns only
+/// touches candidates sharing at least one path. Used both by
+/// pruneUncommon (Algorithm 1, line 9) and by the inference pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_PATTERN_PATTERNINDEX_H
+#define NAMER_PATTERN_PATTERNINDEX_H
+
+#include "pattern/NamePattern.h"
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace namer {
+
+/// One evaluation outcome: which pattern, and how the statement relates.
+struct PatternHit {
+  PatternId Pattern;
+  MatchResult Result; // Satisfied or Violated (NoMatch hits are dropped)
+};
+
+class PatternIndex {
+public:
+  /// Builds the index. \p Patterns must outlive the index.
+  PatternIndex(const std::vector<NamePattern> &Patterns,
+               const NamePathTable &Table);
+
+  /// Appends a PatternHit for every pattern that matches \p Stmt.
+  void evaluate(const StmtPaths &Stmt, std::vector<PatternHit> &Out) const;
+
+  const std::vector<NamePattern> &patterns() const { return Patterns; }
+
+private:
+  const std::vector<NamePattern> &Patterns;
+  const NamePathTable &Table;
+  /// Patterns keyed by their first condition path.
+  std::unordered_map<PathId, std::vector<PatternId>> ByConditionPath;
+  /// Patterns with an empty condition, keyed by first deduction prefix.
+  std::unordered_map<PrefixId, std::vector<PatternId>> ByDeductionPrefix;
+};
+
+} // namespace namer
+
+#endif // NAMER_PATTERN_PATTERNINDEX_H

@@ -1,0 +1,25 @@
+//===- support/EditDistance.cpp -------------------------------------------==//
+
+#include "support/EditDistance.h"
+
+#include <algorithm>
+#include <vector>
+
+size_t namer::editDistance(std::string_view A, std::string_view B) {
+  if (A.size() < B.size())
+    std::swap(A, B);
+  // B is now the shorter string; keep one rolling row of |B|+1 entries.
+  std::vector<size_t> Row(B.size() + 1);
+  for (size_t J = 0; J <= B.size(); ++J)
+    Row[J] = J;
+  for (size_t I = 1; I <= A.size(); ++I) {
+    size_t Diagonal = Row[0];
+    Row[0] = I;
+    for (size_t J = 1; J <= B.size(); ++J) {
+      size_t Substitute = Diagonal + (A[I - 1] == B[J - 1] ? 0 : 1);
+      Diagonal = Row[J];
+      Row[J] = std::min({Row[J] + 1, Row[J - 1] + 1, Substitute});
+    }
+  }
+  return Row[B.size()];
+}

@@ -1,0 +1,24 @@
+//===- support/EditDistance.h - Levenshtein distance ------------*- C++ -*-==//
+///
+/// \file
+/// Levenshtein edit distance between identifier names. Feature 16 of the
+/// defect classifier (Table 1): small distances between the original and the
+/// suggested name indicate likely typos and raise issue probability.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_SUPPORT_EDITDISTANCE_H
+#define NAMER_SUPPORT_EDITDISTANCE_H
+
+#include <cstddef>
+#include <string_view>
+
+namespace namer {
+
+/// Returns the Levenshtein distance (unit-cost insert/delete/substitute)
+/// between \p A and \p B.
+size_t editDistance(std::string_view A, std::string_view B);
+
+} // namespace namer
+
+#endif // NAMER_SUPPORT_EDITDISTANCE_H

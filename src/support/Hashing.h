@@ -1,0 +1,50 @@
+//===- support/Hashing.h - Hash combinators ---------------------*- C++ -*-==//
+///
+/// \file
+/// FNV-1a based hash combinators used for name-path interning, statement
+/// fingerprints (classifier features 2-3) and file-level deduplication of
+/// the corpus (the paper prunes fork/file duplicates, Section 5.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_SUPPORT_HASHING_H
+#define NAMER_SUPPORT_HASHING_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace namer {
+
+inline constexpr uint64_t FnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t FnvPrime = 0x100000001b3ULL;
+
+/// Mixes one byte into \p Hash.
+inline uint64_t hashByte(uint64_t Hash, uint8_t Byte) {
+  return (Hash ^ Byte) * FnvPrime;
+}
+
+/// Mixes a 32-bit value into \p Hash.
+inline uint64_t hashU32(uint64_t Hash, uint32_t Value) {
+  Hash = hashByte(Hash, static_cast<uint8_t>(Value));
+  Hash = hashByte(Hash, static_cast<uint8_t>(Value >> 8));
+  Hash = hashByte(Hash, static_cast<uint8_t>(Value >> 16));
+  return hashByte(Hash, static_cast<uint8_t>(Value >> 24));
+}
+
+/// Mixes a 64-bit value into \p Hash.
+inline uint64_t hashU64(uint64_t Hash, uint64_t Value) {
+  Hash = hashU32(Hash, static_cast<uint32_t>(Value));
+  return hashU32(Hash, static_cast<uint32_t>(Value >> 32));
+}
+
+/// Hashes a string from scratch.
+inline uint64_t hashString(std::string_view Text,
+                           uint64_t Hash = FnvOffsetBasis) {
+  for (char C : Text)
+    Hash = hashByte(Hash, static_cast<uint8_t>(C));
+  return Hash;
+}
+
+} // namespace namer
+
+#endif // NAMER_SUPPORT_HASHING_H

@@ -1,0 +1,104 @@
+//===- support/Rng.h - Deterministic random number generation ---*- C++ -*-==//
+///
+/// \file
+/// A small, fast, deterministic PRNG (SplitMix64) used by the corpus
+/// generator, the ML cross-validation shuffles and the neural baselines.
+/// Determinism across platforms matters because every benchmark in bench/
+/// must regenerate the same corpus and reach the same table rows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_SUPPORT_RNG_H
+#define NAMER_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace namer {
+
+/// SplitMix64 generator. Deliberately not std::mt19937: the standard
+/// distributions are implementation-defined, which would make bench output
+/// differ across standard libraries.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be positive.
+  uint64_t bounded(uint64_t Bound) {
+    assert(Bound > 0 && "bounded() requires a positive bound");
+    // Multiply-shift; bias is negligible for the bounds used here.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(bounded(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability \p P.
+  bool chance(double P) { return uniform() < P; }
+
+  /// Standard normal via Box-Muller (one value per call; simple and
+  /// deterministic).
+  double normal() {
+    double U1 = uniform(), U2 = uniform();
+    if (U1 < 1e-300)
+      U1 = 1e-300;
+    return __builtin_sqrt(-2.0 * __builtin_log(U1)) *
+           __builtin_cos(6.283185307179586 * U2);
+  }
+
+  /// Picks an index in [0, Weights.size()) with probability proportional to
+  /// Weights[i]. Weights must be non-negative with a positive sum.
+  size_t weighted(const std::vector<double> &Weights) {
+    double Total = 0;
+    for (double W : Weights)
+      Total += W;
+    assert(Total > 0 && "weighted() requires positive total weight");
+    double X = uniform() * Total;
+    for (size_t I = 0, E = Weights.size(); I != E; ++I) {
+      X -= Weights[I];
+      if (X < 0)
+        return I;
+    }
+    return Weights.size() - 1;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T> void shuffle(std::vector<T> &V) {
+    for (size_t I = V.size(); I > 1; --I) {
+      size_t J = static_cast<size_t>(bounded(I));
+      using std::swap;
+      swap(V[I - 1], V[J]);
+    }
+  }
+
+  /// Forks an independent stream; used to give each repository / fold / model
+  /// its own generator so changes in one consumer don't shift another.
+  Rng fork() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
+
+private:
+  uint64_t State;
+};
+
+} // namespace namer
+
+#endif // NAMER_SUPPORT_RNG_H

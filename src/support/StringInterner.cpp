@@ -1,0 +1,36 @@
+//===- support/StringInterner.cpp -----------------------------------------==//
+
+#include "support/StringInterner.h"
+
+#include <cassert>
+
+using namespace namer;
+
+StringInterner::StringInterner() {
+  Texts.emplace_back("<eps>");
+  Map.emplace(Texts.back(), EpsilonSymbol);
+}
+
+Symbol StringInterner::intern(std::string_view Text) {
+  auto It = Map.find(Text);
+  if (It != Map.end())
+    return It->second;
+  Texts.emplace_back(Text);
+  Symbol S = static_cast<Symbol>(Texts.size() - 1);
+  Map.emplace(Texts.back(), S);
+  return S;
+}
+
+Symbol StringInterner::lookup(std::string_view Text) const {
+  auto It = Map.find(Text);
+  return It == Map.end() ? EpsilonSymbol : It->second;
+}
+
+bool StringInterner::contains(std::string_view Text) const {
+  return Map.find(Text) != Map.end();
+}
+
+std::string_view StringInterner::text(Symbol S) const {
+  assert(S < Texts.size() && "symbol out of range");
+  return Texts[S];
+}

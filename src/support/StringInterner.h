@@ -1,0 +1,68 @@
+//===- support/StringInterner.h - String interning --------------*- C++ -*-==//
+//
+// Part of the Namer reproduction of "Learning to Find Naming Issues with Big
+// Code and Small Supervision" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns strings into dense 32-bit symbols. Node values, subtokens and
+/// origin labels throughout the system are represented as symbols so that
+/// name-path comparison and FP-tree hashing reduce to integer operations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_SUPPORT_STRINGINTERNER_H
+#define NAMER_SUPPORT_STRINGINTERNER_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace namer {
+
+/// A dense identifier for an interned string. Symbol 0 is reserved for the
+/// "epsilon" end node of symbolic name paths (see Definition 3.2).
+using Symbol = uint32_t;
+
+/// The reserved symbol used for the symbolic end node of a name path.
+inline constexpr Symbol EpsilonSymbol = 0;
+
+/// Bidirectional string <-> Symbol table.
+///
+/// Symbols are assigned densely starting at 1; symbol 0 is pre-reserved for
+/// epsilon and maps to the text "<eps>". Interning the same text twice
+/// returns the same symbol. Not thread-safe; each pipeline owns one.
+class StringInterner {
+public:
+  StringInterner();
+
+  /// Returns the symbol for \p Text, interning it on first use.
+  Symbol intern(std::string_view Text);
+
+  /// Returns the symbol for \p Text, or 0 if it was never interned.
+  /// Note that 0 is also the epsilon symbol; use contains() to disambiguate
+  /// when the distinction matters.
+  Symbol lookup(std::string_view Text) const;
+
+  /// Returns true if \p Text has been interned.
+  bool contains(std::string_view Text) const;
+
+  /// Returns the text of \p S. \p S must be a valid symbol.
+  std::string_view text(Symbol S) const;
+
+  /// Number of interned strings, including the reserved epsilon entry.
+  size_t size() const { return Texts.size(); }
+
+private:
+  // Deque keeps string storage stable so string_view keys into Map remain
+  // valid as new strings are added.
+  std::deque<std::string> Texts;
+  std::unordered_map<std::string_view, Symbol> Map;
+};
+
+} // namespace namer
+
+#endif // NAMER_SUPPORT_STRINGINTERNER_H

@@ -1,0 +1,80 @@
+//===- support/Subtokens.cpp ----------------------------------------------==//
+
+#include "support/Subtokens.h"
+
+#include <cctype>
+
+using namespace namer;
+
+static bool isLower(char C) { return std::islower(static_cast<unsigned char>(C)); }
+static bool isUpper(char C) { return std::isupper(static_cast<unsigned char>(C)); }
+static bool isDigit(char C) { return std::isdigit(static_cast<unsigned char>(C)); }
+
+std::vector<std::string> namer::splitSubtokens(std::string_view Name) {
+  std::vector<std::string> Result;
+  std::string Current;
+  auto Flush = [&] {
+    if (!Current.empty()) {
+      Result.push_back(Current);
+      Current.clear();
+    }
+  };
+
+  for (size_t I = 0, E = Name.size(); I != E; ++I) {
+    char C = Name[I];
+    if (C == '_') {
+      Flush();
+      continue;
+    }
+    if (!Current.empty()) {
+      char Prev = Current.back();
+      bool Boundary = false;
+      // lower/digit -> Upper: "assertTrue" splits before 'T'.
+      if (isUpper(C) && (isLower(Prev) || isDigit(Prev)))
+        Boundary = true;
+      // Acronym end: "HTTPServer" splits before the 'S' that precedes 'e'.
+      else if (isUpper(C) && isUpper(Prev) && I + 1 != E && isLower(Name[I + 1]))
+        Boundary = true;
+      // letter -> digit boundary: "Server2" splits before '2'.
+      else if (isDigit(C) && !isDigit(Prev))
+        Boundary = true;
+      else if (!isDigit(C) && isDigit(Prev))
+        Boundary = true;
+      if (Boundary)
+        Flush();
+    }
+    Current.push_back(C);
+  }
+  Flush();
+  return Result;
+}
+
+bool namer::isSnakeCase(std::string_view Name) {
+  for (char C : Name)
+    if (isUpper(C))
+      return false;
+  return true;
+}
+
+std::string namer::joinSubtokensLike(const std::vector<std::string> &Subtokens,
+                                     std::string_view Like) {
+  if (Subtokens.empty())
+    return std::string();
+  bool Snake = Like.find('_') != std::string_view::npos || isSnakeCase(Like);
+  std::string Result = Subtokens.front();
+  for (size_t I = 1, E = Subtokens.size(); I != E; ++I) {
+    const std::string &Tok = Subtokens[I];
+    if (Snake) {
+      Result += '_';
+      for (char C : Tok)
+        Result += static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+      continue;
+    }
+    std::string Capitalized = Tok;
+    if (!Capitalized.empty())
+      Capitalized[0] = static_cast<char>(
+          std::toupper(static_cast<unsigned char>(Capitalized[0])));
+    Result += Capitalized;
+  }
+  return Result;
+}

@@ -1,0 +1,40 @@
+//===- support/Subtokens.h - Identifier subtoken splitting ------*- C++ -*-==//
+///
+/// \file
+/// Splits identifier names into subtokens following the standard naming
+/// conventions the paper relies on (Section 3.1, transformation step 3):
+/// camelCase, PascalCase, snake_case, SCREAMING_SNAKE_CASE and digit
+/// boundaries. "assertTrue" -> ["assert", "True"]; "rotate_angle" ->
+/// ["rotate", "angle"]; "HTTPServer2" -> ["HTTP", "Server", "2"].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_SUPPORT_SUBTOKENS_H
+#define NAMER_SUPPORT_SUBTOKENS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace namer {
+
+/// Splits \p Name into subtokens at underscores, lower-to-upper case
+/// transitions, acronym boundaries (the "P" in "HTTPParser") and
+/// letter/digit boundaries. Underscores are dropped. A name with no interior
+/// boundary yields a single subtoken equal to the name itself; an empty or
+/// all-underscore name yields an empty vector.
+std::vector<std::string> splitSubtokens(std::string_view Name);
+
+/// Joins \p Subtokens back into an identifier in the style of \p Like:
+/// snake_case if \p Like contains an underscore or is all lowercase,
+/// camelCase otherwise. Used to render suggested fixes.
+std::string joinSubtokensLike(const std::vector<std::string> &Subtokens,
+                              std::string_view Like);
+
+/// Returns true if \p Name is written in snake_case (or is a single
+/// all-lowercase word).
+bool isSnakeCase(std::string_view Name);
+
+} // namespace namer
+
+#endif // NAMER_SUPPORT_SUBTOKENS_H

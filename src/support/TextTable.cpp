@@ -1,0 +1,76 @@
+//===- support/TextTable.cpp ----------------------------------------------==//
+
+#include "support/TextTable.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace namer;
+
+void TextTable::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+void TextTable::addSeparator() { Rows.push_back({SeparatorMark}); }
+
+std::string TextTable::formatDouble(double Value, int Decimals) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Decimals, Value);
+  return Buffer;
+}
+
+std::string TextTable::formatPercent(double Ratio, int Decimals) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f%%", Decimals, Ratio * 100.0);
+  return Buffer;
+}
+
+std::string TextTable::render() const {
+  // Column widths over header and all non-separator rows.
+  std::vector<size_t> Widths;
+  auto Grow = [&](const std::vector<std::string> &Cells) {
+    if (Cells.size() > Widths.size())
+      Widths.resize(Cells.size(), 0);
+    for (size_t I = 0, E = Cells.size(); I != E; ++I)
+      Widths[I] = std::max(Widths[I], Cells[I].size());
+  };
+  Grow(Header);
+  for (const auto &Row : Rows)
+    if (Row.empty() || Row[0] != SeparatorMark)
+      Grow(Row);
+
+  size_t TotalWidth = 0;
+  for (size_t W : Widths)
+    TotalWidth += W + 2;
+  if (TotalWidth >= 2)
+    TotalWidth -= 2;
+
+  std::string Out;
+  auto Emit = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0, E = Cells.size(); I != E; ++I) {
+      Out += Cells[I];
+      if (I + 1 != E)
+        Out.append(Widths[I] - Cells[I].size() + 2, ' ');
+    }
+    Out += '\n';
+  };
+
+  if (!Header.empty()) {
+    Emit(Header);
+    Out.append(TotalWidth, '-');
+    Out += '\n';
+  }
+  for (const auto &Row : Rows) {
+    if (!Row.empty() && Row[0] == SeparatorMark) {
+      Out.append(TotalWidth, '-');
+      Out += '\n';
+      continue;
+    }
+    Emit(Row);
+  }
+  return Out;
+}

@@ -1,0 +1,47 @@
+//===- support/TextTable.h - Aligned console tables -------------*- C++ -*-==//
+///
+/// \file
+/// Renders the paper's result tables (Tables 2, 4, 5, 8-11) as aligned
+/// plain-text tables on stdout. Benchmarks print through this so the rows
+/// visually match the paper layout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_SUPPORT_TEXTTABLE_H
+#define NAMER_SUPPORT_TEXTTABLE_H
+
+#include <string>
+#include <vector>
+
+namespace namer {
+
+/// Accumulates rows of cells and renders them with column alignment.
+class TextTable {
+public:
+  /// Sets the header row.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends a data row. Rows may have fewer cells than the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator line.
+  void addSeparator();
+
+  /// Renders the table; every column is padded to its widest cell.
+  std::string render() const;
+
+  /// Formats a double with \p Decimals fractional digits.
+  static std::string formatDouble(double Value, int Decimals = 2);
+
+  /// Formats a ratio as a percent string, e.g. "70%".
+  static std::string formatPercent(double Ratio, int Decimals = 0);
+
+private:
+  static constexpr const char *SeparatorMark = "\x01--";
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace namer
+
+#endif // NAMER_SUPPORT_TEXTTABLE_H

@@ -1,0 +1,119 @@
+//===- transform/AstPlus.cpp ----------------------------------------------==//
+
+#include "transform/AstPlus.h"
+
+#include "support/Subtokens.h"
+
+#include <string>
+
+using namespace namer;
+
+namespace {
+
+/// True if the Ident terminal \p N carries an identifier name (as opposed
+/// to an operator or a literal token), judged by its wrapper's kind.
+bool identCarriesName(const Tree &T, NodeId N) {
+  NodeId Parent = T.node(N).Parent;
+  return Parent != InvalidNode && kindCarriesName(T.node(Parent).Kind);
+}
+
+/// True if the Ident terminal is a literal token under Num/Str/Bool/None.
+bool identIsLiteral(const Tree &T, NodeId N) {
+  NodeId Parent = T.node(N).Parent;
+  if (Parent == InvalidNode)
+    return false;
+  switch (T.node(Parent).Kind) {
+  case NodeKind::Num:
+  case NodeKind::Str:
+  case NodeKind::Bool:
+  case NodeKind::NoneLit:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+void namer::transformToAstPlus(Tree &Module, const OriginMap &Origins) {
+  AstContext &Ctx = Module.context();
+  // Snapshot: transforms append nodes; only original nodes are rewritten.
+  const size_t OriginalSize = Module.size();
+
+  // Step 1: literal abstraction. The literal Ident's value becomes
+  // NUM/STR/BOOL so "90" and "17" share name paths.
+  for (NodeId N = 0; N != OriginalSize; ++N) {
+    const Node &Nd = Module.node(N);
+    if (Nd.Kind != NodeKind::Ident || Nd.Parent == InvalidNode)
+      continue;
+    switch (Module.node(Nd.Parent).Kind) {
+    case NodeKind::Num:
+      Module.setValue(N, Ctx.numSymbol());
+      break;
+    case NodeKind::Str:
+      Module.setValue(N, Ctx.strSymbol());
+      break;
+    case NodeKind::Bool:
+      Module.setValue(N, Ctx.boolSymbol());
+      break;
+    default:
+      break;
+    }
+  }
+
+  // Step 2: NumArgs(k) parents over calls and function definitions.
+  for (NodeId N = 0; N != OriginalSize; ++N) {
+    const Node &Nd = Module.node(N);
+    size_t ArgCount = 0;
+    if (Nd.Kind == NodeKind::Call || Nd.Kind == NodeKind::New) {
+      // Call children: callee followed by arguments; New children: TypeRef
+      // followed by arguments.
+      ArgCount = Nd.Children.empty() ? 0 : Nd.Children.size() - 1;
+    } else if (Nd.Kind == NodeKind::FunctionDef) {
+      for (NodeId C : Nd.Children)
+        if (Module.node(C).Kind == NodeKind::ParamList)
+          ArgCount = Module.node(C).Children.size();
+    } else {
+      continue;
+    }
+    std::string Label = "NumArgs(" + std::to_string(ArgCount) + ")";
+    Module.insertAbove(N, NodeKind::NumArgs, Ctx.intern(Label));
+  }
+
+  // Step 3: subtoken splitting. Each name Ident becomes a NumST(k) node
+  // with Subtoken children; literal tokens get NumST(1).
+  for (NodeId N = 0; N != OriginalSize; ++N) {
+    const Node &Nd = Module.node(N);
+    if (Nd.Kind != NodeKind::Ident)
+      continue;
+    bool IsName = identCarriesName(Module, N);
+    bool IsLiteral = identIsLiteral(Module, N);
+    if (!IsName && !IsLiteral)
+      continue;
+
+    std::vector<std::string> Subtokens;
+    if (IsLiteral) {
+      Subtokens.push_back(std::string(Ctx.text(Nd.Value)));
+    } else {
+      Subtokens = splitSubtokens(Ctx.text(Nd.Value));
+      if (Subtokens.empty())
+        Subtokens.push_back(std::string(Ctx.text(Nd.Value)));
+    }
+
+    std::string Label = "NumST(" + std::to_string(Subtokens.size()) + ")";
+    Module.setKind(N, NodeKind::NumST);
+    Module.setValue(N, Ctx.intern(Label));
+    std::vector<NodeId> SubtokenIds;
+    for (const std::string &Tok : Subtokens)
+      SubtokenIds.push_back(
+          Module.addNode(NodeKind::Subtoken, Tok, N, Nd.Line));
+
+    // Step 4: origin decoration, one Origin parent per subtoken so each
+    // subtoken path carries the semantic context (Figure 2(c)).
+    auto It = Origins.find(N);
+    if (It == Origins.end())
+      continue;
+    for (NodeId Sub : SubtokenIds)
+      Module.insertAbove(Sub, NodeKind::Origin, It->second);
+  }
+}

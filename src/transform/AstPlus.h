@@ -1,0 +1,45 @@
+//===- transform/AstPlus.h - AST to AST+ transform (Sec. 3.1) ---*- C++ -*-==//
+///
+/// \file
+/// Implements the four transformation steps of Section 3.1 that turn a
+/// parsed AST into the transformed AST (AST+) name paths are extracted
+/// from:
+///
+///   1. numeric/string/boolean literals become the special tokens
+///      NUM/STR/BOOL;
+///   2. every function call and function definition gains a NumArgs(k)
+///      parent node;
+///   3. every identifier terminal is split into subtokens under a NumST(k)
+///      node;
+///   4. object/callee subtokens gain an origin parent computed by the
+///      points-to and data flow analyses (Section 4.1).
+///
+/// The transform runs over a whole module tree in place; statements are
+/// sliced afterwards, so origins computed on module node ids apply
+/// directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_TRANSFORM_ASTPLUS_H
+#define NAMER_TRANSFORM_ASTPLUS_H
+
+#include "ast/Tree.h"
+
+#include <unordered_map>
+
+namespace namer {
+
+/// Origin decoration computed by the analyses: maps the NodeId of an Ident
+/// terminal (pre-transform) to the origin symbol to insert above each of
+/// its subtokens. Idents absent from the map get no origin node. The
+/// analysis never inserts the "top" origin; values abstracted to top are
+/// simply left undecorated.
+using OriginMap = std::unordered_map<NodeId, Symbol>;
+
+/// Applies transform steps 1-4 to \p Module in place. \p Origins may be
+/// empty (the "w/o A" ablation of Tables 2 and 5).
+void transformToAstPlus(Tree &Module, const OriginMap &Origins);
+
+} // namespace namer
+
+#endif // NAMER_TRANSFORM_ASTPLUS_H

@@ -1,0 +1,301 @@
+//===- tests/AnalysisTest.cpp - Datalog / points-to / origins tests -------==//
+
+#include "analysis/Origins.h"
+
+#include "analysis/WellKnown.h"
+#include "analysis/datalog/Datalog.h"
+#include "frontend/java/JavaParser.h"
+#include "frontend/python/PythonParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace namer;
+using namespace namer::datalog;
+
+// --- Datalog engine ----------------------------------------------------------
+
+TEST(Datalog, TransitiveClosure) {
+  Engine E;
+  RelationId Edge = E.addRelation("edge", 2);
+  RelationId Path = E.addRelation("path", 2);
+  // path(x,y) :- edge(x,y).
+  E.addRule(Rule{Literal{Path, {Term::var(0), Term::var(1)}},
+                 {Literal{Edge, {Term::var(0), Term::var(1)}}}});
+  // path(x,z) :- path(x,y), edge(y,z).
+  E.addRule(Rule{Literal{Path, {Term::var(0), Term::var(2)}},
+                 {Literal{Path, {Term::var(0), Term::var(1)}},
+                  Literal{Edge, {Term::var(1), Term::var(2)}}}});
+  // Chain 1 -> 2 -> 3 -> 4 plus a cycle back to 1.
+  E.addFact(Edge, {1, 2});
+  E.addFact(Edge, {2, 3});
+  E.addFact(Edge, {3, 4});
+  E.addFact(Edge, {4, 1});
+  E.run();
+  // Full closure over the 4-cycle: 16 pairs.
+  EXPECT_EQ(E.relation(Path).size(), 16u);
+  EXPECT_TRUE(E.relation(Path).contains(DlTuple{{1, 4}}));
+  EXPECT_TRUE(E.relation(Path).contains(DlTuple{{3, 2}}));
+}
+
+TEST(Datalog, ConstantsInRules) {
+  Engine E;
+  RelationId In = E.addRelation("in", 2);
+  RelationId Out = E.addRelation("out", 1);
+  // out(x) :- in(x, 7).
+  E.addRule(Rule{Literal{Out, {Term::var(0)}},
+                 {Literal{In, {Term::var(0), Term::constant(7)}}}});
+  E.addFact(In, {1, 7});
+  E.addFact(In, {2, 8});
+  E.run();
+  EXPECT_EQ(E.relation(Out).size(), 1u);
+  EXPECT_TRUE(E.relation(Out).contains(DlTuple{{1}}));
+}
+
+TEST(Datalog, RepeatedVariableInLiteral) {
+  Engine E;
+  RelationId Pair = E.addRelation("pair", 2);
+  RelationId Same = E.addRelation("same", 1);
+  // same(x) :- pair(x, x).
+  E.addRule(Rule{Literal{Same, {Term::var(0)}},
+                 {Literal{Pair, {Term::var(0), Term::var(0)}}}});
+  E.addFact(Pair, {3, 3});
+  E.addFact(Pair, {3, 4});
+  E.run();
+  EXPECT_EQ(E.relation(Same).size(), 1u);
+  EXPECT_TRUE(E.relation(Same).contains(DlTuple{{3}}));
+}
+
+TEST(Datalog, AndersenPointsToRules) {
+  // The exact rule set Origins uses, on a handcrafted heap graph.
+  Engine E;
+  RelationId Alloc = E.addRelation("alloc", 2);
+  RelationId Move = E.addRelation("move", 2);
+  RelationId Load = E.addRelation("load", 3);
+  RelationId Store = E.addRelation("store", 3);
+  RelationId Vpt = E.addRelation("vpt", 2);
+  RelationId FieldPt = E.addRelation("fieldPt", 3);
+  E.addRule(Rule{Literal{Vpt, {Term::var(0), Term::var(1)}},
+                 {Literal{Alloc, {Term::var(0), Term::var(1)}}}});
+  E.addRule(Rule{Literal{Vpt, {Term::var(0), Term::var(2)}},
+                 {Literal{Move, {Term::var(0), Term::var(1)}},
+                  Literal{Vpt, {Term::var(1), Term::var(2)}}}});
+  E.addRule(Rule{
+      Literal{FieldPt, {Term::var(3), Term::var(1), Term::var(4)}},
+      {Literal{Store, {Term::var(0), Term::var(1), Term::var(2)}},
+       Literal{Vpt, {Term::var(0), Term::var(3)}},
+       Literal{Vpt, {Term::var(2), Term::var(4)}}}});
+  E.addRule(
+      Rule{Literal{Vpt, {Term::var(0), Term::var(4)}},
+           {Literal{Load, {Term::var(0), Term::var(1), Term::var(2)}},
+            Literal{Vpt, {Term::var(1), Term::var(3)}},
+            Literal{FieldPt, {Term::var(3), Term::var(2), Term::var(4)}}}});
+
+  // a = new S1; b = a; b.f = new S2; c = a.f
+  enum : Atom { A = 1, B, C, S1 = 10, S2, F = 20, Tmp = 30 };
+  E.addFact(Alloc, {A, S1});
+  E.addFact(Move, {B, A});
+  E.addFact(Alloc, {Tmp, S2});
+  E.addFact(Store, {B, F, Tmp});
+  E.addFact(Load, {C, A, F});
+  E.run();
+  EXPECT_TRUE(E.relation(Vpt).contains(DlTuple{{B, S1}}));
+  // c sees the store through the alias b -> S1.
+  EXPECT_TRUE(E.relation(Vpt).contains(DlTuple{{C, S2}}));
+}
+
+// --- WellKnownRegistry -------------------------------------------------------
+
+TEST(WellKnown, MethodOwnerWalksHierarchy) {
+  auto R = WellKnownRegistry::forJava();
+  // printStackTrace is declared on Throwable, visible from subclasses.
+  EXPECT_EQ(R.methodOwner("RuntimeException", "printStackTrace"),
+            "Throwable");
+  EXPECT_EQ(R.methodOwner("Throwable", "printStackTrace"), "Throwable");
+  EXPECT_EQ(R.methodOwner("String", "printStackTrace"), std::nullopt);
+}
+
+TEST(WellKnown, GeneralizeThroughLocalBases) {
+  auto R = WellKnownRegistry::forPython();
+  std::unordered_map<std::string, std::string> Local = {
+      {"TestPicture", "TestCase"}};
+  EXPECT_EQ(R.generalize("TestPicture", Local), "TestCase");
+  EXPECT_EQ(R.generalize("TestCase", {}), "TestCase");
+  EXPECT_EQ(R.generalize("TotallyUnknown", {}), "TotallyUnknown");
+}
+
+TEST(WellKnown, DialogHierarchy) {
+  auto R = WellKnownRegistry::forJava();
+  EXPECT_EQ(R.methodOwner("ProgressDialog", "dismiss"), "Dialog");
+  EXPECT_EQ(R.methodOwner("ProgressDialog", "setMessage"),
+            "ProgressDialog");
+}
+
+TEST(WellKnown, CallOrigins) {
+  auto R = WellKnownRegistry::forPython();
+  EXPECT_EQ(R.callOrigin("range"), "range");
+  EXPECT_EQ(R.callOrigin("open"), "file");
+  EXPECT_EQ(R.callOrigin("no_such_fn"), std::nullopt);
+}
+
+// --- Origin analysis ---------------------------------------------------------
+
+namespace {
+
+/// Maps ident text -> origin text for every decorated Ident in the module.
+std::unordered_map<std::string, std::string>
+originTexts(const Tree &Module, const OriginMap &Origins) {
+  std::unordered_map<std::string, std::string> Out;
+  for (const auto &[NodeId, Origin] : Origins) {
+    Out.emplace(std::string(Module.valueText(NodeId)),
+                std::string(Module.context().text(Origin)));
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(Origins, Figure2SelfAndCalleeOriginIsTestCase) {
+  AstContext Ctx;
+  auto R = python::parsePython("from unittest import TestCase\n"
+                               "class TestPicture(TestCase):\n"
+                               "    def test_angle(self):\n"
+                               "        self.assertTrue(pic.angle, 90)\n",
+                               Ctx);
+  ASSERT_TRUE(R.Errors.empty());
+  auto Result =
+      computeOrigins(R.Module, WellKnownRegistry::forPython());
+  auto O = originTexts(R.Module, Result.Origins);
+  EXPECT_EQ(O["self"], "TestCase");
+  EXPECT_EQ(O["assertTrue"], "TestCase");
+}
+
+TEST(Origins, ConstructorAllocationType) {
+  AstContext Ctx;
+  auto R = python::parsePython("class Widget(object):\n"
+                               "    def __init__(self):\n"
+                               "        self.x = 1\n"
+                               "w = Widget()\n"
+                               "w.draw()\n",
+                               Ctx);
+  ASSERT_TRUE(R.Errors.empty());
+  auto Result = computeOrigins(R.Module, WellKnownRegistry::forPython());
+  auto O = originTexts(R.Module, Result.Origins);
+  EXPECT_EQ(O["w"], "Widget");
+}
+
+TEST(Origins, ModuleAlias) {
+  AstContext Ctx;
+  auto R = python::parsePython("import numpy as np\n"
+                               "a = np.array(x)\n",
+                               Ctx);
+  ASSERT_TRUE(R.Errors.empty());
+  auto Result = computeOrigins(R.Module, WellKnownRegistry::forPython());
+  auto O = originTexts(R.Module, Result.Origins);
+  EXPECT_EQ(O["np"], "numpy");
+}
+
+TEST(Origins, ValueOriginFromKnownFunction) {
+  AstContext Ctx;
+  auto R = python::parsePython("n = len(items)\n", Ctx);
+  ASSERT_TRUE(R.Errors.empty());
+  auto Result = computeOrigins(R.Module, WellKnownRegistry::forPython());
+  auto O = originTexts(R.Module, Result.Origins);
+  EXPECT_EQ(O["n"], "len");
+}
+
+TEST(Origins, ReassignmentKillsValueOrigin) {
+  AstContext Ctx;
+  auto R = python::parsePython("n = len(items)\nn = n + 1\n", Ctx);
+  ASSERT_TRUE(R.Errors.empty());
+  auto Result = computeOrigins(R.Module, WellKnownRegistry::forPython());
+  auto O = originTexts(R.Module, Result.Origins);
+  EXPECT_EQ(O.count("n"), 0u);
+}
+
+TEST(Origins, InterproceduralReturnFlow) {
+  AstContext Ctx;
+  auto R = python::parsePython("class Conn(object):\n"
+                               "    pass\n"
+                               "def make():\n"
+                               "    return Conn()\n"
+                               "c = make()\n",
+                               Ctx);
+  ASSERT_TRUE(R.Errors.empty());
+  auto Result = computeOrigins(R.Module, WellKnownRegistry::forPython());
+  auto O = originTexts(R.Module, Result.Origins);
+  EXPECT_EQ(O["c"], "Conn");
+  EXPECT_GE(Result.EffectiveK, 1u);
+}
+
+TEST(Origins, JavaDeclaredTypesAndCatch) {
+  AstContext Ctx;
+  auto R = java::parseJava(
+      "class C { void m() {"
+      "  ProgressDialog progDialog = new ProgressDialog();"
+      "  progDialog.dismiss();"
+      "  try { } catch (ArithmeticException e) { e.printStackTrace(); }"
+      "} }",
+      Ctx);
+  ASSERT_TRUE(R.Errors.empty());
+  WellKnownRegistry Reg = WellKnownRegistry::forJava();
+  Reg.addClass("ArithmeticException", "RuntimeException");
+  auto Result = computeOrigins(R.Module, Reg);
+  auto O = originTexts(R.Module, Result.Origins);
+  EXPECT_EQ(O["progDialog"], "ProgressDialog");
+  // dismiss is defined on Dialog, the superclass.
+  EXPECT_EQ(O["dismiss"], "Dialog");
+  EXPECT_EQ(O["e"], "ArithmeticException");
+  EXPECT_EQ(O["printStackTrace"], "Throwable");
+}
+
+TEST(Origins, JavaIntentFlowIntoCall) {
+  AstContext Ctx;
+  auto R = java::parseJava("class A { void go(Context context) {"
+                           "  Intent i = new Intent();"
+                           "  context.startActivity(i);"
+                           "} }",
+                           Ctx);
+  ASSERT_TRUE(R.Errors.empty());
+  auto Result = computeOrigins(R.Module, WellKnownRegistry::forJava());
+  auto O = originTexts(R.Module, Result.Origins);
+  EXPECT_EQ(O["i"], "Intent");
+  EXPECT_EQ(O["startActivity"], "Context");
+}
+
+TEST(Origins, ContextExplosionBacksOff) {
+  // A call web wide enough to exceed 8 contexts/function on average at
+  // k = 5; the analysis must reduce k rather than blow up.
+  std::string Source;
+  for (int I = 0; I < 6; ++I) {
+    Source += "def f" + std::to_string(I) + "(x):\n";
+    if (I == 0) {
+      Source += "    return x\n";
+    } else {
+      for (int J = 0; J < 4; ++J)
+        Source += "    y" + std::to_string(J) + " = f" +
+                  std::to_string(I - 1) + "(x)\n";
+      Source += "    return x\n";
+    }
+  }
+  AstContext Ctx;
+  auto R = python::parsePython(Source, Ctx);
+  ASSERT_TRUE(R.Errors.empty());
+  AnalysisConfig Config;
+  auto Result = computeOrigins(R.Module, WellKnownRegistry::forPython(),
+                               Config);
+  double Avg = static_cast<double>(Result.NumContexts) / 7.0;
+  EXPECT_LT(Result.EffectiveK, 5u);
+  (void)Avg;
+}
+
+TEST(Origins, EmptyRegistryStillTracksLocalClasses) {
+  AstContext Ctx;
+  auto R = python::parsePython("class Local(object):\n"
+                               "    pass\n"
+                               "v = Local()\n",
+                               Ctx);
+  ASSERT_TRUE(R.Errors.empty());
+  auto Result = computeOrigins(R.Module, WellKnownRegistry::empty());
+  auto O = originTexts(R.Module, Result.Origins);
+  EXPECT_EQ(O["v"], "Local");
+}

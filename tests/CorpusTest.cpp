@@ -1,0 +1,190 @@
+//===- tests/CorpusTest.cpp - corpus generator / oracle tests -------------==//
+
+#include "corpus/Corpus.h"
+#include "corpus/Oracle.h"
+
+#include "frontend/java/JavaParser.h"
+#include "frontend/python/PythonParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace namer;
+using namespace namer::corpus;
+
+namespace {
+
+CorpusConfig smallConfig(Language Lang) {
+  CorpusConfig C;
+  C.Lang = Lang;
+  C.NumRepos = 20;
+  return C;
+}
+
+} // namespace
+
+TEST(CorpusGenerator, Deterministic) {
+  Corpus A = generateCorpus(smallConfig(Language::Python));
+  Corpus B = generateCorpus(smallConfig(Language::Python));
+  ASSERT_EQ(A.numFiles(), B.numFiles());
+  ASSERT_EQ(A.Repos.size(), B.Repos.size());
+  for (size_t R = 0; R != A.Repos.size(); ++R) {
+    ASSERT_EQ(A.Repos[R].Files.size(), B.Repos[R].Files.size());
+    for (size_t F = 0; F != A.Repos[R].Files.size(); ++F)
+      EXPECT_EQ(A.Repos[R].Files[F].Text, B.Repos[R].Files[F].Text);
+  }
+  EXPECT_EQ(A.Commits.size(), B.Commits.size());
+}
+
+TEST(CorpusGenerator, DifferentSeedsDiffer) {
+  CorpusConfig C1 = smallConfig(Language::Python);
+  CorpusConfig C2 = C1;
+  C2.Seed ^= 1;
+  Corpus A = generateCorpus(C1);
+  Corpus B = generateCorpus(C2);
+  bool AnyDifference = A.numFiles() != B.numFiles();
+  for (size_t R = 0; !AnyDifference && R != A.Repos.size(); ++R)
+    AnyDifference = A.Repos[R].Files.size() != B.Repos[R].Files.size() ||
+                    A.Repos[R].Files[0].Text != B.Repos[R].Files[0].Text;
+  EXPECT_TRUE(AnyDifference);
+}
+
+class CorpusLanguageTest : public ::testing::TestWithParam<Language> {};
+
+TEST_P(CorpusLanguageTest, EveryFileParsesCleanly) {
+  Corpus C = generateCorpus(smallConfig(GetParam()));
+  size_t Errors = 0;
+  for (const Repository &Repo : C.Repos) {
+    for (const SourceFile &F : Repo.Files) {
+      AstContext Ctx;
+      if (GetParam() == Language::Python)
+        Errors += python::parsePython(F.Text, Ctx).Errors.size();
+      else
+        Errors += java::parseJava(F.Text, Ctx).Errors.size();
+    }
+  }
+  EXPECT_EQ(Errors, 0u) << "generated corpus must be parseable";
+}
+
+TEST_P(CorpusLanguageTest, EveryCommitParsesCleanly) {
+  Corpus C = generateCorpus(smallConfig(GetParam()));
+  EXPECT_FALSE(C.Commits.empty());
+  for (const CommitPair &Commit : C.Commits) {
+    AstContext Ctx;
+    if (GetParam() == Language::Python) {
+      EXPECT_TRUE(python::parsePython(Commit.Before, Ctx).Errors.empty())
+          << Commit.Before;
+      EXPECT_TRUE(python::parsePython(Commit.After, Ctx).Errors.empty());
+    } else {
+      EXPECT_TRUE(java::parseJava(Commit.Before, Ctx).Errors.empty())
+          << Commit.Before;
+      EXPECT_TRUE(java::parseJava(Commit.After, Ctx).Errors.empty());
+    }
+  }
+}
+
+TEST_P(CorpusLanguageTest, SeedsIssuesWithBothKinds) {
+  Corpus C = generateCorpus(smallConfig(GetParam()));
+  size_t Semantic = 0, Quality = 0;
+  for (const Repository &Repo : C.Repos)
+    for (const SourceFile &F : Repo.Files)
+      for (const SeededIssue &Issue : F.Issues) {
+        (Issue.Kind == IssueKind::SemanticDefect ? Semantic : Quality)++;
+        EXPECT_NE(Issue.BadToken, Issue.GoodToken);
+        EXPECT_GT(Issue.Line, 0u);
+      }
+  EXPECT_GT(Semantic, 0u);
+  EXPECT_GT(Quality, Semantic) << "quality issues dominate (Table 2 shape)";
+}
+
+TEST_P(CorpusLanguageTest, IssueLinesPointAtBadTokens) {
+  Corpus C = generateCorpus(smallConfig(GetParam()));
+  for (const Repository &Repo : C.Repos) {
+    for (const SourceFile &F : Repo.Files) {
+      // Split text into lines once.
+      std::vector<std::string> Lines{""};
+      for (char Ch : F.Text) {
+        if (Ch == '\n')
+          Lines.emplace_back();
+        else
+          Lines.back() += Ch;
+      }
+      for (const SeededIssue &Issue : F.Issues) {
+        ASSERT_LT(Issue.Line, Lines.size() + 1);
+        EXPECT_NE(Lines[Issue.Line - 1].find(Issue.BadToken),
+                  std::string::npos)
+            << F.Path << ":" << Issue.Line << " missing " << Issue.BadToken;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothLanguages, CorpusLanguageTest,
+                         ::testing::Values(Language::Python, Language::Java));
+
+TEST(CorpusDedup, RemovesExactDuplicates) {
+  Corpus C;
+  Repository R;
+  SourceFile F;
+  F.Path = "a.py";
+  F.Text = "x = 1\n";
+  R.Files.push_back(F);
+  F.Path = "b.py"; // same text, different path
+  R.Files.push_back(F);
+  F.Path = "c.py";
+  F.Text = "y = 2\n";
+  R.Files.push_back(F);
+  C.Repos.push_back(R);
+  EXPECT_EQ(deduplicateFiles(C), 1u);
+  EXPECT_EQ(C.Repos[0].Files.size(), 2u);
+}
+
+// --- Oracle ------------------------------------------------------------------
+
+TEST(InspectionOracle, ClassifiesSeededIssue) {
+  Corpus C;
+  Repository R;
+  SourceFile F;
+  F.Path = "m.py";
+  F.Text = "self.port = por\n";
+  F.Issues.push_back(SeededIssue{IssueKind::CodeQualityIssue,
+                                 IssueCategory::Typo, 1, "por", "port"});
+  R.Files.push_back(F);
+  C.Repos.push_back(R);
+  InspectionOracle Oracle(C);
+
+  auto Out = Oracle.inspect("m.py", 1, "por", "port");
+  EXPECT_EQ(Out.Result, InspectionOutcome::Verdict::CodeQualityIssue);
+  EXPECT_EQ(Out.Category, IssueCategory::Typo);
+  EXPECT_TRUE(Out.FixMatchesGroundTruth);
+
+  // Wrong suggestion still identifies the issue, but the fix flag is off.
+  Out = Oracle.inspect("m.py", 1, "por", "point");
+  EXPECT_EQ(Out.Result, InspectionOutcome::Verdict::CodeQualityIssue);
+  EXPECT_FALSE(Out.FixMatchesGroundTruth);
+}
+
+TEST(InspectionOracle, LineToleranceOfOne) {
+  Corpus C;
+  Repository R;
+  SourceFile F;
+  F.Path = "m.py";
+  F.Text = "self.port = por\n";
+  F.Issues.push_back(SeededIssue{IssueKind::CodeQualityIssue,
+                                 IssueCategory::Typo, 5, "por", "port"});
+  R.Files.push_back(F);
+  C.Repos.push_back(R);
+  InspectionOracle Oracle(C);
+  EXPECT_NE(Oracle.inspect("m.py", 6, "por", "port").Result,
+            InspectionOutcome::Verdict::FalsePositive);
+  EXPECT_NE(Oracle.inspect("m.py", 4, "por", "port").Result,
+            InspectionOutcome::Verdict::FalsePositive);
+  EXPECT_EQ(Oracle.inspect("m.py", 8, "por", "port").Result,
+            InspectionOutcome::Verdict::FalsePositive);
+}
+
+TEST(InspectionOracle, UnseededReportIsFalsePositive) {
+  Corpus C = generateCorpus(smallConfig(Language::Python));
+  InspectionOracle Oracle(C);
+  auto Out = Oracle.inspect("does/not/exist.py", 3, "foo", "bar");
+  EXPECT_EQ(Out.Result, InspectionOutcome::Verdict::FalsePositive);
+}

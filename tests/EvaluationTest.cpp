@@ -1,0 +1,162 @@
+//===- tests/EvaluationTest.cpp - Section 5 protocol tests ----------------==//
+
+#include "namer/Evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+using namespace namer;
+using corpus::InspectionOutcome;
+
+namespace {
+
+struct ProtocolFixture {
+  corpus::Corpus C;
+  std::unique_ptr<corpus::InspectionOracle> Oracle;
+  std::unique_ptr<NamerPipeline> Pipeline;
+
+  ProtocolFixture() {
+    corpus::CorpusConfig Config;
+    Config.NumRepos = 60;
+    C = corpus::generateCorpus(Config);
+    Oracle = std::make_unique<corpus::InspectionOracle>(C);
+    PipelineConfig PC;
+    PC.Miner.MinPatternSupport = 20;
+    Pipeline = std::make_unique<NamerPipeline>(PC);
+    Pipeline->build(C);
+  }
+
+  static ProtocolFixture &get() {
+    static ProtocolFixture F;
+    return F;
+  }
+};
+
+} // namespace
+
+TEST(EvaluationProtocol, BalancedLabelsAreBalanced) {
+  auto &F = ProtocolFixture::get();
+  std::vector<size_t> Indices;
+  std::vector<bool> Labels;
+  collectBalancedLabels(*F.Pipeline, *F.Oracle, 60, /*Seed=*/3, Indices,
+                        Labels);
+  ASSERT_EQ(Indices.size(), Labels.size());
+  ASSERT_GE(Indices.size(), 40u) << "enough violations for labeling";
+  size_t True = 0;
+  for (bool L : Labels)
+    True += L;
+  // Exactly half/half when both classes were available.
+  EXPECT_EQ(True, Labels.size() / 2);
+  // Indices unique.
+  std::unordered_set<size_t> Unique(Indices.begin(), Indices.end());
+  EXPECT_EQ(Unique.size(), Indices.size());
+}
+
+TEST(EvaluationProtocol, LabelsMatchTheOracle) {
+  auto &F = ProtocolFixture::get();
+  std::vector<size_t> Indices;
+  std::vector<bool> Labels;
+  collectBalancedLabels(*F.Pipeline, *F.Oracle, 40, /*Seed=*/5, Indices,
+                        Labels);
+  for (size_t I = 0; I != Indices.size(); ++I) {
+    Report R = F.Pipeline->makeReport(F.Pipeline->violations()[Indices[I]]);
+    auto Out = F.Oracle->inspect(R.File, R.Line, R.Original, R.Suggested);
+    bool IsTrue = Out.Result != InspectionOutcome::Verdict::FalsePositive;
+    EXPECT_EQ(Labels[I], IsTrue);
+  }
+}
+
+TEST(EvaluationProtocol, EvaluationExcludesTrainingViolations) {
+  // The paper tests "excluding the samples used for training". Since
+  // sampled reports carry their violation's statement id and fix, check
+  // no evaluated report coincides with a training index's report.
+  auto &F = ProtocolFixture::get();
+  EvaluationConfig Config;
+  Config.NumLabeled = 40;
+  Config.NumEvaluated = 100;
+  Config.Seed = 11;
+  EvaluationResult R = evaluatePipeline(*F.Pipeline, *F.Oracle, Config);
+  EXPECT_LE(R.ViolationsEvaluated, 100u);
+  EXPECT_LE(R.numReports(), R.ViolationsEvaluated);
+
+  std::vector<size_t> TrainIdx;
+  std::vector<bool> TrainLabels;
+  collectBalancedLabels(*F.Pipeline, *F.Oracle, 40, Config.Seed, TrainIdx,
+                        TrainLabels);
+  std::unordered_set<std::string> TrainKeys;
+  for (size_t I : TrainIdx) {
+    Report Rep = F.Pipeline->makeReport(F.Pipeline->violations()[I]);
+    TrainKeys.insert(Rep.File + ":" + std::to_string(Rep.Line) + ":" +
+                     Rep.Original + ">" + Rep.Suggested);
+  }
+  for (const InspectedReport &IR : R.Reports) {
+    std::string Key = IR.R.File + ":" + std::to_string(IR.R.Line) + ":" +
+                      IR.R.Original + ">" + IR.R.Suggested;
+    EXPECT_FALSE(TrainKeys.count(Key))
+        << "evaluated report overlaps the training set: " << Key;
+  }
+}
+
+TEST(EvaluationProtocol, ResultArithmeticIsConsistent) {
+  auto &F = ProtocolFixture::get();
+  EvaluationConfig Config;
+  Config.NumLabeled = 40;
+  Config.NumEvaluated = 120;
+  EvaluationResult R = evaluatePipeline(*F.Pipeline, *F.Oracle, Config);
+  EXPECT_EQ(R.numSemantic() + R.numQuality() + R.numFalsePositives(),
+            R.numReports());
+  if (R.numReports() > 0) {
+    double Expected =
+        static_cast<double>(R.numSemantic() + R.numQuality()) /
+        static_cast<double>(R.numReports());
+    EXPECT_DOUBLE_EQ(R.precision(), Expected);
+  }
+  size_t BreakdownTotal = 0;
+  for (const auto &[Category, Count] : R.qualityBreakdown())
+    BreakdownTotal += Count;
+  EXPECT_EQ(BreakdownTotal, R.numQuality());
+}
+
+TEST(EvaluationProtocol, DeterministicGivenSeed) {
+  // Two evaluations of separately built (identical) pipelines agree.
+  corpus::CorpusConfig Config;
+  Config.NumRepos = 40;
+  corpus::Corpus C = corpus::generateCorpus(Config);
+  corpus::InspectionOracle Oracle(C);
+  EvaluationConfig EC;
+  EC.NumLabeled = 40;
+  EC.NumEvaluated = 80;
+
+  auto RunOnce = [&] {
+    PipelineConfig PC;
+    PC.Miner.MinPatternSupport = 20;
+    NamerPipeline P(PC);
+    P.build(C);
+    return evaluatePipeline(P, Oracle, EC);
+  };
+  EvaluationResult A = RunOnce();
+  EvaluationResult B = RunOnce();
+  EXPECT_EQ(A.numReports(), B.numReports());
+  EXPECT_EQ(A.numSemantic(), B.numSemantic());
+  EXPECT_EQ(A.numFalsePositives(), B.numFalsePositives());
+  EXPECT_EQ(A.SelectedModel, B.SelectedModel);
+}
+
+TEST(EvaluationProtocol, NoClassifierModeReportsEverything) {
+  corpus::CorpusConfig Config;
+  Config.NumRepos = 40;
+  corpus::Corpus C = corpus::generateCorpus(Config);
+  corpus::InspectionOracle Oracle(C);
+  PipelineConfig PC;
+  PC.UseClassifier = false;
+  PC.Miner.MinPatternSupport = 20;
+  NamerPipeline P(PC);
+  P.build(C);
+  EvaluationConfig EC;
+  EC.NumLabeled = 40;
+  EC.NumEvaluated = 100;
+  EvaluationResult R = evaluatePipeline(P, Oracle, EC);
+  // Every sampled violation becomes a report ("w/o C" rows of Table 2).
+  EXPECT_EQ(R.numReports(), R.ViolationsEvaluated);
+}

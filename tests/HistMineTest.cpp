@@ -1,0 +1,112 @@
+//===- tests/HistMineTest.cpp - confusing word pair mining tests ----------==//
+
+#include "histmine/ConfusingPairs.h"
+
+#include "frontend/java/JavaParser.h"
+#include "frontend/python/PythonParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace namer;
+
+namespace {
+
+/// Runs the miner over one python before/after commit.
+ConfusingPairMiner minePython(AstContext &Ctx, std::string_view Before,
+                              std::string_view After) {
+  auto B = python::parsePython(Before, Ctx);
+  auto A = python::parsePython(After, Ctx);
+  EXPECT_TRUE(B.Errors.empty() && A.Errors.empty());
+  ConfusingPairMiner Miner(Ctx);
+  Miner.addCommit(B.Module, A.Module);
+  return Miner;
+}
+
+bool hasPair(const ConfusingPairMiner &Miner, AstContext &Ctx,
+             std::string_view Mistaken, std::string_view Correct) {
+  return Miner.isConfusingPair(Ctx.intern(Mistaken), Ctx.intern(Correct));
+}
+
+} // namespace
+
+TEST(ConfusingPairs, MinesTrueToEqual) {
+  AstContext Ctx;
+  auto Miner = minePython(Ctx, "self.assertTrue(vec, 4)\n",
+                          "self.assertEqual(vec, 4)\n");
+  EXPECT_EQ(Miner.numPairs(), 1u);
+  EXPECT_TRUE(hasPair(Miner, Ctx, "True", "Equal"));
+  EXPECT_FALSE(hasPair(Miner, Ctx, "Equal", "True"));
+}
+
+TEST(ConfusingPairs, MinesSnakeCaseTypo) {
+  AstContext Ctx;
+  auto Miner = minePython(Ctx, "num_or_process = 3\n",
+                          "num_of_process = 3\n");
+  EXPECT_TRUE(hasPair(Miner, Ctx, "or", "of"));
+}
+
+TEST(ConfusingPairs, IgnoresMultiSubtokenRenames) {
+  AstContext Ctx;
+  // Whole-identifier rename (no shared subtokens) is not a confusing pair.
+  auto Miner = minePython(Ctx, "totalCount = 1\n", "resultValue = 1\n");
+  EXPECT_EQ(Miner.numPairs(), 0u);
+}
+
+TEST(ConfusingPairs, IgnoresStructuralChanges) {
+  AstContext Ctx;
+  auto Miner = minePython(Ctx, "x = f(a)\n", "x = f(a, b)\n");
+  EXPECT_EQ(Miner.numPairs(), 0u);
+}
+
+TEST(ConfusingPairs, CountsAccumulateAcrossCommits) {
+  AstContext Ctx;
+  ConfusingPairMiner Miner(Ctx);
+  for (int I = 0; I < 3; ++I) {
+    auto B = python::parsePython("self.assertTrue(v, 1)\n", Ctx);
+    auto A = python::parsePython("self.assertEqual(v, 1)\n", Ctx);
+    Miner.addCommit(B.Module, A.Module);
+  }
+  auto Pairs = Miner.pairs();
+  ASSERT_EQ(Pairs.size(), 1u);
+  EXPECT_EQ(Pairs[0].Count, 3u);
+}
+
+TEST(ConfusingPairs, PairsSortedByFrequency) {
+  AstContext Ctx;
+  ConfusingPairMiner Miner(Ctx);
+  auto AddCommit = [&](std::string_view B, std::string_view A) {
+    auto RB = python::parsePython(B, Ctx);
+    auto RA = python::parsePython(A, Ctx);
+    Miner.addCommit(RB.Module, RA.Module);
+  };
+  AddCommit("a = min_value\n", "a = max_value\n");
+  AddCommit("b = min_size\n", "b = max_size\n");
+  AddCommit("self.por = 1\n", "self.port = 1\n");
+  auto Pairs = Miner.pairs();
+  ASSERT_EQ(Pairs.size(), 2u);
+  EXPECT_EQ(Ctx.text(Pairs[0].Mistaken), "min");
+  EXPECT_EQ(Ctx.text(Pairs[0].Correct), "max");
+  EXPECT_EQ(Pairs[0].Count, 2u);
+  EXPECT_EQ(Ctx.text(Pairs[1].Mistaken), "por");
+}
+
+TEST(ConfusingPairs, CorrectWordsVocabulary) {
+  AstContext Ctx;
+  auto Miner = minePython(Ctx, "self.assertTrue(v, 4)\n",
+                          "self.assertEqual(v, 4)\n");
+  auto Words = Miner.correctWords();
+  EXPECT_EQ(Words.size(), 1u);
+  EXPECT_TRUE(Words.count(Ctx.intern("Equal")));
+}
+
+TEST(ConfusingPairs, WorksForJavaCommits) {
+  AstContext Ctx;
+  auto B = java::parseJava(
+      "class C { C(String k) { this.publicKey = publickKey; } }", Ctx);
+  auto A = java::parseJava(
+      "class C { C(String k) { this.publicKey = publicKey; } }", Ctx);
+  ConfusingPairMiner Miner(Ctx);
+  Miner.addCommit(B.Module, A.Module);
+  EXPECT_TRUE(Miner.isConfusingPair(Ctx.intern("publick"),
+                                    Ctx.intern("public")));
+}

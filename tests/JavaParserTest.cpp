@@ -1,0 +1,229 @@
+//===- tests/JavaParserTest.cpp - Java frontend tests ---------------------==//
+
+#include "frontend/java/JavaLexer.h"
+#include "frontend/java/JavaParser.h"
+
+#include "ast/Statements.h"
+
+#include <gtest/gtest.h>
+
+using namespace namer;
+using namespace namer::java;
+
+namespace {
+
+std::string parseDump(std::string_view Source) {
+  AstContext Ctx;
+  ParseResult R = parseJava(Source, Ctx);
+  EXPECT_TRUE(R.Errors.empty()) << "first error: "
+                                << (R.Errors.empty() ? "" : R.Errors[0]);
+  return R.Module.dump();
+}
+
+/// Wraps a statement in "class C { void m() { ... } }" and returns the
+/// dumps of all sliced statements, one per line.
+std::string stmtDump(std::string_view Stmt) {
+  std::string Source = "class C { void m() { " + std::string(Stmt) + " } }";
+  AstContext Ctx;
+  ParseResult R = parseJava(Source, Ctx);
+  EXPECT_TRUE(R.Errors.empty()) << "first error: "
+                                << (R.Errors.empty() ? "" : R.Errors[0]);
+  std::string Out;
+  for (NodeId S : collectStatementRoots(R.Module)) {
+    // The wrapper class/method headers are statements too; skip them so
+    // tests focus on the statement under test.
+    NodeKind Kind = R.Module.node(S).Kind;
+    if (Kind == NodeKind::ClassDef || Kind == NodeKind::FunctionDef)
+      continue;
+    Tree Projected = projectStatement(R.Module, S);
+    if (!Out.empty())
+      Out += '\n';
+    Out += Projected.dump();
+  }
+  return Out;
+}
+
+} // namespace
+
+// --- Lexer ------------------------------------------------------------------
+
+TEST(JavaLexer, CommentsSkipped) {
+  auto R = lexJava("int x = 1; // line\n/* block\ncomment */ int y = 2;");
+  ASSERT_TRUE(R.Errors.empty());
+  int Names = 0;
+  for (const auto &Tok : R.Tokens)
+    Names += Tok.Kind == TokenKind::Name;
+  EXPECT_EQ(Names, 4); // int x int y
+}
+
+TEST(JavaLexer, StringAndCharLiterals) {
+  auto R = lexJava("String s = \"he\\\"llo\"; char c = '\\n';");
+  ASSERT_TRUE(R.Errors.empty());
+  bool SawString = false, SawChar = false;
+  for (const auto &Tok : R.Tokens) {
+    SawString |= Tok.Kind == TokenKind::String;
+    SawChar |= Tok.Kind == TokenKind::CharLit;
+  }
+  EXPECT_TRUE(SawString && SawChar);
+}
+
+TEST(JavaLexer, NestedGenericsLexAsSingleAngles) {
+  auto R = lexJava("Map<String, List<Integer>> m;");
+  int SingleGt = 0;
+  for (const auto &Tok : R.Tokens)
+    SingleGt += Tok.Kind == TokenKind::Operator && Tok.Text == ">";
+  EXPECT_EQ(SingleGt, 2);
+}
+
+TEST(JavaLexer, MultiCharOperators) {
+  auto R = lexJava("a++; b--; c += 1; d && e || f; g != h;");
+  bool SawInc = false, SawAndAnd = false, SawNe = false;
+  for (const auto &Tok : R.Tokens) {
+    SawInc |= Tok.Text == "++";
+    SawAndAnd |= Tok.Text == "&&";
+    SawNe |= Tok.Text == "!=";
+  }
+  EXPECT_TRUE(SawInc && SawAndAnd && SawNe);
+}
+
+// --- Parser: structure ------------------------------------------------------
+
+TEST(JavaParser, ClassWithExtends) {
+  EXPECT_EQ(parseDump("class Foo extends Bar {}"),
+            "(Module (ClassDef Foo (BasesList (TypeRef Bar)) Body))");
+}
+
+TEST(JavaParser, FieldDeclaration) {
+  EXPECT_EQ(parseDump("class C { private int count = 0; }"),
+            "(Module (ClassDef C BasesList (Body (VarDecl (TypeRef int) "
+            "(NameStore count) (Num 0)))))");
+}
+
+TEST(JavaParser, MethodWithParams) {
+  EXPECT_EQ(
+      parseDump("class C { public void set(String name, int v) {} }"),
+      "(Module (ClassDef C BasesList (Body (FunctionDef set (ParamList "
+      "(Param (TypeRef String) name) (Param (TypeRef int) v)) Body))))");
+}
+
+TEST(JavaParser, Constructor) {
+  EXPECT_EQ(parseDump("class C { C(int x) { this.x = x; } }"),
+            "(Module (ClassDef C BasesList (Body (FunctionDef C (ParamList "
+            "(Param (TypeRef int) x)) (Body (ExprStmt (Assign "
+            "(AttributeStore (NameLoad this) (Attr x)) (NameLoad x))))))))");
+}
+
+TEST(JavaParser, ImportsAndPackage) {
+  EXPECT_EQ(parseDump("package com.example;\nimport java.util.List;\n"
+                      "class C {}"),
+            "(Module (Import java.util.List) (ClassDef C BasesList Body))");
+}
+
+// --- Parser: statements (Table 6 shapes) ------------------------------------
+
+TEST(JavaParser, Table6GetStackTrace) {
+  EXPECT_EQ(stmtDump("e.getStackTrace();"),
+            "(Call (AttributeLoad (NameLoad e) (Attr getStackTrace)))");
+}
+
+TEST(JavaParser, Table6DoubleLoopIndex) {
+  EXPECT_EQ(
+      stmtDump("for (double i = 1; i < chainlength; i++) { }"),
+      "(For (VarDecl (TypeRef double) (NameStore i) (Num 1)) "
+      "(Compare (NameLoad i) < (NameLoad chainlength)) "
+      "(UnaryOp (NameLoad i) ++))");
+}
+
+TEST(JavaParser, Table6CatchThrowable) {
+  std::string Out = stmtDump("try { } catch (Throwable e) { }");
+  EXPECT_EQ(Out, "(Catch (TypeRef Throwable) e)");
+}
+
+TEST(JavaParser, Table6StartActivity) {
+  EXPECT_EQ(stmtDump("context.startActivity(i);"),
+            "(Call (AttributeLoad (NameLoad context) (Attr startActivity)) "
+            "(NameLoad i))");
+}
+
+TEST(JavaParser, LocalVarWithNew) {
+  EXPECT_EQ(stmtDump("ConektaObject resource = new ConektaObject();"),
+            "(VarDecl (TypeRef ConektaObject) (NameStore resource) "
+            "(New (TypeRef ConektaObject)))");
+}
+
+TEST(JavaParser, ForEach) {
+  EXPECT_EQ(stmtDump("for (String s : names) { }"),
+            "(For (VarDecl (TypeRef String) (NameStore s)) "
+            "(NameLoad names))");
+}
+
+TEST(JavaParser, GenericVarDecl) {
+  EXPECT_EQ(stmtDump("Map<String, Integer> m = new HashMap<>();"),
+            "(VarDecl (TypeRef Map (TypeRef String) (TypeRef Integer)) "
+            "(NameStore m) (New (TypeRef HashMap)))");
+}
+
+TEST(JavaParser, ArrayDecl) {
+  EXPECT_EQ(stmtDump("int[] xs = new int[10];"),
+            "(VarDecl (TypeRef int []) (NameStore xs) "
+            "(New (TypeRef int) (Num 10)))");
+}
+
+TEST(JavaParser, CastExpression) {
+  EXPECT_EQ(stmtDump("Object o = (String) value;"),
+            "(VarDecl (TypeRef Object) (NameStore o) "
+            "(Cast (TypeRef String) (NameLoad value)))");
+}
+
+TEST(JavaParser, TernaryExpression) {
+  EXPECT_EQ(stmtDump("int x = a ? b : c;"),
+            "(VarDecl (TypeRef int) (NameStore x) (If (NameLoad a) "
+            "(NameLoad b) (NameLoad c)))");
+}
+
+TEST(JavaParser, InstanceofCompare) {
+  EXPECT_EQ(stmtDump("boolean b = o instanceof String;"),
+            "(VarDecl (TypeRef boolean) (NameStore b) (Compare (NameLoad o) "
+            "instanceof (TypeRef String)))");
+}
+
+TEST(JavaParser, WhileAndIf) {
+  EXPECT_EQ(stmtDump("while (i < n) { i++; } if (x == y) { return; }"),
+            "(While (Compare (NameLoad i) < (NameLoad n)))\n"
+            "(UnaryOp (NameLoad i) ++)\n"
+            "(If (Compare (NameLoad x) == (NameLoad y)))\n"
+            "Return");
+}
+
+TEST(JavaParser, StringConcat) {
+  EXPECT_EQ(stmtDump("String s = \"a\" + name;"),
+            "(VarDecl (TypeRef String) (NameStore s) (BinOp (Str a) + "
+            "(NameLoad name)))");
+}
+
+TEST(JavaParser, MultiDeclarators) {
+  EXPECT_EQ(stmtDump("int a = 1, b = 2;"),
+            "(VarDecl (TypeRef int) (NameStore a) (Num 1))\n"
+            "(VarDecl (TypeRef int) (NameStore b) (Num 2))");
+}
+
+TEST(JavaParser, ErrorRecoveryContinues) {
+  AstContext Ctx;
+  ParseResult R =
+      parseJava("class C { void m() { int x = ; int y = 2; } }", Ctx);
+  EXPECT_FALSE(R.Errors.empty());
+  EXPECT_NE(R.Module.dump().find("(NameStore y) (Num 2)"),
+            std::string::npos);
+}
+
+TEST(JavaParser, AnnotationsAndModifiersSkipped) {
+  EXPECT_EQ(parseDump("class C { @Override public final void m() {} }"),
+            "(Module (ClassDef C BasesList (Body (FunctionDef m ParamList "
+            "Body))))");
+}
+
+TEST(JavaParser, EnumCoarse) {
+  std::string Dump = parseDump("enum E { A, B, C; }");
+  EXPECT_NE(Dump.find("ClassDef E"), std::string::npos);
+  EXPECT_NE(Dump.find("A"), std::string::npos);
+}

@@ -1,0 +1,264 @@
+//===- tests/MlTest.cpp - ML layer tests ----------------------------------==//
+
+#include "ml/Evaluation.h"
+#include "ml/Preprocess.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace namer;
+using namespace namer::ml;
+
+namespace {
+
+/// Two well-separated Gaussian blobs in D dimensions.
+struct BlobData {
+  Matrix X;
+  std::vector<bool> Y;
+};
+
+BlobData makeBlobs(size_t PerClass, size_t D, double Separation,
+                   uint64_t Seed) {
+  Rng R(Seed);
+  BlobData Data;
+  Data.X = Matrix(PerClass * 2, D);
+  for (size_t I = 0; I != PerClass * 2; ++I) {
+    bool Label = I >= PerClass;
+    double Center = Label ? Separation : -Separation;
+    for (size_t J = 0; J != D; ++J)
+      Data.X.at(I, J) = Center + R.normal();
+    Data.Y.push_back(Label);
+  }
+  return Data;
+}
+
+} // namespace
+
+// --- Matrix ------------------------------------------------------------------
+
+TEST(MlMatrix, MultiplyAndTranspose) {
+  Matrix A(2, 3);
+  A.at(0, 0) = 1;
+  A.at(0, 1) = 2;
+  A.at(0, 2) = 3;
+  A.at(1, 0) = 4;
+  A.at(1, 1) = 5;
+  A.at(1, 2) = 6;
+  Matrix B = A.transposed();
+  EXPECT_EQ(B.rows(), 3u);
+  EXPECT_EQ(B.at(2, 1), 6.0);
+  Matrix C = A.multiply(B); // 2x2
+  EXPECT_DOUBLE_EQ(C.at(0, 0), 14.0);
+  EXPECT_DOUBLE_EQ(C.at(0, 1), 32.0);
+  EXPECT_DOUBLE_EQ(C.at(1, 1), 77.0);
+}
+
+// --- Standardizer -------------------------------------------------------------
+
+TEST(Standardizer, ZeroMeanUnitVariance) {
+  Matrix X(4, 2);
+  double Vals[4][2] = {{1, 10}, {2, 20}, {3, 30}, {4, 40}};
+  for (size_t I = 0; I != 4; ++I)
+    for (size_t J = 0; J != 2; ++J)
+      X.at(I, J) = Vals[I][J];
+  Standardizer S;
+  S.fit(X);
+  Matrix T = S.transform(X);
+  for (size_t J = 0; J != 2; ++J) {
+    double Mean = 0, Var = 0;
+    for (size_t I = 0; I != 4; ++I)
+      Mean += T.at(I, J);
+    Mean /= 4;
+    for (size_t I = 0; I != 4; ++I)
+      Var += (T.at(I, J) - Mean) * (T.at(I, J) - Mean);
+    Var /= 4;
+    EXPECT_NEAR(Mean, 0.0, 1e-9);
+    EXPECT_NEAR(Var, 1.0, 1e-9);
+  }
+}
+
+TEST(Standardizer, ConstantColumnIsSafe) {
+  Matrix X(3, 1, 5.0);
+  Standardizer S;
+  S.fit(X);
+  Matrix T = S.transform(X);
+  for (size_t I = 0; I != 3; ++I)
+    EXPECT_DOUBLE_EQ(T.at(I, 0), 0.0);
+}
+
+// --- PCA ---------------------------------------------------------------------
+
+TEST(Pca, JacobiEigenDiagonal) {
+  Matrix A(3, 3);
+  A.at(0, 0) = 3;
+  A.at(1, 1) = 1;
+  A.at(2, 2) = 2;
+  Matrix V;
+  auto Evals = jacobiEigen(A, V);
+  ASSERT_EQ(Evals.size(), 3u);
+  EXPECT_NEAR(Evals[0], 3.0, 1e-9);
+  EXPECT_NEAR(Evals[1], 2.0, 1e-9);
+  EXPECT_NEAR(Evals[2], 1.0, 1e-9);
+}
+
+TEST(Pca, JacobiEigenSymmetric2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix A(2, 2);
+  A.at(0, 0) = 2;
+  A.at(0, 1) = 1;
+  A.at(1, 0) = 1;
+  A.at(1, 1) = 2;
+  Matrix V;
+  auto Evals = jacobiEigen(A, V);
+  EXPECT_NEAR(Evals[0], 3.0, 1e-9);
+  EXPECT_NEAR(Evals[1], 1.0, 1e-9);
+  // Leading eigenvector is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::fabs(V.at(0, 0)), std::sqrt(0.5), 1e-6);
+  EXPECT_NEAR(std::fabs(V.at(0, 1)), std::sqrt(0.5), 1e-6);
+}
+
+TEST(Pca, CapturesDominantDirection) {
+  // Points along y = 2x with small noise: the first component dominates.
+  Rng R(3);
+  Matrix X(100, 2);
+  for (size_t I = 0; I != 100; ++I) {
+    double T = R.normal();
+    X.at(I, 0) = T;
+    X.at(I, 1) = 2 * T + 0.01 * R.normal();
+  }
+  Standardizer S;
+  S.fit(X);
+  Matrix Xs = S.transform(X);
+  Pca P;
+  P.fit(Xs);
+  ASSERT_EQ(P.eigenvalues().size(), 2u);
+  EXPECT_GT(P.eigenvalues()[0], 100 * P.eigenvalues()[1]);
+}
+
+TEST(Pca, BackProjectionRoundTrip) {
+  Rng R(7);
+  Matrix X(50, 3);
+  for (size_t I = 0; I != 50; ++I)
+    for (size_t J = 0; J != 3; ++J)
+      X.at(I, J) = R.normal();
+  Standardizer S;
+  S.fit(X);
+  Matrix Xs = S.transform(X);
+  Pca P;
+  P.fit(Xs); // keep all components
+  // decision-equivalence: w_comp . z == backProject(w_comp) . x.
+  std::vector<double> Wc = {0.3, -1.2, 0.5};
+  std::vector<double> Wo = P.backProject(Wc);
+  auto Row = Xs.rowVector(10);
+  auto Z = P.transform(Row);
+  EXPECT_NEAR(dot(Wc, Z), dot(Wo, Row), 1e-9);
+}
+
+// --- Models (parameterized over all three families) ---------------------------
+
+class ModelFamilyTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(ModelFamilyTest, SeparatesBlobs) {
+  auto Data = makeBlobs(60, 4, 2.0, 11);
+  auto Model = makeClassifier(GetParam());
+  ASSERT_NE(Model, nullptr);
+  Model->fit(Data.X, Data.Y);
+  size_t Correct = 0;
+  for (size_t I = 0; I != Data.X.rows(); ++I)
+    Correct += Model->predict(Data.X.rowVector(I)) == Data.Y[I];
+  EXPECT_GT(Correct, Data.X.rows() * 95 / 100)
+      << GetParam() << " got " << Correct << "/" << Data.X.rows();
+}
+
+TEST_P(ModelFamilyTest, WeightsPointTowardPositiveClass) {
+  auto Data = makeBlobs(60, 3, 2.0, 13);
+  auto Model = makeClassifier(GetParam());
+  Model->fit(Data.X, Data.Y);
+  // Positive class sits at +2 in every dimension: weights must be positive.
+  for (double W : Model->weights())
+    EXPECT_GT(W, 0.0);
+}
+
+TEST_P(ModelFamilyTest, DegenerateSingleClassDoesNotCrash) {
+  Matrix X(5, 2, 1.0);
+  std::vector<bool> Y(5, true);
+  auto Model = makeClassifier(GetParam());
+  Model->fit(X, Y);
+  (void)Model->decision({1.0, 1.0});
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, ModelFamilyTest,
+                         ::testing::Values("svm-linear", "logreg", "lda"));
+
+TEST(Models, UnknownFamilyReturnsNull) {
+  EXPECT_EQ(makeClassifier("deep-transformer"), nullptr);
+}
+
+// --- Metrics and cross-validation ---------------------------------------------
+
+TEST(Metrics, PerfectPrediction) {
+  std::vector<bool> Y = {true, false, true, false};
+  Metrics M = computeMetrics(Y, Y);
+  EXPECT_DOUBLE_EQ(M.Accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(M.Precision, 1.0);
+  EXPECT_DOUBLE_EQ(M.Recall, 1.0);
+  EXPECT_DOUBLE_EQ(M.F1, 1.0);
+}
+
+TEST(Metrics, KnownConfusionMatrix) {
+  // TP=2 FP=1 FN=1 TN=1.
+  std::vector<bool> Pred = {true, true, true, false, false};
+  std::vector<bool> Act = {true, true, false, true, false};
+  Metrics M = computeMetrics(Pred, Act);
+  EXPECT_NEAR(M.Accuracy, 0.6, 1e-9);
+  EXPECT_NEAR(M.Precision, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(M.Recall, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(M.F1, 2.0 / 3.0, 1e-9);
+}
+
+TEST(Metrics, NoPositivePredictionsGivesZeroPrecision) {
+  std::vector<bool> Pred = {false, false};
+  std::vector<bool> Act = {true, false};
+  Metrics M = computeMetrics(Pred, Act);
+  EXPECT_DOUBLE_EQ(M.Precision, 0.0);
+  EXPECT_DOUBLE_EQ(M.Recall, 0.0);
+}
+
+TEST(CrossValidation, HighOnSeparableData) {
+  auto Data = makeBlobs(50, 4, 2.0, 17);
+  CrossValidationConfig Config;
+  Config.Repeats = 10;
+  Metrics M = crossValidate(
+      Data.X, Data.Y, [] { return makeClassifier("svm-linear"); }, Config);
+  EXPECT_GT(M.Accuracy, 0.9);
+  EXPECT_GT(M.F1, 0.9);
+}
+
+TEST(CrossValidation, ModelSelectionReturnsAFamily) {
+  auto Data = makeBlobs(40, 3, 1.5, 19);
+  CrossValidationConfig Config;
+  Config.Repeats = 5;
+  std::vector<std::pair<std::string, Metrics>> All;
+  std::string Best = selectModel(Data.X, Data.Y,
+                                 {"svm-linear", "logreg", "lda"}, Config,
+                                 &All);
+  EXPECT_FALSE(Best.empty());
+  EXPECT_EQ(All.size(), 3u);
+  for (const auto &[Name, M] : All)
+    EXPECT_GT(M.Accuracy, 0.8) << Name;
+}
+
+TEST(CrossValidation, DeterministicGivenSeed) {
+  auto Data = makeBlobs(30, 3, 1.0, 23);
+  CrossValidationConfig Config;
+  Config.Repeats = 5;
+  Metrics A = crossValidate(
+      Data.X, Data.Y, [] { return makeClassifier("logreg"); }, Config);
+  Metrics B = crossValidate(
+      Data.X, Data.Y, [] { return makeClassifier("logreg"); }, Config);
+  EXPECT_DOUBLE_EQ(A.Accuracy, B.Accuracy);
+  EXPECT_DOUBLE_EQ(A.F1, B.F1);
+}

@@ -1,0 +1,231 @@
+//===- tests/NamePathTest.cpp - transform + name path tests ---------------==//
+//
+// Validates the Section 3.1 pipeline against the exact shapes of Figure 2:
+// parsed AST -> AST+ -> name paths, including relational operators.
+//
+//===----------------------------------------------------------------------===//
+
+#include "namepath/NamePath.h"
+
+#include "ast/Statements.h"
+#include "frontend/python/PythonParser.h"
+#include "transform/AstPlus.h"
+
+#include <gtest/gtest.h>
+
+using namespace namer;
+
+namespace {
+
+/// Finds the Ident node with the given text in \p T (pre-transform).
+NodeId findIdent(const Tree &T, std::string_view Text) {
+  for (NodeId N = 0; N != T.size(); ++N)
+    if (T.node(N).Kind == NodeKind::Ident && T.valueText(N) == Text)
+      return N;
+  return InvalidNode;
+}
+
+struct Figure2Fixture {
+  AstContext Ctx;
+  Tree Module;
+  Tree Stmt;
+
+  Figure2Fixture() : Module(Ctx), Stmt(Ctx) {
+    auto R = python::parsePython(
+        "self.assertTrue(picture.rotate_angle, 90)\n", Ctx);
+    EXPECT_TRUE(R.Errors.empty());
+    Module = std::move(R.Module);
+    // The analyses identified self's origin (and hence the callee's) as
+    // TestCase; decorate as Section 4.1 would.
+    OriginMap Origins;
+    Symbol TestCase = Ctx.intern("TestCase");
+    Origins[findIdent(Module, "self")] = TestCase;
+    Origins[findIdent(Module, "assertTrue")] = TestCase;
+    transformToAstPlus(Module, Origins);
+    auto Roots = collectStatementRoots(Module);
+    EXPECT_EQ(Roots.size(), 1u);
+    Stmt = projectStatement(Module, Roots[0]);
+  }
+};
+
+} // namespace
+
+TEST(Transform, Figure2TreeShape) {
+  Figure2Fixture F;
+  EXPECT_EQ(F.Stmt.dump(),
+            "(NumArgs(2) (Call (AttributeLoad (NameLoad (NumST(1) "
+            "(TestCase self))) (Attr (NumST(2) (TestCase assert) "
+            "(TestCase True)))) (AttributeLoad (NameLoad (NumST(1) "
+            "picture)) (Attr (NumST(2) rotate angle))) "
+            "(Num (NumST(1) NUM))))");
+}
+
+TEST(Transform, Figure2NamePaths) {
+  Figure2Fixture F;
+  auto Paths = extractNamePaths(F.Stmt);
+  ASSERT_EQ(Paths.size(), 7u);
+  EXPECT_EQ(formatNamePath(Paths[0], F.Ctx),
+            "NumArgs(2) 0 Call 0 AttributeLoad 0 NameLoad 0 NumST(1) 0 "
+            "TestCase 0 self");
+  EXPECT_EQ(formatNamePath(Paths[1], F.Ctx),
+            "NumArgs(2) 0 Call 0 AttributeLoad 1 Attr 0 NumST(2) 0 "
+            "TestCase 0 assert");
+  EXPECT_EQ(formatNamePath(Paths[2], F.Ctx),
+            "NumArgs(2) 0 Call 0 AttributeLoad 1 Attr 0 NumST(2) 1 "
+            "TestCase 0 True");
+  EXPECT_EQ(formatNamePath(Paths.back(), F.Ctx),
+            "NumArgs(2) 0 Call 2 Num 0 NumST(1) 0 NUM");
+}
+
+TEST(Transform, WithoutOriginsNoOriginNodes) {
+  AstContext Ctx;
+  auto R = python::parsePython("self.assertTrue(v, 90)\n", Ctx);
+  transformToAstPlus(R.Module, OriginMap{});
+  EXPECT_EQ(R.Module.dump().find("Origin"), std::string::npos);
+  // Subtoken splitting still happened.
+  EXPECT_NE(R.Module.dump().find("NumST(2)"), std::string::npos);
+}
+
+TEST(Transform, LiteralAbstraction) {
+  AstContext Ctx;
+  auto R = python::parsePython("x = 'hello'\ny = True\nz = 3.5\n", Ctx);
+  transformToAstPlus(R.Module, OriginMap{});
+  std::string Dump = R.Module.dump();
+  EXPECT_NE(Dump.find("STR"), std::string::npos);
+  EXPECT_NE(Dump.find("BOOL"), std::string::npos);
+  EXPECT_NE(Dump.find("NUM"), std::string::npos);
+  EXPECT_EQ(Dump.find("hello"), std::string::npos);
+  EXPECT_EQ(Dump.find("3.5"), std::string::npos);
+}
+
+TEST(Transform, NumArgsOnFunctionDef) {
+  AstContext Ctx;
+  auto R = python::parsePython("def f(a, b, c):\n    pass\n", Ctx);
+  transformToAstPlus(R.Module, OriginMap{});
+  EXPECT_NE(R.Module.dump().find("NumArgs(3) (FunctionDef"),
+            std::string::npos);
+}
+
+TEST(Transform, KeywordAndStarArgsCountedInCalls) {
+  AstContext Ctx;
+  auto R = python::parsePython("f(a, key=1)\n", Ctx);
+  transformToAstPlus(R.Module, OriginMap{});
+  EXPECT_NE(R.Module.dump().find("NumArgs(2) (Call"), std::string::npos);
+}
+
+// --- Relational operators (Example 3.5) -------------------------------------
+
+TEST(NamePath, RelationalOperators) {
+  AstContext Ctx;
+  Symbol True = Ctx.intern("True");
+  Symbol Equal = Ctx.intern("Equal");
+  std::vector<PathStep> S = {{Ctx.intern("NumArgs(2)"), 0},
+                             {Ctx.kindSymbol(NodeKind::Call), 0}};
+  NamePath Np1{S, True};
+  NamePath Np2{S, Equal};
+  NamePath Np3{S, EpsilonSymbol};
+
+  EXPECT_TRUE(samePrefix(Np1, Np2));
+  EXPECT_FALSE(pathEquals(Np1, Np2));
+  EXPECT_TRUE(samePrefix(Np1, Np3));
+  EXPECT_TRUE(pathEquals(Np1, Np3));
+  EXPECT_TRUE(pathEquals(Np3, Np1)); // symmetric through epsilon
+  EXPECT_TRUE(pathEquals(Np1, Np1));
+}
+
+TEST(NamePath, DifferentPrefixNeverEqual) {
+  AstContext Ctx;
+  NamePath A{{{Ctx.intern("Call"), 0}}, Ctx.intern("x")};
+  NamePath B{{{Ctx.intern("Call"), 1}}, Ctx.intern("x")};
+  EXPECT_FALSE(samePrefix(A, B));
+  EXPECT_FALSE(pathEquals(A, B));
+}
+
+// --- Extraction properties ---------------------------------------------------
+
+TEST(NamePath, PrefixesAreUniquePerStatement) {
+  Figure2Fixture F;
+  NamePathTable Table;
+  StmtPaths Paths = StmtPaths::fromTree(F.Stmt, Table);
+  EXPECT_EQ(Paths.Paths.size(), Paths.EndByPrefix.size());
+}
+
+TEST(NamePath, MaxPathsTruncates) {
+  Figure2Fixture F;
+  auto All = extractNamePaths(F.Stmt, 0);
+  auto Limited = extractNamePaths(F.Stmt, 3);
+  EXPECT_EQ(Limited.size(), 3u);
+  EXPECT_EQ(Limited[0], All[0]);
+  EXPECT_EQ(Limited[2], All[2]);
+}
+
+TEST(NamePath, AllExtractedPathsAreConcrete) {
+  Figure2Fixture F;
+  for (const NamePath &P : extractNamePaths(F.Stmt))
+    EXPECT_FALSE(P.isSymbolic());
+}
+
+// --- NamePathTable -----------------------------------------------------------
+
+TEST(NamePathTable, InternIsIdempotent) {
+  AstContext Ctx;
+  NamePathTable Table;
+  NamePath P{{{Ctx.intern("Call"), 0}}, Ctx.intern("self")};
+  PathId A = Table.intern(P);
+  PathId B = Table.intern(P);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(Table.size(), 1u);
+}
+
+TEST(NamePathTable, SamePrefixSharesPrefixId) {
+  AstContext Ctx;
+  NamePathTable Table;
+  std::vector<PathStep> S = {{Ctx.intern("Call"), 0}};
+  PathId A = Table.intern(NamePath{S, Ctx.intern("True")});
+  PathId B = Table.intern(NamePath{S, Ctx.intern("Equal")});
+  EXPECT_NE(A, B);
+  EXPECT_EQ(Table.prefixOf(A), Table.prefixOf(B));
+}
+
+TEST(NamePathTable, SymbolicVersionSharesPrefix) {
+  AstContext Ctx;
+  NamePathTable Table;
+  std::vector<PathStep> S = {{Ctx.intern("Call"), 0}};
+  PathId Concrete = Table.intern(NamePath{S, Ctx.intern("x")});
+  PathId Symbolic = Table.symbolicVersion(Concrete);
+  EXPECT_NE(Concrete, Symbolic);
+  EXPECT_TRUE(Table.isSymbolic(Symbolic));
+  EXPECT_EQ(Table.prefixOf(Concrete), Table.prefixOf(Symbolic));
+}
+
+TEST(NamePathTable, LessIsStrictWeakOrder) {
+  AstContext Ctx;
+  NamePathTable Table;
+  std::vector<PathId> Ids;
+  for (int I = 0; I < 5; ++I)
+    Ids.push_back(Table.intern(
+        NamePath{{{Ctx.intern("Call"), static_cast<uint32_t>(I % 3)}},
+                 Ctx.intern("end" + std::to_string(I))}));
+  for (PathId A : Ids) {
+    EXPECT_FALSE(Table.less(A, A));
+    for (PathId B : Ids) {
+      if (Table.less(A, B))
+        EXPECT_FALSE(Table.less(B, A));
+    }
+  }
+}
+
+TEST(StmtPaths, ContainsPathChecksEnd) {
+  Figure2Fixture F;
+  NamePathTable Table;
+  StmtPaths Paths = StmtPaths::fromTree(F.Stmt, Table);
+  PathId TruePath = Paths.Paths[2]; // ... TestCase 0 True
+  EXPECT_TRUE(Paths.containsPath(TruePath, Table));
+  // Same prefix with a different end is absent.
+  NamePath Equal = Table.path(TruePath);
+  Equal.End = F.Ctx.intern("Equal");
+  PathId EqualPath = Table.intern(Equal);
+  EXPECT_FALSE(Paths.containsPath(EqualPath, Table));
+  // Prefix-level membership still holds.
+  EXPECT_TRUE(Paths.containsPrefix(Table.prefixOf(EqualPath)));
+}

@@ -1,0 +1,290 @@
+//===- tests/NeuralTest.cpp - autograd / graph / model tests --------------==//
+
+#include "neural/Detector.h"
+#include "neural/Ggnn.h"
+#include "neural/Great.h"
+#include "neural/VarMisuse.h"
+
+#include "frontend/python/PythonParser.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace namer;
+using namespace namer::neural;
+
+// --- Autograd ops: numerical gradient checks ----------------------------------
+
+namespace {
+
+/// Central-difference gradient check of a scalar loss w.r.t. one entry.
+double numericalGradient(const std::function<float()> &Loss, Tensor &Param,
+                         size_t Index) {
+  const float Eps = 1e-3f;
+  float Saved = Param.data().Value[Index];
+  Param.data().Value[Index] = Saved + Eps;
+  float Plus = Loss();
+  Param.data().Value[Index] = Saved - Eps;
+  float Minus = Loss();
+  Param.data().Value[Index] = Saved;
+  return (Plus - Minus) / (2.0 * Eps);
+}
+
+} // namespace
+
+TEST(Autograd, MatmulGradient) {
+  Rng G(1);
+  Tensor A(2, 3, true), B(3, 2, true);
+  A.initUniform(G, 1.0f);
+  B.initUniform(G, 1.0f);
+  auto Loss = [&] {
+    Tape T;
+    Tensor C = matmul(T, A, B);
+    float Sum = 0;
+    for (size_t I = 0; I != C.data().size(); ++I)
+      Sum += C.data().Value[I] * C.data().Value[I];
+    return Sum;
+  };
+  // Analytic gradient: run forward, seed dC = 2C, run backward.
+  Tape T;
+  Tensor C = matmul(T, A, B);
+  for (size_t I = 0; I != C.data().size(); ++I)
+    C.data().Grad[I] = 2.0f * C.data().Value[I];
+  T.backward();
+  for (size_t I = 0; I != A.data().size(); ++I)
+    EXPECT_NEAR(A.data().Grad[I], numericalGradient(Loss, A, I), 1e-2)
+        << "dA[" << I << "]";
+  for (size_t I = 0; I != B.data().size(); ++I)
+    EXPECT_NEAR(B.data().Grad[I], numericalGradient(Loss, B, I), 1e-2)
+        << "dB[" << I << "]";
+}
+
+TEST(Autograd, SoftmaxCrossEntropyGradient) {
+  Rng G(2);
+  Tensor Logits(1, 4, true);
+  Logits.initUniform(G, 1.0f);
+  std::vector<uint32_t> Target = {2};
+  auto Loss = [&] {
+    Tape T;
+    // Copy values into a fresh tensor so the tape sees current values.
+    Tensor L(1, 4, true);
+    L.data().Value = Logits.data().Value;
+    return softmaxCrossEntropy(T, L, Target);
+  };
+  Tape T;
+  float Initial = softmaxCrossEntropy(T, Logits, Target);
+  EXPECT_GT(Initial, 0.0f);
+  T.backward();
+  for (size_t I = 0; I != 4; ++I)
+    EXPECT_NEAR(Logits.data().Grad[I], numericalGradient(Loss, Logits, I),
+                1e-2);
+}
+
+TEST(Autograd, GruStyleCompositionGradient) {
+  // sigmoid/tanh/mul/oneMinus composition as used by the GGNN update.
+  Rng G(3);
+  Tensor M(1, 4, true), H(1, 4, true);
+  M.initUniform(G, 1.0f);
+  H.initUniform(G, 1.0f);
+  auto Forward = [&](Tape &T) {
+    Tensor Z = sigmoid(T, M);
+    Tensor HC = tanhOp(T, H);
+    Tensor Out = add(T, mul(T, oneMinus(T, Z), H), mul(T, Z, HC));
+    float Sum = 0;
+    for (size_t I = 0; I != Out.data().size(); ++I)
+      Sum += Out.data().Value[I];
+    // Seed unit gradients.
+    for (size_t I = 0; I != Out.data().size(); ++I)
+      Out.data().Grad[I] = 1.0f;
+    return Sum;
+  };
+  auto Loss = [&] {
+    Tape T;
+    Tensor Z = sigmoid(T, M);
+    Tensor HC = tanhOp(T, H);
+    Tensor Out = add(T, mul(T, oneMinus(T, Z), H), mul(T, Z, HC));
+    float Sum = 0;
+    for (size_t I = 0; I != Out.data().size(); ++I)
+      Sum += Out.data().Value[I];
+    return Sum;
+  };
+  Tape T;
+  Forward(T);
+  T.backward();
+  for (size_t I = 0; I != 4; ++I) {
+    EXPECT_NEAR(M.data().Grad[I], numericalGradient(Loss, M, I), 1e-2);
+    EXPECT_NEAR(H.data().Grad[I], numericalGradient(Loss, H, I), 1e-2);
+  }
+}
+
+TEST(Autograd, AggregateMovesMessagesAlongEdges) {
+  Tape T;
+  Tensor In(3, 2);
+  for (size_t I = 0; I != 3; ++I)
+    for (size_t J = 0; J != 2; ++J)
+      In.at(I, J) = static_cast<float>(I + 1);
+  std::vector<Edge> Edges = {{0, 2}, {1, 2}};
+  Tensor Out = aggregate(T, In, Edges, 3);
+  EXPECT_FLOAT_EQ(Out.at(2, 0), 3.0f); // 1 + 2
+  EXPECT_FLOAT_EQ(Out.at(0, 0), 0.0f);
+  // Gradient scatters back along edges.
+  Out.data().gradAt(2, 0) = 1.0f;
+  T.backward();
+  EXPECT_FLOAT_EQ(In.data().gradAt(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(In.data().gradAt(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(In.data().gradAt(2, 0), 0.0f);
+}
+
+TEST(Autograd, AdamReducesQuadraticLoss) {
+  Tensor W(1, 3, true);
+  W.at(0, 0) = 5.0f;
+  W.at(0, 1) = -3.0f;
+  W.at(0, 2) = 2.0f;
+  Adam Opt({W}, Adam::Config{0.1f, 0.9f, 0.999f, 1e-8f});
+  for (int Step = 0; Step != 200; ++Step) {
+    for (size_t I = 0; I != 3; ++I)
+      W.data().Grad[I] = 2.0f * W.data().Value[I]; // d/dw of w^2
+    Opt.step();
+  }
+  for (size_t I = 0; I != 3; ++I)
+    EXPECT_NEAR(W.data().Value[I], 0.0f, 1e-2);
+}
+
+// --- Program graphs ------------------------------------------------------------
+
+namespace {
+
+struct GraphFixture {
+  AstContext Ctx;
+  Tree Module;
+  NodeId Fn = InvalidNode;
+
+  GraphFixture() : Module(Ctx) {
+    auto R = python::parsePython("def f(alpha, beta):\n"
+                                 "    gamma = alpha + beta\n"
+                                 "    return gamma + alpha\n",
+                                 Ctx);
+    EXPECT_TRUE(R.Errors.empty());
+    Module = std::move(R.Module);
+    for (NodeId N = 0; N != Module.size(); ++N)
+      if (Module.node(N).Kind == NodeKind::FunctionDef)
+        Fn = N;
+  }
+};
+
+} // namespace
+
+TEST(ProgramGraph, CollectsUseSites) {
+  GraphFixture F;
+  auto Uses = collectUseSites(F.Module, F.Fn);
+  // alpha, beta (line 2), gamma, alpha (line 3).
+  EXPECT_EQ(Uses.size(), 4u);
+}
+
+TEST(ProgramGraph, BuildsSampleWithMaskedHole) {
+  GraphFixture F;
+  auto Uses = collectUseSites(F.Module, F.Fn);
+  GraphSample S;
+  ASSERT_TRUE(buildGraphSample(F.Module, F.Fn, Uses[0], "alpha", 64, S));
+  EXPECT_EQ(S.NodeLabels[S.HoleNode], 0u) << "hole must be masked";
+  ASSERT_EQ(S.CandidateNames.size(), 3u); // alpha, beta, gamma
+  EXPECT_EQ(S.CandidateNames[S.CorrectCandidate], "alpha");
+  EXPECT_FALSE(S.Edges[static_cast<size_t>(EdgeType::Child)].empty());
+  EXPECT_FALSE(S.Edges[static_cast<size_t>(EdgeType::NextToken)].empty());
+  EXPECT_FALSE(S.Edges[static_cast<size_t>(EdgeType::LastUse)].empty());
+}
+
+TEST(ProgramGraph, VocabBucketNeverZero) {
+  for (const char *Token : {"x", "assertTrue", "", "0", "zzz"})
+    EXPECT_GT(vocabBucket(Token, 64), 0u);
+}
+
+TEST(VarMisuse, SyntheticDatasetShape) {
+  corpus::CorpusConfig CC;
+  CC.NumRepos = 15;
+  corpus::Corpus C = corpus::generateCorpus(CC);
+  VarMisuseConfig VC;
+  auto Samples = buildSyntheticDataset(C, VC, 150);
+  ASSERT_GT(Samples.size(), 50u);
+  size_t Buggy = 0;
+  for (const GraphSample &S : Samples) {
+    Buggy += S.IsBuggy;
+    EXPECT_LT(S.CorrectCandidate, S.CandidateNames.size());
+    EXPECT_LT(S.HoleNode, S.numNodes());
+  }
+  // Roughly balanced.
+  EXPECT_GT(Buggy, Samples.size() / 4);
+  EXPECT_LT(Buggy, Samples.size() * 3 / 4);
+}
+
+TEST(VarMisuse, BuggySamplesHaveWrongNameAtHole) {
+  corpus::CorpusConfig CC;
+  CC.NumRepos = 10;
+  corpus::Corpus C = corpus::generateCorpus(CC);
+  VarMisuseConfig VC;
+  for (const GraphSample &S : buildSyntheticDataset(C, VC, 80))
+    if (S.IsBuggy)
+      EXPECT_NE(S.CurrentName, S.CandidateNames[S.CorrectCandidate]);
+}
+
+// --- Models: learnability smoke test -------------------------------------------
+
+TEST(Models, GgnnLearnsAboveChance) {
+  corpus::CorpusConfig CC;
+  CC.NumRepos = 25;
+  corpus::Corpus C = corpus::generateCorpus(CC);
+  VarMisuseConfig VC;
+  auto Train = buildSyntheticDataset(C, VC, 250);
+  ASSERT_GT(Train.size(), 100u);
+  GgnnModel::Config GC;
+  GC.Epochs = 2;
+  GgnnModel Model(GC);
+  Model.train(Train);
+  // Chance level is well below 50% (several candidates per sample).
+  EXPECT_GT(Model.repairAccuracy(Train), 0.6);
+}
+
+TEST(Detector, ReportsOnlyDisagreements) {
+  GraphSample S;
+  S.CandidateNames = {"alpha", "beta"};
+  S.CandidateNodes = {0, 1};
+  S.CurrentName = "alpha";
+  S.File = "f.py";
+  S.Line = 3;
+  std::vector<GraphSample> Sites = {S};
+  // Model prefers the current name: no report.
+  auto Agree = detectRealIssues(
+      Sites, [](const GraphSample &) { return std::vector<float>{0.9f, 0.1f}; },
+      10);
+  EXPECT_TRUE(Agree.empty());
+  // Model prefers the other name: one report with margin confidence.
+  auto Disagree = detectRealIssues(
+      Sites, [](const GraphSample &) { return std::vector<float>{0.2f, 0.8f}; },
+      10);
+  ASSERT_EQ(Disagree.size(), 1u);
+  EXPECT_EQ(Disagree[0].Original, "alpha");
+  EXPECT_EQ(Disagree[0].Suggested, "beta");
+  EXPECT_NEAR(Disagree[0].Confidence, 0.6f, 1e-5);
+}
+
+TEST(Detector, RanksByConfidenceAndCaps) {
+  GraphSample S;
+  S.CandidateNames = {"a", "b"};
+  S.CandidateNodes = {0, 1};
+  S.CurrentName = "a";
+  std::vector<GraphSample> Sites(5, S);
+  for (size_t I = 0; I != 5; ++I)
+    Sites[I].Line = static_cast<uint32_t>(I);
+  size_t Call = 0;
+  auto Reports = detectRealIssues(
+      Sites,
+      [&Call](const GraphSample &) {
+        float P = 0.55f + 0.08f * static_cast<float>(Call++);
+        return std::vector<float>{1.0f - P, P};
+      },
+      3);
+  ASSERT_EQ(Reports.size(), 3u);
+  EXPECT_GE(Reports[0].Confidence, Reports[1].Confidence);
+  EXPECT_GE(Reports[1].Confidence, Reports[2].Confidence);
+}

@@ -1,0 +1,389 @@
+//===- tests/PatternTest.cpp - name pattern / FP-tree / miner tests -------==//
+
+#include "pattern/Miner.h"
+#include "pattern/PatternIndex.h"
+
+#include "ast/Statements.h"
+#include "frontend/python/PythonParser.h"
+#include "transform/AstPlus.h"
+
+#include <gtest/gtest.h>
+
+using namespace namer;
+
+namespace {
+
+/// Test harness: parses Python statements, applies the AST+ transform with
+/// optional origins, and exposes interned statement paths.
+struct PipelineFixture {
+  AstContext Ctx;
+  NamePathTable Table;
+
+  /// Parses \p Source and returns the StmtPaths of every statement.
+  std::vector<StmtPaths> statements(std::string_view Source,
+                                    bool SelfIsTestCase = false) {
+    auto R = python::parsePython(Source, Ctx);
+    EXPECT_TRUE(R.Errors.empty())
+        << (R.Errors.empty() ? "" : R.Errors[0]);
+    OriginMap Origins;
+    if (SelfIsTestCase) {
+      Symbol TestCase = Ctx.intern("TestCase");
+      for (NodeId N = 0; N != R.Module.size(); ++N) {
+        if (R.Module.node(N).Kind != NodeKind::Ident)
+          continue;
+        std::string_view Text = R.Module.valueText(N);
+        if (Text == "self" || Text.substr(0, 6) == "assert")
+          Origins[N] = TestCase;
+      }
+    }
+    transformToAstPlus(R.Module, Origins);
+    std::vector<StmtPaths> Out;
+    for (NodeId Root : collectStatementRoots(R.Module)) {
+      NodeKind Kind = R.Module.node(Root).Kind;
+      if (Kind == NodeKind::ClassDef || Kind == NodeKind::FunctionDef)
+        continue;
+      Tree Stmt = projectStatement(R.Module, Root);
+      Out.push_back(StmtPaths::fromTree(Stmt, Table));
+    }
+    return Out;
+  }
+
+  StmtPaths statement(std::string_view Source, bool SelfIsTestCase = false) {
+    auto All = statements(Source, SelfIsTestCase);
+    EXPECT_EQ(All.size(), 1u);
+    return All.front();
+  }
+};
+
+} // namespace
+
+// --- FPTree ------------------------------------------------------------------
+
+TEST(FPTree, CountsAndSharing) {
+  FPTree Tree;
+  // Mirrors Figure 3(a): NP1->NP2 x33, NP1->NP3->NP5 x15, NP1->NP3->NP4
+  // (isLast) with NP6 below x13 + 1 extra NP4-terminated insert.
+  std::vector<PathId> NP1NP2 = {1, 2};
+  std::vector<PathId> NP1NP3NP5 = {1, 3, 5};
+  std::vector<PathId> NP1NP3NP4 = {1, 3, 4};
+  std::vector<PathId> NP1NP3NP4NP6 = {1, 3, 4, 6};
+  for (int I = 0; I < 33; ++I)
+    Tree.update(NP1NP2);
+  for (int I = 0; I < 15; ++I)
+    Tree.update(NP1NP3NP5);
+  Tree.update(NP1NP3NP4);
+  for (int I = 0; I < 13; ++I)
+    Tree.update(NP1NP3NP4NP6);
+
+  // Root -> NP1 node has count 33 + 15 + 1 + 13 = 62.
+  const auto &Root = Tree.node(FPTree::RootId);
+  ASSERT_EQ(Root.Children.size(), 1u);
+  const auto &N1 = Tree.node(Root.Children.at(1));
+  EXPECT_EQ(N1.Count, 62u);
+  EXPECT_FALSE(N1.IsLast);
+  const auto &N3 = Tree.node(N1.Children.at(3));
+  EXPECT_EQ(N3.Count, 29u);
+  const auto &N4 = Tree.node(N3.Children.at(4));
+  EXPECT_EQ(N4.Count, 14u);
+  EXPECT_TRUE(N4.IsLast);
+  const auto &N6 = Tree.node(N4.Children.at(6));
+  EXPECT_EQ(N6.Count, 13u);
+  EXPECT_TRUE(N6.IsLast);
+  EXPECT_EQ(Tree.numGenerationPoints(), 4u);
+}
+
+TEST(FPTree, EmptyUpdateIsNoop) {
+  FPTree Tree;
+  Tree.update({});
+  EXPECT_EQ(Tree.size(), 1u);
+  EXPECT_EQ(Tree.numGenerationPoints(), 0u);
+}
+
+// --- Pattern evaluation (Figure 2(e)) ----------------------------------------
+
+namespace {
+
+/// Builds the Figure 2(e) confusing word pattern from the assertEqual
+/// statement: condition = {self path, assert path, NUM path}, deduction =
+/// {Equal path}.
+NamePattern buildFigure2Pattern(PipelineFixture &F) {
+  StmtPaths Good = F.statement("self.assertEqual(v.count, 90)\n",
+                               /*SelfIsTestCase=*/true);
+  // Paths: self, assert, Equal, v, count, NUM.
+  EXPECT_EQ(Good.Paths.size(), 6u);
+  NamePattern P;
+  P.Kind = PatternKind::ConfusingWord;
+  P.Condition = {Good.Paths[0], Good.Paths[1], Good.Paths.back()};
+  P.Deduction = {Good.Paths[2]}; // ... NumST(2) 1 TestCase 0 Equal
+  return P;
+}
+
+} // namespace
+
+TEST(NamePattern, Figure2ViolationAndFix) {
+  PipelineFixture F;
+  NamePattern P = buildFigure2Pattern(F);
+
+  StmtPaths Bad = F.statement("self.assertTrue(pic.angle, 90)\n",
+                              /*SelfIsTestCase=*/true);
+  EXPECT_EQ(evaluatePattern(P, Bad, F.Table), MatchResult::Violated);
+
+  SuggestedFix Fix = deriveFix(P, Bad, F.Table);
+  EXPECT_EQ(F.Ctx.text(Fix.Original), "True");
+  EXPECT_EQ(F.Ctx.text(Fix.Suggested), "Equal");
+}
+
+TEST(NamePattern, Figure2Satisfaction) {
+  PipelineFixture F;
+  NamePattern P = buildFigure2Pattern(F);
+  StmtPaths Good = F.statement("self.assertEqual(other.value, 17)\n",
+                               /*SelfIsTestCase=*/true);
+  EXPECT_EQ(evaluatePattern(P, Good, F.Table), MatchResult::Satisfied);
+}
+
+TEST(NamePattern, Figure2NoMatchWithoutNumericArg) {
+  PipelineFixture F;
+  NamePattern P = buildFigure2Pattern(F);
+  // String second argument: the NUM condition path is absent.
+  StmtPaths Other = F.statement("self.assertTrue(pic.angle, 'msg')\n",
+                                /*SelfIsTestCase=*/true);
+  EXPECT_EQ(evaluatePattern(P, Other, F.Table), MatchResult::NoMatch);
+}
+
+TEST(NamePattern, ConsistencySatisfactionAndViolation) {
+  PipelineFixture F;
+  // Example 3.8: self.<name1> = <name2> requires name1 == name2.
+  StmtPaths Good = F.statement("self.name = name\n");
+  ASSERT_EQ(Good.Paths.size(), 3u);
+  NamePattern P;
+  P.Kind = PatternKind::Consistency;
+  P.Condition = {Good.Paths[0]}; // the self path
+  P.Deduction = {F.Table.symbolicVersion(Good.Paths[1]),
+                 F.Table.symbolicVersion(Good.Paths[2])};
+  EXPECT_EQ(evaluatePattern(P, Good, F.Table), MatchResult::Satisfied);
+
+  StmtPaths Bad = F.statement("self.port = por\n");
+  EXPECT_EQ(evaluatePattern(P, Bad, F.Table), MatchResult::Violated);
+  SuggestedFix Fix = deriveFix(P, Bad, F.Table);
+  EXPECT_EQ(F.Ctx.text(Fix.Original), "por");
+  EXPECT_EQ(F.Ctx.text(Fix.Suggested), "port");
+}
+
+TEST(NamePattern, IsNameSubtokenPath) {
+  PipelineFixture F;
+  StmtPaths S = F.statement("self.assertTrue(v, 90)\n",
+                            /*SelfIsTestCase=*/true);
+  // Paths: self, assert, True, v, NUM.
+  ASSERT_EQ(S.Paths.size(), 5u);
+  EXPECT_TRUE(isNameSubtokenPath(S.Paths[0], F.Table, F.Ctx));  // self
+  EXPECT_TRUE(isNameSubtokenPath(S.Paths[2], F.Table, F.Ctx));  // True
+  EXPECT_FALSE(isNameSubtokenPath(S.Paths[4], F.Table, F.Ctx)); // NUM
+}
+
+// --- Miner -------------------------------------------------------------------
+
+namespace {
+
+MinerConfig smallCorpusConfig() {
+  MinerConfig C;
+  C.MinPathFrequency = 2;
+  C.MinPatternSupport = 3;
+  C.MinSatisfactionRatio = 0.7;
+  C.Conditions = MinerConfig::ConditionPolicy::FullOnly;
+  return C;
+}
+
+} // namespace
+
+TEST(PatternMiner, MinesConsistencyPattern) {
+  PipelineFixture F;
+  // 9 consistent constructor assignments (x3 so their paths pass the
+  // frequency filter, as they would at Big Code scale) + 1 typo.
+  std::string Source;
+  const char *Names[] = {"name", "key",  "value", "port", "host",
+                         "path", "size", "count", "mode"};
+  for (int Rep = 0; Rep < 3; ++Rep)
+    for (const char *N : Names)
+      Source += std::string("self.") + N + " = " + N + "\n";
+  Source += "self.flag = flap\n";
+
+  auto Stmts = F.statements(Source);
+  ASSERT_EQ(Stmts.size(), 28u);
+
+  PatternMiner Miner(PatternKind::Consistency, F.Table, F.Ctx,
+                     smallCorpusConfig());
+  for (const auto &S : Stmts)
+    Miner.countPaths(S);
+  for (const auto &S : Stmts)
+    Miner.addStatement(S);
+  auto Patterns = Miner.generate();
+  ASSERT_FALSE(Patterns.empty());
+  Patterns = Miner.pruneUncommon(std::move(Patterns), Stmts);
+  ASSERT_FALSE(Patterns.empty());
+
+  // The surviving pattern flags the typo statement and only it.
+  PatternIndex Index(Patterns, F.Table);
+  int Violations = 0, Satisfactions = 0;
+  std::vector<PatternHit> Hits;
+  for (const auto &S : Stmts) {
+    Hits.clear();
+    Index.evaluate(S, Hits);
+    for (const auto &H : Hits) {
+      Violations += H.Result == MatchResult::Violated;
+      Satisfactions += H.Result == MatchResult::Satisfied;
+    }
+  }
+  EXPECT_GT(Satisfactions, 0);
+  EXPECT_GT(Violations, 0);
+
+  StmtPaths Typo = F.statement("self.flag = flap\n");
+  Hits.clear();
+  Index.evaluate(Typo, Hits);
+  bool Violated = false;
+  for (const auto &H : Hits)
+    Violated |= H.Result == MatchResult::Violated;
+  EXPECT_TRUE(Violated);
+}
+
+TEST(PatternMiner, MinesConfusingWordPattern) {
+  PipelineFixture F;
+  std::string Source;
+  for (int I = 0; I < 8; ++I)
+    Source += "self.assertEqual(vec" + std::to_string(I) + ", " +
+              std::to_string(I) + ")\n";
+  Source += "self.assertTrue(vec9, 9)\n";
+
+  auto Stmts = F.statements(Source, /*SelfIsTestCase=*/true);
+  ASSERT_EQ(Stmts.size(), 9u);
+
+  PatternMiner Miner(PatternKind::ConfusingWord, F.Table, F.Ctx,
+                     smallCorpusConfig());
+  Miner.setCorrectWords({F.Ctx.intern("Equal")});
+  for (const auto &S : Stmts)
+    Miner.countPaths(S);
+  for (const auto &S : Stmts)
+    Miner.addStatement(S);
+  auto Patterns = Miner.pruneUncommon(Miner.generate(), Stmts);
+  ASSERT_FALSE(Patterns.empty());
+
+  PatternIndex Index(Patterns, F.Table);
+  StmtPaths Bad = F.statement("self.assertTrue(vec9, 9)\n",
+                              /*SelfIsTestCase=*/true);
+  std::vector<PatternHit> Hits;
+  Index.evaluate(Bad, Hits);
+  bool FoundFix = false;
+  for (const auto &H : Hits) {
+    if (H.Result != MatchResult::Violated)
+      continue;
+    SuggestedFix Fix = deriveFix(Index.patterns()[H.Pattern], Bad, F.Table);
+    FoundFix |= F.Ctx.text(Fix.Suggested) == "Equal" &&
+                F.Ctx.text(Fix.Original) == "True";
+  }
+  EXPECT_TRUE(FoundFix);
+}
+
+TEST(PatternMiner, PruneDropsLowSupport) {
+  PipelineFixture F;
+  auto Stmts = F.statements("self.a = a\nself.b = b\n");
+  MinerConfig C = smallCorpusConfig();
+  C.MinPatternSupport = 100; // unreachable with two statements
+  PatternMiner Miner(PatternKind::Consistency, F.Table, F.Ctx, C);
+  for (const auto &S : Stmts)
+    Miner.countPaths(S);
+  for (const auto &S : Stmts)
+    Miner.addStatement(S);
+  auto Patterns = Miner.pruneUncommon(Miner.generate(), Stmts);
+  EXPECT_TRUE(Patterns.empty());
+}
+
+TEST(PatternMiner, PruneDropsLowSatisfactionRatio) {
+  PipelineFixture F;
+  // Only 3 of 10 matching statements satisfy the would-be idiom;
+  // ratio 0.3 < 0.7 so pruneUncommon must drop it.
+  std::string Source;
+  for (int I = 0; I < 3; ++I)
+    Source += "self.val = val\n";
+  for (int I = 0; I < 7; ++I)
+    Source += "self.val = foo\n";
+  auto Stmts = F.statements(Source);
+  MinerConfig C = smallCorpusConfig();
+  C.MinSatisfactionRatio = 0.7;
+  PatternMiner Miner(PatternKind::Consistency, F.Table, F.Ctx, C);
+  for (const auto &S : Stmts)
+    Miner.countPaths(S);
+  for (const auto &S : Stmts)
+    Miner.addStatement(S);
+  auto Patterns = Miner.pruneUncommon(Miner.generate(), Stmts);
+  EXPECT_TRUE(Patterns.empty());
+}
+
+TEST(PatternMiner, FrequencyFilterRemovesRarePaths) {
+  PipelineFixture F;
+  auto Stmts = F.statements("self.a = a\nself.a = a\nself.zq = zq\n");
+  MinerConfig C = smallCorpusConfig();
+  C.MinPathFrequency = 2;
+  PatternMiner Miner(PatternKind::Consistency, F.Table, F.Ctx, C);
+  for (const auto &S : Stmts)
+    Miner.countPaths(S);
+  for (const auto &S : Stmts)
+    Miner.addStatement(S);
+  // The zq statement's paths each occur once -> filtered; only the a=a
+  // pair statements reach the tree: tree has generation points only for
+  // the duplicated statement.
+  EXPECT_GT(Miner.tree().numGenerationPoints(), 0u);
+  auto Patterns = Miner.generate();
+  for (const NamePattern &P : Patterns)
+    for (PathId Id : P.Deduction)
+      EXPECT_NE(F.Ctx.text(F.Table.endOf(Id)), "zq");
+}
+
+TEST(PatternMiner, ConditionPoliciesOrderedByGenerality) {
+  PipelineFixture F;
+  auto Stmts =
+      F.statements("self.assertEqual(a, 1)\nself.assertEqual(b, 2)\n",
+                    /*SelfIsTestCase=*/true);
+  auto CountFor = [&](MinerConfig::ConditionPolicy Policy) {
+    MinerConfig C = smallCorpusConfig();
+    C.Conditions = Policy;
+    PatternMiner Miner(PatternKind::ConfusingWord, F.Table, F.Ctx, C);
+    Miner.setCorrectWords({F.Ctx.intern("Equal")});
+    for (const auto &S : Stmts)
+      Miner.countPaths(S);
+    for (const auto &S : Stmts)
+      Miner.addStatement(S);
+    return Miner.generate().size();
+  };
+  size_t Full = CountFor(MinerConfig::ConditionPolicy::FullOnly);
+  size_t Loo = CountFor(MinerConfig::ConditionPolicy::LeaveOneOut);
+  size_t All = CountFor(MinerConfig::ConditionPolicy::AllSubsets);
+  EXPECT_LT(Full, Loo);
+  EXPECT_LE(Loo, All);
+}
+
+// --- PatternIndex ------------------------------------------------------------
+
+TEST(PatternIndex, AgreesWithDirectEvaluation) {
+  PipelineFixture F;
+  std::string Source;
+  for (int I = 0; I < 6; ++I)
+    Source += "self.v" + std::to_string(I) + " = v" + std::to_string(I) +
+              "\n";
+  auto Stmts = F.statements(Source);
+  PatternMiner Miner(PatternKind::Consistency, F.Table, F.Ctx,
+                     smallCorpusConfig());
+  for (const auto &S : Stmts)
+    Miner.countPaths(S);
+  for (const auto &S : Stmts)
+    Miner.addStatement(S);
+  auto Patterns = Miner.generate();
+  PatternIndex Index(Patterns, F.Table);
+
+  for (const auto &S : Stmts) {
+    std::vector<PatternHit> Hits;
+    Index.evaluate(S, Hits);
+    size_t Direct = 0;
+    for (const NamePattern &P : Patterns)
+      Direct += evaluatePattern(P, S, F.Table) != MatchResult::NoMatch;
+    EXPECT_EQ(Hits.size(), Direct);
+  }
+}

@@ -1,0 +1,179 @@
+//===- tests/PipelineTest.cpp - end-to-end pipeline tests -----------------==//
+
+#include "namer/Evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+using namespace namer;
+using corpus::InspectionOutcome;
+
+namespace {
+
+/// One small corpus + built pipeline per language, shared across tests
+/// (building takes ~0.5s).
+struct SharedPipeline {
+  corpus::Corpus C;
+  std::unique_ptr<corpus::InspectionOracle> Oracle;
+  std::unique_ptr<NamerPipeline> Pipeline;
+
+  explicit SharedPipeline(corpus::Language Lang) {
+    corpus::CorpusConfig Config;
+    Config.Lang = Lang;
+    Config.NumRepos = 80;
+    C = corpus::generateCorpus(Config);
+    Oracle = std::make_unique<corpus::InspectionOracle>(C);
+    PipelineConfig PC;
+    PC.Miner.MinPatternSupport = 20;
+    Pipeline = std::make_unique<NamerPipeline>(PC);
+    Pipeline->build(C);
+  }
+
+  static SharedPipeline &python() {
+    static SharedPipeline P(corpus::Language::Python);
+    return P;
+  }
+  static SharedPipeline &java() {
+    static SharedPipeline P(corpus::Language::Java);
+    return P;
+  }
+};
+
+} // namespace
+
+TEST(Pipeline, MinesBothPatternKinds) {
+  auto &S = SharedPipeline::python();
+  size_t Consistency = 0, Confusing = 0;
+  for (const NamePattern &P : S.Pipeline->patterns())
+    (P.Kind == PatternKind::Consistency ? Consistency : Confusing)++;
+  EXPECT_GT(Consistency, 0u);
+  EXPECT_GT(Confusing, 0u);
+}
+
+TEST(Pipeline, FindsSeededSemanticDefects) {
+  auto &S = SharedPipeline::python();
+  size_t Semantic = 0;
+  for (const Violation &V : S.Pipeline->violations()) {
+    Report R = S.Pipeline->makeReport(V);
+    auto Out = S.Oracle->inspect(R.File, R.Line, R.Original, R.Suggested);
+    Semantic += Out.Result == InspectionOutcome::Verdict::SemanticDefect;
+  }
+  EXPECT_GT(Semantic, 0u) << "assertTrue/xrange defects must be flagged";
+}
+
+TEST(Pipeline, ViolationsIncludeFalsePositives) {
+  // Anomaly detection without the classifier must over-report (Section 2).
+  auto &S = SharedPipeline::python();
+  size_t FalsePositives = 0;
+  for (const Violation &V : S.Pipeline->violations()) {
+    Report R = S.Pipeline->makeReport(V);
+    auto Out = S.Oracle->inspect(R.File, R.Line, R.Original, R.Suggested);
+    FalsePositives +=
+        Out.Result == InspectionOutcome::Verdict::FalsePositive;
+  }
+  EXPECT_GT(FalsePositives, 0u);
+  EXPECT_LT(FalsePositives, S.Pipeline->violations().size());
+}
+
+TEST(Pipeline, ReportsCarryActionableFixes) {
+  auto &S = SharedPipeline::python();
+  ASSERT_FALSE(S.Pipeline->violations().empty());
+  for (const Violation &V : S.Pipeline->violations()) {
+    Report R = S.Pipeline->makeReport(V);
+    EXPECT_FALSE(R.File.empty());
+    EXPECT_GT(R.Line, 0u);
+    EXPECT_FALSE(R.Original.empty());
+    EXPECT_FALSE(R.Suggested.empty());
+    EXPECT_NE(R.Original, R.Suggested);
+  }
+}
+
+TEST(Pipeline, FeatureVectorsHaveTableOneShape) {
+  auto &S = SharedPipeline::python();
+  ASSERT_FALSE(S.Pipeline->violations().empty());
+  const Violation &V = S.Pipeline->violations().front();
+  std::vector<double> F = S.Pipeline->features(V);
+  ASSERT_EQ(F.size(), NumViolationFeatures);
+  EXPECT_GE(F[0], 1.0);                      // stmt has paths
+  EXPECT_GE(F[1], 1.0);                      // the stmt itself counts
+  EXPECT_GE(F[2], F[1]);                     // repo count >= file count
+  for (size_t I = 3; I <= 5; ++I) {
+    EXPECT_GE(F[I], 0.0);
+    EXPECT_LE(F[I], 1.0);                    // rates
+  }
+  EXPECT_TRUE(F[12] == 0.0 || F[12] == 1.0); // boolean
+  EXPECT_TRUE(F[16] == 0.0 || F[16] == 1.0); // boolean
+  EXPECT_GE(F[15], 1.0);                     // fix changes the name
+}
+
+TEST(Pipeline, ClassifierImprovesPrecision) {
+  auto &S = SharedPipeline::java();
+  EvaluationConfig Config;
+  Config.NumLabeled = 80;
+  Config.NumEvaluated = 200;
+  EvaluationResult R = evaluatePipeline(*S.Pipeline, *S.Oracle, Config);
+  ASSERT_GT(R.numReports(), 0u);
+
+  // Unfiltered precision over the same violations.
+  size_t True = 0, Total = 0;
+  for (const Violation &V : S.Pipeline->violations()) {
+    Report Rep = S.Pipeline->makeReport(V);
+    auto Out = S.Oracle->inspect(Rep.File, Rep.Line, Rep.Original,
+                                 Rep.Suggested);
+    True += Out.Result != InspectionOutcome::Verdict::FalsePositive;
+    ++Total;
+  }
+  double Unfiltered = static_cast<double>(True) / static_cast<double>(Total);
+  EXPECT_GT(R.precision(), Unfiltered)
+      << "the classifier must beat raw pattern matching (Table 5)";
+}
+
+TEST(Pipeline, TrainingMetricsAreReasonable) {
+  auto &S = SharedPipeline::java();
+  EvaluationConfig Config;
+  Config.NumLabeled = 80;
+  EvaluationResult R = evaluatePipeline(*S.Pipeline, *S.Oracle, Config);
+  EXPECT_GT(R.TrainingMetrics.Accuracy, 0.6);
+  EXPECT_FALSE(R.SelectedModel.empty());
+}
+
+TEST(Pipeline, AblationWithoutAnalysesStillRuns) {
+  corpus::CorpusConfig Config;
+  Config.NumRepos = 30;
+  corpus::Corpus C = corpus::generateCorpus(Config);
+  PipelineConfig PC;
+  PC.UseAnalyses = false;
+  PC.Miner.MinPatternSupport = 20;
+  NamerPipeline P(PC);
+  P.build(C);
+  // Origin symbols must not appear in any mined pattern path.
+  for (const NamePattern &Pt : P.patterns())
+    for (PathId Id : Pt.Condition) {
+      const NamePath &Path = P.table().path(Id);
+      for (const PathStep &Step : Path.Prefix)
+        EXPECT_NE(P.context().text(Step.Value), "TestCase");
+    }
+}
+
+TEST(Pipeline, StatementsCoverWholeCorpus) {
+  auto &S = SharedPipeline::python();
+  EXPECT_EQ(S.Pipeline->numFiles(), S.C.numFiles());
+  EXPECT_EQ(S.Pipeline->numRepos(), S.C.Repos.size());
+  EXPECT_GT(S.Pipeline->statements().size(), S.C.numFiles())
+      << "several statements per file";
+  EXPECT_EQ(S.Pipeline->numParseErrors(), 0u);
+}
+
+TEST(Pipeline, ViolationsAreDeduplicatedPerFix) {
+  auto &S = SharedPipeline::python();
+  std::unordered_set<std::string> Keys;
+  for (const Violation &V : S.Pipeline->violations()) {
+    Report R = S.Pipeline->makeReport(V);
+    std::string Key = std::to_string(V.Stmt) + "|" + R.Original + ">" +
+                      R.Suggested + "|" +
+                      std::to_string(static_cast<int>(R.Kind));
+    EXPECT_TRUE(Keys.insert(Key).second)
+        << "duplicate violation for the same fix: " << Key;
+  }
+}

@@ -1,0 +1,263 @@
+//===- tests/PropertyTest.cpp - cross-module property tests ---------------==//
+//
+// Parameterized property sweeps over generated corpora: invariants that
+// must hold for every statement, path, pattern and violation the pipeline
+// produces, regardless of language or seed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Statements.h"
+#include "frontend/java/JavaParser.h"
+#include "frontend/python/PythonParser.h"
+#include "namer/Pipeline.h"
+#include "pattern/PatternIndex.h"
+#include "transform/AstPlus.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+using namespace namer;
+
+namespace {
+
+struct SweepCase {
+  corpus::Language Lang;
+  uint64_t Seed;
+};
+
+std::string caseName(const ::testing::TestParamInfo<SweepCase> &Info) {
+  return std::string(Info.param.Lang == corpus::Language::Python ? "python"
+                                                                 : "java") +
+         "_seed" + std::to_string(Info.param.Seed);
+}
+
+corpus::Corpus makeCorpus(const SweepCase &Param) {
+  corpus::CorpusConfig Config;
+  Config.Lang = Param.Lang;
+  Config.Seed = Param.Seed;
+  Config.NumRepos = 25;
+  return corpus::generateCorpus(Config);
+}
+
+Tree parse(const corpus::SourceFile &F, corpus::Language Lang,
+           AstContext &Ctx) {
+  if (Lang == corpus::Language::Python)
+    return std::move(python::parsePython(F.Text, Ctx).Module);
+  return std::move(java::parseJava(F.Text, Ctx).Module);
+}
+
+} // namespace
+
+class CorpusSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+// Every tree node is reachable from the root exactly once, parent links
+// agree with child lists, and terminals are exactly the leaf set.
+TEST_P(CorpusSweepTest, TreeStructuralInvariants) {
+  corpus::Corpus C = makeCorpus(GetParam());
+  size_t Checked = 0;
+  for (const corpus::Repository &Repo : C.Repos) {
+    for (const corpus::SourceFile &F : Repo.Files) {
+      if (++Checked > 20)
+        return; // bounded per sweep
+      AstContext Ctx;
+      Tree T = parse(F, GetParam().Lang, Ctx);
+      std::vector<int> Seen(T.size(), 0);
+      std::vector<NodeId> Work = {T.root()};
+      while (!Work.empty()) {
+        NodeId N = Work.back();
+        Work.pop_back();
+        ++Seen[N];
+        for (NodeId Child : T.node(N).Children) {
+          ASSERT_EQ(T.node(Child).Parent, N) << F.Path;
+          Work.push_back(Child);
+        }
+      }
+      for (NodeId N = 0; N != T.size(); ++N)
+        EXPECT_LE(Seen[N], 1) << "node visited twice (cycle?) in " << F.Path;
+    }
+  }
+}
+
+// AST+ invariants: every Ident under a name wrapper became a NumST node
+// whose label matches its subtoken count; NumArgs labels match call arity.
+TEST_P(CorpusSweepTest, TransformInvariants) {
+  corpus::Corpus C = makeCorpus(GetParam());
+  WellKnownRegistry Registry = GetParam().Lang == corpus::Language::Python
+                                   ? WellKnownRegistry::forPython()
+                                   : WellKnownRegistry::forJava();
+  size_t Checked = 0;
+  for (const corpus::Repository &Repo : C.Repos) {
+    for (const corpus::SourceFile &F : Repo.Files) {
+      if (++Checked > 10)
+        return;
+      AstContext Ctx;
+      Tree T = parse(F, GetParam().Lang, Ctx);
+      transformToAstPlus(T, computeOrigins(T, Registry).Origins);
+      for (NodeId N = 0; N != T.size(); ++N) {
+        const Node &Nd = T.node(N);
+        if (Nd.Kind == NodeKind::NumST) {
+          // NumST(k) has k subtoken descendants (possibly via Origin).
+          size_t Leaves = 0;
+          for (NodeId Child : Nd.Children) {
+            NodeId Leaf = Child;
+            if (T.node(Leaf).Kind == NodeKind::Origin)
+              Leaf = T.node(Leaf).Children.at(0);
+            Leaves += T.node(Leaf).Kind == NodeKind::Subtoken ||
+                      T.isTerminal(Leaf);
+          }
+          std::string Expected =
+              "NumST(" + std::to_string(Nd.Children.size()) + ")";
+          EXPECT_EQ(T.valueText(N), Expected);
+          EXPECT_EQ(Leaves, Nd.Children.size());
+        }
+        if (Nd.Kind == NodeKind::NumArgs) {
+          ASSERT_EQ(Nd.Children.size(), 1u);
+          const Node &Inner = T.node(Nd.Children[0]);
+          if (Inner.Kind == NodeKind::Call || Inner.Kind == NodeKind::New) {
+            size_t Arity = Inner.Children.empty()
+                               ? 0
+                               : Inner.Children.size() - 1;
+            EXPECT_EQ(T.valueText(N),
+                      "NumArgs(" + std::to_string(Arity) + ")");
+          }
+        }
+      }
+    }
+  }
+}
+
+// Name path invariants (Definition 3.2): concrete ends, unique prefixes,
+// and the prefix walk reconstructs a real root-to-leaf path.
+TEST_P(CorpusSweepTest, NamePathInvariants) {
+  corpus::Corpus C = makeCorpus(GetParam());
+  WellKnownRegistry Registry = GetParam().Lang == corpus::Language::Python
+                                   ? WellKnownRegistry::forPython()
+                                   : WellKnownRegistry::forJava();
+  size_t Checked = 0;
+  for (const corpus::Repository &Repo : C.Repos) {
+    for (const corpus::SourceFile &F : Repo.Files) {
+      if (++Checked > 10)
+        return;
+      AstContext Ctx;
+      Tree T = parse(F, GetParam().Lang, Ctx);
+      transformToAstPlus(T, computeOrigins(T, Registry).Origins);
+      for (NodeId Root : collectStatementRoots(T)) {
+        Tree Stmt = projectStatement(T, Root);
+        auto Paths = extractNamePaths(Stmt, 10);
+        std::unordered_set<std::string> Prefixes;
+        for (const NamePath &P : Paths) {
+          EXPECT_FALSE(P.isSymbolic());
+          // Walk the prefix through the statement tree.
+          NodeId N = Stmt.root();
+          std::string Key;
+          for (const PathStep &Step : P.Prefix) {
+            ASSERT_EQ(Stmt.node(N).Value, Step.Value);
+            ASSERT_LT(Step.Index, Stmt.node(N).Children.size());
+            N = Stmt.node(N).Children[Step.Index];
+            Key += std::to_string(Step.Value) + "." +
+                   std::to_string(Step.Index) + "/";
+          }
+          EXPECT_TRUE(Stmt.isTerminal(N));
+          EXPECT_EQ(Stmt.node(N).Value, P.End);
+          EXPECT_TRUE(Prefixes.insert(Key).second)
+              << "duplicate prefix in one statement";
+        }
+      }
+    }
+  }
+}
+
+// Pattern semantics: for every mined pattern and every statement,
+// satisfaction and violation both imply match, and are mutually exclusive
+// (Definitions 3.7/3.9); the index agrees with direct evaluation.
+TEST_P(CorpusSweepTest, PatternEvaluationInvariants) {
+  corpus::Corpus C = makeCorpus(GetParam());
+  PipelineConfig PC;
+  PC.Miner.MinPatternSupport = 15;
+  NamerPipeline P(PC);
+  P.build(C);
+  if (P.patterns().empty())
+    GTEST_SKIP() << "no patterns mined at this corpus size";
+
+  PatternIndex Index(P.patterns(), P.table());
+  std::vector<PatternHit> Hits;
+  size_t Checked = 0;
+  for (const StmtRecord &S : P.statements()) {
+    if (++Checked > 500)
+      break;
+    Hits.clear();
+    Index.evaluate(S.Paths, Hits);
+    std::unordered_set<PatternId> HitSet;
+    for (const PatternHit &H : Hits) {
+      EXPECT_NE(H.Result, MatchResult::NoMatch);
+      EXPECT_TRUE(HitSet.insert(H.Pattern).second)
+          << "pattern evaluated twice for one statement";
+    }
+    // Spot-check agreement with direct evaluation on a few patterns.
+    for (PatternId Id = 0; Id < P.patterns().size() && Id < 20; ++Id) {
+      MatchResult Direct = evaluatePattern(P.patterns()[Id], S.Paths,
+                                           P.table());
+      bool InHits = HitSet.count(Id) != 0;
+      EXPECT_EQ(Direct != MatchResult::NoMatch, InHits);
+    }
+  }
+}
+
+// Mined pattern structural invariants: deduction sizes per kind, sorted
+// conditions, dataset counters consistent.
+TEST_P(CorpusSweepTest, MinedPatternInvariants) {
+  corpus::Corpus C = makeCorpus(GetParam());
+  PipelineConfig PC;
+  PC.Miner.MinPatternSupport = 15;
+  NamerPipeline P(PC);
+  P.build(C);
+  for (const NamePattern &Pt : P.patterns()) {
+    if (Pt.Kind == PatternKind::Consistency) {
+      ASSERT_EQ(Pt.Deduction.size(), 2u);
+      EXPECT_TRUE(P.table().isSymbolic(Pt.Deduction[0]));
+      EXPECT_TRUE(P.table().isSymbolic(Pt.Deduction[1]));
+      EXPECT_NE(P.table().prefixOf(Pt.Deduction[0]),
+                P.table().prefixOf(Pt.Deduction[1]));
+    } else {
+      ASSERT_EQ(Pt.Deduction.size(), 1u);
+      EXPECT_FALSE(P.table().isSymbolic(Pt.Deduction[0]));
+    }
+    for (PathId Cond : Pt.Condition)
+      EXPECT_FALSE(P.table().isSymbolic(Cond));
+    EXPECT_EQ(Pt.DatasetMatches,
+              Pt.DatasetSatisfactions + Pt.DatasetViolations);
+    EXPECT_GE(Pt.datasetSatisfactionRate(),
+              PC.Miner.MinSatisfactionRatio);
+    EXPECT_GE(Pt.Support, PC.Miner.MinPatternSupport);
+  }
+}
+
+// Every violation's report points at a real file of the corpus and at a
+// line within that file.
+TEST_P(CorpusSweepTest, ReportsPointIntoTheCorpus) {
+  corpus::Corpus C = makeCorpus(GetParam());
+  PipelineConfig PC;
+  PC.Miner.MinPatternSupport = 15;
+  NamerPipeline P(PC);
+  P.build(C);
+  std::unordered_map<std::string, size_t> FileLines;
+  for (const corpus::Repository &Repo : C.Repos)
+    for (const corpus::SourceFile &F : Repo.Files)
+      FileLines[F.Path] =
+          static_cast<size_t>(std::count(F.Text.begin(), F.Text.end(), '\n'));
+  for (const Violation &V : P.violations()) {
+    Report R = P.makeReport(V);
+    auto It = FileLines.find(R.File);
+    ASSERT_NE(It, FileLines.end()) << R.File;
+    EXPECT_LE(R.Line, It->second + 1) << R.File;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CorpusSweepTest,
+    ::testing::Values(SweepCase{corpus::Language::Python, 1},
+                      SweepCase{corpus::Language::Python, 2},
+                      SweepCase{corpus::Language::Java, 1},
+                      SweepCase{corpus::Language::Java, 2}),
+    caseName);

@@ -1,0 +1,270 @@
+//===- tests/PythonParserTest.cpp - Python frontend tests -----------------==//
+
+#include "frontend/python/PythonLexer.h"
+#include "frontend/python/PythonParser.h"
+
+#include "ast/Statements.h"
+
+#include <gtest/gtest.h>
+
+using namespace namer;
+using namespace namer::python;
+
+namespace {
+
+/// Parses source and returns the dump of the first statement-like child of
+/// Module (or the whole module when \p WholeModule).
+std::string parseDump(std::string_view Source) {
+  AstContext Ctx;
+  ParseResult R = parsePython(Source, Ctx);
+  EXPECT_TRUE(R.Errors.empty()) << "first error: "
+                                << (R.Errors.empty() ? "" : R.Errors[0]);
+  return R.Module.dump();
+}
+
+} // namespace
+
+// --- Lexer ------------------------------------------------------------------
+
+TEST(PythonLexer, IndentDedent) {
+  auto R = lexPython("if x:\n    y = 1\nz = 2\n");
+  ASSERT_TRUE(R.Errors.empty());
+  int Indents = 0, Dedents = 0;
+  for (const auto &Tok : R.Tokens) {
+    Indents += Tok.Kind == TokenKind::Indent;
+    Dedents += Tok.Kind == TokenKind::Dedent;
+  }
+  EXPECT_EQ(Indents, 1);
+  EXPECT_EQ(Dedents, 1);
+}
+
+TEST(PythonLexer, BracketsSuppressNewlines) {
+  auto R = lexPython("f(a,\n  b)\n");
+  ASSERT_TRUE(R.Errors.empty());
+  int Newlines = 0;
+  for (const auto &Tok : R.Tokens)
+    Newlines += Tok.Kind == TokenKind::Newline;
+  EXPECT_EQ(Newlines, 1);
+}
+
+TEST(PythonLexer, CommentsIgnored) {
+  auto R = lexPython("# comment line\nx = 1  # trailing\n");
+  for (const auto &Tok : R.Tokens)
+    EXPECT_TRUE(Tok.Text.find("comment") == std::string::npos);
+}
+
+TEST(PythonLexer, StringVariants) {
+  auto R = lexPython("a = 'sq'\nb = \"dq\"\nc = '''tri\nple'''\nd = f\"x\"\n");
+  ASSERT_TRUE(R.Errors.empty());
+  int Strings = 0;
+  for (const auto &Tok : R.Tokens)
+    Strings += Tok.Kind == TokenKind::String;
+  EXPECT_EQ(Strings, 4);
+}
+
+TEST(PythonLexer, UnterminatedStringRecovers) {
+  auto R = lexPython("x = 'oops\ny = 2\n");
+  EXPECT_FALSE(R.Errors.empty());
+  // Lexing continued to see 'y'.
+  bool SawY = false;
+  for (const auto &Tok : R.Tokens)
+    SawY |= Tok.Kind == TokenKind::Name && Tok.Text == "y";
+  EXPECT_TRUE(SawY);
+}
+
+TEST(PythonLexer, MultiCharOperators) {
+  auto R = lexPython("x **= 2\ny = a // b\nz = p != q\n");
+  ASSERT_TRUE(R.Errors.empty());
+  bool SawPowAssign = false, SawFloorDiv = false, SawNe = false;
+  for (const auto &Tok : R.Tokens) {
+    SawPowAssign |= Tok.Text == "**=";
+    SawFloorDiv |= Tok.Text == "//";
+    SawNe |= Tok.Text == "!=";
+  }
+  EXPECT_TRUE(SawPowAssign && SawFloorDiv && SawNe);
+}
+
+TEST(PythonLexer, LineContinuation) {
+  auto R = lexPython("x = a \\\n    + b\n");
+  ASSERT_TRUE(R.Errors.empty());
+  int Newlines = 0;
+  for (const auto &Tok : R.Tokens)
+    Newlines += Tok.Kind == TokenKind::Newline;
+  EXPECT_EQ(Newlines, 1);
+}
+
+// --- Parser: the Figure 2 statement ----------------------------------------
+
+TEST(PythonParser, Figure2CallShape) {
+  EXPECT_EQ(parseDump("self.assertTrue(picture.rotate_angle, 90)\n"),
+            "(Module (ExprStmt (Call (AttributeLoad (NameLoad self) "
+            "(Attr assertTrue)) (AttributeLoad (NameLoad picture) "
+            "(Attr rotate_angle)) (Num 90))))");
+}
+
+TEST(PythonParser, Example38AssignShape) {
+  EXPECT_EQ(parseDump("self.name = name\n"),
+            "(Module (Assign (AttributeStore (NameLoad self) (Attr name)) "
+            "(NameLoad name)))");
+}
+
+TEST(PythonParser, SimpleAssign) {
+  EXPECT_EQ(parseDump("x = 1\n"),
+            "(Module (Assign (NameStore x) (Num 1)))");
+}
+
+TEST(PythonParser, AugAssign) {
+  EXPECT_EQ(parseDump("x += 1\n"),
+            "(Module (AugAssign (NameStore x) += (Num 1)))");
+}
+
+TEST(PythonParser, TupleAssignment) {
+  EXPECT_EQ(parseDump("a, b = 1, 2\n"),
+            "(Module (Assign (TupleLit (NameStore a) (NameStore b)) "
+            "(TupleLit (Num 1) (Num 2))))");
+}
+
+TEST(PythonParser, ChainedAssignment) {
+  EXPECT_EQ(parseDump("a = b = 1\n"),
+            "(Module (Assign (NameStore a) (NameStore b) (Num 1)))");
+}
+
+TEST(PythonParser, ForLoop) {
+  EXPECT_EQ(parseDump("for i in xrange(10):\n    pass\n"),
+            "(Module (For (NameStore i) (Call (NameLoad xrange) (Num 10)) "
+            "(Body Pass)))");
+}
+
+TEST(PythonParser, ForWithTupleTarget) {
+  EXPECT_EQ(parseDump("for k, v in items:\n    pass\n"),
+            "(Module (For (TupleLit (NameStore k) (NameStore v)) "
+            "(NameLoad items) (Body Pass)))");
+}
+
+TEST(PythonParser, FunctionDefWithParams) {
+  EXPECT_EQ(parseDump("def f(self, x=1, *args, **kwargs):\n    pass\n"),
+            "(Module (FunctionDef f (ParamList (Param self) "
+            "(Param x (Num 1)) (StarParam args) (KwParam kwargs)) "
+            "(Body Pass)))");
+}
+
+TEST(PythonParser, ClassWithBase) {
+  EXPECT_EQ(parseDump("class TestPicture(TestCase):\n    pass\n"),
+            "(Module (ClassDef TestPicture (BasesList (NameLoad TestCase)) "
+            "(Body Pass)))");
+}
+
+TEST(PythonParser, MethodInClass) {
+  std::string Dump = parseDump(
+      "class A(B):\n    def m(self):\n        return self.x\n");
+  EXPECT_EQ(Dump,
+            "(Module (ClassDef A (BasesList (NameLoad B)) (Body "
+            "(FunctionDef m (ParamList (Param self)) (Body "
+            "(Return (AttributeLoad (NameLoad self) (Attr x))))))))");
+}
+
+TEST(PythonParser, KeywordArguments) {
+  EXPECT_EQ(parseDump("f(a, key=1, **opts)\n"),
+            "(Module (ExprStmt (Call (NameLoad f) (NameLoad a) "
+            "(KeywordArg key (Num 1)) (KwStarArg (NameLoad opts)))))");
+}
+
+TEST(PythonParser, IfElifElse) {
+  EXPECT_EQ(parseDump("if a:\n    pass\nelif b:\n    pass\nelse:\n    pass\n"),
+            "(Module (If (NameLoad a) (Body Pass) (Body "
+            "(If (NameLoad b) (Body Pass) (Body Pass)))))");
+}
+
+TEST(PythonParser, WhileLoop) {
+  EXPECT_EQ(parseDump("while x < 10:\n    x += 1\n"),
+            "(Module (While (Compare (NameLoad x) < (Num 10)) "
+            "(Body (AugAssign (NameStore x) += (Num 1)))))");
+}
+
+TEST(PythonParser, TryExcept) {
+  EXPECT_EQ(parseDump("try:\n    pass\nexcept ValueError as e:\n    pass\n"),
+            "(Module (Try (Body Pass) (Catch (TypeRef ValueError) e "
+            "(Body Pass))))");
+}
+
+TEST(PythonParser, Imports) {
+  EXPECT_EQ(parseDump("import numpy as np\n"),
+            "(Module (Import numpy np))");
+  EXPECT_EQ(parseDump("from unittest import TestCase\n"),
+            "(Module (FromImport unittest TestCase))");
+}
+
+TEST(PythonParser, OperatorPrecedence) {
+  EXPECT_EQ(parseDump("x = a + b * c\n"),
+            "(Module (Assign (NameStore x) (BinOp (NameLoad a) + "
+            "(BinOp (NameLoad b) * (NameLoad c)))))");
+}
+
+TEST(PythonParser, ComparisonAndBool) {
+  EXPECT_EQ(parseDump("y = a == b and c\n"),
+            "(Module (Assign (NameStore y) (BinOp (Compare (NameLoad a) == "
+            "(NameLoad b)) and (NameLoad c))))");
+}
+
+TEST(PythonParser, Subscript) {
+  EXPECT_EQ(parseDump("x = d[0]\n"),
+            "(Module (Assign (NameStore x) (Subscript (NameLoad d) "
+            "(Num 0))))");
+}
+
+TEST(PythonParser, ListAndDictLiterals) {
+  EXPECT_EQ(parseDump("x = [1, 2]\n"),
+            "(Module (Assign (NameStore x) (ListLit (Num 1) (Num 2))))");
+  EXPECT_EQ(parseDump("d = {'a': 1}\n"),
+            "(Module (Assign (NameStore d) (DictLit (Str a) (Num 1))))");
+}
+
+TEST(PythonParser, ParenGrouping) {
+  EXPECT_EQ(parseDump("x = (a + b) * c\n"),
+            "(Module (Assign (NameStore x) (BinOp (BinOp (NameLoad a) + "
+            "(NameLoad b)) * (NameLoad c))))");
+}
+
+TEST(PythonParser, AttributeChain) {
+  EXPECT_EQ(parseDump("v = a.b.c\n"),
+            "(Module (Assign (NameStore v) (AttributeLoad (AttributeLoad "
+            "(NameLoad a) (Attr b)) (Attr c))))");
+}
+
+TEST(PythonParser, ErrorRecoveryContinues) {
+  AstContext Ctx;
+  ParseResult R = parsePython("x = = 1\ny = 2\n", Ctx);
+  EXPECT_FALSE(R.Errors.empty());
+  // The next line still parsed.
+  EXPECT_NE(R.Module.dump().find("(NameStore y) (Num 2)"), std::string::npos);
+}
+
+TEST(PythonParser, SingleLineSuite) {
+  EXPECT_EQ(parseDump("if x: y = 1\n"),
+            "(Module (If (NameLoad x) (Body (Assign (NameStore y) "
+            "(Num 1)))))");
+}
+
+TEST(PythonParser, WithAsBinding) {
+  std::string Dump = parseDump("with open(p) as f:\n    pass\n");
+  EXPECT_NE(Dump.find("(Assign (NameStore f) (Call (NameLoad open) "
+                      "(NameLoad p)) (Body Pass))"),
+            std::string::npos)
+      << Dump;
+}
+
+TEST(PythonParser, StatementSlicingEndToEnd) {
+  AstContext Ctx;
+  ParseResult R = parsePython("class T(TestCase):\n"
+                              "    def test(self):\n"
+                              "        self.assertTrue(v, 4)\n",
+                              Ctx);
+  ASSERT_TRUE(R.Errors.empty());
+  auto Roots = collectStatementRoots(R.Module);
+  // ClassDef header, FunctionDef header, then the call statement.
+  ASSERT_EQ(Roots.size(), 3u);
+  Tree Stmt = projectStatement(R.Module, Roots[2]);
+  EXPECT_EQ(Stmt.dump(),
+            "(Call (AttributeLoad (NameLoad self) (Attr assertTrue)) "
+            "(NameLoad v) (Num 4))");
+}

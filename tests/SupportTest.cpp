@@ -1,0 +1,229 @@
+//===- tests/SupportTest.cpp - support library tests ----------------------==//
+
+#include "support/EditDistance.h"
+#include "support/Hashing.h"
+#include "support/Rng.h"
+#include "support/StringInterner.h"
+#include "support/Subtokens.h"
+#include "support/TextTable.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace namer;
+
+// --- StringInterner ---------------------------------------------------------
+
+TEST(StringInterner, EpsilonIsReserved) {
+  StringInterner SI;
+  EXPECT_EQ(SI.text(EpsilonSymbol), "<eps>");
+  EXPECT_EQ(SI.size(), 1u);
+}
+
+TEST(StringInterner, InternIsIdempotent) {
+  StringInterner SI;
+  Symbol A = SI.intern("assert");
+  Symbol B = SI.intern("assert");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(SI.text(A), "assert");
+}
+
+TEST(StringInterner, DistinctStringsGetDistinctSymbols) {
+  StringInterner SI;
+  EXPECT_NE(SI.intern("True"), SI.intern("Equal"));
+}
+
+TEST(StringInterner, LookupWithoutInterning) {
+  StringInterner SI;
+  EXPECT_FALSE(SI.contains("missing"));
+  SI.intern("present");
+  EXPECT_TRUE(SI.contains("present"));
+  EXPECT_EQ(SI.lookup("present"), SI.intern("present"));
+}
+
+TEST(StringInterner, StableAcrossGrowth) {
+  StringInterner SI;
+  Symbol First = SI.intern("first");
+  for (int I = 0; I < 1000; ++I)
+    SI.intern("sym" + std::to_string(I));
+  EXPECT_EQ(SI.text(First), "first");
+  EXPECT_EQ(SI.intern("first"), First);
+}
+
+// --- Subtokens --------------------------------------------------------------
+
+struct SubtokenCase {
+  const char *Input;
+  std::vector<std::string> Expected;
+};
+
+class SubtokenSplitTest : public ::testing::TestWithParam<SubtokenCase> {};
+
+TEST_P(SubtokenSplitTest, Splits) {
+  const SubtokenCase &C = GetParam();
+  EXPECT_EQ(splitSubtokens(C.Input), C.Expected) << "input: " << C.Input;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperExamples, SubtokenSplitTest,
+    ::testing::Values(
+        SubtokenCase{"assertTrue", {"assert", "True"}},
+        SubtokenCase{"rotate_angle", {"rotate", "angle"}},
+        SubtokenCase{"self", {"self"}},
+        SubtokenCase{"assertEquals", {"assert", "Equals"}},
+        SubtokenCase{"num_or_process", {"num", "or", "process"}},
+        SubtokenCase{"HTTPServer", {"HTTP", "Server"}},
+        SubtokenCase{"HTTPServer2", {"HTTP", "Server", "2"}},
+        SubtokenCase{"progDialog", {"prog", "Dialog"}},
+        SubtokenCase{"outputWriter", {"output", "Writer"}},
+        SubtokenCase{"_private_name", {"private", "name"}},
+        SubtokenCase{"CONST_VALUE", {"CONST", "VALUE"}},
+        SubtokenCase{"x", {"x"}},
+        SubtokenCase{"value2key", {"value", "2", "key"}},
+        SubtokenCase{"", {}},
+        SubtokenCase{"___", {}}));
+
+TEST(Subtokens, JoinLikeSnake) {
+  EXPECT_EQ(joinSubtokensLike({"rotate", "angle"}, "some_name"),
+            "rotate_angle");
+}
+
+TEST(Subtokens, JoinLikeCamel) {
+  EXPECT_EQ(joinSubtokensLike({"assert", "Equal"}, "assertTrue"),
+            "assertEqual");
+}
+
+TEST(Subtokens, JoinSingle) {
+  EXPECT_EQ(joinSubtokensLike({"np"}, "N"), "np");
+}
+
+// Round trip property: splitting a camelCase join of lowercase words
+// recovers the words (case-insensitively).
+TEST(Subtokens, SplitJoinRoundTrip) {
+  std::vector<std::string> Words = {"get", "user", "name"};
+  std::string Joined = joinSubtokensLike(Words, "camelCase");
+  EXPECT_EQ(Joined, "getUserName");
+  auto Split = splitSubtokens(Joined);
+  ASSERT_EQ(Split.size(), 3u);
+  EXPECT_EQ(Split[0], "get");
+  EXPECT_EQ(Split[1], "User");
+  EXPECT_EQ(Split[2], "Name");
+}
+
+// --- EditDistance -----------------------------------------------------------
+
+TEST(EditDistance, Identity) { EXPECT_EQ(editDistance("abc", "abc"), 0u); }
+
+TEST(EditDistance, PaperPairs) {
+  EXPECT_EQ(editDistance("True", "Equal"), 4u);
+  EXPECT_EQ(editDistance("or", "of"), 1u);
+  EXPECT_EQ(editDistance("por", "port"), 1u);
+  EXPECT_EQ(editDistance("args", "kwargs"), 2u);
+}
+
+TEST(EditDistance, EmptyStrings) {
+  EXPECT_EQ(editDistance("", ""), 0u);
+  EXPECT_EQ(editDistance("", "abcd"), 4u);
+  EXPECT_EQ(editDistance("abcd", ""), 4u);
+}
+
+TEST(EditDistance, Symmetry) {
+  EXPECT_EQ(editDistance("kitten", "sitting"),
+            editDistance("sitting", "kitten"));
+  EXPECT_EQ(editDistance("kitten", "sitting"), 3u);
+}
+
+// Metric properties on a small word set.
+TEST(EditDistance, TriangleInequality) {
+  const char *Words[] = {"name", "key", "value", "x", "min", "max", ""};
+  for (const char *A : Words)
+    for (const char *B : Words)
+      for (const char *C : Words)
+        EXPECT_LE(editDistance(A, C),
+                  editDistance(A, B) + editDistance(B, C));
+}
+
+// --- Rng --------------------------------------------------------------------
+
+TEST(Rng, Deterministic) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, BoundedStaysInBounds) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.bounded(10), 10u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng R(3);
+  for (int I = 0; I < 1000; ++I) {
+    double U = R.uniform();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+}
+
+TEST(Rng, WeightedRespectsZeroWeight) {
+  Rng R(11);
+  std::vector<double> W = {0.0, 1.0, 0.0};
+  for (int I = 0; I < 200; ++I)
+    EXPECT_EQ(R.weighted(W), 1u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng R(5);
+  std::vector<int> V = {1, 2, 3, 4, 5, 6, 7};
+  auto Sorted = V;
+  R.shuffle(V);
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Sorted);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng A(9);
+  Rng B = A.fork();
+  // The fork consumed one value; subsequent draws should differ from the
+  // parent's next draws (overwhelmingly likely).
+  EXPECT_NE(A.next(), B.next());
+}
+
+// --- Hashing ----------------------------------------------------------------
+
+TEST(Hashing, StringHashDistinguishes) {
+  EXPECT_NE(hashString("assertTrue"), hashString("assertEqual"));
+  EXPECT_EQ(hashString("same"), hashString("same"));
+}
+
+TEST(Hashing, CombinersAreOrderSensitive) {
+  uint64_t A = hashU32(hashU32(FnvOffsetBasis, 1), 2);
+  uint64_t B = hashU32(hashU32(FnvOffsetBasis, 2), 1);
+  EXPECT_NE(A, B);
+}
+
+// --- TextTable --------------------------------------------------------------
+
+TEST(TextTable, AlignsColumns) {
+  TextTable Table;
+  Table.setHeader({"Baseline", "Report", "Precision"});
+  Table.addRow({"Namer", "134", "70%"});
+  Table.addRow({"w/o C", "300", "46%"});
+  std::string Out = Table.render();
+  EXPECT_NE(Out.find("Namer"), std::string::npos);
+  EXPECT_NE(Out.find("w/o C"), std::string::npos);
+  // Each line has the same column start for "Report" values.
+  auto Pos1 = Out.find("134");
+  auto Pos2 = Out.find("300");
+  auto LineStart1 = Out.rfind('\n', Pos1);
+  auto LineStart2 = Out.rfind('\n', Pos2);
+  EXPECT_EQ(Pos1 - LineStart1, Pos2 - LineStart2);
+}
+
+TEST(TextTable, FormatHelpers) {
+  EXPECT_EQ(TextTable::formatPercent(0.7), "70%");
+  EXPECT_EQ(TextTable::formatPercent(0.685, 1), "68.5%");
+  EXPECT_EQ(TextTable::formatDouble(1.5, 1), "1.5");
+}

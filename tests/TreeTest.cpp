@@ -1,0 +1,148 @@
+//===- tests/TreeTest.cpp - AST tree tests --------------------------------==//
+
+#include "ast/Statements.h"
+#include "ast/Tree.h"
+
+#include <gtest/gtest.h>
+
+using namespace namer;
+
+TEST(AstContext, KindSymbolsMatchNames) {
+  AstContext Ctx;
+  EXPECT_EQ(Ctx.text(Ctx.kindSymbol(NodeKind::Call)), "Call");
+  EXPECT_EQ(Ctx.text(Ctx.kindSymbol(NodeKind::AttributeLoad)),
+            "AttributeLoad");
+  EXPECT_EQ(Ctx.text(Ctx.kindSymbol(NodeKind::NumST)), "NumST");
+}
+
+TEST(Tree, BuildAndDump) {
+  AstContext Ctx;
+  Tree T(Ctx);
+  NodeId Call = T.addNode(NodeKind::Call, InvalidNode);
+  NodeId AttrLoad = T.addNode(NodeKind::AttributeLoad, Call);
+  NodeId NameLoad = T.addNode(NodeKind::NameLoad, AttrLoad);
+  T.addNode(NodeKind::Ident, "self", NameLoad);
+  NodeId Attr = T.addNode(NodeKind::Attr, AttrLoad);
+  T.addNode(NodeKind::Ident, "assertTrue", Attr);
+  NodeId Num = T.addNode(NodeKind::Num, Call);
+  T.addNode(NodeKind::Ident, "90", Num);
+
+  EXPECT_EQ(T.dump(),
+            "(Call (AttributeLoad (NameLoad self) (Attr assertTrue)) "
+            "(Num 90))");
+  EXPECT_EQ(T.root(), Call);
+}
+
+TEST(Tree, ChildIndex) {
+  AstContext Ctx;
+  Tree T(Ctx);
+  NodeId Root = T.addNode(NodeKind::Call, InvalidNode);
+  NodeId A = T.addNode(NodeKind::NameLoad, Root);
+  NodeId B = T.addNode(NodeKind::Num, Root);
+  NodeId C = T.addNode(NodeKind::Str, Root);
+  EXPECT_EQ(T.childIndex(A), 0u);
+  EXPECT_EQ(T.childIndex(B), 1u);
+  EXPECT_EQ(T.childIndex(C), 2u);
+}
+
+TEST(Tree, InsertAbovePreservesChildSlot) {
+  AstContext Ctx;
+  Tree T(Ctx);
+  NodeId Root = T.addNode(NodeKind::Call, InvalidNode);
+  NodeId A = T.addNode(NodeKind::NameLoad, Root);
+  NodeId B = T.addNode(NodeKind::Num, Root);
+  (void)A;
+  NodeId Wrapper = T.insertAbove(B, NodeKind::NumArgs, Ctx.intern("NumArgs(2)"));
+  EXPECT_EQ(T.node(Root).Children[1], Wrapper);
+  EXPECT_EQ(T.node(Wrapper).Children[0], B);
+  EXPECT_EQ(T.node(B).Parent, Wrapper);
+  EXPECT_EQ(T.childIndex(Wrapper), 1u);
+}
+
+TEST(Tree, InsertAboveRoot) {
+  AstContext Ctx;
+  Tree T(Ctx);
+  NodeId Call = T.addNode(NodeKind::Call, InvalidNode);
+  NodeId Wrapper =
+      T.insertAbove(Call, NodeKind::NumArgs, Ctx.intern("NumArgs(0)"));
+  EXPECT_EQ(T.root(), Wrapper);
+  EXPECT_EQ(T.node(Call).Parent, Wrapper);
+}
+
+TEST(Tree, ReparentMovesSubtree) {
+  AstContext Ctx;
+  Tree T(Ctx);
+  NodeId Root = T.addNode(NodeKind::Module, InvalidNode);
+  NodeId A = T.addNode(NodeKind::NameLoad, Root);
+  NodeId Bin = T.addNode(NodeKind::BinOp, Root);
+  T.reparent(A, Bin);
+  ASSERT_EQ(T.node(Root).Children.size(), 1u);
+  EXPECT_EQ(T.node(Root).Children[0], Bin);
+  ASSERT_EQ(T.node(Bin).Children.size(), 1u);
+  EXPECT_EQ(T.node(Bin).Children[0], A);
+  EXPECT_EQ(T.node(A).Parent, Bin);
+}
+
+TEST(Tree, CopySubtreeSkipsBodies) {
+  AstContext Ctx;
+  Tree T(Ctx);
+  NodeId For = T.addNode(NodeKind::For, InvalidNode);
+  NodeId Target = T.addNode(NodeKind::NameStore, For);
+  T.addNode(NodeKind::Ident, "i", Target);
+  NodeId Iter = T.addNode(NodeKind::Call, For);
+  NodeId Callee = T.addNode(NodeKind::NameLoad, Iter);
+  T.addNode(NodeKind::Ident, "range", Callee);
+  NodeId Body = T.addNode(NodeKind::Body, For);
+  T.addNode(NodeKind::Pass, Body);
+
+  Tree Projected = projectStatement(T, For);
+  EXPECT_EQ(Projected.dump(),
+            "(For (NameStore i) (Call (NameLoad range)))");
+}
+
+TEST(Statements, CollectsStatementRoots) {
+  AstContext Ctx;
+  Tree T(Ctx);
+  NodeId Module = T.addNode(NodeKind::Module, InvalidNode);
+  NodeId Fn = T.addNode(NodeKind::FunctionDef, Module);
+  T.addNode(NodeKind::Ident, "f", Fn);
+  T.addNode(NodeKind::ParamList, Fn);
+  NodeId Body = T.addNode(NodeKind::Body, Fn);
+  NodeId Assign = T.addNode(NodeKind::Assign, Body);
+  (void)Assign;
+  NodeId Ret = T.addNode(NodeKind::Return, Body);
+  (void)Ret;
+
+  auto Roots = collectStatementRoots(T);
+  ASSERT_EQ(Roots.size(), 3u);
+  EXPECT_EQ(T.node(Roots[0]).Kind, NodeKind::FunctionDef);
+  EXPECT_EQ(T.node(Roots[1]).Kind, NodeKind::Assign);
+  EXPECT_EQ(T.node(Roots[2]).Kind, NodeKind::Return);
+}
+
+TEST(Statements, ExprStmtUnwrapsToExpression) {
+  AstContext Ctx;
+  Tree T(Ctx);
+  NodeId Stmt = T.addNode(NodeKind::ExprStmt, InvalidNode);
+  NodeId Call = T.addNode(NodeKind::Call, Stmt);
+  NodeId Callee = T.addNode(NodeKind::NameLoad, Call);
+  T.addNode(NodeKind::Ident, "foo", Callee);
+
+  Tree Projected = projectStatement(T, Stmt);
+  EXPECT_EQ(Projected.node(Projected.root()).Kind, NodeKind::Call);
+}
+
+TEST(Statements, EnclosingNodeWalksParents) {
+  AstContext Ctx;
+  Tree T(Ctx);
+  NodeId Module = T.addNode(NodeKind::Module, InvalidNode);
+  NodeId Class = T.addNode(NodeKind::ClassDef, Module);
+  NodeId Body = T.addNode(NodeKind::Body, Class);
+  NodeId Fn = T.addNode(NodeKind::FunctionDef, Body);
+  NodeId FnBody = T.addNode(NodeKind::Body, Fn);
+  NodeId Stmt = T.addNode(NodeKind::Assign, FnBody);
+
+  EXPECT_EQ(enclosingNode(T, Stmt, NodeKind::FunctionDef), Fn);
+  EXPECT_EQ(enclosingNode(T, Stmt, NodeKind::ClassDef), Class);
+  EXPECT_EQ(enclosingNode(T, Module, NodeKind::ClassDef), InvalidNode);
+}

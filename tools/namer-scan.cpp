@@ -1,0 +1,177 @@
+//===- tools/namer-scan.cpp - Namer command line scanner ------------------==//
+//
+// Scans a directory of Python or Java sources for naming issues:
+//
+//   namer-scan --lang=python [--no-classifier] [--max-reports=N] DIR
+//
+// Patterns are mined from the bundled ecosystem corpus *plus* the scanned
+// tree (so project-local idioms contribute), violations are filtered by a
+// classifier trained on the corpus oracle's labels, and reports print as
+// file:line diagnostics with suggested fixes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "namer/Evaluation.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace namer;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Options {
+  corpus::Language Lang = corpus::Language::Python;
+  bool UseClassifier = true;
+  size_t MaxReports = 50;
+  std::string Directory;
+};
+
+void printUsage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--lang=python|java] [--no-classifier] "
+               "[--max-reports=N] DIR\n",
+               Argv0);
+}
+
+bool parseArgs(int Argc, char **Argv, Options &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--lang=python") {
+      Opts.Lang = corpus::Language::Python;
+    } else if (Arg == "--lang=java") {
+      Opts.Lang = corpus::Language::Java;
+    } else if (Arg == "--no-classifier") {
+      Opts.UseClassifier = false;
+    } else if (Arg.rfind("--max-reports=", 0) == 0) {
+      Opts.MaxReports = static_cast<size_t>(
+          std::strtoul(Arg.c_str() + std::strlen("--max-reports="), nullptr,
+                       10));
+    } else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      return false;
+    } else if (Opts.Directory.empty()) {
+      Opts.Directory = Arg;
+    } else {
+      std::fprintf(stderr, "extra positional argument '%s'\n", Arg.c_str());
+      return false;
+    }
+  }
+  return !Opts.Directory.empty();
+}
+
+/// Loads every source file with the language's extension under \p Root.
+corpus::Repository loadRepository(const std::string &Root,
+                                  corpus::Language Lang, size_t &Skipped) {
+  corpus::Repository Repo;
+  Repo.Name = Root;
+  const char *Extension = Lang == corpus::Language::Python ? ".py" : ".java";
+  std::error_code Ec;
+  for (fs::recursive_directory_iterator It(Root, Ec), End; It != End;
+       It.increment(Ec)) {
+    if (Ec)
+      break;
+    if (!It->is_regular_file() || It->path().extension() != Extension)
+      continue;
+    std::ifstream Stream(It->path());
+    if (!Stream) {
+      ++Skipped;
+      continue;
+    }
+    corpus::SourceFile F;
+    F.Path = It->path().string();
+    F.Text.assign(std::istreambuf_iterator<char>(Stream),
+                  std::istreambuf_iterator<char>());
+    Repo.Files.push_back(std::move(F));
+  }
+  return Repo;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseArgs(Argc, Argv, Opts)) {
+    printUsage(Argv[0]);
+    return 2;
+  }
+
+  size_t Skipped = 0;
+  corpus::Repository Project =
+      loadRepository(Opts.Directory, Opts.Lang, Skipped);
+  if (Project.Files.empty()) {
+    std::fprintf(stderr, "no %s files under %s\n",
+                 Opts.Lang == corpus::Language::Python ? ".py" : ".java",
+                 Opts.Directory.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "loaded %zu files from %s%s\n", Project.Files.size(),
+               Opts.Directory.c_str(),
+               Skipped ? " (some unreadable files skipped)" : "");
+
+  // Ecosystem corpus + the scanned project as one extra repository.
+  corpus::CorpusConfig Config;
+  Config.Lang = Opts.Lang;
+  corpus::Corpus BigCode = corpus::generateCorpus(Config);
+  corpus::InspectionOracle Oracle(BigCode); // labels come from the corpus
+  std::string ProjectName = Project.Name;
+  BigCode.Repos.push_back(std::move(Project));
+
+  PipelineConfig PC;
+  PC.UseClassifier = Opts.UseClassifier;
+  NamerPipeline Namer(PC);
+  std::fprintf(stderr, "mining name patterns ...\n");
+  Namer.build(BigCode);
+  std::fprintf(stderr, "%zu patterns, %zu confusing word pairs\n",
+               Namer.patterns().size(), Namer.pairs().numPairs());
+
+  if (Opts.UseClassifier) {
+    std::vector<size_t> Indices;
+    std::vector<bool> Labels;
+    collectBalancedLabels(Namer, Oracle, 120, /*Seed=*/1, Indices, Labels);
+    if (Indices.size() >= 10) {
+      std::vector<Violation> Labeled;
+      for (size_t I : Indices)
+        Labeled.push_back(Namer.violations()[I]);
+      Namer.trainClassifier(Labeled, Labels);
+    } else {
+      std::fprintf(stderr,
+                   "too few labeled violations; reporting unfiltered\n");
+      Opts.UseClassifier = false;
+    }
+  }
+
+  // Collect reports inside the scanned tree only.
+  std::vector<Report> Reports;
+  for (const Violation &V : Namer.violations()) {
+    Report R = Namer.makeReport(V);
+    if (R.File.rfind(Opts.Directory, 0) != 0)
+      continue;
+    if (Opts.UseClassifier && !Namer.classify(V))
+      continue;
+    Reports.push_back(std::move(R));
+  }
+  std::sort(Reports.begin(), Reports.end(),
+            [](const Report &A, const Report &B) {
+              return A.Confidence > B.Confidence;
+            });
+  if (Reports.size() > Opts.MaxReports)
+    Reports.resize(Opts.MaxReports);
+
+  for (const Report &R : Reports)
+    std::printf("%s:%u: naming issue: '%s' is suspicious here; suggested "
+                "fix: '%s' [%s]\n",
+                R.File.c_str(), R.Line, R.Original.c_str(),
+                R.Suggested.c_str(),
+                R.Kind == PatternKind::Consistency ? "consistency"
+                                                   : "confusing-word");
+  std::fprintf(stderr, "%zu report(s) in %s\n", Reports.size(),
+               ProjectName.c_str());
+  return 0;
+}
