@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_overview.dir/fig2_overview.cpp.o"
+  "CMakeFiles/fig2_overview.dir/fig2_overview.cpp.o.d"
+  "fig2_overview"
+  "fig2_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_fptree.dir/fig3_fptree.cpp.o"
+  "CMakeFiles/fig3_fptree.dir/fig3_fptree.cpp.o.d"
+  "fig3_fptree"
+  "fig3_fptree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_fptree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../lib/libnamer_bench_common.a"
+  "../lib/libnamer_bench_common.pdb"
+  "CMakeFiles/namer_bench_common.dir/BenchCommon.cpp.o"
+  "CMakeFiles/namer_bench_common.dir/BenchCommon.cpp.o.d"
+  "CMakeFiles/namer_bench_common.dir/DlComparison.cpp.o"
+  "CMakeFiles/namer_bench_common.dir/DlComparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namer_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

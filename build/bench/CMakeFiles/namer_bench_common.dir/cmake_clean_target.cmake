@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libnamer_bench_common.a"
+)

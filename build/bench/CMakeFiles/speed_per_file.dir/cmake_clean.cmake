@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speed_per_file.dir/speed_per_file.cpp.o"
+  "CMakeFiles/speed_per_file.dir/speed_per_file.cpp.o.d"
+  "speed_per_file"
+  "speed_per_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speed_per_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

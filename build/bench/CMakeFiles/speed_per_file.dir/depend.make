@@ -1,0 +1,2 @@
+# Empty dependencies file for speed_per_file.
+# This may be replaced when dependencies are built.

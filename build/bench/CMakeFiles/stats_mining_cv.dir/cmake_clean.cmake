@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_mining_cv.dir/stats_mining_cv.cpp.o"
+  "CMakeFiles/stats_mining_cv.dir/stats_mining_cv.cpp.o.d"
+  "stats_mining_cv"
+  "stats_mining_cv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_mining_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table10_dl_python.cpp" "bench/CMakeFiles/table10_dl_python.dir/table10_dl_python.cpp.o" "gcc" "bench/CMakeFiles/table10_dl_python.dir/table10_dl_python.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/namer_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/namer/CMakeFiles/namer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/classifier/CMakeFiles/namer_classifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/namer_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/namepath/CMakeFiles/namer_namepath.dir/DependInfo.cmake"
+  "/root/repo/build/src/histmine/CMakeFiles/namer_histmine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/namer_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/namer_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/namer_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/neural/CMakeFiles/namer_neural.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/namer_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/namer_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/namer_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/namer_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

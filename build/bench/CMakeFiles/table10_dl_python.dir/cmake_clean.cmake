@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_dl_python.dir/table10_dl_python.cpp.o"
+  "CMakeFiles/table10_dl_python.dir/table10_dl_python.cpp.o.d"
+  "table10_dl_python"
+  "table10_dl_python.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_dl_python.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

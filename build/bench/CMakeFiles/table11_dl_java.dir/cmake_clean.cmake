@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table11_dl_java.dir/table11_dl_java.cpp.o"
+  "CMakeFiles/table11_dl_java.dir/table11_dl_java.cpp.o.d"
+  "table11_dl_java"
+  "table11_dl_java.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table11_dl_java.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_python_ablation.dir/table2_python_ablation.cpp.o"
+  "CMakeFiles/table2_python_ablation.dir/table2_python_ablation.cpp.o.d"
+  "table2_python_ablation"
+  "table2_python_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_python_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_python_examples.dir/table3_python_examples.cpp.o"
+  "CMakeFiles/table3_python_examples.dir/table3_python_examples.cpp.o.d"
+  "table3_python_examples"
+  "table3_python_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_python_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

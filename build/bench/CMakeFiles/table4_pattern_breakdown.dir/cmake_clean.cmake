@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_pattern_breakdown.dir/table4_pattern_breakdown.cpp.o"
+  "CMakeFiles/table4_pattern_breakdown.dir/table4_pattern_breakdown.cpp.o.d"
+  "table4_pattern_breakdown"
+  "table4_pattern_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_pattern_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_java_ablation.dir/table5_java_ablation.cpp.o"
+  "CMakeFiles/table5_java_ablation.dir/table5_java_ablation.cpp.o.d"
+  "table5_java_ablation"
+  "table5_java_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_java_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_java_examples.dir/table6_java_examples.cpp.o"
+  "CMakeFiles/table6_java_examples.dir/table6_java_examples.cpp.o.d"
+  "table6_java_examples"
+  "table6_java_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_java_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_user_study.dir/table8_user_study.cpp.o"
+  "CMakeFiles/table8_user_study.dir/table8_user_study.cpp.o.d"
+  "table8_user_study"
+  "table8_user_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_user_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_weights.dir/table9_weights.cpp.o"
+  "CMakeFiles/table9_weights.dir/table9_weights.cpp.o.d"
+  "table9_weights"
+  "table9_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/java_exceptions.dir/java_exceptions.cpp.o"
+  "CMakeFiles/java_exceptions.dir/java_exceptions.cpp.o.d"
+  "java_exceptions"
+  "java_exceptions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/java_exceptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

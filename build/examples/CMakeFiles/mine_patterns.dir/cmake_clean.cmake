@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mine_patterns.dir/mine_patterns.cpp.o"
+  "CMakeFiles/mine_patterns.dir/mine_patterns.cpp.o.d"
+  "mine_patterns"
+  "mine_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mine_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

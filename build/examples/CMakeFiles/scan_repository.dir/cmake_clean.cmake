@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_repository.dir/scan_repository.cpp.o"
+  "CMakeFiles/scan_repository.dir/scan_repository.cpp.o.d"
+  "scan_repository"
+  "scan_repository.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_repository.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

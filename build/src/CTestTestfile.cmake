@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ast")
+subdirs("frontend")
+subdirs("analysis")
+subdirs("transform")
+subdirs("namepath")
+subdirs("pattern")
+subdirs("histmine")
+subdirs("ml")
+subdirs("classifier")
+subdirs("corpus")
+subdirs("neural")
+subdirs("namer")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Origins.cpp" "src/analysis/CMakeFiles/namer_analysis.dir/Origins.cpp.o" "gcc" "src/analysis/CMakeFiles/namer_analysis.dir/Origins.cpp.o.d"
+  "/root/repo/src/analysis/WellKnown.cpp" "src/analysis/CMakeFiles/namer_analysis.dir/WellKnown.cpp.o" "gcc" "src/analysis/CMakeFiles/namer_analysis.dir/WellKnown.cpp.o.d"
+  "/root/repo/src/analysis/datalog/Datalog.cpp" "src/analysis/CMakeFiles/namer_analysis.dir/datalog/Datalog.cpp.o" "gcc" "src/analysis/CMakeFiles/namer_analysis.dir/datalog/Datalog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/namer_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/namer_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/namer_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

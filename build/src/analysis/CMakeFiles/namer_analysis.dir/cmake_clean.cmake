@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namer_analysis.dir/Origins.cpp.o"
+  "CMakeFiles/namer_analysis.dir/Origins.cpp.o.d"
+  "CMakeFiles/namer_analysis.dir/WellKnown.cpp.o"
+  "CMakeFiles/namer_analysis.dir/WellKnown.cpp.o.d"
+  "CMakeFiles/namer_analysis.dir/datalog/Datalog.cpp.o"
+  "CMakeFiles/namer_analysis.dir/datalog/Datalog.cpp.o.d"
+  "libnamer_analysis.a"
+  "libnamer_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namer_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

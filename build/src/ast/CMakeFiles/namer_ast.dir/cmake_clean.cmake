@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namer_ast.dir/Statements.cpp.o"
+  "CMakeFiles/namer_ast.dir/Statements.cpp.o.d"
+  "CMakeFiles/namer_ast.dir/Tree.cpp.o"
+  "CMakeFiles/namer_ast.dir/Tree.cpp.o.d"
+  "libnamer_ast.a"
+  "libnamer_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namer_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

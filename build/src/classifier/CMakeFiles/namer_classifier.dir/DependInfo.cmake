@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classifier/DatasetIndex.cpp" "src/classifier/CMakeFiles/namer_classifier.dir/DatasetIndex.cpp.o" "gcc" "src/classifier/CMakeFiles/namer_classifier.dir/DatasetIndex.cpp.o.d"
+  "/root/repo/src/classifier/DefectClassifier.cpp" "src/classifier/CMakeFiles/namer_classifier.dir/DefectClassifier.cpp.o" "gcc" "src/classifier/CMakeFiles/namer_classifier.dir/DefectClassifier.cpp.o.d"
+  "/root/repo/src/classifier/Features.cpp" "src/classifier/CMakeFiles/namer_classifier.dir/Features.cpp.o" "gcc" "src/classifier/CMakeFiles/namer_classifier.dir/Features.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pattern/CMakeFiles/namer_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/histmine/CMakeFiles/namer_histmine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/namer_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/namepath/CMakeFiles/namer_namepath.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/namer_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/namer_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

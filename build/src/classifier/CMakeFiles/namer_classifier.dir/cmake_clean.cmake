@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namer_classifier.dir/DatasetIndex.cpp.o"
+  "CMakeFiles/namer_classifier.dir/DatasetIndex.cpp.o.d"
+  "CMakeFiles/namer_classifier.dir/DefectClassifier.cpp.o"
+  "CMakeFiles/namer_classifier.dir/DefectClassifier.cpp.o.d"
+  "CMakeFiles/namer_classifier.dir/Features.cpp.o"
+  "CMakeFiles/namer_classifier.dir/Features.cpp.o.d"
+  "libnamer_classifier.a"
+  "libnamer_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namer_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/Generator.cpp" "src/corpus/CMakeFiles/namer_corpus.dir/Generator.cpp.o" "gcc" "src/corpus/CMakeFiles/namer_corpus.dir/Generator.cpp.o.d"
+  "/root/repo/src/corpus/JavaGen.cpp" "src/corpus/CMakeFiles/namer_corpus.dir/JavaGen.cpp.o" "gcc" "src/corpus/CMakeFiles/namer_corpus.dir/JavaGen.cpp.o.d"
+  "/root/repo/src/corpus/Oracle.cpp" "src/corpus/CMakeFiles/namer_corpus.dir/Oracle.cpp.o" "gcc" "src/corpus/CMakeFiles/namer_corpus.dir/Oracle.cpp.o.d"
+  "/root/repo/src/corpus/PythonGen.cpp" "src/corpus/CMakeFiles/namer_corpus.dir/PythonGen.cpp.o" "gcc" "src/corpus/CMakeFiles/namer_corpus.dir/PythonGen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/namer_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namer_corpus.dir/Generator.cpp.o"
+  "CMakeFiles/namer_corpus.dir/Generator.cpp.o.d"
+  "CMakeFiles/namer_corpus.dir/JavaGen.cpp.o"
+  "CMakeFiles/namer_corpus.dir/JavaGen.cpp.o.d"
+  "CMakeFiles/namer_corpus.dir/Oracle.cpp.o"
+  "CMakeFiles/namer_corpus.dir/Oracle.cpp.o.d"
+  "CMakeFiles/namer_corpus.dir/PythonGen.cpp.o"
+  "CMakeFiles/namer_corpus.dir/PythonGen.cpp.o.d"
+  "libnamer_corpus.a"
+  "libnamer_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namer_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/java/JavaLexer.cpp" "src/frontend/CMakeFiles/namer_frontend.dir/java/JavaLexer.cpp.o" "gcc" "src/frontend/CMakeFiles/namer_frontend.dir/java/JavaLexer.cpp.o.d"
+  "/root/repo/src/frontend/java/JavaParser.cpp" "src/frontend/CMakeFiles/namer_frontend.dir/java/JavaParser.cpp.o" "gcc" "src/frontend/CMakeFiles/namer_frontend.dir/java/JavaParser.cpp.o.d"
+  "/root/repo/src/frontend/python/PythonLexer.cpp" "src/frontend/CMakeFiles/namer_frontend.dir/python/PythonLexer.cpp.o" "gcc" "src/frontend/CMakeFiles/namer_frontend.dir/python/PythonLexer.cpp.o.d"
+  "/root/repo/src/frontend/python/PythonParser.cpp" "src/frontend/CMakeFiles/namer_frontend.dir/python/PythonParser.cpp.o" "gcc" "src/frontend/CMakeFiles/namer_frontend.dir/python/PythonParser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/namer_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/namer_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

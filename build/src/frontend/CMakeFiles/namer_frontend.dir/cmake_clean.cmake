@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namer_frontend.dir/java/JavaLexer.cpp.o"
+  "CMakeFiles/namer_frontend.dir/java/JavaLexer.cpp.o.d"
+  "CMakeFiles/namer_frontend.dir/java/JavaParser.cpp.o"
+  "CMakeFiles/namer_frontend.dir/java/JavaParser.cpp.o.d"
+  "CMakeFiles/namer_frontend.dir/python/PythonLexer.cpp.o"
+  "CMakeFiles/namer_frontend.dir/python/PythonLexer.cpp.o.d"
+  "CMakeFiles/namer_frontend.dir/python/PythonParser.cpp.o"
+  "CMakeFiles/namer_frontend.dir/python/PythonParser.cpp.o.d"
+  "libnamer_frontend.a"
+  "libnamer_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namer_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

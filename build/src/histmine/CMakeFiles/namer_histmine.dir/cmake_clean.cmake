@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namer_histmine.dir/ConfusingPairs.cpp.o"
+  "CMakeFiles/namer_histmine.dir/ConfusingPairs.cpp.o.d"
+  "libnamer_histmine.a"
+  "libnamer_histmine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namer_histmine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for namer_histmine.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/Evaluation.cpp" "src/ml/CMakeFiles/namer_ml.dir/Evaluation.cpp.o" "gcc" "src/ml/CMakeFiles/namer_ml.dir/Evaluation.cpp.o.d"
+  "/root/repo/src/ml/Matrix.cpp" "src/ml/CMakeFiles/namer_ml.dir/Matrix.cpp.o" "gcc" "src/ml/CMakeFiles/namer_ml.dir/Matrix.cpp.o.d"
+  "/root/repo/src/ml/Models.cpp" "src/ml/CMakeFiles/namer_ml.dir/Models.cpp.o" "gcc" "src/ml/CMakeFiles/namer_ml.dir/Models.cpp.o.d"
+  "/root/repo/src/ml/Preprocess.cpp" "src/ml/CMakeFiles/namer_ml.dir/Preprocess.cpp.o" "gcc" "src/ml/CMakeFiles/namer_ml.dir/Preprocess.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/namer_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

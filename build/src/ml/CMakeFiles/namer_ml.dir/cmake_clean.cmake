@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namer_ml.dir/Evaluation.cpp.o"
+  "CMakeFiles/namer_ml.dir/Evaluation.cpp.o.d"
+  "CMakeFiles/namer_ml.dir/Matrix.cpp.o"
+  "CMakeFiles/namer_ml.dir/Matrix.cpp.o.d"
+  "CMakeFiles/namer_ml.dir/Models.cpp.o"
+  "CMakeFiles/namer_ml.dir/Models.cpp.o.d"
+  "CMakeFiles/namer_ml.dir/Preprocess.cpp.o"
+  "CMakeFiles/namer_ml.dir/Preprocess.cpp.o.d"
+  "libnamer_ml.a"
+  "libnamer_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namer_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

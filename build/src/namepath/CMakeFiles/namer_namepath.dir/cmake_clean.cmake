@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namer_namepath.dir/NamePath.cpp.o"
+  "CMakeFiles/namer_namepath.dir/NamePath.cpp.o.d"
+  "libnamer_namepath.a"
+  "libnamer_namepath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namer_namepath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

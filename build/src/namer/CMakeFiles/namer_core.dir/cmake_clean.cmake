@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namer_core.dir/Evaluation.cpp.o"
+  "CMakeFiles/namer_core.dir/Evaluation.cpp.o.d"
+  "CMakeFiles/namer_core.dir/Pipeline.cpp.o"
+  "CMakeFiles/namer_core.dir/Pipeline.cpp.o.d"
+  "libnamer_core.a"
+  "libnamer_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namer_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/neural/Detector.cpp" "src/neural/CMakeFiles/namer_neural.dir/Detector.cpp.o" "gcc" "src/neural/CMakeFiles/namer_neural.dir/Detector.cpp.o.d"
+  "/root/repo/src/neural/Ggnn.cpp" "src/neural/CMakeFiles/namer_neural.dir/Ggnn.cpp.o" "gcc" "src/neural/CMakeFiles/namer_neural.dir/Ggnn.cpp.o.d"
+  "/root/repo/src/neural/Great.cpp" "src/neural/CMakeFiles/namer_neural.dir/Great.cpp.o" "gcc" "src/neural/CMakeFiles/namer_neural.dir/Great.cpp.o.d"
+  "/root/repo/src/neural/ProgramGraph.cpp" "src/neural/CMakeFiles/namer_neural.dir/ProgramGraph.cpp.o" "gcc" "src/neural/CMakeFiles/namer_neural.dir/ProgramGraph.cpp.o.d"
+  "/root/repo/src/neural/Tensor.cpp" "src/neural/CMakeFiles/namer_neural.dir/Tensor.cpp.o" "gcc" "src/neural/CMakeFiles/namer_neural.dir/Tensor.cpp.o.d"
+  "/root/repo/src/neural/VarMisuse.cpp" "src/neural/CMakeFiles/namer_neural.dir/VarMisuse.cpp.o" "gcc" "src/neural/CMakeFiles/namer_neural.dir/VarMisuse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/namer_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/namer_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/namer_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/namer_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

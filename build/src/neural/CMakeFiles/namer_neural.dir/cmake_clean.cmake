@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namer_neural.dir/Detector.cpp.o"
+  "CMakeFiles/namer_neural.dir/Detector.cpp.o.d"
+  "CMakeFiles/namer_neural.dir/Ggnn.cpp.o"
+  "CMakeFiles/namer_neural.dir/Ggnn.cpp.o.d"
+  "CMakeFiles/namer_neural.dir/Great.cpp.o"
+  "CMakeFiles/namer_neural.dir/Great.cpp.o.d"
+  "CMakeFiles/namer_neural.dir/ProgramGraph.cpp.o"
+  "CMakeFiles/namer_neural.dir/ProgramGraph.cpp.o.d"
+  "CMakeFiles/namer_neural.dir/Tensor.cpp.o"
+  "CMakeFiles/namer_neural.dir/Tensor.cpp.o.d"
+  "CMakeFiles/namer_neural.dir/VarMisuse.cpp.o"
+  "CMakeFiles/namer_neural.dir/VarMisuse.cpp.o.d"
+  "libnamer_neural.a"
+  "libnamer_neural.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namer_neural.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

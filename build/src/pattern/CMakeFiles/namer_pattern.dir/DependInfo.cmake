@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pattern/FPTree.cpp" "src/pattern/CMakeFiles/namer_pattern.dir/FPTree.cpp.o" "gcc" "src/pattern/CMakeFiles/namer_pattern.dir/FPTree.cpp.o.d"
+  "/root/repo/src/pattern/Miner.cpp" "src/pattern/CMakeFiles/namer_pattern.dir/Miner.cpp.o" "gcc" "src/pattern/CMakeFiles/namer_pattern.dir/Miner.cpp.o.d"
+  "/root/repo/src/pattern/NamePattern.cpp" "src/pattern/CMakeFiles/namer_pattern.dir/NamePattern.cpp.o" "gcc" "src/pattern/CMakeFiles/namer_pattern.dir/NamePattern.cpp.o.d"
+  "/root/repo/src/pattern/PatternIndex.cpp" "src/pattern/CMakeFiles/namer_pattern.dir/PatternIndex.cpp.o" "gcc" "src/pattern/CMakeFiles/namer_pattern.dir/PatternIndex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/namepath/CMakeFiles/namer_namepath.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/namer_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/namer_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namer_pattern.dir/FPTree.cpp.o"
+  "CMakeFiles/namer_pattern.dir/FPTree.cpp.o.d"
+  "CMakeFiles/namer_pattern.dir/Miner.cpp.o"
+  "CMakeFiles/namer_pattern.dir/Miner.cpp.o.d"
+  "CMakeFiles/namer_pattern.dir/NamePattern.cpp.o"
+  "CMakeFiles/namer_pattern.dir/NamePattern.cpp.o.d"
+  "CMakeFiles/namer_pattern.dir/PatternIndex.cpp.o"
+  "CMakeFiles/namer_pattern.dir/PatternIndex.cpp.o.d"
+  "libnamer_pattern.a"
+  "libnamer_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namer_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/EditDistance.cpp" "src/support/CMakeFiles/namer_support.dir/EditDistance.cpp.o" "gcc" "src/support/CMakeFiles/namer_support.dir/EditDistance.cpp.o.d"
+  "/root/repo/src/support/StringInterner.cpp" "src/support/CMakeFiles/namer_support.dir/StringInterner.cpp.o" "gcc" "src/support/CMakeFiles/namer_support.dir/StringInterner.cpp.o.d"
+  "/root/repo/src/support/Subtokens.cpp" "src/support/CMakeFiles/namer_support.dir/Subtokens.cpp.o" "gcc" "src/support/CMakeFiles/namer_support.dir/Subtokens.cpp.o.d"
+  "/root/repo/src/support/TextTable.cpp" "src/support/CMakeFiles/namer_support.dir/TextTable.cpp.o" "gcc" "src/support/CMakeFiles/namer_support.dir/TextTable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namer_support.dir/EditDistance.cpp.o"
+  "CMakeFiles/namer_support.dir/EditDistance.cpp.o.d"
+  "CMakeFiles/namer_support.dir/StringInterner.cpp.o"
+  "CMakeFiles/namer_support.dir/StringInterner.cpp.o.d"
+  "CMakeFiles/namer_support.dir/Subtokens.cpp.o"
+  "CMakeFiles/namer_support.dir/Subtokens.cpp.o.d"
+  "CMakeFiles/namer_support.dir/TextTable.cpp.o"
+  "CMakeFiles/namer_support.dir/TextTable.cpp.o.d"
+  "libnamer_support.a"
+  "libnamer_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namer_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnamer_support.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namer_transform.dir/AstPlus.cpp.o"
+  "CMakeFiles/namer_transform.dir/AstPlus.cpp.o.d"
+  "libnamer_transform.a"
+  "libnamer_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namer_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AnalysisTest.cpp" "tests/CMakeFiles/namer_tests.dir/AnalysisTest.cpp.o" "gcc" "tests/CMakeFiles/namer_tests.dir/AnalysisTest.cpp.o.d"
+  "/root/repo/tests/ClassifierTest.cpp" "tests/CMakeFiles/namer_tests.dir/ClassifierTest.cpp.o" "gcc" "tests/CMakeFiles/namer_tests.dir/ClassifierTest.cpp.o.d"
+  "/root/repo/tests/CorpusTest.cpp" "tests/CMakeFiles/namer_tests.dir/CorpusTest.cpp.o" "gcc" "tests/CMakeFiles/namer_tests.dir/CorpusTest.cpp.o.d"
+  "/root/repo/tests/EvaluationTest.cpp" "tests/CMakeFiles/namer_tests.dir/EvaluationTest.cpp.o" "gcc" "tests/CMakeFiles/namer_tests.dir/EvaluationTest.cpp.o.d"
+  "/root/repo/tests/HistMineTest.cpp" "tests/CMakeFiles/namer_tests.dir/HistMineTest.cpp.o" "gcc" "tests/CMakeFiles/namer_tests.dir/HistMineTest.cpp.o.d"
+  "/root/repo/tests/JavaParserTest.cpp" "tests/CMakeFiles/namer_tests.dir/JavaParserTest.cpp.o" "gcc" "tests/CMakeFiles/namer_tests.dir/JavaParserTest.cpp.o.d"
+  "/root/repo/tests/MlTest.cpp" "tests/CMakeFiles/namer_tests.dir/MlTest.cpp.o" "gcc" "tests/CMakeFiles/namer_tests.dir/MlTest.cpp.o.d"
+  "/root/repo/tests/NamePathTest.cpp" "tests/CMakeFiles/namer_tests.dir/NamePathTest.cpp.o" "gcc" "tests/CMakeFiles/namer_tests.dir/NamePathTest.cpp.o.d"
+  "/root/repo/tests/NeuralTest.cpp" "tests/CMakeFiles/namer_tests.dir/NeuralTest.cpp.o" "gcc" "tests/CMakeFiles/namer_tests.dir/NeuralTest.cpp.o.d"
+  "/root/repo/tests/PatternTest.cpp" "tests/CMakeFiles/namer_tests.dir/PatternTest.cpp.o" "gcc" "tests/CMakeFiles/namer_tests.dir/PatternTest.cpp.o.d"
+  "/root/repo/tests/PipelineTest.cpp" "tests/CMakeFiles/namer_tests.dir/PipelineTest.cpp.o" "gcc" "tests/CMakeFiles/namer_tests.dir/PipelineTest.cpp.o.d"
+  "/root/repo/tests/PropertyTest.cpp" "tests/CMakeFiles/namer_tests.dir/PropertyTest.cpp.o" "gcc" "tests/CMakeFiles/namer_tests.dir/PropertyTest.cpp.o.d"
+  "/root/repo/tests/PythonParserTest.cpp" "tests/CMakeFiles/namer_tests.dir/PythonParserTest.cpp.o" "gcc" "tests/CMakeFiles/namer_tests.dir/PythonParserTest.cpp.o.d"
+  "/root/repo/tests/RobustnessTest.cpp" "tests/CMakeFiles/namer_tests.dir/RobustnessTest.cpp.o" "gcc" "tests/CMakeFiles/namer_tests.dir/RobustnessTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/namer_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/namer_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/TreeTest.cpp" "tests/CMakeFiles/namer_tests.dir/TreeTest.cpp.o" "gcc" "tests/CMakeFiles/namer_tests.dir/TreeTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/namer_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/namepath/CMakeFiles/namer_namepath.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/namer_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/namer_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/namer_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/histmine/CMakeFiles/namer_histmine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/namer_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/namer_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/classifier/CMakeFiles/namer_classifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/namer/CMakeFiles/namer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/neural/CMakeFiles/namer_neural.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/namer_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/namer_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

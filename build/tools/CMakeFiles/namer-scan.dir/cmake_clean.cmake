@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namer-scan.dir/namer-scan.cpp.o"
+  "CMakeFiles/namer-scan.dir/namer-scan.cpp.o.d"
+  "namer-scan"
+  "namer-scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namer-scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
