@@ -1,0 +1,142 @@
+//===- bench/pipeline_parallel.cpp - end-to-end pipeline throughput -------==//
+//
+// Measures the full NamerPipeline::build (parse + analyses + AST+ transform
+// + name-path extraction + history mining + FP-tree mining + pattern scan)
+// at 1, 2, 4 and hardware_concurrency threads, and emits BENCH_pipeline.json
+// with files/sec and the speedup relative to the single-threaded build.
+//
+// The machine's core count is recorded in the JSON: speedups are only
+// meaningful relative to `hardware_concurrency` (a 1-core container cannot
+// show parallel speedup no matter how good the pool is). As a side effect
+// the run also cross-checks the determinism contract: every thread count
+// must produce the identical report list.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "namer/Pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace namer;
+using namespace namer::bench;
+
+namespace {
+
+struct Measurement {
+  unsigned Threads = 0;
+  double Millis = 0.0;
+  double FilesPerSec = 0.0;
+  double Speedup = 0.0;
+  size_t NumReports = 0;
+};
+
+std::unique_ptr<NamerPipeline> buildOnce(const corpus::Corpus &C,
+                                         unsigned Threads, double &Millis) {
+  PipelineConfig Config;
+  Config.Threads = Threads;
+  auto Pipeline = std::make_unique<NamerPipeline>(Config);
+  auto Start = std::chrono::steady_clock::now();
+  Pipeline->build(C);
+  Millis = std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - Start)
+               .count();
+  return Pipeline;
+}
+
+std::vector<std::string> renderedReports(const NamerPipeline &P) {
+  std::vector<std::string> Out;
+  for (const Violation &V : P.violations()) {
+    Report R = P.makeReport(V);
+    Out.push_back(R.File + ":" + std::to_string(R.Line) + " " + R.Original +
+                  " -> " + R.Suggested);
+  }
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  const unsigned Hardware = std::max(1u, std::thread::hardware_concurrency());
+  printHeading("Parallel pipeline throughput",
+               "End-to-end NamerPipeline::build at 1/2/4/N threads "
+               "(hardware_concurrency = " +
+                   std::to_string(Hardware) + ")");
+
+  corpus::Corpus C = makeCorpus(corpus::Language::Python);
+  size_t NumFiles = 0;
+  for (const corpus::Repository &R : C.Repos)
+    NumFiles += R.Files.size();
+
+  std::vector<unsigned> ThreadCounts = {1, 2, 4};
+  if (std::find(ThreadCounts.begin(), ThreadCounts.end(), Hardware) ==
+      ThreadCounts.end())
+    ThreadCounts.push_back(Hardware);
+
+  // Warm-up: fault in the corpus and code before timing.
+  {
+    double Ignored = 0.0;
+    buildOnce(C, 1, Ignored);
+  }
+
+  std::vector<Measurement> Results;
+  std::vector<std::string> Baseline;
+  for (unsigned Threads : ThreadCounts) {
+    Measurement M;
+    M.Threads = Threads;
+    std::unique_ptr<NamerPipeline> P = buildOnce(C, Threads, M.Millis);
+    M.FilesPerSec = NumFiles / (M.Millis / 1000.0);
+    M.NumReports = P->violations().size();
+
+    std::vector<std::string> Reports = renderedReports(*P);
+    if (Threads == 1)
+      Baseline = Reports;
+    else if (Reports != Baseline) {
+      std::fprintf(stderr,
+                   "FATAL: reports at %u threads differ from 1 thread\n",
+                   Threads);
+      return 1;
+    }
+    Results.push_back(M);
+  }
+  for (Measurement &M : Results)
+    M.Speedup = Results.front().Millis / M.Millis;
+
+  std::printf("%8s %12s %12s %9s %9s\n", "threads", "build (ms)", "files/sec",
+              "speedup", "reports");
+  for (const Measurement &M : Results)
+    std::printf("%8u %12.1f %12.1f %8.2fx %9zu\n", M.Threads, M.Millis,
+                M.FilesPerSec, M.Speedup, M.NumReports);
+  std::printf("\nreports identical across all thread counts: yes\n");
+
+  std::FILE *Json = std::fopen("BENCH_pipeline.json", "w");
+  if (!Json) {
+    std::fprintf(stderr, "cannot open BENCH_pipeline.json for writing\n");
+    return 1;
+  }
+  std::fprintf(Json, "{\n");
+  std::fprintf(Json, "  \"benchmark\": \"pipeline_parallel\",\n");
+  std::fprintf(Json, "  \"hardware_concurrency\": %u,\n", Hardware);
+  std::fprintf(Json, "  \"corpus_files\": %zu,\n", NumFiles);
+  std::fprintf(Json, "  \"reports_identical_across_thread_counts\": true,\n");
+  std::fprintf(Json, "  \"runs\": [\n");
+  for (size_t I = 0; I != Results.size(); ++I) {
+    const Measurement &M = Results[I];
+    std::fprintf(Json,
+                 "    {\"threads\": %u, \"build_millis\": %.1f, "
+                 "\"files_per_sec\": %.1f, \"speedup_vs_1_thread\": %.3f, "
+                 "\"reports\": %zu}%s\n",
+                 M.Threads, M.Millis, M.FilesPerSec, M.Speedup, M.NumReports,
+                 I + 1 == Results.size() ? "" : ",");
+  }
+  std::fprintf(Json, "  ]\n}\n");
+  std::fclose(Json);
+  std::printf("wrote BENCH_pipeline.json\n");
+  return 0;
+}

@@ -18,7 +18,8 @@ uint64_t pairKey(Symbol Mistaken, Symbol Correct) {
 } // namespace
 
 void ConfusingPairMiner::recordRename(std::string_view Old,
-                                      std::string_view New) {
+                                      std::string_view New,
+                                      std::vector<RenamedSubtoken> &Out) {
   if (Old == New)
     return;
   std::vector<std::string> OldToks = splitSubtokens(Old);
@@ -45,32 +46,46 @@ void ConfusingPairMiner::recordRename(std::string_view Old,
   };
   if (IsNumeric(OldToks[DiffIndex]) || IsNumeric(NewToks[DiffIndex]))
     return;
-  Symbol Mistaken = Ctx.intern(OldToks[DiffIndex]);
-  Symbol Correct = Ctx.intern(NewToks[DiffIndex]);
-  ++Counts[pairKey(Mistaken, Correct)];
+  Out.push_back(
+      RenamedSubtoken{std::move(OldToks[DiffIndex]),
+                      std::move(NewToks[DiffIndex])});
 }
 
 void ConfusingPairMiner::matchNodes(const Tree &Before, NodeId A,
-                                    const Tree &After, NodeId B) {
+                                    const Tree &After, NodeId B,
+                                    std::vector<RenamedSubtoken> &Out) {
   const Node &NA = Before.node(A);
   const Node &NB = After.node(B);
   if (NA.Kind != NB.Kind)
     return;
   if (NA.Kind == NodeKind::Ident && NA.Value != NB.Value) {
-    recordRename(Before.valueText(A), After.valueText(B));
+    recordRename(Before.valueText(A), After.valueText(B), Out);
     return;
   }
   // Align children pairwise over the common prefix; structural inserts and
   // deletes beyond it are not name renames.
   size_t Common = std::min(NA.Children.size(), NB.Children.size());
   for (size_t I = 0; I != Common; ++I)
-    matchNodes(Before, NA.Children[I], After, NB.Children[I]);
+    matchNodes(Before, NA.Children[I], After, NB.Children[I], Out);
+}
+
+std::vector<RenamedSubtoken>
+ConfusingPairMiner::collectRenames(const Tree &Before, const Tree &After) {
+  std::vector<RenamedSubtoken> Out;
+  if (Before.empty() || After.empty())
+    return Out;
+  matchNodes(Before, Before.root(), After, After.root(), Out);
+  return Out;
+}
+
+void ConfusingPairMiner::addRename(std::string_view Mistaken,
+                                   std::string_view Correct) {
+  ++Counts[pairKey(Ctx.intern(Mistaken), Ctx.intern(Correct))];
 }
 
 void ConfusingPairMiner::addCommit(const Tree &Before, const Tree &After) {
-  if (Before.empty() || After.empty())
-    return;
-  matchNodes(Before, Before.root(), After, After.root());
+  for (const RenamedSubtoken &R : collectRenames(Before, After))
+    addRename(R.Mistaken, R.Correct);
 }
 
 std::vector<ConfusingPair> ConfusingPairMiner::pairs() const {

@@ -28,14 +28,33 @@ struct ConfusingPair {
   uint32_t Count;
 };
 
+/// One single-subtoken rename mined from a commit diff, as raw text so it
+/// can be produced without touching any shared interner.
+struct RenamedSubtoken {
+  std::string Mistaken;
+  std::string Correct;
+};
+
 /// Accumulates confusing word pairs over a stream of commits.
 class ConfusingPairMiner {
 public:
   explicit ConfusingPairMiner(AstContext &Ctx) : Ctx(Ctx) {}
 
   /// Diffs the ASTs of one file before and after a commit and records
-  /// single-subtoken renames.
+  /// single-subtoken renames. Equivalent to addRename over
+  /// collectRenames(Before, After).
   void addCommit(const Tree &Before, const Tree &After);
+
+  /// Pure diff half of addCommit: aligns the two ASTs and returns every
+  /// qualifying single-subtoken rename. Touches no miner state, so commits
+  /// can be diffed in parallel (against worker-local trees) and merged
+  /// with addRename in deterministic commit order.
+  static std::vector<RenamedSubtoken> collectRenames(const Tree &Before,
+                                                     const Tree &After);
+
+  /// Merge half of addCommit: interns one mined rename and bumps its
+  /// count.
+  void addRename(std::string_view Mistaken, std::string_view Correct);
 
   /// All mined pairs with counts, most frequent first.
   std::vector<ConfusingPair> pairs() const;
@@ -50,8 +69,10 @@ public:
   size_t numPairs() const { return Counts.size(); }
 
 private:
-  void matchNodes(const Tree &Before, NodeId A, const Tree &After, NodeId B);
-  void recordRename(std::string_view Old, std::string_view New);
+  static void matchNodes(const Tree &Before, NodeId A, const Tree &After,
+                         NodeId B, std::vector<RenamedSubtoken> &Out);
+  static void recordRename(std::string_view Old, std::string_view New,
+                           std::vector<RenamedSubtoken> &Out);
 
   AstContext &Ctx;
   std::unordered_map<uint64_t, uint32_t> Counts; // (mistaken, correct) key

@@ -100,9 +100,14 @@ bool NamePathTable::less(PathId A, PathId B) const {
 
 StmtPaths StmtPaths::fromTree(const Tree &StmtTree, NamePathTable &Table,
                               size_t MaxPaths) {
+  return fromPaths(extractNamePaths(StmtTree, MaxPaths), Table,
+                   StmtTree.context());
+}
+
+StmtPaths StmtPaths::fromPaths(const std::vector<NamePath> &Extracted,
+                               NamePathTable &Table, AstContext &Ctx) {
   StmtPaths Result;
-  AstContext &Ctx = StmtTree.context();
-  for (const NamePath &Path : extractNamePaths(StmtTree, MaxPaths)) {
+  for (const NamePath &Path : Extracted) {
     PathId Id = Table.intern(Path);
     Result.Paths.push_back(Id);
     PrefixId Prefix = Table.prefixOf(Id);

@@ -129,6 +129,13 @@ struct StmtPaths {
   static StmtPaths fromTree(const Tree &StmtTree, NamePathTable &Table,
                             size_t MaxPaths = 10);
 
+  /// Builds from already-extracted paths whose symbols belong to \p Ctx.
+  /// Used by the pipeline's sequential commit step: workers extract paths
+  /// against worker-local interners, translate them, and intern here in
+  /// deterministic corpus order.
+  static StmtPaths fromPaths(const std::vector<NamePath> &Extracted,
+                             NamePathTable &Table, AstContext &Ctx);
+
   bool containsPath(PathId Id, const NamePathTable &Table) const;
   bool containsPrefix(PrefixId Id) const {
     return EndByPrefix.find(Id) != EndByPrefix.end();

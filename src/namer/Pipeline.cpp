@@ -17,33 +17,63 @@ using namespace namer;
 
 NamerPipeline::NamerPipeline(PipelineConfig Config)
     : Config(std::move(Config)), Ctx(std::make_unique<AstContext>()),
+      Pool(std::make_unique<ThreadPool>(this->Config.Threads)),
       Pairs(std::make_unique<ConfusingPairMiner>(*Ctx)),
       Classifier(this->Config.Classifier) {}
 
-void NamerPipeline::ingestFile(const corpus::SourceFile &File, RepoId Repo,
-                               corpus::Language Lang) {
-  auto Start = std::chrono::steady_clock::now();
+namespace {
 
-  Tree Module(*Ctx);
+/// One statement extracted by a worker, in worker-local symbols. Only the
+/// name paths carry symbols; the text hash is computed from the dump and
+/// is interner-independent.
+struct PreStmt {
+  uint32_t Line = 0;
+  uint64_t TextHash = 0;
+  std::vector<NamePath> Paths;
+};
+
+/// Per-file result of the parallel ingest stage. LocalCtx owns the interner
+/// the path symbols refer to; it is kept alive until the sequential commit
+/// translates them into the pipeline's global interner.
+struct FileIngest {
+  std::unique_ptr<AstContext> LocalCtx;
+  std::vector<PreStmt> Stmts;
   size_t Errors = 0;
+  double Millis = 0.0;
+};
+
+Tree parseInto(const std::string &Text, corpus::Language Lang,
+               AstContext &Ctx, size_t *Errors = nullptr) {
   if (Lang == corpus::Language::Python) {
-    auto R = python::parsePython(File.Text, *Ctx);
-    Module = std::move(R.Module);
-    Errors = R.Errors.size();
-  } else {
-    auto R = java::parseJava(File.Text, *Ctx);
-    Module = std::move(R.Module);
-    Errors = R.Errors.size();
+    auto R = python::parsePython(Text, Ctx);
+    if (Errors)
+      *Errors = R.Errors.size();
+    return std::move(R.Module);
   }
-  ParseErrors += Errors;
+  auto R = java::parseJava(Text, Ctx);
+  if (Errors)
+    *Errors = R.Errors.size();
+  return std::move(R.Module);
+}
+
+/// The per-file hot path: parse, Section 4.1 analyses, AST+ transform,
+/// statement projection, name-path extraction. Pure aside from its own
+/// local context, so files ingest in parallel.
+FileIngest ingestOneFile(const corpus::SourceFile &File,
+                         corpus::Language Lang,
+                         const WellKnownRegistry &Registry,
+                         const PipelineConfig &Config) {
+  auto Start = std::chrono::steady_clock::now();
+  FileIngest Out;
+  Out.LocalCtx = std::make_unique<AstContext>();
+
+  Tree Module = parseInto(File.Text, Lang, *Out.LocalCtx, &Out.Errors);
 
   OriginMap Origins;
   if (Config.UseAnalyses)
     Origins = computeOrigins(Module, Registry, Config.Analysis).Origins;
   transformToAstPlus(Module, Origins);
 
-  FileId FId = static_cast<FileId>(FilePaths.size());
-  FilePaths.push_back(File.Path);
   for (NodeId Root : collectStatementRoots(Module)) {
     NodeKind Kind = Module.node(Root).Kind;
     // Definition headers contribute paths through their signature only;
@@ -51,48 +81,118 @@ void NamerPipeline::ingestFile(const corpus::SourceFile &File, RepoId Repo,
     if (Kind == NodeKind::ClassDef)
       continue;
     Tree Stmt = projectStatement(Module, Root);
-    StmtRecord Record;
-    Record.File = FId;
-    Record.Repo = Repo;
+    PreStmt Record;
     Record.Line = Module.node(Root).Line;
     Record.TextHash = hashString(Stmt.dump());
-    Record.Paths = StmtPaths::fromTree(Stmt, Table);
-    if (Record.Paths.Paths.empty())
+    // Same truncation StmtPaths::fromTree applies (Section 5.1: first 10).
+    Record.Paths = extractNamePaths(Stmt, /*MaxPaths=*/10);
+    if (Record.Paths.empty())
       continue;
-    Statements.push_back(std::move(Record));
+    Out.Stmts.push_back(std::move(Record));
   }
 
   auto End = std::chrono::steady_clock::now();
-  TotalBuildMillis +=
+  Out.Millis =
       std::chrono::duration<double, std::milli>(End - Start).count();
+  return Out;
 }
+
+/// Rewrites worker-local symbols to global ones via a lazily-filled remap
+/// table. Interning order (and therefore every global symbol id) is fixed
+/// by the deterministic traversal order of the commit step, not by worker
+/// scheduling.
+class SymbolTranslator {
+public:
+  SymbolTranslator(const AstContext &Local, AstContext &Global)
+      : Local(Local), Global(Global),
+        Remap(Local.strings().size(), NoMapping) {}
+
+  Symbol operator()(Symbol LocalSym) {
+    Symbol &G = Remap[LocalSym];
+    if (G == NoMapping)
+      G = Global.intern(Local.text(LocalSym));
+    return G;
+  }
+
+  void translate(NamePath &Path) {
+    for (PathStep &Step : Path.Prefix)
+      Step.Value = (*this)(Step.Value);
+    Path.End = (*this)(Path.End);
+  }
+
+private:
+  static constexpr Symbol NoMapping = static_cast<Symbol>(-1);
+  const AstContext &Local;
+  AstContext &Global;
+  std::vector<Symbol> Remap;
+};
+
+} // namespace
 
 void NamerPipeline::build(const corpus::Corpus &C) {
   assert(Statements.empty() && "build() must be called once");
+  auto WallStart = std::chrono::steady_clock::now();
   Registry = C.Lang == corpus::Language::Python
                  ? WellKnownRegistry::forPython()
                  : WellKnownRegistry::forJava();
 
-  // Phase 1: ingest all files.
+  // Phase 1: ingest all files -- parallel per-file compute against
+  // worker-local interners, then a sequential commit in corpus order so
+  // global symbol/path ids are identical at every thread count.
   NumRepos = C.Repos.size();
+  std::vector<const corpus::SourceFile *> Files;
+  std::vector<RepoId> FileRepo;
   for (RepoId R = 0; R != C.Repos.size(); ++R)
-    for (const corpus::SourceFile &File : C.Repos[R].Files)
-      ingestFile(File, R, C.Lang);
-
-  // Phase 2: confusing word pairs from the commit history.
-  for (const corpus::CommitPair &Commit : C.Commits) {
-    Tree Before(*Ctx), After(*Ctx);
-    if (C.Lang == corpus::Language::Python) {
-      Before = std::move(python::parsePython(Commit.Before, *Ctx).Module);
-      After = std::move(python::parsePython(Commit.After, *Ctx).Module);
-    } else {
-      Before = std::move(java::parseJava(Commit.Before, *Ctx).Module);
-      After = std::move(java::parseJava(Commit.After, *Ctx).Module);
+    for (const corpus::SourceFile &File : C.Repos[R].Files) {
+      Files.push_back(&File);
+      FileRepo.push_back(R);
     }
-    Pairs->addCommit(Before, After);
+
+  std::vector<FileIngest> Ingested(Files.size());
+  Pool->parallelFor(0, Files.size(), [&](size_t I) {
+    Ingested[I] = ingestOneFile(*Files[I], C.Lang, Registry, Config);
+  });
+
+  for (size_t I = 0; I != Ingested.size(); ++I) {
+    FileIngest &Slot = Ingested[I];
+    ParseErrors += Slot.Errors;
+    TotalBuildMillis += Slot.Millis;
+    FileId FId = static_cast<FileId>(FilePaths.size());
+    FilePaths.push_back(Files[I]->Path);
+    SymbolTranslator Translate(*Slot.LocalCtx, *Ctx);
+    for (PreStmt &Pre : Slot.Stmts) {
+      for (NamePath &Path : Pre.Paths)
+        Translate.translate(Path);
+      StmtRecord Record;
+      Record.File = FId;
+      Record.Repo = FileRepo[I];
+      Record.Line = Pre.Line;
+      Record.TextHash = Pre.TextHash;
+      Record.Paths = StmtPaths::fromPaths(Pre.Paths, Table, *Ctx);
+      Statements.push_back(std::move(Record));
+    }
+    // Free the worker-local context as soon as its symbols are committed.
+    Slot = FileIngest();
   }
 
-  // Phase 3: mine both pattern kinds (Algorithm 1).
+  // Phase 2: confusing word pairs from the commit history -- parallel
+  // diffing (each commit parsed against its own local context), sequential
+  // merge in commit order.
+  std::vector<std::vector<RenamedSubtoken>> Renames(C.Commits.size());
+  Pool->parallelFor(0, C.Commits.size(), [&](size_t I) {
+    AstContext Local;
+    Tree Before = parseInto(C.Commits[I].Before, C.Lang, Local);
+    Tree After = parseInto(C.Commits[I].After, C.Lang, Local);
+    Renames[I] = ConfusingPairMiner::collectRenames(Before, After);
+  });
+  for (const std::vector<RenamedSubtoken> &CommitRenames : Renames)
+    for (const RenamedSubtoken &R : CommitRenames)
+      Pairs->addRename(R.Mistaken, R.Correct);
+
+  // Phase 3: mine both pattern kinds (Algorithm 1). This is the sequential
+  // barrier between extraction and matching: FP-tree updates and the
+  // symbolic-path interning in generate() mutate shared tables, and their
+  // order fixes the mined pattern ids.
   std::vector<StmtPaths> AllPaths;
   AllPaths.reserve(Statements.size());
   for (const StmtRecord &S : Statements)
@@ -111,20 +211,28 @@ void NamerPipeline::build(const corpus::Corpus &C) {
     Consistency.addStatement(S);
     Confusing.addStatement(S);
   }
-  Patterns = Consistency.pruneUncommon(Consistency.generate(), AllPaths);
+  // pruneUncommon's per-statement evaluation is read-only and fans out
+  // over the pool.
+  Patterns =
+      Consistency.pruneUncommon(Consistency.generate(), AllPaths, Pool.get());
   for (NamePattern &P :
-       Confusing.pruneUncommon(Confusing.generate(), AllPaths))
+       Confusing.pruneUncommon(Confusing.generate(), AllPaths, Pool.get()))
     Patterns.push_back(std::move(P));
 
-  // Phase 4: evaluate every statement, accumulate multi-level statistics,
-  // and collect violations.
+  // Phase 4: evaluate every statement against the immutable pattern index
+  // in parallel (index-addressed hit slots), then accumulate multi-level
+  // statistics and collect violations sequentially in statement order.
   PatternIndex Index2(Patterns, Table);
-  std::vector<PatternHit> Hits;
+  std::vector<std::vector<PatternHit>> AllHits(Statements.size());
+  Pool->parallelFor(
+      0, Statements.size(),
+      [&](size_t S) { Index2.evaluate(Statements[S].Paths, AllHits[S]); },
+      /*GrainSize=*/64);
+
   std::unordered_set<FileId> ViolatingFiles;
   std::unordered_set<RepoId> ViolatingRepos;
   for (StmtId S = 0; S != Statements.size(); ++S) {
-    Hits.clear();
-    Index2.evaluate(Statements[S].Paths, Hits);
+    const std::vector<PatternHit> &Hits = AllHits[S];
     Index.addStatement(Statements[S], Hits);
     // Several mined patterns (condition variants of the same idiom) can
     // flag the same fix; keep one violation per (statement, fix) pair.
@@ -146,6 +254,10 @@ void NamerPipeline::build(const corpus::Corpus &C) {
   }
   FilesWithViolations = ViolatingFiles.size();
   ReposWithViolations = ViolatingRepos.size();
+
+  auto WallEnd = std::chrono::steady_clock::now();
+  BuildWallMillis =
+      std::chrono::duration<double, std::milli>(WallEnd - WallStart).count();
 }
 
 std::vector<double> NamerPipeline::features(const Violation &V) const {
@@ -156,10 +268,13 @@ std::vector<double> NamerPipeline::features(const Violation &V) const {
 ml::Metrics
 NamerPipeline::trainClassifier(const std::vector<Violation> &Labeled,
                                const std::vector<bool> &Labels) {
-  std::vector<std::vector<double>> Features;
-  Features.reserve(Labeled.size());
-  for (const Violation &V : Labeled)
-    Features.push_back(features(V));
+  // Feature extraction is read-only over the index/table and fills
+  // index-addressed slots, so it fans out over the pool.
+  std::vector<std::vector<double>> Features(Labeled.size());
+  Pool->parallelFor(
+      0, Labeled.size(),
+      [&](size_t I) { Features[I] = features(Labeled[I]); },
+      /*GrainSize=*/8);
   ml::Metrics M = Classifier.train(Features, Labels);
   Trained = true;
   return M;

@@ -11,6 +11,13 @@
 /// ("A") disables origin decoration; UseClassifier ("C") reports every
 /// violation unfiltered.
 ///
+/// The data-parallel stages (per-file ingestion, per-commit diffing,
+/// per-statement matching) fan out over a work-stealing thread pool sized
+/// by PipelineConfig::Threads; FP-tree mining is the sequential barrier in
+/// the middle. Outputs are bitwise identical at every thread count: workers
+/// compute against worker-local interners and write index-addressed slots,
+/// and all shared-state commits happen sequentially in corpus order.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef NAMER_NAMER_PIPELINE_H
@@ -21,6 +28,7 @@
 #include "corpus/Corpus.h"
 #include "histmine/ConfusingPairs.h"
 #include "pattern/Miner.h"
+#include "support/ThreadPool.h"
 
 #include <memory>
 #include <string>
@@ -48,6 +56,11 @@ struct PipelineConfig {
   AnalysisConfig Analysis;
   DefectClassifier::Config Classifier;
   uint64_t Seed = 7;
+  /// Worker threads for the data-parallel stages (per-file ingestion,
+  /// per-commit diffing, per-statement matching, feature extraction).
+  /// 0 = hardware concurrency. Results are bitwise identical at every
+  /// value; see DESIGN.md, "Concurrency model".
+  unsigned Threads = 0;
 
   PipelineConfig() {
     // Thresholds scaled to the simulated corpus (the paper's 100/500
@@ -90,6 +103,7 @@ public:
   const ConfusingPairMiner &pairs() const { return *Pairs; }
   const DefectClassifier &classifier() const { return Classifier; }
   const std::string &filePath(FileId Id) const { return FilePaths[Id]; }
+  ThreadPool &pool() { return *Pool; }
 
   /// Corpus coverage statistics (Section 5.2 "statistics on pattern
   /// mining").
@@ -99,19 +113,22 @@ public:
   size_t numReposWithViolations() const { return ReposWithViolations; }
   size_t numParseErrors() const { return ParseErrors; }
 
-  /// Mean per-file parse+analysis+match time in milliseconds.
+  /// Mean per-file parse+analysis+extraction time in milliseconds (sum of
+  /// per-file worker time over files; on a multicore pool this exceeds the
+  /// elapsed wall time).
   double avgMillisPerFile() const {
     return FilePaths.empty() ? 0.0
                              : TotalBuildMillis /
                                    static_cast<double>(FilePaths.size());
   }
 
-private:
-  void ingestFile(const corpus::SourceFile &File, RepoId Repo,
-                  corpus::Language Lang);
+  /// Elapsed wall-clock time of the last build() in milliseconds.
+  double buildWallMillis() const { return BuildWallMillis; }
 
+private:
   PipelineConfig Config;
   std::unique_ptr<AstContext> Ctx;
+  std::unique_ptr<ThreadPool> Pool;
   NamePathTable Table;
   std::unique_ptr<ConfusingPairMiner> Pairs;
   WellKnownRegistry Registry;
@@ -129,6 +146,7 @@ private:
   size_t ReposWithViolations = 0;
   size_t ParseErrors = 0;
   double TotalBuildMillis = 0.0;
+  double BuildWallMillis = 0.0;
 };
 
 } // namespace namer

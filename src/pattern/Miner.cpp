@@ -4,6 +4,7 @@
 
 #include "pattern/PatternIndex.h"
 #include "support/Hashing.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
@@ -220,19 +221,57 @@ std::vector<NamePattern> PatternMiner::generate() {
 
 std::vector<NamePattern>
 PatternMiner::pruneUncommon(std::vector<NamePattern> Patterns,
-                            const std::vector<StmtPaths> &Dataset) const {
+                            const std::vector<StmtPaths> &Dataset,
+                            ThreadPool *Pool) const {
   PatternIndex Index(Patterns, Table);
-  std::vector<PatternHit> Hits;
-  for (const StmtPaths &Stmt : Dataset) {
-    Hits.clear();
-    Index.evaluate(Stmt, Hits);
-    for (const PatternHit &Hit : Hits) {
-      NamePattern &P = Patterns[Hit.Pattern];
-      ++P.DatasetMatches;
-      if (Hit.Result == MatchResult::Satisfied)
-        ++P.DatasetSatisfactions;
-      else
-        ++P.DatasetViolations;
+  if (Pool && Pool->workerCount() > 1 && Dataset.size() >= 64) {
+    // Fan out over statement chunks; each chunk accumulates into its own
+    // counter array and the (commutative) sums merge afterwards, so the
+    // totals match the sequential loop exactly.
+    size_t NumChunks = static_cast<size_t>(Pool->workerCount()) * 4;
+    NumChunks = std::min(NumChunks, Dataset.size());
+    size_t Chunk = (Dataset.size() + NumChunks - 1) / NumChunks;
+    struct Counters {
+      uint32_t Matches = 0, Satisfactions = 0, Violations = 0;
+    };
+    std::vector<std::vector<Counters>> Partial(
+        NumChunks, std::vector<Counters>(Patterns.size()));
+    Pool->parallelFor(0, NumChunks, [&](size_t C) {
+      std::vector<Counters> &Counts = Partial[C];
+      std::vector<PatternHit> Hits;
+      size_t E = std::min(Dataset.size(), (C + 1) * Chunk);
+      for (size_t S = C * Chunk; S < E; ++S) {
+        Hits.clear();
+        Index.evaluate(Dataset[S], Hits);
+        for (const PatternHit &Hit : Hits) {
+          Counters &PC = Counts[Hit.Pattern];
+          ++PC.Matches;
+          if (Hit.Result == MatchResult::Satisfied)
+            ++PC.Satisfactions;
+          else
+            ++PC.Violations;
+        }
+      }
+    });
+    for (const std::vector<Counters> &Counts : Partial)
+      for (size_t Id = 0; Id != Patterns.size(); ++Id) {
+        Patterns[Id].DatasetMatches += Counts[Id].Matches;
+        Patterns[Id].DatasetSatisfactions += Counts[Id].Satisfactions;
+        Patterns[Id].DatasetViolations += Counts[Id].Violations;
+      }
+  } else {
+    std::vector<PatternHit> Hits;
+    for (const StmtPaths &Stmt : Dataset) {
+      Hits.clear();
+      Index.evaluate(Stmt, Hits);
+      for (const PatternHit &Hit : Hits) {
+        NamePattern &P = Patterns[Hit.Pattern];
+        ++P.DatasetMatches;
+        if (Hit.Result == MatchResult::Satisfied)
+          ++P.DatasetSatisfactions;
+        else
+          ++P.DatasetViolations;
+      }
     }
   }
   std::vector<NamePattern> Kept;

@@ -24,6 +24,8 @@
 
 namespace namer {
 
+class ThreadPool;
+
 struct MinerConfig {
   /// Keep only the first k name paths of a statement (Section 5.1).
   size_t MaxPathsPerStmt = 10;
@@ -81,10 +83,14 @@ public:
 
   /// Algorithm 1, line 9: keeps patterns whose occurrence count and
   /// satisfaction ratio over \p Dataset pass the config thresholds, and
-  /// fills in the dataset-level statistics.
+  /// fills in the dataset-level statistics. When \p Pool is non-null the
+  /// per-statement evaluation fans out over its workers; the per-pattern
+  /// counters are summed from per-chunk accumulators, so the result is
+  /// identical at every worker count.
   std::vector<NamePattern>
   pruneUncommon(std::vector<NamePattern> Patterns,
-                const std::vector<StmtPaths> &Dataset) const;
+                const std::vector<StmtPaths> &Dataset,
+                ThreadPool *Pool = nullptr) const;
 
   const FPTree &tree() const { return Tree; }
 

@@ -2,35 +2,92 @@
 
 #include "support/StringInterner.h"
 
+#include "support/Hashing.h"
+
+#include <bit>
 #include <cassert>
 
 using namespace namer;
 
 StringInterner::StringInterner() {
-  Texts.emplace_back("<eps>");
-  Map.emplace(Texts.back(), EpsilonSymbol);
+  Symbol Eps = intern("<eps>");
+  (void)Eps;
+  assert(Eps == EpsilonSymbol && "epsilon must be the first symbol");
+}
+
+StringInterner::~StringInterner() {
+  for (auto &Seg : Segments)
+    delete[] Seg.load(std::memory_order_relaxed);
+}
+
+size_t StringInterner::shardIndex(std::string_view Text) {
+  return static_cast<size_t>(hashString(Text)) & (NumShards - 1);
+}
+
+std::pair<size_t, size_t> StringInterner::locate(Symbol S) {
+  // Segment k covers [FirstSegmentSize*(2^k - 1), FirstSegmentSize*(2^(k+1)
+  // - 1)): geometric growth keeps the directory array small and fixed.
+  size_t Q = S / FirstSegmentSize + 1;
+  size_t K = std::bit_width(Q) - 1;
+  size_t Offset = S - FirstSegmentSize * ((size_t(1) << K) - 1);
+  return {K, Offset};
+}
+
+void StringInterner::publish(Symbol S, const std::string *Str) {
+  auto [K, Offset] = locate(S);
+  assert(K < MaxSegments && "symbol space exhausted");
+  std::atomic<const std::string *> *Seg =
+      Segments[K].load(std::memory_order_acquire);
+  if (!Seg) {
+    std::lock_guard<std::mutex> L(SegmentAllocM);
+    Seg = Segments[K].load(std::memory_order_relaxed);
+    if (!Seg) {
+      // Value-initialized: every slot starts null.
+      Seg = new std::atomic<const std::string *>[segmentSize(K)]();
+      Segments[K].store(Seg, std::memory_order_release);
+    }
+  }
+  Seg[Offset].store(Str, std::memory_order_release);
 }
 
 Symbol StringInterner::intern(std::string_view Text) {
-  auto It = Map.find(Text);
-  if (It != Map.end())
+  Shard &Sh = Shards[shardIndex(Text)];
+  std::lock_guard<std::mutex> L(Sh.M);
+  auto It = Sh.Map.find(Text);
+  if (It != Sh.Map.end())
     return It->second;
-  Texts.emplace_back(Text);
-  Symbol S = static_cast<Symbol>(Texts.size() - 1);
-  Map.emplace(Texts.back(), S);
+  Sh.Texts.emplace_back(Text);
+  const std::string &Stored = Sh.Texts.back();
+  Symbol S = NextSymbol.fetch_add(1, std::memory_order_acq_rel);
+  // Publish the reverse mapping before the map entry becomes visible:
+  // any thread that learns S (through the map under this shard's lock, or
+  // through a synchronizing hand-off of the return value) can resolve
+  // text(S).
+  publish(S, &Stored);
+  Sh.Map.emplace(std::string_view(Stored), S);
   return S;
 }
 
 Symbol StringInterner::lookup(std::string_view Text) const {
-  auto It = Map.find(Text);
-  return It == Map.end() ? EpsilonSymbol : It->second;
+  const Shard &Sh = Shards[shardIndex(Text)];
+  std::lock_guard<std::mutex> L(Sh.M);
+  auto It = Sh.Map.find(Text);
+  return It == Sh.Map.end() ? EpsilonSymbol : It->second;
 }
 
 bool StringInterner::contains(std::string_view Text) const {
-  return Map.find(Text) != Map.end();
+  const Shard &Sh = Shards[shardIndex(Text)];
+  std::lock_guard<std::mutex> L(Sh.M);
+  return Sh.Map.find(Text) != Sh.Map.end();
 }
 
 std::string_view StringInterner::text(Symbol S) const {
-  assert(S < Texts.size() && "symbol out of range");
-  return Texts[S];
+  assert(S < size() && "symbol out of range");
+  auto [K, Offset] = locate(S);
+  std::atomic<const std::string *> *Seg =
+      Segments[K].load(std::memory_order_acquire);
+  assert(Seg && "segment of a live symbol must exist");
+  const std::string *Str = Seg[Offset].load(std::memory_order_acquire);
+  assert(Str && "symbol published before its text");
+  return *Str;
 }

@@ -10,13 +10,30 @@
 /// origin labels throughout the system are represented as symbols so that
 /// name-path comparison and FP-tree hashing reduce to integer operations.
 ///
+/// The table is sharded for concurrent interning: strings are routed to one
+/// of NumShards lock-striped shards by content hash, symbols are assigned
+/// from a shared atomic counter, and a lock-free growable directory maps
+/// each symbol back to its stable string storage. Symbols are *stable*
+/// (never reassigned, and text() views stay valid as the table grows) and
+/// *dense* (0..size()-1 with no gaps).
+///
+/// Determinism note: symbol numeric values reflect interning order. The
+/// pipeline orders its FP-trees and reports by symbol ids, so every stage
+/// whose output feeds mining or reporting interns through a sequential
+/// commit step in corpus order; concurrent callers may intern safely but
+/// receive schedule-dependent ids, which is only acceptable for symbols
+/// compared by equality (see DESIGN.md, "Concurrency model").
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef NAMER_SUPPORT_STRINGINTERNER_H
 #define NAMER_SUPPORT_STRINGINTERNER_H
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -34,10 +51,15 @@ inline constexpr Symbol EpsilonSymbol = 0;
 ///
 /// Symbols are assigned densely starting at 1; symbol 0 is pre-reserved for
 /// epsilon and maps to the text "<eps>". Interning the same text twice
-/// returns the same symbol. Not thread-safe; each pipeline owns one.
+/// returns the same symbol, from any thread: intern/lookup/contains/text
+/// are safe under concurrent use.
 class StringInterner {
 public:
   StringInterner();
+  ~StringInterner();
+
+  StringInterner(const StringInterner &) = delete;
+  StringInterner &operator=(const StringInterner &) = delete;
 
   /// Returns the symbol for \p Text, interning it on first use.
   Symbol intern(std::string_view Text);
@@ -50,17 +72,41 @@ public:
   /// Returns true if \p Text has been interned.
   bool contains(std::string_view Text) const;
 
-  /// Returns the text of \p S. \p S must be a valid symbol.
+  /// Returns the text of \p S. \p S must be a valid symbol. The returned
+  /// view stays valid for the lifetime of the interner.
   std::string_view text(Symbol S) const;
 
   /// Number of interned strings, including the reserved epsilon entry.
-  size_t size() const { return Texts.size(); }
+  size_t size() const { return NextSymbol.load(std::memory_order_acquire); }
 
 private:
-  // Deque keeps string storage stable so string_view keys into Map remain
-  // valid as new strings are added.
-  std::deque<std::string> Texts;
-  std::unordered_map<std::string_view, Symbol> Map;
+  static constexpr size_t NumShards = 16; // power of two
+  /// Directory segment k holds FirstSegmentSize << k entries, so 26
+  /// segments cover every 32-bit symbol.
+  static constexpr size_t FirstSegmentSize = 1024;
+  static constexpr size_t MaxSegments = 26;
+
+  struct Shard {
+    mutable std::mutex M;
+    /// Keys view into Texts; deque keeps string storage stable as new
+    /// strings are added, so views (and text() results) never dangle.
+    std::unordered_map<std::string_view, Symbol> Map;
+    std::deque<std::string> Texts;
+  };
+
+  static size_t shardIndex(std::string_view Text);
+  static size_t segmentSize(size_t K) { return FirstSegmentSize << K; }
+  /// Splits a symbol into (segment, offset within segment).
+  static std::pair<size_t, size_t> locate(Symbol S);
+
+  /// Makes text(S) resolve to \p Str; allocates the segment on demand.
+  void publish(Symbol S, const std::string *Str);
+
+  std::array<Shard, NumShards> Shards;
+  std::atomic<Symbol> NextSymbol{0};
+  std::mutex SegmentAllocM;
+  std::array<std::atomic<std::atomic<const std::string *> *>, MaxSegments>
+      Segments{};
 };
 
 } // namespace namer

@@ -1,0 +1,174 @@
+//===- support/ThreadPool.cpp ---------------------------------------------==//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace namer;
+
+namespace {
+/// True while the current thread executes a pool task (worker or helping
+/// submitter); nested parallelFor calls detect it and run inline.
+thread_local bool InPoolTask = false;
+} // namespace
+
+unsigned ThreadPool::resolveWorkerCount(unsigned Requested) {
+  if (Requested != 0)
+    return Requested;
+  unsigned Hw = std::thread::hardware_concurrency();
+  return Hw == 0 ? 1 : Hw;
+}
+
+ThreadPool::ThreadPool(unsigned Workers)
+    : NumWorkers(resolveWorkerCount(Workers)) {
+  if (NumWorkers <= 1)
+    return;
+  // One queue per computing thread: spawned workers use queues
+  // [0, NumWorkers-2]; the submitting thread pushes round-robin and helps
+  // from queue index NumWorkers-1.
+  Queues.reserve(NumWorkers);
+  for (unsigned I = 0; I != NumWorkers; ++I)
+    Queues.push_back(std::make_unique<WorkerQueue>());
+  Threads.reserve(NumWorkers - 1);
+  for (unsigned I = 0; I + 1 != NumWorkers; ++I)
+    Threads.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> L(SleepM);
+    Stopping = true;
+  }
+  SleepCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  unsigned Q = NextQueue.fetch_add(1, std::memory_order_relaxed) %
+               static_cast<unsigned>(Queues.size());
+  {
+    std::lock_guard<std::mutex> L(Queues[Q]->M);
+    Queues[Q]->Tasks.push_back(std::move(Task));
+  }
+  {
+    std::lock_guard<std::mutex> L(SleepM);
+    ++QueuedTasks;
+  }
+  SleepCv.notify_one();
+}
+
+bool ThreadPool::runOneTask(unsigned SelfQueue) {
+  std::function<void()> Task;
+  size_t NumQueues = Queues.size();
+  for (size_t Attempt = 0; Attempt != NumQueues && !Task; ++Attempt) {
+    size_t Q = (SelfQueue + Attempt) % NumQueues;
+    WorkerQueue &WQ = *Queues[Q];
+    std::lock_guard<std::mutex> L(WQ.M);
+    if (WQ.Tasks.empty())
+      continue;
+    if (Attempt == 0) { // own queue: LIFO-from-front submission order
+      Task = std::move(WQ.Tasks.front());
+      WQ.Tasks.pop_front();
+    } else { // steal from the back of a victim's queue
+      Task = std::move(WQ.Tasks.back());
+      WQ.Tasks.pop_back();
+    }
+  }
+  if (!Task)
+    return false;
+  {
+    std::lock_guard<std::mutex> L(SleepM);
+    assert(QueuedTasks > 0 && "task count out of sync");
+    --QueuedTasks;
+  }
+  bool Saved = InPoolTask;
+  InPoolTask = true;
+  Task();
+  InPoolTask = Saved;
+  return true;
+}
+
+void ThreadPool::workerLoop(unsigned Id) {
+  for (;;) {
+    if (runOneTask(Id))
+      continue;
+    std::unique_lock<std::mutex> L(SleepM);
+    SleepCv.wait(L, [this] { return Stopping || QueuedTasks > 0; });
+    if (Stopping && QueuedTasks == 0)
+      return;
+  }
+}
+
+void ThreadPool::parallelFor(size_t Begin, size_t End,
+                             const std::function<void(size_t)> &Body,
+                             size_t GrainSize) {
+  if (Begin >= End)
+    return;
+  size_t N = End - Begin;
+  // Sequential fast paths: single-worker pools, nested calls from inside a
+  // task, and ranges too small to split.
+  if (NumWorkers <= 1 || InPoolTask || N == 1) {
+    for (size_t I = Begin; I != End; ++I)
+      Body(I);
+    return;
+  }
+
+  GrainSize = std::max<size_t>(GrainSize, 1);
+  // Aim for several chunks per worker so stealing can balance skewed
+  // per-iteration costs, without dropping below the grain size.
+  size_t TargetChunks = static_cast<size_t>(NumWorkers) * 4;
+  size_t Chunk = std::max(GrainSize, (N + TargetChunks - 1) / TargetChunks);
+  size_t NumChunks = (N + Chunk - 1) / Chunk;
+
+  struct ForState {
+    size_t Remaining;                 // guarded by DoneM
+    std::mutex DoneM;
+    std::condition_variable DoneCv;
+    std::exception_ptr Exc;           // guarded by DoneM
+    std::atomic<bool> Failed{false};
+  } State;
+  State.Remaining = NumChunks;
+
+  for (size_t C = 0; C != NumChunks; ++C) {
+    size_t CB = Begin + C * Chunk;
+    size_t CE = std::min(End, CB + Chunk);
+    submit([&State, &Body, CB, CE] {
+      if (!State.Failed.load(std::memory_order_relaxed)) {
+        try {
+          for (size_t I = CB; I != CE; ++I)
+            Body(I);
+        } catch (...) {
+          State.Failed.store(true, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> L(State.DoneM);
+          if (!State.Exc)
+            State.Exc = std::current_exception();
+        }
+      }
+      // Decrement-and-notify under the lock: the waiter may destroy State
+      // as soon as it observes Remaining == 0 with DoneM held.
+      std::lock_guard<std::mutex> L(State.DoneM);
+      if (--State.Remaining == 0)
+        State.DoneCv.notify_all();
+    });
+  }
+
+  // Help drain the queues while waiting; the submitting thread is one of
+  // the pool's computing threads.
+  unsigned SelfQueue = NumWorkers - 1;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> L(State.DoneM);
+      if (State.Remaining == 0)
+        break;
+    }
+    if (!runOneTask(SelfQueue)) {
+      std::unique_lock<std::mutex> L(State.DoneM);
+      State.DoneCv.wait(L, [&State] { return State.Remaining == 0; });
+      break;
+    }
+  }
+  if (State.Exc)
+    std::rethrow_exception(State.Exc);
+}

@@ -1,0 +1,103 @@
+//===- support/ThreadPool.h - Work-stealing thread pool ---------*- C++ -*-==//
+//
+// Part of the Namer reproduction of "Learning to Find Naming Issues with Big
+// Code and Small Supervision" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool powering the data-parallel pipeline
+/// stages (per-file ingestion, per-commit diffing, per-statement pattern
+/// matching). Each worker owns a deque of tasks; idle workers steal from
+/// the back of other workers' deques. The submitting thread participates in
+/// execution while waiting, so a pool with N workers uses N computing
+/// threads (N-1 spawned plus the caller).
+///
+/// Determinism contract: parallelFor/parallelMap never reorder results --
+/// callers write into index-addressed slots -- so any pipeline built on
+/// them produces identical output at every worker count as long as the
+/// loop bodies only write to their own slot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_SUPPORT_THREADPOOL_H
+#define NAMER_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace namer {
+
+class ThreadPool {
+public:
+  /// Creates a pool with \p Workers computing threads; 0 resolves to
+  /// std::thread::hardware_concurrency(). A pool of 1 spawns no threads
+  /// and runs everything inline on the calling thread.
+  explicit ThreadPool(unsigned Workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of computing threads (including the caller of parallelFor).
+  unsigned workerCount() const { return NumWorkers; }
+
+  /// Maps a requested worker count to the effective one (0 -> hardware
+  /// concurrency, floored at 1).
+  static unsigned resolveWorkerCount(unsigned Requested);
+
+  /// Runs Body(I) for every I in [Begin, End), distributing contiguous
+  /// chunks of at least \p GrainSize iterations over the workers. Blocks
+  /// until all iterations finished. The first exception thrown by a body
+  /// is rethrown here (remaining chunks are skipped once one body threw).
+  ///
+  /// Nested calls (from inside a task) run inline sequentially, so bodies
+  /// may themselves use parallelFor freely.
+  void parallelFor(size_t Begin, size_t End,
+                   const std::function<void(size_t)> &Body,
+                   size_t GrainSize = 1);
+
+  /// parallelFor over a vector, collecting F(Items[I]) into slot I of the
+  /// result. R must be default-constructible.
+  template <typename T, typename Fn>
+  auto parallelMap(const std::vector<T> &Items, Fn &&F)
+      -> std::vector<std::invoke_result_t<Fn &, const T &>> {
+    std::vector<std::invoke_result_t<Fn &, const T &>> Out(Items.size());
+    parallelFor(0, Items.size(), [&](size_t I) { Out[I] = F(Items[I]); });
+    return Out;
+  }
+
+private:
+  struct WorkerQueue {
+    std::mutex M;
+    std::deque<std::function<void()>> Tasks;
+  };
+
+  void workerLoop(unsigned Id);
+  /// Pops a task from the worker's own queue front, or steals one from the
+  /// back of another queue; runs it. Returns false when every queue was
+  /// empty.
+  bool runOneTask(unsigned SelfQueue);
+  void submit(std::function<void()> Task);
+
+  unsigned NumWorkers;
+  std::vector<std::unique_ptr<WorkerQueue>> Queues;
+  std::vector<std::thread> Threads;
+
+  std::mutex SleepM;
+  std::condition_variable SleepCv;
+  bool Stopping = false;
+  size_t QueuedTasks = 0; // guarded by SleepM
+  std::atomic<unsigned> NextQueue{0};
+};
+
+} // namespace namer
+
+#endif // NAMER_SUPPORT_THREADPOOL_H

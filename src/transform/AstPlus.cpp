@@ -83,7 +83,8 @@ void namer::transformToAstPlus(Tree &Module, const OriginMap &Origins) {
   // Step 3: subtoken splitting. Each name Ident becomes a NumST(k) node
   // with Subtoken children; literal tokens get NumST(1).
   for (NodeId N = 0; N != OriginalSize; ++N) {
-    const Node &Nd = Module.node(N);
+    // Copy, not reference: addNode below may reallocate the node vector.
+    const Node Nd = Module.node(N);
     if (Nd.Kind != NodeKind::Ident)
       continue;
     bool IsName = identCarriesName(Module, N);

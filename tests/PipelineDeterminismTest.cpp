@@ -1,0 +1,123 @@
+//===- tests/PipelineDeterminismTest.cpp - thread-count determinism -------==//
+//
+// Satellite of the parallel-pipeline PR: the pipeline's contract is that
+// reports, mined patterns, confusing pairs and classifier features are
+// bitwise identical at Threads=1 and Threads=8 on the same corpus. The
+// parallel stages compute against worker-local interners and commit
+// sequentially in corpus order, so every global id assignment is
+// schedule-independent; this test pins that property end to end.
+//
+//===----------------------------------------------------------------------===//
+
+#include "namer/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace namer;
+
+namespace {
+
+struct BuiltPipeline {
+  corpus::Corpus C;
+  std::unique_ptr<NamerPipeline> Pipeline;
+};
+
+BuiltPipeline buildWithThreads(corpus::Language Lang, unsigned Threads) {
+  BuiltPipeline Out;
+  corpus::CorpusConfig Config;
+  Config.Lang = Lang;
+  Config.NumRepos = 40;
+  Out.C = corpus::generateCorpus(Config);
+  PipelineConfig PC;
+  PC.Miner.MinPatternSupport = 20;
+  PC.Threads = Threads;
+  Out.Pipeline = std::make_unique<NamerPipeline>(PC);
+  Out.Pipeline->build(Out.C);
+  return Out;
+}
+
+void expectIdentical(const NamerPipeline &A, const NamerPipeline &B) {
+  // Corpus coverage statistics.
+  EXPECT_EQ(A.numFiles(), B.numFiles());
+  EXPECT_EQ(A.numRepos(), B.numRepos());
+  EXPECT_EQ(A.numParseErrors(), B.numParseErrors());
+  EXPECT_EQ(A.numFilesWithViolations(), B.numFilesWithViolations());
+  EXPECT_EQ(A.numReposWithViolations(), B.numReposWithViolations());
+
+  // Statements, in order: location, fingerprint, and interned path ids
+  // (ids, not just renderings -- the commit step fixes id assignment).
+  ASSERT_EQ(A.statements().size(), B.statements().size());
+  for (size_t I = 0; I != A.statements().size(); ++I) {
+    const StmtRecord &SA = A.statements()[I];
+    const StmtRecord &SB = B.statements()[I];
+    ASSERT_EQ(SA.File, SB.File);
+    ASSERT_EQ(SA.Repo, SB.Repo);
+    ASSERT_EQ(SA.Line, SB.Line);
+    ASSERT_EQ(SA.TextHash, SB.TextHash);
+    ASSERT_EQ(SA.Paths.Paths, SB.Paths.Paths);
+  }
+
+  // Mined patterns, in order, rendered and raw.
+  ASSERT_EQ(A.patterns().size(), B.patterns().size());
+  for (size_t I = 0; I != A.patterns().size(); ++I) {
+    const NamePattern &PA = A.patterns()[I];
+    const NamePattern &PB = B.patterns()[I];
+    ASSERT_TRUE(PA == PB) << "pattern " << I;
+    ASSERT_EQ(PA.Support, PB.Support);
+    ASSERT_EQ(PA.DatasetMatches, PB.DatasetMatches);
+    ASSERT_EQ(PA.DatasetSatisfactions, PB.DatasetSatisfactions);
+    ASSERT_EQ(PA.DatasetViolations, PB.DatasetViolations);
+    ASSERT_EQ(
+        formatPattern(PA, A.table(),
+                      const_cast<NamerPipeline &>(A).context()),
+        formatPattern(PB, B.table(),
+                      const_cast<NamerPipeline &>(B).context()))
+        << "pattern rendering " << I;
+  }
+
+  // Confusing word pairs with counts, most frequent first.
+  std::vector<ConfusingPair> PairsA = A.pairs().pairs();
+  std::vector<ConfusingPair> PairsB = B.pairs().pairs();
+  ASSERT_EQ(PairsA.size(), PairsB.size());
+  for (size_t I = 0; I != PairsA.size(); ++I) {
+    EXPECT_EQ(PairsA[I].Mistaken, PairsB[I].Mistaken);
+    EXPECT_EQ(PairsA[I].Correct, PairsB[I].Correct);
+    EXPECT_EQ(PairsA[I].Count, PairsB[I].Count);
+  }
+
+  // Violations and their rendered reports, in order.
+  ASSERT_EQ(A.violations().size(), B.violations().size());
+  for (size_t I = 0; I != A.violations().size(); ++I) {
+    const Violation &VA = A.violations()[I];
+    const Violation &VB = B.violations()[I];
+    ASSERT_EQ(VA.Stmt, VB.Stmt);
+    ASSERT_EQ(VA.Pattern, VB.Pattern);
+    Report RA = A.makeReport(VA);
+    Report RB = B.makeReport(VB);
+    EXPECT_EQ(RA.File, RB.File);
+    EXPECT_EQ(RA.Line, RB.Line);
+    EXPECT_EQ(RA.Original, RB.Original);
+    EXPECT_EQ(RA.Suggested, RB.Suggested);
+    EXPECT_EQ(RA.Kind, RB.Kind);
+
+    // Classifier features are doubles computed from the shared statistics;
+    // bitwise equality, not approximate.
+    EXPECT_EQ(A.features(VA), B.features(VB)) << "feature vector " << I;
+  }
+}
+
+} // namespace
+
+TEST(PipelineDeterminism, PythonReportsIdenticalAcrossThreadCounts) {
+  BuiltPipeline One = buildWithThreads(corpus::Language::Python, 1);
+  BuiltPipeline Eight = buildWithThreads(corpus::Language::Python, 8);
+  expectIdentical(*One.Pipeline, *Eight.Pipeline);
+}
+
+TEST(PipelineDeterminism, JavaReportsIdenticalAcrossThreadCounts) {
+  BuiltPipeline One = buildWithThreads(corpus::Language::Java, 1);
+  BuiltPipeline Three = buildWithThreads(corpus::Language::Java, 3);
+  expectIdentical(*One.Pipeline, *Three.Pipeline);
+}

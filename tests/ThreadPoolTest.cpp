@@ -1,0 +1,118 @@
+//===- tests/ThreadPoolTest.cpp - work-stealing pool tests ----------------==//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+using namespace namer;
+
+TEST(ThreadPool, ResolvesWorkerCount) {
+  EXPECT_GE(ThreadPool::resolveWorkerCount(0), 1u);
+  EXPECT_EQ(ThreadPool::resolveWorkerCount(1), 1u);
+  EXPECT_EQ(ThreadPool::resolveWorkerCount(6), 6u);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  constexpr size_t N = 10000;
+  std::vector<std::atomic<uint32_t>> Touched(N);
+  Pool.parallelFor(0, N, [&](size_t I) {
+    Touched[I].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t I = 0; I != N; ++I)
+    ASSERT_EQ(Touched[I].load(), 1u) << "index " << I;
+}
+
+TEST(ThreadPool, SlotResultsMatchSequentialOrder) {
+  // The determinism contract: index-addressed writes produce the same
+  // vector as a sequential loop, regardless of task scheduling.
+  auto Body = [](size_t I) { return I * I + 7; };
+  constexpr size_t N = 4096;
+  std::vector<size_t> Sequential(N);
+  for (size_t I = 0; I != N; ++I)
+    Sequential[I] = Body(I);
+
+  for (unsigned Workers : {1u, 2u, 8u}) {
+    ThreadPool Pool(Workers);
+    std::vector<size_t> Parallel(N, 0);
+    Pool.parallelFor(0, N, [&](size_t I) { Parallel[I] = Body(I); });
+    EXPECT_EQ(Parallel, Sequential) << "workers=" << Workers;
+  }
+}
+
+TEST(ThreadPool, HandlesEmptyAndSingletonRanges) {
+  ThreadPool Pool(4);
+  size_t Calls = 0;
+  Pool.parallelFor(5, 5, [&](size_t) { ++Calls; });
+  EXPECT_EQ(Calls, 0u);
+  Pool.parallelFor(41, 42, [&](size_t I) {
+    ++Calls;
+    EXPECT_EQ(I, 41u);
+  });
+  EXPECT_EQ(Calls, 1u);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool Pool(4);
+  EXPECT_THROW(
+      Pool.parallelFor(0, 1000,
+                       [](size_t I) {
+                         if (I == 537)
+                           throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+
+  // The pool stays usable after a failed loop.
+  std::atomic<size_t> Count{0};
+  Pool.parallelFor(0, 100, [&](size_t) { ++Count; });
+  EXPECT_EQ(Count.load(), 100u);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool Pool(4);
+  constexpr size_t Outer = 16, Inner = 64;
+  std::vector<std::vector<uint32_t>> Slots(Outer,
+                                           std::vector<uint32_t>(Inner, 0));
+  Pool.parallelFor(0, Outer, [&](size_t O) {
+    Pool.parallelFor(0, Inner, [&](size_t I) { Slots[O][I] = 1; });
+  });
+  for (size_t O = 0; O != Outer; ++O)
+    for (size_t I = 0; I != Inner; ++I)
+      ASSERT_EQ(Slots[O][I], 1u) << O << "," << I;
+}
+
+TEST(ThreadPool, ParallelMapCollectsInOrder) {
+  ThreadPool Pool(3);
+  std::vector<int> Items(257);
+  std::iota(Items.begin(), Items.end(), 0);
+  std::vector<int> Squares =
+      Pool.parallelMap(Items, [](const int &V) { return V * V; });
+  ASSERT_EQ(Squares.size(), Items.size());
+  for (size_t I = 0; I != Items.size(); ++I)
+    EXPECT_EQ(Squares[I], static_cast<int>(I * I));
+}
+
+TEST(ThreadPool, SingleWorkerPoolRunsInline) {
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.workerCount(), 1u);
+  std::vector<size_t> Order;
+  Pool.parallelFor(0, 10, [&](size_t I) { Order.push_back(I); });
+  // Inline execution preserves iteration order exactly.
+  std::vector<size_t> Expected(10);
+  std::iota(Expected.begin(), Expected.end(), 0);
+  EXPECT_EQ(Order, Expected);
+}
+
+TEST(ThreadPool, ManySmallLoopsDoNotLeakTasks) {
+  ThreadPool Pool(4);
+  for (int Round = 0; Round != 200; ++Round) {
+    std::atomic<size_t> Count{0};
+    Pool.parallelFor(0, 17, [&](size_t) { ++Count; });
+    ASSERT_EQ(Count.load(), 17u);
+  }
+}

@@ -2,7 +2,8 @@
 //
 // Scans a directory of Python or Java sources for naming issues:
 //
-//   namer-scan --lang=python [--no-classifier] [--max-reports=N] DIR
+//   namer-scan --lang=python [--no-classifier] [--max-reports=N]
+//              [--threads=N] DIR
 //
 // Patterns are mined from the bundled ecosystem corpus *plus* the scanned
 // tree (so project-local idioms contribute), violations are filtered by a
@@ -30,13 +31,16 @@ struct Options {
   corpus::Language Lang = corpus::Language::Python;
   bool UseClassifier = true;
   size_t MaxReports = 50;
+  /// Pipeline worker threads; 0 = hardware concurrency. Reports are
+  /// identical at every value.
+  unsigned Threads = 0;
   std::string Directory;
 };
 
 void printUsage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--lang=python|java] [--no-classifier] "
-               "[--max-reports=N] DIR\n",
+               "[--max-reports=N] [--threads=N] DIR\n",
                Argv0);
 }
 
@@ -53,6 +57,9 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.MaxReports = static_cast<size_t>(
           std::strtoul(Arg.c_str() + std::strlen("--max-reports="), nullptr,
                        10));
+    } else if (Arg.rfind("--threads=", 0) == 0) {
+      Opts.Threads = static_cast<unsigned>(
+          std::strtoul(Arg.c_str() + std::strlen("--threads="), nullptr, 10));
     } else if (Arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
       return false;
@@ -125,6 +132,7 @@ int main(int Argc, char **Argv) {
 
   PipelineConfig PC;
   PC.UseClassifier = Opts.UseClassifier;
+  PC.Threads = Opts.Threads;
   NamerPipeline Namer(PC);
   std::fprintf(stderr, "mining name patterns ...\n");
   Namer.build(BigCode);
