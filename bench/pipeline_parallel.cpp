@@ -3,7 +3,10 @@
 // Measures the full NamerPipeline::build (parse + analyses + AST+ transform
 // + name-path extraction + history mining + FP-tree mining + pattern scan)
 // at 1, 2, 4 and hardware_concurrency threads, and emits BENCH_pipeline.json
-// with files/sec and the speedup relative to the single-threaded build.
+// in the telemetry stats schema ({meta, counters, spans, runs}; see
+// support/Telemetry.h, kStatsSchemaVersion) with files/sec and the speedup
+// relative to the single-threaded build. The file is written to the repo
+// root regardless of the CWD; --out=PATH overrides the destination.
 //
 // The machine's core count is recorded in the JSON: speedups are only
 // meaningful relative to `hardware_concurrency` (a 1-core container cannot
@@ -15,10 +18,13 @@
 
 #include "BenchCommon.h"
 #include "namer/Pipeline.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -26,6 +32,10 @@
 
 using namespace namer;
 using namespace namer::bench;
+
+#ifndef NAMER_SOURCE_DIR
+#define NAMER_SOURCE_DIR "."
+#endif
 
 namespace {
 
@@ -60,9 +70,37 @@ std::vector<std::string> renderedReports(const NamerPipeline &P) {
   return Out;
 }
 
+std::string runsJson(const std::vector<Measurement> &Results) {
+  std::string Out = "[\n";
+  for (size_t I = 0; I != Results.size(); ++I) {
+    const Measurement &M = Results[I];
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "    {\"threads\": %u, \"build_millis\": %.1f, "
+                  "\"files_per_sec\": %.1f, \"speedup_vs_1_thread\": %.3f, "
+                  "\"reports\": %zu}%s\n",
+                  M.Threads, M.Millis, M.FilesPerSec, M.Speedup, M.NumReports,
+                  I + 1 == Results.size() ? "" : ",");
+    Out += Buf;
+  }
+  Out += "  ]";
+  return Out;
+}
+
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  std::string OutPath = std::string(NAMER_SOURCE_DIR) + "/BENCH_pipeline.json";
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--out=", 0) == 0) {
+      OutPath = Arg.substr(std::strlen("--out="));
+    } else {
+      std::fprintf(stderr, "usage: %s [--out=PATH]\n", Argv[0]);
+      return 2;
+    }
+  }
+
   const unsigned Hardware = std::max(1u, std::thread::hardware_concurrency());
   printHeading("Parallel pipeline throughput",
                "End-to-end NamerPipeline::build at 1/2/4/N threads "
@@ -84,6 +122,8 @@ int main() {
     double Ignored = 0.0;
     buildOnce(C, 1, Ignored);
   }
+  // The exported counters/spans describe the measured builds only.
+  telemetry::reset();
 
   std::vector<Measurement> Results;
   std::vector<std::string> Baseline;
@@ -114,29 +154,22 @@ int main() {
     std::printf("%8u %12.1f %12.1f %8.2fx %9zu\n", M.Threads, M.Millis,
                 M.FilesPerSec, M.Speedup, M.NumReports);
   std::printf("\nreports identical across all thread counts: yes\n");
+  std::printf("\n%s", telemetry::summaryTable().c_str());
 
-  std::FILE *Json = std::fopen("BENCH_pipeline.json", "w");
+  telemetry::RunMeta Meta =
+      telemetry::defaultMeta("pipeline_parallel", /*Threads=*/0);
+  Meta.Extra.emplace_back("benchmark", "\"pipeline_parallel\"");
+  Meta.Extra.emplace_back("corpus_files", std::to_string(NumFiles));
+  Meta.Extra.emplace_back("reports_identical_across_thread_counts", "true");
+  Meta.Extra.emplace_back("runs", runsJson(Results));
+
+  std::ofstream Json(OutPath, std::ios::binary);
   if (!Json) {
-    std::fprintf(stderr, "cannot open BENCH_pipeline.json for writing\n");
+    std::fprintf(stderr, "cannot open %s for writing\n", OutPath.c_str());
     return 1;
   }
-  std::fprintf(Json, "{\n");
-  std::fprintf(Json, "  \"benchmark\": \"pipeline_parallel\",\n");
-  std::fprintf(Json, "  \"hardware_concurrency\": %u,\n", Hardware);
-  std::fprintf(Json, "  \"corpus_files\": %zu,\n", NumFiles);
-  std::fprintf(Json, "  \"reports_identical_across_thread_counts\": true,\n");
-  std::fprintf(Json, "  \"runs\": [\n");
-  for (size_t I = 0; I != Results.size(); ++I) {
-    const Measurement &M = Results[I];
-    std::fprintf(Json,
-                 "    {\"threads\": %u, \"build_millis\": %.1f, "
-                 "\"files_per_sec\": %.1f, \"speedup_vs_1_thread\": %.3f, "
-                 "\"reports\": %zu}%s\n",
-                 M.Threads, M.Millis, M.FilesPerSec, M.Speedup, M.NumReports,
-                 I + 1 == Results.size() ? "" : ",");
-  }
-  std::fprintf(Json, "  ]\n}\n");
-  std::fclose(Json);
-  std::printf("wrote BENCH_pipeline.json\n");
+  Json << telemetry::statsJson(Meta);
+  Json.close();
+  std::printf("wrote %s\n", OutPath.c_str());
   return 0;
 }

@@ -5,6 +5,7 @@
 #include "analysis/datalog/Datalog.h"
 
 #include "ast/Statements.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -1015,17 +1016,33 @@ void OriginComputer::assignOrigins(AnalysisResult &Result) {
 }
 
 AnalysisResult OriginComputer::run() {
+  telemetry::TraceSpan Span("analysis.origins");
   AnalysisResult Result;
   discoverStructure();
   buildCallGraph();
   buildContexts();
   extractFacts();
-  E.run();
+  {
+    telemetry::TraceSpan DlSpan("analysis.datalog");
+    E.run();
+  }
   assignOrigins(Result);
   Result.NumFacts = FactCount;
   Result.NumDerivedTuples = E.totalTuples();
   Result.EffectiveK = EffectiveK;
   Result.NumContexts = ContextIds.size() + 1;
+  if (telemetry::enabled()) {
+    // Cached references: one registry lookup per process, not per file.
+    static telemetry::Counter &Facts =
+        telemetry::metrics().counter("datalog.facts");
+    static telemetry::Counter &Tuples =
+        telemetry::metrics().counter("datalog.tuples");
+    static telemetry::Counter &Origins =
+        telemetry::metrics().counter("analysis.origins_assigned");
+    Facts.add(Result.NumFacts);
+    Tuples.add(Result.NumDerivedTuples);
+    Origins.add(Result.Origins.size());
+  }
   return Result;
 }
 

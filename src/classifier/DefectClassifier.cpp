@@ -2,6 +2,8 @@
 
 #include "classifier/DefectClassifier.h"
 
+#include "support/Telemetry.h"
+
 #include <cassert>
 
 using namespace namer;
@@ -10,6 +12,7 @@ using namespace namer::ml;
 ml::Metrics
 DefectClassifier::train(const std::vector<std::vector<double>> &Features,
                         const std::vector<bool> &Labels) {
+  telemetry::TraceSpan Span("classifier.train");
   assert(Features.size() == Labels.size() && "label count mismatch");
   assert(!Features.empty() && "cannot train on an empty set");
   size_t N = Features.size(), D = Features.front().size();
@@ -48,7 +51,11 @@ DefectClassifier::train(const std::vector<std::vector<double>> &Features,
 }
 
 bool DefectClassifier::predict(const std::vector<double> &Features) const {
-  return decision(Features) >= 0.0;
+  bool Report = decision(Features) >= 0.0;
+  telemetry::count("classifier.predictions");
+  if (!Report)
+    telemetry::count("classifier.violations_filtered");
+  return Report;
 }
 
 double DefectClassifier::decision(const std::vector<double> &Features) const {

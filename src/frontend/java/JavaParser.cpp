@@ -4,6 +4,8 @@
 
 #include "frontend/java/JavaLexer.h"
 
+#include "support/Telemetry.h"
+
 #include <cassert>
 
 using namespace namer;
@@ -1192,5 +1194,17 @@ NodeId Parser::parseAtom(NodeId Parent) {
 } // namespace
 
 ParseResult namer::java::parseJava(std::string_view Source, AstContext &Ctx) {
-  return Parser(Source, Ctx).run();
+  telemetry::TraceSpan Span("parse.java");
+  ParseResult Result = Parser(Source, Ctx).run();
+  if (telemetry::enabled()) {
+    // Cached references: one registry lookup per process, not per file.
+    static telemetry::Counter &Files =
+        telemetry::metrics().counter("parse.files");
+    static telemetry::Counter &Errors =
+        telemetry::metrics().counter("parse.errors");
+    Files.add(1);
+    if (!Result.Errors.empty())
+      Errors.add(Result.Errors.size());
+  }
+  return Result;
 }

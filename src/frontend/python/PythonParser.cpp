@@ -4,6 +4,8 @@
 
 #include "frontend/python/PythonLexer.h"
 
+#include "support/Telemetry.h"
+
 #include <cassert>
 
 using namespace namer;
@@ -1015,5 +1017,17 @@ NodeId Parser::parseAtom(NodeId Parent) {
 
 ParseResult namer::python::parsePython(std::string_view Source,
                                        AstContext &Ctx) {
-  return Parser(Source, Ctx).run();
+  telemetry::TraceSpan Span("parse.python");
+  ParseResult Result = Parser(Source, Ctx).run();
+  if (telemetry::enabled()) {
+    // Cached references: one registry lookup per process, not per file.
+    static telemetry::Counter &Files =
+        telemetry::metrics().counter("parse.files");
+    static telemetry::Counter &Errors =
+        telemetry::metrics().counter("parse.errors");
+    Files.add(1);
+    if (!Result.Errors.empty())
+      Errors.add(Result.Errors.size());
+  }
+  return Result;
 }

@@ -3,6 +3,7 @@
 #include "namepath/NamePath.h"
 
 #include "support/Hashing.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cctype>
@@ -34,6 +35,15 @@ std::vector<NamePath> namer::extractNamePaths(const Tree &StmtTree,
   extractFrom(StmtTree, StmtTree.root(), Prefix, Out);
   if (MaxPaths != 0 && Out.size() > MaxPaths)
     Out.resize(MaxPaths);
+  // Called once per statement: cache the counter handle, one relaxed add.
+  static telemetry::Counter &PathCounter =
+      telemetry::metrics().counter("namepath.paths");
+  static telemetry::Counter &StmtCounter =
+      telemetry::metrics().counter("namepath.statements");
+  if (telemetry::enabled()) {
+    PathCounter.add(Out.size());
+    StmtCounter.add(1);
+  }
   return Out;
 }
 

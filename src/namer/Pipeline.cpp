@@ -7,6 +7,7 @@
 #include "frontend/python/PythonParser.h"
 #include "pattern/PatternIndex.h"
 #include "support/Hashing.h"
+#include "support/Telemetry.h"
 #include "transform/AstPlus.h"
 
 #include <cassert>
@@ -63,6 +64,7 @@ FileIngest ingestOneFile(const corpus::SourceFile &File,
                          corpus::Language Lang,
                          const WellKnownRegistry &Registry,
                          const PipelineConfig &Config) {
+  telemetry::TraceSpan FileSpan("ingest.file");
   auto Start = std::chrono::steady_clock::now();
   FileIngest Out;
   Out.LocalCtx = std::make_unique<AstContext>();
@@ -74,6 +76,7 @@ FileIngest ingestOneFile(const corpus::SourceFile &File,
     Origins = computeOrigins(Module, Registry, Config.Analysis).Origins;
   transformToAstPlus(Module, Origins);
 
+  telemetry::TraceSpan PathSpan("namepath.extract");
   for (NodeId Root : collectStatementRoots(Module)) {
     NodeKind Kind = Module.node(Root).Kind;
     // Definition headers contribute paths through their signature only;
@@ -131,6 +134,7 @@ private:
 
 void NamerPipeline::build(const corpus::Corpus &C) {
   assert(Statements.empty() && "build() must be called once");
+  telemetry::TraceSpan BuildSpan("pipeline.build");
   auto WallStart = std::chrono::steady_clock::now();
   Registry = C.Lang == corpus::Language::Python
                  ? WellKnownRegistry::forPython()
@@ -149,45 +153,57 @@ void NamerPipeline::build(const corpus::Corpus &C) {
     }
 
   std::vector<FileIngest> Ingested(Files.size());
-  Pool->parallelFor(0, Files.size(), [&](size_t I) {
-    Ingested[I] = ingestOneFile(*Files[I], C.Lang, Registry, Config);
-  });
-
-  for (size_t I = 0; I != Ingested.size(); ++I) {
-    FileIngest &Slot = Ingested[I];
-    ParseErrors += Slot.Errors;
-    TotalBuildMillis += Slot.Millis;
-    FileId FId = static_cast<FileId>(FilePaths.size());
-    FilePaths.push_back(Files[I]->Path);
-    SymbolTranslator Translate(*Slot.LocalCtx, *Ctx);
-    for (PreStmt &Pre : Slot.Stmts) {
-      for (NamePath &Path : Pre.Paths)
-        Translate.translate(Path);
-      StmtRecord Record;
-      Record.File = FId;
-      Record.Repo = FileRepo[I];
-      Record.Line = Pre.Line;
-      Record.TextHash = Pre.TextHash;
-      Record.Paths = StmtPaths::fromPaths(Pre.Paths, Table, *Ctx);
-      Statements.push_back(std::move(Record));
-    }
-    // Free the worker-local context as soon as its symbols are committed.
-    Slot = FileIngest();
+  {
+    telemetry::TraceSpan Span("pipeline.ingest");
+    Pool->parallelFor(0, Files.size(), [&](size_t I) {
+      Ingested[I] = ingestOneFile(*Files[I], C.Lang, Registry, Config);
+    });
   }
+
+  {
+    telemetry::TraceSpan CommitSpan("pipeline.commit");
+    for (size_t I = 0; I != Ingested.size(); ++I) {
+      FileIngest &Slot = Ingested[I];
+      ParseErrors += Slot.Errors;
+      TotalBuildMillis += Slot.Millis;
+      FileId FId = static_cast<FileId>(FilePaths.size());
+      FilePaths.push_back(Files[I]->Path);
+      SymbolTranslator Translate(*Slot.LocalCtx, *Ctx);
+      for (PreStmt &Pre : Slot.Stmts) {
+        for (NamePath &Path : Pre.Paths)
+          Translate.translate(Path);
+        StmtRecord Record;
+        Record.File = FId;
+        Record.Repo = FileRepo[I];
+        Record.Line = Pre.Line;
+        Record.TextHash = Pre.TextHash;
+        Record.Paths = StmtPaths::fromPaths(Pre.Paths, Table, *Ctx);
+        Statements.push_back(std::move(Record));
+      }
+      // Free the worker-local context as soon as its symbols are committed.
+      Slot = FileIngest();
+    }
+  }
+  telemetry::count("pipeline.statements", Statements.size());
 
   // Phase 2: confusing word pairs from the commit history -- parallel
   // diffing (each commit parsed against its own local context), sequential
   // merge in commit order.
-  std::vector<std::vector<RenamedSubtoken>> Renames(C.Commits.size());
-  Pool->parallelFor(0, C.Commits.size(), [&](size_t I) {
-    AstContext Local;
-    Tree Before = parseInto(C.Commits[I].Before, C.Lang, Local);
-    Tree After = parseInto(C.Commits[I].After, C.Lang, Local);
-    Renames[I] = ConfusingPairMiner::collectRenames(Before, After);
-  });
-  for (const std::vector<RenamedSubtoken> &CommitRenames : Renames)
-    for (const RenamedSubtoken &R : CommitRenames)
-      Pairs->addRename(R.Mistaken, R.Correct);
+  {
+    telemetry::TraceSpan HistSpan("pipeline.histmine");
+    std::vector<std::vector<RenamedSubtoken>> Renames(C.Commits.size());
+    Pool->parallelFor(0, C.Commits.size(), [&](size_t I) {
+      AstContext Local;
+      Tree Before = parseInto(C.Commits[I].Before, C.Lang, Local);
+      Tree After = parseInto(C.Commits[I].After, C.Lang, Local);
+      Renames[I] = ConfusingPairMiner::collectRenames(Before, After);
+    });
+    for (const std::vector<RenamedSubtoken> &CommitRenames : Renames)
+      for (const RenamedSubtoken &R : CommitRenames)
+        Pairs->addRename(R.Mistaken, R.Correct);
+    telemetry::count("histmine.commits", C.Commits.size());
+    telemetry::count("histmine.pairs", Pairs->numPairs());
+  }
 
   // Phase 3: mine both pattern kinds (Algorithm 1). This is the sequential
   // barrier between extraction and matching: FP-tree updates and the
@@ -203,13 +219,16 @@ void NamerPipeline::build(const corpus::Corpus &C) {
   PatternMiner Confusing(PatternKind::ConfusingWord, Table, *Ctx,
                          Config.Miner);
   Confusing.setCorrectWords(Pairs->correctWords());
-  for (const StmtPaths &S : AllPaths) {
-    Consistency.countPaths(S);
-    Confusing.countPaths(S);
-  }
-  for (const StmtPaths &S : AllPaths) {
-    Consistency.addStatement(S);
-    Confusing.addStatement(S);
+  {
+    telemetry::TraceSpan TreeSpan("fptree.build");
+    for (const StmtPaths &S : AllPaths) {
+      Consistency.countPaths(S);
+      Confusing.countPaths(S);
+    }
+    for (const StmtPaths &S : AllPaths) {
+      Consistency.addStatement(S);
+      Confusing.addStatement(S);
+    }
   }
   // pruneUncommon's per-statement evaluation is read-only and fans out
   // over the pool.
@@ -218,17 +237,22 @@ void NamerPipeline::build(const corpus::Corpus &C) {
   for (NamePattern &P :
        Confusing.pruneUncommon(Confusing.generate(), AllPaths, Pool.get()))
     Patterns.push_back(std::move(P));
+  telemetry::count("pipeline.patterns", Patterns.size());
 
   // Phase 4: evaluate every statement against the immutable pattern index
   // in parallel (index-addressed hit slots), then accumulate multi-level
   // statistics and collect violations sequentially in statement order.
   PatternIndex Index2(Patterns, Table);
   std::vector<std::vector<PatternHit>> AllHits(Statements.size());
-  Pool->parallelFor(
-      0, Statements.size(),
-      [&](size_t S) { Index2.evaluate(Statements[S].Paths, AllHits[S]); },
-      /*GrainSize=*/64);
+  {
+    telemetry::TraceSpan ScanSpan("pipeline.scan");
+    Pool->parallelFor(
+        0, Statements.size(),
+        [&](size_t S) { Index2.evaluate(Statements[S].Paths, AllHits[S]); },
+        /*GrainSize=*/64);
+  }
 
+  telemetry::TraceSpan StatsSpan("pipeline.stats");
   std::unordered_set<FileId> ViolatingFiles;
   std::unordered_set<RepoId> ViolatingRepos;
   for (StmtId S = 0; S != Statements.size(); ++S) {
@@ -254,6 +278,7 @@ void NamerPipeline::build(const corpus::Corpus &C) {
   }
   FilesWithViolations = ViolatingFiles.size();
   ReposWithViolations = ViolatingRepos.size();
+  telemetry::count("pipeline.violations", Violations.size());
 
   auto WallEnd = std::chrono::steady_clock::now();
   BuildWallMillis =
@@ -271,10 +296,13 @@ NamerPipeline::trainClassifier(const std::vector<Violation> &Labeled,
   // Feature extraction is read-only over the index/table and fills
   // index-addressed slots, so it fans out over the pool.
   std::vector<std::vector<double>> Features(Labeled.size());
-  Pool->parallelFor(
-      0, Labeled.size(),
-      [&](size_t I) { Features[I] = features(Labeled[I]); },
-      /*GrainSize=*/8);
+  {
+    telemetry::TraceSpan Span("classifier.features");
+    Pool->parallelFor(
+        0, Labeled.size(),
+        [&](size_t I) { Features[I] = features(Labeled[I]); },
+        /*GrainSize=*/8);
+  }
   ml::Metrics M = Classifier.train(Features, Labels);
   Trained = true;
   return M;

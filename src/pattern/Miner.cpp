@@ -4,6 +4,7 @@
 
 #include "pattern/PatternIndex.h"
 #include "support/Hashing.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -161,6 +162,9 @@ void PatternMiner::genFromNode(FPTree::FPNodeId NodeId,
 }
 
 std::vector<NamePattern> PatternMiner::generate() {
+  telemetry::TraceSpan Span("fptree.generate");
+  telemetry::count("fptree.nodes", Tree.size());
+  telemetry::count("fptree.generation_points", Tree.numGenerationPoints());
   std::vector<NamePattern> Raw;
   std::vector<PathId> Visited;
   genFromNode(FPTree::RootId, Visited, Raw);
@@ -216,6 +220,7 @@ std::vector<NamePattern> PatternMiner::generate() {
                 return PathsLess(A.Condition, B.Condition);
               return PathsLess(A.Deduction, B.Deduction);
             });
+  telemetry::count("fptree.patterns_generated", Result.size());
   return Result;
 }
 
@@ -223,6 +228,7 @@ std::vector<NamePattern>
 PatternMiner::pruneUncommon(std::vector<NamePattern> Patterns,
                             const std::vector<StmtPaths> &Dataset,
                             ThreadPool *Pool) const {
+  telemetry::TraceSpan Span("pattern.prune");
   PatternIndex Index(Patterns, Table);
   if (Pool && Pool->workerCount() > 1 && Dataset.size() >= 64) {
     // Fan out over statement chunks; each chunk accumulates into its own
@@ -283,5 +289,7 @@ PatternMiner::pruneUncommon(std::vector<NamePattern> Patterns,
       continue;
     Kept.push_back(std::move(P));
   }
+  telemetry::count("prune.dropped", Patterns.size() - Kept.size());
+  telemetry::count("prune.kept", Kept.size());
   return Kept;
 }

@@ -3,6 +3,7 @@
 #include "support/StringInterner.h"
 
 #include "support/Hashing.h"
+#include "support/Telemetry.h"
 
 #include <bit>
 #include <cassert>
@@ -52,7 +53,18 @@ void StringInterner::publish(Symbol S, const std::string *Str) {
 
 Symbol StringInterner::intern(std::string_view Text) {
   Shard &Sh = Shards[shardIndex(Text)];
+#if NAMER_TELEMETRY
+  // A failed try_lock means another thread holds this shard right now:
+  // `interner.shard_contention` counts how often the 16-way striping was
+  // not enough to keep concurrent interning lock-free in practice.
+  std::unique_lock<std::mutex> L(Sh.M, std::try_to_lock);
+  if (!L.owns_lock()) {
+    telemetry::count("interner.shard_contention");
+    L.lock();
+  }
+#else
   std::lock_guard<std::mutex> L(Sh.M);
+#endif
   auto It = Sh.Map.find(Text);
   if (It != Sh.Map.end())
     return It->second;

@@ -1,0 +1,518 @@
+//===- support/Telemetry.cpp ----------------------------------------------==//
+
+#include "support/Telemetry.h"
+
+#include "support/TextTable.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+using namespace namer;
+using namespace namer::telemetry;
+
+#ifndef NAMER_GIT_REV
+#define NAMER_GIT_REV "unknown"
+#endif
+
+namespace {
+
+std::string jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+RunMeta telemetry::defaultMeta(std::string Tool, unsigned Threads) {
+  RunMeta Meta;
+  Meta.Tool = std::move(Tool);
+  Meta.GitRev = NAMER_GIT_REV;
+  Meta.Threads = Threads;
+  Meta.HardwareConcurrency = std::max(1u, std::thread::hardware_concurrency());
+  return Meta;
+}
+
+#if NAMER_TELEMETRY
+
+namespace {
+
+std::atomic<bool> GEnabled{true};
+std::atomic<uint64_t> GAllocations{0};
+std::atomic<uint64_t (*)()> GTimeSource{nullptr};
+
+std::string formatMicros(uint64_t Ns) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", static_cast<double>(Ns) / 1000.0);
+  return Buf;
+}
+
+uint64_t nowNs() {
+  if (uint64_t (*F)() = GTimeSource.load(std::memory_order_relaxed))
+    return F();
+  // All timestamps are relative to the first telemetry use in the process;
+  // the exporters re-normalize to the earliest span anyway.
+  static const std::chrono::steady_clock::time_point Epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Epoch)
+          .count());
+}
+
+/// One completed span. Name points to static storage (TraceSpan contract).
+struct SpanEvent {
+  const char *Name;
+  uint16_t Depth;
+  uint64_t StartNs;
+  uint64_t DurNs;
+};
+
+/// Per-thread event sink. Owned by the global registry (never destroyed
+/// before process exit), so worker threads may outlive any exporter call.
+struct ThreadBuffer {
+  uint32_t Tid = 0;
+  std::mutex M;
+  std::vector<SpanEvent> Events;
+};
+
+struct ThreadRegistry {
+  std::mutex M;
+  std::deque<ThreadBuffer> Buffers; // deque: stable addresses
+};
+
+ThreadRegistry &threadRegistry() {
+  // Leaked deliberately: pool threads may still record while static
+  // destructors of other translation units run.
+  static ThreadRegistry *R = new ThreadRegistry;
+  return *R;
+}
+
+thread_local uint32_t TlsDepth = 0;
+
+ThreadBuffer &threadBuffer() {
+  thread_local ThreadBuffer *B = nullptr;
+  if (!B) {
+    ThreadRegistry &R = threadRegistry();
+    std::lock_guard<std::mutex> L(R.M);
+    R.Buffers.emplace_back();
+    B = &R.Buffers.back();
+    B->Tid = static_cast<uint32_t>(R.Buffers.size() - 1);
+    GAllocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  return *B;
+}
+
+struct EventSnapshot {
+  uint32_t Tid;
+  SpanEvent Event;
+};
+
+std::vector<EventSnapshot> snapshotEvents() {
+  std::vector<EventSnapshot> Out;
+  ThreadRegistry &R = threadRegistry();
+  std::lock_guard<std::mutex> L(R.M);
+  for (ThreadBuffer &B : R.Buffers) {
+    std::lock_guard<std::mutex> LB(B.M);
+    for (const SpanEvent &E : B.Events)
+      Out.push_back({B.Tid, E});
+  }
+  return Out;
+}
+
+struct SpanAggregate {
+  uint64_t Count = 0;
+  uint64_t TotalNs = 0;
+  uint64_t MinNs = UINT64_MAX;
+  uint64_t MaxNs = 0;
+};
+
+std::map<std::string, SpanAggregate, std::less<>>
+aggregateSpans(const std::vector<EventSnapshot> &Events) {
+  std::map<std::string, SpanAggregate, std::less<>> Out;
+  for (const EventSnapshot &E : Events) {
+    SpanAggregate &A = Out[E.Event.Name];
+    ++A.Count;
+    A.TotalNs += E.Event.DurNs;
+    A.MinNs = std::min(A.MinNs, E.Event.DurNs);
+    A.MaxNs = std::max(A.MaxNs, E.Event.DurNs);
+  }
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Metrics
+//===----------------------------------------------------------------------===//
+
+void Histogram::record(uint64_t Sample) {
+  Count.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(Sample, std::memory_order_relaxed);
+  uint64_t Prev = Max.load(std::memory_order_relaxed);
+  while (Prev < Sample &&
+         !Max.compare_exchange_weak(Prev, Sample, std::memory_order_relaxed))
+    ;
+  uint64_t PrevMin = MinPlus1.load(std::memory_order_relaxed);
+  while ((PrevMin == 0 || Sample + 1 < PrevMin) &&
+         !MinPlus1.compare_exchange_weak(PrevMin, Sample + 1,
+                                         std::memory_order_relaxed))
+    ;
+  size_t K = Sample == 0 ? 0 : static_cast<size_t>(std::bit_width(Sample));
+  K = std::min(K, NumBuckets - 1);
+  Buckets[K].fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::min() const {
+  uint64_t V = MinPlus1.load(std::memory_order_relaxed);
+  return V == 0 ? 0 : V - 1;
+}
+
+struct MetricsRegistry::Stripe {
+  mutable std::mutex M;
+  // std::map with transparent compare: string_view lookups allocate only
+  // on first registration. Metric objects are heap-pinned so references
+  // returned to callers never move.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> Histograms;
+};
+
+MetricsRegistry::MetricsRegistry() : Stripes(new Stripe[NumStripes]) {}
+MetricsRegistry::~MetricsRegistry() { delete[] Stripes; }
+
+MetricsRegistry::Stripe &
+MetricsRegistry::stripeFor(std::string_view Name) const {
+  return Stripes[std::hash<std::string_view>{}(Name) % NumStripes];
+}
+
+Counter &MetricsRegistry::counter(std::string_view Name) {
+  Stripe &S = stripeFor(Name);
+  std::lock_guard<std::mutex> L(S.M);
+  auto It = S.Counters.find(Name);
+  if (It == S.Counters.end()) {
+    It = S.Counters.emplace(std::string(Name), std::make_unique<Counter>())
+             .first;
+    GAllocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  return *It->second;
+}
+
+Gauge &MetricsRegistry::gauge(std::string_view Name) {
+  Stripe &S = stripeFor(Name);
+  std::lock_guard<std::mutex> L(S.M);
+  auto It = S.Gauges.find(Name);
+  if (It == S.Gauges.end()) {
+    It = S.Gauges.emplace(std::string(Name), std::make_unique<Gauge>()).first;
+    GAllocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  return *It->second;
+}
+
+Histogram &MetricsRegistry::histogram(std::string_view Name) {
+  Stripe &S = stripeFor(Name);
+  std::lock_guard<std::mutex> L(S.M);
+  auto It = S.Histograms.find(Name);
+  if (It == S.Histograms.end()) {
+    It = S.Histograms.emplace(std::string(Name), std::make_unique<Histogram>())
+             .first;
+    GAllocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  return *It->second;
+}
+
+void MetricsRegistry::resetValues() {
+  for (size_t I = 0; I != NumStripes; ++I) {
+    Stripe &S = Stripes[I];
+    std::lock_guard<std::mutex> L(S.M);
+    for (auto &[Name, C] : S.Counters)
+      C->Value.store(0, std::memory_order_relaxed);
+    for (auto &[Name, G] : S.Gauges)
+      G->Value.store(0, std::memory_order_relaxed);
+    for (auto &[Name, H] : S.Histograms) {
+      H->Count.store(0, std::memory_order_relaxed);
+      H->Sum.store(0, std::memory_order_relaxed);
+      H->Max.store(0, std::memory_order_relaxed);
+      H->MinPlus1.store(0, std::memory_order_relaxed);
+      for (auto &B : H->Buckets)
+        B.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::vector<std::pair<std::string, int64_t>> MetricsRegistry::snapshot() const {
+  std::vector<std::pair<std::string, int64_t>> Out;
+  for (size_t I = 0; I != NumStripes; ++I) {
+    Stripe &S = Stripes[I];
+    std::lock_guard<std::mutex> L(S.M);
+    for (const auto &[Name, C] : S.Counters)
+      Out.emplace_back(Name, static_cast<int64_t>(C->value()));
+    for (const auto &[Name, G] : S.Gauges)
+      Out.emplace_back(Name, G->value());
+    for (const auto &[Name, H] : S.Histograms) {
+      Out.emplace_back(Name + ".count", static_cast<int64_t>(H->count()));
+      Out.emplace_back(Name + ".sum", static_cast<int64_t>(H->sum()));
+      Out.emplace_back(Name + ".min", static_cast<int64_t>(H->min()));
+      Out.emplace_back(Name + ".max", static_cast<int64_t>(H->max()));
+    }
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+MetricsRegistry &telemetry::metrics() {
+  // Leaked for the same reason as the thread registry.
+  static MetricsRegistry *R = new MetricsRegistry;
+  return *R;
+}
+
+bool telemetry::enabled() {
+  return GEnabled.load(std::memory_order_relaxed);
+}
+
+void telemetry::setEnabled(bool On) {
+  GEnabled.store(On, std::memory_order_relaxed);
+}
+
+void telemetry::count(std::string_view Name, uint64_t Delta) {
+  if (!enabled())
+    return;
+  metrics().counter(Name).add(Delta);
+}
+
+void telemetry::gaugeSet(std::string_view Name, int64_t Value) {
+  if (!enabled())
+    return;
+  metrics().gauge(Name).set(Value);
+}
+
+void telemetry::histogramRecord(std::string_view Name, uint64_t Sample) {
+  if (!enabled())
+    return;
+  metrics().histogram(Name).record(Sample);
+}
+
+//===----------------------------------------------------------------------===//
+// Spans
+//===----------------------------------------------------------------------===//
+
+TraceSpan::TraceSpan(const char *SpanName) : Name(nullptr) {
+  if (!enabled())
+    return;
+  Name = SpanName;
+  ++TlsDepth;
+  StartNs = nowNs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!Name)
+    return;
+  uint64_t End = nowNs();
+  // RAII guarantees LIFO per thread, so the pre-decrement value is the
+  // nesting depth this span was opened at.
+  uint16_t Depth = static_cast<uint16_t>(--TlsDepth);
+  ThreadBuffer &B = threadBuffer();
+  std::lock_guard<std::mutex> L(B.M);
+  if (B.Events.size() == B.Events.capacity())
+    GAllocations.fetch_add(1, std::memory_order_relaxed);
+  B.Events.push_back({Name, Depth, StartNs, End - StartNs});
+}
+
+uint32_t telemetry::currentThreadId() { return threadBuffer().Tid; }
+
+void telemetry::reset() {
+  ThreadRegistry &R = threadRegistry();
+  {
+    std::lock_guard<std::mutex> L(R.M);
+    for (ThreadBuffer &B : R.Buffers) {
+      std::lock_guard<std::mutex> LB(B.M);
+      B.Events.clear();
+    }
+  }
+  metrics().resetValues();
+}
+
+uint64_t telemetry::debugAllocations() {
+  return GAllocations.load(std::memory_order_relaxed);
+}
+
+void telemetry::setTimeSourceForTest(uint64_t (*NowNs)()) {
+  GTimeSource.store(NowNs, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Exporters
+//===----------------------------------------------------------------------===//
+
+std::string telemetry::chromeTraceJson() {
+  std::vector<EventSnapshot> Events = snapshotEvents();
+  std::sort(Events.begin(), Events.end(),
+            [](const EventSnapshot &A, const EventSnapshot &B) {
+              if (A.Event.StartNs != B.Event.StartNs)
+                return A.Event.StartNs < B.Event.StartNs;
+              if (A.Tid != B.Tid)
+                return A.Tid < B.Tid;
+              return std::strcmp(A.Event.Name, B.Event.Name) < 0;
+            });
+  uint64_t Base = Events.empty() ? 0 : Events.front().Event.StartNs;
+
+  std::vector<uint32_t> Tids;
+  for (const EventSnapshot &E : Events)
+    Tids.push_back(E.Tid);
+  std::sort(Tids.begin(), Tids.end());
+  Tids.erase(std::unique(Tids.begin(), Tids.end()), Tids.end());
+
+  std::string Out = "{\"traceEvents\":[\n";
+  bool First = true;
+  for (uint32_t Tid : Tids) {
+    if (!First)
+      Out += ",\n";
+    First = false;
+    Out += "  {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(Tid) + ",\"args\":{\"name\":\"worker-" +
+           std::to_string(Tid) + "\"}}";
+  }
+  for (const EventSnapshot &E : Events) {
+    if (!First)
+      Out += ",\n";
+    First = false;
+    Out += "  {\"name\":\"" + jsonEscape(E.Event.Name) +
+           "\",\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(E.Tid) +
+           ",\"ts\":" + formatMicros(E.Event.StartNs - Base) +
+           ",\"dur\":" + formatMicros(E.Event.DurNs) +
+           ",\"args\":{\"depth\":" + std::to_string(E.Event.Depth) + "}}";
+  }
+  Out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return Out;
+}
+
+std::string telemetry::statsJson(const RunMeta &Meta) {
+  std::string Out = "{\n  \"meta\": {\n";
+  Out += "    \"git_rev\": \"" + jsonEscape(Meta.GitRev) + "\",\n";
+  Out += "    \"hardware_concurrency\": " +
+         std::to_string(Meta.HardwareConcurrency) + ",\n";
+  Out += "    \"schema_version\": " + std::to_string(kStatsSchemaVersion) +
+         ",\n";
+  Out += "    \"telemetry_compiled\": true,\n";
+  Out += "    \"threads\": " + std::to_string(Meta.Threads) + ",\n";
+  Out += "    \"tool\": \"" + jsonEscape(Meta.Tool) + "\"\n  },\n";
+
+  Out += "  \"counters\": {";
+  std::vector<std::pair<std::string, int64_t>> Counters =
+      metrics().snapshot();
+  for (size_t I = 0; I != Counters.size(); ++I)
+    Out += std::string(I ? "," : "") + "\n    \"" +
+           jsonEscape(Counters[I].first) +
+           "\": " + std::to_string(Counters[I].second);
+  Out += Counters.empty() ? "},\n" : "\n  },\n";
+
+  Out += "  \"spans\": {";
+  auto Spans = aggregateSpans(snapshotEvents());
+  size_t I = 0;
+  for (const auto &[Name, A] : Spans) {
+    Out += std::string(I++ ? "," : "") + "\n    \"" + jsonEscape(Name) +
+           "\": {\"count\": " + std::to_string(A.Count) +
+           ", \"max_us\": " + formatMicros(A.MaxNs) +
+           ", \"min_us\": " + formatMicros(A.MinNs) +
+           ", \"total_us\": " + formatMicros(A.TotalNs) + "}";
+  }
+  Out += Spans.empty() ? "}" : "\n  }";
+
+  for (const auto &[Key, RawJson] : Meta.Extra)
+    Out += ",\n  \"" + jsonEscape(Key) + "\": " + RawJson;
+  Out += "\n}\n";
+  return Out;
+}
+
+std::string telemetry::summaryTable() {
+  auto Spans = aggregateSpans(snapshotEvents());
+  uint64_t GrandTotalNs = 0;
+  for (const auto &[Name, A] : Spans)
+    GrandTotalNs += A.TotalNs;
+
+  // Sort by total time descending so the expensive stages lead.
+  std::vector<std::pair<std::string, SpanAggregate>> Rows(Spans.begin(),
+                                                          Spans.end());
+  std::sort(Rows.begin(), Rows.end(), [](const auto &A, const auto &B) {
+    if (A.second.TotalNs != B.second.TotalNs)
+      return A.second.TotalNs > B.second.TotalNs;
+    return A.first < B.first;
+  });
+
+  TextTable Table;
+  Table.setHeader({"span", "count", "total ms", "mean ms", "share"});
+  for (const auto &[Name, A] : Rows) {
+    double TotalMs = static_cast<double>(A.TotalNs) / 1e6;
+    double MeanMs = TotalMs / static_cast<double>(A.Count);
+    double Share = GrandTotalNs
+                       ? static_cast<double>(A.TotalNs) /
+                             static_cast<double>(GrandTotalNs)
+                       : 0.0;
+    Table.addRow({Name, std::to_string(A.Count),
+                  TextTable::formatDouble(TotalMs, 2),
+                  TextTable::formatDouble(MeanMs, 3),
+                  TextTable::formatPercent(Share, 1)});
+  }
+  return Table.render();
+}
+
+#else // !NAMER_TELEMETRY
+
+std::string telemetry::chromeTraceJson() {
+  return "{\"traceEvents\":[\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::string telemetry::statsJson(const RunMeta &Meta) {
+  std::string Out = "{\n  \"meta\": {\n";
+  Out += "    \"git_rev\": \"" + jsonEscape(Meta.GitRev) + "\",\n";
+  Out += "    \"hardware_concurrency\": " +
+         std::to_string(Meta.HardwareConcurrency) + ",\n";
+  Out += "    \"schema_version\": " + std::to_string(kStatsSchemaVersion) +
+         ",\n";
+  Out += "    \"telemetry_compiled\": false,\n";
+  Out += "    \"threads\": " + std::to_string(Meta.Threads) + ",\n";
+  Out += "    \"tool\": \"" + jsonEscape(Meta.Tool) + "\"\n  },\n";
+  Out += "  \"counters\": {},\n  \"spans\": {}";
+  for (const auto &[Key, RawJson] : Meta.Extra)
+    Out += ",\n  \"" + jsonEscape(Key) + "\": " + RawJson;
+  Out += "\n}\n";
+  return Out;
+}
+
+std::string telemetry::summaryTable() {
+  return "(telemetry compiled out: rebuild with -DNAMER_TELEMETRY=ON)\n";
+}
+
+#endif // NAMER_TELEMETRY

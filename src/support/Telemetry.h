@@ -1,0 +1,285 @@
+//===- support/Telemetry.h - Pipeline tracing and metrics -------*- C++ -*-==//
+//
+// Part of the Namer reproduction of "Learning to Find Naming Issues with Big
+// Code and Small Supervision" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability layer of the pipeline: stage-scoped tracing plus a
+/// metrics registry, with two JSON exporters.
+///
+/// * TraceSpan -- an RAII span. Construction records a steady-clock start
+///   time; destruction emits one event {name, thread, depth, start, dur}
+///   into a per-thread buffer. Spans nest (a thread-local depth counter is
+///   maintained) and are thread-attributed via small dense thread ids, so
+///   worker-pool tasks show up as parallel tracks in chrome://tracing.
+///
+/// * MetricsRegistry -- named counters (monotonic u64), gauges (last-set
+///   i64) and histograms (count/sum/min/max + log2 buckets), looked up by
+///   name in a lock-striped table. Metric objects have stable addresses, so
+///   hot paths cache `Counter &` once and pay one relaxed atomic add per
+///   event. Names follow the `stage.noun` convention (DESIGN.md,
+///   "Observability"): e.g. `parse.files`, `datalog.tuples`,
+///   `fptree.nodes`, `prune.dropped`, `pool.steals`.
+///
+/// * Exporters -- chromeTraceJson() renders the span buffers as Chrome
+///   trace-event JSON (load via chrome://tracing or Perfetto);
+///   statsJson() renders the canonical flat `{meta, counters, spans}`
+///   document that BENCH_*.json files and `namer-scan --stats` share
+///   (kStatsSchemaVersion). Both emit keys in sorted order so golden tests
+///   can compare bytes.
+///
+/// Overhead: everything is gated twice. Compile-time, the NAMER_TELEMETRY
+/// macro (CMake option of the same name, default ON) reduces TraceSpan and
+/// every record call to an empty inline body -- the disabled path compiles
+/// out entirely (the `release-notrace` preset builds this configuration).
+/// Run-time, setEnabled(false) short-circuits span/metric recording to one
+/// relaxed atomic load and performs no allocation (pinned by a test
+/// against debugAllocations()).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_SUPPORT_TELEMETRY_H
+#define NAMER_SUPPORT_TELEMETRY_H
+
+#ifndef NAMER_TELEMETRY
+#define NAMER_TELEMETRY 1
+#endif
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace namer {
+namespace telemetry {
+
+/// Schema version of the flat stats JSON ({meta, counters, spans}); bumped
+/// whenever a key is renamed or removed. BENCH_*.json files record it.
+inline constexpr int kStatsSchemaVersion = 1;
+
+/// Fixed metadata of one run, rendered into the "meta" object of the stats
+/// JSON. GitRev and HardwareConcurrency are filled by defaultMeta().
+struct RunMeta {
+  std::string Tool;       ///< producing binary, e.g. "namer-scan"
+  std::string GitRev;     ///< short git revision the binary was built from
+  unsigned Threads = 0;   ///< configured pipeline worker count (0 = auto)
+  unsigned HardwareConcurrency = 0;
+  /// Extra "key": <raw JSON value> pairs appended to the top-level object
+  /// (after meta/counters/spans), e.g. a bench-specific "runs" array. The
+  /// value string must already be valid JSON.
+  std::vector<std::pair<std::string, std::string>> Extra;
+};
+
+/// RunMeta with GitRev / HardwareConcurrency resolved for this build.
+RunMeta defaultMeta(std::string Tool, unsigned Threads);
+
+#if NAMER_TELEMETRY
+
+/// Monotonic named counter. Stable address for the registry's lifetime.
+class Counter {
+public:
+  void add(uint64_t Delta = 1) {
+    Value.fetch_add(Delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return Value.load(std::memory_order_relaxed); }
+
+private:
+  friend class MetricsRegistry;
+  std::atomic<uint64_t> Value{0};
+};
+
+/// Last-set named value (e.g. a structure size observed once per run).
+class Gauge {
+public:
+  void set(int64_t V) { Value.store(V, std::memory_order_relaxed); }
+  int64_t value() const { return Value.load(std::memory_order_relaxed); }
+
+private:
+  friend class MetricsRegistry;
+  std::atomic<int64_t> Value{0};
+};
+
+/// Histogram over non-negative samples: count/sum/min/max plus power-of-two
+/// buckets (bucket k counts samples in [2^(k-1), 2^k)).
+class Histogram {
+public:
+  static constexpr size_t NumBuckets = 32;
+
+  void record(uint64_t Sample);
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  /// Max over recorded samples; 0 when empty.
+  uint64_t max() const { return Max.load(std::memory_order_relaxed); }
+  /// Min over recorded samples; 0 when empty.
+  uint64_t min() const;
+  uint64_t bucket(size_t K) const {
+    return Buckets[K].load(std::memory_order_relaxed);
+  }
+
+private:
+  friend class MetricsRegistry;
+  std::atomic<uint64_t> Count{0}, Sum{0}, Max{0};
+  std::atomic<uint64_t> MinPlus1{0}; ///< min+1; 0 encodes "empty"
+  std::atomic<uint64_t> Buckets[NumBuckets] = {};
+};
+
+/// Lock-striped name -> metric table. Lookups hash the name to one of
+/// NumStripes stripes and take that stripe's mutex only; returned
+/// references stay valid (and keep their accumulated values) across
+/// reset() -- reset zeroes values without destroying objects, so cached
+/// `Counter &` handles in hot paths never dangle.
+class MetricsRegistry {
+public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry &) = delete;
+  MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+  Counter &counter(std::string_view Name);
+  Gauge &gauge(std::string_view Name);
+  Histogram &histogram(std::string_view Name);
+
+  /// Zeroes every registered metric's value (objects survive).
+  void resetValues();
+
+  /// Snapshot of all metrics, sorted by name. Histograms flatten to four
+  /// entries: name.count / name.sum / name.min / name.max.
+  std::vector<std::pair<std::string, int64_t>> snapshot() const;
+
+private:
+  struct Stripe;
+  static constexpr size_t NumStripes = 8;
+  Stripe &stripeFor(std::string_view Name) const;
+  Stripe *Stripes; ///< array of NumStripes
+};
+
+/// The process-wide registry all instrumentation records into.
+MetricsRegistry &metrics();
+
+/// Runtime switch; default ON. Disabling stops span/metric recording (the
+/// convenience helpers below become no-ops) without recompiling.
+bool enabled();
+void setEnabled(bool On);
+
+/// One-call counter bump: registry lookup + add, skipped when disabled.
+/// Hot paths should cache `metrics().counter(...)` instead.
+void count(std::string_view Name, uint64_t Delta = 1);
+void gaugeSet(std::string_view Name, int64_t Value);
+void histogramRecord(std::string_view Name, uint64_t Sample);
+
+/// RAII trace span. \p Name must have static storage duration (pass string
+/// literals); the span stores the pointer, not a copy.
+class TraceSpan {
+public:
+  explicit TraceSpan(const char *Name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+private:
+  const char *Name; ///< null when recording was disabled at entry
+  uint64_t StartNs = 0;
+};
+
+/// Dense id of the calling thread (0 for the first thread that records).
+uint32_t currentThreadId();
+
+/// Discards all recorded span events and zeroes all metric values. Metric
+/// addresses stay valid. Intended for tests and multi-run benches.
+void reset();
+
+/// Number of heap allocations telemetry itself has performed (buffer
+/// growth, metric registration, thread registration). Used by tests to pin
+/// the disabled path allocation-free.
+uint64_t debugAllocations();
+
+/// Replaces the time source with a fake returning nanoseconds; pass
+/// nullptr to restore the steady clock. Test hook: with a deterministic
+/// clock both exporters become byte-stable for golden comparisons.
+void setTimeSourceForTest(uint64_t (*NowNs)());
+
+/// Chrome trace-event JSON of every recorded span, as one
+/// {"traceEvents": [...]} object with complete ("ph":"X") events sorted by
+/// (start, thread, name) and per-thread name metadata. Timestamps are
+/// microseconds relative to the earliest recorded span.
+std::string chromeTraceJson();
+
+/// The canonical flat stats JSON: {"meta": {...}, "counters": {...},
+/// "spans": {...}} plus Meta.Extra appended at top level. Counters embed
+/// gauges and flattened histograms; spans aggregate events by name into
+/// {count, total_us, min_us, max_us}. Keys are sorted.
+std::string statsJson(const RunMeta &Meta);
+
+/// Renders the span aggregates as a human-readable per-stage table
+/// (support/TextTable): name, count, total ms, mean ms, share of the sum.
+std::string summaryTable();
+
+#else // !NAMER_TELEMETRY: every operation compiles to an empty inline body.
+
+class Counter {
+public:
+  void add(uint64_t = 1) {}
+  uint64_t value() const { return 0; }
+};
+class Gauge {
+public:
+  void set(int64_t) {}
+  int64_t value() const { return 0; }
+};
+class Histogram {
+public:
+  static constexpr size_t NumBuckets = 32;
+  void record(uint64_t) {}
+  uint64_t count() const { return 0; }
+  uint64_t sum() const { return 0; }
+  uint64_t max() const { return 0; }
+  uint64_t min() const { return 0; }
+  uint64_t bucket(size_t) const { return 0; }
+};
+class MetricsRegistry {
+public:
+  Counter &counter(std::string_view) { return C; }
+  Gauge &gauge(std::string_view) { return G; }
+  Histogram &histogram(std::string_view) { return H; }
+  void resetValues() {}
+  std::vector<std::pair<std::string, int64_t>> snapshot() const { return {}; }
+
+private:
+  Counter C;
+  Gauge G;
+  Histogram H;
+};
+
+inline MetricsRegistry &metrics() {
+  static MetricsRegistry R;
+  return R;
+}
+inline bool enabled() { return false; }
+inline void setEnabled(bool) {}
+inline void count(std::string_view, uint64_t = 1) {}
+inline void gaugeSet(std::string_view, int64_t) {}
+inline void histogramRecord(std::string_view, uint64_t) {}
+
+class TraceSpan {
+public:
+  explicit TraceSpan(const char *) {}
+};
+
+inline uint32_t currentThreadId() { return 0; }
+inline void reset() {}
+inline uint64_t debugAllocations() { return 0; }
+inline void setTimeSourceForTest(uint64_t (*)()) {}
+std::string chromeTraceJson();
+std::string statsJson(const RunMeta &Meta);
+std::string summaryTable();
+
+#endif // NAMER_TELEMETRY
+
+} // namespace telemetry
+} // namespace namer
+
+#endif // NAMER_SUPPORT_TELEMETRY_H

@@ -2,8 +2,11 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/Telemetry.h"
+
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 using namespace namer;
 
@@ -11,6 +14,22 @@ namespace {
 /// True while the current thread executes a pool task (worker or helping
 /// submitter); nested parallelFor calls detect it and run inline.
 thread_local bool InPoolTask = false;
+
+/// Pool counters, cached once: one relaxed add per task/steal. Idle time is
+/// recorded per completed wait (see workerLoop), so `pool.idle_us` sums
+/// time workers spent parked while the pool had no work for them.
+telemetry::Counter &tasksCounter() {
+  static telemetry::Counter &C = telemetry::metrics().counter("pool.tasks");
+  return C;
+}
+telemetry::Counter &stealsCounter() {
+  static telemetry::Counter &C = telemetry::metrics().counter("pool.steals");
+  return C;
+}
+telemetry::Counter &idleCounter() {
+  static telemetry::Counter &C = telemetry::metrics().counter("pool.idle_us");
+  return C;
+}
 } // namespace
 
 unsigned ThreadPool::resolveWorkerCount(unsigned Requested) {
@@ -22,6 +41,13 @@ unsigned ThreadPool::resolveWorkerCount(unsigned Requested) {
 
 ThreadPool::ThreadPool(unsigned Workers)
     : NumWorkers(resolveWorkerCount(Workers)) {
+  // Register the pool counters up front so they appear in stats exports
+  // (as zeros) even when no task ran, no steal happened, or the pool is
+  // single-worker and runs everything inline.
+  tasksCounter();
+  stealsCounter();
+  idleCounter();
+  telemetry::metrics().histogram("pool.idle_wait_us");
   if (NumWorkers <= 1)
     return;
   // One queue per computing thread: spawned workers use queues
@@ -74,10 +100,14 @@ bool ThreadPool::runOneTask(unsigned SelfQueue) {
     } else { // steal from the back of a victim's queue
       Task = std::move(WQ.Tasks.back());
       WQ.Tasks.pop_back();
+      if (telemetry::enabled())
+        stealsCounter().add(1);
     }
   }
   if (!Task)
     return false;
+  if (telemetry::enabled())
+    tasksCounter().add(1);
   {
     std::lock_guard<std::mutex> L(SleepM);
     assert(QueuedTasks > 0 && "task count out of sync");
@@ -94,10 +124,24 @@ void ThreadPool::workerLoop(unsigned Id) {
   for (;;) {
     if (runOneTask(Id))
       continue;
-    std::unique_lock<std::mutex> L(SleepM);
-    SleepCv.wait(L, [this] { return Stopping || QueuedTasks > 0; });
-    if (Stopping && QueuedTasks == 0)
-      return;
+    bool Timing = telemetry::enabled();
+    std::chrono::steady_clock::time_point IdleStart;
+    if (Timing)
+      IdleStart = std::chrono::steady_clock::now();
+    {
+      std::unique_lock<std::mutex> L(SleepM);
+      SleepCv.wait(L, [this] { return Stopping || QueuedTasks > 0; });
+      if (Stopping && QueuedTasks == 0)
+        return;
+    }
+    if (Timing) {
+      uint64_t WaitedUs = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - IdleStart)
+              .count());
+      idleCounter().add(WaitedUs);
+      telemetry::metrics().histogram("pool.idle_wait_us").record(WaitedUs);
+    }
   }
 }
 
@@ -115,6 +159,7 @@ void ThreadPool::parallelFor(size_t Begin, size_t End,
     return;
   }
 
+  telemetry::count("pool.parallel_fors");
   GrainSize = std::max<size_t>(GrainSize, 1);
   // Aim for several chunks per worker so stealing can balance skewed
   // per-iteration costs, without dropping below the grain size.

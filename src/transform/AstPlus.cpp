@@ -3,6 +3,7 @@
 #include "transform/AstPlus.h"
 
 #include "support/Subtokens.h"
+#include "support/Telemetry.h"
 
 #include <string>
 
@@ -36,6 +37,7 @@ bool identIsLiteral(const Tree &T, NodeId N) {
 } // namespace
 
 void namer::transformToAstPlus(Tree &Module, const OriginMap &Origins) {
+  telemetry::TraceSpan Span("transform.astplus");
   AstContext &Ctx = Module.context();
   // Snapshot: transforms append nodes; only original nodes are rewritten.
   const size_t OriginalSize = Module.size();
@@ -116,5 +118,11 @@ void namer::transformToAstPlus(Tree &Module, const OriginMap &Origins) {
       continue;
     for (NodeId Sub : SubtokenIds)
       Module.insertAbove(Sub, NodeKind::Origin, It->second);
+  }
+  if (telemetry::enabled()) {
+    // Cached reference: one registry lookup per process, not per file.
+    static telemetry::Counter &NodesAdded =
+        telemetry::metrics().counter("transform.nodes_added");
+    NodesAdded.add(Module.size() - OriginalSize);
   }
 }

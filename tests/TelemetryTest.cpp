@@ -1,0 +1,433 @@
+//===- tests/TelemetryTest.cpp - observability layer tests ----------------==//
+//
+// Covers the telemetry layer end to end: span nesting and thread
+// attribution, counter atomicity under pool stress, the disabled mode's
+// zero-allocation guarantee, byte-exact golden files for both exporters
+// (driven by the fake clock from setTimeSourceForTest), and structural
+// validation of the Chrome trace + per-stage stats coverage on a real
+// pipeline run. Built as its own binary (namer_telemetry_tests) so ctest
+// can select the suite with -L telemetry.
+//
+// When NAMER_TELEMETRY is compiled out (the release-notrace preset) only
+// the stub-API smoke tests compile; they pin that the no-op header is
+// usable and that the exporters still emit valid JSON.
+//
+//===----------------------------------------------------------------------===//
+
+#include "namer/Pipeline.h"
+#include "support/Telemetry.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace namer;
+
+namespace {
+
+/// Minimal JSON syntax checker: accepts exactly the RFC 8259 value grammar
+/// (minus \u escapes' surrogate rules), enough to assert that the
+/// exporters' hand-rolled output is structurally well formed.
+class JsonChecker {
+public:
+  explicit JsonChecker(std::string_view S)
+      : P(S.data()), End(S.data() + S.size()) {}
+
+  bool valid() {
+    if (!value())
+      return false;
+    skipWs();
+    return P == End;
+  }
+
+private:
+  const char *P, *End;
+
+  void skipWs() {
+    while (P != End &&
+           (*P == ' ' || *P == '\n' || *P == '\t' || *P == '\r'))
+      ++P;
+  }
+  bool literal(std::string_view Lit) {
+    if (static_cast<size_t>(End - P) < Lit.size() ||
+        std::string_view(P, Lit.size()) != Lit)
+      return false;
+    P += Lit.size();
+    return true;
+  }
+  bool string() {
+    if (P == End || *P != '"')
+      return false;
+    for (++P; P != End && *P != '"'; ++P)
+      if (*P == '\\' && ++P == End)
+        return false;
+    if (P == End)
+      return false;
+    ++P;
+    return true;
+  }
+  bool number() {
+    const char *Start = P;
+    if (P != End && *P == '-')
+      ++P;
+    while (P != End && (std::isdigit(static_cast<unsigned char>(*P)) ||
+                        *P == '.' || *P == 'e' || *P == 'E' || *P == '+' ||
+                        *P == '-'))
+      ++P;
+    return P != Start;
+  }
+  bool object() {
+    ++P; // '{'
+    skipWs();
+    if (P != End && *P == '}')
+      return ++P, true;
+    for (;;) {
+      skipWs();
+      if (!string())
+        return false;
+      skipWs();
+      if (P == End || *P != ':')
+        return false;
+      ++P;
+      if (!value())
+        return false;
+      skipWs();
+      if (P != End && *P == ',') {
+        ++P;
+        continue;
+      }
+      if (P != End && *P == '}')
+        return ++P, true;
+      return false;
+    }
+  }
+  bool array() {
+    ++P; // '['
+    skipWs();
+    if (P != End && *P == ']')
+      return ++P, true;
+    for (;;) {
+      if (!value())
+        return false;
+      skipWs();
+      if (P != End && *P == ',') {
+        ++P;
+        continue;
+      }
+      if (P != End && *P == ']')
+        return ++P, true;
+      return false;
+    }
+  }
+  bool value() {
+    skipWs();
+    if (P == End)
+      return false;
+    switch (*P) {
+    case '{':
+      return object();
+    case '[':
+      return array();
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return number();
+    }
+  }
+};
+
+} // namespace
+
+TEST(TelemetryJson, DisabledOrEnabledExportersEmitValidJson) {
+  // Shared by both build modes: whatever the compile-time configuration,
+  // the exporters must produce syntactically valid JSON.
+  telemetry::RunMeta Meta;
+  Meta.Tool = "smoke";
+  Meta.GitRev = "abc";
+  Meta.Extra.emplace_back("extra", "[1, 2, 3]");
+  EXPECT_TRUE(JsonChecker(telemetry::statsJson(Meta)).valid());
+  EXPECT_TRUE(JsonChecker(telemetry::chromeTraceJson()).valid());
+}
+
+#if NAMER_TELEMETRY
+
+namespace {
+
+/// Fake clock for the golden tests: every query advances time by exactly
+/// 1ms, so span starts/durations are fully deterministic.
+uint64_t FakeClockNs = 0;
+uint64_t fakeNow() { return FakeClockNs += 1'000'000; }
+
+struct FakeClockScope {
+  FakeClockScope() {
+    FakeClockNs = 0;
+    telemetry::setTimeSourceForTest(&fakeNow);
+  }
+  ~FakeClockScope() { telemetry::setTimeSourceForTest(nullptr); }
+};
+
+std::map<std::string, int64_t> snapshotMap() {
+  std::map<std::string, int64_t> Out;
+  for (auto &[Name, Value] : telemetry::metrics().snapshot())
+    Out[Name] = Value;
+  return Out;
+}
+
+} // namespace
+
+TEST(TelemetryGolden, StatsJsonBytes) {
+  FakeClockScope Clock;
+  telemetry::reset();
+  telemetry::setEnabled(true);
+
+  telemetry::metrics().counter("golden.files").add(3);
+  telemetry::metrics().gauge("golden.gauge").set(-7);
+  telemetry::metrics().histogram("golden.hist").record(4);
+  telemetry::metrics().histogram("golden.hist").record(9);
+  {
+    telemetry::TraceSpan Outer("golden.outer");
+    telemetry::TraceSpan Inner("golden.inner");
+  }
+
+  telemetry::RunMeta Meta;
+  Meta.Tool = "test";
+  Meta.GitRev = "deadbeef";
+  Meta.Threads = 2;
+  Meta.HardwareConcurrency = 8;
+  Meta.Extra.emplace_back("extra_flag", "true");
+
+  const std::string Expected = R"({
+  "meta": {
+    "git_rev": "deadbeef",
+    "hardware_concurrency": 8,
+    "schema_version": 1,
+    "telemetry_compiled": true,
+    "threads": 2,
+    "tool": "test"
+  },
+  "counters": {
+    "golden.files": 3,
+    "golden.gauge": -7,
+    "golden.hist.count": 2,
+    "golden.hist.max": 9,
+    "golden.hist.min": 4,
+    "golden.hist.sum": 13
+  },
+  "spans": {
+    "golden.inner": {"count": 1, "max_us": 1000.000, "min_us": 1000.000, "total_us": 1000.000},
+    "golden.outer": {"count": 1, "max_us": 3000.000, "min_us": 3000.000, "total_us": 3000.000}
+  },
+  "extra_flag": true
+}
+)";
+  std::string Actual = telemetry::statsJson(Meta);
+  EXPECT_EQ(Actual, Expected);
+  EXPECT_TRUE(JsonChecker(Actual).valid());
+  telemetry::reset();
+}
+
+TEST(TelemetryGolden, ChromeTraceJsonBytes) {
+  FakeClockScope Clock;
+  telemetry::reset();
+  telemetry::setEnabled(true);
+
+  {
+    telemetry::TraceSpan A("golden.a");
+    telemetry::TraceSpan B("golden.b");
+  }
+  { telemetry::TraceSpan C("golden.c"); }
+
+  const std::string Expected = R"({"traceEvents":[
+  {"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"worker-0"}},
+  {"name":"golden.a","ph":"X","pid":1,"tid":0,"ts":0.000,"dur":3000.000,"args":{"depth":0}},
+  {"name":"golden.b","ph":"X","pid":1,"tid":0,"ts":1000.000,"dur":1000.000,"args":{"depth":1}},
+  {"name":"golden.c","ph":"X","pid":1,"tid":0,"ts":4000.000,"dur":1000.000,"args":{"depth":0}}
+],"displayTimeUnit":"ms"}
+)";
+  std::string Actual = telemetry::chromeTraceJson();
+  EXPECT_EQ(Actual, Expected);
+  EXPECT_TRUE(JsonChecker(Actual).valid());
+  telemetry::reset();
+}
+
+TEST(TelemetrySpans, NestingDepthAndThreadAttribution) {
+  telemetry::reset();
+  telemetry::setEnabled(true);
+
+  {
+    telemetry::TraceSpan Outer("nest.outer");
+    telemetry::TraceSpan Inner("nest.inner");
+  }
+  // The main thread recorded first in this process, so it owns id 0; a
+  // fresh thread must get a distinct id and its span a distinct tid.
+  EXPECT_EQ(telemetry::currentThreadId(), 0u);
+  uint32_t WorkerTid = 0;
+  std::thread T([&WorkerTid] {
+    telemetry::TraceSpan S("nest.worker");
+    WorkerTid = telemetry::currentThreadId();
+  });
+  T.join();
+  EXPECT_NE(WorkerTid, 0u);
+
+  std::string Trace = telemetry::chromeTraceJson();
+  // The inner span carries depth 1, the outer depth 0.
+  size_t InnerAt = Trace.find("\"name\":\"nest.inner\"");
+  size_t OuterAt = Trace.find("\"name\":\"nest.outer\"");
+  ASSERT_NE(InnerAt, std::string::npos);
+  ASSERT_NE(OuterAt, std::string::npos);
+  EXPECT_NE(Trace.find("\"args\":{\"depth\":1}", InnerAt),
+            std::string::npos);
+  EXPECT_NE(Trace.find("\"tid\":" + std::to_string(WorkerTid)),
+            std::string::npos);
+  telemetry::reset();
+}
+
+TEST(TelemetryMetrics, CountersAreExactUnderThreadPoolStress) {
+  telemetry::reset();
+  telemetry::setEnabled(true);
+
+  constexpr size_t N = 100000;
+  telemetry::Counter &Cached = telemetry::metrics().counter("stress.cached");
+  ThreadPool Pool(8);
+  Pool.parallelFor(0, N, [&](size_t I) {
+    Cached.add(1);
+    telemetry::count("stress.helper");
+    telemetry::metrics().histogram("stress.hist").record(I % 128);
+  });
+
+  uint64_t ExpectedSum = 0;
+  for (size_t I = 0; I != N; ++I)
+    ExpectedSum += I % 128;
+
+  EXPECT_EQ(Cached.value(), N);
+  EXPECT_EQ(telemetry::metrics().counter("stress.helper").value(), N);
+  telemetry::Histogram &H = telemetry::metrics().histogram("stress.hist");
+  EXPECT_EQ(H.count(), N);
+  EXPECT_EQ(H.sum(), ExpectedSum);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 127u);
+  telemetry::reset();
+}
+
+TEST(TelemetryDisabled, RecordsNothingAndAllocatesNothing) {
+  // Warm up: thread buffer + counter registration happen before the
+  // measured window, then the runtime switch must make every operation
+  // allocation-free and value-free.
+  { telemetry::TraceSpan Warm("disabled.warm"); }
+  telemetry::metrics().counter("disabled.counter");
+  telemetry::reset();
+
+  telemetry::setEnabled(false);
+  uint64_t Before = telemetry::debugAllocations();
+  for (int I = 0; I != 1000; ++I) {
+    telemetry::TraceSpan S("disabled.span");
+    telemetry::count("disabled.counter");
+    telemetry::count("disabled.fresh"); // must not even register
+    telemetry::gaugeSet("disabled.gauge", 42);
+    telemetry::histogramRecord("disabled.hist", 5);
+  }
+  EXPECT_EQ(telemetry::debugAllocations(), Before);
+  telemetry::setEnabled(true);
+
+  EXPECT_EQ(telemetry::metrics().counter("disabled.counter").value(), 0u);
+  std::map<std::string, int64_t> Snap = snapshotMap();
+  EXPECT_EQ(Snap.count("disabled.fresh"), 0u);
+  EXPECT_EQ(Snap.count("disabled.gauge"), 0u);
+  EXPECT_EQ(Snap.count("disabled.hist.count"), 0u);
+  EXPECT_EQ(telemetry::chromeTraceJson().find("disabled.span"),
+            std::string::npos);
+  telemetry::reset();
+}
+
+TEST(TelemetryPipeline, StatsCoverEveryStageOnRealRun) {
+  telemetry::reset();
+  telemetry::setEnabled(true);
+
+  corpus::CorpusConfig Config;
+  Config.Lang = corpus::Language::Python;
+  Config.NumRepos = 40;
+  corpus::Corpus C = corpus::generateCorpus(Config);
+  PipelineConfig PC;
+  PC.Miner.MinPatternSupport = 20;
+  PC.Threads = 2;
+  NamerPipeline P(PC);
+  P.build(C);
+
+  ASSERT_GE(P.violations().size(), 4u);
+  std::vector<Violation> Labeled(P.violations().begin(),
+                                 P.violations().begin() + 4);
+  std::vector<bool> Labels = {true, false, true, false};
+  P.trainClassifier(Labeled, Labels);
+  (void)P.classify(P.violations()[0]);
+
+  // All six pipeline stages plus the pool must have left counters behind.
+  std::map<std::string, int64_t> Snap = snapshotMap();
+  for (const char *Name :
+       {"parse.files", "datalog.tuples", "transform.nodes_added",
+        "namepath.paths", "fptree.nodes", "pipeline.violations"}) {
+    ASSERT_TRUE(Snap.count(Name)) << Name;
+    EXPECT_GT(Snap[Name], 0) << Name;
+  }
+  for (const char *Name :
+       {"prune.dropped", "prune.kept", "classifier.predictions",
+        "pool.tasks", "pool.steals", "pool.idle_us",
+        "pool.idle_wait_us.count"})
+    EXPECT_TRUE(Snap.count(Name)) << Name;
+  EXPECT_GE(Snap["classifier.predictions"], 1);
+
+  // Every stage's span shows up in the stats document, and both exporters
+  // stay structurally valid on a real multi-threaded run.
+  std::string Stats =
+      telemetry::statsJson(telemetry::defaultMeta("telemetry-test", 2));
+  for (const char *Span :
+       {"parse.python", "analysis.origins", "analysis.datalog",
+        "transform.astplus", "namepath.extract", "fptree.build",
+        "fptree.generate", "pattern.prune", "classifier.train",
+        "pipeline.build", "pipeline.ingest", "pipeline.commit",
+        "pipeline.scan", "ingest.file"})
+    EXPECT_NE(Stats.find("\"" + std::string(Span) + "\""),
+              std::string::npos)
+        << Span;
+  EXPECT_TRUE(JsonChecker(Stats).valid());
+
+  std::string Trace = telemetry::chromeTraceJson();
+  EXPECT_TRUE(JsonChecker(Trace).valid());
+  EXPECT_EQ(Trace.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(Trace.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"displayTimeUnit\":\"ms\"}"), std::string::npos);
+  telemetry::reset();
+}
+
+#else // !NAMER_TELEMETRY
+
+TEST(TelemetryStub, ApiIsUsableWhenCompiledOut) {
+  // The no-op header must keep every call site compiling and cheap.
+  telemetry::TraceSpan S("stub.span");
+  telemetry::count("stub.counter");
+  telemetry::gaugeSet("stub.gauge", 1);
+  telemetry::histogramRecord("stub.hist", 2);
+  EXPECT_FALSE(telemetry::enabled());
+  EXPECT_EQ(telemetry::metrics().counter("stub.counter").value(), 0u);
+  EXPECT_EQ(telemetry::metrics().snapshot().size(), 0u);
+  EXPECT_EQ(telemetry::debugAllocations(), 0u);
+
+  telemetry::RunMeta Meta;
+  Meta.Tool = "stub";
+  std::string Stats = telemetry::statsJson(Meta);
+  EXPECT_NE(Stats.find("\"telemetry_compiled\": false"), std::string::npos);
+  EXPECT_TRUE(JsonChecker(Stats).valid());
+}
+
+#endif // NAMER_TELEMETRY

@@ -73,6 +73,75 @@ TEST(ThreadPool, PropagatesExceptions) {
   EXPECT_EQ(Count.load(), 100u);
 }
 
+TEST(ThreadPool, CapturesFirstExceptionWhenManyBodiesThrow) {
+  // Several bodies throw concurrently; exactly one exception must surface
+  // (the first captured -- later ones are swallowed, not leaked or
+  // terminate()d), and it must be one actually thrown by a body.
+  ThreadPool Pool(8);
+  std::atomic<size_t> Throwers{0};
+  try {
+    Pool.parallelFor(0, 2000, [&](size_t I) {
+      if (I % 3 == 0) {
+        Throwers.fetch_add(1, std::memory_order_relaxed);
+        throw std::runtime_error("body " + std::to_string(I));
+      }
+    });
+    FAIL() << "parallelFor swallowed every exception";
+  } catch (const std::runtime_error &E) {
+    EXPECT_EQ(std::string(E.what()).rfind("body ", 0), 0u);
+  }
+  EXPECT_GE(Throwers.load(), 1u);
+
+  // The failure left no queued tasks behind: a full follow-up loop runs.
+  std::atomic<size_t> Count{0};
+  Pool.parallelFor(0, 500, [&](size_t) { ++Count; });
+  EXPECT_EQ(Count.load(), 500u);
+}
+
+TEST(ThreadPool, ParallelMapPropagatesExceptions) {
+  ThreadPool Pool(4);
+  std::vector<int> Items(300);
+  std::iota(Items.begin(), Items.end(), 0);
+  EXPECT_THROW(Pool.parallelMap(Items,
+                                [](const int &V) -> int {
+                                  if (V == 123)
+                                    throw std::logic_error("map boom");
+                                  return V;
+                                }),
+               std::logic_error);
+
+  std::vector<int> Ok = Pool.parallelMap(Items, [](const int &V) { return V; });
+  EXPECT_EQ(Ok, Items);
+}
+
+TEST(ThreadPool, NestedInlineLoopPropagatesExceptions) {
+  // Nested parallelFor calls run inline; an exception from an inner body
+  // must travel through the outer loop's capture machinery unchanged.
+  ThreadPool Pool(4);
+  EXPECT_THROW(Pool.parallelFor(0, 32,
+                                [&](size_t O) {
+                                  Pool.parallelFor(0, 32, [&](size_t I) {
+                                    if (O == 7 && I == 11)
+                                      throw std::out_of_range("nested boom");
+                                  });
+                                }),
+               std::out_of_range);
+}
+
+TEST(ThreadPool, SingleWorkerInlineLoopPropagatesExceptions) {
+  ThreadPool Pool(1);
+  size_t Calls = 0;
+  EXPECT_THROW(Pool.parallelFor(0, 100,
+                                [&](size_t I) {
+                                  ++Calls;
+                                  if (I == 5)
+                                    throw std::runtime_error("inline boom");
+                                }),
+               std::runtime_error);
+  // Inline execution stops at the throwing iteration.
+  EXPECT_EQ(Calls, 6u);
+}
+
 TEST(ThreadPool, NestedParallelForRunsInline) {
   ThreadPool Pool(4);
   constexpr size_t Outer = 16, Inner = 64;

@@ -3,16 +3,23 @@
 // Scans a directory of Python or Java sources for naming issues:
 //
 //   namer-scan --lang=python [--no-classifier] [--max-reports=N]
-//              [--threads=N] DIR
+//              [--threads=N] [--stats[=FILE]] [--trace-out=FILE] DIR
 //
 // Patterns are mined from the bundled ecosystem corpus *plus* the scanned
 // tree (so project-local idioms contribute), violations are filtered by a
 // classifier trained on the corpus oracle's labels, and reports print as
 // file:line diagnostics with suggested fixes.
 //
+// Observability (DESIGN.md, "Observability"): --stats prints a per-stage
+// summary table on stderr and writes the flat stats JSON (default
+// namer-stats.json, or the given FILE); --trace-out writes a Chrome
+// trace-event file loadable in chrome://tracing or ui.perfetto.dev.
+//
 //===----------------------------------------------------------------------===//
 
 #include "namer/Evaluation.h"
+#include "support/Telemetry.h"
+#include "support/TextTable.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -34,13 +41,20 @@ struct Options {
   /// Pipeline worker threads; 0 = hardware concurrency. Reports are
   /// identical at every value.
   unsigned Threads = 0;
+  /// --stats[=FILE]: write the flat stats JSON and print the per-stage
+  /// summary table to stderr.
+  bool Stats = false;
+  std::string StatsFile = "namer-stats.json";
+  /// --trace-out=FILE: write Chrome trace-event JSON.
+  std::string TraceFile;
   std::string Directory;
 };
 
 void printUsage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--lang=python|java] [--no-classifier] "
-               "[--max-reports=N] [--threads=N] DIR\n",
+               "[--max-reports=N] [--threads=N] [--stats[=FILE]] "
+               "[--trace-out=FILE] DIR\n",
                Argv0);
 }
 
@@ -60,6 +74,13 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
     } else if (Arg.rfind("--threads=", 0) == 0) {
       Opts.Threads = static_cast<unsigned>(
           std::strtoul(Arg.c_str() + std::strlen("--threads="), nullptr, 10));
+    } else if (Arg == "--stats") {
+      Opts.Stats = true;
+    } else if (Arg.rfind("--stats=", 0) == 0) {
+      Opts.Stats = true;
+      Opts.StatsFile = Arg.substr(std::strlen("--stats="));
+    } else if (Arg.rfind("--trace-out=", 0) == 0) {
+      Opts.TraceFile = Arg.substr(std::strlen("--trace-out="));
     } else if (Arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
       return false;
@@ -98,6 +119,26 @@ corpus::Repository loadRepository(const std::string &Root,
     Repo.Files.push_back(std::move(F));
   }
   return Repo;
+}
+
+bool writeTextFile(const std::string &Path, const std::string &Content) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", Path.c_str());
+    return false;
+  }
+  Out << Content;
+  return true;
+}
+
+/// Renders the non-span metrics (counters/gauges/histograms) as an aligned
+/// two-column table, complementing telemetry::summaryTable()'s span view.
+std::string countersTable() {
+  TextTable Table;
+  Table.setHeader({"counter", "value"});
+  for (const auto &[Name, Value] : telemetry::metrics().snapshot())
+    Table.addRow({Name, std::to_string(Value)});
+  return Table.render();
 }
 
 } // namespace
@@ -181,5 +222,30 @@ int main(int Argc, char **Argv) {
                                                    : "confusing-word");
   std::fprintf(stderr, "%zu report(s) in %s\n", Reports.size(),
                ProjectName.c_str());
-  return 0;
+  telemetry::count("scan.reports", Reports.size());
+
+  int Exit = 0;
+  if (Opts.Stats) {
+    std::fprintf(stderr, "\n--- per-stage summary "
+                         "-------------------------------------------\n%s",
+                 telemetry::summaryTable().c_str());
+    std::fprintf(stderr, "\n--- counters "
+                         "---------------------------------------------------"
+                         "\n%s",
+                 countersTable().c_str());
+    telemetry::RunMeta Meta = telemetry::defaultMeta(
+        "namer-scan", ThreadPool::resolveWorkerCount(Opts.Threads));
+    if (writeTextFile(Opts.StatsFile, telemetry::statsJson(Meta)))
+      std::fprintf(stderr, "wrote %s\n", Opts.StatsFile.c_str());
+    else
+      Exit = 1;
+  }
+  if (!Opts.TraceFile.empty()) {
+    if (writeTextFile(Opts.TraceFile, telemetry::chromeTraceJson()))
+      std::fprintf(stderr, "wrote %s (load in chrome://tracing)\n",
+                   Opts.TraceFile.c_str());
+    else
+      Exit = 1;
+  }
+  return Exit;
 }
