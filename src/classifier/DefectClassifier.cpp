@@ -67,3 +67,19 @@ std::vector<double> DefectClassifier::featureWeights() const {
   assert(Model && "classifier not trained");
   return Projector.backProject(Model->weights());
 }
+
+double DefectClassifier::bias() const {
+  assert(Model && "classifier not trained");
+  return Model->bias();
+}
+
+DefectClassifier::FeatureAttribution
+DefectClassifier::attribute(const std::vector<double> &Features) const {
+  assert(Model && "classifier not trained");
+  FeatureAttribution A;
+  A.Standardized = Scaler.transform(Features);
+  A.Weights = Projector.backProject(Model->weights());
+  A.Bias = Model->bias();
+  A.Decision = Model->decision(Projector.transform(A.Standardized));
+  return A;
+}

@@ -51,6 +51,23 @@ public:
   /// (standardized) inputs. Valid after train().
   std::vector<double> featureWeights() const;
 
+  /// Per-feature decomposition of one decision value. Because the whole
+  /// recipe is linear (standardize, project, dot with the model weights),
+  /// the decision is exactly sum_i Weights[i] * Standardized[i] + Bias in
+  /// the original feature space; the explainability layer renders each
+  /// term as a contribution. Valid after train().
+  struct FeatureAttribution {
+    std::vector<double> Standardized; ///< (x - mean) / stddev per feature
+    std::vector<double> Weights;      ///< back-projected linear weights
+    double Bias = 0.0;
+    double Decision = 0.0;
+  };
+  FeatureAttribution attribute(const std::vector<double> &Features) const;
+
+  /// Model bias term (the constant of the decision function).
+  double bias() const;
+  bool trained() const { return Model != nullptr; }
+
   const std::string &selectedFamily() const { return SelectedFamily; }
   /// Per-family cross-validation metrics gathered during selection.
   const std::vector<std::pair<std::string, ml::Metrics>> &

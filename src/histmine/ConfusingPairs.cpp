@@ -119,3 +119,8 @@ bool ConfusingPairMiner::isConfusingPair(Symbol Mistaken,
                                          Symbol Correct) const {
   return Counts.find(pairKey(Mistaken, Correct)) != Counts.end();
 }
+
+uint32_t ConfusingPairMiner::pairCount(Symbol Mistaken, Symbol Correct) const {
+  auto It = Counts.find(pairKey(Mistaken, Correct));
+  return It == Counts.end() ? 0 : It->second;
+}

@@ -66,6 +66,11 @@ public:
   /// feature 17.
   bool isConfusingPair(Symbol Mistaken, Symbol Correct) const;
 
+  /// Commit-history evidence for one pair: the number of commits whose
+  /// diff renamed <mistaken> to <correct>; 0 when the pair was not mined.
+  /// Explanations cite this as the word-pair provenance.
+  uint32_t pairCount(Symbol Mistaken, Symbol Correct) const;
+
   size_t numPairs() const { return Counts.size(); }
 
 private:

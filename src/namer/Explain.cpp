@@ -1,0 +1,160 @@
+//===- namer/Explain.cpp --------------------------------------------------==//
+
+#include "namer/Explain.h"
+
+#include "support/Telemetry.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace namer;
+
+namespace {
+
+std::string fmt(double V, const char *Spec = "%.6f") {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), Spec, V);
+  return Buf;
+}
+
+/// Re-indents a multi-line block (formatPattern output) under \p Indent.
+std::string indentBlock(const std::string &Block, const char *Indent) {
+  std::string Out;
+  size_t Start = 0;
+  while (Start < Block.size()) {
+    size_t End = Block.find('\n', Start);
+    if (End == std::string::npos)
+      End = Block.size();
+    Out += Indent;
+    Out.append(Block, Start, End - Start);
+    Out += '\n';
+    Start = End + 1;
+  }
+  return Out;
+}
+
+} // namespace
+
+Explanation namer::explainViolation(const NamerPipeline &P,
+                                    const Violation &V,
+                                    size_t MaxWitnesses) {
+  telemetry::TraceSpan Span("report.explain");
+  assert(V.Pattern < P.patterns().size() && "pattern id out of range");
+  const NamePattern &Pat = P.patterns()[V.Pattern];
+  const NamePathTable &Table = P.table();
+  const AstContext &Ctx = P.context();
+
+  Explanation E;
+  E.R = P.makeReport(V);
+
+  E.Pattern.Id = V.Pattern;
+  E.Pattern.Kind = Pat.Kind;
+  E.Pattern.Rendered = formatPattern(Pat, Table, Ctx);
+  E.Pattern.Support = Pat.Support;
+  E.Pattern.DatasetMatches = Pat.DatasetMatches;
+  E.Pattern.DatasetSatisfactions = Pat.DatasetSatisfactions;
+  E.Pattern.DatasetViolations = Pat.DatasetViolations;
+  E.Pattern.SatisfactionRate = Pat.datasetSatisfactionRate();
+  E.Pattern.ConditionSize = Pat.Condition.size();
+
+  // Witnesses: the pipeline captured satisfying statements in corpus
+  // order; cite their conforming name at the first deduction position.
+  PrefixId DedPrefix = Table.prefixOf(Pat.Deduction.front());
+  for (StmtId W : P.patternWitnesses(V.Pattern)) {
+    if (E.Witnesses.size() >= MaxWitnesses)
+      break;
+    const StmtRecord &Stmt = P.statements()[W];
+    WitnessRef Ref;
+    Ref.File = P.filePath(Stmt.File);
+    Ref.Line = Stmt.Line;
+    Symbol End = Stmt.Paths.endAt(DedPrefix);
+    if (End != EpsilonSymbol)
+      Ref.Name = std::string(Ctx.text(End));
+    for (PathId Id : Stmt.Paths.Paths)
+      if (Table.prefixOf(Id) == DedPrefix) {
+        Ref.PathText = formatNamePath(Table.path(Id), Ctx);
+        break;
+      }
+    E.Witnesses.push_back(std::move(Ref));
+  }
+
+  if (P.classifierTrained()) {
+    std::vector<double> Features = P.features(V);
+    DefectClassifier::FeatureAttribution A =
+        P.classifier().attribute(Features);
+    E.Attribution.Present = true;
+    E.Attribution.Model = P.classifier().selectedFamily();
+    E.Attribution.Bias = A.Bias;
+    E.Attribution.Decision = A.Decision;
+    E.Attribution.Contributions.reserve(Features.size());
+    for (size_t I = 0; I != Features.size(); ++I) {
+      FeatureContribution C;
+      C.Feature = ViolationFeatureNames[I];
+      C.Value = Features[I];
+      C.Standardized = A.Standardized[I];
+      C.Weight = A.Weights[I];
+      C.Contribution = A.Weights[I] * A.Standardized[I];
+      E.Attribution.Contributions.push_back(std::move(C));
+    }
+  }
+
+  if (Pat.Kind == PatternKind::ConfusingWord) {
+    SuggestedFix Fix =
+        deriveFix(Pat, P.statements()[V.Stmt].Paths, Table);
+    E.WordPair.Present = true;
+    E.WordPair.Mistaken = std::string(Ctx.text(Fix.Original));
+    E.WordPair.Correct = std::string(Ctx.text(Fix.Suggested));
+    E.WordPair.CommitCount = P.pairs().pairCount(Fix.Original, Fix.Suggested);
+  }
+
+  telemetry::count("report.explanations");
+  telemetry::count("report.witnesses", E.Witnesses.size());
+  return E;
+}
+
+std::string namer::renderExplanation(const Explanation &E) {
+  const char *KindName = E.Pattern.Kind == PatternKind::Consistency
+                             ? "consistency"
+                             : "confusing-word";
+  std::string Out;
+  Out += E.R.File + ":" + std::to_string(E.R.Line) + ": '" + E.R.Original +
+         "' -> '" + E.R.Suggested + "' [" + KindName + "]\n";
+
+  Out += "  pattern #" + std::to_string(E.Pattern.Id) + " (support " +
+         std::to_string(E.Pattern.Support) + ", dataset " +
+         std::to_string(E.Pattern.DatasetMatches) + " matched / " +
+         std::to_string(E.Pattern.DatasetSatisfactions) + " satisfied / " +
+         std::to_string(E.Pattern.DatasetViolations) +
+         " violated, satisfaction rate " + fmt(E.Pattern.SatisfactionRate) +
+         "):\n";
+  Out += indentBlock(E.Pattern.Rendered, "    ");
+
+  if (E.WordPair.Present)
+    Out += "  confusing word pair: '" + E.WordPair.Mistaken + "' -> '" +
+           E.WordPair.Correct + "' renamed in " +
+           std::to_string(E.WordPair.CommitCount) + " commit(s)\n";
+
+  Out += "  witnesses (statements satisfying the pattern):\n";
+  if (E.Witnesses.empty())
+    Out += "    (none captured)\n";
+  for (const WitnessRef &W : E.Witnesses) {
+    Out += "    " + W.File + ":" + std::to_string(W.Line) + ": uses '" +
+           W.Name + "'";
+    if (!W.PathText.empty())
+      Out += " at " + W.PathText;
+    Out += '\n';
+  }
+
+  if (E.Attribution.Present) {
+    Out += "  classifier " + E.Attribution.Model + ": decision " +
+           fmt(E.Attribution.Decision) + " = bias " +
+           fmt(E.Attribution.Bias) + " + contributions (weight x value):\n";
+    for (const FeatureContribution &C : E.Attribution.Contributions)
+      Out += "    " + fmt(C.Contribution, "%+.6f") + "  " + C.Feature +
+             " (value " + fmt(C.Value) + ", weight " + fmt(C.Weight) +
+             ")\n";
+  } else {
+    Out += "  classifier: off (reported unfiltered; confidence reads 0)\n";
+  }
+  return Out;
+}

@@ -1,0 +1,120 @@
+//===- namer/Explain.h - Finding provenance (explainability) ----*- C++ -*-==//
+///
+/// \file
+/// The decision-observability layer: for every Violation the pipeline can
+/// produce an Explanation that preserves the whole evidence chain the
+/// Report discards --
+///
+///   * PatternProvenance -- the violated NamePattern rendered as its
+///     concrete/symbolic name paths, plus its mining lineage: the FP-tree
+///     occurrence count (Support) and the pruneUncommon statistics
+///     (dataset matches / satisfactions / violations and the keep ratio);
+///   * Witnesses -- up to k corpus statements (file:line plus the name
+///     path they bind) that *satisfy* the pattern, i.e. the convention the
+///     flagged statement broke, selected in deterministic corpus order;
+///   * ClassifierAttribution -- the full Table-1 feature vector with the
+///     per-feature contribution weight x standardized value from the
+///     linear classifier; the contributions plus the bias sum exactly to
+///     the decision value (the recipe is linear end to end);
+///   * WordPairEvidence -- for confusing-word findings, the mined
+///     <mistaken, correct> pair and its commit-history evidence count.
+///
+/// renderExplanation() is the human rendering behind
+/// `namer-scan --explain`; the machine renderings live in
+/// namer/FindingsExport.h (SARIF 2.1.0 and the flat findings JSON).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_NAMER_EXPLAIN_H
+#define NAMER_NAMER_EXPLAIN_H
+
+#include "namer/Pipeline.h"
+
+#include <string>
+#include <vector>
+
+namespace namer {
+
+/// One corpus statement that satisfies the violated pattern: the evidence
+/// that the convention exists.
+struct WitnessRef {
+  std::string File;
+  uint32_t Line = 0;
+  /// The conforming name this witness uses at the deduction position.
+  std::string Name;
+  /// The witness's concrete name path at the deduction prefix, in the
+  /// paper's rendering.
+  std::string PathText;
+};
+
+/// The violated pattern plus its mining lineage.
+struct PatternProvenance {
+  PatternId Id = 0;
+  PatternKind Kind = PatternKind::Consistency;
+  /// formatPattern() rendering: condition and deduction name paths.
+  std::string Rendered;
+  /// Occurrence count at the generating FP-tree node.
+  uint32_t Support = 0;
+  /// pruneUncommon statistics over the mining dataset.
+  uint32_t DatasetMatches = 0;
+  uint32_t DatasetSatisfactions = 0;
+  uint32_t DatasetViolations = 0;
+  /// Satisfactions / matches: the ratio pruneUncommon thresholded on.
+  double SatisfactionRate = 0.0;
+  size_t ConditionSize = 0;
+};
+
+/// One Table-1 feature with its share of the decision value.
+struct FeatureContribution {
+  std::string Feature;       ///< ViolationFeatureNames entry
+  double Value = 0.0;        ///< raw feature value
+  double Standardized = 0.0; ///< (value - mean) / stddev
+  double Weight = 0.0;       ///< back-projected linear weight
+  double Contribution = 0.0; ///< Weight * Standardized
+};
+
+/// The classifier's verdict decomposed per feature. Present is false when
+/// the pipeline ran the UseClassifier=false ablation (or was never
+/// trained); then the finding was reported unfiltered.
+struct ClassifierAttribution {
+  bool Present = false;
+  std::string Model; ///< selected family, e.g. "svm-linear"
+  std::vector<FeatureContribution> Contributions;
+  double Bias = 0.0;
+  /// sum(Contributions) + Bias, up to float associativity.
+  double Decision = 0.0;
+};
+
+/// Commit-history evidence for a confusing-word finding.
+struct WordPairEvidence {
+  bool Present = false;
+  std::string Mistaken;
+  std::string Correct;
+  /// Number of commits whose diff renamed Mistaken to Correct.
+  uint32_t CommitCount = 0;
+};
+
+/// Everything known about one finding.
+struct Explanation {
+  Report R;
+  PatternProvenance Pattern;
+  std::vector<WitnessRef> Witnesses;
+  ClassifierAttribution Attribution;
+  WordPairEvidence WordPair;
+};
+
+/// Builds the full evidence chain for \p V. Deterministic: witness
+/// selection follows the pipeline's corpus-order capture, and every number
+/// derives from the (thread-count independent) build statistics.
+/// \p MaxWitnesses caps the cited witnesses (<= NamerPipeline's per-pattern
+/// capture cap).
+Explanation explainViolation(const NamerPipeline &P, const Violation &V,
+                             size_t MaxWitnesses = 3);
+
+/// Human rendering used by `namer-scan --explain`: pattern, lineage,
+/// witnesses, per-feature contributions, word-pair evidence.
+std::string renderExplanation(const Explanation &E);
+
+} // namespace namer
+
+#endif // NAMER_NAMER_EXPLAIN_H

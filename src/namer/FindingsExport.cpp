@@ -1,0 +1,291 @@
+//===- namer/FindingsExport.cpp -------------------------------------------==//
+
+#include "namer/FindingsExport.h"
+
+#include "support/Telemetry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <tuple>
+
+using namespace namer;
+
+namespace {
+
+std::string jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string str(std::string_view S) {
+  return "\"" + jsonEscape(S) + "\"";
+}
+
+/// Fixed-format double: six decimals, enough to round-trip the decision
+/// values we print while staying byte-stable.
+std::string num(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6f", V);
+  return Buf;
+}
+
+const char *kindSlug(PatternKind K) {
+  return K == PatternKind::Consistency ? "consistency" : "confusing-word";
+}
+
+const char *kindCamel(PatternKind K) {
+  return K == PatternKind::Consistency ? "Consistency" : "ConfusingWord";
+}
+
+std::string ruleIdOf(const PatternProvenance &P) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "namer/%s/%04u", kindSlug(P.Kind),
+                P.Id);
+  return Buf;
+}
+
+std::string witnessCitation(const WitnessRef &W) {
+  return W.File + ":" + std::to_string(W.Line) + " uses '" + W.Name + "'";
+}
+
+std::string sarifRule(const PatternProvenance &P) {
+  std::string FullDesc =
+      P.Kind == PatternKind::Consistency
+          ? "Statements matching this pattern's condition are expected to "
+            "name its two deduction positions identically; mined from the "
+            "corpus FP-tree and kept by pruneUncommon."
+          : "Statements matching this pattern's condition are expected to "
+            "use the mined correct word at the deduction position; the "
+            "word pair comes from commit-history rename mining.";
+  std::string Out = "        {\n";
+  Out += "          \"fullDescription\": {\"text\": " + str(FullDesc) +
+         "},\n";
+  Out += "          \"help\": {\"text\": " + str(P.Rendered) + "},\n";
+  Out += "          \"id\": " + str(ruleIdOf(P)) + ",\n";
+  Out += "          \"name\": " + str(std::string(kindCamel(P.Kind)) +
+                                      "Pattern" + std::to_string(P.Id)) +
+         ",\n";
+  Out += "          \"properties\": {\"confidence\": " +
+         num(P.SatisfactionRate) +
+         ", \"datasetMatches\": " + std::to_string(P.DatasetMatches) +
+         ", \"datasetSatisfactions\": " +
+         std::to_string(P.DatasetSatisfactions) +
+         ", \"datasetViolations\": " + std::to_string(P.DatasetViolations) +
+         ", \"support\": " + std::to_string(P.Support) + "},\n";
+  Out += "          \"shortDescription\": {\"text\": " +
+         str(std::string(kindSlug(P.Kind)) + " naming pattern #" +
+             std::to_string(P.Id)) +
+         "}\n";
+  Out += "        }";
+  return Out;
+}
+
+std::string sarifResult(const Explanation &E, size_t RuleIndex) {
+  std::string Out = "        {\n";
+  Out += "          \"level\": \"warning\",\n";
+  Out += "          \"locations\": [{\"physicalLocation\": "
+         "{\"artifactLocation\": {\"uri\": " +
+         str(E.R.File) + "}, \"region\": {\"startLine\": " +
+         std::to_string(E.R.Line) + "}}}],\n";
+  Out += "          \"message\": {\"text\": " +
+         str("'" + E.R.Original + "' is suspicious here; suggested fix: '" +
+             E.R.Suggested + "' [" + kindSlug(E.Pattern.Kind) + "]") +
+         "},\n";
+  Out += "          \"properties\": {\"confidence\": " + num(E.R.Confidence) +
+         ", \"original\": " + str(E.R.Original) +
+         ", \"suggested\": " + str(E.R.Suggested) + ", \"witnesses\": [";
+  for (size_t I = 0; I != E.Witnesses.size(); ++I)
+    Out += std::string(I ? ", " : "") + str(witnessCitation(E.Witnesses[I]));
+  Out += "]},\n";
+  Out += "          \"ruleId\": " + str(ruleIdOf(E.Pattern)) + ",\n";
+  Out += "          \"ruleIndex\": " + std::to_string(RuleIndex) + "\n";
+  Out += "        }";
+  return Out;
+}
+
+std::string findingJson(const Explanation &E) {
+  std::string Out = "    {\n";
+  if (E.Attribution.Present) {
+    Out += "      \"classifier\": {\n";
+    Out += "        \"bias\": " + num(E.Attribution.Bias) + ",\n";
+    Out += "        \"contributions\": [\n";
+    for (size_t I = 0; I != E.Attribution.Contributions.size(); ++I) {
+      const FeatureContribution &C = E.Attribution.Contributions[I];
+      Out += "          {\"contribution\": " + num(C.Contribution) +
+             ", \"feature\": " + str(C.Feature) +
+             ", \"standardized\": " + num(C.Standardized) +
+             ", \"value\": " + num(C.Value) +
+             ", \"weight\": " + num(C.Weight) + "}" +
+             (I + 1 != E.Attribution.Contributions.size() ? ",\n" : "\n");
+    }
+    Out += "        ],\n";
+    Out += "        \"decision\": " + num(E.Attribution.Decision) + ",\n";
+    Out += "        \"model\": " + str(E.Attribution.Model) + "\n";
+    Out += "      },\n";
+  } else {
+    Out += "      \"classifier\": null,\n";
+  }
+  Out += "      \"confidence\": " + num(E.R.Confidence) + ",\n";
+  Out += "      \"file\": " + str(E.R.File) + ",\n";
+  Out += "      \"kind\": " + str(kindSlug(E.Pattern.Kind)) + ",\n";
+  Out += "      \"line\": " + std::to_string(E.R.Line) + ",\n";
+  Out += "      \"original\": " + str(E.R.Original) + ",\n";
+  Out += "      \"pattern\": {\"condition_size\": " +
+         std::to_string(E.Pattern.ConditionSize) +
+         ", \"dataset_matches\": " + std::to_string(E.Pattern.DatasetMatches) +
+         ", \"dataset_satisfactions\": " +
+         std::to_string(E.Pattern.DatasetSatisfactions) +
+         ", \"dataset_violations\": " +
+         std::to_string(E.Pattern.DatasetViolations) +
+         ", \"id\": " + std::to_string(E.Pattern.Id) +
+         ", \"satisfaction_rate\": " + num(E.Pattern.SatisfactionRate) +
+         ", \"support\": " + std::to_string(E.Pattern.Support) + "},\n";
+  Out += "      \"suggested\": " + str(E.R.Suggested) + ",\n";
+  Out += "      \"witnesses\": [";
+  for (size_t I = 0; I != E.Witnesses.size(); ++I) {
+    const WitnessRef &W = E.Witnesses[I];
+    Out += std::string(I ? ", " : "") + "{\"file\": " + str(W.File) +
+           ", \"line\": " + std::to_string(W.Line) +
+           ", \"name\": " + str(W.Name) + ", \"path\": " + str(W.PathText) +
+           "}";
+  }
+  Out += "],\n";
+  if (E.WordPair.Present)
+    Out += "      \"word_pair\": {\"commit_count\": " +
+           std::to_string(E.WordPair.CommitCount) +
+           ", \"correct\": " + str(E.WordPair.Correct) +
+           ", \"mistaken\": " + str(E.WordPair.Mistaken) + "}\n";
+  else
+    Out += "      \"word_pair\": null\n";
+  Out += "    }";
+  return Out;
+}
+
+} // namespace
+
+bool namer::reportOrderLess(const Report &A, const Report &B) {
+  return std::tie(A.File, A.Line, A.Original, A.Suggested, A.Kind) <
+         std::tie(B.File, B.Line, B.Original, B.Suggested, B.Kind);
+}
+
+void namer::sortExplanations(std::vector<Explanation> &Findings) {
+  std::sort(Findings.begin(), Findings.end(),
+            [](const Explanation &A, const Explanation &B) {
+              return reportOrderLess(A.R, B.R);
+            });
+}
+
+std::string namer::sarifJson(const std::vector<Explanation> &Findings,
+                             const ExportMeta &Meta) {
+  telemetry::TraceSpan Span("report.export");
+
+  // Rules: one per distinct violated pattern, ordered by pattern id (a
+  // deterministic total order independent of finding order).
+  std::map<PatternId, const PatternProvenance *> Rules;
+  for (const Explanation &E : Findings)
+    Rules.emplace(E.Pattern.Id, &E.Pattern);
+  std::map<PatternId, size_t> RuleIndex;
+  for (const auto &[Id, P] : Rules) {
+    (void)P;
+    size_t Next = RuleIndex.size();
+    RuleIndex[Id] = Next;
+  }
+
+  std::string Out = "{\n";
+  Out += "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  Out += "  \"runs\": [\n    {\n";
+  Out += "      \"results\": [\n";
+  for (size_t I = 0; I != Findings.size(); ++I)
+    Out += sarifResult(Findings[I], RuleIndex[Findings[I].Pattern.Id]) +
+           (I + 1 != Findings.size() ? ",\n" : "\n");
+  Out += "      ],\n";
+  Out += "      \"tool\": {\n        \"driver\": {\n";
+  Out += "          \"informationUri\": "
+         "\"https://doi.org/10.1145/3453483.3454045\",\n";
+  Out += "          \"name\": " + str(Meta.Tool) + ",\n";
+  Out += "          \"rules\": [\n";
+  {
+    size_t I = 0;
+    for (const auto &[Id, P] : Rules) {
+      (void)Id;
+      // sarifRule indents at the results level; shift two deeper.
+      std::string Rule = sarifRule(*P);
+      std::string Indented;
+      size_t Start = 0;
+      while (Start < Rule.size()) {
+        size_t End = Rule.find('\n', Start);
+        if (End == std::string::npos)
+          End = Rule.size();
+        Indented += "    ";
+        Indented.append(Rule, Start, End - Start);
+        if (End != Rule.size())
+          Indented += '\n';
+        Start = End + 1;
+      }
+      Out += Indented + (++I != Rules.size() ? ",\n" : "\n");
+    }
+  }
+  Out += "          ],\n";
+  Out += "          \"version\": " + str(Meta.ToolVersion) + "\n";
+  Out += "        }\n      }\n    }\n  ],\n";
+  Out += "  \"version\": \"2.1.0\"\n";
+  Out += "}\n";
+
+  telemetry::count("report.sarif_bytes", Out.size());
+  telemetry::count("report.sarif_results", Findings.size());
+  return Out;
+}
+
+std::string namer::findingsJson(const std::vector<Explanation> &Findings,
+                                const ExportMeta &Meta) {
+  telemetry::TraceSpan Span("report.export");
+  std::string Out = "{\n";
+  Out += "  \"meta\": {\n";
+  Out += "    \"config\": {\"lang\": " + str(Meta.Lang) +
+         ", \"max_reports\": " + std::to_string(Meta.MaxReports) +
+         ", \"use_classifier\": " +
+         (Meta.UseClassifier ? "true" : "false") + "},\n";
+  Out += "    \"git_rev\": " + str(Meta.GitRev) + ",\n";
+  Out += "    \"schema_version\": " + std::to_string(kFindingsSchemaVersion) +
+         ",\n";
+  Out += "    \"tool\": " + str(Meta.Tool) + ",\n";
+  Out += "    \"tool_version\": " + str(Meta.ToolVersion) + "\n";
+  Out += "  },\n";
+  Out += "  \"findings\": [\n";
+  for (size_t I = 0; I != Findings.size(); ++I)
+    Out += findingJson(Findings[I]) +
+           (I + 1 != Findings.size() ? ",\n" : "\n");
+  Out += "  ]\n";
+  Out += "}\n";
+
+  telemetry::count("report.findings_bytes", Out.size());
+  telemetry::count("report.findings_results", Findings.size());
+  return Out;
+}

@@ -1,0 +1,71 @@
+//===- namer/FindingsExport.h - SARIF / findings exporters ------*- C++ -*-==//
+///
+/// \file
+/// Machine renderings of Explanations, built for CI surfaces:
+///
+///   * sarifJson() -- SARIF 2.1.0 (loadable by GitHub code scanning and
+///     the VS Code SARIF viewer). Rules are the violated patterns, carrying
+///     the pattern rendering as help text plus mining support / confidence
+///     properties; results are the findings with physical locations, fix
+///     suggestions in the message and properties, and witness citations.
+///   * findingsJson() -- the flat {meta, findings[]} document
+///     (kFindingsSchemaVersion, git rev, config echo): the machine-diffable
+///     companion of telemetry's statsJson for the *output* of a run rather
+///     than its runtime.
+///
+/// Both exporters are deterministic and byte-stable: keys are emitted in
+/// sorted order, doubles print with a fixed format, and the input order is
+/// pinned by sortExplanations() -- (file, line, original, suggested, kind),
+/// a total order on reports, so two runs at different thread counts emit
+/// identical bytes. The meta echo deliberately excludes the thread count
+/// for the same reason.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_NAMER_FINDINGSEXPORT_H
+#define NAMER_NAMER_FINDINGSEXPORT_H
+
+#include "namer/Explain.h"
+
+#include <string>
+#include <vector>
+
+namespace namer {
+
+/// Schema version of the flat findings JSON; bumped whenever a key is
+/// renamed or removed.
+inline constexpr int kFindingsSchemaVersion = 1;
+
+/// Run description echoed into both exporters. Deliberately excludes
+/// anything schedule- or host-dependent (thread count, timings) so golden
+/// files stay byte-identical across runs.
+struct ExportMeta {
+  std::string Tool = "namer-scan";
+  std::string ToolVersion = "1.0.0";
+  std::string GitRev = "unknown";
+  /// Config echo: the knobs that shape the findings themselves.
+  std::string Lang = "python";
+  bool UseClassifier = true;
+  size_t MaxReports = 0;
+};
+
+/// The canonical report order: (file, line, original, suggested, kind).
+/// Total on distinct findings (the pipeline deduplicates per
+/// statement/fix), so sorting with it is schedule-independent.
+bool reportOrderLess(const Report &A, const Report &B);
+
+/// Sorts findings into the canonical report order.
+void sortExplanations(std::vector<Explanation> &Findings);
+
+/// SARIF 2.1.0 document over \p Findings (must be sorted with
+/// sortExplanations for byte-stability).
+std::string sarifJson(const std::vector<Explanation> &Findings,
+                      const ExportMeta &Meta);
+
+/// Flat {meta, findings[]} JSON over \p Findings (same ordering contract).
+std::string findingsJson(const std::vector<Explanation> &Findings,
+                         const ExportMeta &Meta);
+
+} // namespace namer
+
+#endif // NAMER_NAMER_FINDINGSEXPORT_H

@@ -255,6 +255,7 @@ void NamerPipeline::build(const corpus::Corpus &C) {
   telemetry::TraceSpan StatsSpan("pipeline.stats");
   std::unordered_set<FileId> ViolatingFiles;
   std::unordered_set<RepoId> ViolatingRepos;
+  Witnesses.assign(Patterns.size(), {});
   for (StmtId S = 0; S != Statements.size(); ++S) {
     const std::vector<PatternHit> &Hits = AllHits[S];
     Index.addStatement(Statements[S], Hits);
@@ -262,6 +263,9 @@ void NamerPipeline::build(const corpus::Corpus &C) {
     // flag the same fix; keep one violation per (statement, fix) pair.
     std::unordered_set<uint64_t> SeenFixes;
     for (const PatternHit &Hit : Hits) {
+      if (Hit.Result == MatchResult::Satisfied &&
+          Witnesses[Hit.Pattern].size() < kMaxPatternWitnesses)
+        Witnesses[Hit.Pattern].push_back(S);
       if (Hit.Result != MatchResult::Violated)
         continue;
       SuggestedFix Fix =

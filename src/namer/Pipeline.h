@@ -96,6 +96,7 @@ public:
   // --- Introspection ---------------------------------------------------
   const PipelineConfig &config() const { return Config; }
   AstContext &context() { return *Ctx; }
+  const AstContext &context() const { return *Ctx; }
   const NamePathTable &table() const { return Table; }
   const std::vector<NamePattern> &patterns() const { return Patterns; }
   const std::vector<StmtRecord> &statements() const { return Statements; }
@@ -104,6 +105,17 @@ public:
   const DefectClassifier &classifier() const { return Classifier; }
   const std::string &filePath(FileId Id) const { return FilePaths[Id]; }
   ThreadPool &pool() { return *Pool; }
+  bool classifierTrained() const { return Trained; }
+
+  /// Statements (in corpus order) that *satisfied* pattern \p Id during the
+  /// build's scan phase, capped at kMaxPatternWitnesses. The explainability
+  /// layer cites them as the convention a violation broke; the cap keeps
+  /// the per-pattern memory bounded while the statement-order fill keeps
+  /// the selection deterministic at every thread count.
+  static constexpr size_t kMaxPatternWitnesses = 8;
+  const std::vector<StmtId> &patternWitnesses(PatternId Id) const {
+    return Witnesses[Id];
+  }
 
   /// Corpus coverage statistics (Section 5.2 "statistics on pattern
   /// mining").
@@ -137,6 +149,7 @@ private:
   std::vector<StmtRecord> Statements;
   std::vector<NamePattern> Patterns;
   std::vector<Violation> Violations;
+  std::vector<std::vector<StmtId>> Witnesses; // PatternId -> satisfying stmts
   DatasetIndex Index;
   DefectClassifier Classifier;
   bool Trained = false;

@@ -1,0 +1,536 @@
+//===- tests/ExplainTest.cpp - finding provenance tests -------------------==//
+//
+// Covers the explainability layer (namer/Explain.h) and the finding
+// exporters (namer/FindingsExport.h): the Explanation evidence chain on a
+// real pipeline (witnesses, mining lineage, per-feature classifier
+// contributions summing to the decision value), makeReport across both
+// PatternKinds including the UseClassifier=false ablation, the canonical
+// report order, byte-stable golden files for SARIF 2.1.0 and the flat
+// findings JSON, and export byte-identity across thread counts. Built as
+// its own binary so `ctest -L explain` selects the suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "namer/Evaluation.h"
+#include "namer/Explain.h"
+#include "namer/FindingsExport.h"
+
+#include "TestSupport.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+using namespace namer;
+using namer::test::JsonChecker;
+
+namespace {
+
+/// One corpus + built-and-trained pipeline shared across tests (building
+/// takes ~0.5s, training adds the classifier evidence the attribution
+/// tests need).
+struct SharedPipeline {
+  corpus::Corpus C;
+  std::unique_ptr<corpus::InspectionOracle> Oracle;
+  std::unique_ptr<NamerPipeline> Pipeline;
+
+  SharedPipeline() {
+    corpus::CorpusConfig Config;
+    Config.Lang = corpus::Language::Python;
+    Config.NumRepos = 80;
+    C = corpus::generateCorpus(Config);
+    Oracle = std::make_unique<corpus::InspectionOracle>(C);
+    PipelineConfig PC;
+    PC.Miner.MinPatternSupport = 20;
+    Pipeline = std::make_unique<NamerPipeline>(PC);
+    Pipeline->build(C);
+
+    std::vector<size_t> Indices;
+    std::vector<bool> Labels;
+    collectBalancedLabels(*Pipeline, *Oracle, 120, /*Seed=*/1, Indices,
+                          Labels);
+    std::vector<Violation> Labeled;
+    for (size_t I : Indices)
+      Labeled.push_back(Pipeline->violations()[I]);
+    Pipeline->trainClassifier(Labeled, Labels);
+  }
+
+  static SharedPipeline &get() {
+    static SharedPipeline P;
+    return P;
+  }
+
+  const Violation *firstOfKind(PatternKind Kind) const {
+    for (const Violation &V : Pipeline->violations())
+      if (Pipeline->patterns()[V.Pattern].Kind == Kind)
+        return &V;
+    return nullptr;
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// makeReport across both kinds (satellite: direct coverage)
+//===----------------------------------------------------------------------===//
+
+TEST(MakeReport, CoversBothPatternKinds) {
+  auto &S = SharedPipeline::get();
+  for (PatternKind Kind :
+       {PatternKind::Consistency, PatternKind::ConfusingWord}) {
+    const Violation *V = S.firstOfKind(Kind);
+    ASSERT_NE(V, nullptr) << "no violation of kind "
+                          << static_cast<int>(Kind);
+    Report R = S.Pipeline->makeReport(*V);
+    EXPECT_EQ(R.Kind, Kind);
+    EXPECT_EQ(R.Stmt, V->Stmt);
+    EXPECT_EQ(R.File,
+              S.Pipeline->filePath(S.Pipeline->statements()[V->Stmt].File));
+    EXPECT_EQ(R.Line, S.Pipeline->statements()[V->Stmt].Line);
+    EXPECT_FALSE(R.Original.empty());
+    EXPECT_FALSE(R.Suggested.empty());
+    EXPECT_NE(R.Original, R.Suggested);
+    // The shared pipeline is trained: confidence is the decision value.
+    EXPECT_EQ(R.Confidence, S.Pipeline->decision(*V));
+  }
+}
+
+TEST(MakeReport, ConfidenceReadsZeroInClassifierAblation) {
+  // The "C" ablation never trains; makeReport must not touch the
+  // classifier and Confidence must read exactly 0 for both kinds.
+  corpus::CorpusConfig Config;
+  Config.Lang = corpus::Language::Python;
+  Config.NumRepos = 30;
+  corpus::Corpus C = corpus::generateCorpus(Config);
+  PipelineConfig PC;
+  PC.UseClassifier = false;
+  PC.Miner.MinPatternSupport = 20;
+  NamerPipeline P(PC);
+  P.build(C);
+  ASSERT_FALSE(P.violations().empty());
+  ASSERT_FALSE(P.classifierTrained());
+
+  bool SawConsistency = false, SawConfusing = false;
+  for (const Violation &V : P.violations()) {
+    Report R = P.makeReport(V);
+    EXPECT_EQ(R.Confidence, 0.0) << R.File << ":" << R.Line;
+    (R.Kind == PatternKind::Consistency ? SawConsistency : SawConfusing) =
+        true;
+  }
+  EXPECT_TRUE(SawConsistency);
+  EXPECT_TRUE(SawConfusing);
+
+  // The ablation's explanations carry no attribution block.
+  Explanation E = explainViolation(P, P.violations().front());
+  EXPECT_FALSE(E.Attribution.Present);
+  EXPECT_EQ(E.R.Confidence, 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// The evidence chain
+//===----------------------------------------------------------------------===//
+
+TEST(Explain, EveryExplanationCitesAWitness) {
+  auto &S = SharedPipeline::get();
+  ASSERT_FALSE(S.Pipeline->violations().empty());
+  for (const Violation &V : S.Pipeline->violations()) {
+    Explanation E = explainViolation(*S.Pipeline, V);
+    // pruneUncommon kept the pattern, so it has satisfactions in the
+    // dataset, and the scan phase captured them in corpus order.
+    ASSERT_GE(E.Witnesses.size(), 1u)
+        << E.R.File << ":" << E.R.Line << " pattern " << V.Pattern;
+    for (const WitnessRef &W : E.Witnesses) {
+      EXPECT_FALSE(W.File.empty());
+      EXPECT_GT(W.Line, 0u);
+      EXPECT_FALSE(W.Name.empty());
+      EXPECT_FALSE(W.PathText.empty());
+    }
+  }
+}
+
+TEST(Explain, WitnessCapRespected) {
+  auto &S = SharedPipeline::get();
+  const Violation &V = S.Pipeline->violations().front();
+  Explanation Narrow = explainViolation(*S.Pipeline, V, /*MaxWitnesses=*/1);
+  EXPECT_EQ(Narrow.Witnesses.size(), 1u);
+  Explanation Wide = explainViolation(*S.Pipeline, V, /*MaxWitnesses=*/100);
+  EXPECT_LE(Wide.Witnesses.size(), NamerPipeline::kMaxPatternWitnesses);
+}
+
+TEST(Explain, PatternProvenanceMatchesMiningLineage) {
+  auto &S = SharedPipeline::get();
+  for (const Violation &V : S.Pipeline->violations()) {
+    const NamePattern &P = S.Pipeline->patterns()[V.Pattern];
+    Explanation E = explainViolation(*S.Pipeline, V);
+    EXPECT_EQ(E.Pattern.Id, V.Pattern);
+    EXPECT_EQ(E.Pattern.Kind, P.Kind);
+    EXPECT_EQ(E.Pattern.Support, P.Support);
+    EXPECT_EQ(E.Pattern.DatasetMatches, P.DatasetMatches);
+    EXPECT_EQ(E.Pattern.DatasetSatisfactions, P.DatasetSatisfactions);
+    EXPECT_EQ(E.Pattern.DatasetViolations, P.DatasetViolations);
+    EXPECT_DOUBLE_EQ(E.Pattern.SatisfactionRate,
+                     P.datasetSatisfactionRate());
+    EXPECT_EQ(E.Pattern.ConditionSize, P.Condition.size());
+    EXPECT_FALSE(E.Pattern.Rendered.empty());
+    // pruneUncommon's keep threshold implies the witness pool is nonempty.
+    EXPECT_GT(E.Pattern.DatasetSatisfactions, 0u);
+  }
+}
+
+TEST(Explain, ContributionsSumToDecisionValue) {
+  auto &S = SharedPipeline::get();
+  ASSERT_TRUE(S.Pipeline->classifierTrained());
+  size_t Checked = 0;
+  for (const Violation &V : S.Pipeline->violations()) {
+    Explanation E = explainViolation(*S.Pipeline, V);
+    ASSERT_TRUE(E.Attribution.Present);
+    ASSERT_EQ(E.Attribution.Contributions.size(), NumViolationFeatures);
+    double Sum = E.Attribution.Bias;
+    for (const FeatureContribution &C : E.Attribution.Contributions) {
+      EXPECT_EQ(C.Contribution, C.Weight * C.Standardized);
+      Sum += C.Contribution;
+    }
+    // The recipe is linear end to end, so the per-feature decomposition
+    // reassembles the decision value (up to float associativity).
+    EXPECT_NEAR(Sum, E.Attribution.Decision, 1e-9);
+    EXPECT_NEAR(E.Attribution.Decision, S.Pipeline->decision(V), 1e-12);
+    // Feature values are the raw Table-1 vector.
+    std::vector<double> F = S.Pipeline->features(V);
+    for (size_t I = 0; I != F.size(); ++I) {
+      EXPECT_EQ(E.Attribution.Contributions[I].Value, F[I]);
+      EXPECT_EQ(E.Attribution.Contributions[I].Feature,
+                ViolationFeatureNames[I]);
+    }
+    if (++Checked == 25)
+      break;
+  }
+  ASSERT_GT(Checked, 0u);
+}
+
+TEST(Explain, ConfusingWordFindingsCarryCommitEvidence) {
+  auto &S = SharedPipeline::get();
+  const Violation *Confusing = S.firstOfKind(PatternKind::ConfusingWord);
+  ASSERT_NE(Confusing, nullptr);
+  Explanation E = explainViolation(*S.Pipeline, *Confusing);
+  ASSERT_TRUE(E.WordPair.Present);
+  EXPECT_EQ(E.WordPair.Mistaken, E.R.Original);
+  EXPECT_EQ(E.WordPair.Correct, E.R.Suggested);
+
+  const Violation *Consistency = S.firstOfKind(PatternKind::Consistency);
+  ASSERT_NE(Consistency, nullptr);
+  EXPECT_FALSE(explainViolation(*S.Pipeline, *Consistency).WordPair.Present);
+}
+
+TEST(Explain, RenderedExplanationNamesTheEvidence) {
+  auto &S = SharedPipeline::get();
+  const Violation &V = S.Pipeline->violations().front();
+  Explanation E = explainViolation(*S.Pipeline, V);
+  std::string Text = renderExplanation(E);
+  EXPECT_NE(Text.find(E.R.File), std::string::npos);
+  EXPECT_NE(Text.find("pattern #" + std::to_string(V.Pattern)),
+            std::string::npos);
+  EXPECT_NE(Text.find("support " + std::to_string(E.Pattern.Support)),
+            std::string::npos);
+  EXPECT_NE(Text.find("witnesses"), std::string::npos);
+  EXPECT_NE(Text.find(E.Witnesses.front().File), std::string::npos);
+  EXPECT_NE(Text.find("decision"), std::string::npos);
+  EXPECT_NE(Text.find(ViolationFeatureNames[0]), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Canonical report order (satellite: deterministic ordering)
+//===----------------------------------------------------------------------===//
+
+TEST(ReportOrder, TotalOrderPinsTieBreaks) {
+  auto Mk = [](const char *File, uint32_t Line, const char *Orig,
+               const char *Sugg, PatternKind K) {
+    Report R;
+    R.File = File;
+    R.Line = Line;
+    R.Original = Orig;
+    R.Suggested = Sugg;
+    R.Kind = K;
+    return R;
+  };
+  Report A = Mk("a.py", 3, "name", "size", PatternKind::Consistency);
+  Report SameLoc = Mk("a.py", 3, "other", "size", PatternKind::Consistency);
+  Report SameName = Mk("a.py", 3, "name", "width", PatternKind::Consistency);
+  Report LaterLine = Mk("a.py", 9, "aaa", "bbb", PatternKind::Consistency);
+  Report OtherFile = Mk("b.py", 1, "aaa", "bbb", PatternKind::Consistency);
+
+  // File first, then line, then original, then suggested.
+  EXPECT_TRUE(reportOrderLess(A, OtherFile));
+  EXPECT_TRUE(reportOrderLess(A, LaterLine));
+  EXPECT_TRUE(reportOrderLess(LaterLine, OtherFile));
+  EXPECT_TRUE(reportOrderLess(A, SameLoc));  // "name" < "other"
+  EXPECT_TRUE(reportOrderLess(A, SameName)); // "size" < "width"
+  EXPECT_FALSE(reportOrderLess(A, A));
+
+  std::vector<Explanation> Findings(5);
+  Findings[0].R = OtherFile;
+  Findings[1].R = SameLoc;
+  Findings[2].R = LaterLine;
+  Findings[3].R = A;
+  Findings[4].R = SameName;
+  sortExplanations(Findings);
+  EXPECT_EQ(Findings[0].R.Original, "name");
+  EXPECT_EQ(Findings[0].R.Suggested, "size");
+  EXPECT_EQ(Findings[1].R.Suggested, "width");
+  EXPECT_EQ(Findings[2].R.Original, "other");
+  EXPECT_EQ(Findings[3].R.Line, 9u);
+  EXPECT_EQ(Findings[4].R.File, "b.py");
+}
+
+//===----------------------------------------------------------------------===//
+// Thread-count byte-identity (acceptance criterion)
+//===----------------------------------------------------------------------===//
+
+TEST(ExportDeterminism, ByteIdenticalAcrossThreadCounts) {
+  auto BuildAndExport = [](unsigned Threads, std::string &Sarif,
+                           std::string &Findings, std::string &Rendered) {
+    corpus::CorpusConfig Config;
+    Config.Lang = corpus::Language::Python;
+    Config.NumRepos = 40;
+    corpus::Corpus C = corpus::generateCorpus(Config);
+    corpus::InspectionOracle Oracle(C);
+    PipelineConfig PC;
+    PC.Miner.MinPatternSupport = 20;
+    PC.Threads = Threads;
+    NamerPipeline P(PC);
+    P.build(C);
+
+    std::vector<size_t> Indices;
+    std::vector<bool> Labels;
+    collectBalancedLabels(P, Oracle, 80, /*Seed=*/1, Indices, Labels);
+    std::vector<Violation> Labeled;
+    for (size_t I : Indices)
+      Labeled.push_back(P.violations()[I]);
+    P.trainClassifier(Labeled, Labels);
+
+    std::vector<Explanation> Es;
+    for (const Violation &V : P.violations())
+      Es.push_back(explainViolation(P, V));
+    sortExplanations(Es);
+    ExportMeta Meta;
+    Sarif = sarifJson(Es, Meta);
+    Findings = findingsJson(Es, Meta);
+    Rendered.clear();
+    for (const Explanation &E : Es)
+      Rendered += renderExplanation(E);
+  };
+
+  std::string Sarif1, Findings1, Rendered1;
+  std::string Sarif8, Findings8, Rendered8;
+  BuildAndExport(1, Sarif1, Findings1, Rendered1);
+  BuildAndExport(8, Sarif8, Findings8, Rendered8);
+  EXPECT_EQ(Sarif1, Sarif8);
+  EXPECT_EQ(Findings1, Findings8);
+  EXPECT_EQ(Rendered1, Rendered8);
+  EXPECT_TRUE(JsonChecker(Sarif1).valid());
+  EXPECT_TRUE(JsonChecker(Findings1).valid());
+  EXPECT_NE(Sarif1.find("\"version\": \"2.1.0\""), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Golden files (byte-exact exporters)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Two hand-built findings covering every branch of the exporters: a
+/// consistency finding with classifier attribution and two witnesses, and
+/// a confusing-word finding with word-pair evidence and no classifier.
+std::vector<Explanation> goldenFindings() {
+  Explanation Consistency;
+  Consistency.R.File = "proj/widget.py";
+  Consistency.R.Line = 27;
+  Consistency.R.Original = "name";
+  Consistency.R.Suggested = "size";
+  Consistency.R.Kind = PatternKind::Consistency;
+  Consistency.R.Confidence = 0.75;
+  Consistency.Pattern.Id = 7;
+  Consistency.Pattern.Kind = PatternKind::Consistency;
+  Consistency.Pattern.Rendered =
+      "Condition:\nDeduction:\n  Assign 0 NumST(1) 0 <eps>\n";
+  Consistency.Pattern.Support = 2636;
+  Consistency.Pattern.DatasetMatches = 3275;
+  Consistency.Pattern.DatasetSatisfactions = 2636;
+  Consistency.Pattern.DatasetViolations = 639;
+  Consistency.Pattern.SatisfactionRate = 0.804885;
+  Consistency.Pattern.ConditionSize = 0;
+  Consistency.Witnesses.push_back(
+      WitnessRef{"repo0/parser.py", 3, "total", "Assign 0 NumST(1) 0 total"});
+  Consistency.Witnesses.push_back(
+      WitnessRef{"repo0/parser.py", 6, "size", "Assign 0 NumST(1) 0 size"});
+  Consistency.Attribution.Present = true;
+  Consistency.Attribution.Model = "svm-linear";
+  Consistency.Attribution.Bias = -0.25;
+  Consistency.Attribution.Decision = 0.75;
+  Consistency.Attribution.Contributions = {
+      FeatureContribution{"stmt name paths", 4.0, 1.0, 0.5, 0.5},
+      FeatureContribution{"edit distance", 2.0, 0.5, 1.0, 0.5},
+  };
+
+  Explanation Confusing;
+  Confusing.R.File = "proj/loops.py";
+  Confusing.R.Line = 19;
+  Confusing.R.Original = "xrange";
+  Confusing.R.Suggested = "range";
+  Confusing.R.Kind = PatternKind::ConfusingWord;
+  Confusing.R.Confidence = 0.0;
+  Confusing.Pattern.Id = 127;
+  Confusing.Pattern.Kind = PatternKind::ConfusingWord;
+  Confusing.Pattern.Rendered =
+      "Condition:\n  For 1 len\nDeduction:\n  For 0 range\n";
+  Confusing.Pattern.Support = 602;
+  Confusing.Pattern.DatasetMatches = 613;
+  Confusing.Pattern.DatasetSatisfactions = 602;
+  Confusing.Pattern.DatasetViolations = 11;
+  Confusing.Pattern.SatisfactionRate = 0.982055;
+  Confusing.Pattern.ConditionSize = 2;
+  Confusing.Witnesses.push_back(
+      WitnessRef{"repo1/util.py", 9, "range", "For 0 range"});
+  Confusing.WordPair.Present = true;
+  Confusing.WordPair.Mistaken = "xrange";
+  Confusing.WordPair.Correct = "range";
+  Confusing.WordPair.CommitCount = 4;
+
+  std::vector<Explanation> Out;
+  Out.push_back(std::move(Confusing)); // unsorted on purpose
+  Out.push_back(std::move(Consistency));
+  sortExplanations(Out);
+  return Out;
+}
+
+ExportMeta goldenMeta() {
+  ExportMeta Meta;
+  Meta.Tool = "namer-scan";
+  Meta.ToolVersion = "1.0.0";
+  Meta.GitRev = "deadbeef";
+  Meta.Lang = "python";
+  Meta.UseClassifier = true;
+  Meta.MaxReports = 50;
+  return Meta;
+}
+
+} // namespace
+
+TEST(ExportGolden, SarifBytes) {
+  const std::string Expected = R"GOLD({
+  "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+  "runs": [
+    {
+      "results": [
+        {
+          "level": "warning",
+          "locations": [{"physicalLocation": {"artifactLocation": {"uri": "proj/loops.py"}, "region": {"startLine": 19}}}],
+          "message": {"text": "'xrange' is suspicious here; suggested fix: 'range' [confusing-word]"},
+          "properties": {"confidence": 0.000000, "original": "xrange", "suggested": "range", "witnesses": ["repo1/util.py:9 uses 'range'"]},
+          "ruleId": "namer/confusing-word/0127",
+          "ruleIndex": 1
+        },
+        {
+          "level": "warning",
+          "locations": [{"physicalLocation": {"artifactLocation": {"uri": "proj/widget.py"}, "region": {"startLine": 27}}}],
+          "message": {"text": "'name' is suspicious here; suggested fix: 'size' [consistency]"},
+          "properties": {"confidence": 0.750000, "original": "name", "suggested": "size", "witnesses": ["repo0/parser.py:3 uses 'total'", "repo0/parser.py:6 uses 'size'"]},
+          "ruleId": "namer/consistency/0007",
+          "ruleIndex": 0
+        }
+      ],
+      "tool": {
+        "driver": {
+          "informationUri": "https://doi.org/10.1145/3453483.3454045",
+          "name": "namer-scan",
+          "rules": [
+            {
+              "fullDescription": {"text": "Statements matching this pattern's condition are expected to name its two deduction positions identically; mined from the corpus FP-tree and kept by pruneUncommon."},
+              "help": {"text": "Condition:\nDeduction:\n  Assign 0 NumST(1) 0 <eps>\n"},
+              "id": "namer/consistency/0007",
+              "name": "ConsistencyPattern7",
+              "properties": {"confidence": 0.804885, "datasetMatches": 3275, "datasetSatisfactions": 2636, "datasetViolations": 639, "support": 2636},
+              "shortDescription": {"text": "consistency naming pattern #7"}
+            },
+            {
+              "fullDescription": {"text": "Statements matching this pattern's condition are expected to use the mined correct word at the deduction position; the word pair comes from commit-history rename mining."},
+              "help": {"text": "Condition:\n  For 1 len\nDeduction:\n  For 0 range\n"},
+              "id": "namer/confusing-word/0127",
+              "name": "ConfusingWordPattern127",
+              "properties": {"confidence": 0.982055, "datasetMatches": 613, "datasetSatisfactions": 602, "datasetViolations": 11, "support": 602},
+              "shortDescription": {"text": "confusing-word naming pattern #127"}
+            }
+          ],
+          "version": "1.0.0"
+        }
+      }
+    }
+  ],
+  "version": "2.1.0"
+}
+)GOLD";
+  std::string Actual = sarifJson(goldenFindings(), goldenMeta());
+  EXPECT_EQ(Actual, Expected);
+  EXPECT_TRUE(JsonChecker(Actual).valid());
+}
+
+TEST(ExportGolden, FindingsBytes) {
+  const std::string Expected = R"GOLD({
+  "meta": {
+    "config": {"lang": "python", "max_reports": 50, "use_classifier": true},
+    "git_rev": "deadbeef",
+    "schema_version": 1,
+    "tool": "namer-scan",
+    "tool_version": "1.0.0"
+  },
+  "findings": [
+    {
+      "classifier": null,
+      "confidence": 0.000000,
+      "file": "proj/loops.py",
+      "kind": "confusing-word",
+      "line": 19,
+      "original": "xrange",
+      "pattern": {"condition_size": 2, "dataset_matches": 613, "dataset_satisfactions": 602, "dataset_violations": 11, "id": 127, "satisfaction_rate": 0.982055, "support": 602},
+      "suggested": "range",
+      "witnesses": [{"file": "repo1/util.py", "line": 9, "name": "range", "path": "For 0 range"}],
+      "word_pair": {"commit_count": 4, "correct": "range", "mistaken": "xrange"}
+    },
+    {
+      "classifier": {
+        "bias": -0.250000,
+        "contributions": [
+          {"contribution": 0.500000, "feature": "stmt name paths", "standardized": 1.000000, "value": 4.000000, "weight": 0.500000},
+          {"contribution": 0.500000, "feature": "edit distance", "standardized": 0.500000, "value": 2.000000, "weight": 1.000000}
+        ],
+        "decision": 0.750000,
+        "model": "svm-linear"
+      },
+      "confidence": 0.750000,
+      "file": "proj/widget.py",
+      "kind": "consistency",
+      "line": 27,
+      "original": "name",
+      "pattern": {"condition_size": 0, "dataset_matches": 3275, "dataset_satisfactions": 2636, "dataset_violations": 639, "id": 7, "satisfaction_rate": 0.804885, "support": 2636},
+      "suggested": "size",
+      "witnesses": [{"file": "repo0/parser.py", "line": 3, "name": "total", "path": "Assign 0 NumST(1) 0 total"}, {"file": "repo0/parser.py", "line": 6, "name": "size", "path": "Assign 0 NumST(1) 0 size"}],
+      "word_pair": null
+    }
+  ]
+}
+)GOLD";
+  std::string Actual = findingsJson(goldenFindings(), goldenMeta());
+  EXPECT_EQ(Actual, Expected);
+  EXPECT_TRUE(JsonChecker(Actual).valid());
+}
+
+TEST(ExportGolden, EmptyDocumentsAreValid) {
+  std::vector<Explanation> None;
+  std::string Sarif = sarifJson(None, goldenMeta());
+  std::string Findings = findingsJson(None, goldenMeta());
+  EXPECT_TRUE(JsonChecker(Sarif).valid());
+  EXPECT_TRUE(JsonChecker(Findings).valid());
+  EXPECT_NE(Sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(Findings.find("\"schema_version\": 1"), std::string::npos);
+}

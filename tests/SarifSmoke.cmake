@@ -1,0 +1,57 @@
+# Smoke test: run `namer-scan --sarif` over the bundled mini corpus and
+# validate that the document carries the required SARIF 2.1.0 top-level
+# keys. Invoked by ctest as
+#   cmake -DNAMER_SCAN=<exe> -DCORPUS=<dir> -DOUT=<dir> -P SarifSmoke.cmake
+
+foreach(Var NAMER_SCAN CORPUS OUT)
+  if(NOT DEFINED ${Var})
+    message(FATAL_ERROR "SarifSmoke.cmake requires -D${Var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT}")
+set(SARIF "${OUT}/mini.sarif")
+set(FINDINGS "${OUT}/mini.findings.json")
+
+execute_process(
+  COMMAND "${NAMER_SCAN}" "--sarif=${SARIF}" "--findings=${FINDINGS}"
+          "--explain=0" "${CORPUS}"
+  RESULT_VARIABLE Rc
+  OUTPUT_VARIABLE Stdout
+  ERROR_VARIABLE Stderr)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR
+      "namer-scan failed (rc=${Rc})\nstdout:\n${Stdout}\nstderr:\n${Stderr}")
+endif()
+
+if(NOT EXISTS "${SARIF}")
+  message(FATAL_ERROR "namer-scan did not write ${SARIF}")
+endif()
+file(READ "${SARIF}" Doc)
+
+# Required SARIF top-level structure: schema pointer, pinned version, and a
+# runs array whose tool driver declares rules alongside the results.
+foreach(Needle
+    [["$schema": "https://json.schemastore.org/sarif-2.1.0.json"]]
+    [["version": "2.1.0"]]
+    [["runs":]]
+    [["tool":]]
+    [["driver":]]
+    [["rules":]]
+    [["results":]])
+  string(FIND "${Doc}" "${Needle}" At)
+  if(At EQUAL -1)
+    message(FATAL_ERROR "SARIF output is missing ${Needle}:\n${Doc}")
+  endif()
+endforeach()
+
+if(NOT EXISTS "${FINDINGS}")
+  message(FATAL_ERROR "namer-scan did not write ${FINDINGS}")
+endif()
+file(READ "${FINDINGS}" FindingsDoc)
+string(FIND "${FindingsDoc}" [["schema_version": 1]] At)
+if(At EQUAL -1)
+  message(FATAL_ERROR "findings output is missing schema_version:\n${FindingsDoc}")
+endif()
+
+message(STATUS "SARIF smoke OK: ${SARIF}")

@@ -14,140 +14,23 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "namer/Explain.h"
+#include "namer/FindingsExport.h"
 #include "namer/Pipeline.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
+#include "TestSupport.h"
+
 #include <gtest/gtest.h>
 
-#include <cctype>
 #include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
 using namespace namer;
-
-namespace {
-
-/// Minimal JSON syntax checker: accepts exactly the RFC 8259 value grammar
-/// (minus \u escapes' surrogate rules), enough to assert that the
-/// exporters' hand-rolled output is structurally well formed.
-class JsonChecker {
-public:
-  explicit JsonChecker(std::string_view S)
-      : P(S.data()), End(S.data() + S.size()) {}
-
-  bool valid() {
-    if (!value())
-      return false;
-    skipWs();
-    return P == End;
-  }
-
-private:
-  const char *P, *End;
-
-  void skipWs() {
-    while (P != End &&
-           (*P == ' ' || *P == '\n' || *P == '\t' || *P == '\r'))
-      ++P;
-  }
-  bool literal(std::string_view Lit) {
-    if (static_cast<size_t>(End - P) < Lit.size() ||
-        std::string_view(P, Lit.size()) != Lit)
-      return false;
-    P += Lit.size();
-    return true;
-  }
-  bool string() {
-    if (P == End || *P != '"')
-      return false;
-    for (++P; P != End && *P != '"'; ++P)
-      if (*P == '\\' && ++P == End)
-        return false;
-    if (P == End)
-      return false;
-    ++P;
-    return true;
-  }
-  bool number() {
-    const char *Start = P;
-    if (P != End && *P == '-')
-      ++P;
-    while (P != End && (std::isdigit(static_cast<unsigned char>(*P)) ||
-                        *P == '.' || *P == 'e' || *P == 'E' || *P == '+' ||
-                        *P == '-'))
-      ++P;
-    return P != Start;
-  }
-  bool object() {
-    ++P; // '{'
-    skipWs();
-    if (P != End && *P == '}')
-      return ++P, true;
-    for (;;) {
-      skipWs();
-      if (!string())
-        return false;
-      skipWs();
-      if (P == End || *P != ':')
-        return false;
-      ++P;
-      if (!value())
-        return false;
-      skipWs();
-      if (P != End && *P == ',') {
-        ++P;
-        continue;
-      }
-      if (P != End && *P == '}')
-        return ++P, true;
-      return false;
-    }
-  }
-  bool array() {
-    ++P; // '['
-    skipWs();
-    if (P != End && *P == ']')
-      return ++P, true;
-    for (;;) {
-      if (!value())
-        return false;
-      skipWs();
-      if (P != End && *P == ',') {
-        ++P;
-        continue;
-      }
-      if (P != End && *P == ']')
-        return ++P, true;
-      return false;
-    }
-  }
-  bool value() {
-    skipWs();
-    if (P == End)
-      return false;
-    switch (*P) {
-    case '{':
-      return object();
-    case '[':
-      return array();
-    case '"':
-      return string();
-    case 't':
-      return literal("true");
-    case 'f':
-      return literal("false");
-    case 'n':
-      return literal("null");
-    default:
-      return number();
-    }
-  }
-};
-
-} // namespace
+using namer::test::JsonChecker;
 
 TEST(TelemetryJson, DisabledOrEnabledExportersEmitValidJson) {
   // Shared by both build modes: whatever the compile-time configuration,
@@ -371,20 +254,34 @@ TEST(TelemetryPipeline, StatsCoverEveryStageOnRealRun) {
   P.trainClassifier(Labeled, Labels);
   (void)P.classify(P.violations()[0]);
 
-  // All six pipeline stages plus the pool must have left counters behind.
+  // The explain/export stage: build an explanation and run both finding
+  // exporters so their spans and report.* counters land in the snapshot.
+  std::vector<Explanation> Findings = {explainViolation(P, Labeled[0])};
+  sortExplanations(Findings);
+  ExportMeta Meta;
+  (void)sarifJson(Findings, Meta);
+  (void)findingsJson(Findings, Meta);
+
+  // All seven pipeline stages plus the pool must have left counters
+  // behind.
   std::map<std::string, int64_t> Snap = snapshotMap();
   for (const char *Name :
        {"parse.files", "datalog.tuples", "transform.nodes_added",
-        "namepath.paths", "fptree.nodes", "pipeline.violations"}) {
+        "namepath.paths", "fptree.nodes", "pipeline.violations",
+        "report.explanations", "report.sarif_bytes",
+        "report.findings_bytes"}) {
     ASSERT_TRUE(Snap.count(Name)) << Name;
     EXPECT_GT(Snap[Name], 0) << Name;
   }
   for (const char *Name :
        {"prune.dropped", "prune.kept", "classifier.predictions",
         "pool.tasks", "pool.steals", "pool.idle_us",
-        "pool.idle_wait_us.count"})
+        "pool.idle_wait_us.count", "report.witnesses",
+        "report.sarif_results", "report.findings_results"})
     EXPECT_TRUE(Snap.count(Name)) << Name;
   EXPECT_GE(Snap["classifier.predictions"], 1);
+  EXPECT_EQ(Snap["report.explanations"], 1);
+  EXPECT_EQ(Snap["report.sarif_results"], 1);
 
   // Every stage's span shows up in the stats document, and both exporters
   // stay structurally valid on a real multi-threaded run.
@@ -395,7 +292,8 @@ TEST(TelemetryPipeline, StatsCoverEveryStageOnRealRun) {
         "transform.astplus", "namepath.extract", "fptree.build",
         "fptree.generate", "pattern.prune", "classifier.train",
         "pipeline.build", "pipeline.ingest", "pipeline.commit",
-        "pipeline.scan", "ingest.file"})
+        "pipeline.scan", "ingest.file", "report.explain",
+        "report.export"})
     EXPECT_NE(Stats.find("\"" + std::string(Span) + "\""),
               std::string::npos)
         << Span;

@@ -1,0 +1,140 @@
+//===- tests/TestSupport.h - shared test utilities --------------*- C++ -*-==//
+///
+/// \file
+/// Helpers shared across test binaries. JsonChecker validates the
+/// hand-rolled JSON every exporter emits (telemetry's statsJson /
+/// chromeTraceJson and the explainability layer's sarifJson /
+/// findingsJson); golden-file tests run it over every pinned document.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_TESTS_TESTSUPPORT_H
+#define NAMER_TESTS_TESTSUPPORT_H
+
+#include <cctype>
+#include <string_view>
+
+namespace namer {
+namespace test {
+
+/// Minimal JSON syntax checker: accepts exactly the RFC 8259 value grammar
+/// (minus \u escapes' surrogate rules), enough to assert that hand-rolled
+/// exporter output is structurally well formed.
+class JsonChecker {
+public:
+  explicit JsonChecker(std::string_view S)
+      : P(S.data()), End(S.data() + S.size()) {}
+
+  bool valid() {
+    if (!value())
+      return false;
+    skipWs();
+    return P == End;
+  }
+
+private:
+  const char *P, *End;
+
+  void skipWs() {
+    while (P != End &&
+           (*P == ' ' || *P == '\n' || *P == '\t' || *P == '\r'))
+      ++P;
+  }
+  bool literal(std::string_view Lit) {
+    if (static_cast<size_t>(End - P) < Lit.size() ||
+        std::string_view(P, Lit.size()) != Lit)
+      return false;
+    P += Lit.size();
+    return true;
+  }
+  bool string() {
+    if (P == End || *P != '"')
+      return false;
+    for (++P; P != End && *P != '"'; ++P)
+      if (*P == '\\' && ++P == End)
+        return false;
+    if (P == End)
+      return false;
+    ++P;
+    return true;
+  }
+  bool number() {
+    const char *Start = P;
+    if (P != End && *P == '-')
+      ++P;
+    while (P != End && (std::isdigit(static_cast<unsigned char>(*P)) ||
+                        *P == '.' || *P == 'e' || *P == 'E' || *P == '+' ||
+                        *P == '-'))
+      ++P;
+    return P != Start;
+  }
+  bool object() {
+    ++P; // '{'
+    skipWs();
+    if (P != End && *P == '}')
+      return ++P, true;
+    for (;;) {
+      skipWs();
+      if (!string())
+        return false;
+      skipWs();
+      if (P == End || *P != ':')
+        return false;
+      ++P;
+      if (!value())
+        return false;
+      skipWs();
+      if (P != End && *P == ',') {
+        ++P;
+        continue;
+      }
+      if (P != End && *P == '}')
+        return ++P, true;
+      return false;
+    }
+  }
+  bool array() {
+    ++P; // '['
+    skipWs();
+    if (P != End && *P == ']')
+      return ++P, true;
+    for (;;) {
+      if (!value())
+        return false;
+      skipWs();
+      if (P != End && *P == ',') {
+        ++P;
+        continue;
+      }
+      if (P != End && *P == ']')
+        return ++P, true;
+      return false;
+    }
+  }
+  bool value() {
+    skipWs();
+    if (P == End)
+      return false;
+    switch (*P) {
+    case '{':
+      return object();
+    case '[':
+      return array();
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return number();
+    }
+  }
+};
+
+} // namespace test
+} // namespace namer
+
+#endif // NAMER_TESTS_TESTSUPPORT_H

@@ -1,0 +1,27 @@
+import unittest
+import os
+
+
+class AppTest(unittest.TestCase):
+    def test_counter_0(self):
+        self.assertTrue(self.store.count, 3)
+        self.assertTrue(self.store.is_valid())
+
+    def test_counter_1(self):
+        self.assertEquals(self.store.count, 5)
+
+    def test_path_0(self):
+        self.assertTrue(os.path.exists(self.name))
+
+
+def process_items(items):
+    total = 0
+    for i in xrange(len(items)):
+        total += items[i]
+    return total
+
+
+class Widget:
+    def __init__(self, name, size):
+        self.name = name
+        self.size = name

@@ -1,0 +1,29 @@
+import unittest
+
+
+class WidgetStore:
+    def __init__(self):
+        self.items = []
+        self.count = 0
+
+    def add(self, widget):
+        self.items.append(widget)
+        self.count += 1
+
+
+class StoreTest(unittest.TestCase):
+    def test_add_0(self):
+        store = WidgetStore()
+        store.add("a")
+        self.assertTrue(store.count, 1)
+
+    def test_add_1(self):
+        store = WidgetStore()
+        self.assertEquals(store.count, 0)
+
+
+def sum_lengths(rows):
+    total = 0
+    for i in xrange(len(rows)):
+        total += len(rows[i])
+    return total

@@ -3,21 +3,31 @@
 // Scans a directory of Python or Java sources for naming issues:
 //
 //   namer-scan --lang=python [--no-classifier] [--max-reports=N]
-//              [--threads=N] [--stats[=FILE]] [--trace-out=FILE] DIR
+//              [--threads=N] [--stats[=FILE]] [--trace-out=FILE]
+//              [--sarif=FILE] [--findings=FILE] [--explain[=N]]
+//              [--fail-on-findings] DIR
 //
 // Patterns are mined from the bundled ecosystem corpus *plus* the scanned
 // tree (so project-local idioms contribute), violations are filtered by a
 // classifier trained on the corpus oracle's labels, and reports print as
-// file:line diagnostics with suggested fixes.
+// file:line diagnostics with suggested fixes, in deterministic
+// (file, line, original, suggested) order.
 //
-// Observability (DESIGN.md, "Observability"): --stats prints a per-stage
-// summary table on stderr and writes the flat stats JSON (default
-// namer-stats.json, or the given FILE); --trace-out writes a Chrome
-// trace-event file loadable in chrome://tracing or ui.perfetto.dev.
+// Observability (DESIGN.md, "Observability" and "Explainability"):
+// --stats prints a per-stage summary table on stderr and writes the flat
+// stats JSON (default namer-stats.json, or the given FILE); --trace-out
+// writes a Chrome trace-event file loadable in chrome://tracing or
+// ui.perfetto.dev; --sarif writes a SARIF 2.1.0 document (GitHub code
+// scanning / VS Code); --findings writes the flat findings JSON;
+// --explain prints the full evidence chain (pattern lineage, witnesses,
+// per-feature classifier contributions) under each report, optionally
+// capped at N explanations. --fail-on-findings exits 2 when any finding
+// survives the classifier -- the CI contract.
 //
 //===----------------------------------------------------------------------===//
 
 #include "namer/Evaluation.h"
+#include "namer/FindingsExport.h"
 #include "support/Telemetry.h"
 #include "support/TextTable.h"
 
@@ -47,6 +57,16 @@ struct Options {
   std::string StatsFile = "namer-stats.json";
   /// --trace-out=FILE: write Chrome trace-event JSON.
   std::string TraceFile;
+  /// --sarif=FILE: write the SARIF 2.1.0 document.
+  std::string SarifFile;
+  /// --findings=FILE: write the flat findings JSON.
+  std::string FindingsFile;
+  /// --explain[=N]: print explanations under the first N reports (bare
+  /// --explain explains every printed report).
+  bool Explain = false;
+  size_t ExplainLimit = static_cast<size_t>(-1);
+  /// --fail-on-findings: exit 2 when any finding survives (CI contract).
+  bool FailOnFindings = false;
   std::string Directory;
 };
 
@@ -54,7 +74,8 @@ void printUsage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--lang=python|java] [--no-classifier] "
                "[--max-reports=N] [--threads=N] [--stats[=FILE]] "
-               "[--trace-out=FILE] DIR\n",
+               "[--trace-out=FILE] [--sarif=FILE] [--findings=FILE] "
+               "[--explain[=N]] [--fail-on-findings] DIR\n",
                Argv0);
 }
 
@@ -81,6 +102,18 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.StatsFile = Arg.substr(std::strlen("--stats="));
     } else if (Arg.rfind("--trace-out=", 0) == 0) {
       Opts.TraceFile = Arg.substr(std::strlen("--trace-out="));
+    } else if (Arg.rfind("--sarif=", 0) == 0) {
+      Opts.SarifFile = Arg.substr(std::strlen("--sarif="));
+    } else if (Arg.rfind("--findings=", 0) == 0) {
+      Opts.FindingsFile = Arg.substr(std::strlen("--findings="));
+    } else if (Arg == "--explain") {
+      Opts.Explain = true;
+    } else if (Arg.rfind("--explain=", 0) == 0) {
+      Opts.Explain = true;
+      Opts.ExplainLimit = static_cast<size_t>(
+          std::strtoul(Arg.c_str() + std::strlen("--explain="), nullptr, 10));
+    } else if (Arg == "--fail-on-findings") {
+      Opts.FailOnFindings = true;
     } else if (Arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
       return false;
@@ -196,33 +229,58 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  // Collect reports inside the scanned tree only.
-  std::vector<Report> Reports;
+  // Collect findings inside the scanned tree only, keeping the violation
+  // next to its report so the explainability layer can rebuild the full
+  // evidence chain for the selected ones.
+  struct Finding {
+    Report R;
+    Violation V;
+  };
+  std::vector<Finding> Findings;
   for (const Violation &V : Namer.violations()) {
     Report R = Namer.makeReport(V);
     if (R.File.rfind(Opts.Directory, 0) != 0)
       continue;
     if (Opts.UseClassifier && !Namer.classify(V))
       continue;
-    Reports.push_back(std::move(R));
+    Findings.push_back(Finding{std::move(R), V});
   }
-  std::sort(Reports.begin(), Reports.end(),
-            [](const Report &A, const Report &B) {
-              return A.Confidence > B.Confidence;
+  // Selection: most confident first, ties broken by the canonical report
+  // order so truncation is deterministic at every thread count.
+  std::sort(Findings.begin(), Findings.end(),
+            [](const Finding &A, const Finding &B) {
+              if (A.R.Confidence != B.R.Confidence)
+                return A.R.Confidence > B.R.Confidence;
+              return reportOrderLess(A.R, B.R);
             });
-  if (Reports.size() > Opts.MaxReports)
-    Reports.resize(Opts.MaxReports);
+  if (Findings.size() > Opts.MaxReports)
+    Findings.resize(Opts.MaxReports);
 
-  for (const Report &R : Reports)
+  // Build explanations for every selected finding and emit everything in
+  // the canonical (file, line, original, suggested) order.
+  std::vector<Explanation> Explanations;
+  Explanations.reserve(Findings.size());
+  for (const Finding &F : Findings)
+    Explanations.push_back(explainViolation(Namer, F.V));
+  sortExplanations(Explanations);
+
+  size_t Explained = 0;
+  for (const Explanation &E : Explanations) {
+    const Report &R = E.R;
     std::printf("%s:%u: naming issue: '%s' is suspicious here; suggested "
                 "fix: '%s' [%s]\n",
                 R.File.c_str(), R.Line, R.Original.c_str(),
                 R.Suggested.c_str(),
                 R.Kind == PatternKind::Consistency ? "consistency"
                                                    : "confusing-word");
-  std::fprintf(stderr, "%zu report(s) in %s\n", Reports.size(),
+    if (Opts.Explain && Explained < Opts.ExplainLimit) {
+      std::printf("%s", renderExplanation(E).c_str());
+      ++Explained;
+    }
+  }
+  std::fprintf(stderr, "%zu report(s) in %s\n", Explanations.size(),
                ProjectName.c_str());
-  telemetry::count("scan.reports", Reports.size());
+  telemetry::count("scan.reports", Explanations.size());
 
   int Exit = 0;
   if (Opts.Stats) {
@@ -246,6 +304,35 @@ int main(int Argc, char **Argv) {
                    Opts.TraceFile.c_str());
     else
       Exit = 1;
+  }
+  if (!Opts.SarifFile.empty() || !Opts.FindingsFile.empty()) {
+    // The export meta echoes only schedule-independent configuration: the
+    // files must be byte-identical at --threads=1 and --threads=8.
+    ExportMeta Meta;
+    Meta.Tool = "namer-scan";
+    Meta.GitRev = telemetry::defaultMeta("namer-scan", 0).GitRev;
+    Meta.Lang = Opts.Lang == corpus::Language::Python ? "python" : "java";
+    Meta.UseClassifier = Opts.UseClassifier;
+    Meta.MaxReports = Opts.MaxReports;
+    if (!Opts.SarifFile.empty()) {
+      if (writeTextFile(Opts.SarifFile, sarifJson(Explanations, Meta)))
+        std::fprintf(stderr, "wrote %s (SARIF 2.1.0)\n",
+                     Opts.SarifFile.c_str());
+      else
+        Exit = 1;
+    }
+    if (!Opts.FindingsFile.empty()) {
+      if (writeTextFile(Opts.FindingsFile, findingsJson(Explanations, Meta)))
+        std::fprintf(stderr, "wrote %s (findings schema v%d)\n",
+                     Opts.FindingsFile.c_str(), kFindingsSchemaVersion);
+      else
+        Exit = 1;
+    }
+  }
+  if (Opts.FailOnFindings && !Explanations.empty()) {
+    std::fprintf(stderr, "failing: %zu finding(s) survived (%s)\n",
+                 Explanations.size(), "--fail-on-findings");
+    Exit = 2;
   }
   return Exit;
 }
