@@ -1,0 +1,36 @@
+//===- frontend/Diag.cpp --------------------------------------------------==//
+
+#include "frontend/Diag.h"
+
+using namespace namer;
+using namespace namer::frontend;
+
+std::string_view namer::frontend::diagKindName(DiagKind Kind) {
+  switch (Kind) {
+  case DiagKind::LexInvalidChar:
+    return "lex-invalid-char";
+  case DiagKind::LexUnterminatedString:
+    return "lex-unterminated-string";
+  case DiagKind::LexUnterminatedComment:
+    return "lex-unterminated-comment";
+  case DiagKind::LexBadIndent:
+    return "lex-bad-indent";
+  case DiagKind::ParseExpected:
+    return "parse-expected";
+  case DiagKind::ParseUnexpectedToken:
+    return "parse-unexpected-token";
+  case DiagKind::DepthExceeded:
+    return "depth-exceeded";
+  }
+  return "unknown";
+}
+
+std::string namer::frontend::renderDiag(const Diag &D) {
+  std::string Out = "line " + std::to_string(D.Line) + ": ";
+  Out += diagKindName(D.Kind);
+  if (!D.Message.empty()) {
+    Out += ": ";
+    Out += D.Message;
+  }
+  return Out;
+}

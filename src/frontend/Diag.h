@@ -1,0 +1,59 @@
+//===- frontend/Diag.h - Frontend diagnostic taxonomy ----------*- C++ -*-==//
+///
+/// \file
+/// Structured diagnostics shared by both language frontends. The Big Code
+/// corpus is real-world-shaped: lexers and parsers never abort a file, they
+/// record a `Diag` per recoverable defect and resynchronize (panic mode at
+/// statement boundaries). Downstream consumers — the ingestion budgets in
+/// `NamerPipeline::build` and the quarantine log — key on `DiagKind`
+/// rather than parsing message strings, so the taxonomy here is the
+/// contract between the frontends and the fault-tolerance layer.
+///
+/// Kinds are grouped by producer: `Lex*` from the tokenizers, `Parse*`
+/// from the recursive-descent parsers, and `DepthExceeded` from the
+/// nesting-depth guard that bounds parser recursion (the guard emits
+/// error nodes instead of recursing, so a 10k-deep nesting bomb degrades
+/// to a flat error expression instead of a stack overflow).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_FRONTEND_DIAG_H
+#define NAMER_FRONTEND_DIAG_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace namer {
+namespace frontend {
+
+/// The frontend error taxonomy. Stable names (diagKindName) are exported
+/// into quarantine records and telemetry counters; add new kinds at the
+/// end and never reorder.
+enum class DiagKind : uint8_t {
+  LexInvalidChar,        ///< byte outside the language's alphabet (NUL, bad UTF-8, ...)
+  LexUnterminatedString, ///< string/char literal closed by newline or EOF
+  LexUnterminatedComment,///< block comment open at EOF
+  LexBadIndent,          ///< inconsistent indentation (Python)
+  ParseExpected,         ///< a required token was missing; parser resynced
+  ParseUnexpectedToken,  ///< token that can start nothing here; skipped
+  DepthExceeded,         ///< nesting-depth cap hit; subtree replaced by error nodes
+};
+
+/// Stable kebab-case name of \p Kind, e.g. "lex-invalid-char".
+std::string_view diagKindName(DiagKind Kind);
+
+/// One recoverable frontend diagnostic.
+struct Diag {
+  DiagKind Kind = DiagKind::ParseExpected;
+  uint32_t Line = 0;
+  std::string Message;
+};
+
+/// Canonical human rendering: "line N: <kind>: message".
+std::string renderDiag(const Diag &D);
+
+} // namespace frontend
+} // namespace namer
+
+#endif // NAMER_FRONTEND_DIAG_H

@@ -2,6 +2,8 @@
 
 #include "frontend/java/JavaLexer.h"
 
+#include "support/FaultInjector.h"
+
 #include <cctype>
 
 using namespace namer;
@@ -29,6 +31,7 @@ constexpr std::string_view MultiOps[] = {
 } // namespace
 
 LexResult namer::java::lexJava(std::string_view Src) {
+  faultinject::fire("lex.java");
   LexResult Result;
   size_t Pos = 0;
   uint32_t Line = 1;
@@ -38,8 +41,10 @@ LexResult namer::java::lexJava(std::string_view Src) {
   auto Peek = [&](size_t Ahead = 0) {
     return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
   };
-  auto Error = [&](const std::string &Message) {
-    Result.Errors.push_back("line " + std::to_string(Line) + ": " + Message);
+  auto Error = [&](frontend::DiagKind Kind, const std::string &Message) {
+    frontend::Diag D{Kind, Line, Message};
+    Result.Errors.push_back(frontend::renderDiag(D));
+    Result.Diags.push_back(std::move(D));
   };
 
   while (Pos < Src.size()) {
@@ -68,7 +73,8 @@ LexResult namer::java::lexJava(std::string_view Src) {
       if (Pos < Src.size())
         Pos += 2;
       else
-        Error("unterminated block comment");
+        Error(frontend::DiagKind::LexUnterminatedComment,
+              "unterminated block comment");
       continue;
     }
     if (isIdentStart(C)) {
@@ -102,7 +108,8 @@ LexResult namer::java::lexJava(std::string_view Src) {
           continue;
         }
         if (Src[Pos] == '\n') {
-          Error("unterminated string literal");
+          Error(frontend::DiagKind::LexUnterminatedString,
+                "unterminated string literal");
           break;
         }
         Text += Src[Pos];
@@ -124,7 +131,8 @@ LexResult namer::java::lexJava(std::string_view Src) {
           continue;
         }
         if (Src[Pos] == '\n') {
-          Error("unterminated char literal");
+          Error(frontend::DiagKind::LexUnterminatedString,
+                "unterminated char literal");
           break;
         }
         Text += Src[Pos];
@@ -152,7 +160,13 @@ LexResult namer::java::lexJava(std::string_view Src) {
       ++Pos;
       continue;
     }
-    Error(std::string("unexpected character '") + C + "'");
+    Error(frontend::DiagKind::LexInvalidChar,
+          std::isprint(static_cast<unsigned char>(C))
+              ? std::string("unexpected character '") + C + "'"
+              : "unexpected byte 0x" + [](unsigned char B) {
+                  const char *Hex = "0123456789abcdef";
+                  return std::string{Hex[B >> 4], Hex[B & 15]};
+                }(static_cast<unsigned char>(C)));
     ++Pos;
   }
   Result.Tokens.push_back(Token{TokenKind::EndOfFile, "", Line});

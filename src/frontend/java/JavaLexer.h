@@ -10,6 +10,8 @@
 #ifndef NAMER_FRONTEND_JAVA_JAVALEXER_H
 #define NAMER_FRONTEND_JAVA_JAVALEXER_H
 
+#include "frontend/Diag.h"
+
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -33,9 +35,12 @@ struct Token {
   uint32_t Line;
 };
 
+/// Errors carries the rendered strings (renderDiag) of Diags; consumers
+/// that need the taxonomy read Diags.
 struct LexResult {
   std::vector<Token> Tokens;
   std::vector<std::string> Errors;
+  std::vector<frontend::Diag> Diags;
 };
 
 /// Lexes \p Source; never fails hard.

@@ -4,6 +4,7 @@
 
 #include "frontend/java/JavaLexer.h"
 
+#include "support/FaultInjector.h"
 #include "support/Telemetry.h"
 
 #include <cassert>
@@ -48,12 +49,14 @@ bool isReservedStatementWord(std::string_view Text) {
 
 class Parser {
 public:
-  Parser(std::string_view Source, AstContext &Ctx)
-      : Ctx(Ctx), Result(Ctx), T(Result.Module) {
+  Parser(std::string_view Source, AstContext &Ctx, const ParseOptions &Opts)
+      : Ctx(Ctx), Opts(Opts), Result(Ctx), T(Result.Module) {
     LexResult Lexed = lexJava(Source);
     Tokens = std::move(Lexed.Tokens);
+    Result.NumTokens = Tokens.size();
     for (auto &E : Lexed.Errors)
       Result.Errors.push_back("lex: " + E);
+    Result.Diags = std::move(Lexed.Diags);
   }
 
   ParseResult run() {
@@ -95,9 +98,47 @@ private:
   }
   uint32_t line() const { return cur().Line; }
 
-  void error(const std::string &Message) {
-    Result.Errors.push_back("line " + std::to_string(cur().Line) + ": " +
-                            Message);
+  void error(const std::string &Message,
+             frontend::DiagKind Kind = frontend::DiagKind::ParseExpected) {
+    frontend::Diag D{Kind, cur().Line, Message};
+    Result.Errors.push_back(frontend::renderDiag(D));
+    Result.Diags.push_back(std::move(D));
+  }
+
+  /// Recursion-depth admission. Returns false past the cap, recording one
+  /// DepthExceeded diagnostic per file; the caller must then produce a
+  /// placeholder node WITHOUT recursing (and consume at least one token or
+  /// return into a loop that does, so parsing always makes progress).
+  bool enterDepth() {
+    if (RecursionDepth >= Opts.MaxNestingDepth) {
+      if (!Result.DepthExceeded) {
+        Result.DepthExceeded = true;
+        error("nesting deeper than " + std::to_string(Opts.MaxNestingDepth),
+              frontend::DiagKind::DepthExceeded);
+      }
+      return false;
+    }
+    ++RecursionDepth;
+    return true;
+  }
+
+  struct DepthGuard {
+    Parser &P;
+    bool Ok;
+    explicit DepthGuard(Parser &P) : P(P), Ok(P.enterDepth()) {}
+    ~DepthGuard() {
+      if (Ok)
+        --P.RecursionDepth;
+    }
+  };
+
+  /// Placeholder expression used when the depth guard refuses entry.
+  NodeId depthErrorExpr(NodeId Parent) {
+    NodeId Err = T.addNode(NodeKind::NameLoad, Parent, line());
+    addIdent("<error>", Err);
+    if (!at(TokenKind::EndOfFile) && !atOp(";") && !atOp("}"))
+      advance();
+    return Err;
   }
 
   /// Skips to just after the next ';' at the current brace depth, or to the
@@ -200,10 +241,13 @@ private:
   }
 
   AstContext &Ctx;
+  ParseOptions Opts;
   ParseResult Result;
   Tree &T;
   std::vector<Token> Tokens;
   size_t Pos = 0;
+  /// Named to avoid clashing with the local `Depth` brace counters.
+  unsigned RecursionDepth = 0;
 };
 
 void Parser::convertToStore(NodeId N) {
@@ -277,6 +321,15 @@ size_t Parser::scanType(size_t Start) const {
 
 NodeId Parser::parseType(NodeId Parent) {
   uint32_t Ln = line();
+  // Self-recursive through generic arguments (List<List<...>>).
+  DepthGuard Guard(*this);
+  if (!Guard.Ok) {
+    NodeId Type = T.addNode(NodeKind::TypeRef, Parent, Ln);
+    addIdent("<error>", Type);
+    if (at(TokenKind::Name))
+      advance();
+    return Type;
+  }
   NodeId Type = T.addNode(NodeKind::TypeRef, Parent, Ln);
   if (!at(TokenKind::Name)) {
     error("expected type name");
@@ -361,12 +414,19 @@ void Parser::parseCompilationUnit(NodeId Module) {
       advance();
       continue;
     }
-    error("unexpected token '" + cur().Text + "' at top level");
+    error("unexpected token '" + cur().Text + "' at top level",
+          frontend::DiagKind::ParseUnexpectedToken);
     advance();
   }
 }
 
 void Parser::parseTypeDecl(NodeId Parent) {
+  // Self-recursive through nested classes.
+  DepthGuard Guard(*this);
+  if (!Guard.Ok) {
+    syncStatement(); // consumes the balanced nested body
+    return;
+  }
   skipModifiers();
   bool IsEnum = atName("enum");
   if (!eatName("class") && !eatName("interface") && !eatName("enum")) {
@@ -456,7 +516,8 @@ void Parser::parseMember(NodeId Body, std::string_view ClassName) {
 
   size_t TypeLen = scanType(Pos);
   if (TypeLen == 0) {
-    error("unexpected member starting with '" + cur().Text + "'");
+    error("unexpected member starting with '" + cur().Text + "'",
+          frontend::DiagKind::ParseUnexpectedToken);
     syncStatement();
     return;
   }
@@ -593,6 +654,13 @@ void Parser::parseVarDecl(NodeId Parent, bool ExpectSemicolon) {
 }
 
 void Parser::parseStatement(NodeId Parent) {
+  DepthGuard Guard(*this);
+  if (!Guard.Ok) {
+    // Too deep to model: degrade to Pass and resynchronize.
+    T.addNode(NodeKind::Pass, Parent, line());
+    syncStatement();
+    return;
+  }
   skipAnnotations();
   uint32_t Ln = line();
   if (atOp(";")) {
@@ -893,6 +961,9 @@ void Parser::parseTry(NodeId Parent) {
 // --- Expressions ------------------------------------------------------------
 
 NodeId Parser::parseExpression(NodeId Parent) {
+  DepthGuard Guard(*this);
+  if (!Guard.Ok)
+    return depthErrorExpr(Parent);
   NodeId Left = parseTernary(Parent);
   constexpr std::string_view AssignOps[] = {"=",  "+=", "-=", "*=", "/=",
                                             "%=", "&=", "|=", "^=", "<<="};
@@ -978,6 +1049,10 @@ NodeId Parser::parseBinary(NodeId Parent, int MinPrecedence) {
 }
 
 NodeId Parser::parseUnary(NodeId Parent) {
+  // Self-recursive ("!!!!x", chained casts), so depth-guarded on its own.
+  DepthGuard Guard(*this);
+  if (!Guard.Ok)
+    return depthErrorExpr(Parent);
   uint32_t Ln = line();
   if (atOp("!") || atOp("~") || atOp("-") || atOp("+") || atOp("++") ||
       atOp("--")) {
@@ -1183,7 +1258,8 @@ NodeId Parser::parseAtom(NodeId Parent) {
       error("expected ')'");
     return Inner;
   }
-  error("unexpected token '" + cur().Text + "' in expression");
+  error("unexpected token '" + cur().Text + "' in expression",
+        frontend::DiagKind::ParseUnexpectedToken);
   NodeId Err = T.addNode(NodeKind::NameLoad, Parent, Ln);
   addIdent("<error>", Err);
   if (!at(TokenKind::EndOfFile) && !atOp(";") && !atOp("}"))
@@ -1193,9 +1269,11 @@ NodeId Parser::parseAtom(NodeId Parent) {
 
 } // namespace
 
-ParseResult namer::java::parseJava(std::string_view Source, AstContext &Ctx) {
+ParseResult namer::java::parseJava(std::string_view Source, AstContext &Ctx,
+                                   const ParseOptions &Opts) {
   telemetry::TraceSpan Span("parse.java");
-  ParseResult Result = Parser(Source, Ctx).run();
+  faultinject::fire("parse.java");
+  ParseResult Result = Parser(Source, Ctx, Opts).run();
   if (telemetry::enabled()) {
     // Cached references: one registry lookup per process, not per file.
     static telemetry::Counter &Files =

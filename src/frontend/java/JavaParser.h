@@ -7,8 +7,10 @@
 /// casts, generics and arrays. Produces the same AST node vocabulary as the
 /// Python frontend so the pattern layer is language-agnostic.
 ///
-/// Error-tolerant: diagnostics are recorded and parsing resynchronizes at
-/// ';' or '}' boundaries.
+/// Error-tolerant: structured `frontend::Diag` records are kept (panic
+/// mode) and parsing resynchronizes at ';' or '}' boundaries. Recursion is
+/// bounded by ParseOptions::MaxNestingDepth — past the cap the parser
+/// emits error nodes and a DepthExceeded diagnostic instead of recursing.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,6 +18,7 @@
 #define NAMER_FRONTEND_JAVA_JAVAPARSER_H
 
 #include "ast/Tree.h"
+#include "frontend/Diag.h"
 
 #include <string>
 #include <string_view>
@@ -24,15 +27,30 @@
 namespace namer {
 namespace java {
 
+/// Knobs bounding one parse.
+struct ParseOptions {
+  /// Maximum recursion depth across nested declarations, statements and
+  /// expressions.
+  unsigned MaxNestingDepth = 192;
+};
+
+/// A parsed module plus recoverable diagnostics. Errors mirrors Diags in
+/// rendered form; programmatic consumers key on Diags' DiagKind taxonomy.
 struct ParseResult {
   Tree Module;
   std::vector<std::string> Errors;
+  std::vector<frontend::Diag> Diags;
+  /// Token count of the lexed file (resource-budget input).
+  size_t NumTokens = 0;
+  /// True when the nesting-depth guard fired at least once.
+  bool DepthExceeded = false;
 
   explicit ParseResult(AstContext &Ctx) : Module(Ctx) {}
 };
 
 /// Parses \p Source into a module tree allocated in \p Ctx.
-ParseResult parseJava(std::string_view Source, AstContext &Ctx);
+ParseResult parseJava(std::string_view Source, AstContext &Ctx,
+                      const ParseOptions &Opts = ParseOptions());
 
 } // namespace java
 } // namespace namer

@@ -2,6 +2,8 @@
 
 #include "frontend/python/PythonLexer.h"
 
+#include "support/FaultInjector.h"
+
 #include <cctype>
 
 using namespace namer;
@@ -31,7 +33,7 @@ public:
   LexResult run();
 
 private:
-  void error(const std::string &Message);
+  void error(frontend::DiagKind Kind, const std::string &Message);
   void lexLine();
   void handleIndent(size_t Spaces);
   void lexString(char Quote, bool Triple);
@@ -53,8 +55,10 @@ private:
   LexResult Result;
 };
 
-void Lexer::error(const std::string &Message) {
-  Result.Errors.push_back("line " + std::to_string(Line) + ": " + Message);
+void Lexer::error(frontend::DiagKind Kind, const std::string &Message) {
+  frontend::Diag D{Kind, Line, Message};
+  Result.Errors.push_back(frontend::renderDiag(D));
+  Result.Diags.push_back(std::move(D));
 }
 
 void Lexer::handleIndent(size_t Spaces) {
@@ -69,7 +73,7 @@ void Lexer::handleIndent(size_t Spaces) {
   }
   if (Spaces != IndentStack.back()) {
     // Inconsistent dedent: align to the nearest level and carry on.
-    error("inconsistent indentation");
+    error(frontend::DiagKind::LexBadIndent, "inconsistent indentation");
     IndentStack.push_back(Spaces);
   }
 }
@@ -96,7 +100,8 @@ void Lexer::lexString(char Quote, bool Triple) {
     }
     if (C == '\n') {
       if (!Triple) {
-        error("unterminated string literal");
+        error(frontend::DiagKind::LexUnterminatedString,
+              "unterminated string literal");
         push(TokenKind::String, std::move(Text));
         return;
       }
@@ -105,7 +110,8 @@ void Lexer::lexString(char Quote, bool Triple) {
     Text += C;
     ++Pos;
   }
-  error("unterminated string literal at end of file");
+  error(frontend::DiagKind::LexUnterminatedString,
+        "unterminated string literal at end of file");
   push(TokenKind::String, std::move(Text));
 }
 
@@ -225,7 +231,13 @@ LexResult Lexer::run() {
       ++Pos;
       continue;
     }
-    error(std::string("unexpected character '") + C + "'");
+    error(frontend::DiagKind::LexInvalidChar,
+          std::isprint(static_cast<unsigned char>(C))
+              ? std::string("unexpected character '") + C + "'"
+              : "unexpected byte 0x" + [](unsigned char B) {
+                  const char *Hex = "0123456789abcdef";
+                  return std::string{Hex[B >> 4], Hex[B & 15]};
+                }(static_cast<unsigned char>(C)));
     ++Pos;
   }
 
@@ -242,5 +254,6 @@ LexResult Lexer::run() {
 } // namespace
 
 LexResult namer::python::lexPython(std::string_view Source) {
+  faultinject::fire("lex.python");
   return Lexer(Source).run();
 }

@@ -11,6 +11,8 @@
 #ifndef NAMER_FRONTEND_PYTHON_PYTHONLEXER_H
 #define NAMER_FRONTEND_PYTHON_PYTHONLEXER_H
 
+#include "frontend/Diag.h"
+
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -37,9 +39,12 @@ struct Token {
 };
 
 /// Result of lexing one file: the token stream plus recoverable diagnostics.
+/// Errors carries the rendered strings (renderDiag) of Diags; consumers that
+/// need the taxonomy (quarantine, telemetry) read Diags.
 struct LexResult {
   std::vector<Token> Tokens;
   std::vector<std::string> Errors;
+  std::vector<frontend::Diag> Diags;
 };
 
 /// Lexes \p Source. Never fails hard: unknown characters are skipped with a

@@ -4,6 +4,7 @@
 
 #include "frontend/python/PythonLexer.h"
 
+#include "support/FaultInjector.h"
 #include "support/Telemetry.h"
 
 #include <cassert>
@@ -15,12 +16,14 @@ namespace {
 
 class Parser {
 public:
-  Parser(std::string_view Source, AstContext &Ctx)
-      : Ctx(Ctx), Result(Ctx), T(Result.Module) {
+  Parser(std::string_view Source, AstContext &Ctx, const ParseOptions &Opts)
+      : Ctx(Ctx), Opts(Opts), Result(Ctx), T(Result.Module) {
     LexResult Lexed = lexPython(Source);
     Tokens = std::move(Lexed.Tokens);
+    Result.NumTokens = Tokens.size();
     for (auto &E : Lexed.Errors)
       Result.Errors.push_back("lex: " + E);
+    Result.Diags = std::move(Lexed.Diags);
   }
 
   ParseResult run() {
@@ -62,9 +65,48 @@ private:
   }
   uint32_t line() const { return cur().Line; }
 
-  void error(const std::string &Message) {
-    Result.Errors.push_back("line " + std::to_string(cur().Line) + ": " +
-                            Message);
+  void error(const std::string &Message,
+             frontend::DiagKind Kind = frontend::DiagKind::ParseExpected) {
+    frontend::Diag D{Kind, cur().Line, Message};
+    Result.Errors.push_back(frontend::renderDiag(D));
+    Result.Diags.push_back(std::move(D));
+  }
+
+  /// Recursion-depth admission. Returns false past the cap, recording one
+  /// DepthExceeded diagnostic per file; the caller must then produce a
+  /// placeholder node WITHOUT recursing (and consume at least one token or
+  /// return into a loop that does, so parsing always makes progress).
+  bool enterDepth() {
+    if (Depth >= Opts.MaxNestingDepth) {
+      if (!Result.DepthExceeded) {
+        Result.DepthExceeded = true;
+        error("nesting deeper than " + std::to_string(Opts.MaxNestingDepth),
+              frontend::DiagKind::DepthExceeded);
+      }
+      return false;
+    }
+    ++Depth;
+    return true;
+  }
+
+  struct DepthGuard {
+    Parser &P;
+    bool Ok;
+    explicit DepthGuard(Parser &P) : P(P), Ok(P.enterDepth()) {}
+    ~DepthGuard() {
+      if (Ok)
+        --P.Depth;
+    }
+  };
+
+  /// Placeholder expression used when the depth guard refuses entry.
+  NodeId depthErrorExpr(NodeId Parent) {
+    NodeId Err = T.addNode(NodeKind::NameLoad, Parent, line());
+    addIdent("<error>", Err);
+    if (!at(TokenKind::Newline) && !at(TokenKind::EndOfFile) &&
+        !at(TokenKind::Dedent))
+      advance();
+    return Err;
   }
 
   /// Skips to just after the next Newline (or a Dedent/EOF), the standard
@@ -118,10 +160,12 @@ private:
   }
 
   AstContext &Ctx;
+  ParseOptions Opts;
   ParseResult Result;
   Tree &T;
   std::vector<Token> Tokens;
   size_t Pos = 0;
+  unsigned Depth = 0;
   /// Set while parsing a for-statement target so the comparison parser does
   /// not consume the 'in' keyword.
   bool NoIn = false;
@@ -182,6 +226,13 @@ void Parser::parseStatements(NodeId Parent, bool TopLevel) {
 }
 
 void Parser::parseStatement(NodeId Parent) {
+  DepthGuard Guard(*this);
+  if (!Guard.Ok) {
+    // Too deep to model: degrade the line to Pass and resynchronize.
+    T.addNode(NodeKind::Pass, Parent, line());
+    syncToNextLine();
+    return;
+  }
   // Decorators: consume the line, we don't model them.
   while (atOp("@")) {
     syncToNextLine();
@@ -306,6 +357,13 @@ void Parser::parseFunctionDef(NodeId Parent) {
 }
 
 void Parser::parseIf(NodeId Parent, bool IsElif) {
+  // Guarded separately from parseStatement: elif chains recurse directly.
+  DepthGuard Guard(*this);
+  if (!Guard.Ok) {
+    T.addNode(NodeKind::Pass, Parent, line());
+    syncToNextLine();
+    return;
+  }
   uint32_t Ln = line();
   advance(); // if / elif
   (void)IsElif;
@@ -641,6 +699,9 @@ NodeId Parser::parseExprList(NodeId Parent) {
 }
 
 NodeId Parser::parseExpr(NodeId Parent) {
+  DepthGuard Guard(*this);
+  if (!Guard.Ok)
+    return depthErrorExpr(Parent);
   if (atName("lambda")) {
     uint32_t Ln = line();
     advance();
@@ -703,6 +764,10 @@ NodeId Parser::parseAnd(NodeId Parent) {
 
 NodeId Parser::parseNot(NodeId Parent) {
   if (atName("not")) {
+    // Self-recursive ("not not ..."), so depth-guarded on its own.
+    DepthGuard Guard(*this);
+    if (!Guard.Ok)
+      return depthErrorExpr(Parent);
     uint32_t Ln = line();
     advance();
     NodeId Un = T.addNode(NodeKind::UnaryOp, Parent, Ln);
@@ -777,6 +842,10 @@ NodeId Parser::parseTerm(NodeId Parent) {
 
 NodeId Parser::parseFactor(NodeId Parent) {
   if (atOp("-") || atOp("+") || atOp("~")) {
+    // Self-recursive ("--~-x"), so depth-guarded on its own.
+    DepthGuard Guard(*this);
+    if (!Guard.Ok)
+      return depthErrorExpr(Parent);
     uint32_t Ln = line();
     std::string Op = cur().Text;
     advance();
@@ -1005,7 +1074,8 @@ NodeId Parser::parseAtom(NodeId Parent) {
       error("expected '}'");
     return Dict;
   }
-  error("unexpected token '" + cur().Text + "'");
+  error("unexpected token '" + cur().Text + "'",
+        frontend::DiagKind::ParseUnexpectedToken);
   NodeId Err = T.addNode(NodeKind::NameLoad, Parent, Ln);
   addIdent("<error>", Err);
   if (!at(TokenKind::Newline) && !at(TokenKind::EndOfFile))
@@ -1016,9 +1086,11 @@ NodeId Parser::parseAtom(NodeId Parent) {
 } // namespace
 
 ParseResult namer::python::parsePython(std::string_view Source,
-                                       AstContext &Ctx) {
+                                       AstContext &Ctx,
+                                       const ParseOptions &Opts) {
   telemetry::TraceSpan Span("parse.python");
-  ParseResult Result = Parser(Source, Ctx).run();
+  faultinject::fire("parse.python");
+  ParseResult Result = Parser(Source, Ctx, Opts).run();
   if (telemetry::enabled()) {
     // Cached references: one registry lookup per process, not per file.
     static telemetry::Counter &Files =

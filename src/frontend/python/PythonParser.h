@@ -7,9 +7,13 @@
 /// AST of Definition 3.1; statement-level trees are sliced from it with
 /// ast/Statements.h.
 ///
-/// The parser is error-tolerant: on a syntax error it records a diagnostic
-/// and resynchronizes at the next logical line, because the Big Code corpus
-/// must be minable even when individual files are malformed.
+/// The parser is error-tolerant: on a syntax error it records a structured
+/// `frontend::Diag` (panic mode) and resynchronizes at the next logical
+/// line, because the Big Code corpus must be minable even when individual
+/// files are malformed. Recursion is bounded by
+/// ParseOptions::MaxNestingDepth: past the cap the parser emits error
+/// nodes and a DepthExceeded diagnostic instead of recursing, so nesting
+/// bombs degrade gracefully rather than overflowing the stack.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,6 +21,7 @@
 #define NAMER_FRONTEND_PYTHON_PYTHONPARSER_H
 
 #include "ast/Tree.h"
+#include "frontend/Diag.h"
 
 #include <string>
 #include <string_view>
@@ -25,16 +30,31 @@
 namespace namer {
 namespace python {
 
-/// A parsed module plus recoverable diagnostics.
+/// Knobs bounding one parse; defaults are generous enough for any real
+/// source file (CPython itself caps nesting well below 200).
+struct ParseOptions {
+  /// Maximum recursion depth across nested statements and expressions.
+  unsigned MaxNestingDepth = 192;
+};
+
+/// A parsed module plus recoverable diagnostics. Errors mirrors Diags in
+/// rendered form (renderDiag) for display; programmatic consumers key on
+/// Diags' DiagKind taxonomy.
 struct ParseResult {
   Tree Module;
   std::vector<std::string> Errors;
+  std::vector<frontend::Diag> Diags;
+  /// Token count of the lexed file (resource-budget input).
+  size_t NumTokens = 0;
+  /// True when the nesting-depth guard fired at least once.
+  bool DepthExceeded = false;
 
   explicit ParseResult(AstContext &Ctx) : Module(Ctx) {}
 };
 
 /// Parses \p Source into a module tree allocated in \p Ctx.
-ParseResult parsePython(std::string_view Source, AstContext &Ctx);
+ParseResult parsePython(std::string_view Source, AstContext &Ctx,
+                        const ParseOptions &Opts = ParseOptions());
 
 } // namespace python
 } // namespace namer

@@ -273,6 +273,8 @@ std::string namer::findingsJson(const std::vector<Explanation> &Findings,
          ", \"use_classifier\": " +
          (Meta.UseClassifier ? "true" : "false") + "},\n";
   Out += "    \"git_rev\": " + str(Meta.GitRev) + ",\n";
+  Out += "    \"quarantined_files\": " +
+         std::to_string(Meta.QuarantinedFiles) + ",\n";
   Out += "    \"schema_version\": " + std::to_string(kFindingsSchemaVersion) +
          ",\n";
   Out += "    \"tool\": " + str(Meta.Tool) + ",\n";

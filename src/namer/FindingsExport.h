@@ -47,6 +47,9 @@ struct ExportMeta {
   std::string Lang = "python";
   bool UseClassifier = true;
   size_t MaxReports = 0;
+  /// Files the pipeline quarantined (skipped) during ingestion. Part of
+  /// the meta block so a findings file is explicit about reduced coverage.
+  size_t QuarantinedFiles = 0;
 };
 
 /// The canonical report order: (file, line, original, suggested, kind).

@@ -1,0 +1,94 @@
+//===- namer/Ingest.cpp ---------------------------------------------------==//
+
+#include "namer/Ingest.h"
+
+#include "support/TextTable.h"
+
+#include <cstdio>
+
+using namespace namer;
+using namespace namer::ingest;
+
+const char *namer::ingest::ingestErrorKindName(IngestErrorKind Kind) {
+  switch (Kind) {
+  case IngestErrorKind::FileTooLarge:
+    return "file-too-large";
+  case IngestErrorKind::TokenBudget:
+    return "token-budget";
+  case IngestErrorKind::NodeBudget:
+    return "node-budget";
+  case IngestErrorKind::DepthBudget:
+    return "depth-budget";
+  case IngestErrorKind::Deadline:
+    return "deadline";
+  case IngestErrorKind::WorkerException:
+    return "worker-exception";
+  }
+  return "unknown";
+}
+
+std::vector<size_t> QuarantineLog::countsByKind() const {
+  std::vector<size_t> Counts(kNumIngestErrorKinds, 0);
+  for (const QuarantineRecord &R : Records)
+    ++Counts[static_cast<size_t>(R.Kind)];
+  return Counts;
+}
+
+std::string QuarantineLog::summaryTable() const {
+  TextTable Table;
+  Table.setHeader({"File", "Kind", "Offset", "Detail"});
+  for (const QuarantineRecord &R : Records)
+    Table.addRow({R.File, ingestErrorKindName(R.Kind),
+                  std::to_string(R.ByteOffset), R.Detail});
+  return Table.render();
+}
+
+namespace {
+
+std::string jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string QuarantineLog::json() const {
+  std::string Out = "[";
+  bool First = true;
+  for (const QuarantineRecord &R : Records) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += "{\"byte_offset\": " + std::to_string(R.ByteOffset) +
+           ", \"detail\": \"" + jsonEscape(R.Detail) + "\", \"file\": \"" +
+           jsonEscape(R.File) + "\", \"kind\": \"" +
+           ingestErrorKindName(R.Kind) + "\"}";
+  }
+  Out += "]";
+  return Out;
+}

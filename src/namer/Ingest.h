@@ -1,0 +1,103 @@
+//===- namer/Ingest.h - Ingestion resource budgets and quarantine -*- C++ -*-=//
+///
+/// \file
+/// Hardened-ingestion support: per-file resource budgets and the quarantine
+/// log. The Big Code corpus is adversarial by volume alone — generated
+/// files, minified blobs, nesting bombs, editor artifacts — so the pipeline
+/// treats every per-file failure as data, not as a crash: the file is
+/// skipped, the reason is recorded here, and the run carries on.
+///
+/// Determinism: whether a file is quarantined depends only on the file's
+/// content and the configured limits (the wall-clock deadline guard is the
+/// one exception and ships disabled), and the log is filled in corpus order
+/// by the sequential commit phase — so the quarantine set, and therefore
+/// every downstream id and finding, is bitwise identical at every thread
+/// count. See DESIGN.md, "Fault tolerance".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_NAMER_INGEST_H
+#define NAMER_NAMER_INGEST_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace namer {
+namespace ingest {
+
+/// Why a file was quarantined. Keep ingestErrorKindName in sync.
+enum class IngestErrorKind : uint8_t {
+  FileTooLarge,    ///< byte size over IngestLimits::MaxFileBytes
+  TokenBudget,     ///< token count over IngestLimits::MaxTokens
+  NodeBudget,      ///< AST node count over IngestLimits::MaxAstNodes
+  DepthBudget,     ///< parser nesting-depth guard fired
+  Deadline,        ///< per-file deadline elapsed (opt-in, nondeterministic)
+  WorkerException, ///< exception escaped the per-file worker task
+};
+
+constexpr size_t kNumIngestErrorKinds = 6;
+
+/// Stable kebab-case name, e.g. "file-too-large"; used for telemetry
+/// counter suffixes and JSON output.
+const char *ingestErrorKindName(IngestErrorKind Kind);
+
+/// Per-file resource budgets enforced during ingestion. Defaults admit any
+/// plausible hand-written source file; they exist to bound the damage of
+/// generated or adversarial inputs.
+struct IngestLimits {
+  /// Files larger than this many bytes are quarantined unparsed.
+  size_t MaxFileBytes = 4u << 20; // 4 MiB
+  /// Lexed token budget (checked after lexing, before analyses).
+  size_t MaxTokens = 1u << 20;
+  /// AST node budget (checked after parsing, before analyses).
+  size_t MaxAstNodes = 2u << 20;
+  /// Parser recursion cap, forwarded to the frontends' ParseOptions. A
+  /// file whose parse trips the guard is quarantined as DepthBudget.
+  unsigned MaxNestingDepth = 192;
+  /// Wall-clock budget per file in milliseconds; 0 disables the check.
+  /// The ONLY nondeterministic guard — off by default so byte-identity
+  /// across thread counts holds; see DESIGN.md before enabling.
+  uint64_t FileDeadlineMillis = 0;
+};
+
+/// One quarantined file. ByteOffset is the position the budget tripped at
+/// when that is meaningful (FileTooLarge: the byte cap), 0 otherwise.
+struct QuarantineRecord {
+  std::string File;
+  IngestErrorKind Kind = IngestErrorKind::WorkerException;
+  size_t ByteOffset = 0;
+  std::string Detail;
+};
+
+/// Quarantined files of one build, in corpus order (filled by the
+/// sequential commit phase, so identical at every thread count).
+class QuarantineLog {
+public:
+  void add(QuarantineRecord Record) {
+    Records.push_back(std::move(Record));
+  }
+  void clear() { Records.clear(); }
+  bool empty() const { return Records.empty(); }
+  size_t size() const { return Records.size(); }
+  const std::vector<QuarantineRecord> &records() const { return Records; }
+
+  /// Per-kind counts, indexed by IngestErrorKind.
+  std::vector<size_t> countsByKind() const;
+
+  /// Aligned console summary (one row per quarantined file).
+  std::string summaryTable() const;
+
+  /// Deterministic JSON array, records in corpus order with sorted keys:
+  /// [{"byte_offset":N,"detail":"...","file":"...","kind":"..."},...]
+  std::string json() const;
+
+private:
+  std::vector<QuarantineRecord> Records;
+};
+
+} // namespace ingest
+} // namespace namer
+
+#endif // NAMER_NAMER_INGEST_H

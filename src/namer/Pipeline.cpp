@@ -6,12 +6,14 @@
 #include "frontend/java/JavaParser.h"
 #include "frontend/python/PythonParser.h"
 #include "pattern/PatternIndex.h"
+#include "support/FaultInjector.h"
 #include "support/Hashing.h"
 #include "support/Telemetry.h"
 #include "transform/AstPlus.h"
 
 #include <cassert>
 #include <chrono>
+#include <optional>
 #include <unordered_set>
 
 using namespace namer;
@@ -35,46 +37,120 @@ struct PreStmt {
 
 /// Per-file result of the parallel ingest stage. LocalCtx owns the interner
 /// the path symbols refer to; it is kept alive until the sequential commit
-/// translates them into the pipeline's global interner.
+/// translates them into the pipeline's global interner. A set Quarantine
+/// means the file was skipped: no statements, no FileId.
 struct FileIngest {
   std::unique_ptr<AstContext> LocalCtx;
   std::vector<PreStmt> Stmts;
   size_t Errors = 0;
   double Millis = 0.0;
+  std::optional<ingest::QuarantineRecord> Quarantine;
 };
 
 Tree parseInto(const std::string &Text, corpus::Language Lang,
-               AstContext &Ctx, size_t *Errors = nullptr) {
+               AstContext &Ctx) {
+  if (Lang == corpus::Language::Python)
+    return std::move(python::parsePython(Text, Ctx).Module);
+  return std::move(java::parseJava(Text, Ctx).Module);
+}
+
+/// Parse metadata the resource guards key on, with the module tree.
+struct ParsedModule {
+  Tree Module;
+  size_t Errors = 0;
+  size_t NumTokens = 0;
+  bool DepthExceeded = false;
+};
+
+ParsedModule parseModule(const std::string &Text, corpus::Language Lang,
+                         AstContext &Ctx, unsigned MaxNestingDepth) {
   if (Lang == corpus::Language::Python) {
-    auto R = python::parsePython(Text, Ctx);
-    if (Errors)
-      *Errors = R.Errors.size();
-    return std::move(R.Module);
+    python::ParseOptions Opts;
+    Opts.MaxNestingDepth = MaxNestingDepth;
+    auto R = python::parsePython(Text, Ctx, Opts);
+    return ParsedModule{std::move(R.Module), R.Errors.size(), R.NumTokens,
+                        R.DepthExceeded};
   }
-  auto R = java::parseJava(Text, Ctx);
-  if (Errors)
-    *Errors = R.Errors.size();
-  return std::move(R.Module);
+  java::ParseOptions Opts;
+  Opts.MaxNestingDepth = MaxNestingDepth;
+  auto R = java::parseJava(Text, Ctx, Opts);
+  return ParsedModule{std::move(R.Module), R.Errors.size(), R.NumTokens,
+                      R.DepthExceeded};
 }
 
 /// The per-file hot path: parse, Section 4.1 analyses, AST+ transform,
 /// statement projection, name-path extraction. Pure aside from its own
-/// local context, so files ingest in parallel.
+/// local context, so files ingest in parallel. Resource guards run between
+/// phases; an over-budget file comes back quarantined instead of ingested.
 FileIngest ingestOneFile(const corpus::SourceFile &File,
                          corpus::Language Lang,
                          const WellKnownRegistry &Registry,
                          const PipelineConfig &Config) {
   telemetry::TraceSpan FileSpan("ingest.file");
   auto Start = std::chrono::steady_clock::now();
+  const ingest::IngestLimits &Limits = Config.Limits;
   FileIngest Out;
-  Out.LocalCtx = std::make_unique<AstContext>();
 
-  Tree Module = parseInto(File.Text, Lang, *Out.LocalCtx, &Out.Errors);
+  auto Elapsed = [&Start] {
+    auto Now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(Now - Start).count();
+  };
+  auto Quarantined = [&](ingest::IngestErrorKind Kind, size_t ByteOffset,
+                         std::string Detail) {
+    Out.Quarantine = ingest::QuarantineRecord{File.Path, Kind, ByteOffset,
+                                              std::move(Detail)};
+    Out.LocalCtx.reset();
+    Out.Stmts.clear();
+    Out.Millis = Elapsed();
+    return std::move(Out);
+  };
+  auto OverDeadline = [&] {
+    return Limits.FileDeadlineMillis != 0 &&
+           Elapsed() > static_cast<double>(Limits.FileDeadlineMillis);
+  };
+
+  // Injected faults at this site map onto the budget/deadline error paths;
+  // Throw-kind faults propagate to the worker's catch clause instead.
+  if (auto Kind = faultinject::fire("pipeline.ingest")) {
+    if (*Kind == faultinject::FaultKind::Timeout)
+      return Quarantined(ingest::IngestErrorKind::Deadline, 0, "injected");
+    return Quarantined(ingest::IngestErrorKind::NodeBudget, 0, "injected");
+  }
+
+  if (File.Text.size() > Limits.MaxFileBytes)
+    return Quarantined(ingest::IngestErrorKind::FileTooLarge,
+                       Limits.MaxFileBytes,
+                       std::to_string(File.Text.size()) + " bytes");
+
+  Out.LocalCtx = std::make_unique<AstContext>();
+  ParsedModule Parsed =
+      parseModule(File.Text, Lang, *Out.LocalCtx, Limits.MaxNestingDepth);
+  Out.Errors = Parsed.Errors;
+  if (Parsed.NumTokens > Limits.MaxTokens)
+    return Quarantined(ingest::IngestErrorKind::TokenBudget, 0,
+                       std::to_string(Parsed.NumTokens) + " tokens");
+  if (Parsed.DepthExceeded)
+    return Quarantined(ingest::IngestErrorKind::DepthBudget, 0,
+                       "nesting deeper than " +
+                           std::to_string(Limits.MaxNestingDepth));
+  if (Parsed.Module.size() > Limits.MaxAstNodes)
+    return Quarantined(ingest::IngestErrorKind::NodeBudget, 0,
+                       std::to_string(Parsed.Module.size()) + " AST nodes");
+  if (OverDeadline())
+    return Quarantined(ingest::IngestErrorKind::Deadline, 0,
+                       "parse exceeded " +
+                           std::to_string(Limits.FileDeadlineMillis) + " ms");
+
+  Tree Module = std::move(Parsed.Module);
 
   OriginMap Origins;
   if (Config.UseAnalyses)
     Origins = computeOrigins(Module, Registry, Config.Analysis).Origins;
   transformToAstPlus(Module, Origins);
+  if (OverDeadline())
+    return Quarantined(ingest::IngestErrorKind::Deadline, 0,
+                       "analyses exceeded " +
+                           std::to_string(Limits.FileDeadlineMillis) + " ms");
 
   telemetry::TraceSpan PathSpan("namepath.extract");
   for (NodeId Root : collectStatementRoots(Module)) {
@@ -156,7 +232,25 @@ void NamerPipeline::build(const corpus::Corpus &C) {
   {
     telemetry::TraceSpan Span("pipeline.ingest");
     Pool->parallelFor(0, Files.size(), [&](size_t I) {
-      Ingested[I] = ingestOneFile(*Files[I], C.Lang, Registry, Config);
+      // Exceptions must not escape the worker body: parallelFor would
+      // rethrow the first one and abort the whole build. Catch here and
+      // attribute the failure to the owning file instead.
+      faultinject::ScopedKey Key(Files[I]->Path);
+      try {
+        Ingested[I] = ingestOneFile(*Files[I], C.Lang, Registry, Config);
+      } catch (const std::exception &E) {
+        FileIngest Fail;
+        Fail.Quarantine = ingest::QuarantineRecord{
+            Files[I]->Path, ingest::IngestErrorKind::WorkerException, 0,
+            E.what()};
+        Ingested[I] = std::move(Fail);
+      } catch (...) {
+        FileIngest Fail;
+        Fail.Quarantine = ingest::QuarantineRecord{
+            Files[I]->Path, ingest::IngestErrorKind::WorkerException, 0,
+            "unknown exception"};
+        Ingested[I] = std::move(Fail);
+      }
     });
   }
 
@@ -164,6 +258,13 @@ void NamerPipeline::build(const corpus::Corpus &C) {
     telemetry::TraceSpan CommitSpan("pipeline.commit");
     for (size_t I = 0; I != Ingested.size(); ++I) {
       FileIngest &Slot = Ingested[I];
+      if (Slot.Quarantine) {
+        // Quarantined: no FileId, no statements. Recording here, in the
+        // sequential corpus-order loop, keeps the log deterministic.
+        Quarantine.add(std::move(*Slot.Quarantine));
+        Slot = FileIngest();
+        continue;
+      }
       ParseErrors += Slot.Errors;
       TotalBuildMillis += Slot.Millis;
       FileId FId = static_cast<FileId>(FilePaths.size());
@@ -185,6 +286,19 @@ void NamerPipeline::build(const corpus::Corpus &C) {
     }
   }
   telemetry::count("pipeline.statements", Statements.size());
+  // Register the ingest-health counters even when zero so dashboards and
+  // golden snapshots can assert their presence on every run. This also
+  // exports the per-file parse-error total that numParseErrors() tracks.
+  telemetry::count("ingest.parse-errors", ParseErrors);
+  telemetry::count("ingest.quarantined", Quarantine.size());
+  {
+    std::vector<size_t> ByKind = Quarantine.countsByKind();
+    for (size_t K = 0; K != ingest::kNumIngestErrorKinds; ++K)
+      telemetry::count("ingest.error." +
+                           std::string(ingest::ingestErrorKindName(
+                               static_cast<ingest::IngestErrorKind>(K))),
+                       ByKind[K]);
+  }
 
   // Phase 2: confusing word pairs from the commit history -- parallel
   // diffing (each commit parsed against its own local context), sequential
@@ -192,16 +306,33 @@ void NamerPipeline::build(const corpus::Corpus &C) {
   {
     telemetry::TraceSpan HistSpan("pipeline.histmine");
     std::vector<std::vector<RenamedSubtoken>> Renames(C.Commits.size());
+    std::vector<uint8_t> Failed(C.Commits.size(), 0);
     Pool->parallelFor(0, C.Commits.size(), [&](size_t I) {
-      AstContext Local;
-      Tree Before = parseInto(C.Commits[I].Before, C.Lang, Local);
-      Tree After = parseInto(C.Commits[I].After, C.Lang, Local);
-      Renames[I] = ConfusingPairMiner::collectRenames(Before, After);
+      // A commit that cannot be diffed contributes no renames; it must not
+      // take the build down (same contract as per-file ingestion).
+      faultinject::ScopedKey Key("commit:" + std::to_string(I));
+      try {
+        if (faultinject::fire("pipeline.histmine")) {
+          Failed[I] = 1;
+          return;
+        }
+        AstContext Local;
+        Tree Before = parseInto(C.Commits[I].Before, C.Lang, Local);
+        Tree After = parseInto(C.Commits[I].After, C.Lang, Local);
+        Renames[I] = ConfusingPairMiner::collectRenames(Before, After);
+      } catch (const std::exception &) {
+        Renames[I].clear();
+        Failed[I] = 1;
+      }
     });
     for (const std::vector<RenamedSubtoken> &CommitRenames : Renames)
       for (const RenamedSubtoken &R : CommitRenames)
         Pairs->addRename(R.Mistaken, R.Correct);
+    size_t HistErrors = 0;
+    for (uint8_t F : Failed)
+      HistErrors += F;
     telemetry::count("histmine.commits", C.Commits.size());
+    telemetry::count("histmine.errors", HistErrors);
     telemetry::count("histmine.pairs", Pairs->numPairs());
   }
 

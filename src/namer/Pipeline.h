@@ -27,6 +27,7 @@
 #include "classifier/DefectClassifier.h"
 #include "corpus/Corpus.h"
 #include "histmine/ConfusingPairs.h"
+#include "namer/Ingest.h"
 #include "pattern/Miner.h"
 #include "support/ThreadPool.h"
 
@@ -55,6 +56,9 @@ struct PipelineConfig {
   MinerConfig Miner;
   AnalysisConfig Analysis;
   DefectClassifier::Config Classifier;
+  /// Per-file resource budgets; files over budget are quarantined, not
+  /// fatal. See Ingest.h and DESIGN.md, "Fault tolerance".
+  ingest::IngestLimits Limits;
   uint64_t Seed = 7;
   /// Worker threads for the data-parallel stages (per-file ingestion,
   /// per-commit diffing, per-statement matching, feature extraction).
@@ -125,6 +129,12 @@ public:
   size_t numReposWithViolations() const { return ReposWithViolations; }
   size_t numParseErrors() const { return ParseErrors; }
 
+  /// Files skipped by the last build() — failed or over-budget, recorded in
+  /// corpus order. Quarantined files get no FileId and contribute no
+  /// statements, so the log never perturbs downstream ids.
+  const ingest::QuarantineLog &quarantine() const { return Quarantine; }
+  size_t numQuarantined() const { return Quarantine.size(); }
+
   /// Mean per-file parse+analysis+extraction time in milliseconds (sum of
   /// per-file worker time over files; on a multicore pool this exceeds the
   /// elapsed wall time).
@@ -158,6 +168,7 @@ private:
   size_t FilesWithViolations = 0;
   size_t ReposWithViolations = 0;
   size_t ParseErrors = 0;
+  ingest::QuarantineLog Quarantine;
   double TotalBuildMillis = 0.0;
   double BuildWallMillis = 0.0;
 };

@@ -1,0 +1,134 @@
+//===- support/FaultInjector.cpp ------------------------------------------==//
+
+#include "support/FaultInjector.h"
+
+#if NAMER_FAULT_INJECTION
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace namer {
+namespace faultinject {
+namespace {
+
+struct SeededRule {
+  std::string Site;
+  uint64_t Seed;
+  uint64_t Threshold; // fires iff hash(Seed, Site, Key) % 1'000'000 < this
+  FaultKind Kind;
+};
+
+struct Registry {
+  std::mutex Mu;
+  // Exact (site, key) -> kind.
+  std::map<std::pair<std::string, std::string>, FaultKind> Exact;
+  std::vector<SeededRule> Seeded;
+  std::atomic<uint64_t> Fired{0};
+  std::atomic<bool> Armed{false};
+};
+
+Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+thread_local std::string CurrentKey;
+
+/// FNV-1a over (Seed, Site, '\0', Key) — deterministic across runs,
+/// platforms and call order.
+uint64_t mixHash(uint64_t Seed, std::string_view Site, std::string_view Key) {
+  uint64_t H = 14695981039346656037ull ^ Seed;
+  auto Feed = [&H](std::string_view S) {
+    for (char C : S) {
+      H ^= static_cast<unsigned char>(C);
+      H *= 1099511628211ull;
+    }
+  };
+  Feed(Site);
+  H ^= 0xff;
+  H *= 1099511628211ull;
+  Feed(Key);
+  return H;
+}
+
+} // namespace
+
+void arm(std::string_view Site, std::string_view Key, FaultKind Kind) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Exact[{std::string(Site), std::string(Key)}] = Kind;
+  R.Armed.store(true, std::memory_order_release);
+}
+
+void armSeeded(std::string_view Site, uint64_t Seed, double Rate,
+               FaultKind Kind) {
+  if (Rate <= 0)
+    return;
+  uint64_t Threshold =
+      Rate >= 1.0 ? 1000000ull : static_cast<uint64_t>(Rate * 1000000.0);
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Seeded.push_back(SeededRule{std::string(Site), Seed, Threshold, Kind});
+  R.Armed.store(true, std::memory_order_release);
+}
+
+void disarm() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Exact.clear();
+  R.Seeded.clear();
+  R.Fired.store(0, std::memory_order_relaxed);
+  R.Armed.store(false, std::memory_order_release);
+}
+
+void setKey(std::string_view Key) { CurrentKey.assign(Key); }
+
+ScopedKey::ScopedKey(std::string_view Key) : Saved(CurrentKey) {
+  CurrentKey.assign(Key);
+}
+
+ScopedKey::~ScopedKey() { CurrentKey = std::move(Saved); }
+
+std::optional<FaultKind> fire(const char *Site) {
+  Registry &R = registry();
+  // Fast path: nothing armed anywhere.
+  if (!R.Armed.load(std::memory_order_acquire))
+    return std::nullopt;
+
+  std::optional<FaultKind> Hit;
+  {
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    auto It = R.Exact.find({Site, CurrentKey});
+    if (It != R.Exact.end()) {
+      Hit = It->second;
+    } else {
+      for (const SeededRule &Rule : R.Seeded) {
+        if (Rule.Site != Site)
+          continue;
+        if (mixHash(Rule.Seed, Rule.Site, CurrentKey) % 1000000ull <
+            Rule.Threshold) {
+          Hit = Rule.Kind;
+          break;
+        }
+      }
+    }
+  }
+  if (!Hit)
+    return std::nullopt;
+  R.Fired.fetch_add(1, std::memory_order_relaxed);
+  if (*Hit == FaultKind::Throw)
+    throw InjectedFault(Site, CurrentKey);
+  return Hit;
+}
+
+uint64_t firedCount() {
+  return registry().Fired.load(std::memory_order_relaxed);
+}
+
+} // namespace faultinject
+} // namespace namer
+
+#endif // NAMER_FAULT_INJECTION

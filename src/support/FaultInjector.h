@@ -1,0 +1,138 @@
+//===- support/FaultInjector.h - Deterministic fault injection --*- C++ -*-==//
+//
+// Part of the Namer reproduction of "Learning to Find Naming Issues with Big
+// Code and Small Supervision" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded, compile-time-gated fault-injection registry used to prove the
+/// ingestion pipeline's fault-tolerance contract: with faults forced on
+/// specific files, `NamerPipeline::build` must quarantine exactly those
+/// files and emit bitwise-identical output over the survivors at every
+/// thread count.
+///
+/// **Gate.** Everything here is compiled out unless `NAMER_FAULT_INJECTION`
+/// is 1 (CMake option of the same name, default OFF; the `asan` preset
+/// turns it ON). In the OFF configuration every call below is an empty
+/// inline body — production binaries carry no registry, no thread-local
+/// key, and no branch at the sites.
+///
+/// **Sites.** Instrumented code calls `fire("<site>")` at a named point;
+/// the convention is the owning span name (`lex.python`, `parse.java`,
+/// `pipeline.ingest`, `pipeline.histmine`). Whether a site fires is a pure
+/// function of (site, current key, armed rules) — never of scheduling —
+/// so injection decisions are identical at Threads=1 and Threads=8.
+///
+/// **Keys.** The pipeline scopes each worker task with a `ScopedKey`
+/// naming the unit of work (the file path during ingest, the commit index
+/// during history mining); sites read the thread-local key. Tests arm
+/// exact (site, key) pairs, or seed a pseudo-random rule that selects keys
+/// by `hash(seed, site, key)` — deterministic across runs and schedules.
+///
+/// **Kinds.** `Throw` makes the site throw `InjectedFault` (exercising
+/// worker-exception attribution); `Timeout` and `BudgetExhausted` are
+/// returned from `fire()` for the ingest site to map onto its deadline /
+/// budget error paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_SUPPORT_FAULTINJECTOR_H
+#define NAMER_SUPPORT_FAULTINJECTOR_H
+
+#ifndef NAMER_FAULT_INJECTION
+#define NAMER_FAULT_INJECTION 0
+#endif
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace namer {
+namespace faultinject {
+
+/// What an armed site does when it fires.
+enum class FaultKind : uint8_t {
+  Throw,           ///< site throws InjectedFault
+  Timeout,         ///< ingest maps this to its deadline-exceeded path
+  BudgetExhausted, ///< ingest maps this to its resource-budget path
+};
+
+/// Thrown by a site armed with FaultKind::Throw. Defined unconditionally
+/// so catch clauses compile in both configurations.
+class InjectedFault : public std::runtime_error {
+public:
+  InjectedFault(std::string Site, std::string Key)
+      : std::runtime_error("injected fault at " + Site + " [" + Key + "]"),
+        SiteName(std::move(Site)), KeyName(std::move(Key)) {}
+  const std::string &site() const { return SiteName; }
+  const std::string &key() const { return KeyName; }
+
+private:
+  std::string SiteName, KeyName;
+};
+
+#if NAMER_FAULT_INJECTION
+
+/// Arms one exact (site, key) pair. Replaces any previous rule for it.
+void arm(std::string_view Site, std::string_view Key, FaultKind Kind);
+
+/// Arms a seeded rule on \p Site: a key fires iff
+/// hash(Seed, Site, key) mod 1e6 < Rate * 1e6. Deterministic in the key,
+/// independent of call order and thread count.
+void armSeeded(std::string_view Site, uint64_t Seed, double Rate,
+               FaultKind Kind);
+
+/// Removes every armed rule and zeroes the fired counter.
+void disarm();
+
+/// Sets the calling thread's current work-unit key ("" clears).
+void setKey(std::string_view Key);
+
+/// RAII key scope for one worker task.
+class ScopedKey {
+public:
+  explicit ScopedKey(std::string_view Key);
+  ~ScopedKey();
+  ScopedKey(const ScopedKey &) = delete;
+  ScopedKey &operator=(const ScopedKey &) = delete;
+
+private:
+  std::string Saved;
+};
+
+/// The site check. Returns the armed kind for (Site, current key) if any;
+/// throws InjectedFault instead when that kind is Throw. \p Site must be a
+/// string literal (stored by pointer in rules lookups, copied on fire).
+std::optional<FaultKind> fire(const char *Site);
+
+/// Number of times any site fired since the last disarm().
+uint64_t firedCount();
+
+constexpr bool compiledIn() { return true; }
+
+#else // !NAMER_FAULT_INJECTION: all no-ops, compiled out entirely.
+
+inline void arm(std::string_view, std::string_view, FaultKind) {}
+inline void armSeeded(std::string_view, uint64_t, double, FaultKind) {}
+inline void disarm() {}
+inline void setKey(std::string_view) {}
+
+class ScopedKey {
+public:
+  explicit ScopedKey(std::string_view) {}
+};
+
+inline std::optional<FaultKind> fire(const char *) { return std::nullopt; }
+inline uint64_t firedCount() { return 0; }
+
+constexpr bool compiledIn() { return false; }
+
+#endif // NAMER_FAULT_INJECTION
+
+} // namespace faultinject
+} // namespace namer
+
+#endif // NAMER_SUPPORT_FAULTINJECTOR_H

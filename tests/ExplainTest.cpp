@@ -480,6 +480,7 @@ TEST(ExportGolden, FindingsBytes) {
   "meta": {
     "config": {"lang": "python", "max_reports": 50, "use_classifier": true},
     "git_rev": "deadbeef",
+    "quarantined_files": 0,
     "schema_version": 1,
     "tool": "namer-scan",
     "tool_version": "1.0.0"

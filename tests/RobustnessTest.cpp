@@ -4,19 +4,33 @@
 // input without crashing, and the Datalog engine must agree with a naive
 // reference evaluator on randomized programs.
 //
+// The hardened-ingestion sections below pin the fault-tolerance contract
+// (DESIGN.md, "Fault tolerance"): the on-disk adversarial corpus and
+// generated nesting/identifier bombs parse without crashing and land in
+// the right DiagKind taxonomy; resource budgets quarantine exactly the
+// offending files; and both the budget and the fault-injection paths stay
+// bitwise deterministic across thread counts.
+//
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Origins.h"
 #include "analysis/datalog/Datalog.h"
 #include "frontend/java/JavaParser.h"
 #include "frontend/python/PythonParser.h"
+#include "namer/FindingsExport.h"
+#include "namer/Pipeline.h"
+#include "support/FaultInjector.h"
 #include "support/Rng.h"
 #include "transform/AstPlus.h"
 
 #include <gtest/gtest.h>
 
 #include <array>
+#include <filesystem>
+#include <fstream>
+#include <memory>
 #include <set>
+#include <sstream>
 
 using namespace namer;
 using namespace namer::datalog;
@@ -102,6 +116,323 @@ TEST(FrontendFuzz, RandomTokenSoup) {
   }
   SUCCEED();
 }
+
+// --- Adversarial corpus: the on-disk torture files ----------------------------
+
+namespace {
+
+std::string readFileBytes(const std::filesystem::path &P) {
+  std::ifstream In(P, std::ios::binary);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+/// Parses \p Text with the frontend matching \p Ext and returns the diag
+/// kinds it produced. Every call also drives the downstream transform so
+/// the whole single-file path is exercised, not just the parser.
+std::set<frontend::DiagKind> parseAdversarial(const std::string &Ext,
+                                              const std::string &Text) {
+  AstContext Ctx;
+  std::set<frontend::DiagKind> Kinds;
+  if (Ext == ".py") {
+    auto R = python::parsePython(Text, Ctx);
+    EXPECT_FALSE(R.Module.empty());
+    for (const frontend::Diag &D : R.Diags)
+      Kinds.insert(D.Kind);
+    auto Origins = computeOrigins(R.Module, WellKnownRegistry::forPython());
+    transformToAstPlus(R.Module, Origins.Origins);
+  } else {
+    auto R = java::parseJava(Text, Ctx);
+    EXPECT_FALSE(R.Module.empty());
+    for (const frontend::Diag &D : R.Diags)
+      Kinds.insert(D.Kind);
+    auto Origins = computeOrigins(R.Module, WellKnownRegistry::forJava());
+    transformToAstPlus(R.Module, Origins.Origins);
+  }
+  return Kinds;
+}
+
+} // namespace
+
+TEST(AdversarialCorpus, EveryFileParsesAndClassifiesCorrectly) {
+  namespace fs = std::filesystem;
+  fs::path Dir(NAMER_ADVERSARIAL_DIR);
+  ASSERT_TRUE(fs::is_directory(Dir)) << Dir;
+
+  std::set<frontend::DiagKind> Seen;
+  size_t NumFiles = 0;
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir)) {
+    std::string Ext = E.path().extension().string();
+    if (Ext != ".py" && Ext != ".java")
+      continue;
+    ++NumFiles;
+    std::string Text = readFileBytes(E.path());
+    ASSERT_FALSE(Text.empty()) << E.path();
+    std::set<frontend::DiagKind> Kinds = parseAdversarial(Ext, Text);
+    EXPECT_FALSE(Kinds.empty())
+        << E.path() << ": adversarial input produced no diagnostics";
+    Seen.insert(Kinds.begin(), Kinds.end());
+  }
+  ASSERT_GE(NumFiles, 6u) << "adversarial corpus went missing";
+
+  // The corpus is built to cover the lexer side of the taxonomy plus the
+  // depth guard; a regression that stops classifying one of these shows up
+  // here by kind, not by message string.
+  EXPECT_TRUE(Seen.count(frontend::DiagKind::LexInvalidChar));
+  EXPECT_TRUE(Seen.count(frontend::DiagKind::LexUnterminatedString));
+  EXPECT_TRUE(Seen.count(frontend::DiagKind::LexUnterminatedComment));
+  EXPECT_TRUE(Seen.count(frontend::DiagKind::DepthExceeded));
+}
+
+TEST(AdversarialGenerated, TenThousandDeepNestingDegradesGracefully) {
+  // 10k-deep nesting bombs: the depth guard must emit error nodes instead
+  // of recursing (a stack overflow here crashes the whole test binary).
+  std::string PyBomb =
+      "x = " + std::string(10000, '(') + "1" + std::string(10000, ')') + "\n";
+  {
+    AstContext Ctx;
+    auto R = python::parsePython(PyBomb, Ctx);
+    EXPECT_TRUE(R.DepthExceeded);
+    bool HasDepthDiag = false;
+    for (const frontend::Diag &D : R.Diags)
+      HasDepthDiag |= D.Kind == frontend::DiagKind::DepthExceeded;
+    EXPECT_TRUE(HasDepthDiag);
+  }
+  std::string JavaBomb = "class C { int x = " + std::string(10000, '(') +
+                         "1" + std::string(10000, ')') + "; }\n";
+  {
+    AstContext Ctx;
+    auto R = java::parseJava(JavaBomb, Ctx);
+    EXPECT_TRUE(R.DepthExceeded);
+  }
+}
+
+TEST(AdversarialGenerated, FiveMegabyteIdentifierLexes) {
+  std::string Huge(5u << 20, 'a');
+  {
+    AstContext Ctx;
+    auto R = python::parsePython(Huge + " = 1\n", Ctx);
+    EXPECT_FALSE(R.Module.empty());
+    EXPECT_FALSE(R.DepthExceeded);
+  }
+  {
+    AstContext Ctx;
+    auto R = java::parseJava("class C { int " + Huge + " = 1; }\n", Ctx);
+    EXPECT_FALSE(R.Module.empty());
+  }
+}
+
+// --- Ingestion budgets: quarantine taxonomy and thread determinism ------------
+
+namespace {
+
+/// A handcrafted corpus: nine well-formed files plus one per budget kind,
+/// at known paths, so quarantine assertions can be exact.
+corpus::Corpus makeBudgetCorpus() {
+  corpus::Corpus C;
+  C.Lang = corpus::Language::Python;
+  for (int RI = 0; RI != 3; ++RI) {
+    corpus::Repository Repo;
+    Repo.Name = "repo" + std::to_string(RI);
+    for (int FI = 0; FI != 3; ++FI) {
+      std::string Path =
+          Repo.Name + "/f" + std::to_string(FI) + ".py";
+      Repo.Files.push_back(corpus::SourceFile{
+          Path,
+          "def handler(request, response):\n"
+          "    value = request.read()\n"
+          "    response.write(value)\n",
+          {}});
+    }
+    C.Repos.push_back(std::move(Repo));
+  }
+  // One file per content-deterministic budget kind.
+  C.Repos[0].Files.push_back(corpus::SourceFile{
+      "repo0/too_big.py", "x = 1\n" + std::string(4096, '#') + "\n", {}});
+  // 600+ tokens in well under MaxFileBytes, so only the token cap fires.
+  std::string ManyTokens;
+  for (int I = 0; I != 150; ++I)
+    ManyTokens += "a = 1\n";
+  C.Repos[1].Files.push_back(
+      corpus::SourceFile{"repo1/token_bomb.py", ManyTokens, {}});
+  C.Repos[2].Files.push_back(corpus::SourceFile{
+      "repo2/deep.py",
+      "x = " + std::string(120, '(') + "1" + std::string(120, ')') + "\n",
+      {}});
+  return C;
+}
+
+struct BudgetBuild {
+  corpus::Corpus C;
+  std::unique_ptr<NamerPipeline> P;
+  std::string FindingsBytes;
+};
+
+BudgetBuild buildBudgeted(unsigned Threads) {
+  BudgetBuild Out;
+  Out.C = makeBudgetCorpus();
+  PipelineConfig PC;
+  PC.Threads = Threads;
+  PC.Limits.MaxFileBytes = 2048;
+  PC.Limits.MaxTokens = 300;
+  PC.Limits.MaxNestingDepth = 50;
+  Out.P = std::make_unique<NamerPipeline>(PC);
+  Out.P->build(Out.C);
+
+  // Render the machine-facing export over whatever was mined; on this tiny
+  // corpus the findings list is usually empty, which is exactly the byte
+  // string the determinism assertion wants to compare.
+  std::vector<Explanation> Findings;
+  for (const Violation &V : Out.P->violations())
+    Findings.push_back(explainViolation(*Out.P, V));
+  sortExplanations(Findings);
+  ExportMeta Meta;
+  Meta.QuarantinedFiles = Out.P->numQuarantined();
+  Out.FindingsBytes = findingsJson(Findings, Meta);
+  return Out;
+}
+
+/// kind name of the quarantine record for \p Path, or "" if not present.
+std::string quarantineKindOf(const NamerPipeline &P, const std::string &Path) {
+  for (const ingest::QuarantineRecord &R : P.quarantine().records())
+    if (R.File == Path)
+      return std::string(ingest::ingestErrorKindName(R.Kind));
+  return "";
+}
+
+} // namespace
+
+TEST(IngestBudgets, QuarantinesEachBudgetKindWithoutAborting) {
+  BudgetBuild B = buildBudgeted(2);
+  ASSERT_EQ(B.P->numQuarantined(), 3u);
+  EXPECT_EQ(quarantineKindOf(*B.P, "repo0/too_big.py"), "file-too-large");
+  EXPECT_EQ(quarantineKindOf(*B.P, "repo1/token_bomb.py"), "token-budget");
+  EXPECT_EQ(quarantineKindOf(*B.P, "repo2/deep.py"), "depth-budget");
+  // The nine well-formed files all survived.
+  EXPECT_EQ(B.P->numFiles(), 9u);
+  // Quarantine records never leak into statements.
+  for (const StmtRecord &S : B.P->statements())
+    EXPECT_EQ(B.P->filePath(S.File).find("too_big"), std::string::npos);
+}
+
+TEST(IngestBudgets, QuarantineAndFindingsAreByteIdenticalAcrossThreads) {
+  BudgetBuild One = buildBudgeted(1);
+  BudgetBuild Eight = buildBudgeted(8);
+  EXPECT_EQ(One.P->quarantine().json(), Eight.P->quarantine().json());
+  EXPECT_EQ(One.FindingsBytes, Eight.FindingsBytes);
+  EXPECT_EQ(One.P->numFiles(), Eight.P->numFiles());
+  ASSERT_EQ(One.P->statements().size(), Eight.P->statements().size());
+}
+
+#if NAMER_FAULT_INJECTION
+
+// --- Fault injection: forced faults quarantine exactly the armed files -------
+
+namespace {
+
+/// Well-formed corpus (nothing quarantines naturally at default limits).
+corpus::Corpus makeCleanCorpus() {
+  corpus::Corpus C;
+  C.Lang = corpus::Language::Python;
+  for (int RI = 0; RI != 3; ++RI) {
+    corpus::Repository Repo;
+    Repo.Name = "clean" + std::to_string(RI);
+    for (int FI = 0; FI != 3; ++FI)
+      Repo.Files.push_back(corpus::SourceFile{
+          Repo.Name + "/f" + std::to_string(FI) + ".py",
+          "def handler(request, response):\n"
+          "    value = request.read()\n"
+          "    response.write(value)\n",
+          {}});
+    C.Repos.push_back(std::move(Repo));
+  }
+  return C;
+}
+
+BudgetBuild buildInjected(unsigned Threads) {
+  BudgetBuild Out;
+  Out.C = makeCleanCorpus();
+  PipelineConfig PC;
+  PC.Threads = Threads;
+  Out.P = std::make_unique<NamerPipeline>(PC);
+  Out.P->build(Out.C);
+  std::vector<Explanation> Findings;
+  for (const Violation &V : Out.P->violations())
+    Findings.push_back(explainViolation(*Out.P, V));
+  sortExplanations(Findings);
+  ExportMeta Meta;
+  Meta.QuarantinedFiles = Out.P->numQuarantined();
+  Out.FindingsBytes = findingsJson(Findings, Meta);
+  return Out;
+}
+
+} // namespace
+
+TEST(FaultInjection, ThreeKindsQuarantineExactlyTheArmedFiles) {
+  faultinject::disarm();
+  // One armed file per fault kind: Throw exercises worker-exception
+  // attribution, Timeout the deadline path, BudgetExhausted the budget
+  // path -- three distinct IngestErrorKinds from three distinct faults.
+  faultinject::arm("pipeline.ingest", "clean0/f1.py",
+                   faultinject::FaultKind::Throw);
+  faultinject::arm("pipeline.ingest", "clean1/f2.py",
+                   faultinject::FaultKind::Timeout);
+  faultinject::arm("pipeline.ingest", "clean2/f0.py",
+                   faultinject::FaultKind::BudgetExhausted);
+
+  BudgetBuild One = buildInjected(1);
+  BudgetBuild Eight = buildInjected(8);
+  faultinject::disarm();
+
+  ASSERT_EQ(One.P->numQuarantined(), 3u);
+  EXPECT_EQ(quarantineKindOf(*One.P, "clean0/f1.py"), "worker-exception");
+  EXPECT_EQ(quarantineKindOf(*One.P, "clean1/f2.py"), "deadline");
+  EXPECT_EQ(quarantineKindOf(*One.P, "clean2/f0.py"), "node-budget");
+  EXPECT_EQ(One.P->numFiles(), 6u);
+
+  // Bitwise identity across thread counts, including the injected faults.
+  EXPECT_EQ(One.P->quarantine().json(), Eight.P->quarantine().json());
+  EXPECT_EQ(One.FindingsBytes, Eight.FindingsBytes);
+}
+
+TEST(FaultInjection, SeededRuleSelectsTheSameFilesAtEveryThreadCount) {
+  faultinject::disarm();
+  faultinject::armSeeded("parse.python", /*Seed=*/42, /*Rate=*/0.5,
+                         faultinject::FaultKind::Throw);
+  BudgetBuild One = buildInjected(1);
+  uint64_t FiredOne = faultinject::firedCount();
+  BudgetBuild Eight = buildInjected(8);
+  faultinject::disarm();
+
+  EXPECT_GT(FiredOne, 0u) << "rate 0.5 over 9 files never fired";
+  for (const ingest::QuarantineRecord &R : One.P->quarantine().records())
+    EXPECT_EQ(std::string(ingest::ingestErrorKindName(R.Kind)),
+              "worker-exception");
+  EXPECT_EQ(One.P->quarantine().json(), Eight.P->quarantine().json());
+  EXPECT_EQ(One.FindingsBytes, Eight.FindingsBytes);
+}
+
+TEST(FaultInjection, HistoryMiningFaultDoesNotAbortTheBuild) {
+  faultinject::disarm();
+  faultinject::arm("pipeline.histmine", "commit:0",
+                   faultinject::FaultKind::Throw);
+  corpus::Corpus C = makeCleanCorpus();
+  C.Commits.push_back(corpus::CommitPair{
+      "def f(recieve):\n    return recieve\n",
+      "def f(receive):\n    return receive\n"});
+  PipelineConfig PC;
+  PC.Threads = 2;
+  NamerPipeline P(PC);
+  P.build(C);
+  faultinject::disarm();
+  // The failed commit contributes no renames and no quarantine records
+  // (commits are not files), and the build still completes.
+  EXPECT_EQ(P.numQuarantined(), 0u);
+  EXPECT_EQ(P.pairs().numPairs(), 0u);
+}
+
+#endif // NAMER_FAULT_INJECTION
 
 // --- Datalog: semi-naive evaluation equals naive fixpoint ----------------------
 

@@ -241,11 +241,23 @@ TEST(TelemetryPipeline, StatsCoverEveryStageOnRealRun) {
   Config.Lang = corpus::Language::Python;
   Config.NumRepos = 40;
   corpus::Corpus C = corpus::generateCorpus(Config);
+  // One over-budget file so the ingestion-error counters are exercised by
+  // a real quarantine, not just registered at zero.
+  {
+    corpus::Repository Bad;
+    Bad.Name = "adversarial";
+    Bad.Files.push_back(corpus::SourceFile{
+        "adversarial/deep.py",
+        "x = " + std::string(300, '(') + "1" + std::string(300, ')') + "\n",
+        {}});
+    C.Repos.push_back(std::move(Bad));
+  }
   PipelineConfig PC;
   PC.Miner.MinPatternSupport = 20;
   PC.Threads = 2;
   NamerPipeline P(PC);
   P.build(C);
+  ASSERT_EQ(P.numQuarantined(), 1u);
 
   ASSERT_GE(P.violations().size(), 4u);
   std::vector<Violation> Labeled(P.violations().begin(),
@@ -282,6 +294,21 @@ TEST(TelemetryPipeline, StatsCoverEveryStageOnRealRun) {
   EXPECT_GE(Snap["classifier.predictions"], 1);
   EXPECT_EQ(Snap["report.explanations"], 1);
   EXPECT_EQ(Snap["report.sarif_results"], 1);
+
+  // Ingestion fault-tolerance counters: every taxonomy kind is registered
+  // (present even at zero), the per-file parse-error total is exported,
+  // and the seeded deep-nesting file shows up as a depth-budget
+  // quarantine.
+  for (const char *Name :
+       {"ingest.parse-errors", "ingest.quarantined",
+        "ingest.error.file-too-large", "ingest.error.token-budget",
+        "ingest.error.node-budget", "ingest.error.depth-budget",
+        "ingest.error.deadline", "ingest.error.worker-exception",
+        "histmine.errors"})
+    ASSERT_TRUE(Snap.count(Name)) << Name;
+  EXPECT_EQ(Snap["ingest.quarantined"], 1);
+  EXPECT_EQ(Snap["ingest.error.depth-budget"], 1);
+  EXPECT_EQ(Snap["ingest.error.file-too-large"], 0);
 
   // Every stage's span shows up in the stats document, and both exporters
   // stay structurally valid on a real multi-threaded run.

@@ -1,0 +1,2 @@
+class C {
+  /* comment never closed

@@ -1,0 +1,3 @@
+class C {
+  String s = "never closed;
+}

@@ -1,0 +1,3 @@
+x = "never closed
+y = 2
+z = "also open

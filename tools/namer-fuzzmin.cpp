@@ -1,0 +1,171 @@
+//===- tools/namer-fuzzmin.cpp - Crash replay / minimization driver -------==//
+//
+// Feeds one file through the frontend (lexer + parser) and optionally the
+// single-file ingestion pipeline, repeatedly:
+//
+//   namer-fuzzmin --lang=python|java [--iterations=N] [--max-nesting=N]
+//                 [--pipeline] [--quiet] FILE
+//
+// The driver exists for the adversarial-input workflow (DESIGN.md, "Fault
+// tolerance"): given an input that crashed or misbehaved under fuzzing or
+// in a real scan, replay it deterministically under a debugger or
+// sanitizer, and use it as the "interestingness" test for an external
+// minimizer (the process exits by signal on a crash, so `namer-fuzzmin
+// FILE` is directly usable as a creduce/C-Vise oracle).
+//
+// Exit codes: 0 clean parse, 1 unreadable file / bad usage, 4 the file was
+// quarantined by the pipeline (--pipeline only). Parser diagnostics alone
+// do NOT change the exit code -- recoverable diags are expected on
+// adversarial inputs; the contract being tested is "no crash".
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Tree.h"
+#include "frontend/java/JavaParser.h"
+#include "frontend/python/PythonParser.h"
+#include "namer/Pipeline.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+using namespace namer;
+
+namespace {
+
+struct Options {
+  corpus::Language Lang = corpus::Language::Python;
+  /// Replay count; >1 shakes out state that survives a single pass.
+  unsigned Iterations = 3;
+  unsigned MaxNesting = 0; // 0 = parser default
+  /// Also run the file through NamerPipeline::build as a one-file corpus,
+  /// exercising the ingestion budgets and quarantine path.
+  bool Pipeline = false;
+  bool Quiet = false;
+  std::string File;
+};
+
+void printUsage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--lang=python|java] [--iterations=N] "
+               "[--max-nesting=N] [--pipeline] [--quiet] FILE\n",
+               Argv0);
+}
+
+bool parseArgs(int Argc, char **Argv, Options &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--lang=python") {
+      Opts.Lang = corpus::Language::Python;
+    } else if (Arg == "--lang=java") {
+      Opts.Lang = corpus::Language::Java;
+    } else if (Arg.rfind("--iterations=", 0) == 0) {
+      Opts.Iterations = static_cast<unsigned>(std::strtoul(
+          Arg.c_str() + std::strlen("--iterations="), nullptr, 10));
+    } else if (Arg.rfind("--max-nesting=", 0) == 0) {
+      Opts.MaxNesting = static_cast<unsigned>(std::strtoul(
+          Arg.c_str() + std::strlen("--max-nesting="), nullptr, 10));
+    } else if (Arg == "--pipeline") {
+      Opts.Pipeline = true;
+    } else if (Arg == "--quiet") {
+      Opts.Quiet = true;
+    } else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option: %s\n", Arg.c_str());
+      return false;
+    } else if (Opts.File.empty()) {
+      Opts.File = Arg;
+    } else {
+      return false;
+    }
+  }
+  return !Opts.File.empty() && Opts.Iterations != 0;
+}
+
+/// One frontend pass; returns a per-kind diag histogram for reporting.
+std::map<std::string, size_t> parseOnce(const Options &Opts,
+                                        std::string_view Text,
+                                        size_t &NumDiags, size_t &NumNodes) {
+  AstContext Ctx;
+  std::map<std::string, size_t> ByKind;
+  if (Opts.Lang == corpus::Language::Python) {
+    python::ParseOptions PO;
+    if (Opts.MaxNesting)
+      PO.MaxNestingDepth = Opts.MaxNesting;
+    python::ParseResult R = python::parsePython(Text, Ctx, PO);
+    NumDiags = R.Diags.size();
+    NumNodes = R.Module.size();
+    for (const frontend::Diag &D : R.Diags)
+      ++ByKind[std::string(frontend::diagKindName(D.Kind))];
+  } else {
+    java::ParseOptions JO;
+    if (Opts.MaxNesting)
+      JO.MaxNestingDepth = Opts.MaxNesting;
+    java::ParseResult R = java::parseJava(Text, Ctx, JO);
+    NumDiags = R.Diags.size();
+    NumNodes = R.Module.size();
+    for (const frontend::Diag &D : R.Diags)
+      ++ByKind[std::string(frontend::diagKindName(D.Kind))];
+  }
+  return ByKind;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseArgs(Argc, Argv, Opts)) {
+    printUsage(Argv[0]);
+    return 1;
+  }
+
+  std::ifstream In(Opts.File, std::ios::binary);
+  if (!In) {
+    std::fprintf(stderr, "cannot read %s\n", Opts.File.c_str());
+    return 1;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Text = Buf.str();
+
+  for (unsigned Iter = 0; Iter != Opts.Iterations; ++Iter) {
+    size_t NumDiags = 0, NumNodes = 0;
+    std::map<std::string, size_t> ByKind =
+        parseOnce(Opts, Text, NumDiags, NumNodes);
+    if (!Opts.Quiet && Iter == 0) {
+      std::printf("%s: %zu bytes, %zu nodes, %zu diag(s)\n",
+                  Opts.File.c_str(), Text.size(), NumNodes, NumDiags);
+      for (const auto &[Kind, Count] : ByKind)
+        std::printf("  %s: %zu\n", Kind.c_str(), Count);
+    }
+  }
+
+  int Exit = 0;
+  if (Opts.Pipeline) {
+    corpus::Corpus One;
+    One.Lang = Opts.Lang;
+    corpus::Repository Repo;
+    Repo.Name = "fuzzmin";
+    Repo.Files.push_back(corpus::SourceFile{Opts.File, Text, {}});
+    One.Repos.push_back(std::move(Repo));
+
+    PipelineConfig PC;
+    PC.UseClassifier = false;
+    PC.Threads = 1;
+    if (Opts.MaxNesting)
+      PC.Limits.MaxNestingDepth = Opts.MaxNesting;
+    NamerPipeline Namer(PC);
+    Namer.build(One);
+    if (Namer.numQuarantined()) {
+      if (!Opts.Quiet)
+        std::fprintf(stderr, "%s", Namer.quarantine().summaryTable().c_str());
+      Exit = 4;
+    } else if (!Opts.Quiet) {
+      std::printf("pipeline: ingested cleanly\n");
+    }
+  }
+  return Exit;
+}

@@ -3,7 +3,8 @@
 // Scans a directory of Python or Java sources for naming issues:
 //
 //   namer-scan --lang=python [--no-classifier] [--max-reports=N]
-//              [--threads=N] [--stats[=FILE]] [--trace-out=FILE]
+//              [--threads=N] [--max-file-bytes=N] [--max-nesting=N]
+//              [--strict] [--stats[=FILE]] [--trace-out=FILE]
 //              [--sarif=FILE] [--findings=FILE] [--explain[=N]]
 //              [--fail-on-findings] DIR
 //
@@ -24,6 +25,11 @@
 // capped at N explanations. --fail-on-findings exits 2 when any finding
 // survives the classifier -- the CI contract.
 //
+// Robustness (DESIGN.md, "Fault tolerance"): files that fail to ingest or
+// exceed a resource budget are quarantined, summarized on stderr, and never
+// abort the scan. --max-file-bytes / --max-nesting override the budget
+// defaults; --strict exits 3 when any file was quarantined.
+//
 //===----------------------------------------------------------------------===//
 
 #include "namer/Evaluation.h"
@@ -33,6 +39,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -67,13 +74,20 @@ struct Options {
   size_t ExplainLimit = static_cast<size_t>(-1);
   /// --fail-on-findings: exit 2 when any finding survives (CI contract).
   bool FailOnFindings = false;
+  /// --max-file-bytes=N / --max-nesting=N: ingestion budget overrides
+  /// (0 = keep the IngestLimits default).
+  size_t MaxFileBytes = 0;
+  unsigned MaxNesting = 0;
+  /// --strict: exit 3 when any file was quarantined during ingestion.
+  bool Strict = false;
   std::string Directory;
 };
 
 void printUsage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--lang=python|java] [--no-classifier] "
-               "[--max-reports=N] [--threads=N] [--stats[=FILE]] "
+               "[--max-reports=N] [--threads=N] [--max-file-bytes=N] "
+               "[--max-nesting=N] [--strict] [--stats[=FILE]] "
                "[--trace-out=FILE] [--sarif=FILE] [--findings=FILE] "
                "[--explain[=N]] [--fail-on-findings] DIR\n",
                Argv0);
@@ -114,6 +128,14 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
           std::strtoul(Arg.c_str() + std::strlen("--explain="), nullptr, 10));
     } else if (Arg == "--fail-on-findings") {
       Opts.FailOnFindings = true;
+    } else if (Arg.rfind("--max-file-bytes=", 0) == 0) {
+      Opts.MaxFileBytes = static_cast<size_t>(std::strtoull(
+          Arg.c_str() + std::strlen("--max-file-bytes="), nullptr, 10));
+    } else if (Arg.rfind("--max-nesting=", 0) == 0) {
+      Opts.MaxNesting = static_cast<unsigned>(std::strtoul(
+          Arg.c_str() + std::strlen("--max-nesting="), nullptr, 10));
+    } else if (Arg == "--strict") {
+      Opts.Strict = true;
     } else if (Arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
       return false;
@@ -207,11 +229,21 @@ int main(int Argc, char **Argv) {
   PipelineConfig PC;
   PC.UseClassifier = Opts.UseClassifier;
   PC.Threads = Opts.Threads;
+  if (Opts.MaxFileBytes)
+    PC.Limits.MaxFileBytes = Opts.MaxFileBytes;
+  if (Opts.MaxNesting)
+    PC.Limits.MaxNestingDepth = Opts.MaxNesting;
   NamerPipeline Namer(PC);
   std::fprintf(stderr, "mining name patterns ...\n");
   Namer.build(BigCode);
   std::fprintf(stderr, "%zu patterns, %zu confusing word pairs\n",
                Namer.patterns().size(), Namer.pairs().numPairs());
+  if (Namer.numQuarantined()) {
+    std::fprintf(stderr,
+                 "\n--- quarantined files "
+                 "-------------------------------------------\n%s",
+                 Namer.quarantine().summaryTable().c_str());
+  }
 
   if (Opts.UseClassifier) {
     std::vector<size_t> Indices;
@@ -293,6 +325,7 @@ int main(int Argc, char **Argv) {
                  countersTable().c_str());
     telemetry::RunMeta Meta = telemetry::defaultMeta(
         "namer-scan", ThreadPool::resolveWorkerCount(Opts.Threads));
+    Meta.Extra.push_back({"quarantine", Namer.quarantine().json()});
     if (writeTextFile(Opts.StatsFile, telemetry::statsJson(Meta)))
       std::fprintf(stderr, "wrote %s\n", Opts.StatsFile.c_str());
     else
@@ -314,6 +347,7 @@ int main(int Argc, char **Argv) {
     Meta.Lang = Opts.Lang == corpus::Language::Python ? "python" : "java";
     Meta.UseClassifier = Opts.UseClassifier;
     Meta.MaxReports = Opts.MaxReports;
+    Meta.QuarantinedFiles = Namer.numQuarantined();
     if (!Opts.SarifFile.empty()) {
       if (writeTextFile(Opts.SarifFile, sarifJson(Explanations, Meta)))
         std::fprintf(stderr, "wrote %s (SARIF 2.1.0)\n",
@@ -333,6 +367,11 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "failing: %zu finding(s) survived (%s)\n",
                  Explanations.size(), "--fail-on-findings");
     Exit = 2;
+  }
+  if (Opts.Strict && Namer.numQuarantined()) {
+    std::fprintf(stderr, "failing: %zu file(s) quarantined (--strict)\n",
+                 Namer.numQuarantined());
+    Exit = 3;
   }
   return Exit;
 }
