@@ -157,11 +157,26 @@ public:
     return addNodeWithValue(Kind, Ctx->kindSymbol(Kind), Parent, Line);
   }
 
-  /// Appends a node with a text value interned on the fly.
+  /// Appends a node with a text value interned on the fly (through the
+  /// batch handle when one is attached).
   NodeId addNode(NodeKind Kind, std::string_view Value, NodeId Parent,
                  uint32_t Line = 0) {
-    return addNodeWithValue(Kind, Ctx->intern(Value), Parent, Line);
+    Symbol V = Handle ? Handle->intern(Value) : Ctx->intern(Value);
+    return addNodeWithValue(Kind, V, Parent, Line);
   }
+
+  /// Routes subsequent text interning through \p H (a handle over this
+  /// tree's context interner), amortizing shard locks across a file's
+  /// tokens. The tree stores the raw pointer, so the code that attaches a
+  /// handle must detach it (pass nullptr) before the handle dies or the
+  /// tree is handed off -- the parsers and the AST+ transform scope it to
+  /// one function.
+  void setInternHandle(StringInterner::BatchHandle *H) { Handle = H; }
+
+  /// Pre-sizes node storage: parsers reserve from the token count and the
+  /// AST+ transform from its exact pre-counted node total, eliminating
+  /// vector reallocation while nodes are appended.
+  void reserveNodes(size_t NumNodes) { Nodes.reserve(NumNodes); }
 
   /// Inserts a new node between \p N and its parent, preserving the child
   /// slot. Used by the AST+ transform to add NumArgs/NumST/Origin parents.
@@ -222,6 +237,7 @@ private:
   void dumpNode(NodeId N, std::string &Out) const;
 
   AstContext *Ctx;
+  StringInterner::BatchHandle *Handle = nullptr;
   std::vector<Node> Nodes;
   NodeId Root = InvalidNode;
 };

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace namer {
@@ -55,6 +56,17 @@ struct SourceFile {
   std::string Path;
   std::string Text;
   std::vector<SeededIssue> Issues;
+  /// When set (Mapped true), the file's bytes live in an external buffer
+  /// (an Arena mmap region) instead of Text; whoever fills View owns that
+  /// buffer and must keep it alive for the corpus's lifetime. The
+  /// generated corpus keeps using Text; namer-scan's repository loader and
+  /// the bench corpus loader fill View for zero-copy ingest.
+  std::string_view View;
+  bool Mapped = false;
+
+  std::string_view contents() const {
+    return Mapped ? View : std::string_view(Text);
+  }
 };
 
 struct Repository {

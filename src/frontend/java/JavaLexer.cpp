@@ -35,8 +35,8 @@ LexResult namer::java::lexJava(std::string_view Src) {
   LexResult Result;
   size_t Pos = 0;
   uint32_t Line = 1;
-  auto Push = [&](TokenKind Kind, std::string Text) {
-    Result.Tokens.push_back(Token{Kind, std::move(Text), Line});
+  auto Push = [&](TokenKind Kind, std::string_view Text) {
+    Result.Tokens.push_back(Token{Kind, Text, Line});
   };
   auto Peek = [&](size_t Ahead = 0) {
     return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
@@ -81,7 +81,7 @@ LexResult namer::java::lexJava(std::string_view Src) {
       size_t Start = Pos;
       while (Pos < Src.size() && isIdentCont(Src[Pos]))
         ++Pos;
-      Push(TokenKind::Name, std::string(Src.substr(Start, Pos - Start)));
+      Push(TokenKind::Name, Src.substr(Start, Pos - Start));
       continue;
     }
     if (isDigit(C) || (C == '.' && isDigit(Peek(1)))) {
@@ -94,16 +94,16 @@ LexResult namer::java::lexJava(std::string_view Src) {
           ++Pos;
         ++Pos;
       }
-      Push(TokenKind::Number, std::string(Src.substr(Start, Pos - Start)));
+      Push(TokenKind::Number, Src.substr(Start, Pos - Start));
       continue;
     }
     if (C == '"') {
+      // The body is kept verbatim (escape pairs as-is), so the token is
+      // exactly the [Start, Pos) source range -- a view, no copy.
       ++Pos;
-      std::string Text;
+      size_t Start = Pos;
       while (Pos < Src.size() && Src[Pos] != '"') {
         if (Src[Pos] == '\\' && Pos + 1 < Src.size()) {
-          Text += Src[Pos];
-          Text += Src[Pos + 1];
           Pos += 2;
           continue;
         }
@@ -112,21 +112,19 @@ LexResult namer::java::lexJava(std::string_view Src) {
                 "unterminated string literal");
           break;
         }
-        Text += Src[Pos];
         ++Pos;
       }
+      std::string_view Text = Src.substr(Start, Pos - Start);
       if (Pos < Src.size() && Src[Pos] == '"')
         ++Pos;
-      Push(TokenKind::String, std::move(Text));
+      Push(TokenKind::String, Text);
       continue;
     }
     if (C == '\'') {
       ++Pos;
-      std::string Text;
+      size_t Start = Pos;
       while (Pos < Src.size() && Src[Pos] != '\'') {
         if (Src[Pos] == '\\' && Pos + 1 < Src.size()) {
-          Text += Src[Pos];
-          Text += Src[Pos + 1];
           Pos += 2;
           continue;
         }
@@ -135,18 +133,18 @@ LexResult namer::java::lexJava(std::string_view Src) {
                 "unterminated char literal");
           break;
         }
-        Text += Src[Pos];
         ++Pos;
       }
+      std::string_view Text = Src.substr(Start, Pos - Start);
       if (Pos < Src.size() && Src[Pos] == '\'')
         ++Pos;
-      Push(TokenKind::CharLit, std::move(Text));
+      Push(TokenKind::CharLit, Text);
       continue;
     }
     bool Matched = false;
     for (std::string_view Op : MultiOps) {
       if (Src.substr(Pos, Op.size()) == Op) {
-        Push(TokenKind::Operator, std::string(Op));
+        Push(TokenKind::Operator, Src.substr(Pos, Op.size()));
         Pos += Op.size();
         Matched = true;
         break;
@@ -156,7 +154,7 @@ LexResult namer::java::lexJava(std::string_view Src) {
       continue;
     constexpr std::string_view SingleOps = "+-*/%<>=!&|^~?:;,.(){}[]@";
     if (SingleOps.find(C) != std::string_view::npos) {
-      Push(TokenKind::Operator, std::string(1, C));
+      Push(TokenKind::Operator, Src.substr(Pos, 1));
       ++Pos;
       continue;
     }

@@ -57,12 +57,21 @@ public:
     for (auto &E : Lexed.Errors)
       Result.Errors.push_back("lex: " + E);
     Result.Diags = std::move(Lexed.Diags);
+    // Node count tracks token count closely; one up-front reservation
+    // replaces the vector's doubling while the tree grows.
+    T.reserveNodes(Tokens.size());
+    // All token texts are views into Source; every one the tree keeps is
+    // interned through the batch handle (one shard lock per cache miss,
+    // repeats are free). run() detaches the handle before the tree is
+    // moved out, since the handle dies with this parser.
+    T.setInternHandle(&Handle);
   }
 
   ParseResult run() {
     NodeId Module = T.addNode(NodeKind::Module, InvalidNode);
     T.setRoot(Module);
     parseCompilationUnit(Module);
+    T.setInternHandle(nullptr);
     return std::move(Result);
   }
 
@@ -244,6 +253,7 @@ private:
   ParseOptions Opts;
   ParseResult Result;
   Tree &T;
+  StringInterner::BatchHandle Handle{Ctx.strings()};
   std::vector<Token> Tokens;
   size_t Pos = 0;
   /// Named to avoid clashing with the local `Depth` brace counters.
@@ -336,7 +346,7 @@ NodeId Parser::parseType(NodeId Parent) {
     addIdent("<error>", Type);
     return Type;
   }
-  std::string Name = cur().Text;
+  std::string Name(cur().Text);
   advance();
   while (atOp(".") && peek().Kind == TokenKind::Name) {
     advance();
@@ -393,7 +403,7 @@ void Parser::parseCompilationUnit(NodeId Module) {
       eatName("static");
       std::string Path;
       while (at(TokenKind::Name) || atOp("*")) {
-        Path += cur().Text.empty() ? "*" : cur().Text;
+        Path += cur().Text.empty() ? std::string_view("*") : cur().Text;
         advance();
         if (!eatOp("."))
           break;
@@ -414,7 +424,7 @@ void Parser::parseCompilationUnit(NodeId Module) {
       advance();
       continue;
     }
-    error("unexpected token '" + cur().Text + "' at top level",
+    error("unexpected token '" + std::string(cur().Text) + "' at top level",
           frontend::DiagKind::ParseUnexpectedToken);
     advance();
   }
@@ -509,14 +519,14 @@ void Parser::parseMember(NodeId Body, std::string_view ClassName) {
   if (at(TokenKind::Name) && cur().Text == ClassName &&
       peek().Kind == TokenKind::Operator && peek().Text == "(") {
     uint32_t Ln = line();
-    std::string Name = cur().Text;
+    std::string Name(cur().Text);
     advance();
     return parseMethodRest(Body, Name, Ln);
   }
 
   size_t TypeLen = scanType(Pos);
   if (TypeLen == 0) {
-    error("unexpected member starting with '" + cur().Text + "'",
+    error("unexpected member starting with '" + std::string(cur().Text) + "'",
           frontend::DiagKind::ParseUnexpectedToken);
     syncStatement();
     return;
@@ -534,7 +544,7 @@ void Parser::parseMember(NodeId Body, std::string_view ClassName) {
     uint32_t Ln = line();
     for (size_t I = 0; I != TypeLen; ++I)
       advance();
-    std::string Name = cur().Text;
+    std::string Name(cur().Text);
     advance();
     return parseMethodRest(Body, Name, Ln);
   }
@@ -1056,7 +1066,7 @@ NodeId Parser::parseUnary(NodeId Parent) {
   uint32_t Ln = line();
   if (atOp("!") || atOp("~") || atOp("-") || atOp("+") || atOp("++") ||
       atOp("--")) {
-    std::string Op = cur().Text;
+    std::string Op(cur().Text);
     advance();
     NodeId Un = T.addNode(NodeKind::UnaryOp, Parent, Ln);
     T.addNode(NodeKind::Op, Op, Un, Ln);
@@ -1258,7 +1268,7 @@ NodeId Parser::parseAtom(NodeId Parent) {
       error("expected ')'");
     return Inner;
   }
-  error("unexpected token '" + cur().Text + "' in expression",
+  error("unexpected token '" + std::string(cur().Text) + "' in expression",
         frontend::DiagKind::ParseUnexpectedToken);
   NodeId Err = T.addNode(NodeKind::NameLoad, Parent, Ln);
   addIdent("<error>", Err);

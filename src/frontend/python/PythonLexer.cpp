@@ -37,8 +37,8 @@ private:
   void lexLine();
   void handleIndent(size_t Spaces);
   void lexString(char Quote, bool Triple);
-  void push(TokenKind Kind, std::string Text) {
-    Result.Tokens.push_back(Token{Kind, std::move(Text), Line});
+  void push(TokenKind Kind, std::string_view Text) {
+    Result.Tokens.push_back(Token{Kind, Text, Line});
   }
 
   char peek(size_t Ahead = 0) const {
@@ -79,40 +79,42 @@ void Lexer::handleIndent(size_t Spaces) {
 }
 
 void Lexer::lexString(char Quote, bool Triple) {
-  std::string Text;
+  // The token text is the literal's body verbatim -- escape pairs stay
+  // as-is and triple-quoted bodies keep their newlines -- so it is exactly
+  // the [Start, Pos) range of the source: a view, no copy.
+  size_t Start = Pos;
   while (!atEnd()) {
     char C = peek();
     if (C == '\\' && Pos + 1 < Src.size()) {
-      Text += C;
-      Text += Src[Pos + 1];
       Pos += 2;
       continue;
     }
     if (Triple && C == Quote && peek(1) == Quote && peek(2) == Quote) {
+      std::string_view Text = Src.substr(Start, Pos - Start);
       Pos += 3;
-      push(TokenKind::String, std::move(Text));
+      push(TokenKind::String, Text);
       return;
     }
     if (!Triple && C == Quote) {
+      std::string_view Text = Src.substr(Start, Pos - Start);
       ++Pos;
-      push(TokenKind::String, std::move(Text));
+      push(TokenKind::String, Text);
       return;
     }
     if (C == '\n') {
       if (!Triple) {
         error(frontend::DiagKind::LexUnterminatedString,
               "unterminated string literal");
-        push(TokenKind::String, std::move(Text));
+        push(TokenKind::String, Src.substr(Start, Pos - Start));
         return;
       }
       ++Line;
     }
-    Text += C;
     ++Pos;
   }
   error(frontend::DiagKind::LexUnterminatedString,
         "unterminated string literal at end of file");
-  push(TokenKind::String, std::move(Text));
+  push(TokenKind::String, Src.substr(Start, Pos - Start));
 }
 
 LexResult Lexer::run() {
@@ -169,7 +171,7 @@ LexResult Lexer::run() {
       size_t Start = Pos;
       while (!atEnd() && isIdentCont(peek()))
         ++Pos;
-      std::string Text(Src.substr(Start, Pos - Start));
+      std::string_view Text = Src.substr(Start, Pos - Start);
       // String prefixes: r"", b"", f"", u"" and combinations.
       if ((peek() == '"' || peek() == '\'') && Text.size() <= 2) {
         bool AllPrefix = true;
@@ -186,7 +188,7 @@ LexResult Lexer::run() {
           continue;
         }
       }
-      push(TokenKind::Name, std::move(Text));
+      push(TokenKind::Name, Text);
       continue;
     }
     if (isDigit(C) || (C == '.' && isDigit(peek(1)))) {
@@ -200,7 +202,7 @@ LexResult Lexer::run() {
         while (!atEnd() && isDigit(peek()))
           ++Pos;
       }
-      push(TokenKind::Number, std::string(Src.substr(Start, Pos - Start)));
+      push(TokenKind::Number, Src.substr(Start, Pos - Start));
       continue;
     }
     if (C == '"' || C == '\'') {
@@ -213,7 +215,7 @@ LexResult Lexer::run() {
     bool Matched = false;
     for (std::string_view Op : MultiOps) {
       if (Src.substr(Pos, Op.size()) == Op) {
-        push(TokenKind::Operator, std::string(Op));
+        push(TokenKind::Operator, Src.substr(Pos, Op.size()));
         Pos += Op.size();
         Matched = true;
         break;
@@ -227,7 +229,7 @@ LexResult Lexer::run() {
       BracketDepth = BracketDepth > 0 ? BracketDepth - 1 : 0;
     constexpr std::string_view SingleOps = "+-*/%<>=.,:;()[]{}@&|^~";
     if (SingleOps.find(C) != std::string_view::npos) {
-      push(TokenKind::Operator, std::string(1, C));
+      push(TokenKind::Operator, Src.substr(Pos, 1));
       ++Pos;
       continue;
     }

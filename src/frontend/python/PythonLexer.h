@@ -34,7 +34,11 @@ enum class TokenKind : uint8_t {
 
 struct Token {
   TokenKind Kind;
-  std::string Text;
+  /// A view into the lexed source (or static operator storage): the lexer
+  /// copies no characters, so token texts are valid exactly as long as the
+  /// source buffer outlives the token stream -- which the parsers
+  /// guarantee by interning every text they keep.
+  std::string_view Text;
   uint32_t Line;
 };
 

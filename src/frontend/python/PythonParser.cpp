@@ -24,12 +24,21 @@ public:
     for (auto &E : Lexed.Errors)
       Result.Errors.push_back("lex: " + E);
     Result.Diags = std::move(Lexed.Diags);
+    // Node count tracks token count closely; one up-front reservation
+    // replaces the vector's doubling while the tree grows.
+    T.reserveNodes(Tokens.size());
+    // All token texts are views into Source; every one the tree keeps is
+    // interned through the batch handle (one shard lock per cache miss,
+    // repeats are free). run() detaches the handle before the tree is
+    // moved out, since the handle dies with this parser.
+    T.setInternHandle(&Handle);
   }
 
   ParseResult run() {
     NodeId Module = T.addNode(NodeKind::Module, InvalidNode);
     T.setRoot(Module);
     parseStatements(Module, /*TopLevel=*/true);
+    T.setInternHandle(nullptr);
     return std::move(Result);
   }
 
@@ -163,6 +172,7 @@ private:
   ParseOptions Opts;
   ParseResult Result;
   Tree &T;
+  StringInterner::BatchHandle Handle{Ctx.strings()};
   std::vector<Token> Tokens;
   size_t Pos = 0;
   unsigned Depth = 0;
@@ -205,7 +215,7 @@ void Parser::expectNewline() {
     advance();
     return;
   }
-  error("expected end of statement near '" + cur().Text + "'");
+  error("expected end of statement near '" + std::string(cur().Text) + "'");
   syncToNextLine();
 }
 
@@ -815,7 +825,7 @@ NodeId Parser::parseArith(NodeId Parent) {
   NodeId Left = parseTerm(Parent);
   while (atOp("+") || atOp("-") || atOp("|") || atOp("^") || atOp("&") ||
          atOp("<<") || atOp(">>")) {
-    std::string Op = cur().Text;
+    std::string Op(cur().Text);
     advance();
     NodeId Bin = T.addNode(NodeKind::BinOp, Parent, line());
     T.reparent(Left, Bin);
@@ -829,7 +839,7 @@ NodeId Parser::parseArith(NodeId Parent) {
 NodeId Parser::parseTerm(NodeId Parent) {
   NodeId Left = parseFactor(Parent);
   while (atOp("*") || atOp("/") || atOp("%") || atOp("//")) {
-    std::string Op = cur().Text;
+    std::string Op(cur().Text);
     advance();
     NodeId Bin = T.addNode(NodeKind::BinOp, Parent, line());
     T.reparent(Left, Bin);
@@ -847,7 +857,7 @@ NodeId Parser::parseFactor(NodeId Parent) {
     if (!Guard.Ok)
       return depthErrorExpr(Parent);
     uint32_t Ln = line();
-    std::string Op = cur().Text;
+    std::string Op(cur().Text);
     advance();
     NodeId Un = T.addNode(NodeKind::UnaryOp, Parent, Ln);
     T.addNode(NodeKind::Op, Op, Un, Ln);
@@ -1074,7 +1084,7 @@ NodeId Parser::parseAtom(NodeId Parent) {
       error("expected '}'");
     return Dict;
   }
-  error("unexpected token '" + cur().Text + "'",
+  error("unexpected token '" + std::string(cur().Text) + "'",
         frontend::DiagKind::ParseUnexpectedToken);
   NodeId Err = T.addNode(NodeKind::NameLoad, Parent, Ln);
   addIdent("<error>", Err);

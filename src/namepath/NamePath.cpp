@@ -114,8 +114,14 @@ StmtPaths StmtPaths::fromTree(const Tree &StmtTree, NamePathTable &Table,
                    StmtTree.context());
 }
 
-StmtPaths StmtPaths::fromPaths(const std::vector<NamePath> &Extracted,
-                               NamePathTable &Table, AstContext &Ctx) {
+namespace {
+
+/// Shared body of the two fromPaths overloads; InternFolded maps the
+/// case-folded end text to its symbol (directly or through a batch handle).
+template <typename InternFn>
+StmtPaths fromPathsImpl(const std::vector<NamePath> &Extracted,
+                        NamePathTable &Table, AstContext &Ctx,
+                        InternFn &&InternFolded) {
   StmtPaths Result;
   for (const NamePath &Path : Extracted) {
     PathId Id = Table.intern(Path);
@@ -126,9 +132,24 @@ StmtPaths StmtPaths::fromPaths(const std::vector<NamePath> &Extracted,
     std::string Folded(Ctx.text(Path.End));
     for (char &C : Folded)
       C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
-    Result.FoldedEndByPrefix.emplace(Prefix, Ctx.intern(Folded));
+    Result.FoldedEndByPrefix.emplace(Prefix, InternFolded(Folded));
   }
   return Result;
+}
+
+} // namespace
+
+StmtPaths StmtPaths::fromPaths(const std::vector<NamePath> &Extracted,
+                               NamePathTable &Table, AstContext &Ctx) {
+  return fromPathsImpl(Extracted, Table, Ctx,
+                       [&](const std::string &F) { return Ctx.intern(F); });
+}
+
+StmtPaths StmtPaths::fromPaths(const std::vector<NamePath> &Extracted,
+                               NamePathTable &Table, AstContext &Ctx,
+                               StringInterner::BatchHandle &Batch) {
+  return fromPathsImpl(Extracted, Table, Ctx,
+                       [&](const std::string &F) { return Batch.intern(F); });
 }
 
 bool StmtPaths::containsPath(PathId Id, const NamePathTable &Table) const {

@@ -136,6 +136,14 @@ struct StmtPaths {
   static StmtPaths fromPaths(const std::vector<NamePath> &Extracted,
                              NamePathTable &Table, AstContext &Ctx);
 
+  /// fromPaths with the case-folded end symbols interned through \p Batch
+  /// (a handle over \p Ctx's interner): the commit loop keeps one handle
+  /// across all files, so recurring folded names cost a hash lookup
+  /// instead of a shard lock.
+  static StmtPaths fromPaths(const std::vector<NamePath> &Extracted,
+                             NamePathTable &Table, AstContext &Ctx,
+                             StringInterner::BatchHandle &Batch);
+
   bool containsPath(PathId Id, const NamePathTable &Table) const;
   bool containsPrefix(PrefixId Id) const {
     return EndByPrefix.find(Id) != EndByPrefix.end();

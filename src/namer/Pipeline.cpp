@@ -47,7 +47,7 @@ struct FileIngest {
   std::optional<ingest::QuarantineRecord> Quarantine;
 };
 
-Tree parseInto(const std::string &Text, corpus::Language Lang,
+Tree parseInto(std::string_view Text, corpus::Language Lang,
                AstContext &Ctx) {
   if (Lang == corpus::Language::Python)
     return std::move(python::parsePython(Text, Ctx).Module);
@@ -62,7 +62,7 @@ struct ParsedModule {
   bool DepthExceeded = false;
 };
 
-ParsedModule parseModule(const std::string &Text, corpus::Language Lang,
+ParsedModule parseModule(std::string_view Text, corpus::Language Lang,
                          AstContext &Ctx, unsigned MaxNestingDepth) {
   if (Lang == corpus::Language::Python) {
     python::ParseOptions Opts;
@@ -117,14 +117,15 @@ FileIngest ingestOneFile(const corpus::SourceFile &File,
     return Quarantined(ingest::IngestErrorKind::NodeBudget, 0, "injected");
   }
 
-  if (File.Text.size() > Limits.MaxFileBytes)
+  std::string_view Contents = File.contents();
+  if (Contents.size() > Limits.MaxFileBytes)
     return Quarantined(ingest::IngestErrorKind::FileTooLarge,
                        Limits.MaxFileBytes,
-                       std::to_string(File.Text.size()) + " bytes");
+                       std::to_string(Contents.size()) + " bytes");
 
   Out.LocalCtx = std::make_unique<AstContext>();
   ParsedModule Parsed =
-      parseModule(File.Text, Lang, *Out.LocalCtx, Limits.MaxNestingDepth);
+      parseModule(Contents, Lang, *Out.LocalCtx, Limits.MaxNestingDepth);
   Out.Errors = Parsed.Errors;
   if (Parsed.NumTokens > Limits.MaxTokens)
     return Quarantined(ingest::IngestErrorKind::TokenBudget, 0,
@@ -182,14 +183,18 @@ FileIngest ingestOneFile(const corpus::SourceFile &File,
 /// scheduling.
 class SymbolTranslator {
 public:
-  SymbolTranslator(const AstContext &Local, AstContext &Global)
-      : Local(Local), Global(Global),
+  /// \p Batch is the commit loop's handle over the global interner: every
+  /// file's translator shares it, so symbols recurring across files are
+  /// lock-free cache hits after the first file interns them.
+  SymbolTranslator(const AstContext &Local,
+                   StringInterner::BatchHandle &Batch)
+      : Local(Local), Batch(Batch),
         Remap(Local.strings().size(), NoMapping) {}
 
   Symbol operator()(Symbol LocalSym) {
     Symbol &G = Remap[LocalSym];
     if (G == NoMapping)
-      G = Global.intern(Local.text(LocalSym));
+      G = Batch.intern(Local.text(LocalSym));
     return G;
   }
 
@@ -202,7 +207,7 @@ public:
 private:
   static constexpr Symbol NoMapping = static_cast<Symbol>(-1);
   const AstContext &Local;
-  AstContext &Global;
+  StringInterner::BatchHandle &Batch;
   std::vector<Symbol> Remap;
 };
 
@@ -251,11 +256,15 @@ void NamerPipeline::build(const corpus::Corpus &C) {
             "unknown exception"};
         Ingested[I] = std::move(Fail);
       }
-    });
+    }, /*GrainSize=*/1, "pipeline.ingest");
   }
 
   {
     telemetry::TraceSpan CommitSpan("pipeline.commit");
+    // The commit stretch is single-threaded, so one batch handle amortizes
+    // global-interner locking across every file's symbol translation and
+    // folded-end interning.
+    StringInterner::BatchHandle CommitBatch(Ctx->strings());
     for (size_t I = 0; I != Ingested.size(); ++I) {
       FileIngest &Slot = Ingested[I];
       if (Slot.Quarantine) {
@@ -269,7 +278,7 @@ void NamerPipeline::build(const corpus::Corpus &C) {
       TotalBuildMillis += Slot.Millis;
       FileId FId = static_cast<FileId>(FilePaths.size());
       FilePaths.push_back(Files[I]->Path);
-      SymbolTranslator Translate(*Slot.LocalCtx, *Ctx);
+      SymbolTranslator Translate(*Slot.LocalCtx, CommitBatch);
       for (PreStmt &Pre : Slot.Stmts) {
         for (NamePath &Path : Pre.Paths)
           Translate.translate(Path);
@@ -278,7 +287,7 @@ void NamerPipeline::build(const corpus::Corpus &C) {
         Record.Repo = FileRepo[I];
         Record.Line = Pre.Line;
         Record.TextHash = Pre.TextHash;
-        Record.Paths = StmtPaths::fromPaths(Pre.Paths, Table, *Ctx);
+        Record.Paths = StmtPaths::fromPaths(Pre.Paths, Table, *Ctx, CommitBatch);
         Statements.push_back(std::move(Record));
       }
       // Free the worker-local context as soon as its symbols are committed.
@@ -299,6 +308,17 @@ void NamerPipeline::build(const corpus::Corpus &C) {
                                static_cast<ingest::IngestErrorKind>(K))),
                        ByKind[K]);
   }
+  // Same convention for the mining/interning/arena counters this build may
+  // or may not have exercised (small corpora skip sharded paths; generated
+  // corpora never mmap): register them at zero so the stage-coverage
+  // telemetry test can assert their presence unconditionally.
+  for (const char *Name :
+       {"fptree.shard.trees", "fptree.shard.statements",
+        "fptree.shard.merged_nodes", "interner.batch.batches",
+        "interner.batch.strings", "interner.batch.cache_hits",
+        "interner.batch.shard_locks", "arena.slabs", "arena.bytes",
+        "arena.files_mapped", "arena.mmap_fallbacks"})
+    telemetry::count(Name, 0);
 
   // Phase 2: confusing word pairs from the commit history -- parallel
   // diffing (each commit parsed against its own local context), sequential
@@ -324,7 +344,7 @@ void NamerPipeline::build(const corpus::Corpus &C) {
         Renames[I].clear();
         Failed[I] = 1;
       }
-    });
+    }, /*GrainSize=*/1, "pipeline.histmine");
     for (const std::vector<RenamedSubtoken> &CommitRenames : Renames)
       for (const RenamedSubtoken &R : CommitRenames)
         Pairs->addRename(R.Mistaken, R.Correct);
@@ -336,10 +356,12 @@ void NamerPipeline::build(const corpus::Corpus &C) {
     telemetry::count("histmine.pairs", Pairs->numPairs());
   }
 
-  // Phase 3: mine both pattern kinds (Algorithm 1). This is the sequential
-  // barrier between extraction and matching: FP-tree updates and the
-  // symbolic-path interning in generate() mutate shared tables, and their
-  // order fixes the mined pattern ids.
+  // Phase 3: mine both pattern kinds (Algorithm 1). Tree growth is sharded
+  // over the pool (Miner::build partitions statements by a deterministic
+  // hash and merges the partial trees canonically); only generate()'s
+  // symbolic-path interning still runs sequentially, in an order fixed by
+  // the canonical traversal, so the mined pattern ids stay
+  // schedule-independent.
   std::vector<StmtPaths> AllPaths;
   AllPaths.reserve(Statements.size());
   for (const StmtRecord &S : Statements)
@@ -352,14 +374,8 @@ void NamerPipeline::build(const corpus::Corpus &C) {
   Confusing.setCorrectWords(Pairs->correctWords());
   {
     telemetry::TraceSpan TreeSpan("fptree.build");
-    for (const StmtPaths &S : AllPaths) {
-      Consistency.countPaths(S);
-      Confusing.countPaths(S);
-    }
-    for (const StmtPaths &S : AllPaths) {
-      Consistency.addStatement(S);
-      Confusing.addStatement(S);
-    }
+    Consistency.build(AllPaths, Pool.get());
+    Confusing.build(AllPaths, Pool.get());
   }
   // pruneUncommon's per-statement evaluation is read-only and fans out
   // over the pool.
@@ -380,7 +396,7 @@ void NamerPipeline::build(const corpus::Corpus &C) {
     Pool->parallelFor(
         0, Statements.size(),
         [&](size_t S) { Index2.evaluate(Statements[S].Paths, AllHits[S]); },
-        /*GrainSize=*/64);
+        /*GrainSize=*/64, "pipeline.scan");
   }
 
   telemetry::TraceSpan StatsSpan("pipeline.stats");
@@ -436,7 +452,7 @@ NamerPipeline::trainClassifier(const std::vector<Violation> &Labeled,
     Pool->parallelFor(
         0, Labeled.size(),
         [&](size_t I) { Features[I] = features(Labeled[I]); },
-        /*GrainSize=*/8);
+        /*GrainSize=*/8, "classifier.features");
   }
   ml::Metrics M = Classifier.train(Features, Labels);
   Trained = true;

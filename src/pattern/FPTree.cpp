@@ -24,6 +24,31 @@ void FPTree::update(const std::vector<PathId> &Items) {
   Nodes[Current].IsLast = true;
 }
 
+void FPTree::merge(const FPTree &Other) {
+  // Pair walk of the two tries, iterative to survive deep chains (path
+  // lists can be long on adversarial inputs).
+  std::vector<std::pair<FPNodeId, FPNodeId>> Stack = {{RootId, RootId}};
+  while (!Stack.empty()) {
+    auto [Mine, Theirs] = Stack.back();
+    Stack.pop_back();
+    Nodes[Mine].Count += Other.Nodes[Theirs].Count;
+    Nodes[Mine].IsLast |= Other.Nodes[Theirs].IsLast;
+    for (const auto &[Item, TheirChild] : Other.Nodes[Theirs].Children) {
+      auto It = Nodes[Mine].Children.find(Item);
+      FPNodeId MyChild;
+      if (It == Nodes[Mine].Children.end()) {
+        MyChild = static_cast<FPNodeId>(Nodes.size());
+        Nodes[Mine].Children.emplace(Item, MyChild);
+        Nodes.emplace_back();
+        Nodes[MyChild].Item = Item;
+      } else {
+        MyChild = It->second;
+      }
+      Stack.push_back({MyChild, TheirChild});
+    }
+  }
+}
+
 size_t FPTree::numGenerationPoints() const {
   size_t Count = 0;
   for (const FPNode &Nd : Nodes)

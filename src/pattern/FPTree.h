@@ -39,6 +39,14 @@ public:
   /// point.
   void update(const std::vector<PathId> &Items);
 
+  /// Folds \p Other into this tree: for every path present in either tree
+  /// the merged node's count is the sum and its isLast flag the OR of the
+  /// two sides'. Count-sum and flag-OR are commutative and associative, so
+  /// merging per-shard trees in any order yields the same abstract trie as
+  /// building one tree from the union of insertions (node *ids* differ by
+  /// construction order, which generation ignores -- see Miner::build).
+  void merge(const FPTree &Other);
+
   const FPNode &node(FPNodeId Id) const { return Nodes[Id]; }
   size_t size() const { return Nodes.size(); }
 

@@ -35,6 +35,11 @@ std::vector<PathId> PatternMiner::regularizedPaths(const StmtPaths &Stmt) const 
 }
 
 void PatternMiner::addStatement(const StmtPaths &Stmt) {
+  addStatementTo(Tree, Stmt);
+}
+
+void PatternMiner::addStatementTo(FPTree &Target,
+                                  const StmtPaths &Stmt) const {
   std::vector<PathId> Paths = regularizedPaths(Stmt);
   if (Paths.empty())
     return;
@@ -61,7 +66,7 @@ void PatternMiner::addStatement(const StmtPaths &Stmt) {
         std::vector<PathId> Deduct = {Paths[I], Paths[J]};
         std::sort(Deduct.begin(), Deduct.end(), Less);
         Cond.insert(Cond.end(), Deduct.begin(), Deduct.end());
-        Tree.update(Cond);
+        Target.update(Cond);
       }
     }
     return;
@@ -82,8 +87,87 @@ void PatternMiner::addStatement(const StmtPaths &Stmt) {
       continue;
     std::sort(Cond.begin(), Cond.end(), Less);
     Cond.push_back(Paths[I]);
-    Tree.update(Cond);
+    Target.update(Cond);
   }
+}
+
+void PatternMiner::build(const std::vector<StmtPaths> &Dataset,
+                         ThreadPool *Pool) {
+  size_t NumShards = std::max<size_t>(1, Config.MineShards);
+  bool Parallel = Pool && Pool->workerCount() > 1;
+
+  // Pass 1, frequencies: chunks accumulate into local maps and the sums
+  // merge afterwards -- addition commutes, so the merged frequencies (and
+  // everything regularizedPaths derives from them) are schedule-free.
+  if (Parallel && Dataset.size() >= 64) {
+    size_t NumChunks =
+        std::min(static_cast<size_t>(Pool->workerCount()) * 4, Dataset.size());
+    size_t Chunk = (Dataset.size() + NumChunks - 1) / NumChunks;
+    std::vector<std::unordered_map<PathId, uint32_t>> Partial(NumChunks);
+    Pool->parallelFor(
+        0, NumChunks,
+        [&](size_t C) {
+          std::unordered_map<PathId, uint32_t> &Local = Partial[C];
+          size_t E = std::min(Dataset.size(), (C + 1) * Chunk);
+          for (size_t S = C * Chunk; S < E; ++S) {
+            const StmtPaths &Stmt = Dataset[S];
+            size_t Limit = std::min(Stmt.Paths.size(), Config.MaxPathsPerStmt);
+            for (size_t I = 0; I != Limit; ++I)
+              ++Local[Stmt.Paths[I]];
+          }
+        },
+        1, "fptree.build");
+    for (const std::unordered_map<PathId, uint32_t> &Local : Partial)
+      for (const auto &[P, N] : Local)
+        PathFrequency[P] += N;
+  } else {
+    for (const StmtPaths &Stmt : Dataset)
+      countPaths(Stmt);
+  }
+
+  // Shard assignment: hash of the statement's first sorted path item (its
+  // smallest regularized path under the table's content order). The hash
+  // reads committed path ids, which are fixed before mining starts, so the
+  // partition is a pure function of the dataset. Statements sharing a
+  // first item land in the same shard, which keeps shared trie prefixes in
+  // one tree instead of duplicating them everywhere.
+  auto Less = [this](PathId A, PathId B) { return Table.less(A, B); };
+  std::vector<std::vector<size_t>> StmtsOfShard(NumShards);
+  size_t Assigned = 0;
+  for (size_t S = 0; S != Dataset.size(); ++S) {
+    std::vector<PathId> Paths = regularizedPaths(Dataset[S]);
+    if (Paths.empty())
+      continue; // addStatement would have been a no-op
+    PathId First = *std::min_element(Paths.begin(), Paths.end(), Less);
+    size_t Shard = hashU32(FnvOffsetBasis, First) % NumShards;
+    StmtsOfShard[Shard].push_back(S);
+    ++Assigned;
+  }
+
+  // Pass 2, sharded tree growth: each task writes only its own tree.
+  std::vector<FPTree> Shards(NumShards);
+  auto BuildShard = [&](size_t Shard) {
+    telemetry::TraceSpan Span("fptree.shard.build");
+    for (size_t S : StmtsOfShard[Shard])
+      addStatementTo(Shards[Shard], Dataset[S]);
+  };
+  if (Parallel)
+    Pool->parallelFor(0, NumShards, BuildShard, 1, "fptree.build");
+  else
+    for (size_t Shard = 0; Shard != NumShards; ++Shard)
+      BuildShard(Shard);
+
+  // Canonical merge: count-sum and isLast-OR commute, so folding the
+  // shards in any order produces the same abstract trie the sequential
+  // build would have grown.
+  {
+    telemetry::TraceSpan Span("fptree.shard.merge");
+    for (const FPTree &Shard : Shards)
+      Tree.merge(Shard);
+  }
+  telemetry::count("fptree.shard.trees", NumShards);
+  telemetry::count("fptree.shard.statements", Assigned);
+  telemetry::count("fptree.shard.merged_nodes", Tree.size());
 }
 
 void PatternMiner::emitPatterns(const std::vector<PathId> &Visited,
@@ -153,7 +237,18 @@ void PatternMiner::genFromNode(FPTree::FPNodeId NodeId,
     Visited.push_back(Nd.Item);
   if (Nd.IsLast)
     emitPatterns(Visited, Nd.Count, Out);
-  for (const auto &[Item, Child] : Nd.Children) {
+  // Traverse children ordered by path content, not hash-map order: the
+  // traversal then depends only on the abstract trie, so the symbolic
+  // paths emitPatterns() interns are created in the same order -- and get
+  // the same ids -- however the tree was built (sequential, or sharded and
+  // merged in build()).
+  std::vector<std::pair<PathId, FPTree::FPNodeId>> Children(
+      Nd.Children.begin(), Nd.Children.end());
+  std::sort(Children.begin(), Children.end(),
+            [this](const auto &A, const auto &B) {
+              return Table.less(A.first, B.first);
+            });
+  for (const auto &[Item, Child] : Children) {
     (void)Item;
     genFromNode(Child, Visited, Out);
   }
@@ -258,7 +353,7 @@ PatternMiner::pruneUncommon(std::vector<NamePattern> Patterns,
             ++PC.Violations;
         }
       }
-    });
+    }, 1, "pattern.prune");
     for (const std::vector<Counters> &Counts : Partial)
       for (size_t Id = 0; Id != Patterns.size(); ++Id) {
         Patterns[Id].DatasetMatches += Counts[Id].Matches;

@@ -49,6 +49,11 @@ struct MinerConfig {
   enum class ConditionPolicy : uint8_t { FullOnly, LeaveOneOut, AllSubsets };
   ConditionPolicy Conditions = ConditionPolicy::LeaveOneOut;
   size_t MaxPatternsPerNode = 64;
+  /// build(): number of partial FP-trees grown in parallel before the
+  /// canonical merge. Any value >= 1 yields bitwise identical patterns
+  /// (the merge is order-independent); more shards expose more mining
+  /// parallelism at the cost of duplicated prefixes across shards.
+  size_t MineShards = 8;
 };
 
 /// Mines one kind of name pattern from a stream of statements. Usage:
@@ -77,6 +82,16 @@ public:
   /// admissible way and update the FP-tree (Algorithm 1, lines 4-7).
   void addStatement(const StmtPaths &Stmt);
 
+  /// Runs both passes over \p Dataset at once, sharded: statements are
+  /// partitioned by a deterministic hash of their first (smallest under
+  /// NamePathTable::less) regularized path, one partial FP-tree is grown
+  /// per shard -- in parallel when \p Pool is non-null -- and the partial
+  /// trees are folded into the miner's tree with FPTree::merge. Because
+  /// the merge sums counts and ORs isLast flags, and generate() orders its
+  /// traversal and output canonically, the patterns are bitwise identical
+  /// to the two-pass sequential protocol at every shard and worker count.
+  void build(const std::vector<StmtPaths> &Dataset, ThreadPool *Pool = nullptr);
+
   /// Traverses the FP-tree and generates candidate patterns (Algorithm 2),
   /// deduplicated with summed support.
   std::vector<NamePattern> generate();
@@ -98,6 +113,11 @@ private:
   /// Returns the statement's paths after the frequency filter and the
   /// first-k truncation.
   std::vector<PathId> regularizedPaths(const StmtPaths &Stmt) const;
+
+  /// addStatement() body targeting an explicit tree; thread-safe for
+  /// distinct trees (reads the path table and frequencies, writes only
+  /// \p Target), which is what lets build() grow shards in parallel.
+  void addStatementTo(FPTree &Target, const StmtPaths &Stmt) const;
 
   void genFromNode(FPTree::FPNodeId Node, std::vector<PathId> &Visited,
                    std::vector<NamePattern> &Out) const;

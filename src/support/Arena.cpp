@@ -1,0 +1,135 @@
+//===- support/Arena.cpp - Slab arena and zero-copy file mapping ----------==//
+//
+// Part of the Namer reproduction of "Learning to Find Naming Issues with Big
+// Code and Small Supervision" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+
+#include "support/Telemetry.h"
+
+#include <cstring>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define NAMER_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define NAMER_HAVE_MMAP 0
+#endif
+
+namespace namer {
+
+Arena::~Arena() {
+#if NAMER_HAVE_MMAP
+  for (const Mapping &M : Mappings)
+    ::munmap(M.Addr, M.Len);
+#endif
+}
+
+Arena::Slab &Arena::addSlab(size_t MinBytes) {
+  // Double the previous slab up to the cap; oversized requests get a slab
+  // of exactly their size so a huge file does not inflate the growth curve.
+  size_t Next = Slabs.empty() ? FirstSlabBytes
+                              : std::min(Slabs.back().Size * 2, MaxSlabBytes);
+  if (MinBytes > Next)
+    Next = MinBytes;
+  Slab S;
+  S.Data = std::make_unique<char[]>(Next);
+  S.Size = Next;
+  Slabs.push_back(std::move(S));
+  Reserved += Next;
+  telemetry::count("arena.slabs");
+  telemetry::count("arena.bytes", Next);
+  return Slabs.back();
+}
+
+void *Arena::allocate(size_t Size, size_t Align) {
+  if (Size == 0)
+    Size = 1;
+  // Alignment is of the absolute address, not the slab offset: operator
+  // new[] only guarantees max_align_t, so over-aligned requests must pad
+  // from wherever the slab actually starts.
+  if (!Slabs.empty()) {
+    Slab &S = Slabs.back();
+    uintptr_t Base = reinterpret_cast<uintptr_t>(S.Data.get());
+    size_t Aligned =
+        static_cast<size_t>(((Base + S.Used + Align - 1) & ~(uintptr_t)(Align - 1)) - Base);
+    if (Aligned + Size <= S.Size) {
+      Allocated += (Aligned - S.Used) + Size;
+      S.Used = Aligned + Size;
+      return S.Data.get() + Aligned;
+    }
+  }
+  Slab &S = addSlab(Size + Align);
+  uintptr_t Base = reinterpret_cast<uintptr_t>(S.Data.get());
+  size_t Aligned =
+      static_cast<size_t>(((Base + Align - 1) & ~(uintptr_t)(Align - 1)) - Base);
+  Allocated += Aligned + Size;
+  S.Used = Aligned + Size;
+  return S.Data.get() + Aligned;
+}
+
+std::string_view Arena::copyString(std::string_view Text) {
+  char *Dst = static_cast<char *>(allocate(Text.size(), 1));
+  std::memcpy(Dst, Text.data(), Text.size());
+  return std::string_view(Dst, Text.size());
+}
+
+std::optional<Arena::FileMapping> Arena::mapFile(const std::string &Path,
+                                                 bool AllowMmap) {
+#if NAMER_HAVE_MMAP
+  if (AllowMmap) {
+    int Fd = ::open(Path.c_str(), O_RDONLY);
+    if (Fd >= 0) {
+      struct stat St;
+      if (::fstat(Fd, &St) == 0 && S_ISREG(St.st_mode)) {
+        if (St.st_size == 0) {
+          ::close(Fd);
+          telemetry::count("arena.files_mapped");
+          return FileMapping{std::string_view(), true};
+        }
+        void *Addr = ::mmap(nullptr, static_cast<size_t>(St.st_size),
+                            PROT_READ, MAP_PRIVATE, Fd, 0);
+        ::close(Fd);
+        if (Addr != MAP_FAILED) {
+          Mappings.push_back({Addr, static_cast<size_t>(St.st_size)});
+          telemetry::count("arena.files_mapped");
+          return FileMapping{
+              std::string_view(static_cast<const char *>(Addr),
+                               static_cast<size_t>(St.st_size)),
+              true};
+        }
+      } else {
+        ::close(Fd);
+      }
+    }
+    // Fall through to the read() path: open/fstat/mmap failed (special
+    // file, exotic filesystem, resource limit).
+    telemetry::count("arena.mmap_fallbacks");
+  }
+#else
+  (void)AllowMmap;
+#endif
+
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return std::nullopt;
+  In.seekg(0, std::ios::end);
+  std::streampos EndPos = In.tellg();
+  if (EndPos < 0)
+    return std::nullopt;
+  size_t Size = static_cast<size_t>(EndPos);
+  In.seekg(0, std::ios::beg);
+  char *Dst = static_cast<char *>(allocate(Size, 1));
+  if (Size != 0 && !In.read(Dst, static_cast<std::streamsize>(Size)))
+    return std::nullopt;
+  telemetry::count("arena.files_mapped");
+  return FileMapping{std::string_view(Dst, Size), false};
+}
+
+} // namespace namer

@@ -1,0 +1,104 @@
+//===- support/Arena.h - Slab arena and zero-copy file mapping --*- C++ -*-==//
+//
+// Part of the Namer reproduction of "Learning to Find Naming Issues with Big
+// Code and Small Supervision" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bump allocator over geometrically growing slabs, used by the ingest
+/// path to keep per-worker allocations contiguous: file contents, copied
+/// strings and other ingest-lifetime byte buffers land in a handful of
+/// large slabs instead of one heap allocation per object. Everything is
+/// freed at once when the arena dies; there is no per-object free.
+///
+/// The arena also owns file mappings: mapFile() mmaps a file read-only
+/// (zero-copy -- the kernel pages the bytes in on demand) and falls back to
+/// a plain read() into arena storage on platforms or filesystems where mmap
+/// fails. Views returned by mapFile()/copyString() stay valid for the
+/// arena's lifetime.
+///
+/// Thread model: an Arena is single-threaded (one per worker). Telemetry
+/// counters (`arena.*`) are global sums and safe to record from any number
+/// of arenas concurrently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_SUPPORT_ARENA_H
+#define NAMER_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace namer {
+
+class Arena {
+public:
+  /// Slabs double from FirstSlabBytes up to MaxSlabBytes; requests larger
+  /// than MaxSlabBytes get a dedicated slab of exactly the requested size.
+  static constexpr size_t FirstSlabBytes = 64 * 1024;
+  static constexpr size_t MaxSlabBytes = 4 * 1024 * 1024;
+
+  Arena() = default;
+  ~Arena();
+
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Returns \p Size bytes aligned to \p Align (a power of two). Never
+  /// returns null; the bytes are uninitialized.
+  void *allocate(size_t Size, size_t Align = alignof(std::max_align_t));
+
+  /// Copies \p Text into the arena; the returned view stays valid for the
+  /// arena's lifetime.
+  std::string_view copyString(std::string_view Text);
+
+  /// One mapped (or read) file.
+  struct FileMapping {
+    std::string_view Contents;
+    bool Mmapped = false; ///< true: kernel mapping; false: read() fallback
+  };
+
+  /// Maps \p Path read-only. Tries mmap first (zero-copy) and falls back to
+  /// reading the file into arena storage; \p AllowMmap false forces the
+  /// fallback path (tests and platforms without mmap). Returns nullopt when
+  /// the file cannot be opened or read.
+  std::optional<FileMapping> mapFile(const std::string &Path,
+                                     bool AllowMmap = true);
+
+  // --- Statistics -------------------------------------------------------
+  /// Bytes handed out by allocate()/copyString(), including alignment skips.
+  size_t bytesAllocated() const { return Allocated; }
+  /// Bytes reserved in slabs (>= bytesAllocated(); excludes mmap regions).
+  size_t bytesReserved() const { return Reserved; }
+  size_t numSlabs() const { return Slabs.size(); }
+  size_t numMappings() const { return Mappings.size(); }
+
+private:
+  struct Slab {
+    std::unique_ptr<char[]> Data;
+    size_t Size = 0;
+    size_t Used = 0;
+  };
+  /// An active mmap region, unmapped in the destructor.
+  struct Mapping {
+    void *Addr = nullptr;
+    size_t Len = 0;
+  };
+
+  /// Appends a slab with room for at least \p MinBytes.
+  Slab &addSlab(size_t MinBytes);
+
+  std::vector<Slab> Slabs;
+  std::vector<Mapping> Mappings;
+  size_t Allocated = 0;
+  size_t Reserved = 0;
+};
+
+} // namespace namer
+
+#endif // NAMER_SUPPORT_ARENA_H

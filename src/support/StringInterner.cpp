@@ -65,6 +65,10 @@ Symbol StringInterner::intern(std::string_view Text) {
 #else
   std::lock_guard<std::mutex> L(Sh.M);
 #endif
+  return internLocked(Sh, Text);
+}
+
+Symbol StringInterner::internLocked(Shard &Sh, std::string_view Text) {
   auto It = Sh.Map.find(Text);
   if (It != Sh.Map.end())
     return It->second;
@@ -78,6 +82,71 @@ Symbol StringInterner::intern(std::string_view Text) {
   publish(S, &Stored);
   Sh.Map.emplace(std::string_view(Stored), S);
   return S;
+}
+
+StringInterner::BatchHandle::~BatchHandle() {
+  // A handle that interned anything was one batched stretch, on top of any
+  // explicit internBatch() calls it served.
+  if (Strings)
+    ++Batches;
+  // One registry lookup per handle instead of one per token.
+  if (Batches)
+    telemetry::count("interner.batch.batches", Batches);
+  if (Strings)
+    telemetry::count("interner.batch.strings", Strings);
+  if (CacheHits)
+    telemetry::count("interner.batch.cache_hits", CacheHits);
+  if (ShardLocks)
+    telemetry::count("interner.batch.shard_locks", ShardLocks);
+}
+
+Symbol StringInterner::BatchHandle::intern(std::string_view Text) {
+  ++Strings;
+  auto It = Cache.find(Text);
+  if (It != Cache.end()) {
+    ++CacheHits;
+    return It->second;
+  }
+  ++ShardLocks;
+  Symbol S = Interner.intern(Text);
+  // Key on the interner's stable storage, not the caller's buffer.
+  Cache.emplace(Interner.text(S), S);
+  return S;
+}
+
+void StringInterner::BatchHandle::internBatch(
+    const std::vector<std::string_view> &Texts, std::vector<Symbol> &Out) {
+  ++Batches;
+  Strings += Texts.size();
+  Out.resize(Texts.size());
+
+  // Pass 1: serve cache hits; bucket the misses by target shard.
+  std::array<std::vector<size_t>, NumShards> MissByShard;
+  for (size_t I = 0; I != Texts.size(); ++I) {
+    auto It = Cache.find(Texts[I]);
+    if (It != Cache.end()) {
+      ++CacheHits;
+      Out[I] = It->second;
+    } else {
+      MissByShard[shardIndex(Texts[I])].push_back(I);
+    }
+  }
+
+  // Pass 2: one lock acquisition per touched shard resolves all of that
+  // shard's misses.
+  for (size_t ShIdx = 0; ShIdx != NumShards; ++ShIdx) {
+    const std::vector<size_t> &Misses = MissByShard[ShIdx];
+    if (Misses.empty())
+      continue;
+    ++ShardLocks;
+    Shard &Sh = Interner.Shards[ShIdx];
+    std::lock_guard<std::mutex> L(Sh.M);
+    for (size_t I : Misses)
+      Out[I] = Interner.internLocked(Sh, Texts[I]);
+  }
+  for (size_t ShIdx = 0; ShIdx != NumShards; ++ShIdx)
+    for (size_t I : MissByShard[ShIdx])
+      Cache.emplace(Interner.text(Out[I]), Out[I]);
 }
 
 Symbol StringInterner::lookup(std::string_view Text) const {

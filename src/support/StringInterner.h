@@ -37,6 +37,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 namespace namer {
 
@@ -79,6 +80,40 @@ public:
   /// Number of interned strings, including the reserved epsilon entry.
   size_t size() const { return NextSymbol.load(std::memory_order_acquire); }
 
+  /// Amortizes shard locking for a single-threaded stretch of interning
+  /// (one file's tokens, one commit pass). The handle keeps a local
+  /// string -> symbol cache, so repeated texts are resolved without
+  /// touching the shared table at all, and internBatch() groups cache
+  /// misses by shard so each touched shard's mutex is taken once per batch
+  /// instead of once per token.
+  ///
+  /// Cache keys are the interner's own stable text(S) views, so they stay
+  /// valid however the caller's buffers move. A handle is not thread-safe;
+  /// create one per worker. Telemetry (`interner.batch.*`: batches,
+  /// strings, cache_hits, shard_locks) is flushed on destruction.
+  class BatchHandle {
+  public:
+    explicit BatchHandle(StringInterner &I) : Interner(I) {}
+    ~BatchHandle();
+    BatchHandle(const BatchHandle &) = delete;
+    BatchHandle &operator=(const BatchHandle &) = delete;
+
+    /// intern() through the handle cache; one shard lock on a miss.
+    Symbol intern(std::string_view Text);
+
+    /// Resolves Texts[i] into Out[i] (Out is resized), locking each
+    /// touched shard once for all of that shard's cache misses.
+    void internBatch(const std::vector<std::string_view> &Texts,
+                     std::vector<Symbol> &Out);
+
+    StringInterner &interner() { return Interner; }
+
+  private:
+    StringInterner &Interner;
+    std::unordered_map<std::string_view, Symbol> Cache;
+    uint64_t Batches = 0, Strings = 0, CacheHits = 0, ShardLocks = 0;
+  };
+
 private:
   static constexpr size_t NumShards = 16; // power of two
   /// Directory segment k holds FirstSegmentSize << k entries, so 26
@@ -101,6 +136,9 @@ private:
 
   /// Makes text(S) resolve to \p Str; allocates the segment on demand.
   void publish(Symbol S, const std::string *Str);
+
+  /// intern() body with \p Sh.M already held by the caller.
+  Symbol internLocked(Shard &Sh, std::string_view Text);
 
   std::array<Shard, NumShards> Shards;
   std::atomic<Symbol> NextSymbol{0};

@@ -10,24 +10,26 @@ static bool isLower(char C) { return std::islower(static_cast<unsigned char>(C))
 static bool isUpper(char C) { return std::isupper(static_cast<unsigned char>(C)); }
 static bool isDigit(char C) { return std::isdigit(static_cast<unsigned char>(C)); }
 
-std::vector<std::string> namer::splitSubtokens(std::string_view Name) {
-  std::vector<std::string> Result;
-  std::string Current;
-  auto Flush = [&] {
-    if (!Current.empty()) {
-      Result.push_back(Current);
-      Current.clear();
-    }
-  };
-
+/// Visits each subtoken as a (start, length) range of Name. Boundaries only
+/// separate -- no character is rewritten -- so every subtoken is a
+/// contiguous substring; the three public entry points share this walk.
+template <typename Fn>
+static void forEachSubtoken(std::string_view Name, Fn &&Visit) {
+  constexpr size_t None = static_cast<size_t>(-1);
+  size_t Start = None; // start of the open subtoken; None when closed
   for (size_t I = 0, E = Name.size(); I != E; ++I) {
     char C = Name[I];
     if (C == '_') {
-      Flush();
+      if (Start != None) {
+        Visit(Start, I - Start);
+        Start = None;
+      }
       continue;
     }
-    if (!Current.empty()) {
-      char Prev = Current.back();
+    if (Start != None) {
+      // Prev is the last character appended, i.e. Name[I-1]: an open
+      // subtoken means Name[I-1] was not an underscore.
+      char Prev = Name[I - 1];
       bool Boundary = false;
       // lower/digit -> Upper: "assertTrue" splits before 'T'.
       if (isUpper(C) && (isLower(Prev) || isDigit(Prev)))
@@ -40,13 +42,38 @@ std::vector<std::string> namer::splitSubtokens(std::string_view Name) {
         Boundary = true;
       else if (!isDigit(C) && isDigit(Prev))
         Boundary = true;
-      if (Boundary)
-        Flush();
+      if (Boundary) {
+        Visit(Start, I - Start);
+        Start = None;
+      }
     }
-    Current.push_back(C);
+    if (Start == None)
+      Start = I;
   }
-  Flush();
+  if (Start != None)
+    Visit(Start, Name.size() - Start);
+}
+
+std::vector<std::string> namer::splitSubtokens(std::string_view Name) {
+  std::vector<std::string> Result;
+  forEachSubtoken(Name, [&](size_t Start, size_t Len) {
+    Result.emplace_back(Name.substr(Start, Len));
+  });
   return Result;
+}
+
+std::vector<std::string_view> namer::splitSubtokenViews(std::string_view Name) {
+  std::vector<std::string_view> Result;
+  forEachSubtoken(Name, [&](size_t Start, size_t Len) {
+    Result.push_back(Name.substr(Start, Len));
+  });
+  return Result;
+}
+
+size_t namer::countSubtokens(std::string_view Name) {
+  size_t N = 0;
+  forEachSubtoken(Name, [&](size_t, size_t) { ++N; });
+  return N;
 }
 
 bool namer::isSnakeCase(std::string_view Name) {

@@ -25,6 +25,16 @@ namespace namer {
 /// all-underscore name yields an empty vector.
 std::vector<std::string> splitSubtokens(std::string_view Name);
 
+/// splitSubtokens without copying: every subtoken is a contiguous substring
+/// of \p Name (boundaries only ever separate; no case transformation), so
+/// the result views into \p Name's storage. Valid only while that storage
+/// lives -- the zero-copy ingest path uses this over arena-backed sources.
+std::vector<std::string_view> splitSubtokenViews(std::string_view Name);
+
+/// Number of subtokens splitSubtokens(\p Name) would produce, without
+/// allocating. Used to pre-size node storage before AST+ expansion.
+size_t countSubtokens(std::string_view Name);
+
 /// Joins \p Subtokens back into an identifier in the style of \p Like:
 /// snake_case if \p Like contains an underscore or is all lowercase,
 /// camelCase otherwise. Used to render suggested fixes.

@@ -456,6 +456,14 @@ std::string telemetry::statsJson(const RunMeta &Meta) {
   return Out;
 }
 
+double telemetry::spanTotalUs(std::string_view Name) {
+  uint64_t TotalNs = 0;
+  for (const EventSnapshot &E : snapshotEvents())
+    if (Name == E.Event.Name)
+      TotalNs += E.Event.DurNs;
+  return static_cast<double>(TotalNs) / 1000.0;
+}
+
 std::string telemetry::summaryTable() {
   auto Spans = aggregateSpans(snapshotEvents());
   uint64_t GrandTotalNs = 0;

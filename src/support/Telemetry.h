@@ -188,6 +188,11 @@ private:
 /// Dense id of the calling thread (0 for the first thread that records).
 uint32_t currentThreadId();
 
+/// Sum of the durations (microseconds) of every completed span named
+/// \p Name recorded so far. Benches diff this around a run to price one
+/// stage without parsing statsJson().
+double spanTotalUs(std::string_view Name);
+
 /// Discards all recorded span events and zeroes all metric values. Metric
 /// addresses stay valid. Intended for tests and multi-run benches.
 void reset();
@@ -270,6 +275,7 @@ public:
 };
 
 inline uint32_t currentThreadId() { return 0; }
+inline double spanTotalUs(std::string_view) { return 0.0; }
 inline void reset() {}
 inline uint64_t debugAllocations() { return 0; }
 inline void setTimeSourceForTest(uint64_t (*)()) {}

@@ -141,13 +141,25 @@ void ThreadPool::workerLoop(unsigned Id) {
               .count());
       idleCounter().add(WaitedUs);
       telemetry::metrics().histogram("pool.idle_wait_us").record(WaitedUs);
+      // Attribute the wait to the labeled parallelFor the worker woke into
+      // (its submit() is what ended the wait), making per-stage barrier
+      // cost visible next to the total.
+      if (const char *Site = ActiveSite.load(std::memory_order_acquire))
+        telemetry::metrics()
+            .counter(std::string("pool.idle_us.") + Site)
+            .add(WaitedUs);
     }
   }
 }
 
 void ThreadPool::parallelFor(size_t Begin, size_t End,
                              const std::function<void(size_t)> &Body,
-                             size_t GrainSize) {
+                             size_t GrainSize, const char *Site) {
+  // Register the per-site idle counter at zero even on the sequential fast
+  // paths, so every labeled stage shows up in stats exports regardless of
+  // worker count.
+  if (Site && telemetry::enabled())
+    telemetry::metrics().counter(std::string("pool.idle_us.") + Site);
   if (Begin >= End)
     return;
   size_t N = End - Begin;
@@ -160,6 +172,13 @@ void ThreadPool::parallelFor(size_t Begin, size_t End,
   }
 
   telemetry::count("pool.parallel_fors");
+  // Publish the site for idle attribution; restored on every exit path.
+  const char *PrevSite = ActiveSite.exchange(Site, std::memory_order_acq_rel);
+  struct SiteRestore {
+    ThreadPool *Pool;
+    const char *Prev;
+    ~SiteRestore() { Pool->ActiveSite.store(Prev, std::memory_order_release); }
+  } Restore{this, PrevSite};
   GrainSize = std::max<size_t>(GrainSize, 1);
   // Aim for several chunks per worker so stealing can balance skewed
   // per-iteration costs, without dropping below the grain size.

@@ -60,9 +60,15 @@ public:
   ///
   /// Nested calls (from inside a task) run inline sequentially, so bodies
   /// may themselves use parallelFor freely.
+  ///
+  /// \p Site optionally names the call site (a string literal, like
+  /// TraceSpan names). While this parallelFor runs, worker idle time is
+  /// additionally attributed to the counter `pool.idle_us.<Site>` (which
+  /// is registered at zero up front), so statsJson() shows which stage's
+  /// barrier the pool was parked behind.
   void parallelFor(size_t Begin, size_t End,
                    const std::function<void(size_t)> &Body,
-                   size_t GrainSize = 1);
+                   size_t GrainSize = 1, const char *Site = nullptr);
 
   /// parallelFor over a vector, collecting F(Items[I]) into slot I of the
   /// result. R must be default-constructible.
@@ -96,6 +102,9 @@ private:
   bool Stopping = false;
   size_t QueuedTasks = 0; // guarded by SleepM
   std::atomic<unsigned> NextQueue{0};
+  /// Site label of the parallelFor currently draining, for per-site idle
+  /// attribution; null outside any labeled parallelFor.
+  std::atomic<const char *> ActiveSite{nullptr};
 };
 
 } // namespace namer

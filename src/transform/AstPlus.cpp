@@ -5,6 +5,7 @@
 #include "support/Subtokens.h"
 #include "support/Telemetry.h"
 
+#include <algorithm>
 #include <string>
 
 using namespace namer;
@@ -41,6 +42,36 @@ void namer::transformToAstPlus(Tree &Module, const OriginMap &Origins) {
   AstContext &Ctx = Module.context();
   // Snapshot: transforms append nodes; only original nodes are rewritten.
   const size_t OriginalSize = Module.size();
+
+  // Intern every label and subtoken of this transform through one batch
+  // handle: repeated texts (common subtokens, NumST/NumArgs labels) are
+  // cache hits that never touch the shared interner.
+  StringInterner::BatchHandle Handle(Ctx.strings());
+  Module.setInternHandle(&Handle);
+
+  // Pre-count exactly how many nodes the steps below will append -- one
+  // NumArgs parent per call/definition, one Subtoken child per subtoken,
+  // one Origin parent per decorated subtoken -- and reserve once, so the
+  // node vector never reallocates while the tree grows.
+  size_t Added = 0;
+  for (NodeId N = 0; N != OriginalSize; ++N) {
+    const Node &Nd = Module.node(N);
+    if (Nd.Kind == NodeKind::Call || Nd.Kind == NodeKind::New ||
+        Nd.Kind == NodeKind::FunctionDef)
+      ++Added;
+    if (Nd.Kind != NodeKind::Ident)
+      continue;
+    bool IsName = identCarriesName(Module, N);
+    bool IsLiteral = identIsLiteral(Module, N);
+    if (!IsName && !IsLiteral)
+      continue;
+    size_t K =
+        IsLiteral ? 1 : std::max<size_t>(countSubtokens(Ctx.text(Nd.Value)), 1);
+    Added += K;
+    if (Origins.find(N) != Origins.end())
+      Added += K; // one Origin parent per subtoken
+  }
+  Module.reserveNodes(OriginalSize + Added);
 
   // Step 1: literal abstraction. The literal Ident's value becomes
   // NUM/STR/BOOL so "90" and "17" share name paths.
@@ -79,13 +110,15 @@ void namer::transformToAstPlus(Tree &Module, const OriginMap &Origins) {
       continue;
     }
     std::string Label = "NumArgs(" + std::to_string(ArgCount) + ")";
-    Module.insertAbove(N, NodeKind::NumArgs, Ctx.intern(Label));
+    Module.insertAbove(N, NodeKind::NumArgs, Handle.intern(Label));
   }
 
   // Step 3: subtoken splitting. Each name Ident becomes a NumST(k) node
-  // with Subtoken children; literal tokens get NumST(1).
+  // with Subtoken children; literal tokens get NumST(1). Subtokens are
+  // contiguous substrings of the interned name, so the split produces
+  // views into the interner's stable storage -- no per-subtoken copy.
   for (NodeId N = 0; N != OriginalSize; ++N) {
-    // Copy, not reference: addNode below may reallocate the node vector.
+    // Copy, not reference: addNode below appends to the node vector.
     const Node Nd = Module.node(N);
     if (Nd.Kind != NodeKind::Ident)
       continue;
@@ -94,20 +127,21 @@ void namer::transformToAstPlus(Tree &Module, const OriginMap &Origins) {
     if (!IsName && !IsLiteral)
       continue;
 
-    std::vector<std::string> Subtokens;
+    std::string_view Text = Ctx.text(Nd.Value);
+    std::vector<std::string_view> Subtokens;
     if (IsLiteral) {
-      Subtokens.push_back(std::string(Ctx.text(Nd.Value)));
+      Subtokens.push_back(Text);
     } else {
-      Subtokens = splitSubtokens(Ctx.text(Nd.Value));
+      Subtokens = splitSubtokenViews(Text);
       if (Subtokens.empty())
-        Subtokens.push_back(std::string(Ctx.text(Nd.Value)));
+        Subtokens.push_back(Text);
     }
 
     std::string Label = "NumST(" + std::to_string(Subtokens.size()) + ")";
     Module.setKind(N, NodeKind::NumST);
-    Module.setValue(N, Ctx.intern(Label));
+    Module.setValue(N, Handle.intern(Label));
     std::vector<NodeId> SubtokenIds;
-    for (const std::string &Tok : Subtokens)
+    for (std::string_view Tok : Subtokens)
       SubtokenIds.push_back(
           Module.addNode(NodeKind::Subtoken, Tok, N, Nd.Line));
 
@@ -119,6 +153,7 @@ void namer::transformToAstPlus(Tree &Module, const OriginMap &Origins) {
     for (NodeId Sub : SubtokenIds)
       Module.insertAbove(Sub, NodeKind::Origin, It->second);
   }
+  Module.setInternHandle(nullptr);
   if (telemetry::enabled()) {
     // Cached reference: one registry lookup per process, not per file.
     static telemetry::Counter &NodesAdded =

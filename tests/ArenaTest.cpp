@@ -1,0 +1,165 @@
+//===- tests/ArenaTest.cpp - bump allocator and file mapping --------------==//
+//
+// Covers the Arena that backs zero-copy ingest: slab growth (doubling,
+// capped, oversized requests get a dedicated slab), alignment of every
+// allocation, stable copyString storage, and mapFile in both modes --
+// mmap and the read() fallback (forced via AllowMmap=false) -- including
+// the empty-file and missing-file edges.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+using namespace namer;
+
+namespace {
+
+/// Writes \p Contents to a fresh file under the test's temp directory and
+/// removes it on destruction.
+class TempFile {
+public:
+  TempFile(const std::string &Name, const std::string &Contents)
+      : Path((std::filesystem::temp_directory_path() /
+              ("namer_arena_test_" + Name))
+                 .string()) {
+    std::ofstream Out(Path, std::ios::binary);
+    Out << Contents;
+  }
+  ~TempFile() { std::remove(Path.c_str()); }
+  const std::string &path() const { return Path; }
+
+private:
+  std::string Path;
+};
+
+} // namespace
+
+TEST(Arena, StartsEmpty) {
+  Arena A;
+  EXPECT_EQ(A.bytesAllocated(), 0u);
+  EXPECT_EQ(A.bytesReserved(), 0u);
+  EXPECT_EQ(A.numSlabs(), 0u);
+  EXPECT_EQ(A.numMappings(), 0u);
+}
+
+TEST(Arena, SmallAllocationsShareOneSlab) {
+  Arena A;
+  void *P1 = A.allocate(100);
+  void *P2 = A.allocate(100);
+  ASSERT_NE(P1, nullptr);
+  ASSERT_NE(P2, nullptr);
+  EXPECT_NE(P1, P2);
+  EXPECT_EQ(A.numSlabs(), 1u);
+  EXPECT_GE(A.bytesAllocated(), 200u);
+  EXPECT_GE(A.bytesReserved(), A.bytesAllocated());
+}
+
+TEST(Arena, SlabsGrowWhenExhausted) {
+  Arena A;
+  // Fill well past the first slab; the arena must add slabs rather than
+  // fail, and reserve at least what was asked for.
+  size_t Total = 0;
+  for (int I = 0; I != 64; ++I) {
+    ASSERT_NE(A.allocate(8 * 1024), nullptr);
+    Total += 8 * 1024;
+  }
+  EXPECT_GT(A.numSlabs(), 1u);
+  EXPECT_GE(A.bytesAllocated(), Total);
+  EXPECT_GE(A.bytesReserved(), Total);
+}
+
+TEST(Arena, OversizedRequestGetsItsOwnSlab) {
+  Arena A;
+  // Far larger than MaxSlabBytes-capped doubling would provide in one
+  // step from a cold start.
+  const size_t Huge = 8 * 1024 * 1024;
+  char *P = static_cast<char *>(A.allocate(Huge, 1));
+  ASSERT_NE(P, nullptr);
+  // The whole range must be writable.
+  P[0] = 'a';
+  P[Huge - 1] = 'z';
+  EXPECT_EQ(P[0], 'a');
+  EXPECT_EQ(P[Huge - 1], 'z');
+  EXPECT_GE(A.bytesReserved(), Huge);
+}
+
+TEST(Arena, EveryAllocationRespectsAlignment) {
+  Arena A;
+  for (size_t Align : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    for (int I = 0; I != 10; ++I) {
+      // Odd sizes force misaligned bump offsets that allocate must fix up.
+      void *P = A.allocate(3, Align);
+      ASSERT_NE(P, nullptr);
+      EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % Align, 0u)
+          << "align " << Align << " iteration " << I;
+    }
+  }
+}
+
+TEST(Arena, CopyStringIsStableAndIndependent) {
+  Arena A;
+  std::string Source = "the quick brown fox";
+  std::string_view Copy = A.copyString(Source);
+  EXPECT_EQ(Copy, Source);
+  // The copy must not alias the source buffer.
+  EXPECT_NE(Copy.data(), Source.data());
+  Source.assign(Source.size(), 'x');
+  EXPECT_EQ(Copy, "the quick brown fox");
+}
+
+TEST(ArenaMapFile, MapsRegularFile) {
+  std::string Contents = "def f():\n    return 1\n";
+  TempFile File("maps_regular.py", Contents);
+  Arena A;
+  auto Mapped = A.mapFile(File.path());
+  ASSERT_TRUE(Mapped.has_value());
+  EXPECT_EQ(Mapped->Contents, Contents);
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_TRUE(Mapped->Mmapped);
+  EXPECT_EQ(A.numMappings(), 1u);
+#endif
+}
+
+TEST(ArenaMapFile, ReadFallbackMatchesMmapByteForByte) {
+  std::string Contents(100 * 1024, '\0');
+  for (size_t I = 0; I != Contents.size(); ++I)
+    Contents[I] = static_cast<char>('a' + I % 26);
+  TempFile File("fallback.py", Contents);
+
+  Arena Mmapped;
+  auto ViaMap = Mmapped.mapFile(File.path(), /*AllowMmap=*/true);
+  Arena Read;
+  auto ViaRead = Read.mapFile(File.path(), /*AllowMmap=*/false);
+  ASSERT_TRUE(ViaMap.has_value());
+  ASSERT_TRUE(ViaRead.has_value());
+  EXPECT_FALSE(ViaRead->Mmapped);
+  EXPECT_EQ(Read.numMappings(), 0u);
+  EXPECT_GE(Read.bytesAllocated(), Contents.size());
+  EXPECT_EQ(ViaMap->Contents, ViaRead->Contents);
+  EXPECT_EQ(ViaRead->Contents, Contents);
+}
+
+TEST(ArenaMapFile, EmptyFileYieldsEmptyView) {
+  TempFile File("empty.py", "");
+  Arena A;
+  auto Mapped = A.mapFile(File.path());
+  ASSERT_TRUE(Mapped.has_value());
+  EXPECT_TRUE(Mapped->Contents.empty());
+}
+
+TEST(ArenaMapFile, MissingFileYieldsNullopt) {
+  Arena A;
+  EXPECT_FALSE(
+      A.mapFile("/nonexistent/namer_arena_test/missing.py").has_value());
+  EXPECT_FALSE(A.mapFile("/nonexistent/namer_arena_test/missing.py",
+                         /*AllowMmap=*/false)
+                   .has_value());
+}

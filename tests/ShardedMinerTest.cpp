@@ -1,0 +1,135 @@
+//===- tests/ShardedMinerTest.cpp - sharded FP-tree mining determinism ----==//
+//
+// The miner's tentpole contract: Miner::build partitions statements across
+// MineShards FP-trees by a deterministic hash, grows the shard trees in
+// parallel, and merges them canonically -- and the generated patterns (ids,
+// counts, renderings, downstream reports) are bitwise identical to the
+// sequential single-tree build at EVERY shard count and EVERY thread
+// count. This suite pins that matrix: shards {1, 4, 16} x threads {1, 8},
+// on the generated corpus and on a corpus salted with adversarial files
+// (quarantine churn must not perturb the partition).
+//
+//===----------------------------------------------------------------------===//
+
+#include "namer/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+using namespace namer;
+
+namespace {
+
+corpus::Corpus makeCorpus(corpus::Language Lang, bool Adversarial) {
+  corpus::CorpusConfig Config;
+  Config.Lang = Lang;
+  Config.NumRepos = 40;
+  corpus::Corpus C = corpus::generateCorpus(Config);
+  if (Adversarial) {
+    // Quarantine fodder: one depth-bomb per flavor. These files must be
+    // skipped identically at every shard/thread count, so the statement
+    // stream the miner partitions stays byte-for-byte the same.
+    corpus::Repository Bad;
+    Bad.Name = "adversarial";
+    std::string Deep =
+        "x = " + std::string(300, '(') + "1" + std::string(300, ')') + "\n";
+    Bad.Files.push_back(corpus::SourceFile{"adversarial/deep.py", Deep, {}});
+    Bad.Files.push_back(corpus::SourceFile{
+        "adversarial/unterminated.py", "s = \"never closed\n", {}});
+    Bad.Files.push_back(
+        corpus::SourceFile{"adversarial/empty.py", "", {}});
+    C.Repos.push_back(std::move(Bad));
+  }
+  return C;
+}
+
+std::unique_ptr<NamerPipeline> buildPipeline(const corpus::Corpus &C,
+                                             size_t Shards,
+                                             unsigned Threads) {
+  PipelineConfig PC;
+  PC.Miner.MinPatternSupport = 20;
+  PC.Miner.MineShards = Shards;
+  PC.Threads = Threads;
+  auto P = std::make_unique<NamerPipeline>(PC);
+  P->build(C);
+  return P;
+}
+
+/// Bitwise identity of everything mining feeds downstream: pattern ids and
+/// statistics, renderings, violations, and reports.
+void expectIdentical(NamerPipeline &A, NamerPipeline &B) {
+  ASSERT_EQ(A.patterns().size(), B.patterns().size());
+  for (size_t I = 0; I != A.patterns().size(); ++I) {
+    const NamePattern &PA = A.patterns()[I];
+    const NamePattern &PB = B.patterns()[I];
+    ASSERT_TRUE(PA == PB) << "pattern " << I;
+    ASSERT_EQ(PA.Support, PB.Support) << "pattern " << I;
+    ASSERT_EQ(PA.DatasetMatches, PB.DatasetMatches) << "pattern " << I;
+    ASSERT_EQ(PA.DatasetSatisfactions, PB.DatasetSatisfactions)
+        << "pattern " << I;
+    ASSERT_EQ(PA.DatasetViolations, PB.DatasetViolations) << "pattern " << I;
+    ASSERT_EQ(formatPattern(PA, A.table(), A.context()),
+              formatPattern(PB, B.table(), B.context()))
+        << "pattern rendering " << I;
+  }
+  ASSERT_EQ(A.violations().size(), B.violations().size());
+  for (size_t I = 0; I != A.violations().size(); ++I) {
+    const Violation &VA = A.violations()[I];
+    const Violation &VB = B.violations()[I];
+    ASSERT_EQ(VA.Stmt, VB.Stmt) << "violation " << I;
+    ASSERT_EQ(VA.Pattern, VB.Pattern) << "violation " << I;
+    Report RA = A.makeReport(VA);
+    Report RB = B.makeReport(VB);
+    EXPECT_EQ(RA.File, RB.File);
+    EXPECT_EQ(RA.Line, RB.Line);
+    EXPECT_EQ(RA.Original, RB.Original);
+    EXPECT_EQ(RA.Suggested, RB.Suggested);
+    EXPECT_EQ(RA.Kind, RB.Kind);
+  }
+}
+
+class ShardedMinerTest
+    : public testing::TestWithParam<std::tuple<size_t, unsigned>> {};
+
+} // namespace
+
+TEST_P(ShardedMinerTest, PatternsIdenticalToSequentialSingleTree) {
+  auto [Shards, Threads] = GetParam();
+  corpus::Corpus C = makeCorpus(corpus::Language::Python, false);
+  // Reference: one shard, one thread -- the plain sequential build.
+  std::unique_ptr<NamerPipeline> Ref = buildPipeline(C, 1, 1);
+  std::unique_ptr<NamerPipeline> Sharded = buildPipeline(C, Shards, Threads);
+  ASSERT_FALSE(Ref->patterns().empty());
+  expectIdentical(*Ref, *Sharded);
+}
+
+TEST_P(ShardedMinerTest, AdversarialCorpusStaysIdenticalToo) {
+  auto [Shards, Threads] = GetParam();
+  corpus::Corpus C = makeCorpus(corpus::Language::Python, true);
+  std::unique_ptr<NamerPipeline> Ref = buildPipeline(C, 1, 1);
+  std::unique_ptr<NamerPipeline> Sharded = buildPipeline(C, Shards, Threads);
+  // The depth bomb quarantines identically in both builds.
+  ASSERT_GE(Ref->numQuarantined(), 1u);
+  ASSERT_EQ(Ref->numQuarantined(), Sharded->numQuarantined());
+  ASSERT_FALSE(Ref->patterns().empty());
+  expectIdentical(*Ref, *Sharded);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardsByThreads, ShardedMinerTest,
+    testing::Combine(testing::Values<size_t>(1, 4, 16),
+                     testing::Values<unsigned>(1, 8)),
+    [](const testing::TestParamInfo<std::tuple<size_t, unsigned>> &Info) {
+      return "Shards" + std::to_string(std::get<0>(Info.param)) + "Threads" +
+             std::to_string(std::get<1>(Info.param));
+    });
+
+TEST(ShardedMinerJava, SixteenShardsEightThreadsMatchSequential) {
+  corpus::Corpus C = makeCorpus(corpus::Language::Java, false);
+  std::unique_ptr<NamerPipeline> Ref = buildPipeline(C, 1, 1);
+  std::unique_ptr<NamerPipeline> Sharded = buildPipeline(C, 16, 8);
+  ASSERT_FALSE(Ref->patterns().empty());
+  expectIdentical(*Ref, *Sharded);
+}

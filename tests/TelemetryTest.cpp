@@ -281,7 +281,10 @@ TEST(TelemetryPipeline, StatsCoverEveryStageOnRealRun) {
        {"parse.files", "datalog.tuples", "transform.nodes_added",
         "namepath.paths", "fptree.nodes", "pipeline.violations",
         "report.explanations", "report.sarif_bytes",
-        "report.findings_bytes"}) {
+        "report.findings_bytes", "fptree.shard.trees",
+        "fptree.shard.statements", "fptree.shard.merged_nodes",
+        "interner.batch.batches", "interner.batch.strings",
+        "interner.batch.cache_hits", "interner.batch.shard_locks"}) {
     ASSERT_TRUE(Snap.count(Name)) << Name;
     EXPECT_GT(Snap[Name], 0) << Name;
   }
@@ -289,7 +292,10 @@ TEST(TelemetryPipeline, StatsCoverEveryStageOnRealRun) {
        {"prune.dropped", "prune.kept", "classifier.predictions",
         "pool.tasks", "pool.steals", "pool.idle_us",
         "pool.idle_wait_us.count", "report.witnesses",
-        "report.sarif_results", "report.findings_results"})
+        "report.sarif_results", "report.findings_results",
+        "arena.slabs", "arena.bytes", "arena.files_mapped",
+        "arena.mmap_fallbacks", "pool.idle_us.pipeline.ingest",
+        "pool.idle_us.pipeline.scan", "pool.idle_us.fptree.build"})
     EXPECT_TRUE(Snap.count(Name)) << Name;
   EXPECT_GE(Snap["classifier.predictions"], 1);
   EXPECT_EQ(Snap["report.explanations"], 1);
@@ -320,7 +326,7 @@ TEST(TelemetryPipeline, StatsCoverEveryStageOnRealRun) {
         "fptree.generate", "pattern.prune", "classifier.train",
         "pipeline.build", "pipeline.ingest", "pipeline.commit",
         "pipeline.scan", "ingest.file", "report.explain",
-        "report.export"})
+        "report.export", "fptree.shard.build", "fptree.shard.merge"})
     EXPECT_NE(Stats.find("\"" + std::string(Span) + "\""),
               std::string::npos)
         << Span;

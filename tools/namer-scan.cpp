@@ -4,7 +4,7 @@
 //
 //   namer-scan --lang=python [--no-classifier] [--max-reports=N]
 //              [--threads=N] [--max-file-bytes=N] [--max-nesting=N]
-//              [--strict] [--stats[=FILE]] [--trace-out=FILE]
+//              [--mine-shards=N] [--strict] [--stats[=FILE]] [--trace-out=FILE]
 //              [--sarif=FILE] [--findings=FILE] [--explain[=N]]
 //              [--fail-on-findings] DIR
 //
@@ -34,6 +34,7 @@
 
 #include "namer/Evaluation.h"
 #include "namer/FindingsExport.h"
+#include "support/Arena.h"
 #include "support/Telemetry.h"
 #include "support/TextTable.h"
 
@@ -43,6 +44,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -78,6 +80,10 @@ struct Options {
   /// (0 = keep the IngestLimits default).
   size_t MaxFileBytes = 0;
   unsigned MaxNesting = 0;
+  /// --mine-shards=N: number of FP-tree shards the miner grows in
+  /// parallel (0 = keep the MinerConfig default). Patterns are identical
+  /// at every value; this is a throughput knob only.
+  size_t MineShards = 0;
   /// --strict: exit 3 when any file was quarantined during ingestion.
   bool Strict = false;
   std::string Directory;
@@ -87,7 +93,8 @@ void printUsage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--lang=python|java] [--no-classifier] "
                "[--max-reports=N] [--threads=N] [--max-file-bytes=N] "
-               "[--max-nesting=N] [--strict] [--stats[=FILE]] "
+               "[--max-nesting=N] [--mine-shards=N] [--strict] "
+               "[--stats[=FILE]] "
                "[--trace-out=FILE] [--sarif=FILE] [--findings=FILE] "
                "[--explain[=N]] [--fail-on-findings] DIR\n",
                Argv0);
@@ -134,6 +141,9 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
     } else if (Arg.rfind("--max-nesting=", 0) == 0) {
       Opts.MaxNesting = static_cast<unsigned>(std::strtoul(
           Arg.c_str() + std::strlen("--max-nesting="), nullptr, 10));
+    } else if (Arg.rfind("--mine-shards=", 0) == 0) {
+      Opts.MineShards = static_cast<size_t>(std::strtoul(
+          Arg.c_str() + std::strlen("--mine-shards="), nullptr, 10));
     } else if (Arg == "--strict") {
       Opts.Strict = true;
     } else if (Arg.rfind("--", 0) == 0) {
@@ -150,8 +160,13 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
 }
 
 /// Loads every source file with the language's extension under \p Root.
+/// File bytes are mmapped (or read, when mapping fails) into \p FileArena,
+/// which must outlive the returned repository: the SourceFiles reference
+/// the arena's buffers instead of owning copies, so ingestion lexes
+/// straight from the page cache.
 corpus::Repository loadRepository(const std::string &Root,
-                                  corpus::Language Lang, size_t &Skipped) {
+                                  corpus::Language Lang, Arena &FileArena,
+                                  size_t &Skipped) {
   corpus::Repository Repo;
   Repo.Name = Root;
   const char *Extension = Lang == corpus::Language::Python ? ".py" : ".java";
@@ -162,15 +177,16 @@ corpus::Repository loadRepository(const std::string &Root,
       break;
     if (!It->is_regular_file() || It->path().extension() != Extension)
       continue;
-    std::ifstream Stream(It->path());
-    if (!Stream) {
+    std::string Path = It->path().string();
+    std::optional<Arena::FileMapping> Mapped = FileArena.mapFile(Path);
+    if (!Mapped) {
       ++Skipped;
       continue;
     }
     corpus::SourceFile F;
-    F.Path = It->path().string();
-    F.Text.assign(std::istreambuf_iterator<char>(Stream),
-                  std::istreambuf_iterator<char>());
+    F.Path = std::move(Path);
+    F.View = Mapped->Contents;
+    F.Mapped = true;
     Repo.Files.push_back(std::move(F));
   }
   return Repo;
@@ -206,8 +222,11 @@ int main(int Argc, char **Argv) {
   }
 
   size_t Skipped = 0;
+  // Owns every scanned file's bytes (mmap regions or read slabs); must
+  // stay alive until the pipeline is done reading the corpus.
+  Arena FileArena;
   corpus::Repository Project =
-      loadRepository(Opts.Directory, Opts.Lang, Skipped);
+      loadRepository(Opts.Directory, Opts.Lang, FileArena, Skipped);
   if (Project.Files.empty()) {
     std::fprintf(stderr, "no %s files under %s\n",
                  Opts.Lang == corpus::Language::Python ? ".py" : ".java",
@@ -233,6 +252,8 @@ int main(int Argc, char **Argv) {
     PC.Limits.MaxFileBytes = Opts.MaxFileBytes;
   if (Opts.MaxNesting)
     PC.Limits.MaxNestingDepth = Opts.MaxNesting;
+  if (Opts.MineShards)
+    PC.Miner.MineShards = Opts.MineShards;
   NamerPipeline Namer(PC);
   std::fprintf(stderr, "mining name patterns ...\n");
   Namer.build(BigCode);
