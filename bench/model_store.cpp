@@ -1,0 +1,260 @@
+//===- bench/model_store.cpp - model store / warm scan throughput ---------==//
+//
+// Measures the mine-once / scan-many split (DESIGN.md, "Model store &
+// incremental scan") on the deterministic bench corpus:
+//
+//   cold        NamerPipeline::build — parse + analyses + mine + prune +
+//               scan, the price --model-in amortizes away
+//   warm        loadModel + scanWith on an unchanged corpus — every file
+//               replays from the manifest, no mining at all
+//   incremental loadModel + scanWith after dirtying ~1% of the files —
+//               only the dirty set is re-ingested (counter-verified)
+//
+// Emits BENCH_model.json in the telemetry stats schema with the three
+// timings, the speedups, the model size, and the incremental file-change
+// counters. As a side effect it cross-checks the persistence contract:
+// cold, warm and incremental-vs-full-rescan reports must be identical
+// (warm/cold byte-identity; the incremental run is compared against a
+// UseCache=false full rescan of the same dirty corpus).
+//
+//   model_store [--out=PATH] [--runs=N] [--lang=python|java] [--threads=N]
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "namer/ModelStore.h"
+#include "namer/Pipeline.h"
+#include "support/Telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace namer;
+using namespace namer::bench;
+
+#ifndef NAMER_SOURCE_DIR
+#define NAMER_SOURCE_DIR "."
+#endif
+
+namespace {
+
+double elapsedMillis(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+uint64_t counterValue(const char *Name) {
+  for (const auto &[N, V] : telemetry::metrics().snapshot())
+    if (N == Name)
+      return V;
+  return 0;
+}
+
+std::vector<std::string> renderedReports(const NamerPipeline &P) {
+  std::vector<std::string> Out;
+  for (const Violation &V : P.violations()) {
+    Report R = P.makeReport(V);
+    Out.push_back(R.File + ":" + std::to_string(R.Line) + " " + R.Original +
+                  " -> " + R.Suggested);
+  }
+  return Out;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string OutPath = std::string(NAMER_SOURCE_DIR) + "/BENCH_model.json";
+  corpus::Language Lang = corpus::Language::Python;
+  size_t Runs = 3;
+  unsigned Threads = 0;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--out=", 0) == 0) {
+      OutPath = Arg.substr(std::strlen("--out="));
+    } else if (Arg.rfind("--runs=", 0) == 0) {
+      Runs = std::max<size_t>(
+          1, std::strtoul(Arg.c_str() + std::strlen("--runs="), nullptr, 10));
+    } else if (Arg == "--lang=python") {
+      Lang = corpus::Language::Python;
+    } else if (Arg == "--lang=java") {
+      Lang = corpus::Language::Java;
+    } else if (Arg.rfind("--threads=", 0) == 0) {
+      Threads = static_cast<unsigned>(
+          std::strtoul(Arg.c_str() + std::strlen("--threads="), nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--out=PATH] [--runs=N] [--lang=python|java] "
+                   "[--threads=N]\n",
+                   Argv[0]);
+      return 2;
+    }
+  }
+
+  printHeading("Model store / warm scan",
+               "cold mine vs warm load+scan vs incremental 1%-dirty "
+               "(min of " + std::to_string(Runs) + " run(s))");
+
+  corpus::Corpus C = makeCorpus(Lang);
+  size_t NumFiles = 0;
+  for (const corpus::Repository &R : C.Repos)
+    NumFiles += R.Files.size();
+
+  PipelineConfig PC;
+  PC.Threads = Threads;
+
+  std::string ModelPath =
+      (std::filesystem::temp_directory_path() / "namer-bench-model.nmr")
+          .string();
+
+  // Warm-up cold build: faults in corpus + code, and produces the model
+  // every warm run loads.
+  std::vector<std::string> ColdReports;
+  {
+    NamerPipeline P(PC);
+    P.build(C);
+    P.saveModel(ModelPath);
+    ColdReports = renderedReports(P);
+  }
+  telemetry::reset();
+
+  // --- cold: full mine ---------------------------------------------------
+  double ColdMillis = 0.0;
+  for (size_t Run = 0; Run != Runs; ++Run) {
+    NamerPipeline P(PC);
+    auto Start = std::chrono::steady_clock::now();
+    P.build(C);
+    double Millis = elapsedMillis(Start);
+    if (Run == 0 || Millis < ColdMillis)
+      ColdMillis = Millis;
+  }
+
+  // --- warm: load + scan, corpus unchanged -------------------------------
+  double WarmMillis = 0.0;
+  for (size_t Run = 0; Run != Runs; ++Run) {
+    NamerPipeline P(PC);
+    auto Start = std::chrono::steady_clock::now();
+    P.loadModel(ModelPath);
+    P.scanWith(C);
+    double Millis = elapsedMillis(Start);
+    if (Run == 0 || Millis < WarmMillis)
+      WarmMillis = Millis;
+    if (renderedReports(P) != ColdReports) {
+      std::fprintf(stderr, "FATAL: warm reports differ from cold build\n");
+      return 1;
+    }
+  }
+
+  // --- incremental: dirty ~1% of the files, rescan -----------------------
+  corpus::Corpus Dirty = C;
+  size_t Stride = std::max<size_t>(1, NumFiles / std::max<size_t>(
+                                           1, (NumFiles + 99) / 100));
+  size_t DirtyFiles = 0, FileIdx = 0;
+  for (corpus::Repository &R : Dirty.Repos)
+    for (corpus::SourceFile &F : R.Files) {
+      if (FileIdx++ % Stride == 0) {
+        F.Text += Lang == corpus::Language::Python ? "\n# touched\n"
+                                                   : "\n// touched\n";
+        F.View = {};
+        F.Mapped = false;
+        ++DirtyFiles;
+      }
+    }
+
+  // Reference result: full UseCache=false rescan of the dirty corpus.
+  std::vector<std::string> DirtyReports;
+  {
+    NamerPipeline P(PC);
+    P.loadModel(ModelPath);
+    P.scanWith(Dirty, /*UseCache=*/false);
+    DirtyReports = renderedReports(P);
+  }
+
+  double IncMillis = 0.0;
+  uint64_t Unchanged = 0, Modified = 0;
+  for (size_t Run = 0; Run != Runs; ++Run) {
+    telemetry::reset();
+    NamerPipeline P(PC);
+    auto Start = std::chrono::steady_clock::now();
+    P.loadModel(ModelPath);
+    P.scanWith(Dirty);
+    double Millis = elapsedMillis(Start);
+    if (Run == 0 || Millis < IncMillis)
+      IncMillis = Millis;
+    Unchanged = counterValue("incremental.files.unchanged");
+    Modified = counterValue("incremental.files.modified");
+    if (Modified != DirtyFiles || Unchanged != NumFiles - DirtyFiles) {
+      std::fprintf(stderr,
+                   "FATAL: incremental diff re-ingested the wrong set "
+                   "(%llu modified, expected %zu)\n",
+                   static_cast<unsigned long long>(Modified), DirtyFiles);
+      return 1;
+    }
+    if (renderedReports(P) != DirtyReports) {
+      std::fprintf(stderr,
+                   "FATAL: incremental reports differ from full rescan\n");
+      return 1;
+    }
+  }
+
+  uint64_t ModelBytes = std::filesystem::file_size(ModelPath);
+  double WarmSpeedup = ColdMillis / WarmMillis;
+  double IncSpeedup = ColdMillis / IncMillis;
+
+  std::printf("%-24s %12s %9s\n", "phase", "millis", "speedup");
+  std::printf("%-24s %12.1f %8.2fx\n", "cold mine", ColdMillis, 1.0);
+  std::printf("%-24s %12.1f %8.2fx\n", "warm load+scan", WarmMillis,
+              WarmSpeedup);
+  std::printf("%-24s %12.1f %8.2fx\n", "incremental (1% dirty)", IncMillis,
+              IncSpeedup);
+  std::printf("\nmodel: %llu bytes; incremental re-ingested %llu/%zu files "
+              "(%llu unchanged)\n",
+              static_cast<unsigned long long>(ModelBytes),
+              static_cast<unsigned long long>(Modified), NumFiles,
+              static_cast<unsigned long long>(Unchanged));
+  std::printf("reports identical cold/warm and incremental/full: yes\n");
+
+  char Buf[512];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "{\"cold_mine\": %.1f, \"warm_scan\": %.1f, \"incremental_scan\": "
+      "%.1f}",
+      ColdMillis, WarmMillis, IncMillis);
+
+  telemetry::RunMeta Meta = telemetry::defaultMeta("model_store", Threads);
+  Meta.Extra.emplace_back("benchmark", "\"model_store\"");
+  Meta.Extra.emplace_back("corpus_files", std::to_string(NumFiles));
+  Meta.Extra.emplace_back("runs_per_phase", std::to_string(Runs));
+  Meta.Extra.emplace_back("phase_millis", Buf);
+  Meta.Extra.emplace_back("model_bytes", std::to_string(ModelBytes));
+  std::snprintf(Buf, sizeof(Buf), "%.3f", WarmSpeedup);
+  Meta.Extra.emplace_back("warm_speedup_vs_cold", Buf);
+  std::snprintf(Buf, sizeof(Buf), "%.3f", IncSpeedup);
+  Meta.Extra.emplace_back("incremental_speedup_vs_cold", Buf);
+  Meta.Extra.emplace_back("dirty_files", std::to_string(DirtyFiles));
+  Meta.Extra.emplace_back("incremental_files_modified",
+                          std::to_string(Modified));
+  Meta.Extra.emplace_back("incremental_files_unchanged",
+                          std::to_string(Unchanged));
+  Meta.Extra.emplace_back("reports_identical", "true");
+
+  std::ofstream Json(OutPath, std::ios::binary);
+  if (!Json) {
+    std::fprintf(stderr, "cannot open %s for writing\n", OutPath.c_str());
+    return 1;
+  }
+  Json << telemetry::statsJson(Meta);
+  Json.close();
+  std::printf("wrote %s\n", OutPath.c_str());
+
+  std::error_code Ec;
+  std::filesystem::remove(ModelPath, Ec);
+  return 0;
+}

@@ -10,13 +10,19 @@
 // root regardless of the CWD; --out=PATH overrides the destination.
 //
 //   pipeline_parallel [--out=PATH] [--runs=N] [--corpus-dir=DIR]
-//                     [--lang=python|java]
+//                     [--lang=python|java] [--model-out=FILE]
+//                     [--model-in=FILE]
 //
 // --runs=N times each thread count N times and reports the minimum (the
 // least-noisy estimator on a shared machine). --corpus-dir benchmarks a
 // real directory tree instead of the generated corpus; its files are
 // mmapped into an Arena, so the run also exercises the zero-copy ingest
 // path end to end.
+//
+// --model-out saves the warm-up build's model (ModelStore.h) to FILE;
+// --model-in switches the measured runs from cold builds to warm
+// loadModel+scanWith scans, so the same thread sweep characterizes the
+// serve path (mine/prune stage millis drop to zero by construction).
 //
 // The machine's core count is recorded in the JSON: speedups are only
 // meaningful relative to `hardware_concurrency` (a 1-core container cannot
@@ -27,6 +33,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "namer/ModelStore.h"
 #include "namer/Pipeline.h"
 #include "support/Arena.h"
 #include "support/Telemetry.h"
@@ -77,14 +84,20 @@ double spanMillis(const char *Name) {
 
 std::unique_ptr<NamerPipeline> buildOnce(const corpus::Corpus &C,
                                          unsigned Threads, double &Millis,
-                                         StageMillis &Stages) {
+                                         StageMillis &Stages,
+                                         const std::string &ModelIn) {
   PipelineConfig Config;
   Config.Threads = Threads;
   auto Pipeline = std::make_unique<NamerPipeline>(Config);
   StageMillis Before{spanMillis("pipeline.ingest"), spanMillis("fptree.build"),
                      spanMillis("pattern.prune"), spanMillis("pipeline.scan")};
   auto Start = std::chrono::steady_clock::now();
-  Pipeline->build(C);
+  if (ModelIn.empty()) {
+    Pipeline->build(C);
+  } else {
+    Pipeline->loadModel(ModelIn);
+    Pipeline->scanWith(C);
+  }
   Millis = std::chrono::duration<double, std::milli>(
                std::chrono::steady_clock::now() - Start)
                .count();
@@ -169,6 +182,7 @@ std::optional<corpus::Corpus> loadCorpusDir(const std::string &Dir,
 int main(int Argc, char **Argv) {
   std::string OutPath = std::string(NAMER_SOURCE_DIR) + "/BENCH_pipeline.json";
   std::string CorpusDir;
+  std::string ModelIn, ModelOut;
   corpus::Language Lang = corpus::Language::Python;
   size_t Runs = 1;
   for (int I = 1; I < Argc; ++I) {
@@ -180,6 +194,10 @@ int main(int Argc, char **Argv) {
           1, std::strtoul(Arg.c_str() + std::strlen("--runs="), nullptr, 10));
     } else if (Arg.rfind("--corpus-dir=", 0) == 0) {
       CorpusDir = Arg.substr(std::strlen("--corpus-dir="));
+    } else if (Arg.rfind("--model-in=", 0) == 0) {
+      ModelIn = Arg.substr(std::strlen("--model-in="));
+    } else if (Arg.rfind("--model-out=", 0) == 0) {
+      ModelOut = Arg.substr(std::strlen("--model-out="));
     } else if (Arg == "--lang=python") {
       Lang = corpus::Language::Python;
     } else if (Arg == "--lang=java") {
@@ -187,7 +205,8 @@ int main(int Argc, char **Argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--out=PATH] [--runs=N] [--corpus-dir=DIR] "
-                   "[--lang=python|java]\n",
+                   "[--lang=python|java] [--model-out=FILE] "
+                   "[--model-in=FILE]\n",
                    Argv[0]);
       return 2;
     }
@@ -226,11 +245,22 @@ int main(int Argc, char **Argv) {
       ThreadCounts.end())
     ThreadCounts.push_back(Hardware);
 
-  // Warm-up: fault in the corpus and code before timing.
+  // Warm-up: fault in the corpus and code before timing. A cold warm-up
+  // build also provides the model --model-out persists.
   {
     double Ignored = 0.0;
     StageMillis IgnoredStages;
-    buildOnce(C, 1, Ignored, IgnoredStages);
+    std::unique_ptr<NamerPipeline> Warmup =
+        buildOnce(C, 1, Ignored, IgnoredStages, /*ModelIn=*/"");
+    if (!ModelOut.empty()) {
+      try {
+        Warmup->saveModel(ModelOut);
+        std::printf("wrote %s (model)\n", ModelOut.c_str());
+      } catch (const model::ModelError &E) {
+        std::fprintf(stderr, "model error: %s\n", E.what());
+        return 1;
+      }
+    }
   }
   // The exported counters/spans describe the measured builds only.
   telemetry::reset();
@@ -246,7 +276,13 @@ int main(int Argc, char **Argv) {
     for (size_t Run = 0; Run != Runs; ++Run) {
       double Millis = 0.0;
       StageMillis Stages;
-      std::unique_ptr<NamerPipeline> P = buildOnce(C, Threads, Millis, Stages);
+      std::unique_ptr<NamerPipeline> P;
+      try {
+        P = buildOnce(C, Threads, Millis, Stages, ModelIn);
+      } catch (const model::ModelError &E) {
+        std::fprintf(stderr, "model error: %s\n", E.what());
+        return 1;
+      }
       if (Run == 0 || Millis < M.Millis) {
         M.Millis = Millis;
         M.Stages = Stages;
@@ -285,6 +321,7 @@ int main(int Argc, char **Argv) {
   Meta.Extra.emplace_back("benchmark", "\"pipeline_parallel\"");
   Meta.Extra.emplace_back("corpus_files", std::to_string(NumFiles));
   Meta.Extra.emplace_back("runs_per_thread_count", std::to_string(Runs));
+  Meta.Extra.emplace_back("warm_scan", ModelIn.empty() ? "false" : "true");
   Meta.Extra.emplace_back("reports_identical_across_thread_counts", "true");
   Meta.Extra.emplace_back("runs", runsJson(Results));
 

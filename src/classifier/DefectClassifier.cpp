@@ -73,6 +73,27 @@ double DefectClassifier::bias() const {
   return Model->bias();
 }
 
+DefectClassifier::Snapshot DefectClassifier::snapshot() const {
+  assert(Model && "classifier not trained");
+  Snapshot S;
+  S.Family = Model->name();
+  S.Means = Scaler.means();
+  S.Stddevs = Scaler.stddevs();
+  S.Components = Projector.components();
+  S.Eigenvalues = Projector.eigenvalues();
+  S.Weights = Model->weights();
+  S.Bias = Model->bias();
+  return S;
+}
+
+void DefectClassifier::restore(const Snapshot &S) {
+  Scaler.restore(S.Means, S.Stddevs);
+  Projector.restore(S.Components, S.Eigenvalues);
+  Model = std::make_unique<ml::FrozenLinearModel>(S.Family, S.Weights, S.Bias);
+  SelectedFamily = S.Family;
+  SelectionResults.clear();
+}
+
 DefectClassifier::FeatureAttribution
 DefectClassifier::attribute(const std::vector<double> &Features) const {
   assert(Model && "classifier not trained");

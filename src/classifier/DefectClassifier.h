@@ -75,6 +75,27 @@ public:
     return SelectionResults;
   }
 
+  /// Everything the decision function depends on, as plain data. Because
+  /// the whole recipe is linear (standardize, project, dot + bias), a
+  /// restored snapshot reproduces decision() bit-exactly when the doubles
+  /// round-trip bit-exactly (the model store writes them as u64 bit
+  /// patterns).
+  struct Snapshot {
+    std::string Family;
+    std::vector<double> Means;
+    std::vector<double> Stddevs;
+    ml::Matrix Components; ///< rows = PCA components, cols = features
+    std::vector<double> Eigenvalues;
+    std::vector<double> Weights; ///< component-space model weights
+    double Bias = 0.0;
+  };
+  /// Valid after train() (or restore()).
+  Snapshot snapshot() const;
+  /// Reinstates a trained state; predict()/decision()/attribute() work as
+  /// on the instance the snapshot came from. Selection metrics are not
+  /// part of the snapshot (they describe training, not the model).
+  void restore(const Snapshot &S);
+
 private:
   Config Cfg;
   ml::Standardizer Scaler;

@@ -83,6 +83,11 @@ void ConfusingPairMiner::addRename(std::string_view Mistaken,
   ++Counts[pairKey(Ctx.intern(Mistaken), Ctx.intern(Correct))];
 }
 
+void ConfusingPairMiner::addPair(Symbol Mistaken, Symbol Correct,
+                                 uint32_t Count) {
+  Counts[pairKey(Mistaken, Correct)] += Count;
+}
+
 void ConfusingPairMiner::addCommit(const Tree &Before, const Tree &After) {
   for (const RenamedSubtoken &R : collectRenames(Before, After))
     addRename(R.Mistaken, R.Correct);

@@ -56,6 +56,11 @@ public:
   /// count.
   void addRename(std::string_view Mistaken, std::string_view Correct);
 
+  /// Reinstates one serialized pair with its accumulated count (the model
+  /// store's load path). The symbols must already be interned in this
+  /// miner's context.
+  void addPair(Symbol Mistaken, Symbol Correct, uint32_t Count);
+
   /// All mined pairs with counts, most frequent first.
   std::vector<ConfusingPair> pairs() const;
 

@@ -208,6 +208,17 @@ double LinearDiscriminant::decision(const std::vector<double> &Row) const {
   return dot(W, Row) + B;
 }
 
+// --- FrozenLinearModel ---------------------------------------------------------
+
+void FrozenLinearModel::fit(const Matrix &, const std::vector<bool> &) {
+  assert(false && "frozen models are deserialized, not trained");
+}
+
+double FrozenLinearModel::decision(const std::vector<double> &Row) const {
+  assert(Row.size() == W.size() && "feature count mismatch");
+  return dot(W, Row) + B;
+}
+
 std::unique_ptr<BinaryClassifier> ml::makeClassifier(const std::string &Name) {
   if (Name == "svm-linear")
     return std::make_unique<LinearSvm>();

@@ -111,6 +111,28 @@ private:
   double B = 0.0;
 };
 
+/// A deserialized linear model: weights, bias and the original family name
+/// restored bit-exactly from a model file. All three trainable families
+/// share the decision function dot(W, Row) + B, so a frozen model scores
+/// identically to the instance that was serialized. fit() is not supported
+/// (frozen models come from the model store, not training).
+class FrozenLinearModel : public BinaryClassifier {
+public:
+  FrozenLinearModel(std::string Family, std::vector<double> W, double B)
+      : Family(std::move(Family)), W(std::move(W)), B(B) {}
+
+  void fit(const Matrix &X, const std::vector<bool> &Y) override;
+  double decision(const std::vector<double> &Row) const override;
+  const std::vector<double> &weights() const override { return W; }
+  double bias() const override { return B; }
+  std::string name() const override { return Family; }
+
+private:
+  std::string Family;
+  std::vector<double> W;
+  double B = 0.0;
+};
+
 /// Factory by family name ("svm-linear", "logreg", "lda").
 std::unique_ptr<BinaryClassifier> makeClassifier(const std::string &Name);
 

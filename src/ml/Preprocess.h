@@ -31,6 +31,13 @@ public:
   const std::vector<double> &means() const { return Means; }
   const std::vector<double> &stddevs() const { return Stddevs; }
 
+  /// Reinstates a fitted state from serialized parameters (the model
+  /// store's load path). Equivalent to the fit() that produced them.
+  void restore(std::vector<double> Means, std::vector<double> Stddevs) {
+    this->Means = std::move(Means);
+    this->Stddevs = std::move(Stddevs);
+  }
+
 private:
   std::vector<double> Means;
   std::vector<double> Stddevs;
@@ -52,6 +59,15 @@ public:
 
   size_t numComponents() const { return Components.rows(); }
   const std::vector<double> &eigenvalues() const { return Eigenvalues; }
+  /// Projection matrix, rows = components, cols = original features.
+  const Matrix &components() const { return Components; }
+
+  /// Reinstates a fitted state from serialized parameters (the model
+  /// store's load path). Equivalent to the fit() that produced them.
+  void restore(Matrix Components, std::vector<double> Eigenvalues) {
+    this->Components = std::move(Components);
+    this->Eigenvalues = std::move(Eigenvalues);
+  }
 
 private:
   Matrix Components; // rows = components, cols = original features

@@ -152,6 +152,23 @@ StmtPaths StmtPaths::fromPaths(const std::vector<NamePath> &Extracted,
                        [&](const std::string &F) { return Batch.intern(F); });
 }
 
+StmtPaths StmtPaths::fromPathIds(const std::vector<PathId> &Ids,
+                                 const NamePathTable &Table, AstContext &Ctx,
+                                 StringInterner::BatchHandle &Batch) {
+  StmtPaths Result;
+  Result.Paths = Ids;
+  for (PathId Id : Ids) {
+    PrefixId Prefix = Table.prefixOf(Id);
+    Symbol End = Table.endOf(Id);
+    Result.EndByPrefix.emplace(Prefix, End);
+    std::string Folded(Ctx.text(End));
+    for (char &C : Folded)
+      C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+    Result.FoldedEndByPrefix.emplace(Prefix, Batch.intern(Folded));
+  }
+  return Result;
+}
+
 bool StmtPaths::containsPath(PathId Id, const NamePathTable &Table) const {
   auto It = EndByPrefix.find(Table.prefixOf(Id));
   return It != EndByPrefix.end() && It->second == Table.endOf(Id);

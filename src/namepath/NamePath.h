@@ -144,6 +144,17 @@ struct StmtPaths {
                              NamePathTable &Table, AstContext &Ctx,
                              StringInterner::BatchHandle &Batch);
 
+  /// Rebuilds from already-interned path ids (the incremental replay path:
+  /// a cached statement's paths are global PathIds into a snapshotted
+  /// table). Reconstructs EndByPrefix/FoldedEndByPrefix exactly as
+  /// fromPaths would have: first-wins per prefix, folded ends interned
+  /// through \p Batch. Idempotent — interns no new paths, and for
+  /// statements committed by the snapshotting build it interns no new
+  /// symbols either (every folded end was interned then).
+  static StmtPaths fromPathIds(const std::vector<PathId> &Ids,
+                               const NamePathTable &Table, AstContext &Ctx,
+                               StringInterner::BatchHandle &Batch);
+
   bool containsPath(PathId Id, const NamePathTable &Table) const;
   bool containsPrefix(PrefixId Id) const {
     return EndByPrefix.find(Id) != EndByPrefix.end();

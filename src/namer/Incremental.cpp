@@ -1,0 +1,49 @@
+//===- namer/Incremental.cpp ----------------------------------------------==//
+
+#include "namer/Incremental.h"
+
+#include "support/Hashing.h"
+
+using namespace namer;
+using namespace namer::incremental;
+
+uint64_t incremental::contentHash(std::string_view Contents) {
+  return hashString(Contents);
+}
+
+ScanPlan incremental::diffManifest(
+    const FileManifest &Manifest,
+    const std::vector<const corpus::SourceFile *> &Files) {
+  std::unordered_map<std::string_view, size_t> ByPath;
+  ByPath.reserve(Manifest.Files.size());
+  for (size_t I = 0; I != Manifest.Files.size(); ++I)
+    ByPath.emplace(Manifest.Files[I].Path, I);
+
+  ScanPlan Plan;
+  Plan.Entries.resize(Files.size());
+  std::vector<uint8_t> Seen(Manifest.Files.size(), 0);
+  for (size_t I = 0; I != Files.size(); ++I) {
+    ScanPlan::Entry &E = Plan.Entries[I];
+    auto It = ByPath.find(Files[I]->Path);
+    if (It == ByPath.end()) {
+      E.Change = FileChange::Added;
+      ++Plan.Added;
+      continue;
+    }
+    Seen[It->second] = 1;
+    const FileState &Old = Manifest.Files[It->second];
+    std::string_view Contents = Files[I]->contents();
+    if (Old.Size == Contents.size() && Old.Hash == contentHash(Contents)) {
+      E.Change = FileChange::Unchanged;
+      E.ManifestIndex = It->second;
+      ++Plan.Unchanged;
+    } else {
+      E.Change = FileChange::Modified;
+      ++Plan.Modified;
+    }
+  }
+  for (uint8_t S : Seen)
+    if (!S)
+      ++Plan.Deleted;
+  return Plan;
+}

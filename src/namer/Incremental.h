@@ -1,0 +1,109 @@
+//===- namer/Incremental.h - Per-file manifest and change diffing -*- C++ -*-=//
+///
+/// \file
+/// The incremental half of the persistent model store (DESIGN.md, "Model
+/// store & incremental scan"): a per-file manifest recording what the last
+/// build saw (path, size, content hash, quarantine status) together with
+/// the per-file artifacts a re-scan would otherwise have to recompute (the
+/// committed statement records, as global PathIds into the snapshotted
+/// NamePathTable). On rescan the manifest is diffed against the current
+/// corpus; unchanged files replay their cached statements and quarantine
+/// records, and only added/modified files pay for parse + analyses +
+/// extraction again.
+///
+/// Determinism: whether a file is "unchanged" is a pure function of (path,
+/// byte size, FNV-1a content hash), and the scan phase consumes cached and
+/// fresh files interleaved in corpus order, so the statement stream -- and
+/// therefore every finding -- is byte-identical to a full rescan. New
+/// symbols introduced by modified files receive different numeric ids than
+/// a cold run would assign, which is sound because every output orders and
+/// renders by text, never by id (see the determinism argument in
+/// DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_NAMER_INCREMENTAL_H
+#define NAMER_NAMER_INCREMENTAL_H
+
+#include "corpus/Corpus.h"
+#include "namepath/NamePath.h"
+#include "namer/Ingest.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace namer {
+namespace incremental {
+
+/// One committed statement of one file, in model-global ids: everything
+/// the scan phase needs to rebuild the StmtRecord without re-parsing.
+struct CachedStmt {
+  uint32_t Line = 0;
+  uint64_t TextHash = 0;
+  std::vector<PathId> Paths;
+};
+
+/// What the last build knew about one corpus file, in corpus order.
+struct FileState {
+  std::string Path;
+  uint64_t Size = 0;
+  uint64_t Hash = 0; ///< FNV-1a over the file bytes
+  /// Quarantine replay data. A quarantined file contributed no FileId and
+  /// no statements; re-scanning it would deterministically re-quarantine
+  /// it, so the record is replayed instead.
+  bool Quarantined = false;
+  ingest::IngestErrorKind QuarantineKind = ingest::IngestErrorKind::WorkerException;
+  uint64_t QuarantineByteOffset = 0;
+  std::string QuarantineDetail;
+  /// Parser diagnostics the file produced (telemetry parity only).
+  uint32_t ParseErrors = 0;
+  std::vector<CachedStmt> Stmts;
+};
+
+/// The per-file manifest of one build, in corpus order.
+struct FileManifest {
+  std::vector<FileState> Files;
+
+  bool empty() const { return Files.empty(); }
+  size_t size() const { return Files.size(); }
+  void clear() { Files.clear(); }
+};
+
+/// How one current corpus file relates to the manifest.
+enum class FileChange : uint8_t {
+  Unchanged, ///< same path, size and content hash: replay the cache
+  Added,     ///< path not in the manifest: ingest
+  Modified,  ///< path known but size or hash differ: ingest
+};
+
+/// The rescan work list: one entry per current corpus file (corpus order),
+/// plus the count of manifest entries whose file disappeared.
+struct ScanPlan {
+  struct Entry {
+    FileChange Change = FileChange::Added;
+    /// Index into the manifest for Unchanged entries; unused otherwise.
+    size_t ManifestIndex = 0;
+  };
+  std::vector<Entry> Entries;
+  size_t Unchanged = 0;
+  size_t Added = 0;
+  size_t Modified = 0;
+  size_t Deleted = 0;
+};
+
+/// FNV-1a content hash of one file's bytes (the manifest fingerprint).
+uint64_t contentHash(std::string_view Contents);
+
+/// Diffs \p Manifest against the current corpus file list (corpus order)
+/// and classifies every file as unchanged / added / modified; manifest
+/// entries without a surviving path are counted as deleted. Pure function
+/// of the inputs.
+ScanPlan diffManifest(const FileManifest &Manifest,
+                      const std::vector<const corpus::SourceFile *> &Files);
+
+} // namespace incremental
+} // namespace namer
+
+#endif // NAMER_NAMER_INCREMENTAL_H

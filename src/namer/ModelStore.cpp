@@ -1,0 +1,718 @@
+//===- namer/ModelStore.cpp -----------------------------------------------==//
+
+#include "namer/ModelStore.h"
+
+#include "support/FaultInjector.h"
+#include "support/Hashing.h"
+#include "support/Telemetry.h"
+
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+
+using namespace namer;
+using namespace namer::model;
+
+const char *model::modelErrorKindName(ModelErrorKind Kind) {
+  switch (Kind) {
+  case ModelErrorKind::Io:
+    return "io";
+  case ModelErrorKind::BadMagic:
+    return "bad-magic";
+  case ModelErrorKind::BadEndian:
+    return "bad-endian";
+  case ModelErrorKind::BadVersion:
+    return "bad-version";
+  case ModelErrorKind::Truncated:
+    return "truncated";
+  case ModelErrorKind::BadChecksum:
+    return "bad-checksum";
+  case ModelErrorKind::SectionMissing:
+    return "section-missing";
+  case ModelErrorKind::Malformed:
+    return "malformed";
+  case ModelErrorKind::ConfigMismatch:
+    return "config-mismatch";
+  }
+  return "unknown";
+}
+
+namespace {
+
+constexpr char kMagic[8] = {'N', 'A', 'M', 'R', 'M', 'D', 'L', '1'};
+constexpr uint32_t kEndianMarker = 0x01020304u;
+constexpr size_t kHeaderBytes = 24;
+constexpr size_t kTableEntryBytes = 32;
+/// Sanity cap far above the section count any schema will use; rejects
+/// garbage headers before a huge table allocation.
+constexpr uint32_t kMaxSections = 64;
+
+enum SectionId : uint64_t {
+  SecMeta = 1,
+  SecStrings = 2,
+  SecPaths = 3,
+  SecPatterns = 4,
+  SecPairs = 5,
+  SecClassifier = 6,
+  SecFiles = 7,
+};
+constexpr uint64_t kRequiredSections[] = {
+    SecMeta,  SecStrings,     SecPaths, SecPatterns,
+    SecPairs, SecClassifier, SecFiles};
+
+[[noreturn]] void fail(ModelErrorKind Kind, const std::string &Detail) {
+  throw ModelError(Kind, Detail);
+}
+
+// --- writer ----------------------------------------------------------------
+
+/// Appends little-endian primitives to a byte buffer. All integer payloads
+/// go through these shifts, so the on-disk order is LE on every host; only
+/// the header's endian marker is written in native order (see the header
+/// comment in ModelStore.h).
+class Writer {
+public:
+  explicit Writer(std::string &Out) : Out(Out) {}
+
+  void u8(uint8_t V) { Out.push_back(static_cast<char>(V)); }
+  void u32(uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+  }
+  void f64(double V) { u64(std::bit_cast<uint64_t>(V)); }
+  void str(std::string_view S) {
+    u32(static_cast<uint32_t>(S.size()));
+    Out.append(S.data(), S.size());
+  }
+
+private:
+  std::string &Out;
+};
+
+// --- reader ----------------------------------------------------------------
+
+/// Bounds-checked cursor over one checksummed section. Running past the
+/// section end is Malformed (the checksum already matched, so the content
+/// contradicts its own counts), as is leaving bytes unconsumed.
+class Reader {
+public:
+  Reader(std::string_view Data, std::string Name)
+      : Data(Data), Name(std::move(Name)) {}
+
+  uint8_t u8() {
+    need(1);
+    return static_cast<uint8_t>(Data[Pos++]);
+  }
+  uint32_t u32() {
+    need(4);
+    uint32_t V = 0;
+    for (int I = 0; I != 4; ++I)
+      V |= static_cast<uint32_t>(static_cast<uint8_t>(Data[Pos + I]))
+           << (8 * I);
+    Pos += 4;
+    return V;
+  }
+  uint64_t u64() {
+    need(8);
+    uint64_t V = 0;
+    for (int I = 0; I != 8; ++I)
+      V |= static_cast<uint64_t>(static_cast<uint8_t>(Data[Pos + I]))
+           << (8 * I);
+    Pos += 8;
+    return V;
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string_view str() {
+    uint32_t Len = u32();
+    need(Len);
+    std::string_view S = Data.substr(Pos, Len);
+    Pos += Len;
+    return S;
+  }
+
+  void finish() const {
+    if (Pos != Data.size())
+      fail(ModelErrorKind::Malformed,
+           Name + " section has " + std::to_string(Data.size() - Pos) +
+               " trailing bytes");
+  }
+
+private:
+  void need(size_t N) const {
+    if (Data.size() - Pos < N)
+      fail(ModelErrorKind::Malformed, Name + " section ends mid-value");
+  }
+  std::string_view Data;
+  size_t Pos = 0;
+  std::string Name;
+};
+
+// --- section payloads ------------------------------------------------------
+
+void writeMeta(Writer &W, const ModelFile &F) {
+  W.u8(static_cast<uint8_t>(F.Lang));
+  W.u8(F.UseAnalyses ? 1 : 0);
+  W.u8(F.UseClassifier ? 1 : 0);
+  W.u64(F.Seed);
+  W.u64(F.Miner.MaxPathsPerStmt);
+  W.u32(F.Miner.MinPathFrequency);
+  W.u64(F.Miner.MaxConditionPaths);
+  W.u32(F.Miner.MinPatternSupport);
+  W.f64(F.Miner.MinSatisfactionRatio);
+  W.u8(static_cast<uint8_t>(F.Miner.Conditions));
+  W.u64(F.Miner.MaxPatternsPerNode);
+  W.u64(F.Limits.MaxFileBytes);
+  W.u64(F.Limits.MaxTokens);
+  W.u64(F.Limits.MaxAstNodes);
+  W.u32(F.Limits.MaxNestingDepth);
+  W.u64(F.Limits.FileDeadlineMillis);
+  W.str(F.GitRev);
+  W.u8(F.ClassifierPresent ? 1 : 0);
+}
+
+void parseMeta(Reader &R, ModelFile &F) {
+  uint8_t Lang = R.u8();
+  if (Lang > static_cast<uint8_t>(corpus::Language::Java))
+    fail(ModelErrorKind::Malformed,
+         "unknown language " + std::to_string(Lang));
+  F.Lang = static_cast<corpus::Language>(Lang);
+  F.UseAnalyses = R.u8() != 0;
+  F.UseClassifier = R.u8() != 0;
+  F.Seed = R.u64();
+  F.Miner.MaxPathsPerStmt = R.u64();
+  F.Miner.MinPathFrequency = R.u32();
+  F.Miner.MaxConditionPaths = R.u64();
+  F.Miner.MinPatternSupport = R.u32();
+  F.Miner.MinSatisfactionRatio = R.f64();
+  uint8_t Policy = R.u8();
+  if (Policy > static_cast<uint8_t>(MinerConfig::ConditionPolicy::AllSubsets))
+    fail(ModelErrorKind::Malformed,
+         "unknown condition policy " + std::to_string(Policy));
+  F.Miner.Conditions = static_cast<MinerConfig::ConditionPolicy>(Policy);
+  F.Miner.MaxPatternsPerNode = R.u64();
+  F.Limits.MaxFileBytes = R.u64();
+  F.Limits.MaxTokens = R.u64();
+  F.Limits.MaxAstNodes = R.u64();
+  F.Limits.MaxNestingDepth = R.u32();
+  F.Limits.FileDeadlineMillis = R.u64();
+  F.GitRev = R.str();
+  F.ClassifierPresent = R.u8() != 0;
+  R.finish();
+}
+
+void writeStrings(Writer &W, const ModelFile &F) {
+  W.u32(static_cast<uint32_t>(F.Strings.size()));
+  // Symbol 0 is the reserved epsilon entry; the loader reinstates it.
+  for (size_t S = 1; S < F.Strings.size(); ++S)
+    W.str(F.Strings[S]);
+}
+
+void parseStrings(Reader &R, ModelFile &F) {
+  uint32_t Count = R.u32();
+  if (Count == 0)
+    fail(ModelErrorKind::Malformed, "empty interner snapshot");
+  F.Strings.clear();
+  F.Strings.reserve(Count);
+  F.Strings.push_back("<eps>");
+  for (uint32_t S = 1; S != Count; ++S)
+    F.Strings.push_back(R.str());
+  R.finish();
+}
+
+void writePaths(Writer &W, const ModelFile &F) {
+  W.u32(static_cast<uint32_t>(F.Paths.size()));
+  for (const NamePath &P : F.Paths) {
+    W.u32(static_cast<uint32_t>(P.Prefix.size()));
+    for (const PathStep &Step : P.Prefix) {
+      W.u32(Step.Value);
+      W.u32(Step.Index);
+    }
+    W.u32(P.End);
+  }
+}
+
+void parsePaths(Reader &R, ModelFile &F) {
+  uint32_t Count = R.u32();
+  const uint32_t NumSymbols = static_cast<uint32_t>(F.Strings.size());
+  auto CheckSymbol = [&](uint32_t S) {
+    if (S >= NumSymbols)
+      fail(ModelErrorKind::Malformed,
+           "path symbol " + std::to_string(S) + " out of range");
+    return S;
+  };
+  F.Paths.clear();
+  F.Paths.reserve(Count);
+  for (uint32_t I = 0; I != Count; ++I) {
+    NamePath P;
+    uint32_t Steps = R.u32();
+    P.Prefix.reserve(Steps);
+    for (uint32_t S = 0; S != Steps; ++S) {
+      uint32_t Value = CheckSymbol(R.u32());
+      uint32_t Index = R.u32();
+      P.Prefix.push_back(PathStep{Value, Index});
+    }
+    P.End = CheckSymbol(R.u32());
+    F.Paths.push_back(std::move(P));
+  }
+  R.finish();
+}
+
+void writePatterns(Writer &W, const ModelFile &F) {
+  W.u32(static_cast<uint32_t>(F.Patterns.size()));
+  for (const NamePattern &P : F.Patterns) {
+    W.u8(static_cast<uint8_t>(P.Kind));
+    W.u32(static_cast<uint32_t>(P.Condition.size()));
+    for (PathId Id : P.Condition)
+      W.u32(Id);
+    W.u32(static_cast<uint32_t>(P.Deduction.size()));
+    for (PathId Id : P.Deduction)
+      W.u32(Id);
+    W.u32(P.Support);
+    W.u32(P.DatasetMatches);
+    W.u32(P.DatasetSatisfactions);
+    W.u32(P.DatasetViolations);
+  }
+}
+
+void parsePatterns(Reader &R, ModelFile &F) {
+  uint32_t Count = R.u32();
+  const uint32_t NumPaths = static_cast<uint32_t>(F.Paths.size());
+  auto CheckPath = [&](uint32_t Id) {
+    if (Id >= NumPaths)
+      fail(ModelErrorKind::Malformed,
+           "pattern path id " + std::to_string(Id) + " out of range");
+    return Id;
+  };
+  F.Patterns.clear();
+  F.Patterns.reserve(Count);
+  for (uint32_t I = 0; I != Count; ++I) {
+    NamePattern P;
+    uint8_t Kind = R.u8();
+    if (Kind > static_cast<uint8_t>(PatternKind::ConfusingWord))
+      fail(ModelErrorKind::Malformed,
+           "unknown pattern kind " + std::to_string(Kind));
+    P.Kind = static_cast<PatternKind>(Kind);
+    uint32_t NCond = R.u32();
+    P.Condition.reserve(NCond);
+    for (uint32_t C = 0; C != NCond; ++C)
+      P.Condition.push_back(CheckPath(R.u32()));
+    uint32_t NDed = R.u32();
+    P.Deduction.reserve(NDed);
+    for (uint32_t D = 0; D != NDed; ++D)
+      P.Deduction.push_back(CheckPath(R.u32()));
+    P.Support = R.u32();
+    P.DatasetMatches = R.u32();
+    P.DatasetSatisfactions = R.u32();
+    P.DatasetViolations = R.u32();
+    F.Patterns.push_back(std::move(P));
+  }
+  R.finish();
+}
+
+void writePairs(Writer &W, const ModelFile &F) {
+  W.u32(static_cast<uint32_t>(F.Pairs.size()));
+  for (const ConfusingPair &P : F.Pairs) {
+    W.u32(P.Mistaken);
+    W.u32(P.Correct);
+    W.u32(P.Count);
+  }
+}
+
+void parsePairs(Reader &R, ModelFile &F) {
+  uint32_t Count = R.u32();
+  const uint32_t NumSymbols = static_cast<uint32_t>(F.Strings.size());
+  auto CheckSymbol = [&](uint32_t S) {
+    if (S >= NumSymbols)
+      fail(ModelErrorKind::Malformed,
+           "pair symbol " + std::to_string(S) + " out of range");
+    return S;
+  };
+  F.Pairs.clear();
+  F.Pairs.reserve(Count);
+  for (uint32_t I = 0; I != Count; ++I) {
+    ConfusingPair P;
+    P.Mistaken = CheckSymbol(R.u32());
+    P.Correct = CheckSymbol(R.u32());
+    P.Count = R.u32();
+    F.Pairs.push_back(P);
+  }
+  R.finish();
+}
+
+void writeClassifier(Writer &W, const ModelFile &F) {
+  if (!F.ClassifierPresent)
+    return; // empty payload
+  const DefectClassifier::Snapshot &S = F.Classifier;
+  W.str(S.Family);
+  W.u32(static_cast<uint32_t>(S.Means.size()));
+  for (double V : S.Means)
+    W.f64(V);
+  for (double V : S.Stddevs)
+    W.f64(V);
+  W.u32(static_cast<uint32_t>(S.Components.rows()));
+  W.u32(static_cast<uint32_t>(S.Components.cols()));
+  for (size_t R = 0; R != S.Components.rows(); ++R)
+    for (size_t C = 0; C != S.Components.cols(); ++C)
+      W.f64(S.Components.at(R, C));
+  for (double V : S.Eigenvalues)
+    W.f64(V);
+  W.u32(static_cast<uint32_t>(S.Weights.size()));
+  for (double V : S.Weights)
+    W.f64(V);
+  W.f64(S.Bias);
+}
+
+void parseClassifier(Reader &R, ModelFile &F) {
+  if (!F.ClassifierPresent) {
+    R.finish();
+    return;
+  }
+  DefectClassifier::Snapshot &S = F.Classifier;
+  S.Family = std::string(R.str());
+  if (S.Family.empty())
+    fail(ModelErrorKind::Malformed, "empty classifier family");
+  uint32_t NFeat = R.u32();
+  S.Means.resize(NFeat);
+  for (double &V : S.Means)
+    V = R.f64();
+  S.Stddevs.resize(NFeat);
+  for (double &V : S.Stddevs)
+    V = R.f64();
+  uint32_t Rows = R.u32();
+  uint32_t Cols = R.u32();
+  if (Cols != NFeat)
+    fail(ModelErrorKind::Malformed, "PCA column count mismatch");
+  S.Components = ml::Matrix(Rows, Cols);
+  for (uint32_t I = 0; I != Rows; ++I)
+    for (uint32_t J = 0; J != Cols; ++J)
+      S.Components.at(I, J) = R.f64();
+  S.Eigenvalues.resize(Rows);
+  for (double &V : S.Eigenvalues)
+    V = R.f64();
+  uint32_t NWeights = R.u32();
+  if (NWeights != Rows)
+    fail(ModelErrorKind::Malformed, "classifier weight count mismatch");
+  S.Weights.resize(NWeights);
+  for (double &V : S.Weights)
+    V = R.f64();
+  S.Bias = R.f64();
+  R.finish();
+}
+
+void writeFiles(Writer &W, const ModelFile &F) {
+  W.u32(static_cast<uint32_t>(F.Manifest.Files.size()));
+  for (const incremental::FileState &E : F.Manifest.Files) {
+    W.str(E.Path);
+    W.u64(E.Size);
+    W.u64(E.Hash);
+    W.u32(E.ParseErrors);
+    W.u8(E.Quarantined ? 1 : 0);
+    if (E.Quarantined) {
+      W.u8(static_cast<uint8_t>(E.QuarantineKind));
+      W.u64(E.QuarantineByteOffset);
+      W.str(E.QuarantineDetail);
+      continue;
+    }
+    W.u32(static_cast<uint32_t>(E.Stmts.size()));
+    for (const incremental::CachedStmt &S : E.Stmts) {
+      W.u32(S.Line);
+      W.u64(S.TextHash);
+      W.u32(static_cast<uint32_t>(S.Paths.size()));
+      for (PathId Id : S.Paths)
+        W.u32(Id);
+    }
+  }
+}
+
+void parseFiles(Reader &R, ModelFile &F) {
+  uint32_t Count = R.u32();
+  const uint32_t NumPaths = static_cast<uint32_t>(F.Paths.size());
+  F.Manifest.clear();
+  F.Manifest.Files.reserve(Count);
+  for (uint32_t I = 0; I != Count; ++I) {
+    incremental::FileState E;
+    E.Path = std::string(R.str());
+    E.Size = R.u64();
+    E.Hash = R.u64();
+    E.ParseErrors = R.u32();
+    E.Quarantined = R.u8() != 0;
+    if (E.Quarantined) {
+      uint8_t Kind = R.u8();
+      if (Kind >= ingest::kNumIngestErrorKinds)
+        fail(ModelErrorKind::Malformed,
+             "unknown quarantine kind " + std::to_string(Kind));
+      E.QuarantineKind = static_cast<ingest::IngestErrorKind>(Kind);
+      E.QuarantineByteOffset = R.u64();
+      E.QuarantineDetail = std::string(R.str());
+      F.Manifest.Files.push_back(std::move(E));
+      continue;
+    }
+    uint32_t NStmts = R.u32();
+    E.Stmts.reserve(NStmts);
+    for (uint32_t S = 0; S != NStmts; ++S) {
+      incremental::CachedStmt Stmt;
+      Stmt.Line = R.u32();
+      Stmt.TextHash = R.u64();
+      uint32_t NPaths = R.u32();
+      Stmt.Paths.reserve(NPaths);
+      for (uint32_t P = 0; P != NPaths; ++P) {
+        uint32_t Id = R.u32();
+        if (Id >= NumPaths)
+          fail(ModelErrorKind::Malformed,
+               "cached statement path id " + std::to_string(Id) +
+                   " out of range");
+        Stmt.Paths.push_back(Id);
+      }
+      E.Stmts.push_back(std::move(Stmt));
+    }
+    F.Manifest.Files.push_back(std::move(E));
+  }
+  R.finish();
+}
+
+} // namespace
+
+// --- serialize / parse -----------------------------------------------------
+
+std::string model::serialize(const ModelFile &File) {
+  struct Section {
+    uint64_t Id;
+    std::string Payload;
+  };
+  std::vector<Section> Sections;
+  auto Emit = [&](uint64_t Id, auto &&WriteFn) {
+    Section S{Id, {}};
+    Writer W(S.Payload);
+    WriteFn(W);
+    Sections.push_back(std::move(S));
+  };
+  Emit(SecMeta, [&](Writer &W) { writeMeta(W, File); });
+  Emit(SecStrings, [&](Writer &W) { writeStrings(W, File); });
+  Emit(SecPaths, [&](Writer &W) { writePaths(W, File); });
+  Emit(SecPatterns, [&](Writer &W) { writePatterns(W, File); });
+  Emit(SecPairs, [&](Writer &W) { writePairs(W, File); });
+  Emit(SecClassifier, [&](Writer &W) { writeClassifier(W, File); });
+  Emit(SecFiles, [&](Writer &W) { writeFiles(W, File); });
+
+  std::string Out;
+  size_t Total = kHeaderBytes + Sections.size() * kTableEntryBytes;
+  for (const Section &S : Sections)
+    Total += S.Payload.size();
+  Out.reserve(Total);
+
+  Out.append(kMagic, sizeof(kMagic));
+  // The one native-order field: detects cross-endian files on load.
+  Out.append(reinterpret_cast<const char *>(&kEndianMarker),
+             sizeof(kEndianMarker));
+  Writer Header(Out);
+  Header.u32(kSchemaVersion);
+  Header.u32(static_cast<uint32_t>(Sections.size()));
+  Header.u32(0); // reserved
+
+  uint64_t Offset = kHeaderBytes + Sections.size() * kTableEntryBytes;
+  {
+    Writer Table(Out);
+    for (const Section &S : Sections) {
+      Table.u64(S.Id);
+      Table.u64(Offset);
+      Table.u64(S.Payload.size());
+      Table.u64(hashString(S.Payload));
+      Offset += S.Payload.size();
+    }
+  }
+  for (const Section &S : Sections)
+    Out += S.Payload;
+  return Out;
+}
+
+ModelFile model::parse(std::string_view Data) {
+  if (Data.size() < kHeaderBytes)
+    fail(ModelErrorKind::Truncated,
+         "file is " + std::to_string(Data.size()) + " bytes, header needs " +
+             std::to_string(kHeaderBytes));
+  if (Data.compare(0, sizeof(kMagic),
+                   std::string_view(kMagic, sizeof(kMagic))) != 0)
+    fail(ModelErrorKind::BadMagic, "not a namer model file");
+
+  uint32_t Marker;
+  std::memcpy(&Marker, Data.data() + 8, sizeof(Marker));
+  if (Marker != kEndianMarker)
+    fail(ModelErrorKind::BadEndian,
+         "endian marker reads 0x" + [&] {
+           char Buf[16];
+           std::snprintf(Buf, sizeof(Buf), "%08x", Marker);
+           return std::string(Buf);
+         }());
+
+  auto ReadU32 = [&](size_t At) {
+    uint32_t V = 0;
+    for (int I = 0; I != 4; ++I)
+      V |= static_cast<uint32_t>(static_cast<uint8_t>(Data[At + I]))
+           << (8 * I);
+    return V;
+  };
+  uint32_t Version = ReadU32(12);
+  if (Version != kSchemaVersion)
+    fail(ModelErrorKind::BadVersion,
+         "schema_version " + std::to_string(Version) + ", loader supports " +
+             std::to_string(kSchemaVersion));
+  uint32_t NumSections = ReadU32(16);
+  if (NumSections > kMaxSections)
+    fail(ModelErrorKind::Malformed,
+         "section count " + std::to_string(NumSections));
+  // The reserved word is always written zero at schema v1; anything else
+  // is header corruption (the header carries no checksum of its own).
+  if (ReadU32(20) != 0)
+    fail(ModelErrorKind::Malformed, "reserved header bytes are nonzero");
+  size_t TableEnd = kHeaderBytes + size_t(NumSections) * kTableEntryBytes;
+  if (Data.size() < TableEnd)
+    fail(ModelErrorKind::Truncated, "file ends inside the section table");
+
+  struct Entry {
+    uint64_t Id, Offset, Length, Checksum;
+  };
+  auto ReadU64 = [&](size_t At) {
+    uint64_t V = 0;
+    for (int I = 0; I != 8; ++I)
+      V |= static_cast<uint64_t>(static_cast<uint8_t>(Data[At + I]))
+           << (8 * I);
+    return V;
+  };
+  std::vector<Entry> Table(NumSections);
+  for (uint32_t I = 0; I != NumSections; ++I) {
+    size_t At = kHeaderBytes + size_t(I) * kTableEntryBytes;
+    Table[I] = Entry{ReadU64(At), ReadU64(At + 8), ReadU64(At + 16),
+                     ReadU64(At + 24)};
+    const Entry &E = Table[I];
+    if (E.Offset > Data.size() || E.Length > Data.size() - E.Offset)
+      fail(ModelErrorKind::Truncated,
+           "section " + std::to_string(E.Id) + " extends past end of file");
+  }
+
+  // Verify every checksum before trusting any content: a bit flip anywhere
+  // in a payload is caught here, not by a downstream range check.
+  {
+    telemetry::TraceSpan Verify("model.verify");
+    for (const Entry &E : Table) {
+      uint64_t Got = hashString(Data.substr(E.Offset, E.Length));
+      if (Got != E.Checksum)
+        fail(ModelErrorKind::BadChecksum,
+             "section " + std::to_string(E.Id) + " checksum mismatch");
+    }
+  }
+
+  auto Find = [&](uint64_t Id) -> const Entry * {
+    for (const Entry &E : Table)
+      if (E.Id == Id)
+        return &E;
+    return nullptr;
+  };
+  for (uint64_t Id : kRequiredSections)
+    if (!Find(Id))
+      fail(ModelErrorKind::SectionMissing,
+           "section " + std::to_string(Id) + " missing");
+  auto SectionReader = [&](uint64_t Id, const char *Name) {
+    const Entry *E = Find(Id);
+    return Reader(Data.substr(E->Offset, E->Length), Name);
+  };
+
+  ModelFile F;
+  {
+    Reader R = SectionReader(SecMeta, "meta");
+    parseMeta(R, F);
+  }
+  {
+    Reader R = SectionReader(SecStrings, "strings");
+    parseStrings(R, F);
+  }
+  {
+    Reader R = SectionReader(SecPaths, "paths");
+    parsePaths(R, F);
+  }
+  {
+    Reader R = SectionReader(SecPatterns, "patterns");
+    parsePatterns(R, F);
+  }
+  {
+    Reader R = SectionReader(SecPairs, "pairs");
+    parsePairs(R, F);
+  }
+  {
+    Reader R = SectionReader(SecClassifier, "classifier");
+    parseClassifier(R, F);
+  }
+  {
+    Reader R = SectionReader(SecFiles, "files");
+    parseFiles(R, F);
+  }
+  return F;
+}
+
+// --- save / load -----------------------------------------------------------
+
+void model::save(const std::string &Path, const ModelFile &File) {
+  telemetry::TraceSpan Span("model.save");
+  faultinject::ScopedKey Key(Path);
+  std::string Buffer = serialize(File);
+
+  // Injected non-Throw faults become a short write: a truncated file lands
+  // on disk (so load-side robustness can be exercised against it) and the
+  // caller sees the same typed error a full disk would produce. Throw-kind
+  // faults propagate InjectedFault from fire() itself.
+  size_t WriteBytes = Buffer.size();
+  bool Injected = false;
+  if (faultinject::fire("model.save")) {
+    WriteBytes /= 2;
+    Injected = true;
+  }
+
+  std::FILE *Out = std::fopen(Path.c_str(), "wb");
+  if (!Out)
+    fail(ModelErrorKind::Io, "cannot open " + Path + " for writing");
+  size_t Written = std::fwrite(Buffer.data(), 1, WriteBytes, Out);
+  int CloseErr = std::fclose(Out);
+  if (Written != WriteBytes || CloseErr != 0)
+    fail(ModelErrorKind::Io, "short write to " + Path);
+  if (Injected)
+    fail(ModelErrorKind::Io, "injected short write to " + Path);
+
+  telemetry::count("model.bytes", Buffer.size());
+  telemetry::count("model.sections", sizeof(kRequiredSections) /
+                                         sizeof(kRequiredSections[0]));
+}
+
+ModelFile model::load(const std::string &Path, Arena &Mem) {
+  telemetry::TraceSpan Span("model.load");
+  faultinject::ScopedKey Key(Path);
+  auto Start = std::chrono::steady_clock::now();
+
+  std::optional<Arena::FileMapping> Mapping = Mem.mapFile(Path);
+  if (!Mapping)
+    fail(ModelErrorKind::Io, "cannot read " + Path);
+  std::string_view Contents = Mapping->Contents;
+
+  // Injected non-Throw faults become a short read: the image is truncated
+  // so the natural Truncated / BadChecksum paths fire and the caller sees
+  // a typed error, never garbage.
+  if (faultinject::fire("model.load"))
+    Contents = Contents.substr(0, Contents.size() / 2);
+
+  ModelFile F = parse(Contents);
+
+  auto End = std::chrono::steady_clock::now();
+  telemetry::count(
+      "model.load_us",
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
+              .count()));
+  telemetry::count("model.bytes", Contents.size());
+  telemetry::count("model.sections", sizeof(kRequiredSections) /
+                                         sizeof(kRequiredSections[0]));
+  return F;
+}

@@ -1,0 +1,150 @@
+//===- namer/ModelStore.h - Versioned binary model file ---------*- C++ -*-==//
+///
+/// \file
+/// The persistent half of the mine-once / scan-many split (DESIGN.md,
+/// "Model store & incremental scan"): everything the scan phase needs --
+/// kept patterns with lineage stats, classifier weights + PCA /
+/// standardization, confusing-word pairs, the interner and name-path-table
+/// snapshots, and the per-file incremental manifest -- serialized into one
+/// versioned section-table file.
+///
+/// Layout (all multi-byte integers little-endian):
+///
+///   header   : magic "NAMRMDL1" (8) | endian marker u32 (native order)
+///            | schema_version u32 | section count u32 | reserved u32
+///   table    : per section, 32 bytes: id u64 | offset u64 | length u64
+///            | FNV-1a checksum u64
+///   payloads : meta (config echo + git rev), strings, paths, patterns,
+///              pairs, classifier, files
+///
+/// The endian marker is the one field written in *native* byte order: a
+/// file produced on a big-endian host reads back as 0x04030201 and is
+/// rejected as BadEndian before any payload is touched. Unknown section
+/// ids are skipped (forward compatibility); missing required sections are
+/// typed errors.
+///
+/// Loading is zero-copy: the file is mapped through support/Arena::mapFile
+/// and every parsed view (strings, details, paths) points into the
+/// mapping. Any malformed input -- truncation, bit flips, bad ids, short
+/// sections -- fails with a typed ModelError, never a crash; checksums are
+/// verified (span `model.verify`) before any cross-referenced id is
+/// trusted, and every id is range-checked during parse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_NAMER_MODELSTORE_H
+#define NAMER_NAMER_MODELSTORE_H
+
+#include "classifier/DefectClassifier.h"
+#include "corpus/Corpus.h"
+#include "histmine/ConfusingPairs.h"
+#include "namer/Incremental.h"
+#include "pattern/Miner.h"
+#include "support/Arena.h"
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace namer {
+namespace model {
+
+/// Bumped on any incompatible layout change; files with another version
+/// fail typed (BadVersion), never misparse.
+inline constexpr uint32_t kSchemaVersion = 1;
+
+/// Why a model file failed to load. Keep modelErrorKindName in sync.
+enum class ModelErrorKind : uint8_t {
+  Io,             ///< file unreadable / unwritable (or injected short write)
+  BadMagic,       ///< not a model file
+  BadEndian,      ///< written on a host with different byte order
+  BadVersion,     ///< schema_version mismatch
+  Truncated,      ///< file shorter than its header/table/sections claim
+  BadChecksum,    ///< a section's FNV checksum does not match its bytes
+  SectionMissing, ///< a required section is absent from the table
+  Malformed,      ///< a section's content is internally inconsistent
+  ConfigMismatch, ///< model's config echo conflicts with the pipeline's
+};
+
+constexpr size_t kNumModelErrorKinds = 9;
+
+/// Stable kebab-case name, e.g. "bad-checksum"; used for telemetry and
+/// error output (the PR-4 error-taxonomy convention).
+const char *modelErrorKindName(ModelErrorKind Kind);
+
+/// Typed loader/saver failure. Loading any corrupt model file throws this
+/// (or, under fault injection with FaultKind::Throw, InjectedFault); it
+/// never crashes.
+class ModelError : public std::runtime_error {
+public:
+  ModelError(ModelErrorKind Kind, const std::string &Detail)
+      : std::runtime_error(std::string(modelErrorKindName(Kind)) + ": " +
+                           Detail),
+        Kind(Kind) {}
+  ModelErrorKind kind() const { return Kind; }
+
+private:
+  ModelErrorKind Kind;
+};
+
+/// The deserialized (or to-be-serialized) model, as plain data. String
+/// views point into the source the file was parsed from (the arena
+/// mapping) or, when assembling for save, into live interner storage; the
+/// owner must outlive the ModelFile.
+struct ModelFile {
+  // --- meta: config echo + provenance -----------------------------------
+  corpus::Language Lang = corpus::Language::Python;
+  bool UseAnalyses = true;
+  bool UseClassifier = true;
+  uint64_t Seed = 0;
+  /// Mining configuration the model was produced under. MineShards is
+  /// deliberately not serialized: it only changes how the mine was
+  /// parallelized, never its output.
+  MinerConfig Miner;
+  ingest::IngestLimits Limits;
+  /// Git revision of the producing binary; informational only.
+  std::string_view GitRev;
+  bool ClassifierPresent = false;
+
+  // --- sections ----------------------------------------------------------
+  /// Interner snapshot, indexed by Symbol. [0] is the reserved epsilon
+  /// entry (not serialized; filled on parse).
+  std::vector<std::string_view> Strings;
+  /// Name-path-table snapshot, indexed by PathId; re-interning in index
+  /// order reproduces every PathId and PrefixId.
+  std::vector<NamePath> Paths;
+  std::vector<NamePattern> Patterns;
+  /// Confusing-word pairs, sorted by (mistaken, correct) for byte-stable
+  /// output.
+  std::vector<ConfusingPair> Pairs;
+  /// Valid iff ClassifierPresent.
+  DefectClassifier::Snapshot Classifier;
+  incremental::FileManifest Manifest;
+};
+
+/// Renders \p File into the on-disk byte format.
+std::string serialize(const ModelFile &File);
+
+/// Parses a model image. Throws ModelError on any defect; on success every
+/// cross-reference (symbols, path ids, enum values) has been range-checked.
+/// Views in the result alias \p Data.
+ModelFile parse(std::string_view Data);
+
+/// serialize() + atomic-enough write to \p Path. Telemetry: span
+/// `model.save`, counters `model.bytes` / `model.sections`. Fault site
+/// `model.save` (non-Throw kinds write a truncated file, then throw
+/// ModelError{Io}). Throws ModelError{Io} on write failure.
+void save(const std::string &Path, const ModelFile &File);
+
+/// Maps \p Path through \p Mem (zero-copy; views in the result alias the
+/// mapping, which lives as long as \p Mem) and parses it. Telemetry: spans
+/// `model.load` / `model.verify`, counters `model.bytes` /
+/// `model.sections` / `model.load_us`. Fault site `model.load` (non-Throw
+/// kinds truncate the mapped image, exercising the short-read paths).
+ModelFile load(const std::string &Path, Arena &Mem);
+
+} // namespace model
+} // namespace namer
+
+#endif // NAMER_NAMER_MODELSTORE_H

@@ -5,12 +5,15 @@
 #include "ast/Statements.h"
 #include "frontend/java/JavaParser.h"
 #include "frontend/python/PythonParser.h"
+#include "namer/ModelStore.h"
 #include "pattern/PatternIndex.h"
+#include "support/Arena.h"
 #include "support/FaultInjector.h"
 #include "support/Hashing.h"
 #include "support/Telemetry.h"
 #include "transform/AstPlus.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <optional>
@@ -217,13 +220,28 @@ void NamerPipeline::build(const corpus::Corpus &C) {
   assert(Statements.empty() && "build() must be called once");
   telemetry::TraceSpan BuildSpan("pipeline.build");
   auto WallStart = std::chrono::steady_clock::now();
+
+  ingestCorpus(C, /*Plan=*/nullptr);
+  mineModel(C);
+  scanStatements();
+
+  auto WallEnd = std::chrono::steady_clock::now();
+  BuildWallMillis =
+      std::chrono::duration<double, std::milli>(WallEnd - WallStart).count();
+}
+
+void NamerPipeline::ingestCorpus(const corpus::Corpus &C,
+                                 const incremental::ScanPlan *Plan) {
+  Lang = C.Lang;
   Registry = C.Lang == corpus::Language::Python
                  ? WellKnownRegistry::forPython()
                  : WellKnownRegistry::forJava();
 
-  // Phase 1: ingest all files -- parallel per-file compute against
+  // Phase 1: ingest files -- parallel per-file compute against
   // worker-local interners, then a sequential commit in corpus order so
-  // global symbol/path ids are identical at every thread count.
+  // global symbol/path ids are identical at every thread count. With a
+  // scan plan, unchanged files skip the parallel stage entirely and replay
+  // their cached statements (already global ids) during the commit.
   NumRepos = C.Repos.size();
   std::vector<const corpus::SourceFile *> Files;
   std::vector<RepoId> FileRepo;
@@ -232,15 +250,28 @@ void NamerPipeline::build(const corpus::Corpus &C) {
       Files.push_back(&File);
       FileRepo.push_back(R);
     }
+  assert(!Plan || Plan->Entries.size() == Files.size());
+
+  std::vector<size_t> Work;
+  Work.reserve(Files.size());
+  for (size_t I = 0; I != Files.size(); ++I)
+    if (!Plan ||
+        Plan->Entries[I].Change != incremental::FileChange::Unchanged)
+      Work.push_back(I);
 
   std::vector<FileIngest> Ingested(Files.size());
+  std::vector<uint64_t> Sizes(Files.size(), 0), Hashes(Files.size(), 0);
   {
     telemetry::TraceSpan Span("pipeline.ingest");
-    Pool->parallelFor(0, Files.size(), [&](size_t I) {
+    Pool->parallelFor(0, Work.size(), [&](size_t W) {
+      size_t I = Work[W];
       // Exceptions must not escape the worker body: parallelFor would
       // rethrow the first one and abort the whole build. Catch here and
       // attribute the failure to the owning file instead.
       faultinject::ScopedKey Key(Files[I]->Path);
+      std::string_view Contents = Files[I]->contents();
+      Sizes[I] = Contents.size();
+      Hashes[I] = incremental::contentHash(Contents);
       try {
         Ingested[I] = ingestOneFile(*Files[I], C.Lang, Registry, Config);
       } catch (const std::exception &E) {
@@ -261,24 +292,69 @@ void NamerPipeline::build(const corpus::Corpus &C) {
 
   {
     telemetry::TraceSpan CommitSpan("pipeline.commit");
+    incremental::FileManifest NewManifest;
+    NewManifest.Files.reserve(Files.size());
     // The commit stretch is single-threaded, so one batch handle amortizes
     // global-interner locking across every file's symbol translation and
     // folded-end interning.
     StringInterner::BatchHandle CommitBatch(Ctx->strings());
-    for (size_t I = 0; I != Ingested.size(); ++I) {
+    for (size_t I = 0; I != Files.size(); ++I) {
+      if (Plan &&
+          Plan->Entries[I].Change == incremental::FileChange::Unchanged) {
+        // Cache replay: the statement stream this file contributed to the
+        // snapshotting build, in the same corpus-order slot. Quarantine
+        // decisions are content-deterministic, so the recorded outcome is
+        // replayed rather than recomputed.
+        const incremental::FileState &Old =
+            Manifest.Files[Plan->Entries[I].ManifestIndex];
+        if (Old.Quarantined) {
+          Quarantine.add(ingest::QuarantineRecord{
+              Old.Path, Old.QuarantineKind,
+              static_cast<size_t>(Old.QuarantineByteOffset),
+              Old.QuarantineDetail});
+        } else {
+          ParseErrors += Old.ParseErrors;
+          FileId FId = static_cast<FileId>(FilePaths.size());
+          FilePaths.push_back(Files[I]->Path);
+          for (const incremental::CachedStmt &Cached : Old.Stmts) {
+            StmtRecord Record;
+            Record.File = FId;
+            Record.Repo = FileRepo[I];
+            Record.Line = Cached.Line;
+            Record.TextHash = Cached.TextHash;
+            Record.Paths =
+                StmtPaths::fromPathIds(Cached.Paths, Table, *Ctx, CommitBatch);
+            Statements.push_back(std::move(Record));
+          }
+        }
+        NewManifest.Files.push_back(Old);
+        continue;
+      }
+
       FileIngest &Slot = Ingested[I];
+      incremental::FileState Entry;
+      Entry.Path = Files[I]->Path;
+      Entry.Size = Sizes[I];
+      Entry.Hash = Hashes[I];
       if (Slot.Quarantine) {
         // Quarantined: no FileId, no statements. Recording here, in the
         // sequential corpus-order loop, keeps the log deterministic.
+        Entry.Quarantined = true;
+        Entry.QuarantineKind = Slot.Quarantine->Kind;
+        Entry.QuarantineByteOffset = Slot.Quarantine->ByteOffset;
+        Entry.QuarantineDetail = Slot.Quarantine->Detail;
         Quarantine.add(std::move(*Slot.Quarantine));
         Slot = FileIngest();
+        NewManifest.Files.push_back(std::move(Entry));
         continue;
       }
       ParseErrors += Slot.Errors;
+      Entry.ParseErrors = static_cast<uint32_t>(Slot.Errors);
       TotalBuildMillis += Slot.Millis;
       FileId FId = static_cast<FileId>(FilePaths.size());
       FilePaths.push_back(Files[I]->Path);
       SymbolTranslator Translate(*Slot.LocalCtx, CommitBatch);
+      Entry.Stmts.reserve(Slot.Stmts.size());
       for (PreStmt &Pre : Slot.Stmts) {
         for (NamePath &Path : Pre.Paths)
           Translate.translate(Path);
@@ -288,11 +364,15 @@ void NamerPipeline::build(const corpus::Corpus &C) {
         Record.Line = Pre.Line;
         Record.TextHash = Pre.TextHash;
         Record.Paths = StmtPaths::fromPaths(Pre.Paths, Table, *Ctx, CommitBatch);
+        Entry.Stmts.push_back(incremental::CachedStmt{
+            Pre.Line, Pre.TextHash, Record.Paths.Paths});
         Statements.push_back(std::move(Record));
       }
       // Free the worker-local context as soon as its symbols are committed.
       Slot = FileIngest();
+      NewManifest.Files.push_back(std::move(Entry));
     }
+    Manifest = std::move(NewManifest);
   }
   telemetry::count("pipeline.statements", Statements.size());
   // Register the ingest-health counters even when zero so dashboards and
@@ -308,18 +388,24 @@ void NamerPipeline::build(const corpus::Corpus &C) {
                                static_cast<ingest::IngestErrorKind>(K))),
                        ByKind[K]);
   }
-  // Same convention for the mining/interning/arena counters this build may
-  // or may not have exercised (small corpora skip sharded paths; generated
-  // corpora never mmap): register them at zero so the stage-coverage
-  // telemetry test can assert their presence unconditionally.
+  // Same convention for the mining/interning/arena/model counters this run
+  // may or may not have exercised (small corpora skip sharded paths;
+  // generated corpora never mmap; cold builds touch no model file): register
+  // them at zero so the stage-coverage telemetry test can assert their
+  // presence unconditionally.
   for (const char *Name :
        {"fptree.shard.trees", "fptree.shard.statements",
         "fptree.shard.merged_nodes", "interner.batch.batches",
         "interner.batch.strings", "interner.batch.cache_hits",
         "interner.batch.shard_locks", "arena.slabs", "arena.bytes",
-        "arena.files_mapped", "arena.mmap_fallbacks"})
+        "arena.files_mapped", "arena.mmap_fallbacks", "model.bytes",
+        "model.sections", "model.load_us", "incremental.files.unchanged",
+        "incremental.files.added", "incremental.files.modified",
+        "incremental.files.deleted"})
     telemetry::count(Name, 0);
+}
 
+void NamerPipeline::mineModel(const corpus::Corpus &C) {
   // Phase 2: confusing word pairs from the commit history -- parallel
   // diffing (each commit parsed against its own local context), sequential
   // merge in commit order.
@@ -385,7 +471,9 @@ void NamerPipeline::build(const corpus::Corpus &C) {
        Confusing.pruneUncommon(Confusing.generate(), AllPaths, Pool.get()))
     Patterns.push_back(std::move(P));
   telemetry::count("pipeline.patterns", Patterns.size());
+}
 
+void NamerPipeline::scanStatements() {
   // Phase 4: evaluate every statement against the immutable pattern index
   // in parallel (index-addressed hit slots), then accumulate multi-level
   // statistics and collect violations sequentially in statement order.
@@ -430,6 +518,144 @@ void NamerPipeline::build(const corpus::Corpus &C) {
   FilesWithViolations = ViolatingFiles.size();
   ReposWithViolations = ViolatingRepos.size();
   telemetry::count("pipeline.violations", Violations.size());
+}
+
+void NamerPipeline::saveModel(const std::string &Path) const {
+  model::ModelFile F;
+  F.Lang = Lang;
+  F.UseAnalyses = Config.UseAnalyses;
+  F.UseClassifier = Config.UseClassifier;
+  F.Seed = Config.Seed;
+  F.Miner = Config.Miner;
+  F.Limits = Config.Limits;
+  std::string GitRev = telemetry::defaultMeta("namer", 0).GitRev;
+  F.GitRev = GitRev;
+
+  const StringInterner &Strings = Ctx->strings();
+  F.Strings.resize(Strings.size());
+  for (Symbol S = 0; S != Strings.size(); ++S)
+    F.Strings[S] = Strings.text(S);
+
+  F.Paths.reserve(Table.size());
+  for (PathId Id = 0; Id != Table.size(); ++Id)
+    F.Paths.push_back(Table.path(Id));
+
+  F.Patterns = Patterns;
+
+  F.Pairs = Pairs->pairs();
+  // pairs() orders by descending count; re-sort by (mistaken, correct) so
+  // the byte layout is a pure function of the pair set.
+  std::sort(F.Pairs.begin(), F.Pairs.end(),
+            [](const ConfusingPair &A, const ConfusingPair &B) {
+              if (A.Mistaken != B.Mistaken)
+                return A.Mistaken < B.Mistaken;
+              return A.Correct < B.Correct;
+            });
+
+  F.ClassifierPresent = Trained;
+  if (Trained)
+    F.Classifier = Classifier.snapshot();
+  F.Manifest = Manifest;
+
+  model::save(Path, F);
+}
+
+void NamerPipeline::loadModel(const std::string &Path) {
+  assert(Statements.empty() && !ModelLoaded &&
+         "loadModel requires a fresh pipeline");
+  Arena Mem;
+  model::ModelFile F = model::load(Path, Mem);
+
+  // Invalidation rules: a model mined under different ingest semantics
+  // (analyses, resource budgets) or mining thresholds describes a
+  // different statement stream / pattern set -- reject rather than serve
+  // silently-stale findings. MineShards and Threads only change how the
+  // mine was parallelized and are deliberately not compared; Seed and
+  // UseClassifier are echoed for provenance but do not gate loading.
+  auto Mismatch = [](const char *What) {
+    throw model::ModelError(model::ModelErrorKind::ConfigMismatch, What);
+  };
+  if (F.UseAnalyses != Config.UseAnalyses)
+    Mismatch("UseAnalyses differs from the model's");
+  if (F.Miner.MaxPathsPerStmt != Config.Miner.MaxPathsPerStmt ||
+      F.Miner.MinPathFrequency != Config.Miner.MinPathFrequency ||
+      F.Miner.MaxConditionPaths != Config.Miner.MaxConditionPaths ||
+      F.Miner.MinPatternSupport != Config.Miner.MinPatternSupport ||
+      F.Miner.MinSatisfactionRatio != Config.Miner.MinSatisfactionRatio ||
+      F.Miner.Conditions != Config.Miner.Conditions ||
+      F.Miner.MaxPatternsPerNode != Config.Miner.MaxPatternsPerNode)
+    Mismatch("miner configuration differs from the model's");
+  if (F.Limits.MaxFileBytes != Config.Limits.MaxFileBytes ||
+      F.Limits.MaxTokens != Config.Limits.MaxTokens ||
+      F.Limits.MaxAstNodes != Config.Limits.MaxAstNodes ||
+      F.Limits.MaxNestingDepth != Config.Limits.MaxNestingDepth ||
+      F.Limits.FileDeadlineMillis != Config.Limits.FileDeadlineMillis)
+    Mismatch("ingest limits differ from the model's");
+
+  telemetry::TraceSpan Apply("model.apply");
+  // Interner snapshot: a fresh AstContext pre-interns the fixed kind /
+  // literal symbols, which are by construction the leading entries of any
+  // snapshot taken from a context that started the same way. Re-interning
+  // in id order therefore reproduces every symbol id exactly; a snapshot
+  // that disagrees is corrupt (the checksums passed, so it was produced by
+  // an incompatible writer) and is rejected typed.
+  for (Symbol S = 1; S < F.Strings.size(); ++S)
+    if (Ctx->intern(F.Strings[S]) != S)
+      throw model::ModelError(model::ModelErrorKind::Malformed,
+                              "interner snapshot out of order at symbol " +
+                                  std::to_string(S));
+  for (PathId Id = 0; Id != F.Paths.size(); ++Id)
+    if (Table.intern(F.Paths[Id]) != Id)
+      throw model::ModelError(model::ModelErrorKind::Malformed,
+                              "path-table snapshot out of order at path " +
+                                  std::to_string(Id));
+  Patterns = std::move(F.Patterns);
+  for (const ConfusingPair &P : F.Pairs)
+    Pairs->addPair(P.Mistaken, P.Correct, P.Count);
+  if (F.ClassifierPresent) {
+    Classifier.restore(F.Classifier);
+    Trained = true;
+  }
+  Manifest = std::move(F.Manifest);
+  for (const incremental::FileState &E : Manifest.Files)
+    for (const incremental::CachedStmt &S : E.Stmts)
+      for (PathId Id : S.Paths)
+        (void)Id; // ids were range-checked against F.Paths during parse
+  Lang = F.Lang;
+  ModelLoaded = true;
+}
+
+void NamerPipeline::scanWith(const corpus::Corpus &C, bool UseCache) {
+  assert(ModelLoaded && "scanWith requires loadModel()");
+  assert(Statements.empty() && "scanWith must be called once");
+  telemetry::TraceSpan Span("pipeline.rescan");
+  auto WallStart = std::chrono::steady_clock::now();
+
+  if (C.Lang != Lang)
+    throw model::ModelError(model::ModelErrorKind::ConfigMismatch,
+                            "corpus language differs from the model's");
+
+  std::vector<const corpus::SourceFile *> Files;
+  for (const corpus::Repository &R : C.Repos)
+    for (const corpus::SourceFile &File : R.Files)
+      Files.push_back(&File);
+
+  incremental::ScanPlan Plan;
+  if (UseCache) {
+    Plan = incremental::diffManifest(Manifest, Files);
+  } else {
+    // Reference full rescan: every file re-ingested, nothing replayed.
+    Plan.Entries.assign(Files.size(),
+                        {incremental::FileChange::Modified, 0});
+    Plan.Modified = Files.size();
+  }
+  telemetry::count("incremental.files.unchanged", Plan.Unchanged);
+  telemetry::count("incremental.files.added", Plan.Added);
+  telemetry::count("incremental.files.modified", Plan.Modified);
+  telemetry::count("incremental.files.deleted", Plan.Deleted);
+
+  ingestCorpus(C, &Plan);
+  scanStatements();
 
   auto WallEnd = std::chrono::steady_clock::now();
   BuildWallMillis =

@@ -27,6 +27,7 @@
 #include "classifier/DefectClassifier.h"
 #include "corpus/Corpus.h"
 #include "histmine/ConfusingPairs.h"
+#include "namer/Incremental.h"
 #include "namer/Ingest.h"
 #include "pattern/Miner.h"
 #include "support/ThreadPool.h"
@@ -81,6 +82,42 @@ public:
   /// Ingests the corpus and mines patterns; fills statements, violations
   /// and the statistics index. Must be called exactly once.
   void build(const corpus::Corpus &C);
+
+  /// The mine phase of the mine/scan split: identical to build(). The name
+  /// pairs with saveModel() -- mine once, persist, then serve warm scans
+  /// through loadModel() + scanWith() on fresh pipelines.
+  void mine(const corpus::Corpus &C) { build(C); }
+
+  /// Serializes the mined model -- patterns, interner and path-table
+  /// snapshots, confusing pairs, the trained classifier (when present) and
+  /// the per-file incremental manifest -- to \p Path. Requires a completed
+  /// build()/mine() or loadModel()+scanWith(). Throws model::ModelError on
+  /// I/O failure.
+  void saveModel(const std::string &Path) const;
+
+  /// Loads a model produced by saveModel() into this (fresh, never-built)
+  /// pipeline: reinstates the interner and path-table snapshots (asserting
+  /// id stability), patterns, pairs, classifier and manifest. Throws
+  /// model::ModelError -- typed, never a crash -- on any corrupt input or
+  /// when the model's config echo conflicts with this pipeline's config
+  /// (see DESIGN.md, "Model store & incremental scan" for the invalidation
+  /// rules).
+  void loadModel(const std::string &Path);
+
+  /// The scan phase: re-evaluates \p C against the loaded model without
+  /// re-mining (no fptree.* / pattern.prune work at all). With \p UseCache
+  /// the per-file manifest is diffed first and only added/modified files
+  /// are re-ingested -- unchanged files replay their cached statements and
+  /// quarantine records -- then the manifest is refreshed to match \p C.
+  /// UseCache=false re-ingests everything (the reference full rescan;
+  /// byte-identical findings either way). Requires loadModel(); call once.
+  void scanWith(const corpus::Corpus &C, bool UseCache = true);
+
+  /// True after loadModel() succeeded.
+  bool modelLoaded() const { return ModelLoaded; }
+
+  /// Per-file manifest of the last build()/scanWith() (corpus order).
+  const incremental::FileManifest &manifest() const { return Manifest; }
 
   /// Trains the defect classifier on externally labeled violations (the
   /// "small supervision"); returns the cross-validation metrics.
@@ -148,6 +185,17 @@ public:
   double buildWallMillis() const { return BuildWallMillis; }
 
 private:
+  /// Phase 1: parallel per-file ingest + sequential corpus-order commit,
+  /// filling Statements and the manifest. With \p Plan, unchanged files
+  /// replay their cached statements instead of re-ingesting.
+  void ingestCorpus(const corpus::Corpus &C,
+                    const incremental::ScanPlan *Plan);
+  /// Phases 2+3: histmine confusing pairs, FP-tree mine + prune patterns.
+  void mineModel(const corpus::Corpus &C);
+  /// Phase 4: evaluate every statement against the pattern index, fill the
+  /// statistics index, witnesses and violations.
+  void scanStatements();
+
   PipelineConfig Config;
   std::unique_ptr<AstContext> Ctx;
   std::unique_ptr<ThreadPool> Pool;
@@ -163,6 +211,10 @@ private:
   DatasetIndex Index;
   DefectClassifier Classifier;
   bool Trained = false;
+
+  incremental::FileManifest Manifest;
+  bool ModelLoaded = false;
+  corpus::Language Lang = corpus::Language::Python;
 
   size_t NumRepos = 0;
   size_t FilesWithViolations = 0;

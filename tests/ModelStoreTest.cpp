@@ -1,0 +1,373 @@
+//===- tests/ModelStoreTest.cpp - model store / incremental scan ----------==//
+//
+// Pins the persistence contract of the mine/scan split (DESIGN.md, "Model
+// store & incremental scan"):
+//
+//   * the serialized model is a pure function of the mined content --
+//     byte-identical at Threads=1 and Threads=8, and serialize(parse(x))
+//     reproduces x exactly;
+//   * a warm loadModel+scanWith run is indistinguishable from the cold
+//     build that produced the model -- statements, patterns, pairs,
+//     reports, classifier decisions, SARIF/findings JSON -- and does no
+//     mining at all (fptree.build / pattern.prune spans stay untouched);
+//   * the incremental path (manifest diff, re-ingest only changed files)
+//     is byte-identical to a full UseCache=false rescan, with the
+//     added/modified/deleted/unchanged counters exact;
+//   * corrupt or mismatched inputs fail with typed ModelErrors, never a
+//     crash.
+//
+//===----------------------------------------------------------------------===//
+
+#include "namer/Explain.h"
+#include "namer/FindingsExport.h"
+#include "namer/ModelStore.h"
+#include "namer/Pipeline.h"
+#include "support/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace namer;
+
+namespace {
+
+corpus::Corpus makeCorpus(corpus::Language Lang) {
+  corpus::CorpusConfig Config;
+  Config.Lang = Lang;
+  Config.NumRepos = 40;
+  return corpus::generateCorpus(Config);
+}
+
+PipelineConfig makeConfig(unsigned Threads) {
+  PipelineConfig PC;
+  PC.Miner.MinPatternSupport = 20;
+  PC.Threads = Threads;
+  return PC;
+}
+
+std::unique_ptr<NamerPipeline> buildCold(const corpus::Corpus &C,
+                                         unsigned Threads) {
+  auto P = std::make_unique<NamerPipeline>(makeConfig(Threads));
+  P->build(C);
+  return P;
+}
+
+/// Trains the classifier on the first four violations (the same labels on
+/// every pipeline, so decisions must agree bitwise).
+void trainSmall(NamerPipeline &P) {
+  ASSERT_GE(P.violations().size(), 4u);
+  std::vector<Violation> Labeled(P.violations().begin(),
+                                 P.violations().begin() + 4);
+  std::vector<bool> Labels = {true, false, true, false};
+  P.trainClassifier(Labeled, Labels);
+}
+
+std::string tempPath(const char *Name) {
+  return (std::filesystem::temp_directory_path() / Name).string();
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+/// Full cross-pipeline identity: statements (ids included), patterns,
+/// pairs, violations, rendered reports, classifier decisions, and both
+/// finding exporters' byte output.
+void expectIdentical(NamerPipeline &A, NamerPipeline &B) {
+  ASSERT_EQ(A.statements().size(), B.statements().size());
+  for (size_t I = 0; I != A.statements().size(); ++I) {
+    const StmtRecord &SA = A.statements()[I];
+    const StmtRecord &SB = B.statements()[I];
+    ASSERT_EQ(SA.File, SB.File) << "stmt " << I;
+    ASSERT_EQ(SA.Repo, SB.Repo) << "stmt " << I;
+    ASSERT_EQ(SA.Line, SB.Line) << "stmt " << I;
+    ASSERT_EQ(SA.TextHash, SB.TextHash) << "stmt " << I;
+    ASSERT_EQ(SA.Paths.Paths, SB.Paths.Paths) << "stmt " << I;
+  }
+
+  ASSERT_EQ(A.patterns().size(), B.patterns().size());
+  for (size_t I = 0; I != A.patterns().size(); ++I) {
+    ASSERT_TRUE(A.patterns()[I] == B.patterns()[I]) << "pattern " << I;
+    ASSERT_EQ(A.patterns()[I].Support, B.patterns()[I].Support);
+    ASSERT_EQ(formatPattern(A.patterns()[I], A.table(), A.context()),
+              formatPattern(B.patterns()[I], B.table(), B.context()));
+  }
+
+  std::vector<ConfusingPair> PairsA = A.pairs().pairs();
+  std::vector<ConfusingPair> PairsB = B.pairs().pairs();
+  ASSERT_EQ(PairsA.size(), PairsB.size());
+  for (size_t I = 0; I != PairsA.size(); ++I) {
+    EXPECT_EQ(PairsA[I].Mistaken, PairsB[I].Mistaken);
+    EXPECT_EQ(PairsA[I].Correct, PairsB[I].Correct);
+    EXPECT_EQ(PairsA[I].Count, PairsB[I].Count);
+  }
+
+  ASSERT_EQ(A.violations().size(), B.violations().size());
+  std::vector<Explanation> ExplA, ExplB;
+  for (size_t I = 0; I != A.violations().size(); ++I) {
+    const Violation &VA = A.violations()[I];
+    const Violation &VB = B.violations()[I];
+    ASSERT_EQ(VA.Stmt, VB.Stmt) << "violation " << I;
+    ASSERT_EQ(VA.Pattern, VB.Pattern) << "violation " << I;
+    EXPECT_EQ(A.features(VA), B.features(VB)) << "features " << I;
+    if (A.classifierTrained() && B.classifierTrained())
+      EXPECT_EQ(A.decision(VA), B.decision(VB)) << "decision " << I;
+    if (I < 8) {
+      ExplA.push_back(explainViolation(A, VA));
+      ExplB.push_back(explainViolation(B, VB));
+    }
+  }
+
+  // The user-facing artifacts must agree byte for byte.
+  sortExplanations(ExplA);
+  sortExplanations(ExplB);
+  ExportMeta Meta;
+  Meta.Tool = "model-test";
+  EXPECT_EQ(sarifJson(ExplA, Meta), sarifJson(ExplB, Meta));
+  EXPECT_EQ(findingsJson(ExplA, Meta), findingsJson(ExplB, Meta));
+}
+
+} // namespace
+
+// --- round trip ---------------------------------------------------------------
+
+TEST(ModelRoundTrip, SavedBytesIdenticalAcrossThreadCounts) {
+  corpus::Corpus C = makeCorpus(corpus::Language::Python);
+  std::unique_ptr<NamerPipeline> One = buildCold(C, 1);
+  std::unique_ptr<NamerPipeline> Eight = buildCold(C, 8);
+  std::string PathOne = tempPath("model-threads1.nmr");
+  std::string PathEight = tempPath("model-threads8.nmr");
+  One->saveModel(PathOne);
+  Eight->saveModel(PathEight);
+  EXPECT_EQ(slurp(PathOne), slurp(PathEight));
+  std::filesystem::remove(PathOne);
+  std::filesystem::remove(PathEight);
+}
+
+TEST(ModelRoundTrip, ParseSerializeIsIdentity) {
+  corpus::Corpus C = makeCorpus(corpus::Language::Python);
+  std::unique_ptr<NamerPipeline> P = buildCold(C, 4);
+  trainSmall(*P);
+  std::string Path = tempPath("model-identity.nmr");
+  P->saveModel(Path);
+  std::string Bytes = slurp(Path);
+  std::filesystem::remove(Path);
+  ASSERT_FALSE(Bytes.empty());
+  model::ModelFile F = model::parse(Bytes);
+  EXPECT_EQ(model::serialize(F), Bytes);
+}
+
+TEST(ModelRoundTrip, WarmScanMatchesColdBuildAtAnyThreadCount) {
+  corpus::Corpus C = makeCorpus(corpus::Language::Python);
+  std::unique_ptr<NamerPipeline> Cold = buildCold(C, 8);
+  trainSmall(*Cold);
+  std::string Path = tempPath("model-warm.nmr");
+  Cold->saveModel(Path);
+
+  for (unsigned Threads : {1u, 8u}) {
+    NamerPipeline Warm(makeConfig(Threads));
+    Warm.loadModel(Path);
+    EXPECT_TRUE(Warm.modelLoaded());
+    EXPECT_TRUE(Warm.classifierTrained()); // restored, not retrained
+
+#if NAMER_TELEMETRY
+    double MineBefore = telemetry::spanTotalUs("fptree.build");
+    double PruneBefore = telemetry::spanTotalUs("pattern.prune");
+#endif
+    Warm.scanWith(C);
+#if NAMER_TELEMETRY
+    // The warm path must not mine: the mining spans accumulate nothing.
+    EXPECT_EQ(telemetry::spanTotalUs("fptree.build"), MineBefore);
+    EXPECT_EQ(telemetry::spanTotalUs("pattern.prune"), PruneBefore);
+#endif
+
+    expectIdentical(*Cold, Warm);
+    EXPECT_EQ(Cold->numFiles(), Warm.numFiles());
+    EXPECT_EQ(Cold->numParseErrors(), Warm.numParseErrors());
+    EXPECT_EQ(Cold->numQuarantined(), Warm.numQuarantined());
+  }
+  std::filesystem::remove(Path);
+}
+
+TEST(ModelRoundTrip, InternerAndPathTableSnapshotsKeepIds) {
+  corpus::Corpus C = makeCorpus(corpus::Language::Java);
+  std::unique_ptr<NamerPipeline> Cold = buildCold(C, 2);
+  std::string Path = tempPath("model-interner.nmr");
+  Cold->saveModel(Path);
+
+  NamerPipeline Warm(makeConfig(1));
+  Warm.loadModel(Path);
+  std::filesystem::remove(Path);
+
+  // Symbol-for-symbol and path-for-path: the loaded pipeline's interner
+  // and table reproduce the cold build's id assignment exactly.
+  const StringInterner &SA = Cold->context().strings();
+  const StringInterner &SB = Warm.context().strings();
+  ASSERT_EQ(SA.size(), SB.size());
+  for (Symbol S = 1; S < SA.size(); S += 7)
+    EXPECT_EQ(SA.text(S), SB.text(S)) << "symbol " << S;
+  ASSERT_EQ(Cold->table().size(), Warm.table().size());
+  for (PathId Id = 0; Id < Cold->table().size(); Id += 13) {
+    EXPECT_EQ(Cold->table().prefixOf(Id), Warm.table().prefixOf(Id));
+    EXPECT_EQ(Cold->table().endOf(Id), Warm.table().endOf(Id));
+  }
+}
+
+// --- incremental scan ---------------------------------------------------------
+
+TEST(Incremental, AddModifyDeleteMatchesFullRescan) {
+  corpus::Corpus C = makeCorpus(corpus::Language::Python);
+  std::unique_ptr<NamerPipeline> Cold = buildCold(C, 4);
+  std::string Path = tempPath("model-incremental.nmr");
+  Cold->saveModel(Path);
+  size_t NumFiles = Cold->numFiles() + Cold->numQuarantined();
+
+  // One deleted, one modified, one added file.
+  corpus::Corpus Changed = C;
+  ASSERT_GE(Changed.Repos.size(), 2u);
+  ASSERT_GE(Changed.Repos[0].Files.size(), 2u);
+  Changed.Repos[0].Files.erase(Changed.Repos[0].Files.begin());
+  corpus::SourceFile &Modified = Changed.Repos[1].Files.front();
+  Modified.Text += "\ndef appended_helper(value):\n    return value\n";
+  Modified.View = {};
+  Modified.Mapped = false;
+  corpus::SourceFile Added;
+  Added.Path = Changed.Repos[1].Name + "/zz_added.py";
+  Added.Text = "def added_function(count):\n    return count\n";
+  Changed.Repos[1].Files.push_back(std::move(Added));
+
+  telemetry::reset();
+  NamerPipeline Inc(makeConfig(4));
+  Inc.loadModel(Path);
+  Inc.scanWith(Changed, /*UseCache=*/true);
+
+  // Counter-exact: only the dirty set was re-ingested.
+  std::map<std::string, uint64_t> Snap;
+  for (const auto &[Name, Value] : telemetry::metrics().snapshot())
+    Snap[Name] = Value;
+  EXPECT_EQ(Snap["incremental.files.unchanged"], NumFiles - 2);
+  EXPECT_EQ(Snap["incremental.files.added"], 1u);
+  EXPECT_EQ(Snap["incremental.files.modified"], 1u);
+  EXPECT_EQ(Snap["incremental.files.deleted"], 1u);
+
+  NamerPipeline Full(makeConfig(1));
+  Full.loadModel(Path);
+  Full.scanWith(Changed, /*UseCache=*/false);
+  std::filesystem::remove(Path);
+
+  expectIdentical(Full, Inc);
+
+  // The refreshed manifest describes the changed corpus, so a second
+  // incremental hop sees everything unchanged.
+  ASSERT_EQ(Inc.manifest().size(), NumFiles);
+  std::vector<const corpus::SourceFile *> Current;
+  for (const corpus::Repository &R : Changed.Repos)
+    for (const corpus::SourceFile &F : R.Files)
+      Current.push_back(&F);
+  incremental::ScanPlan Replan =
+      incremental::diffManifest(Inc.manifest(), Current);
+  EXPECT_EQ(Replan.Unchanged, NumFiles);
+  EXPECT_EQ(Replan.Added + Replan.Modified + Replan.Deleted, 0u);
+}
+
+// --- typed errors -------------------------------------------------------------
+
+TEST(ModelErrors, MissingFileIsIo) {
+  NamerPipeline P(makeConfig(1));
+  try {
+    P.loadModel(tempPath("model-does-not-exist.nmr"));
+    FAIL() << "expected ModelError";
+  } catch (const model::ModelError &E) {
+    EXPECT_EQ(E.kind(), model::ModelErrorKind::Io);
+  }
+}
+
+TEST(ModelErrors, ConfigMismatchRejected) {
+  corpus::Corpus C = makeCorpus(corpus::Language::Python);
+  std::unique_ptr<NamerPipeline> Cold = buildCold(C, 2);
+  std::string Path = tempPath("model-mismatch.nmr");
+  Cold->saveModel(Path);
+
+  PipelineConfig Other = makeConfig(1);
+  Other.Miner.MinPatternSupport += 5;
+  NamerPipeline P(Other);
+  try {
+    P.loadModel(Path);
+    FAIL() << "expected ConfigMismatch";
+  } catch (const model::ModelError &E) {
+    EXPECT_EQ(E.kind(), model::ModelErrorKind::ConfigMismatch);
+  }
+
+  // Language mismatch is caught at scanWith, where the corpus appears.
+  NamerPipeline Q(makeConfig(1));
+  Q.loadModel(Path);
+  corpus::Corpus Java = makeCorpus(corpus::Language::Java);
+  try {
+    Q.scanWith(Java);
+    FAIL() << "expected ConfigMismatch";
+  } catch (const model::ModelError &E) {
+    EXPECT_EQ(E.kind(), model::ModelErrorKind::ConfigMismatch);
+  }
+  std::filesystem::remove(Path);
+}
+
+TEST(ModelErrors, HeaderAndTableCorruptionFailsTyped) {
+  corpus::Corpus C = makeCorpus(corpus::Language::Python);
+  std::unique_ptr<NamerPipeline> Cold = buildCold(C, 2);
+  std::string Path = tempPath("model-corrupt.nmr");
+  Cold->saveModel(Path);
+  std::string Bytes = slurp(Path);
+  std::filesystem::remove(Path);
+  ASSERT_GT(Bytes.size(), 512u);
+
+  // Flip every byte of the header + section table (and a payload sample):
+  // parse must reject typed, never crash or succeed on altered bytes. The
+  // one benign region is the offset field of a zero-length section (the
+  // untrained classifier here): moving an empty window changes nothing.
+  auto ReadU64At = [&](size_t At) {
+    uint64_t V = 0;
+    for (int I = 0; I != 8; ++I)
+      V |= static_cast<uint64_t>(static_cast<uint8_t>(Bytes[At + I]))
+           << (8 * I);
+    return V;
+  };
+  size_t TableEnd = 24 + 7 * 32;
+  auto FlipIsBenign = [&](size_t I) {
+    for (size_t Entry = 24; Entry < TableEnd; Entry += 32)
+      if (ReadU64At(Entry + 16) == 0 && I >= Entry + 8 && I < Entry + 16)
+        return true;
+    return false;
+  };
+  for (size_t I = 0; I < Bytes.size(); I = I < TableEnd ? I + 1 : I + 97) {
+    std::string Mutated = Bytes;
+    Mutated[I] = static_cast<char>(Mutated[I] ^ 0x5A);
+    try {
+      (void)model::parse(Mutated);
+      // A flip inside a checksum field can only "succeed" if it still
+      // matches the payload -- impossible for a xor with 0x5A.
+      EXPECT_TRUE(FlipIsBenign(I)) << "byte flip at " << I
+                                   << " parsed successfully";
+    } catch (const model::ModelError &) {
+      // typed rejection: expected
+    }
+  }
+
+  // Truncations at a spread of lengths: typed rejection every time.
+  for (size_t Len : {0ul, 7ul, 23ul, 24ul, 100ul, TableEnd,
+                     Bytes.size() / 2, Bytes.size() - 1}) {
+    try {
+      (void)model::parse(std::string_view(Bytes).substr(0, Len));
+      FAIL() << "truncation to " << Len << " parsed successfully";
+    } catch (const model::ModelError &) {
+    }
+  }
+}

@@ -18,7 +18,9 @@
 #include "frontend/java/JavaParser.h"
 #include "frontend/python/PythonParser.h"
 #include "namer/FindingsExport.h"
+#include "namer/ModelStore.h"
 #include "namer/Pipeline.h"
+#include "support/Arena.h"
 #include "support/FaultInjector.h"
 #include "support/Rng.h"
 #include "transform/AstPlus.h"
@@ -325,6 +327,109 @@ TEST(IngestBudgets, QuarantineAndFindingsAreByteIdenticalAcrossThreads) {
   ASSERT_EQ(One.P->statements().size(), Eight.P->statements().size());
 }
 
+// --- Model store robustness: corrupt models fail typed, never crash ----------
+
+namespace {
+
+/// A tiny mined model's bytes, produced through the real save path.
+std::string makeModelBytes() {
+  corpus::Corpus C;
+  C.Lang = corpus::Language::Python;
+  corpus::Repository Repo;
+  Repo.Name = "modelrepo";
+  for (int FI = 0; FI != 4; ++FI)
+    Repo.Files.push_back(corpus::SourceFile{
+        Repo.Name + "/f" + std::to_string(FI) + ".py",
+        "def handler(request, response):\n"
+        "    value = request.read()\n"
+        "    response.write(value)\n",
+        {}});
+  C.Repos.push_back(std::move(Repo));
+  PipelineConfig PC;
+  PC.Threads = 1;
+  NamerPipeline P(PC);
+  P.build(C);
+  std::string Path =
+      (std::filesystem::temp_directory_path() / "robustness-model.nmr")
+          .string();
+  P.saveModel(Path);
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::filesystem::remove(Path);
+  return Buf.str();
+}
+
+} // namespace
+
+TEST(ModelRobustness, AdversarialFilesFailWithTheDocumentedKind) {
+  // The committed files each trip exactly one validation layer; the
+  // loader must answer with that layer's ModelErrorKind through the real
+  // mmap-backed load path.
+  const std::pair<const char *, model::ModelErrorKind> Cases[] = {
+      {"bad_magic.nmr", model::ModelErrorKind::BadMagic},
+      {"bad_endian.nmr", model::ModelErrorKind::BadEndian},
+      {"bad_version.nmr", model::ModelErrorKind::BadVersion},
+      {"truncated.nmr", model::ModelErrorKind::Truncated},
+      {"bad_checksum.nmr", model::ModelErrorKind::BadChecksum},
+  };
+  for (const auto &[Name, Kind] : Cases) {
+    std::string Path = std::string(NAMER_MODEL_DATA_DIR) + "/" + Name;
+    ASSERT_TRUE(std::filesystem::exists(Path)) << Path;
+    Arena Mem;
+    try {
+      (void)model::load(Path, Mem);
+      FAIL() << Name << " loaded successfully";
+    } catch (const model::ModelError &E) {
+      EXPECT_EQ(E.kind(), Kind) << Name << ": " << E.what();
+    }
+  }
+}
+
+TEST(ModelRobustness, RandomCorruptionNeverCrashes) {
+  std::string Bytes = makeModelBytes();
+  ASSERT_GT(Bytes.size(), 256u);
+  Rng G(2024);
+
+  // Random single-byte corruption anywhere in the image: parse either
+  // succeeds (a benign mutation, e.g. a zero-length section's offset) or
+  // throws a typed ModelError. Anything else -- a crash, a foreign
+  // exception -- fails the test (and the asan preset catches reads the
+  // bounds checks missed).
+  for (int I = 0; I != 300; ++I) {
+    std::string Mutated = Bytes;
+    size_t At = G.bounded(Mutated.size());
+    Mutated[At] = static_cast<char>(G.next() & 0xFF);
+    try {
+      (void)model::parse(Mutated);
+    } catch (const model::ModelError &) {
+    }
+  }
+
+  // Every prefix-truncation class, same contract.
+  for (int I = 0; I != 100; ++I) {
+    size_t Len = G.bounded(Bytes.size());
+    try {
+      (void)model::parse(std::string_view(Bytes).substr(0, Len));
+    } catch (const model::ModelError &) {
+    }
+  }
+
+  // Random tails appended after a valid image must also stay typed (the
+  // section table ignores trailing bytes only if every section still
+  // parses; garbage is rejected, not read out of bounds).
+  for (int I = 0; I != 50; ++I) {
+    std::string Mutated = Bytes;
+    size_t Extra = 1 + G.bounded(64);
+    for (size_t J = 0; J != Extra; ++J)
+      Mutated.push_back(static_cast<char>(G.next() & 0xFF));
+    try {
+      (void)model::parse(Mutated);
+    } catch (const model::ModelError &) {
+    }
+  }
+}
+
 #if NAMER_FAULT_INJECTION
 
 // --- Fault injection: forced faults quarantine exactly the armed files -------
@@ -430,6 +535,77 @@ TEST(FaultInjection, HistoryMiningFaultDoesNotAbortTheBuild) {
   // (commits are not files), and the build still completes.
   EXPECT_EQ(P.numQuarantined(), 0u);
   EXPECT_EQ(P.pairs().numPairs(), 0u);
+}
+
+TEST(FaultInjection, ModelSaveShortWriteFailsTypedAndLeavesLoadableError) {
+  std::string Bytes = makeModelBytes();
+  std::string Path =
+      (std::filesystem::temp_directory_path() / "fault-model-save.nmr")
+          .string();
+  std::ofstream(Path, std::ios::binary) << Bytes;
+
+  // A non-Throw fault at model.save becomes a short write: the saver
+  // reports ModelError{Io} and the half-written file lands on disk.
+  corpus::Corpus C;
+  C.Lang = corpus::Language::Python;
+  corpus::Repository Repo;
+  Repo.Name = "modelrepo";
+  Repo.Files.push_back(corpus::SourceFile{
+      "modelrepo/f.py", "def handler(x):\n    return x\n", {}});
+  C.Repos.push_back(std::move(Repo));
+  PipelineConfig PC;
+  PC.Threads = 1;
+  NamerPipeline P(PC);
+  P.build(C);
+
+  faultinject::disarm();
+  faultinject::arm("model.save", Path, faultinject::FaultKind::Timeout);
+  try {
+    P.saveModel(Path);
+    FAIL() << "expected ModelError from injected short write";
+  } catch (const model::ModelError &E) {
+    EXPECT_EQ(E.kind(), model::ModelErrorKind::Io);
+  }
+  faultinject::disarm();
+
+  // The truncated artifact on disk is itself a typed load failure, not a
+  // crash -- the injected save feeds the load-robustness contract.
+  Arena Mem;
+  try {
+    (void)model::load(Path, Mem);
+    FAIL() << "expected ModelError from truncated file";
+  } catch (const model::ModelError &) {
+  }
+  std::filesystem::remove(Path);
+}
+
+TEST(FaultInjection, ModelLoadShortReadFailsTyped) {
+  std::string Bytes = makeModelBytes();
+  std::string Path =
+      (std::filesystem::temp_directory_path() / "fault-model-load.nmr")
+          .string();
+  std::ofstream(Path, std::ios::binary) << Bytes;
+
+  // A non-Throw fault at model.load halves the mapped image, exercising
+  // the natural short-read (Truncated / BadChecksum) paths.
+  faultinject::disarm();
+  faultinject::arm("model.load", Path, faultinject::FaultKind::Timeout);
+  Arena Mem;
+  try {
+    (void)model::load(Path, Mem);
+    FAIL() << "expected ModelError from injected short read";
+  } catch (const model::ModelError &E) {
+    EXPECT_TRUE(E.kind() == model::ModelErrorKind::Truncated ||
+                E.kind() == model::ModelErrorKind::BadChecksum)
+        << E.what();
+  }
+  faultinject::disarm();
+
+  // With the fault disarmed the very same file loads cleanly.
+  Arena Mem2;
+  model::ModelFile F = model::load(Path, Mem2);
+  EXPECT_FALSE(F.Strings.empty());
+  std::filesystem::remove(Path);
 }
 
 #endif // NAMER_FAULT_INJECTION

@@ -24,6 +24,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <map>
 #include <string>
 #include <thread>
@@ -274,6 +275,18 @@ TEST(TelemetryPipeline, StatsCoverEveryStageOnRealRun) {
   (void)sarifJson(Findings, Meta);
   (void)findingsJson(Findings, Meta);
 
+  // The model store stage: one save + load so model.{save,load,verify,
+  // apply} spans and the model.* counters carry real values.
+  std::string ModelPath =
+      (std::filesystem::temp_directory_path() / "namer-telemetry-model.nmr")
+          .string();
+  P.saveModel(ModelPath);
+  {
+    NamerPipeline Warm(PC);
+    Warm.loadModel(ModelPath);
+  }
+  std::filesystem::remove(ModelPath);
+
   // All seven pipeline stages plus the pool must have left counters
   // behind.
   std::map<std::string, int64_t> Snap = snapshotMap();
@@ -295,8 +308,19 @@ TEST(TelemetryPipeline, StatsCoverEveryStageOnRealRun) {
         "report.sarif_results", "report.findings_results",
         "arena.slabs", "arena.bytes", "arena.files_mapped",
         "arena.mmap_fallbacks", "pool.idle_us.pipeline.ingest",
-        "pool.idle_us.pipeline.scan", "pool.idle_us.fptree.build"})
+        "pool.idle_us.pipeline.scan", "pool.idle_us.fptree.build",
+        "incremental.files.unchanged", "incremental.files.added",
+        "incremental.files.modified", "incremental.files.deleted"})
     EXPECT_TRUE(Snap.count(Name)) << Name;
+  // The save/load pair above left real model metrics behind; the
+  // incremental counters are registered at zero by the cold build (only
+  // scanWith adds to them).
+  for (const char *Name : {"model.bytes", "model.sections", "model.load_us"})
+    ASSERT_TRUE(Snap.count(Name)) << Name;
+  EXPECT_GT(Snap["model.bytes"], 0);
+  EXPECT_EQ(Snap["model.sections"], 14); // 7 sections saved + 7 loaded
+  EXPECT_EQ(Snap["incremental.files.unchanged"], 0);
+  EXPECT_EQ(Snap["incremental.files.modified"], 0);
   EXPECT_GE(Snap["classifier.predictions"], 1);
   EXPECT_EQ(Snap["report.explanations"], 1);
   EXPECT_EQ(Snap["report.sarif_results"], 1);
@@ -326,7 +350,8 @@ TEST(TelemetryPipeline, StatsCoverEveryStageOnRealRun) {
         "fptree.generate", "pattern.prune", "classifier.train",
         "pipeline.build", "pipeline.ingest", "pipeline.commit",
         "pipeline.scan", "ingest.file", "report.explain",
-        "report.export", "fptree.shard.build", "fptree.shard.merge"})
+        "report.export", "fptree.shard.build", "fptree.shard.merge",
+        "model.save", "model.load", "model.verify", "model.apply"})
     EXPECT_NE(Stats.find("\"" + std::string(Span) + "\""),
               std::string::npos)
         << Span;

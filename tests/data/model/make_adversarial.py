@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Regenerates the adversarial model-store files in this directory.
+
+Each file trips exactly one layer of namer::model::parse's validation
+(src/namer/ModelStore.h documents the format). The files are tiny and
+hand-crafted -- no valid model is needed to produce them -- and they are
+committed so the robustness suite replays identical bytes on every run.
+They assume a little-endian host (the reference CI/container platform):
+`marker` below is the byte image a little-endian writer produces.
+"""
+import struct
+from pathlib import Path
+
+HERE = Path(__file__).parent
+MAGIC = b"NAMRMDL1"
+# kEndianMarker 0x01020304 as written by a little-endian host.
+MARKER = struct.pack("<I", 0x01020304)
+VERSION = struct.pack("<I", 1)
+RESERVED = struct.pack("<I", 0)
+
+
+def header(nsections, version=VERSION, marker=MARKER):
+    return MAGIC + marker + version + struct.pack("<I", nsections) + RESERVED
+
+
+def entry(sec_id, offset, length, checksum):
+    return struct.pack("<QQQQ", sec_id, offset, length, checksum)
+
+
+def fnv1a(data):
+    h = 0xCBF29CE484222325
+    for b in data:
+        h = ((h ^ b) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def write(name, data):
+    (HERE / name).write_bytes(data)
+    print(f"wrote {name}: {len(data)} bytes")
+
+
+# Not a model file at all.
+write("bad_magic.nmr", b"NOTMODEL" + bytes(64))
+
+# Produced on a byte-swapped (big-endian) host: its native-order marker
+# reads back as 0x04030201 here.
+write("bad_endian.nmr",
+      MAGIC + struct.pack(">I", 0x01020304) + VERSION +
+      struct.pack("<I", 0) + RESERVED)
+
+# A future schema this loader does not speak.
+write("bad_version.nmr", header(0, version=struct.pack("<I", 99)))
+
+# Claims seven sections, ends immediately after the header.
+write("truncated.nmr", header(7))
+
+# One well-formed table entry whose payload bytes do not hash to the
+# recorded checksum (a flipped bit in the payload).
+payload = b"meta-bytes-after-bitflip"
+write("bad_checksum.nmr",
+      header(1) + entry(1, 24 + 32, len(payload), fnv1a(payload) ^ 0x40) +
+      payload)

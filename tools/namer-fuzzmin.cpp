@@ -4,7 +4,7 @@
 // single-file ingestion pipeline, repeatedly:
 //
 //   namer-fuzzmin --lang=python|java [--iterations=N] [--max-nesting=N]
-//                 [--pipeline] [--quiet] FILE
+//                 [--pipeline] [--model] [--quiet] FILE
 //
 // The driver exists for the adversarial-input workflow (DESIGN.md, "Fault
 // tolerance"): given an input that crashed or misbehaved under fuzzing or
@@ -18,11 +18,19 @@
 // do NOT change the exit code -- recoverable diags are expected on
 // adversarial inputs; the contract being tested is "no crash".
 //
+// --model switches the input format: FILE is treated as a model-store
+// image (ModelStore.h) and replayed through model::parse instead of the
+// frontend. Exit 0 = parsed cleanly, 4 = rejected with a typed ModelError
+// (the expected outcome for adversarial bytes); a crash is the bug. This
+// makes `namer-fuzzmin --model FILE` the oracle for minimizing corrupt
+// model files exactly as plain FILE is for sources.
+//
 //===----------------------------------------------------------------------===//
 
 #include "ast/Tree.h"
 #include "frontend/java/JavaParser.h"
 #include "frontend/python/PythonParser.h"
+#include "namer/ModelStore.h"
 #include "namer/Pipeline.h"
 
 #include <cstdio>
@@ -45,6 +53,8 @@ struct Options {
   /// Also run the file through NamerPipeline::build as a one-file corpus,
   /// exercising the ingestion budgets and quarantine path.
   bool Pipeline = false;
+  /// Treat FILE as a model-store image and replay it through model::parse.
+  bool Model = false;
   bool Quiet = false;
   std::string File;
 };
@@ -52,7 +62,7 @@ struct Options {
 void printUsage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--lang=python|java] [--iterations=N] "
-               "[--max-nesting=N] [--pipeline] [--quiet] FILE\n",
+               "[--max-nesting=N] [--pipeline] [--model] [--quiet] FILE\n",
                Argv0);
 }
 
@@ -71,6 +81,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
           Arg.c_str() + std::strlen("--max-nesting="), nullptr, 10));
     } else if (Arg == "--pipeline") {
       Opts.Pipeline = true;
+    } else if (Arg == "--model") {
+      Opts.Model = true;
     } else if (Arg == "--quiet") {
       Opts.Quiet = true;
     } else if (Arg.rfind("--", 0) == 0) {
@@ -130,6 +142,29 @@ int main(int Argc, char **Argv) {
   std::ostringstream Buf;
   Buf << In.rdbuf();
   std::string Text = Buf.str();
+
+  if (Opts.Model) {
+    // Model replay: every iteration must either parse cleanly or reject
+    // typed. Any signal/abort is the crash being minimized.
+    int ModelExit = 0;
+    for (unsigned Iter = 0; Iter != Opts.Iterations; ++Iter) {
+      try {
+        model::ModelFile F = model::parse(Text);
+        if (!Opts.Quiet && Iter == 0)
+          std::printf("%s: %zu bytes, model ok: %zu strings, %zu paths, "
+                      "%zu patterns, %zu pairs, %zu files\n",
+                      Opts.File.c_str(), Text.size(), F.Strings.size(),
+                      F.Paths.size(), F.Patterns.size(), F.Pairs.size(),
+                      F.Manifest.size());
+      } catch (const model::ModelError &E) {
+        if (!Opts.Quiet && Iter == 0)
+          std::printf("%s: %zu bytes, rejected typed: %s\n",
+                      Opts.File.c_str(), Text.size(), E.what());
+        ModelExit = 4;
+      }
+    }
+    return ModelExit;
+  }
 
   for (unsigned Iter = 0; Iter != Opts.Iterations; ++Iter) {
     size_t NumDiags = 0, NumNodes = 0;

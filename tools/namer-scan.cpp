@@ -6,7 +6,8 @@
 //              [--threads=N] [--max-file-bytes=N] [--max-nesting=N]
 //              [--mine-shards=N] [--strict] [--stats[=FILE]] [--trace-out=FILE]
 //              [--sarif=FILE] [--findings=FILE] [--explain[=N]]
-//              [--fail-on-findings] DIR
+//              [--fail-on-findings] [--model-out=FILE] [--model-in=FILE]
+//              [--incremental-state=DIR] DIR
 //
 // Patterns are mined from the bundled ecosystem corpus *plus* the scanned
 // tree (so project-local idioms contribute), violations are filtered by a
@@ -30,10 +31,20 @@
 // abort the scan. --max-file-bytes / --max-nesting override the budget
 // defaults; --strict exits 3 when any file was quarantined.
 //
+// Model store (DESIGN.md, "Model store & incremental scan"): --model-out
+// persists the mined model (patterns, interner snapshot, pairs, classifier,
+// per-file manifest) after the scan; --model-in skips mining entirely and
+// serves a warm scan from the saved model; --incremental-state=DIR keeps
+// DIR/model.nmr across runs -- the first run mines cold and saves, later
+// runs load it, re-ingest only files the manifest says changed, and save
+// the refreshed manifest back. Corrupt or mismatched model files fail with
+// a typed diagnostic and exit 4; findings are byte-identical cold vs warm.
+//
 //===----------------------------------------------------------------------===//
 
 #include "namer/Evaluation.h"
 #include "namer/FindingsExport.h"
+#include "namer/ModelStore.h"
 #include "support/Arena.h"
 #include "support/Telemetry.h"
 #include "support/TextTable.h"
@@ -86,6 +97,13 @@ struct Options {
   size_t MineShards = 0;
   /// --strict: exit 3 when any file was quarantined during ingestion.
   bool Strict = false;
+  /// --model-out=FILE: save the mined model after the scan.
+  std::string ModelOut;
+  /// --model-in=FILE: load a saved model and serve a warm scan (no mining).
+  std::string ModelIn;
+  /// --incremental-state=DIR: keep DIR/model.nmr across runs (load when
+  /// present, always save the refreshed manifest back).
+  std::string IncrementalState;
   std::string Directory;
 };
 
@@ -96,7 +114,8 @@ void printUsage(const char *Argv0) {
                "[--max-nesting=N] [--mine-shards=N] [--strict] "
                "[--stats[=FILE]] "
                "[--trace-out=FILE] [--sarif=FILE] [--findings=FILE] "
-               "[--explain[=N]] [--fail-on-findings] DIR\n",
+               "[--explain[=N]] [--fail-on-findings] [--model-out=FILE] "
+               "[--model-in=FILE] [--incremental-state=DIR] DIR\n",
                Argv0);
 }
 
@@ -146,6 +165,12 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
           Arg.c_str() + std::strlen("--mine-shards="), nullptr, 10));
     } else if (Arg == "--strict") {
       Opts.Strict = true;
+    } else if (Arg.rfind("--model-out=", 0) == 0) {
+      Opts.ModelOut = Arg.substr(std::strlen("--model-out="));
+    } else if (Arg.rfind("--model-in=", 0) == 0) {
+      Opts.ModelIn = Arg.substr(std::strlen("--model-in="));
+    } else if (Arg.rfind("--incremental-state=", 0) == 0) {
+      Opts.IncrementalState = Arg.substr(std::strlen("--incremental-state="));
     } else if (Arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
       return false;
@@ -255,10 +280,37 @@ int main(int Argc, char **Argv) {
   if (Opts.MineShards)
     PC.Miner.MineShards = Opts.MineShards;
   NamerPipeline Namer(PC);
-  std::fprintf(stderr, "mining name patterns ...\n");
-  Namer.build(BigCode);
-  std::fprintf(stderr, "%zu patterns, %zu confusing word pairs\n",
-               Namer.patterns().size(), Namer.pairs().numPairs());
+  // Resolve the model source: explicit --model-in wins; otherwise an
+  // existing --incremental-state store serves the warm path.
+  std::string StatePath;
+  if (!Opts.IncrementalState.empty()) {
+    std::error_code Ec;
+    fs::create_directories(Opts.IncrementalState, Ec);
+    StatePath = (fs::path(Opts.IncrementalState) / "model.nmr").string();
+  }
+  std::string ModelLoadPath = Opts.ModelIn;
+  if (ModelLoadPath.empty() && !StatePath.empty() && fs::exists(StatePath))
+    ModelLoadPath = StatePath;
+
+  try {
+    if (!ModelLoadPath.empty()) {
+      std::fprintf(stderr, "loading model from %s ...\n",
+                   ModelLoadPath.c_str());
+      Namer.loadModel(ModelLoadPath);
+      Namer.scanWith(BigCode);
+      std::fprintf(stderr,
+                   "%zu patterns, %zu confusing word pairs (warm scan)\n",
+                   Namer.patterns().size(), Namer.pairs().numPairs());
+    } else {
+      std::fprintf(stderr, "mining name patterns ...\n");
+      Namer.build(BigCode);
+      std::fprintf(stderr, "%zu patterns, %zu confusing word pairs\n",
+                   Namer.patterns().size(), Namer.pairs().numPairs());
+    }
+  } catch (const model::ModelError &E) {
+    std::fprintf(stderr, "model error: %s\n", E.what());
+    return 4;
+  }
   if (Namer.numQuarantined()) {
     std::fprintf(stderr,
                  "\n--- quarantined files "
@@ -266,7 +318,9 @@ int main(int Argc, char **Argv) {
                  Namer.quarantine().summaryTable().c_str());
   }
 
-  if (Opts.UseClassifier) {
+  // A warm model may already carry its trained classifier; only train when
+  // the pipeline does not have one yet.
+  if (Opts.UseClassifier && !Namer.classifierTrained()) {
     std::vector<size_t> Indices;
     std::vector<bool> Labels;
     collectBalancedLabels(Namer, Oracle, 120, /*Seed=*/1, Indices, Labels);
@@ -336,6 +390,24 @@ int main(int Argc, char **Argv) {
   telemetry::count("scan.reports", Explanations.size());
 
   int Exit = 0;
+  // Persist the model (with the freshly trained classifier and the
+  // refreshed manifest) after the scan: --model-out explicitly, and the
+  // --incremental-state store always, so the next run's diff is current.
+  auto SaveModelTo = [&](const std::string &Path) {
+    try {
+      Namer.saveModel(Path);
+      std::fprintf(stderr, "wrote %s (model, schema v%u)\n", Path.c_str(),
+                   model::kSchemaVersion);
+      return true;
+    } catch (const model::ModelError &E) {
+      std::fprintf(stderr, "model error: %s\n", E.what());
+      return false;
+    }
+  };
+  if (!Opts.ModelOut.empty() && !SaveModelTo(Opts.ModelOut))
+    Exit = 4;
+  if (!StatePath.empty() && !SaveModelTo(StatePath))
+    Exit = 4;
   if (Opts.Stats) {
     std::fprintf(stderr, "\n--- per-stage summary "
                          "-------------------------------------------\n%s",
