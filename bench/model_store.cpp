@@ -24,6 +24,7 @@
 #include "BenchCommon.h"
 #include "namer/ModelStore.h"
 #include "namer/Pipeline.h"
+#include "support/MemoryTracker.h"
 #include "support/Telemetry.h"
 
 #include <algorithm>
@@ -244,6 +245,24 @@ int main(int Argc, char **Argv) {
   Meta.Extra.emplace_back("incremental_files_unchanged",
                           std::to_string(Unchanged));
   Meta.Extra.emplace_back("reports_identical", "true");
+  Meta.Extra.emplace_back("peak_rss_kb", std::to_string(memory::peakRssKb()));
+  // Incremental-run ingest latency quantiles (the ingest.file_us
+  // histogram survives the last telemetry::reset() above); empty in
+  // notrace builds.
+  for (const telemetry::MetricsTypedSnapshot::Hist &H :
+       telemetry::metrics().typedSnapshot().Histograms) {
+    if (H.Name != "ingest.file_us")
+      continue;
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"p50\": %llu, \"p90\": %llu, \"p99\": %llu, "
+                  "\"p999\": %llu, \"max\": %llu}",
+                  static_cast<unsigned long long>(H.P50),
+                  static_cast<unsigned long long>(H.P90),
+                  static_cast<unsigned long long>(H.P99),
+                  static_cast<unsigned long long>(H.P999),
+                  static_cast<unsigned long long>(H.Max));
+    Meta.Extra.emplace_back("ingest_file_us_quantiles", Buf);
+  }
 
   std::ofstream Json(OutPath, std::ios::binary);
   if (!Json) {

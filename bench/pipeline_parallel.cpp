@@ -36,6 +36,7 @@
 #include "namer/ModelStore.h"
 #include "namer/Pipeline.h"
 #include "support/Arena.h"
+#include "support/MemoryTracker.h"
 #include "support/Telemetry.h"
 
 #include <algorithm>
@@ -323,6 +324,25 @@ int main(int Argc, char **Argv) {
   Meta.Extra.emplace_back("runs_per_thread_count", std::to_string(Runs));
   Meta.Extra.emplace_back("warm_scan", ModelIn.empty() ? "false" : "true");
   Meta.Extra.emplace_back("reports_identical_across_thread_counts", "true");
+  Meta.Extra.emplace_back("peak_rss_kb", std::to_string(memory::peakRssKb()));
+  // Per-file ingest latency quantiles (the ingest.file_us histogram): the
+  // BENCH-side mirror of the exposition's *_quantile series, so statdiff
+  // can gate tail latency, not just totals. Empty in notrace builds.
+  for (const telemetry::MetricsTypedSnapshot::Hist &H :
+       telemetry::metrics().typedSnapshot().Histograms) {
+    if (H.Name != "ingest.file_us")
+      continue;
+    char Buf[192];
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"p50\": %llu, \"p90\": %llu, \"p99\": %llu, "
+                  "\"p999\": %llu, \"max\": %llu}",
+                  static_cast<unsigned long long>(H.P50),
+                  static_cast<unsigned long long>(H.P90),
+                  static_cast<unsigned long long>(H.P99),
+                  static_cast<unsigned long long>(H.P999),
+                  static_cast<unsigned long long>(H.Max));
+    Meta.Extra.emplace_back("ingest_file_us_quantiles", Buf);
+  }
   Meta.Extra.emplace_back("runs", runsJson(Results));
 
   std::ofstream Json(OutPath, std::ios::binary);

@@ -10,10 +10,13 @@
 #include "support/Arena.h"
 #include "support/FaultInjector.h"
 #include "support/Hashing.h"
+#include "support/MemoryTracker.h"
+#include "support/RunLedger.h"
 #include "support/Telemetry.h"
 #include "transform/AstPlus.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <chrono>
 #include <optional>
@@ -90,6 +93,11 @@ FileIngest ingestOneFile(const corpus::SourceFile &File,
                          const WellKnownRegistry &Registry,
                          const PipelineConfig &Config) {
   telemetry::TraceSpan FileSpan("ingest.file");
+  // Per-file latency histogram (`ingest.file_us` quantiles feed the SLO
+  // exposition). Stamped through the injectable telemetry clock, unlike
+  // the steady_clock deadline below, so deterministic-observability runs
+  // record identical values.
+  uint64_t HistStartNs = telemetry::nowNanos();
   auto Start = std::chrono::steady_clock::now();
   const ingest::IngestLimits &Limits = Config.Limits;
   FileIngest Out;
@@ -105,6 +113,8 @@ FileIngest ingestOneFile(const corpus::SourceFile &File,
     Out.LocalCtx.reset();
     Out.Stmts.clear();
     Out.Millis = Elapsed();
+    telemetry::histogramRecord(
+        "ingest.file_us", (telemetry::nowNanos() - HistStartNs) / 1000);
     return std::move(Out);
   };
   auto OverDeadline = [&] {
@@ -177,6 +187,8 @@ FileIngest ingestOneFile(const corpus::SourceFile &File,
   auto End = std::chrono::steady_clock::now();
   Out.Millis =
       std::chrono::duration<double, std::milli>(End - Start).count();
+  telemetry::histogramRecord("ingest.file_us",
+                             (telemetry::nowNanos() - HistStartNs) / 1000);
   return Out;
 }
 
@@ -214,7 +226,69 @@ private:
   std::vector<Symbol> Remap;
 };
 
+/// RAII "phase" ledger record: one append on destruction carrying the
+/// phase's duration and peak-RSS growth. No-op when no ledger is attached.
+/// Durations come from the injectable telemetry clock and RSS from the
+/// injectable memory source, so --deterministic-obs runs produce
+/// byte-stable records.
+class LedgerPhase {
+public:
+  LedgerPhase(ledger::RunLedger *L, const char *Name) : L(L), Name(Name) {
+    if (!L)
+      return;
+    StartNs = telemetry::nowNanos();
+    StartPeakKb = memory::peakRssKb();
+  }
+  ~LedgerPhase() {
+    if (!L)
+      return;
+    ledger::Record R;
+    R.Event = "phase";
+    R.Name = Name;
+    R.DurationUs = (telemetry::nowNanos() - StartNs) / 1000;
+    R.RssDeltaKb = static_cast<int64_t>(memory::peakRssKb()) -
+                   static_cast<int64_t>(StartPeakKb);
+    L->append(R);
+  }
+  LedgerPhase(const LedgerPhase &) = delete;
+  LedgerPhase &operator=(const LedgerPhase &) = delete;
+
+private:
+  ledger::RunLedger *L;
+  const char *Name;
+  uint64_t StartNs = 0;
+  uint64_t StartPeakKb = 0;
+};
+
 } // namespace
+
+uint64_t namer::pipelineConfigHash(const PipelineConfig &Config) {
+  uint64_t H = FnvOffsetBasis;
+  H = hashByte(H, Config.UseAnalyses ? 1 : 0);
+  H = hashByte(H, Config.UseClassifier ? 1 : 0);
+  H = hashU64(H, Config.Seed);
+  const MinerConfig &M = Config.Miner;
+  H = hashU64(H, M.MaxPathsPerStmt);
+  H = hashU32(H, M.MinPathFrequency);
+  H = hashU64(H, M.MaxConditionPaths);
+  H = hashU32(H, M.MinPatternSupport);
+  H = hashU64(H, std::bit_cast<uint64_t>(M.MinSatisfactionRatio));
+  H = hashByte(H, static_cast<uint8_t>(M.Conditions));
+  H = hashU64(H, M.MaxPatternsPerNode);
+  const ingest::IngestLimits &L = Config.Limits;
+  H = hashU64(H, L.MaxFileBytes);
+  H = hashU64(H, L.MaxTokens);
+  H = hashU64(H, L.MaxAstNodes);
+  H = hashU32(H, L.MaxNestingDepth);
+  H = hashU64(H, L.FileDeadlineMillis);
+  return H;
+}
+
+void NamerPipeline::samplePhaseMemory() const {
+  memory::sampleGauges();
+  telemetry::gaugeSet("mem.interner_bytes",
+                      static_cast<int64_t>(Ctx->strings().bytesUsed()));
+}
 
 void NamerPipeline::build(const corpus::Corpus &C) {
   assert(Statements.empty() && "build() must be called once");
@@ -263,6 +337,7 @@ void NamerPipeline::ingestCorpus(const corpus::Corpus &C,
   std::vector<uint64_t> Sizes(Files.size(), 0), Hashes(Files.size(), 0);
   {
     telemetry::TraceSpan Span("pipeline.ingest");
+    LedgerPhase Phase(Ledger, "pipeline.ingest");
     Pool->parallelFor(0, Work.size(), [&](size_t W) {
       size_t I = Work[W];
       // Exceptions must not escape the worker body: parallelFor would
@@ -292,6 +367,7 @@ void NamerPipeline::ingestCorpus(const corpus::Corpus &C,
 
   {
     telemetry::TraceSpan CommitSpan("pipeline.commit");
+    LedgerPhase Phase(Ledger, "pipeline.commit");
     incremental::FileManifest NewManifest;
     NewManifest.Files.reserve(Files.size());
     // The commit stretch is single-threaded, so one batch handle amortizes
@@ -308,6 +384,14 @@ void NamerPipeline::ingestCorpus(const corpus::Corpus &C,
         const incremental::FileState &Old =
             Manifest.Files[Plan->Entries[I].ManifestIndex];
         if (Old.Quarantined) {
+          if (Ledger) {
+            ledger::Record R;
+            R.Event = "quarantine";
+            R.Name = Old.Path;
+            R.Outcome = ingest::ingestErrorKindName(Old.QuarantineKind);
+            R.Detail = Old.QuarantineDetail;
+            Ledger->append(R);
+          }
           Quarantine.add(ingest::QuarantineRecord{
               Old.Path, Old.QuarantineKind,
               static_cast<size_t>(Old.QuarantineByteOffset),
@@ -343,6 +427,14 @@ void NamerPipeline::ingestCorpus(const corpus::Corpus &C,
         Entry.QuarantineKind = Slot.Quarantine->Kind;
         Entry.QuarantineByteOffset = Slot.Quarantine->ByteOffset;
         Entry.QuarantineDetail = Slot.Quarantine->Detail;
+        if (Ledger) {
+          ledger::Record R;
+          R.Event = "quarantine";
+          R.Name = Slot.Quarantine->File;
+          R.Outcome = ingest::ingestErrorKindName(Slot.Quarantine->Kind);
+          R.Detail = Slot.Quarantine->Detail;
+          Ledger->append(R);
+        }
         Quarantine.add(std::move(*Slot.Quarantine));
         Slot = FileIngest();
         NewManifest.Files.push_back(std::move(Entry));
@@ -401,8 +493,16 @@ void NamerPipeline::ingestCorpus(const corpus::Corpus &C,
         "arena.files_mapped", "arena.mmap_fallbacks", "model.bytes",
         "model.sections", "model.load_us", "incremental.files.unchanged",
         "incremental.files.added", "incremental.files.modified",
-        "incremental.files.deleted"})
+        "incremental.files.deleted", "watchdog.stalls",
+        "watchdog.live_stalls", "ledger.records", "snapshot.flushes"})
     telemetry::count(Name, 0);
+  // The ingest.file_us histogram and the mem.* gauges likewise always
+  // exist, even on an empty corpus, so exposition and stage-coverage
+  // assertions see a fixed metric set. Guarded like count(): the disabled
+  // path must not register (it is pinned allocation-free).
+  if (telemetry::enabled())
+    telemetry::metrics().histogram("ingest.file_us");
+  samplePhaseMemory();
 }
 
 void NamerPipeline::mineModel(const corpus::Corpus &C) {
@@ -411,6 +511,7 @@ void NamerPipeline::mineModel(const corpus::Corpus &C) {
   // merge in commit order.
   {
     telemetry::TraceSpan HistSpan("pipeline.histmine");
+    LedgerPhase Phase(Ledger, "pipeline.histmine");
     std::vector<std::vector<RenamedSubtoken>> Renames(C.Commits.size());
     std::vector<uint8_t> Failed(C.Commits.size(), 0);
     Pool->parallelFor(0, C.Commits.size(), [&](size_t I) {
@@ -460,17 +561,22 @@ void NamerPipeline::mineModel(const corpus::Corpus &C) {
   Confusing.setCorrectWords(Pairs->correctWords());
   {
     telemetry::TraceSpan TreeSpan("fptree.build");
+    LedgerPhase Phase(Ledger, "fptree.build");
     Consistency.build(AllPaths, Pool.get());
     Confusing.build(AllPaths, Pool.get());
   }
   // pruneUncommon's per-statement evaluation is read-only and fans out
   // over the pool.
-  Patterns =
-      Consistency.pruneUncommon(Consistency.generate(), AllPaths, Pool.get());
-  for (NamePattern &P :
-       Confusing.pruneUncommon(Confusing.generate(), AllPaths, Pool.get()))
-    Patterns.push_back(std::move(P));
+  {
+    LedgerPhase Phase(Ledger, "pattern.prune");
+    Patterns = Consistency.pruneUncommon(Consistency.generate(), AllPaths,
+                                         Pool.get());
+    for (NamePattern &P :
+         Confusing.pruneUncommon(Confusing.generate(), AllPaths, Pool.get()))
+      Patterns.push_back(std::move(P));
+  }
   telemetry::count("pipeline.patterns", Patterns.size());
+  samplePhaseMemory();
 }
 
 void NamerPipeline::scanStatements() {
@@ -481,6 +587,7 @@ void NamerPipeline::scanStatements() {
   std::vector<std::vector<PatternHit>> AllHits(Statements.size());
   {
     telemetry::TraceSpan ScanSpan("pipeline.scan");
+    LedgerPhase Phase(Ledger, "pipeline.scan");
     Pool->parallelFor(
         0, Statements.size(),
         [&](size_t S) { Index2.evaluate(Statements[S].Paths, AllHits[S]); },
@@ -488,6 +595,7 @@ void NamerPipeline::scanStatements() {
   }
 
   telemetry::TraceSpan StatsSpan("pipeline.stats");
+  LedgerPhase StatsPhase(Ledger, "pipeline.stats");
   std::unordered_set<FileId> ViolatingFiles;
   std::unordered_set<RepoId> ViolatingRepos;
   Witnesses.assign(Patterns.size(), {});
@@ -518,9 +626,34 @@ void NamerPipeline::scanStatements() {
   FilesWithViolations = ViolatingFiles.size();
   ReposWithViolations = ViolatingRepos.size();
   telemetry::count("pipeline.violations", Violations.size());
+  samplePhaseMemory();
 }
 
 void NamerPipeline::saveModel(const std::string &Path) const {
+  uint64_t StartNs = telemetry::nowNanos();
+  uint64_t StartPeakKb = memory::peakRssKb();
+  auto LedgerAppend = [&](std::string Outcome) {
+    if (!Ledger)
+      return;
+    ledger::Record R;
+    R.Event = "model_save";
+    R.Name = Path;
+    R.Outcome = std::move(Outcome);
+    R.DurationUs = (telemetry::nowNanos() - StartNs) / 1000;
+    R.RssDeltaKb = static_cast<int64_t>(memory::peakRssKb()) -
+                   static_cast<int64_t>(StartPeakKb);
+    Ledger->append(R);
+  };
+  try {
+    saveModelImpl(Path);
+  } catch (const model::ModelError &E) {
+    LedgerAppend(model::modelErrorKindName(E.kind()));
+    throw;
+  }
+  LedgerAppend("ok");
+}
+
+void NamerPipeline::saveModelImpl(const std::string &Path) const {
   model::ModelFile F;
   F.Lang = Lang;
   F.UseAnalyses = Config.UseAnalyses;
@@ -561,6 +694,31 @@ void NamerPipeline::saveModel(const std::string &Path) const {
 }
 
 void NamerPipeline::loadModel(const std::string &Path) {
+  uint64_t StartNs = telemetry::nowNanos();
+  uint64_t StartPeakKb = memory::peakRssKb();
+  auto LedgerAppend = [&](std::string Outcome) {
+    if (!Ledger)
+      return;
+    ledger::Record R;
+    R.Event = "model_load";
+    R.Name = Path;
+    R.Outcome = std::move(Outcome);
+    R.DurationUs = (telemetry::nowNanos() - StartNs) / 1000;
+    R.RssDeltaKb = static_cast<int64_t>(memory::peakRssKb()) -
+                   static_cast<int64_t>(StartPeakKb);
+    Ledger->append(R);
+  };
+  try {
+    loadModelImpl(Path);
+  } catch (const model::ModelError &E) {
+    LedgerAppend(model::modelErrorKindName(E.kind()));
+    throw;
+  }
+  LedgerAppend("ok");
+  samplePhaseMemory();
+}
+
+void NamerPipeline::loadModelImpl(const std::string &Path) {
   assert(Statements.empty() && !ModelLoaded &&
          "loadModel requires a fresh pipeline");
   Arena Mem;

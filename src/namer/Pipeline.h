@@ -38,6 +38,10 @@
 
 namespace namer {
 
+namespace ledger {
+class RunLedger;
+}
+
 /// A naming issue report: statement location, flagged name, suggested fix.
 struct Report {
   std::string File;
@@ -74,6 +78,14 @@ struct PipelineConfig {
     Miner.MinPathFrequency = 10;
   }
 };
+
+/// FNV hash over the semantically meaningful configuration: everything that
+/// changes the statement stream, the mined pattern set or the reported
+/// findings. Threads and Miner.MineShards are deliberately excluded (they
+/// only change how work is parallelized -- same exclusions as loadModel's
+/// invalidation rules), so run ids (ledger::RunLedger::makeRunId) are stable
+/// across thread counts.
+uint64_t pipelineConfigHash(const PipelineConfig &Config);
 
 class NamerPipeline {
 public:
@@ -184,6 +196,14 @@ public:
   /// Elapsed wall-clock time of the last build() in milliseconds.
   double buildWallMillis() const { return BuildWallMillis; }
 
+  /// Attaches a run ledger (nullptr detaches). The pipeline appends one
+  /// "phase" record per phase, one "quarantine" record per quarantined
+  /// file and one "model_save"/"model_load" record per model store
+  /// operation -- always from sequential code, so the record stream is
+  /// deterministic at any thread count. The ledger must outlive the
+  /// pipeline (or be detached first); the pipeline does not own it.
+  void setLedger(ledger::RunLedger *L) { Ledger = L; }
+
 private:
   /// Phase 1: parallel per-file ingest + sequential corpus-order commit,
   /// filling Statements and the manifest. With \p Plan, unchanged files
@@ -195,6 +215,15 @@ private:
   /// Phase 4: evaluate every statement against the pattern index, fill the
   /// statistics index, witnesses and violations.
   void scanStatements();
+
+  /// Publishes the mem.* gauges (MemoryTracker) plus mem.interner_bytes at
+  /// a phase boundary.
+  void samplePhaseMemory() const;
+
+  /// saveModel()/loadModel() bodies; the public wrappers add the
+  /// model_save/model_load ledger records (outcome, duration, RSS delta).
+  void saveModelImpl(const std::string &Path) const;
+  void loadModelImpl(const std::string &Path);
 
   PipelineConfig Config;
   std::unique_ptr<AstContext> Ctx;
@@ -223,6 +252,7 @@ private:
   ingest::QuarantineLog Quarantine;
   double TotalBuildMillis = 0.0;
   double BuildWallMillis = 0.0;
+  ledger::RunLedger *Ledger = nullptr;
 };
 
 } // namespace namer

@@ -1,0 +1,79 @@
+//===- support/MemoryTracker.cpp ------------------------------------------==//
+
+#include "support/MemoryTracker.h"
+
+#include "support/Telemetry.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace namer;
+
+namespace {
+
+std::atomic<uint64_t (*)()> GCurrentSource{nullptr};
+std::atomic<uint64_t (*)()> GPeakSource{nullptr};
+
+/// Reads one "Field:  <n> kB" line from /proc/self/status. Returns 0 when
+/// procfs (or the field) is unavailable.
+uint64_t readStatusKb(const char *Field) {
+#if defined(__linux__)
+  std::FILE *F = std::fopen("/proc/self/status", "r");
+  if (!F)
+    return 0;
+  char Line[256];
+  uint64_t Kb = 0;
+  size_t FieldLen = std::strlen(Field);
+  while (std::fgets(Line, sizeof(Line), F)) {
+    if (std::strncmp(Line, Field, FieldLen) == 0 && Line[FieldLen] == ':') {
+      Kb = std::strtoull(Line + FieldLen + 1, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(F);
+  return Kb;
+#else
+  (void)Field;
+  return 0;
+#endif
+}
+
+} // namespace
+
+uint64_t memory::currentRssKb() {
+  if (uint64_t (*F)() = GCurrentSource.load(std::memory_order_relaxed))
+    return F();
+  return readStatusKb("VmRSS");
+}
+
+uint64_t memory::peakRssKb() {
+  if (uint64_t (*F)() = GPeakSource.load(std::memory_order_relaxed))
+    return F();
+  return readStatusKb("VmHWM");
+}
+
+void memory::setRssSourceForTest(uint64_t (*Current)(), uint64_t (*Peak)()) {
+  GCurrentSource.store(Current, std::memory_order_relaxed);
+  GPeakSource.store(Peak, std::memory_order_relaxed);
+}
+
+void memory::sampleGauges() {
+  // Same guard as telemetry::count(): when recording is disabled the
+  // registry must not be touched at all (the counter() mirror lookups
+  // below would otherwise register -- and allocate -- on first use).
+  if (!telemetry::enabled())
+    return;
+  telemetry::gaugeSet("mem.current_rss_kb",
+                      static_cast<int64_t>(currentRssKb()));
+  telemetry::gaugeSet("mem.peak_rss_kb", static_cast<int64_t>(peakRssKb()));
+  telemetry::gaugeSet(
+      "mem.arena_bytes",
+      static_cast<int64_t>(
+          telemetry::metrics().counter("arena.bytes").value()));
+  telemetry::gaugeSet(
+      "mem.model_mmap_bytes",
+      static_cast<int64_t>(
+          telemetry::metrics().counter("model.bytes").value()));
+}

@@ -1,0 +1,49 @@
+//===- support/MemoryTracker.h - Process memory accounting ------*- C++ -*-==//
+///
+/// \file
+/// Resident-set accounting for the observability layer. On Linux the
+/// current and peak RSS come from /proc/self/status (VmRSS / VmHWM); on
+/// platforms without procfs both report 0 rather than guessing -- callers
+/// treat 0 as "unavailable". A test hook replaces the source so ledger RSS
+/// deltas become deterministic.
+///
+/// sampleGauges() publishes the process numbers together with the
+/// allocator-level byte counters the pipeline already maintains
+/// (`arena.bytes`, `model.bytes`) as `mem.*` gauges; the pipeline calls it
+/// at phase boundaries so stats documents carry a memory profile per run.
+/// Available in both build modes (gauge writes no-op when telemetry is
+/// compiled out, RSS reads still work for the run ledger).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_SUPPORT_MEMORYTRACKER_H
+#define NAMER_SUPPORT_MEMORYTRACKER_H
+
+#include <cstdint>
+
+namespace namer {
+namespace memory {
+
+/// Current resident set size in KiB; 0 when unavailable.
+uint64_t currentRssKb();
+
+/// Peak ("high water mark") resident set size in KiB; 0 when unavailable.
+uint64_t peakRssKb();
+
+/// Replaces the RSS source with fakes (nullptr restores /proc). With a
+/// constant source, ledger rss_delta_kb fields are byte-stable across runs
+/// and thread counts (`namer-scan --deterministic-obs`).
+void setRssSourceForTest(uint64_t (*Current)(), uint64_t (*Peak)());
+
+/// Samples every memory gauge at once:
+///   mem.current_rss_kb / mem.peak_rss_kb  -- process RSS (this header)
+///   mem.arena_bytes                       -- mirror of `arena.bytes`
+///   mem.model_mmap_bytes                  -- mirror of `model.bytes`
+/// The mirrors re-publish existing counters as gauges so one Prometheus
+/// family (`namer_mem_*`) carries the whole memory picture.
+void sampleGauges();
+
+} // namespace memory
+} // namespace namer
+
+#endif // NAMER_SUPPORT_MEMORYTRACKER_H

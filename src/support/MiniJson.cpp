@@ -1,0 +1,287 @@
+//===- support/MiniJson.cpp -----------------------------------------------==//
+
+#include "support/MiniJson.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+using namespace namer;
+using namespace namer::json;
+
+const Value *Value::find(std::string_view Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, V] : Obj)
+    if (Name == Key)
+      return &V;
+  return nullptr;
+}
+
+const Value *Value::findPath(std::string_view DottedPath) const {
+  const Value *Cur = this;
+  while (Cur && !DottedPath.empty()) {
+    size_t Dot = DottedPath.find('.');
+    std::string_view Head = DottedPath.substr(0, Dot);
+    Cur = Cur->find(Head);
+    if (Dot == std::string_view::npos)
+      break;
+    DottedPath.remove_prefix(Dot + 1);
+  }
+  return Cur;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view. Depth-bounded so a
+/// crafted deeply-nested document cannot blow the stack (same defensive
+/// posture as the frontend's bounded nesting, PR 4).
+class Parser {
+public:
+  Parser(std::string_view Text, std::string *Error)
+      : Text(Text), Error(Error) {}
+
+  std::optional<Value> run() {
+    Value V;
+    if (!parseValue(V, 0))
+      return std::nullopt;
+    skipWs();
+    if (Pos != Text.size()) {
+      fail("trailing garbage after document");
+      return std::nullopt;
+    }
+    return V;
+  }
+
+private:
+  static constexpr int kMaxDepth = 64;
+
+  std::string_view Text;
+  std::string *Error;
+  size_t Pos = 0;
+
+  bool fail(const char *Msg) {
+    if (Error && Error->empty())
+      *Error = std::string(Msg) + " at byte " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos != Text.size() && (Text[Pos] == ' ' || Text[Pos] == '\t' ||
+                                  Text[Pos] == '\n' || Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos != Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char *Word) {
+    size_t Len = std::strlen(Word);
+    if (Text.substr(Pos, Len) != Word)
+      return fail("invalid literal");
+    Pos += Len;
+    return true;
+  }
+
+  bool parseValue(Value &Out, int Depth) {
+    if (Depth > kMaxDepth)
+      return fail("nesting too deep");
+    skipWs();
+    if (Pos == Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case '{':
+      return parseObject(Out, Depth);
+    case '[':
+      return parseArray(Out, Depth);
+    case '"':
+      Out.K = Value::Kind::String;
+      return parseString(Out.Str);
+    case 't':
+      Out.K = Value::Kind::Bool;
+      Out.B = true;
+      return literal("true");
+    case 'f':
+      Out.K = Value::Kind::Bool;
+      Out.B = false;
+      return literal("false");
+    case 'n':
+      Out.K = Value::Kind::Null;
+      return literal("null");
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(Value &Out, int Depth) {
+    Out.K = Value::Kind::Object;
+    ++Pos; // '{'
+    skipWs();
+    if (consume('}'))
+      return true;
+    while (true) {
+      skipWs();
+      if (Pos == Text.size() || Text[Pos] != '"')
+        return fail("expected object key string");
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (!consume(':'))
+        return fail("expected ':' after object key");
+      Value Member;
+      if (!parseValue(Member, Depth + 1))
+        return false;
+      Out.Obj.emplace_back(std::move(Key), std::move(Member));
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return true;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parseArray(Value &Out, int Depth) {
+    Out.K = Value::Kind::Array;
+    ++Pos; // '['
+    skipWs();
+    if (consume(']'))
+      return true;
+    while (true) {
+      Value Element;
+      if (!parseValue(Element, Depth + 1))
+        return false;
+      Out.Arr.push_back(std::move(Element));
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return true;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // opening quote
+    while (true) {
+      if (Pos == Text.size())
+        return fail("unterminated string");
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("raw control character in string");
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos == Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return fail("invalid hex digit in \\u escape");
+        }
+        // UTF-8 encode the BMP code point; surrogate pairs are passed
+        // through as two 3-byte sequences (the documents we read never
+        // contain astral-plane text, and lossless round-trip is not a
+        // goal of this reader).
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("invalid escape character");
+      }
+    }
+  }
+
+  bool parseNumber(Value &Out) {
+    size_t Start = Pos;
+    if (Pos != Text.size() && Text[Pos] == '-')
+      ++Pos;
+    auto Digits = [&] {
+      size_t N = 0;
+      while (Pos != Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9') {
+        ++Pos;
+        ++N;
+      }
+      return N;
+    };
+    if (Digits() == 0)
+      return fail("invalid number");
+    if (Pos != Text.size() && Text[Pos] == '.') {
+      ++Pos;
+      if (Digits() == 0)
+        return fail("digits required after decimal point");
+    }
+    if (Pos != Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (Pos != Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (Digits() == 0)
+        return fail("digits required in exponent");
+    }
+    std::string Buf(Text.substr(Start, Pos - Start));
+    Out.K = Value::Kind::Number;
+    Out.Num = std::strtod(Buf.c_str(), nullptr);
+    if (!std::isfinite(Out.Num))
+      return fail("number out of range");
+    return true;
+  }
+};
+
+} // namespace
+
+std::optional<Value> json::parse(std::string_view Text, std::string *Error) {
+  if (Error)
+    Error->clear();
+  return Parser(Text, Error).run();
+}

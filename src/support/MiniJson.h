@@ -1,0 +1,65 @@
+//===- support/MiniJson.h - Minimal JSON reader -----------------*- C++ -*-==//
+///
+/// \file
+/// A small recursive-descent JSON reader for the observability tooling:
+/// namer-statdiff parses stats/BENCH documents with it, and tests use it to
+/// check ledger records structurally. Reader only -- every JSON writer in
+/// the tree emits by hand to keep byte-stable golden output.
+///
+/// Scope: full JSON syntax with two deliberate simplifications. Numbers are
+/// held as double (plenty for counters and microsecond totals; 53-bit
+/// integer precision), and object keys keep insertion order in a flat
+/// vector (stats documents are small, and order preservation lets tests
+/// assert the writer's sorted-key contract).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_SUPPORT_MINIJSON_H
+#define NAMER_SUPPORT_MINIJSON_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace namer {
+namespace json {
+
+/// One parsed JSON value. Tagged union over the seven JSON kinds (null,
+/// bool, number, string, array, object), with owning storage.
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<Value> Arr;
+  /// Insertion-ordered key/value pairs (JSON permits duplicate keys; find()
+  /// returns the first).
+  std::vector<std::pair<std::string, Value>> Obj;
+
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  /// First member named \p Key, or nullptr (also when not an object).
+  const Value *find(std::string_view Key) const;
+
+  /// Member lookup through a dotted path, e.g. "meta.schema_version".
+  const Value *findPath(std::string_view DottedPath) const;
+};
+
+/// Parses one JSON document. The whole input must be consumed (trailing
+/// whitespace allowed); returns std::nullopt on any syntax error. When
+/// \p Error is non-null it receives a one-line message with byte offset.
+std::optional<Value> parse(std::string_view Text, std::string *Error = nullptr);
+
+} // namespace json
+} // namespace namer
+
+#endif // NAMER_SUPPORT_MINIJSON_H

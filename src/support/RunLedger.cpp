@@ -1,0 +1,108 @@
+//===- support/RunLedger.cpp ----------------------------------------------==//
+
+#include "support/RunLedger.h"
+
+#include "support/Telemetry.h"
+
+#include <cinttypes>
+
+using namespace namer;
+using namespace namer::ledger;
+
+namespace {
+
+std::string jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+RunLedger::~RunLedger() { close(); }
+
+std::string RunLedger::makeRunId(std::string_view GitRev,
+                                 uint64_t ConfigHash) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%016" PRIx64, ConfigHash);
+  return std::string(GitRev) + "-" + Buf;
+}
+
+bool RunLedger::open(const std::string &Path, std::string Id) {
+  std::lock_guard<std::mutex> L(M);
+  if (File) {
+    std::fclose(File);
+    File = nullptr;
+  }
+  File = std::fopen(Path.c_str(), "wb");
+  if (!File)
+    return false;
+  RunId = std::move(Id);
+  Seq = 0;
+  return true;
+}
+
+bool RunLedger::isOpen() const {
+  std::lock_guard<std::mutex> L(M);
+  return File != nullptr;
+}
+
+void RunLedger::append(const Record &R) {
+  std::lock_guard<std::mutex> L(M);
+  if (!File)
+    return;
+  // Keys in sorted order; `detail` omitted when empty. One line per record,
+  // flushed, so the file is valid JSONL after a crash mid-run.
+  std::string Line = "{";
+  if (!R.Detail.empty())
+    Line += "\"detail\":\"" + jsonEscape(R.Detail) + "\",";
+  Line += "\"duration_us\":" + std::to_string(R.DurationUs) + ",";
+  Line += "\"event\":\"" + jsonEscape(R.Event) + "\",";
+  Line += "\"name\":\"" + jsonEscape(R.Name) + "\",";
+  Line += "\"outcome\":\"" + jsonEscape(R.Outcome) + "\",";
+  Line += "\"rss_delta_kb\":" + std::to_string(R.RssDeltaKb) + ",";
+  Line += "\"run_id\":\"" + jsonEscape(RunId) + "\",";
+  Line += "\"schema_version\":" + std::to_string(kLedgerSchemaVersion) + ",";
+  Line += "\"seq\":" + std::to_string(Seq) + "}\n";
+  ++Seq;
+  std::fwrite(Line.data(), 1, Line.size(), File);
+  std::fflush(File);
+  telemetry::count("ledger.records");
+}
+
+uint64_t RunLedger::records() const {
+  std::lock_guard<std::mutex> L(M);
+  return Seq;
+}
+
+void RunLedger::close() {
+  std::lock_guard<std::mutex> L(M);
+  if (!File)
+    return;
+  std::fclose(File);
+  File = nullptr;
+}

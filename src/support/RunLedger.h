@@ -1,0 +1,111 @@
+//===- support/RunLedger.h - Append-only run event log ----------*- C++ -*-==//
+///
+/// \file
+/// The run ledger is the pipeline's flight recorder: an append-only JSONL
+/// file with one record per operationally interesting event -- run
+/// start/end, each pipeline phase, each quarantined file, each model
+/// save/load, each watchdog stall. A service tails it for per-run
+/// attribution; tests replay it to assert phase order and outcomes.
+///
+/// Format (one JSON object per line, keys emitted in sorted order so the
+/// file is byte-stable):
+///
+///   {"detail":"...","duration_us":N,"event":"phase","name":"pipeline.scan",
+///    "outcome":"ok","rss_delta_kb":N,"run_id":"...","schema_version":1,
+///    "seq":N}
+///
+/// * `detail` is free-form context (quarantine reason, model path) and is
+///   omitted entirely when empty.
+/// * `run_id` identifies the producing run: git revision + an FNV hash of
+///   the pipeline configuration (makeRunId), so ledgers from different
+///   binaries or configs never alias.
+/// * `seq` is the record's position (0-based). Appends go through one
+///   mutex and the pipeline only writes ledger records from its sequential
+///   commit loops (PR 4 convention), so record order -- and therefore the
+///   whole file -- is deterministic under any thread count.
+///
+/// Works in both build modes: durations are stamped through
+/// telemetry::nowNanos() (injectable), RSS through memory::currentRssKb()
+/// (injectable), neither of which requires NAMER_TELEMETRY.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_SUPPORT_RUNLEDGER_H
+#define NAMER_SUPPORT_RUNLEDGER_H
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace namer {
+namespace ledger {
+
+/// Schema version written into every record; bumped on key rename/removal.
+inline constexpr int kLedgerSchemaVersion = 1;
+
+/// One ledger event, before run_id/schema_version/seq stamping.
+struct Record {
+  /// Event class: "run_start", "phase", "quarantine", "model_load",
+  /// "model_save", "stall", "run_end".
+  std::string Event;
+  /// Event subject: phase name, quarantined file path, model path, span
+  /// name.
+  std::string Name;
+  /// "ok" or a failure/category word (quarantine reason class, model error
+  /// kind).
+  std::string Outcome = "ok";
+  /// Wall time the event covered, microseconds (0 for instantaneous
+  /// events).
+  uint64_t DurationUs = 0;
+  /// Peak-RSS growth across the event, KiB (0 when unknown).
+  int64_t RssDeltaKb = 0;
+  /// Optional free-form context; omitted from the JSON when empty.
+  std::string Detail;
+};
+
+/// Append-only JSONL writer. Thread-safe (one internal mutex); every append
+/// is flushed so a crash loses at most the record being written. Not
+/// copyable; close() (or destruction) ends the file.
+class RunLedger {
+public:
+  RunLedger() = default;
+  ~RunLedger();
+  RunLedger(const RunLedger &) = delete;
+  RunLedger &operator=(const RunLedger &) = delete;
+
+  /// "<git-rev>-<16 hex digits of config hash>": the run identity stamped
+  /// into every record.
+  static std::string makeRunId(std::string_view GitRev, uint64_t ConfigHash);
+
+  /// Opens (truncates) \p Path and stamps subsequent records with
+  /// \p RunId. Returns false when the file cannot be created.
+  bool open(const std::string &Path, std::string RunId);
+
+  bool isOpen() const;
+
+  /// Appends one record (stamped with run_id/schema_version/seq) and
+  /// flushes. No-op when the ledger is not open. Also counted in
+  /// `ledger.records`.
+  void append(const Record &R);
+
+  /// Records appended so far.
+  uint64_t records() const;
+
+  const std::string &runId() const { return RunId; }
+
+  /// Flushes and closes the file; further appends are dropped.
+  void close();
+
+private:
+  mutable std::mutex M;
+  std::FILE *File = nullptr;
+  std::string RunId;
+  uint64_t Seq = 0;
+};
+
+} // namespace ledger
+} // namespace namer
+
+#endif // NAMER_SUPPORT_RUNLEDGER_H

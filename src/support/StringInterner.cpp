@@ -149,6 +149,30 @@ void StringInterner::BatchHandle::internBatch(
       Cache.emplace(Interner.text(Out[I]), Out[I]);
 }
 
+size_t StringInterner::bytesUsed() const {
+  size_t Bytes = 0;
+  for (const Shard &Sh : Shards) {
+    std::lock_guard<std::mutex> L(Sh.M);
+    for (const std::string &S : Sh.Texts) {
+      Bytes += sizeof(std::string);
+      // Only out-of-line storage allocates (SSO keeps short names inline).
+      if (S.capacity() > sizeof(std::string))
+        Bytes += S.capacity() + 1;
+    }
+    // One hash node (string_view key + symbol + next pointer) per entry
+    // plus the bucket array.
+    Bytes += Sh.Map.size() *
+             (sizeof(std::pair<std::string_view, Symbol>) + sizeof(void *));
+    Bytes += Sh.Map.bucket_count() * sizeof(void *);
+  }
+  // The symbol -> text directory: each allocated segment is an array of
+  // atomic pointers.
+  for (size_t K = 0; K != MaxSegments; ++K)
+    if (Segments[K].load(std::memory_order_acquire))
+      Bytes += segmentSize(K) * sizeof(std::atomic<const std::string *>);
+  return Bytes;
+}
+
 Symbol StringInterner::lookup(std::string_view Text) const {
   const Shard &Sh = Shards[shardIndex(Text)];
   std::lock_guard<std::mutex> L(Sh.M);

@@ -80,6 +80,13 @@ public:
   /// Number of interned strings, including the reserved epsilon entry.
   size_t size() const { return NextSymbol.load(std::memory_order_acquire); }
 
+  /// Approximate heap footprint of the table in bytes: string storage
+  /// (capacities, so it reflects allocation, not content length) plus the
+  /// per-entry map and deque-node overhead. Takes each shard's lock in
+  /// turn; meant for phase-boundary memory sampling (MemoryTracker), not
+  /// hot paths.
+  size_t bytesUsed() const;
+
   /// Amortizes shard locking for a single-threaded stretch of interning
   /// (one file's tokens, one commit pass). The handle keeps a local
   /// string -> symbol cache, so repeated texts are resolved without

@@ -6,14 +6,20 @@
 
 #include <algorithm>
 #include <bit>
+#include <cctype>
 #include <chrono>
+#include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <deque>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
+#include <tuple>
 
 using namespace namer;
 using namespace namer::telemetry;
@@ -54,6 +60,12 @@ std::string jsonEscape(std::string_view S) {
   return Out;
 }
 
+// The time source is shared by both build modes: the run ledger and memory
+// tracker stamp durations through nowNanos() even when span recording is
+// compiled out, and the deterministic-observability mode injects a constant
+// clock through the same hook.
+std::atomic<uint64_t (*)()> GTimeSource{nullptr};
+
 } // namespace
 
 RunMeta telemetry::defaultMeta(std::string Tool, unsigned Threads) {
@@ -65,21 +77,7 @@ RunMeta telemetry::defaultMeta(std::string Tool, unsigned Threads) {
   return Meta;
 }
 
-#if NAMER_TELEMETRY
-
-namespace {
-
-std::atomic<bool> GEnabled{true};
-std::atomic<uint64_t> GAllocations{0};
-std::atomic<uint64_t (*)()> GTimeSource{nullptr};
-
-std::string formatMicros(uint64_t Ns) {
-  char Buf[32];
-  std::snprintf(Buf, sizeof(Buf), "%.3f", static_cast<double>(Ns) / 1000.0);
-  return Buf;
-}
-
-uint64_t nowNs() {
+uint64_t telemetry::nowNanos() {
   if (uint64_t (*F)() = GTimeSource.load(std::memory_order_relaxed))
     return F();
   // All timestamps are relative to the first telemetry use in the process;
@@ -92,6 +90,137 @@ uint64_t nowNs() {
           .count());
 }
 
+void telemetry::setTimeSourceForTest(uint64_t (*NowNs)()) {
+  GTimeSource.store(NowNs, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsSnapshotter (both build modes; prometheusText degrades when
+// telemetry is compiled out)
+//===----------------------------------------------------------------------===//
+
+struct MetricsSnapshotter::Impl {
+  Options O;
+  std::mutex M;
+  std::condition_variable Cv;
+  bool Stop = false;
+  std::atomic<uint64_t> Flushes{0};
+  std::thread T;
+
+  bool write() {
+    // tmp + rename: a scraper tailing Path never observes a torn document.
+    std::string Doc = prometheusText(O.Export);
+    std::string Tmp = O.Path + ".tmp";
+    {
+      std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+      if (!Out)
+        return false;
+      Out << Doc;
+      Out.flush();
+      if (!Out)
+        return false;
+    }
+    if (std::rename(Tmp.c_str(), O.Path.c_str()) != 0)
+      return false;
+    Flushes.fetch_add(1, std::memory_order_relaxed);
+    telemetry::count("snapshot.flushes");
+    return true;
+  }
+};
+
+MetricsSnapshotter::MetricsSnapshotter(Options O)
+    : I(std::make_unique<Impl>()) {
+  I->O = std::move(O);
+  if (I->O.IntervalMs == 0 || I->O.Path.empty())
+    return;
+  I->T = std::thread([Impl = I.get()] {
+    std::unique_lock<std::mutex> L(Impl->M);
+    while (!Impl->Stop) {
+      Impl->Cv.wait_for(L, std::chrono::milliseconds(Impl->O.IntervalMs),
+                        [&] { return Impl->Stop; });
+      if (Impl->Stop)
+        break;
+      L.unlock();
+      Impl->write();
+      L.lock();
+    }
+  });
+}
+
+MetricsSnapshotter::~MetricsSnapshotter() {
+  if (I->T.joinable()) {
+    {
+      std::lock_guard<std::mutex> L(I->M);
+      I->Stop = true;
+    }
+    I->Cv.notify_all();
+    I->T.join();
+  }
+  if (!I->O.Path.empty())
+    I->write(); // flush-on-exit: the file always ends on a complete run
+}
+
+bool MetricsSnapshotter::flushNow() {
+  return I->O.Path.empty() ? false : I->write();
+}
+
+uint64_t MetricsSnapshotter::flushes() const {
+  return I->Flushes.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Prometheus metric-name sanitization: dotted stage.noun names map onto
+/// namer_stage_noun; any byte outside [a-zA-Z0-9_] becomes '_'.
+[[maybe_unused]] std::string promName(std::string_view Dotted) {
+  std::string Out = "namer_";
+  for (char C : Dotted)
+    Out += (std::isalnum(static_cast<unsigned char>(C)) || C == '_')
+               ? C
+               : '_';
+  return Out;
+}
+
+std::string promLabelEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '\\' || C == '"')
+      Out += '\\';
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+
+[[maybe_unused]] bool promExcluded(std::string_view Name,
+                                   const PromExportOptions &Opts) {
+  for (const std::string &Prefix : Opts.ExcludePrefixes)
+    if (Name.rfind(Prefix, 0) == 0)
+      return true;
+  return false;
+}
+
+} // namespace
+
+#if NAMER_TELEMETRY
+
+namespace {
+
+std::atomic<bool> GEnabled{true};
+std::atomic<uint64_t> GAllocations{0};
+std::atomic<uint64_t> GSpanDeadlineNs{0};
+std::atomic<StallHook> GStallHook{nullptr};
+
+std::string formatMicros(uint64_t Ns) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", static_cast<double>(Ns) / 1000.0);
+  return Buf;
+}
+
 /// One completed span. Name points to static storage (TraceSpan contract).
 struct SpanEvent {
   const char *Name;
@@ -102,10 +231,16 @@ struct SpanEvent {
 
 /// Per-thread event sink. Owned by the global registry (never destroyed
 /// before process exit), so worker threads may outlive any exporter call.
+/// The Live* arrays publish the thread's open-span stack (lock-free,
+/// bounded depth) for SpanWatchdog to scan.
 struct ThreadBuffer {
+  static constexpr size_t kMaxLiveDepth = 32;
   uint32_t Tid = 0;
   std::mutex M;
   std::vector<SpanEvent> Events;
+  std::atomic<const char *> LiveName[kMaxLiveDepth] = {};
+  std::atomic<uint64_t> LiveStart[kMaxLiveDepth] = {};
+  std::atomic<uint32_t> LiveDepth{0};
 };
 
 struct ThreadRegistry {
@@ -200,6 +335,44 @@ uint64_t Histogram::min() const {
   return V == 0 ? 0 : V - 1;
 }
 
+uint64_t Histogram::quantile(double Q) const {
+  uint64_t N = count();
+  if (N == 0)
+    return 0;
+  if (Q <= 0.0)
+    return min();
+  if (Q >= 1.0)
+    return max();
+  // Nearest rank over the bucket CDF. The rank's bucket bounds its value:
+  // [2^(k-1), 2^k - 1], clamped by the histogram's true min/max (exact for
+  // the buckets holding them, and for single-sample histograms overall).
+  uint64_t Rank = static_cast<uint64_t>(
+      std::ceil(Q * static_cast<double>(N)));
+  Rank = std::min(std::max<uint64_t>(Rank, 1), N);
+  uint64_t Cum = 0;
+  for (size_t K = 0; K != NumBuckets; ++K) {
+    uint64_t C = bucket(K);
+    if (C == 0)
+      continue;
+    if (Cum + C < Rank) {
+      Cum += C;
+      continue;
+    }
+    uint64_t Lo = K == 0 ? 0 : uint64_t(1) << (K - 1);
+    uint64_t Hi = K == NumBuckets - 1 ? max() : (uint64_t(1) << K) - 1;
+    Lo = std::max(Lo, min());
+    Hi = std::min(Hi, max());
+    if (Hi <= Lo || C == 1)
+      return Lo;
+    // Spread the bucket's C samples uniformly over [Lo, Hi] and return the
+    // in-bucket rank's lower position -- exact when samples sit on the
+    // bucket's lower bound.
+    uint64_t Idx = Rank - Cum; // 1-based within this bucket
+    return Lo + (Hi - Lo) * (Idx - 1) / (C - 1);
+  }
+  return max();
+}
+
 struct MetricsRegistry::Stripe {
   mutable std::mutex M;
   // std::map with transparent compare: string_view lookups allocate only
@@ -286,9 +459,51 @@ std::vector<std::pair<std::string, int64_t>> MetricsRegistry::snapshot() const {
       Out.emplace_back(Name + ".sum", static_cast<int64_t>(H->sum()));
       Out.emplace_back(Name + ".min", static_cast<int64_t>(H->min()));
       Out.emplace_back(Name + ".max", static_cast<int64_t>(H->max()));
+      Out.emplace_back(Name + ".p50", static_cast<int64_t>(H->quantile(0.5)));
+      Out.emplace_back(Name + ".p90", static_cast<int64_t>(H->quantile(0.9)));
+      Out.emplace_back(Name + ".p99",
+                       static_cast<int64_t>(H->quantile(0.99)));
+      Out.emplace_back(Name + ".p999",
+                       static_cast<int64_t>(H->quantile(0.999)));
     }
   }
   std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+MetricsTypedSnapshot MetricsRegistry::typedSnapshot() const {
+  MetricsTypedSnapshot Out;
+  for (size_t I = 0; I != NumStripes; ++I) {
+    Stripe &S = Stripes[I];
+    std::lock_guard<std::mutex> L(S.M);
+    for (const auto &[Name, C] : S.Counters)
+      Out.Counters.emplace_back(Name, C->value());
+    for (const auto &[Name, G] : S.Gauges)
+      Out.Gauges.emplace_back(Name, G->value());
+    for (const auto &[Name, H] : S.Histograms) {
+      MetricsTypedSnapshot::Hist Hist;
+      Hist.Name = Name;
+      Hist.Count = H->count();
+      Hist.Sum = H->sum();
+      Hist.Min = H->min();
+      Hist.Max = H->max();
+      Hist.P50 = H->quantile(0.5);
+      Hist.P90 = H->quantile(0.9);
+      Hist.P99 = H->quantile(0.99);
+      Hist.P999 = H->quantile(0.999);
+      static_assert(Histogram::NumBuckets ==
+                    std::tuple_size<decltype(Hist.Buckets)>::value);
+      for (size_t K = 0; K != Histogram::NumBuckets; ++K)
+        Hist.Buckets[K] = H->bucket(K);
+      Out.Histograms.push_back(std::move(Hist));
+    }
+  }
+  auto ByFirst = [](const auto &A, const auto &B) { return A.first < B.first; };
+  std::sort(Out.Counters.begin(), Out.Counters.end(), ByFirst);
+  std::sort(Out.Gauges.begin(), Out.Gauges.end(), ByFirst);
+  std::sort(Out.Histograms.begin(), Out.Histograms.end(),
+            [](const MetricsTypedSnapshot::Hist &A,
+               const MetricsTypedSnapshot::Hist &B) { return A.Name < B.Name; });
   return Out;
 }
 
@@ -332,22 +547,40 @@ TraceSpan::TraceSpan(const char *SpanName) : Name(nullptr) {
   if (!enabled())
     return;
   Name = SpanName;
-  ++TlsDepth;
-  StartNs = nowNs();
+  uint32_t Depth = TlsDepth++;
+  StartNs = nowNanos();
+  // Publish onto the live-span stack so SpanWatchdog can see open spans.
+  // Bounded depth: spans nested deeper than the table simply stay
+  // invisible to the watchdog (they still record normally on close).
+  ThreadBuffer &B = threadBuffer();
+  if (Depth < ThreadBuffer::kMaxLiveDepth) {
+    B.LiveName[Depth].store(SpanName, std::memory_order_relaxed);
+    B.LiveStart[Depth].store(StartNs, std::memory_order_relaxed);
+    B.LiveDepth.store(Depth + 1, std::memory_order_release);
+  }
 }
 
 TraceSpan::~TraceSpan() {
   if (!Name)
     return;
-  uint64_t End = nowNs();
+  uint64_t End = nowNanos();
   // RAII guarantees LIFO per thread, so the pre-decrement value is the
   // nesting depth this span was opened at.
   uint16_t Depth = static_cast<uint16_t>(--TlsDepth);
   ThreadBuffer &B = threadBuffer();
+  if (Depth < ThreadBuffer::kMaxLiveDepth)
+    B.LiveDepth.store(Depth, std::memory_order_release);
+  uint64_t Dur = End - StartNs;
+  uint64_t Deadline = GSpanDeadlineNs.load(std::memory_order_relaxed);
+  if (Deadline != 0 && Dur > Deadline) {
+    telemetry::count("watchdog.stalls");
+    if (StallHook Hook = GStallHook.load(std::memory_order_relaxed))
+      Hook(Name, Dur);
+  }
   std::lock_guard<std::mutex> L(B.M);
   if (B.Events.size() == B.Events.capacity())
     GAllocations.fetch_add(1, std::memory_order_relaxed);
-  B.Events.push_back({Name, Depth, StartNs, End - StartNs});
+  B.Events.push_back({Name, Depth, StartNs, Dur});
 }
 
 uint32_t telemetry::currentThreadId() { return threadBuffer().Tid; }
@@ -368,8 +601,99 @@ uint64_t telemetry::debugAllocations() {
   return GAllocations.load(std::memory_order_relaxed);
 }
 
-void telemetry::setTimeSourceForTest(uint64_t (*NowNs)()) {
-  GTimeSource.store(NowNs, std::memory_order_relaxed);
+//===----------------------------------------------------------------------===//
+// Watchdog
+//===----------------------------------------------------------------------===//
+
+void telemetry::setSpanDeadlineNs(uint64_t Ns) {
+  GSpanDeadlineNs.store(Ns, std::memory_order_relaxed);
+}
+
+uint64_t telemetry::spanDeadlineNs() {
+  return GSpanDeadlineNs.load(std::memory_order_relaxed);
+}
+
+void telemetry::setStallHook(StallHook Hook) {
+  GStallHook.store(Hook, std::memory_order_relaxed);
+}
+
+struct SpanWatchdog::Impl {
+  std::mutex CvM;
+  std::condition_variable Cv;
+  bool Stop = false;
+  std::thread T;
+
+  // Flagged (tid, depth, start) triples: each stalled live span is counted
+  // once however many scans observe it. Separate mutex from CvM so
+  // scanOnce() never contends with the background thread's wait.
+  std::mutex FlagM;
+  std::set<std::tuple<uint32_t, uint32_t, uint64_t>> Flagged;
+  std::atomic<uint64_t> LiveStalls{0};
+
+  size_t scan() {
+    uint64_t Deadline = GSpanDeadlineNs.load(std::memory_order_relaxed);
+    if (Deadline == 0 || !telemetry::enabled())
+      return 0;
+    uint64_t Now = nowNanos();
+    size_t NewStalls = 0;
+    ThreadRegistry &R = threadRegistry();
+    std::lock_guard<std::mutex> L(R.M);
+    for (ThreadBuffer &B : R.Buffers) {
+      uint32_t Depth = B.LiveDepth.load(std::memory_order_acquire);
+      Depth = std::min<uint32_t>(Depth, ThreadBuffer::kMaxLiveDepth);
+      for (uint32_t K = 0; K != Depth; ++K) {
+        const char *Name = B.LiveName[K].load(std::memory_order_relaxed);
+        uint64_t Start = B.LiveStart[K].load(std::memory_order_relaxed);
+        if (!Name || Now <= Start || Now - Start <= Deadline)
+          continue;
+        {
+          std::lock_guard<std::mutex> LF(FlagM);
+          if (!Flagged.insert({B.Tid, K, Start}).second)
+            continue;
+        }
+        ++NewStalls;
+        LiveStalls.fetch_add(1, std::memory_order_relaxed);
+        telemetry::count("watchdog.live_stalls");
+        if (StallHook Hook = GStallHook.load(std::memory_order_relaxed))
+          Hook(Name, Now - Start);
+      }
+    }
+    return NewStalls;
+  }
+};
+
+SpanWatchdog::SpanWatchdog(unsigned IntervalMs) : I(std::make_unique<Impl>()) {
+  if (IntervalMs == 0)
+    return;
+  I->T = std::thread([Impl = I.get(), IntervalMs] {
+    std::unique_lock<std::mutex> L(Impl->CvM);
+    while (!Impl->Stop) {
+      Impl->Cv.wait_for(L, std::chrono::milliseconds(IntervalMs),
+                        [&] { return Impl->Stop; });
+      if (Impl->Stop)
+        break;
+      L.unlock();
+      Impl->scan();
+      L.lock();
+    }
+  });
+}
+
+SpanWatchdog::~SpanWatchdog() {
+  if (I->T.joinable()) {
+    {
+      std::lock_guard<std::mutex> L(I->CvM);
+      I->Stop = true;
+    }
+    I->Cv.notify_all();
+    I->T.join();
+  }
+}
+
+size_t SpanWatchdog::scanOnce() { return I->scan(); }
+
+uint64_t SpanWatchdog::liveStalls() const {
+  return I->LiveStalls.load(std::memory_order_relaxed);
 }
 
 //===----------------------------------------------------------------------===//
@@ -456,6 +780,76 @@ std::string telemetry::statsJson(const RunMeta &Meta) {
   return Out;
 }
 
+std::string telemetry::prometheusText(const PromExportOptions &Opts) {
+  std::string Out = "# namer prometheus text exposition (stats schema 1)\n";
+  MetricsTypedSnapshot Snap = metrics().typedSnapshot();
+
+  for (const auto &[Name, Value] : Snap.Counters) {
+    if (promExcluded(Name, Opts))
+      continue;
+    std::string N = promName(Name);
+    Out += "# TYPE " + N + "_total counter\n";
+    Out += N + "_total " + std::to_string(Value) + "\n";
+  }
+
+  for (const auto &[Name, Value] : Snap.Gauges) {
+    if (promExcluded(Name, Opts))
+      continue;
+    std::string N = promName(Name);
+    Out += "# TYPE " + N + " gauge\n";
+    Out += N + " " + std::to_string(Value) + "\n";
+  }
+
+  for (const MetricsTypedSnapshot::Hist &H : Snap.Histograms) {
+    if (promExcluded(H.Name, Opts))
+      continue;
+    std::string N = promName(H.Name);
+    Out += "# TYPE " + N + " histogram\n";
+    // Cumulative buckets: le is the bucket's inclusive upper bound
+    // (2^k - 1); the overflow bucket has no finite bound and folds into
+    // +Inf. Empty tail buckets are elided -- +Inf always closes the CDF.
+    size_t Highest = 0;
+    for (size_t K = 0; K != H.Buckets.size(); ++K)
+      if (H.Buckets[K] != 0)
+        Highest = K;
+    uint64_t Cum = H.Buckets[0];
+    Out += N + "_bucket{le=\"0\"} " + std::to_string(Cum) + "\n";
+    for (size_t K = 1; K <= Highest && K + 1 < H.Buckets.size(); ++K) {
+      Cum += H.Buckets[K];
+      Out += N + "_bucket{le=\"" +
+             std::to_string((uint64_t(1) << K) - 1) + "\"} " +
+             std::to_string(Cum) + "\n";
+    }
+    Out += N + "_bucket{le=\"+Inf\"} " + std::to_string(H.Count) + "\n";
+    Out += N + "_sum " + std::to_string(H.Sum) + "\n";
+    Out += N + "_count " + std::to_string(H.Count) + "\n";
+    Out += "# TYPE " + N + "_quantile gauge\n";
+    Out += N + "_quantile{q=\"0.5\"} " + std::to_string(H.P50) + "\n";
+    Out += N + "_quantile{q=\"0.9\"} " + std::to_string(H.P90) + "\n";
+    Out += N + "_quantile{q=\"0.99\"} " + std::to_string(H.P99) + "\n";
+    Out += N + "_quantile{q=\"0.999\"} " + std::to_string(H.P999) + "\n";
+  }
+
+  auto Spans = aggregateSpans(snapshotEvents());
+  for (auto It = Spans.begin(); It != Spans.end();)
+    It = promExcluded(It->first, Opts) ? Spans.erase(It) : std::next(It);
+  if (!Spans.empty()) {
+    Out += "# TYPE namer_span_count counter\n";
+    for (const auto &[Name, A] : Spans)
+      Out += "namer_span_count{span=\"" + promLabelEscape(Name) + "\"} " +
+             std::to_string(A.Count) + "\n";
+    Out += "# TYPE namer_span_total_us counter\n";
+    for (const auto &[Name, A] : Spans)
+      Out += "namer_span_total_us{span=\"" + promLabelEscape(Name) + "\"} " +
+             formatMicros(A.TotalNs) + "\n";
+  }
+
+  if (!Opts.GitRev.empty())
+    Out += "# TYPE namer_build_info gauge\nnamer_build_info{git_rev=\"" +
+           promLabelEscape(Opts.GitRev) + "\",telemetry=\"on\"} 1\n";
+  return Out;
+}
+
 double telemetry::spanTotalUs(std::string_view Name) {
   uint64_t TotalNs = 0;
   for (const EventSnapshot &E : snapshotEvents())
@@ -516,6 +910,15 @@ std::string telemetry::statsJson(const RunMeta &Meta) {
   for (const auto &[Key, RawJson] : Meta.Extra)
     Out += ",\n  \"" + jsonEscape(Key) + "\": " + RawJson;
   Out += "\n}\n";
+  return Out;
+}
+
+std::string telemetry::prometheusText(const PromExportOptions &Opts) {
+  std::string Out = "# namer prometheus text exposition (stats schema 1)\n";
+  Out += "# telemetry compiled out\n";
+  if (!Opts.GitRev.empty())
+    Out += "# TYPE namer_build_info gauge\nnamer_build_info{git_rev=\"" +
+           promLabelEscape(Opts.GitRev) + "\",telemetry=\"off\"} 1\n";
   return Out;
 }
 

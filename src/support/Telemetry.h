@@ -7,28 +7,43 @@
 ///
 /// \file
 /// The observability layer of the pipeline: stage-scoped tracing plus a
-/// metrics registry, with two JSON exporters.
+/// metrics registry, with JSON and Prometheus exporters, a span-deadline
+/// watchdog and a periodic metrics snapshotter.
 ///
 /// * TraceSpan -- an RAII span. Construction records a steady-clock start
 ///   time; destruction emits one event {name, thread, depth, start, dur}
 ///   into a per-thread buffer. Spans nest (a thread-local depth counter is
 ///   maintained) and are thread-attributed via small dense thread ids, so
 ///   worker-pool tasks show up as parallel tracks in chrome://tracing.
+///   While open, a span is also published to a per-thread live-span stack
+///   that SpanWatchdog scans for stalls.
 ///
 /// * MetricsRegistry -- named counters (monotonic u64), gauges (last-set
-///   i64) and histograms (count/sum/min/max + log2 buckets), looked up by
-///   name in a lock-striped table. Metric objects have stable addresses, so
-///   hot paths cache `Counter &` once and pay one relaxed atomic add per
-///   event. Names follow the `stage.noun` convention (DESIGN.md,
-///   "Observability"): e.g. `parse.files`, `datalog.tuples`,
-///   `fptree.nodes`, `prune.dropped`, `pool.steals`.
+///   i64) and histograms (count/sum/min/max + log2 buckets + p50/p90/p99/
+///   p999 quantile estimates), looked up by name in a lock-striped table.
+///   Metric objects have stable addresses, so hot paths cache `Counter &`
+///   once and pay one relaxed atomic add per event. Names follow the
+///   `stage.noun` convention (DESIGN.md, "Observability"): e.g.
+///   `parse.files`, `datalog.tuples`, `fptree.nodes`, `pool.steals`.
 ///
 /// * Exporters -- chromeTraceJson() renders the span buffers as Chrome
-///   trace-event JSON (load via chrome://tracing or Perfetto);
-///   statsJson() renders the canonical flat `{meta, counters, spans}`
-///   document that BENCH_*.json files and `namer-scan --stats` share
-///   (kStatsSchemaVersion). Both emit keys in sorted order so golden tests
-///   can compare bytes.
+///   trace-event JSON (load via chrome://tracing or Perfetto); statsJson()
+///   renders the canonical flat `{meta, counters, spans}` document that
+///   BENCH_*.json files and `namer-scan --stats` share
+///   (kStatsSchemaVersion); prometheusText() renders the Prometheus text
+///   exposition format for scraping. All emit keys in sorted order so
+///   golden tests can compare bytes.
+///
+/// * SpanWatchdog -- flags spans that exceed setSpanDeadlineNs(), both at
+///   close time (`watchdog.stalls`) and while still open
+///   (`watchdog.live_stalls`, via a background or manually driven scan).
+///   Degradation only: a stall bumps a counter and fires the stall hook,
+///   it never aborts anything.
+///
+/// * MetricsSnapshotter -- writes prometheusText() to a file atomically
+///   (tmp + rename), either on demand or on a background interval, with a
+///   final flush on destruction. Gives long runs live exposition without a
+///   server.
 ///
 /// Overhead: everything is gated twice. Compile-time, the NAMER_TELEMETRY
 /// macro (CMake option of the same name, default ON) reduces TraceSpan and
@@ -47,8 +62,10 @@
 #define NAMER_TELEMETRY 1
 #endif
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -76,6 +93,93 @@ struct RunMeta {
 
 /// RunMeta with GitRev / HardwareConcurrency resolved for this build.
 RunMeta defaultMeta(std::string Tool, unsigned Threads);
+
+/// Monotonic nanoseconds from the telemetry time source: the process
+/// steady clock by default, or the fake installed by setTimeSourceForTest.
+/// Available in both build modes (the run ledger and memory tracker stamp
+/// durations with it even when span recording is compiled out), so one
+/// injected clock makes every observability output deterministic.
+uint64_t nowNanos();
+
+/// Replaces the time source with a fake returning nanoseconds; pass
+/// nullptr to restore the steady clock. Test hook: with a deterministic
+/// clock the exporters and the run ledger become byte-stable for golden
+/// comparisons (and byte-identical across thread counts when the fake is
+/// schedule-independent, e.g. a constant).
+void setTimeSourceForTest(uint64_t (*NowNs)());
+
+/// Options of the Prometheus text exporter.
+struct PromExportOptions {
+  /// Metric and span names starting with any of these dotted-name prefixes
+  /// are omitted. Used to drop schedule-dependent series (`pool.*`,
+  /// `interner.shard_contention`) when cross-thread-count byte identity is
+  /// required (DESIGN.md, "Observability").
+  std::vector<std::string> ExcludePrefixes;
+  /// When non-empty, a terminal `namer_build_info{git_rev="..."}` gauge is
+  /// appended.
+  std::string GitRev;
+};
+
+/// Prometheus text exposition (version 0.0.4) of every registered metric
+/// and span aggregate, byte-stable: families sorted by name, dotted names
+/// sanitized to `namer_<name_with_underscores>`, counters suffixed
+/// `_total`, histograms rendered with cumulative `_bucket{le=...}` lines
+/// plus a `_quantile{q=...}` gauge family. With NAMER_TELEMETRY off the
+/// document degrades to its header (plus build_info when configured).
+std::string prometheusText(const PromExportOptions &Opts = {});
+
+/// Type-preserving registry snapshot used by the Prometheus exporter and
+/// the benches: unlike MetricsRegistry::snapshot() (which flattens
+/// histograms into scalar entries), this keeps counters, gauges and full
+/// histogram state apart. Each vector is sorted by name.
+struct MetricsTypedSnapshot {
+  struct Hist {
+    std::string Name;
+    uint64_t Count = 0, Sum = 0, Min = 0, Max = 0;
+    uint64_t P50 = 0, P90 = 0, P99 = 0, P999 = 0;
+    std::array<uint64_t, 32> Buckets{};
+  };
+  std::vector<std::pair<std::string, uint64_t>> Counters;
+  std::vector<std::pair<std::string, int64_t>> Gauges;
+  std::vector<Hist> Histograms;
+};
+
+/// Signature of the stall hook: called (from the thread that detected the
+/// stall) with the span's static name and its duration-so-far. Must be
+/// cheap and thread-safe.
+using StallHook = void (*)(const char *SpanName, uint64_t DurationNs);
+
+/// Periodically (and on destruction) writes prometheusText() to a file,
+/// atomically via tmp + rename so scrapers never observe a torn document.
+/// IntervalMs == 0 disables the background thread: only flushNow() and the
+/// destructor's final flush write. The snapshotter owns a dedicated thread
+/// rather than a pool task: a pool task would pin one worker for the whole
+/// run (and deadlock a one-worker pool outright). Compiles in both build
+/// modes; with NAMER_TELEMETRY off it writes the degraded header document.
+class MetricsSnapshotter {
+public:
+  struct Options {
+    std::string Path;
+    unsigned IntervalMs = 0; ///< 0 = no background thread
+    PromExportOptions Export;
+  };
+
+  explicit MetricsSnapshotter(Options O);
+  ~MetricsSnapshotter(); ///< stops the thread, then flushes one last time
+  MetricsSnapshotter(const MetricsSnapshotter &) = delete;
+  MetricsSnapshotter &operator=(const MetricsSnapshotter &) = delete;
+
+  /// Writes one snapshot now; returns false when the file cannot be
+  /// written. Also counted in `snapshot.flushes`.
+  bool flushNow();
+
+  /// Number of successful flushes so far (including background ones).
+  uint64_t flushes() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
 
 #if NAMER_TELEMETRY
 
@@ -120,6 +224,14 @@ public:
     return Buckets[K].load(std::memory_order_relaxed);
   }
 
+  /// Deterministic quantile estimate from the bucket CDF: the value at
+  /// nearest rank ceil(Q*count), spread uniformly across its bucket's
+  /// clamped [lo, hi] range (the lowest/highest buckets clamp to the true
+  /// min/max, so single-sample and all-identical histograms are exact, and
+  /// a sample alone in its bucket at the bucket's lower bound is exact
+  /// too). Returns 0 when empty; Q <= 0 gives min(), Q >= 1 gives max().
+  uint64_t quantile(double Q) const;
+
 private:
   friend class MetricsRegistry;
   std::atomic<uint64_t> Count{0}, Sum{0}, Max{0};
@@ -146,9 +258,14 @@ public:
   /// Zeroes every registered metric's value (objects survive).
   void resetValues();
 
-  /// Snapshot of all metrics, sorted by name. Histograms flatten to four
-  /// entries: name.count / name.sum / name.min / name.max.
+  /// Snapshot of all metrics, sorted by name. Histograms flatten to eight
+  /// entries: name.count / name.sum / name.min / name.max plus the
+  /// name.p50 / name.p90 / name.p99 / name.p999 quantile estimates.
   std::vector<std::pair<std::string, int64_t>> snapshot() const;
+
+  /// Typed snapshot (counters/gauges/histograms kept apart); see
+  /// MetricsTypedSnapshot.
+  MetricsTypedSnapshot typedSnapshot() const;
 
 private:
   struct Stripe;
@@ -202,10 +319,40 @@ void reset();
 /// the disabled path allocation-free.
 uint64_t debugAllocations();
 
-/// Replaces the time source with a fake returning nanoseconds; pass
-/// nullptr to restore the steady clock. Test hook: with a deterministic
-/// clock both exporters become byte-stable for golden comparisons.
-void setTimeSourceForTest(uint64_t (*NowNs)());
+/// Span deadline in nanoseconds; 0 (the default) disables stall detection.
+/// A span closing after more than the deadline bumps `watchdog.stalls` and
+/// fires the stall hook; SpanWatchdog additionally flags still-open spans
+/// past the deadline as `watchdog.live_stalls`. Never aborts anything.
+void setSpanDeadlineNs(uint64_t Ns);
+uint64_t spanDeadlineNs();
+
+/// Installs the hook stall detection calls (nullptr to clear). namer-scan
+/// points it at the run ledger so stalls become ledger records.
+void setStallHook(StallHook Hook);
+
+/// Scans the per-thread live-span stacks for spans open longer than the
+/// deadline: each newly stalled (thread, depth, start) is counted once in
+/// `watchdog.live_stalls` and reported to the stall hook. IntervalMs > 0
+/// runs the scan on a dedicated background thread until destruction;
+/// IntervalMs == 0 scans only when scanOnce() is called (deterministic
+/// test mode). Detection, not enforcement: stalled spans keep running.
+class SpanWatchdog {
+public:
+  explicit SpanWatchdog(unsigned IntervalMs = 0);
+  ~SpanWatchdog();
+  SpanWatchdog(const SpanWatchdog &) = delete;
+  SpanWatchdog &operator=(const SpanWatchdog &) = delete;
+
+  /// One scan over all live spans; returns how many NEW stalls it flagged.
+  size_t scanOnce();
+
+  /// Total live stalls this watchdog has flagged.
+  uint64_t liveStalls() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
 
 /// Chrome trace-event JSON of every recorded span, as one
 /// {"traceEvents": [...]} object with complete ("ph":"X") events sorted by
@@ -244,6 +391,7 @@ public:
   uint64_t max() const { return 0; }
   uint64_t min() const { return 0; }
   uint64_t bucket(size_t) const { return 0; }
+  uint64_t quantile(double) const { return 0; }
 };
 class MetricsRegistry {
 public:
@@ -252,6 +400,7 @@ public:
   Histogram &histogram(std::string_view) { return H; }
   void resetValues() {}
   std::vector<std::pair<std::string, int64_t>> snapshot() const { return {}; }
+  MetricsTypedSnapshot typedSnapshot() const { return {}; }
 
 private:
   Counter C;
@@ -278,7 +427,17 @@ inline uint32_t currentThreadId() { return 0; }
 inline double spanTotalUs(std::string_view) { return 0.0; }
 inline void reset() {}
 inline uint64_t debugAllocations() { return 0; }
-inline void setTimeSourceForTest(uint64_t (*)()) {}
+inline void setSpanDeadlineNs(uint64_t) {}
+inline uint64_t spanDeadlineNs() { return 0; }
+inline void setStallHook(StallHook) {}
+
+class SpanWatchdog {
+public:
+  explicit SpanWatchdog(unsigned = 0) {}
+  size_t scanOnce() { return 0; }
+  uint64_t liveStalls() const { return 0; }
+};
+
 std::string chromeTraceJson();
 std::string statsJson(const RunMeta &Meta);
 std::string summaryTable();

@@ -1,0 +1,80 @@
+# Smoke test: the observability determinism contract. Run the real
+# namer-scan binary over the bundled mini corpus at --threads=1 and
+# --threads=8 with --deterministic-obs, and require the run ledger and the
+# Prometheus exposition to be byte-identical across the two runs (zeroed
+# clock/RSS sources + schedule-dependent series excluded; see DESIGN.md,
+# "Observability"). Invoked by ctest as
+#   cmake -DNAMER_SCAN=<exe> -DCORPUS=<dir> -DOUT=<dir> -P ObsScanSmoke.cmake
+
+foreach(Var NAMER_SCAN CORPUS OUT)
+  if(NOT DEFINED ${Var})
+    message(FATAL_ERROR "ObsScanSmoke.cmake requires -D${Var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT}")
+
+foreach(Threads 1 8)
+  execute_process(
+    COMMAND "${NAMER_SCAN}" "--threads=${Threads}" "--deterministic-obs"
+            "--ledger=${OUT}/t${Threads}.jsonl"
+            "--metrics-out=${OUT}/t${Threads}.prom" "${CORPUS}"
+    RESULT_VARIABLE Rc
+    OUTPUT_VARIABLE Stdout
+    ERROR_VARIABLE Stderr)
+  if(NOT Rc EQUAL 0)
+    message(FATAL_ERROR "namer-scan --threads=${Threads} failed (rc=${Rc})\n"
+        "stdout:\n${Stdout}\nstderr:\n${Stderr}")
+  endif()
+  foreach(File "${OUT}/t${Threads}.jsonl" "${OUT}/t${Threads}.prom")
+    if(NOT EXISTS "${File}")
+      message(FATAL_ERROR "namer-scan did not write ${File}")
+    endif()
+  endforeach()
+endforeach()
+
+foreach(Ext jsonl prom)
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${OUT}/t1.${Ext}" "${OUT}/t8.${Ext}"
+    RESULT_VARIABLE Same)
+  if(NOT Same EQUAL 0)
+    file(READ "${OUT}/t1.${Ext}" One)
+    file(READ "${OUT}/t8.${Ext}" Eight)
+    message(FATAL_ERROR "--deterministic-obs ${Ext} files differ between "
+        "--threads=1 and --threads=8\n--- t1 ---\n${One}\n--- t8 ---\n${Eight}")
+  endif()
+endforeach()
+
+# Structural spot checks on the thread-1 outputs.
+file(READ "${OUT}/t1.jsonl" Ledger)
+foreach(Needle
+    [["event":"run_start"]]
+    [["event":"phase","name":"pipeline.ingest"]]
+    [["event":"phase","name":"fptree.build"]]
+    [["event":"run_end"]]
+    [["schema_version":1]])
+  string(FIND "${Ledger}" "${Needle}" At)
+  if(At EQUAL -1)
+    message(FATAL_ERROR "ledger is missing ${Needle}:\n${Ledger}")
+  endif()
+endforeach()
+
+file(READ "${OUT}/t1.prom" Prom)
+foreach(Needle
+    "# namer prometheus text exposition (stats schema 1)"
+    "# TYPE namer_ingest_file_us histogram"
+    "namer_ingest_file_us_quantile{q=\"0.999\"}"
+    "namer_build_info{git_rev=")
+  string(FIND "${Prom}" "${Needle}" At)
+  if(At EQUAL -1)
+    message(FATAL_ERROR "exposition is missing ${Needle}:\n${Prom}")
+  endif()
+endforeach()
+# The schedule-dependent families must have been excluded.
+string(FIND "${Prom}" "namer_pool_" At)
+if(NOT At EQUAL -1)
+  message(FATAL_ERROR "deterministic exposition leaked a pool.* series:\n${Prom}")
+endif()
+
+message(STATUS "observability smoke OK: ledger+exposition byte-identical at 1 and 8 threads")

@@ -1,0 +1,423 @@
+//===- tests/ObservabilityTest.cpp - PR 8 observability layer tests -------==//
+//
+// Covers the service-grade observability additions: histogram quantile
+// estimation (bucket-boundary exactness and the empty/single/overflow
+// edges), the byte-stable Prometheus text exposition under the fake clock,
+// the MiniJson parser backing namer-statdiff, the run ledger's JSONL
+// format, the memory tracker's injectable RSS sources, the span watchdog
+// (close-time and live-scan stall detection) and the metrics snapshotter's
+// flush contract. Built as namer_obs_tests so `ctest -L obs` selects it.
+//
+// ORDER MATTERS: the Prometheus golden test must run first in this binary.
+// The global MetricsRegistry never forgets a name (reset() clears values
+// only), so any metric another test registers would leak into the golden
+// exposition. gtest runs suites in first-registration order; keep
+// ObsPrometheusGolden at the top of this file.
+//
+// When NAMER_TELEMETRY is compiled out, only the build-mode-independent
+// pieces (MiniJson, RunLedger, MemoryTracker sources, snapshotter header)
+// are exercised; the registry-backed tests compile away with the layer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MemoryTracker.h"
+#include "support/MiniJson.h"
+#include "support/RunLedger.h"
+#include "support/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+using namespace namer;
+
+namespace {
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+} // namespace
+
+#if NAMER_TELEMETRY
+
+namespace {
+
+/// Settable clock for the watchdog/golden tests (unlike TelemetryTest's
+/// auto-advancing fake, stall detection needs time to stand still between
+/// explicit jumps).
+uint64_t ManualClockNs = 0;
+uint64_t manualNow() { return ManualClockNs; }
+
+struct ManualClockScope {
+  ManualClockScope() {
+    ManualClockNs = 0;
+    telemetry::setTimeSourceForTest(&manualNow);
+  }
+  ~ManualClockScope() { telemetry::setTimeSourceForTest(nullptr); }
+};
+
+uint64_t HookStalls = 0;
+void countingStallHook(const char *, uint64_t) { ++HookStalls; }
+
+} // namespace
+
+TEST(ObsPrometheusGolden, ExpositionBytes) {
+  ManualClockScope Clock;
+  telemetry::reset();
+  telemetry::setEnabled(true);
+
+  telemetry::metrics().counter("obsg.files").add(3);
+  telemetry::metrics().gauge("obsg.gauge").set(-7);
+  telemetry::metrics().histogram("obsg.hist").record(4);
+  telemetry::metrics().histogram("obsg.hist").record(9);
+  {
+    telemetry::TraceSpan Outer("obsg.outer"); // 0ms .. 2ms
+    ManualClockNs = 1'000'000;
+    telemetry::TraceSpan Inner("obsg.inner"); // 1ms .. 2ms
+    ManualClockNs = 2'000'000;
+  } // both close at the 2ms stamp
+
+  telemetry::PromExportOptions Opts;
+  Opts.GitRev = "deadbeef";
+  const std::string Expected =
+      "# namer prometheus text exposition (stats schema 1)\n"
+      "# TYPE namer_obsg_files_total counter\n"
+      "namer_obsg_files_total 3\n"
+      "# TYPE namer_obsg_gauge gauge\n"
+      "namer_obsg_gauge -7\n"
+      "# TYPE namer_obsg_hist histogram\n"
+      "namer_obsg_hist_bucket{le=\"0\"} 0\n"
+      "namer_obsg_hist_bucket{le=\"1\"} 0\n"
+      "namer_obsg_hist_bucket{le=\"3\"} 0\n"
+      "namer_obsg_hist_bucket{le=\"7\"} 1\n"
+      "namer_obsg_hist_bucket{le=\"15\"} 2\n"
+      "namer_obsg_hist_bucket{le=\"+Inf\"} 2\n"
+      "namer_obsg_hist_sum 13\n"
+      "namer_obsg_hist_count 2\n"
+      "# TYPE namer_obsg_hist_quantile gauge\n"
+      "namer_obsg_hist_quantile{q=\"0.5\"} 4\n"
+      "namer_obsg_hist_quantile{q=\"0.9\"} 8\n"
+      "namer_obsg_hist_quantile{q=\"0.99\"} 8\n"
+      "namer_obsg_hist_quantile{q=\"0.999\"} 8\n"
+      "# TYPE namer_span_count counter\n"
+      "namer_span_count{span=\"obsg.inner\"} 1\n"
+      "namer_span_count{span=\"obsg.outer\"} 1\n"
+      "# TYPE namer_span_total_us counter\n"
+      "namer_span_total_us{span=\"obsg.inner\"} 1000.000\n"
+      "namer_span_total_us{span=\"obsg.outer\"} 2000.000\n"
+      "# TYPE namer_build_info gauge\n"
+      "namer_build_info{git_rev=\"deadbeef\",telemetry=\"on\"} 1\n";
+  EXPECT_EQ(telemetry::prometheusText(Opts), Expected);
+  // Byte-stable: a second render must be identical.
+  EXPECT_EQ(telemetry::prometheusText(Opts), Expected);
+  telemetry::reset();
+}
+
+TEST(ObsPrometheusGolden, ExcludePrefixesDropWholeFamilies) {
+  telemetry::reset();
+  telemetry::setEnabled(true);
+  telemetry::count("obsx.keep");
+  telemetry::count("pool.obsx_sched");
+  telemetry::gaugeSet("interner.shard_contention", 5);
+
+  telemetry::PromExportOptions Opts;
+  Opts.ExcludePrefixes = {"pool.", "interner.shard_contention"};
+  std::string Doc = telemetry::prometheusText(Opts);
+  EXPECT_NE(Doc.find("namer_obsx_keep_total"), std::string::npos);
+  EXPECT_EQ(Doc.find("pool_obsx_sched"), std::string::npos);
+  EXPECT_EQ(Doc.find("shard_contention"), std::string::npos);
+  // No GitRev configured -> no build_info line.
+  EXPECT_EQ(Doc.find("namer_build_info"), std::string::npos);
+  telemetry::reset();
+}
+
+TEST(ObsQuantile, EmptySingleAndExtremeQArgs) {
+  telemetry::Histogram &H = telemetry::metrics().histogram("obsq.edges");
+  EXPECT_EQ(H.quantile(0.5), 0u); // empty -> 0
+
+  H.record(42); // single sample: every quantile is exact
+  for (double Q : {0.0, 0.001, 0.5, 0.99, 1.0, 2.0})
+    EXPECT_EQ(H.quantile(Q), 42u) << Q;
+  EXPECT_EQ(H.quantile(-1.0), 42u); // Q <= 0 -> min
+}
+
+TEST(ObsQuantile, BucketBoundaryExactness) {
+  // One sample per power-of-two bucket, each alone at its bucket's lower
+  // bound: nearest-rank quantiles land exactly on the recorded values.
+  telemetry::Histogram &H = telemetry::metrics().histogram("obsq.bounds");
+  H.record(1);
+  H.record(2);
+  H.record(4);
+  H.record(8);
+  EXPECT_EQ(H.quantile(0.25), 1u);
+  EXPECT_EQ(H.quantile(0.5), 2u);
+  EXPECT_EQ(H.quantile(0.75), 4u);
+  EXPECT_EQ(H.quantile(1.0), 8u);
+  EXPECT_EQ(H.quantile(0.0), 1u);
+}
+
+TEST(ObsQuantile, AllIdenticalAndOverflowBucket) {
+  telemetry::Histogram &I = telemetry::metrics().histogram("obsq.same");
+  for (int N = 0; N != 100; ++N)
+    I.record(77);
+  for (double Q : {0.5, 0.9, 0.99, 0.999})
+    EXPECT_EQ(I.quantile(Q), 77u) << Q; // min/max clamps make this exact
+
+  // A sample far past 2^31 lands in the clamped overflow bucket; the min
+  // clamp still recovers it exactly when it is alone there.
+  telemetry::Histogram &O = telemetry::metrics().histogram("obsq.overflow");
+  O.record(uint64_t(1) << 40);
+  EXPECT_EQ(O.quantile(0.5), uint64_t(1) << 40);
+  EXPECT_EQ(O.quantile(0.999), uint64_t(1) << 40);
+}
+
+TEST(ObsQuantile, MedianTracksBulkOfDistribution) {
+  telemetry::Histogram &H = telemetry::metrics().histogram("obsq.bulk");
+  for (uint64_t V = 0; V != 1000; ++V)
+    H.record(V % 10); // 0..9, uniform
+  uint64_t P50 = H.quantile(0.5);
+  EXPECT_GE(P50, 3u);
+  EXPECT_LE(P50, 7u);
+  EXPECT_LE(H.quantile(0.999), 9u);
+  EXPECT_EQ(H.quantile(1.0), 9u);
+}
+
+TEST(ObsWatchdog, CloseTimeAndLiveScanStallDetection) {
+  ManualClockScope Clock;
+  telemetry::reset();
+  telemetry::setEnabled(true);
+  uint64_t StallsBefore =
+      telemetry::metrics().counter("watchdog.stalls").value();
+  uint64_t LiveBefore =
+      telemetry::metrics().counter("watchdog.live_stalls").value();
+  HookStalls = 0;
+  telemetry::setStallHook(&countingStallHook);
+  telemetry::setSpanDeadlineNs(1'000'000); // 1ms
+  EXPECT_EQ(telemetry::spanDeadlineNs(), 1'000'000u);
+
+  {
+    telemetry::TraceSpan Slow("obsw.slow");
+    ManualClockNs = 10'000'000; // 10ms later, span still open
+    telemetry::SpanWatchdog Watchdog(0);
+    EXPECT_EQ(Watchdog.scanOnce(), 1u);
+    EXPECT_EQ(Watchdog.scanOnce(), 0u); // same (thread, depth, start) once
+    EXPECT_EQ(Watchdog.liveStalls(), 1u);
+  } // close at 10ms: 9ms over deadline -> close-time stall too
+
+  { telemetry::TraceSpan Fast("obsw.fast"); } // 0ns long: no stall
+  EXPECT_EQ(telemetry::metrics().counter("watchdog.stalls").value(),
+            StallsBefore + 1);
+  EXPECT_EQ(telemetry::metrics().counter("watchdog.live_stalls").value(),
+            LiveBefore + 1);
+  EXPECT_EQ(HookStalls, 2u); // one live-scan report + one close-time report
+
+  telemetry::setStallHook(nullptr);
+  telemetry::setSpanDeadlineNs(0);
+  telemetry::reset();
+}
+
+TEST(ObsWatchdog, NoDeadlineMeansNoStalls) {
+  ManualClockScope Clock;
+  telemetry::reset();
+  telemetry::setEnabled(true);
+  ASSERT_EQ(telemetry::spanDeadlineNs(), 0u);
+  {
+    telemetry::TraceSpan S("obsw.untimed");
+    ManualClockNs = 1'000'000'000; // a full second
+    telemetry::SpanWatchdog Watchdog(0);
+    EXPECT_EQ(Watchdog.scanOnce(), 0u);
+  }
+  EXPECT_EQ(telemetry::metrics().counter("watchdog.stalls").value(), 0u);
+  telemetry::reset();
+}
+
+#endif // NAMER_TELEMETRY
+
+//===----------------------------------------------------------------------===//
+// Build-mode-independent pieces
+//===----------------------------------------------------------------------===//
+
+TEST(ObsMiniJson, ParsesScalarsContainersAndEscapes) {
+  std::string Error;
+  std::optional<json::Value> Doc = json::parse(
+      R"({"a": 1.5, "b": [true, false, null, "x\nyA"], "c": {"d": -3}})",
+      &Error);
+  ASSERT_TRUE(Doc) << Error;
+  ASSERT_TRUE(Doc->isObject());
+  const json::Value *A = Doc->find("a");
+  ASSERT_TRUE(A && A->isNumber());
+  EXPECT_DOUBLE_EQ(A->Num, 1.5);
+  const json::Value *B = Doc->find("b");
+  ASSERT_TRUE(B && B->isArray());
+  ASSERT_EQ(B->Arr.size(), 4u);
+  EXPECT_TRUE(B->Arr[0].isBool() && B->Arr[0].B);
+  EXPECT_TRUE(B->Arr[2].isNull());
+  EXPECT_EQ(B->Arr[3].Str, "x\nyA");
+  const json::Value *D = Doc->findPath("c.d");
+  ASSERT_TRUE(D && D->isNumber());
+  EXPECT_DOUBLE_EQ(D->Num, -3.0);
+  EXPECT_EQ(Doc->find("missing"), nullptr);
+}
+
+TEST(ObsMiniJson, RejectsMalformedInput) {
+  for (const char *Bad :
+       {"", "{", "[1,]", "{\"a\":}", "tru", "1 2", "{\"a\":1}x",
+        "\"unterminated", "{\"dup\" 1}", "[1, 2"}) {
+    std::string Error;
+    EXPECT_FALSE(json::parse(Bad, &Error)) << Bad;
+    EXPECT_FALSE(Error.empty()) << Bad;
+  }
+  // Depth cap: 100 nested arrays exceed kMaxDepth.
+  std::string Deep(100, '[');
+  Deep += std::string(100, ']');
+  EXPECT_FALSE(json::parse(Deep));
+}
+
+TEST(ObsMiniJson, RoundTripsStatsShapedDocuments) {
+  // The statdiff contract: counters/spans objects with numeric leaves.
+  std::optional<json::Value> Doc = json::parse(
+      R"({"meta": {"tool": "t"}, "counters": {"a.p50": 10, "b": 2},
+          "spans": {"s": {"count": 1, "total_us": 1500.5}}})");
+  ASSERT_TRUE(Doc);
+  const json::Value *Total = Doc->findPath("spans.s.total_us");
+  ASSERT_TRUE(Total && Total->isNumber());
+  EXPECT_DOUBLE_EQ(Total->Num, 1500.5);
+  EXPECT_TRUE(Doc->findPath("counters.a.p50") == nullptr)
+      << "dotted keys are path components, not literal key matches";
+  const json::Value *Counters = Doc->find("counters");
+  ASSERT_TRUE(Counters);
+  EXPECT_TRUE(Counters->find("a.p50") != nullptr);
+}
+
+TEST(ObsRunLedger, JsonlBytesAndSequencing) {
+  namespace fs = std::filesystem;
+  std::string Path =
+      (fs::temp_directory_path() / "namer-obs-ledger.jsonl").string();
+
+  ledger::RunLedger L;
+  EXPECT_FALSE(L.isOpen());
+  L.append({}); // dropped, not a crash
+  EXPECT_EQ(L.records(), 0u);
+
+  EXPECT_EQ(ledger::RunLedger::makeRunId("abc", 0x123),
+            "abc-0000000000000123");
+  ASSERT_TRUE(L.open(Path, ledger::RunLedger::makeRunId("abc", 0x123)));
+  EXPECT_TRUE(L.isOpen());
+  EXPECT_EQ(L.runId(), "abc-0000000000000123");
+
+  ledger::Record Phase;
+  Phase.Event = "phase";
+  Phase.Name = "x";
+  Phase.DurationUs = 5;
+  Phase.RssDeltaKb = -3;
+  L.append(Phase);
+  ledger::Record Quarantine;
+  Quarantine.Event = "quarantine";
+  Quarantine.Name = "f\"q\".py";
+  Quarantine.Outcome = "depth-budget";
+  Quarantine.Detail = "nesting depth 300 exceeds 192";
+  L.append(Quarantine);
+  EXPECT_EQ(L.records(), 2u);
+  L.close();
+  EXPECT_FALSE(L.isOpen());
+
+  EXPECT_EQ(
+      slurp(Path),
+      "{\"duration_us\":5,\"event\":\"phase\",\"name\":\"x\",\"outcome\":"
+      "\"ok\",\"rss_delta_kb\":-3,\"run_id\":\"abc-0000000000000123\","
+      "\"schema_version\":1,\"seq\":0}\n"
+      "{\"detail\":\"nesting depth 300 exceeds 192\",\"duration_us\":0,"
+      "\"event\":\"quarantine\",\"name\":\"f\\\"q\\\".py\",\"outcome\":"
+      "\"depth-budget\",\"rss_delta_kb\":0,\"run_id\":"
+      "\"abc-0000000000000123\",\"schema_version\":1,\"seq\":1}\n");
+
+  // Every line must parse as standalone JSON (the JSONL contract).
+  std::ifstream In(Path);
+  std::string Line;
+  size_t Lines = 0;
+  while (std::getline(In, Line)) {
+    ++Lines;
+    std::optional<json::Value> Parsed = json::parse(Line);
+    ASSERT_TRUE(Parsed) << Line;
+    EXPECT_DOUBLE_EQ(Parsed->find("schema_version")->Num, 1.0);
+  }
+  EXPECT_EQ(Lines, 2u);
+  fs::remove(Path);
+}
+
+TEST(ObsMemoryTracker, InjectableSourcesAndRealProcfs) {
+  memory::setRssSourceForTest(+[]() -> uint64_t { return 111; },
+                              +[]() -> uint64_t { return 222; });
+  EXPECT_EQ(memory::currentRssKb(), 111u);
+  EXPECT_EQ(memory::peakRssKb(), 222u);
+  memory::setRssSourceForTest(nullptr, nullptr);
+#if defined(__linux__)
+  // Real procfs: a running process has nonzero RSS and peak >= current.
+  uint64_t Current = memory::currentRssKb();
+  uint64_t Peak = memory::peakRssKb();
+  EXPECT_GT(Current, 0u);
+  EXPECT_GE(Peak, Current);
+#endif
+}
+
+#if NAMER_TELEMETRY
+TEST(ObsMemoryTracker, SampleGaugesPublishesWhenEnabled) {
+  telemetry::setEnabled(true);
+  memory::setRssSourceForTest(+[]() -> uint64_t { return 111; },
+                              +[]() -> uint64_t { return 222; });
+  memory::sampleGauges();
+  memory::setRssSourceForTest(nullptr, nullptr);
+  EXPECT_EQ(telemetry::metrics().gauge("mem.current_rss_kb").value(), 111);
+  EXPECT_EQ(telemetry::metrics().gauge("mem.peak_rss_kb").value(), 222);
+  telemetry::reset();
+}
+#endif // NAMER_TELEMETRY
+
+TEST(ObsSnapshotter, FlushNowAndFlushOnDestruction) {
+  namespace fs = std::filesystem;
+  std::string Path =
+      (fs::temp_directory_path() / "namer-obs-snap.prom").string();
+  {
+    telemetry::MetricsSnapshotter::Options O;
+    O.Path = Path;
+    O.Export.GitRev = "feedface";
+    telemetry::MetricsSnapshotter Snap(O);
+    EXPECT_EQ(Snap.flushes(), 0u);
+    Snap.flushNow();
+    EXPECT_EQ(Snap.flushes(), 1u);
+    std::string Doc = slurp(Path);
+    EXPECT_EQ(Doc.rfind("# namer prometheus text exposition", 0), 0u);
+    EXPECT_NE(Doc.find("namer_build_info{git_rev=\"feedface\""),
+              std::string::npos);
+  } // destruction writes the final exposition (flush-on-exit)
+  EXPECT_FALSE(slurp(Path).empty());
+  // Atomic write: no .tmp left behind.
+  EXPECT_FALSE(fs::exists(Path + ".tmp"));
+  fs::remove(Path);
+}
+
+TEST(ObsSnapshotter, PeriodicIntervalFlushes) {
+  namespace fs = std::filesystem;
+  std::string Path =
+      (fs::temp_directory_path() / "namer-obs-snap-interval.prom").string();
+  telemetry::MetricsSnapshotter::Options O;
+  O.Path = Path;
+  O.IntervalMs = 1;
+  {
+    telemetry::MetricsSnapshotter Snap(O);
+    // The background thread must flush on its own; wait (bounded) for it.
+    for (int Tries = 0; Snap.flushes() == 0 && Tries != 2000; ++Tries)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_GT(Snap.flushes(), 0u);
+  }
+  EXPECT_FALSE(slurp(Path).empty());
+  fs::remove(Path);
+}

@@ -1,0 +1,75 @@
+# Smoke test: the namer-statdiff exit-code contract on the committed
+# fixtures (tests/data/statdiff). Identical inputs exit 0; a synthetic 2x
+# span regression exits 5; a usage error exits 2; an unreadable input
+# exits 1. Invoked by ctest as
+#   cmake -DNAMER_STATDIFF=<exe> -DDATA=<dir> -P StatdiffSmoke.cmake
+
+foreach(Var NAMER_STATDIFF DATA)
+  if(NOT DEFINED ${Var})
+    message(FATAL_ERROR "StatdiffSmoke.cmake requires -D${Var}=...")
+  endif()
+endforeach()
+
+set(Base "${DATA}/base.json")
+set(Regressed "${DATA}/regressed_2x.json")
+
+# Identical inputs: no regression, exit 0.
+execute_process(
+  COMMAND "${NAMER_STATDIFF}" "${Base}" "${Base}"
+  RESULT_VARIABLE Rc
+  OUTPUT_VARIABLE Stdout
+  ERROR_VARIABLE Stderr)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "identical inputs must exit 0, got ${Rc}\n${Stdout}${Stderr}")
+endif()
+string(FIND "${Stdout}" "0 regressions" At)
+if(At EQUAL -1)
+  message(FATAL_ERROR "expected a '0 regressions' summary:\n${Stdout}")
+endif()
+
+# Synthetic 2x span regression: exit 5 with a REGRESSION line naming the span.
+execute_process(
+  COMMAND "${NAMER_STATDIFF}" "${Base}" "${Regressed}"
+  RESULT_VARIABLE Rc
+  OUTPUT_VARIABLE Stdout
+  ERROR_VARIABLE Stderr)
+if(NOT Rc EQUAL 5)
+  message(FATAL_ERROR "2x span regression must exit 5, got ${Rc}\n${Stdout}${Stderr}")
+endif()
+string(FIND "${Stdout}" "REGRESSION span pipeline.ingest" At)
+if(At EQUAL -1)
+  message(FATAL_ERROR "expected a span regression report:\n${Stdout}")
+endif()
+string(FIND "${Stdout}" "pipeline.tiny" At)
+if(NOT At EQUAL -1)
+  message(FATAL_ERROR "spans under the --min-span-us floor must be skipped:\n${Stdout}")
+endif()
+
+# The regression is waivable by threshold: a 2x increase passes at 150%.
+execute_process(
+  COMMAND "${NAMER_STATDIFF}" "--span-threshold=1.5" "${Base}" "${Regressed}"
+  RESULT_VARIABLE Rc
+  OUTPUT_VARIABLE Stdout)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "--span-threshold=1.5 must waive the 2x regression, got ${Rc}\n${Stdout}")
+endif()
+
+# Usage error: unknown option exits 2.
+execute_process(
+  COMMAND "${NAMER_STATDIFF}" "--no-such-flag" "${Base}" "${Base}"
+  RESULT_VARIABLE Rc
+  OUTPUT_QUIET ERROR_QUIET)
+if(NOT Rc EQUAL 2)
+  message(FATAL_ERROR "unknown option must exit 2, got ${Rc}")
+endif()
+
+# I/O error: unreadable input exits 1.
+execute_process(
+  COMMAND "${NAMER_STATDIFF}" "${DATA}/does-not-exist.json" "${Base}"
+  RESULT_VARIABLE Rc
+  OUTPUT_QUIET ERROR_QUIET)
+if(NOT Rc EQUAL 1)
+  message(FATAL_ERROR "unreadable input must exit 1, got ${Rc}")
+endif()
+
+message(STATUS "statdiff smoke OK: exit codes 0/5/2/1 as contracted")

@@ -106,6 +106,10 @@ TEST(TelemetryGolden, StatsJsonBytes) {
     "golden.hist.count": 2,
     "golden.hist.max": 9,
     "golden.hist.min": 4,
+    "golden.hist.p50": 4,
+    "golden.hist.p90": 8,
+    "golden.hist.p99": 8,
+    "golden.hist.p999": 8,
     "golden.hist.sum": 13
   },
   "spans": {
@@ -310,8 +314,23 @@ TEST(TelemetryPipeline, StatsCoverEveryStageOnRealRun) {
         "arena.mmap_fallbacks", "pool.idle_us.pipeline.ingest",
         "pool.idle_us.pipeline.scan", "pool.idle_us.fptree.build",
         "incremental.files.unchanged", "incremental.files.added",
-        "incremental.files.modified", "incremental.files.deleted"})
+        "incremental.files.modified", "incremental.files.deleted",
+        "watchdog.stalls", "watchdog.live_stalls", "ledger.records",
+        "snapshot.flushes"})
     EXPECT_TRUE(Snap.count(Name)) << Name;
+  // The observability counters register at zero (PR 4 convention) even
+  // when no ledger/snapshotter/watchdog is attached; the per-file ingest
+  // latency histogram and the phase-boundary memory gauges carry real
+  // values from the build above.
+  EXPECT_EQ(Snap["watchdog.stalls"], 0);
+  EXPECT_EQ(Snap["ledger.records"], 0);
+  EXPECT_EQ(Snap["snapshot.flushes"], 0);
+  EXPECT_GT(Snap["ingest.file_us.count"], 0);
+  for (const char *Name :
+       {"mem.current_rss_kb", "mem.peak_rss_kb", "mem.arena_bytes",
+        "mem.model_mmap_bytes", "mem.interner_bytes"})
+    ASSERT_TRUE(Snap.count(Name)) << Name;
+  EXPECT_GT(Snap["mem.interner_bytes"], 0);
   // The save/load pair above left real model metrics behind; the
   // incremental counters are registered at zero by the cold build (only
   // scanWith adds to them).
@@ -384,6 +403,24 @@ TEST(TelemetryStub, ApiIsUsableWhenCompiledOut) {
   std::string Stats = telemetry::statsJson(Meta);
   EXPECT_NE(Stats.find("\"telemetry_compiled\": false"), std::string::npos);
   EXPECT_TRUE(JsonChecker(Stats).valid());
+}
+
+TEST(TelemetryStub, ObservabilityApisAreUsableWhenCompiledOut) {
+  // The PR 8 additions must be equally no-op: quantiles read as zero,
+  // the typed snapshot is empty, the watchdog/deadline hooks do nothing,
+  // and the exposition degrades to its comment header.
+  EXPECT_EQ(telemetry::metrics().histogram("stub.hist").quantile(0.99), 0u);
+  EXPECT_TRUE(telemetry::metrics().typedSnapshot().Histograms.empty());
+  telemetry::setSpanDeadlineNs(1);
+  telemetry::setStallHook(nullptr);
+  {
+    telemetry::SpanWatchdog Watchdog(0);
+    Watchdog.scanOnce();
+    EXPECT_EQ(Watchdog.liveStalls(), 0u);
+  }
+  std::string Prom = telemetry::prometheusText();
+  EXPECT_EQ(Prom.rfind("# namer prometheus text exposition", 0), 0u);
+  EXPECT_NE(Prom.find("# telemetry compiled out"), std::string::npos);
 }
 
 #endif // NAMER_TELEMETRY

@@ -7,7 +7,9 @@
 //              [--mine-shards=N] [--strict] [--stats[=FILE]] [--trace-out=FILE]
 //              [--sarif=FILE] [--findings=FILE] [--explain[=N]]
 //              [--fail-on-findings] [--model-out=FILE] [--model-in=FILE]
-//              [--incremental-state=DIR] DIR
+//              [--incremental-state=DIR] [--ledger=FILE] [--metrics-out=FILE]
+//              [--metrics-interval-ms=N] [--span-deadline-ms=N]
+//              [--deterministic-obs] DIR
 //
 // Patterns are mined from the bundled ecosystem corpus *plus* the scanned
 // tree (so project-local idioms contribute), violations are filtered by a
@@ -46,6 +48,8 @@
 #include "namer/FindingsExport.h"
 #include "namer/ModelStore.h"
 #include "support/Arena.h"
+#include "support/MemoryTracker.h"
+#include "support/RunLedger.h"
 #include "support/Telemetry.h"
 #include "support/TextTable.h"
 
@@ -55,6 +59,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -104,6 +109,21 @@ struct Options {
   /// --incremental-state=DIR: keep DIR/model.nmr across runs (load when
   /// present, always save the refreshed manifest back).
   std::string IncrementalState;
+  /// --ledger=FILE: append-only JSONL run ledger (one record per phase /
+  /// quarantined file / model store operation / stall).
+  std::string LedgerFile;
+  /// --metrics-out=FILE: Prometheus text exposition, written atomically on
+  /// exit (and every --metrics-interval-ms while running).
+  std::string MetricsOut;
+  unsigned MetricsIntervalMs = 0;
+  /// --span-deadline-ms=N: flag spans running longer than N ms
+  /// (watchdog.stalls / ledger "stall" records; detection only).
+  unsigned SpanDeadlineMs = 0;
+  /// --deterministic-obs: zero the telemetry clock and RSS sources and
+  /// drop schedule-dependent series (pool.*, interner.shard_contention)
+  /// from the exposition, so --ledger and --metrics-out files are
+  /// byte-identical at every --threads value.
+  bool DeterministicObs = false;
   std::string Directory;
 };
 
@@ -115,7 +135,9 @@ void printUsage(const char *Argv0) {
                "[--stats[=FILE]] "
                "[--trace-out=FILE] [--sarif=FILE] [--findings=FILE] "
                "[--explain[=N]] [--fail-on-findings] [--model-out=FILE] "
-               "[--model-in=FILE] [--incremental-state=DIR] DIR\n",
+               "[--model-in=FILE] [--incremental-state=DIR] [--ledger=FILE] "
+               "[--metrics-out=FILE] [--metrics-interval-ms=N] "
+               "[--span-deadline-ms=N] [--deterministic-obs] DIR\n",
                Argv0);
 }
 
@@ -171,6 +193,18 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.ModelIn = Arg.substr(std::strlen("--model-in="));
     } else if (Arg.rfind("--incremental-state=", 0) == 0) {
       Opts.IncrementalState = Arg.substr(std::strlen("--incremental-state="));
+    } else if (Arg.rfind("--ledger=", 0) == 0) {
+      Opts.LedgerFile = Arg.substr(std::strlen("--ledger="));
+    } else if (Arg.rfind("--metrics-out=", 0) == 0) {
+      Opts.MetricsOut = Arg.substr(std::strlen("--metrics-out="));
+    } else if (Arg.rfind("--metrics-interval-ms=", 0) == 0) {
+      Opts.MetricsIntervalMs = static_cast<unsigned>(std::strtoul(
+          Arg.c_str() + std::strlen("--metrics-interval-ms="), nullptr, 10));
+    } else if (Arg.rfind("--span-deadline-ms=", 0) == 0) {
+      Opts.SpanDeadlineMs = static_cast<unsigned>(std::strtoul(
+          Arg.c_str() + std::strlen("--span-deadline-ms="), nullptr, 10));
+    } else if (Arg == "--deterministic-obs") {
+      Opts.DeterministicObs = true;
     } else if (Arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
       return false;
@@ -237,6 +271,24 @@ std::string countersTable() {
   return Table.render();
 }
 
+/// --ledger sink for watchdog stalls. telemetry::StallHook is a plain
+/// function pointer, so the target ledger rides in a file-scope pointer.
+/// Stall records are detection output (they fire from whatever thread
+/// closed the overdue span) and only appear when --span-deadline-ms is set;
+/// the deterministic-obs byte-identity contract does not cover them.
+ledger::RunLedger *GStallLedger = nullptr;
+
+void stallToLedger(const char *Span, uint64_t DurationNs) {
+  if (!GStallLedger)
+    return;
+  ledger::Record R;
+  R.Event = "stall";
+  R.Name = Span;
+  R.Outcome = "deadline-exceeded";
+  R.DurationUs = DurationNs / 1000;
+  GStallLedger->append(R);
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -244,6 +296,33 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, Opts)) {
     printUsage(Argv[0]);
     return 2;
+  }
+
+  if (Opts.DeterministicObs) {
+    // Zero clock + zero RSS sources: every duration_us / rss_delta_kb /
+    // *_us series collapses to 0 and the schedule-dependent series are
+    // dropped from the exposition below, so --ledger and --metrics-out
+    // files are byte-identical at every --threads value.
+    telemetry::setTimeSourceForTest(+[]() -> uint64_t { return 0; });
+    memory::setRssSourceForTest(+[]() -> uint64_t { return 0; },
+                                +[]() -> uint64_t { return 0; });
+  }
+  if (Opts.SpanDeadlineMs) {
+    telemetry::setSpanDeadlineNs(static_cast<uint64_t>(Opts.SpanDeadlineMs) *
+                                 1000000);
+    telemetry::setStallHook(stallToLedger);
+  }
+  telemetry::PromExportOptions PromOpts;
+  PromOpts.GitRev = telemetry::defaultMeta("namer-scan", 0).GitRev;
+  if (Opts.DeterministicObs)
+    PromOpts.ExcludePrefixes = {"pool.", "interner.shard_contention"};
+  std::unique_ptr<telemetry::MetricsSnapshotter> Snapshotter;
+  if (!Opts.MetricsOut.empty()) {
+    telemetry::MetricsSnapshotter::Options SnapOpts;
+    SnapOpts.Path = Opts.MetricsOut;
+    SnapOpts.IntervalMs = Opts.MetricsIntervalMs;
+    SnapOpts.Export = PromOpts;
+    Snapshotter = std::make_unique<telemetry::MetricsSnapshotter>(SnapOpts);
   }
 
   size_t Skipped = 0;
@@ -279,7 +358,31 @@ int main(int Argc, char **Argv) {
     PC.Limits.MaxNestingDepth = Opts.MaxNesting;
   if (Opts.MineShards)
     PC.Miner.MineShards = Opts.MineShards;
+
+  // The ledger outlives the pipeline (declared first; see setLedger). Its
+  // run id folds the git revision with pipelineConfigHash(PC), which
+  // excludes Threads/MineShards -- same id at every parallelism level.
+  ledger::RunLedger Ledger;
+  uint64_t RunStartNs = telemetry::nowNanos();
+  uint64_t RunStartPeakKb = memory::peakRssKb();
+  if (!Opts.LedgerFile.empty()) {
+    if (!Ledger.open(Opts.LedgerFile,
+                     ledger::RunLedger::makeRunId(PromOpts.GitRev,
+                                                  pipelineConfigHash(PC)))) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   Opts.LedgerFile.c_str());
+      return 1;
+    }
+    ledger::Record Start;
+    Start.Event = "run_start";
+    Start.Name = Opts.Directory;
+    Ledger.append(Start);
+    GStallLedger = &Ledger;
+  }
+
   NamerPipeline Namer(PC);
+  if (Ledger.isOpen())
+    Namer.setLedger(&Ledger);
   // Resolve the model source: explicit --model-in wins; otherwise an
   // existing --incremental-state store serves the warm path.
   std::string StatePath;
@@ -465,6 +568,29 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "failing: %zu file(s) quarantined (--strict)\n",
                  Namer.numQuarantined());
     Exit = 3;
+  }
+  if (Ledger.isOpen()) {
+    ledger::Record End;
+    End.Event = "run_end";
+    End.Name = Opts.Directory;
+    End.Outcome = Exit == 0 ? "ok" : "exit-" + std::to_string(Exit);
+    End.DurationUs = (telemetry::nowNanos() - RunStartNs) / 1000;
+    End.RssDeltaKb = static_cast<int64_t>(memory::peakRssKb()) -
+                     static_cast<int64_t>(RunStartPeakKb);
+    Ledger.append(End);
+    GStallLedger = nullptr;
+    uint64_t Records = Ledger.records();
+    Ledger.close();
+    std::fprintf(stderr, "wrote %s (run ledger, %llu records)\n",
+                 Opts.LedgerFile.c_str(),
+                 static_cast<unsigned long long>(Records));
+  }
+  if (Snapshotter) {
+    // Destruction joins the interval thread (when any) and writes the
+    // final exposition -- flush-on-exit is the contract.
+    Snapshotter.reset();
+    std::fprintf(stderr, "wrote %s (prometheus text exposition)\n",
+                 Opts.MetricsOut.c_str());
   }
   return Exit;
 }

@@ -1,0 +1,274 @@
+//===- tools/namer-statdiff.cpp - Stats/BENCH regression diff -------------==//
+///
+/// \file
+/// Compares two stats documents (namer-scan --stats or BENCH_*.json; the
+/// canonical {meta, counters, spans} layout, kStatsSchemaVersion) against
+/// relative thresholds and exits 5 when the current run regressed. The
+/// bench-smoke ctest gate runs it against the committed BENCH_baseline.json
+/// so perf/behavior drift fails the suite instead of shipping (DESIGN.md,
+/// "Observability": statdiff thresholds).
+///
+/// Three threshold classes:
+///  * counters  -- symmetric relative drift (a counter moving either way
+///    means behavior changed: fewer patterns mined is as suspicious as
+///    more bytes allocated);
+///  * quantiles -- flattened histogram keys (*.p50/.p90/.p99/.p999),
+///    increase-only (latency getting faster is not a regression);
+///  * spans     -- per-span total_us, increase-only, with an absolute
+///    noise floor (--min-span-us) below which timings are jitter.
+///
+/// Exit codes: 0 no regression, 1 I/O or parse failure, 2 usage error,
+/// 5 regression detected (one line per finding on stdout).
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/MiniJson.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namer::json::Value;
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitIo = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitRegression = 5;
+
+struct Options {
+  std::string BasePath;
+  std::string CurrentPath;
+  double CounterThreshold = 0.25;
+  double QuantileThreshold = 0.5;
+  double SpanThreshold = 0.5;
+  double MinSpanUs = 1000.0;
+  std::vector<std::string> IgnorePrefixes;
+};
+
+void usage(std::FILE *To) {
+  std::fprintf(
+      To,
+      "usage: namer-statdiff [options] <baseline.json> <current.json>\n"
+      "\n"
+      "Diffs two stats/BENCH JSON documents ({meta, counters, spans}) and\n"
+      "exits 5 when the current run regressed past a threshold.\n"
+      "\n"
+      "options:\n"
+      "  --counter-threshold=F   max symmetric relative counter drift\n"
+      "                          (default 0.25)\n"
+      "  --quantile-threshold=F  max relative increase of *.p50/.p90/.p99/\n"
+      "                          .p999 keys (default 0.5)\n"
+      "  --span-threshold=F      max relative increase of a span's total_us\n"
+      "                          (default 0.5)\n"
+      "  --min-span-us=F         ignore spans whose baseline total_us is\n"
+      "                          below this noise floor (default 1000)\n"
+      "  --ignore=PREFIX         skip counters/spans with this dotted-name\n"
+      "                          prefix (repeatable)\n"
+      "  -h, --help              this text\n"
+      "\n"
+      "exit codes: 0 ok, 1 io/parse error, 2 usage error, 5 regression\n");
+}
+
+bool parseDouble(std::string_view Text, double &Out) {
+  std::string Buf(Text);
+  char *End = nullptr;
+  Out = std::strtod(Buf.c_str(), &End);
+  return End && *End == '\0' && !Buf.empty() && std::isfinite(Out);
+}
+
+bool ignored(std::string_view Name, const Options &Opts) {
+  for (const std::string &Prefix : Opts.IgnorePrefixes)
+    if (Name.rfind(Prefix, 0) == 0)
+      return true;
+  return false;
+}
+
+bool isQuantileKey(std::string_view Name) {
+  for (const char *Suffix : {".p50", ".p90", ".p99", ".p999"}) {
+    std::string_view S(Suffix);
+    if (Name.size() > S.size() &&
+        Name.substr(Name.size() - S.size()) == S)
+      return true;
+  }
+  return false;
+}
+
+std::optional<Value> loadJson(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    std::fprintf(stderr, "namer-statdiff: cannot read %s\n", Path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Error;
+  std::optional<Value> Doc = namer::json::parse(Buf.str(), &Error);
+  if (!Doc)
+    std::fprintf(stderr, "namer-statdiff: %s: %s\n", Path.c_str(),
+                 Error.c_str());
+  return Doc;
+}
+
+/// One comparison: prints and returns true when the relative change from
+/// \p Base to \p Cur exceeds \p Threshold. \p IncreaseOnly ignores
+/// improvements.
+bool checkValue(const char *Kind, const std::string &Name, double Base,
+                double Cur, double Threshold, bool IncreaseOnly,
+                double FloorForRel) {
+  double Delta = Cur - Base;
+  if (IncreaseOnly && Delta <= 0)
+    return false;
+  double Rel = std::fabs(Delta) / std::max(std::fabs(Base), FloorForRel);
+  if (Rel <= Threshold)
+    return false;
+  std::printf("REGRESSION %s %s: %.6g -> %.6g (%+.1f%%, threshold %.0f%%)\n",
+              Kind, Name.c_str(), Base, Cur, 100.0 * Delta / std::max(std::fabs(Base), FloorForRel),
+              100.0 * Threshold);
+  return true;
+}
+
+int run(const Options &Opts) {
+  std::optional<Value> Base = loadJson(Opts.BasePath);
+  std::optional<Value> Cur = loadJson(Opts.CurrentPath);
+  if (!Base || !Cur)
+    return kExitIo;
+
+  const Value *BaseCounters = Base->find("counters");
+  const Value *CurCounters = Cur->find("counters");
+  const Value *BaseSpans = Base->find("spans");
+  const Value *CurSpans = Cur->find("spans");
+  if (!BaseCounters || !BaseCounters->isObject() || !BaseSpans ||
+      !BaseSpans->isObject()) {
+    std::fprintf(stderr,
+                 "namer-statdiff: %s is not a stats document (no "
+                 "counters/spans objects)\n",
+                 Opts.BasePath.c_str());
+    return kExitIo;
+  }
+  if (!CurCounters || !CurCounters->isObject() || !CurSpans ||
+      !CurSpans->isObject()) {
+    std::fprintf(stderr,
+                 "namer-statdiff: %s is not a stats document (no "
+                 "counters/spans objects)\n",
+                 Opts.CurrentPath.c_str());
+    return kExitIo;
+  }
+
+  size_t Regressions = 0;
+  size_t Compared = 0;
+
+  // Counters (and the flattened histogram quantile keys living among
+  // them). Only the intersection is compared: a counter the other run
+  // never registered is a version difference, not a regression.
+  for (const auto &[Name, BaseV] : BaseCounters->Obj) {
+    if (!BaseV.isNumber() || ignored(Name, Opts))
+      continue;
+    const Value *CurV = CurCounters->find(Name);
+    if (!CurV || !CurV->isNumber())
+      continue;
+    ++Compared;
+    if (isQuantileKey(Name))
+      Regressions += checkValue("quantile", Name, BaseV.Num, CurV->Num,
+                                Opts.QuantileThreshold,
+                                /*IncreaseOnly=*/true, /*FloorForRel=*/1.0);
+    else
+      Regressions += checkValue("counter", Name, BaseV.Num, CurV->Num,
+                                Opts.CounterThreshold,
+                                /*IncreaseOnly=*/false, /*FloorForRel=*/1.0);
+  }
+
+  // Span totals: {"count": N, "max_us": F, "min_us": F, "total_us": F}.
+  for (const auto &[Name, BaseSpan] : BaseSpans->Obj) {
+    if (!BaseSpan.isObject() || ignored(Name, Opts))
+      continue;
+    const Value *CurSpan = CurSpans->find(Name);
+    if (!CurSpan || !CurSpan->isObject())
+      continue;
+    const Value *BaseTotal = BaseSpan.find("total_us");
+    const Value *CurTotal = CurSpan->find("total_us");
+    if (!BaseTotal || !BaseTotal->isNumber() || !CurTotal ||
+        !CurTotal->isNumber())
+      continue;
+    if (BaseTotal->Num < Opts.MinSpanUs)
+      continue; // below the noise floor
+    ++Compared;
+    Regressions += checkValue("span", Name, BaseTotal->Num, CurTotal->Num,
+                              Opts.SpanThreshold, /*IncreaseOnly=*/true,
+                              /*FloorForRel=*/Opts.MinSpanUs);
+  }
+
+  if (Regressions) {
+    std::printf("namer-statdiff: %zu regression(s) across %zu compared "
+                "series\n",
+                Regressions, Compared);
+    return kExitRegression;
+  }
+  std::printf("namer-statdiff: ok (%zu series compared, 0 regressions)\n",
+              Compared);
+  return kExitOk;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  std::vector<std::string> Positional;
+  for (int I = 1; I != Argc; ++I) {
+    std::string_view Arg = Argv[I];
+    auto ValueOf = [&](std::string_view Flag) -> std::optional<std::string_view> {
+      if (Arg.rfind(Flag, 0) == 0 && Arg.size() > Flag.size() &&
+          Arg[Flag.size()] == '=')
+        return Arg.substr(Flag.size() + 1);
+      return std::nullopt;
+    };
+    if (Arg == "-h" || Arg == "--help") {
+      usage(stdout);
+      return kExitOk;
+    } else if (auto V = ValueOf("--counter-threshold")) {
+      if (!parseDouble(*V, Opts.CounterThreshold) ||
+          Opts.CounterThreshold < 0) {
+        std::fprintf(stderr, "namer-statdiff: bad --counter-threshold\n");
+        return kExitUsage;
+      }
+    } else if (auto V = ValueOf("--quantile-threshold")) {
+      if (!parseDouble(*V, Opts.QuantileThreshold) ||
+          Opts.QuantileThreshold < 0) {
+        std::fprintf(stderr, "namer-statdiff: bad --quantile-threshold\n");
+        return kExitUsage;
+      }
+    } else if (auto V = ValueOf("--span-threshold")) {
+      if (!parseDouble(*V, Opts.SpanThreshold) || Opts.SpanThreshold < 0) {
+        std::fprintf(stderr, "namer-statdiff: bad --span-threshold\n");
+        return kExitUsage;
+      }
+    } else if (auto V = ValueOf("--min-span-us")) {
+      if (!parseDouble(*V, Opts.MinSpanUs) || Opts.MinSpanUs < 0) {
+        std::fprintf(stderr, "namer-statdiff: bad --min-span-us\n");
+        return kExitUsage;
+      }
+    } else if (auto V = ValueOf("--ignore")) {
+      Opts.IgnorePrefixes.emplace_back(*V);
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "namer-statdiff: unknown option '%s'\n",
+                   std::string(Arg).c_str());
+      usage(stderr);
+      return kExitUsage;
+    } else {
+      Positional.emplace_back(Arg);
+    }
+  }
+  if (Positional.size() != 2) {
+    usage(stderr);
+    return kExitUsage;
+  }
+  Opts.BasePath = Positional[0];
+  Opts.CurrentPath = Positional[1];
+  return run(Opts);
+}
