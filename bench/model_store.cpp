@@ -25,6 +25,7 @@
 #include "namer/ModelStore.h"
 #include "namer/Pipeline.h"
 #include "support/MemoryTracker.h"
+#include "support/Profiler.h"
 #include "support/Telemetry.h"
 
 #include <algorithm>
@@ -76,6 +77,8 @@ int main(int Argc, char **Argv) {
   corpus::Language Lang = corpus::Language::Python;
   size_t Runs = 3;
   unsigned Threads = 0;
+  std::string ProfileOut;
+  unsigned ProfileHz = 97;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg.rfind("--out=", 0) == 0) {
@@ -90,13 +93,28 @@ int main(int Argc, char **Argv) {
     } else if (Arg.rfind("--threads=", 0) == 0) {
       Threads = static_cast<unsigned>(
           std::strtoul(Arg.c_str() + std::strlen("--threads="), nullptr, 10));
+    } else if (Arg.rfind("--profile-out=", 0) == 0) {
+      ProfileOut = Arg.substr(std::strlen("--profile-out="));
+    } else if (Arg.rfind("--profile-hz=", 0) == 0) {
+      ProfileHz = static_cast<unsigned>(std::strtoul(
+          Arg.c_str() + std::strlen("--profile-hz="), nullptr, 10));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--out=PATH] [--runs=N] [--lang=python|java] "
-                   "[--threads=N]\n",
+                   "[--threads=N] [--profile-out=FILE] [--profile-hz=N]\n",
                    Argv[0]);
       return 2;
     }
+  }
+
+  // Declared before any pipeline below: pools join before the profiler
+  // uninstalls its span hook.
+  std::unique_ptr<prof::Profiler> Prof;
+  if (!ProfileOut.empty()) {
+    prof::ProfilerOptions PO;
+    PO.SampleOnSpanClose = true;
+    PO.SampleHz = ProfileHz;
+    Prof = std::make_unique<prof::Profiler>(PO);
   }
 
   printHeading("Model store / warm scan",
@@ -272,6 +290,14 @@ int main(int Argc, char **Argv) {
   Json << telemetry::statsJson(Meta);
   Json.close();
   std::printf("wrote %s\n", OutPath.c_str());
+  if (Prof) {
+    if (!Prof->writeFolded(ProfileOut)) {
+      std::fprintf(stderr, "cannot open %s for writing\n", ProfileOut.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (folded stacks, %llu samples)\n", ProfileOut.c_str(),
+                static_cast<unsigned long long>(Prof->samples()));
+  }
 
   std::error_code Ec;
   std::filesystem::remove(ModelPath, Ec);

@@ -37,6 +37,7 @@
 #include "namer/Pipeline.h"
 #include "support/Arena.h"
 #include "support/MemoryTracker.h"
+#include "support/Profiler.h"
 #include "support/Telemetry.h"
 
 #include <algorithm>
@@ -184,6 +185,8 @@ int main(int Argc, char **Argv) {
   std::string OutPath = std::string(NAMER_SOURCE_DIR) + "/BENCH_pipeline.json";
   std::string CorpusDir;
   std::string ModelIn, ModelOut;
+  std::string ProfileOut;
+  unsigned ProfileHz = 97;
   corpus::Language Lang = corpus::Language::Python;
   size_t Runs = 1;
   for (int I = 1; I < Argc; ++I) {
@@ -199,6 +202,11 @@ int main(int Argc, char **Argv) {
       ModelIn = Arg.substr(std::strlen("--model-in="));
     } else if (Arg.rfind("--model-out=", 0) == 0) {
       ModelOut = Arg.substr(std::strlen("--model-out="));
+    } else if (Arg.rfind("--profile-out=", 0) == 0) {
+      ProfileOut = Arg.substr(std::strlen("--profile-out="));
+    } else if (Arg.rfind("--profile-hz=", 0) == 0) {
+      ProfileHz = static_cast<unsigned>(std::strtoul(
+          Arg.c_str() + std::strlen("--profile-hz="), nullptr, 10));
     } else if (Arg == "--lang=python") {
       Lang = corpus::Language::Python;
     } else if (Arg == "--lang=java") {
@@ -207,7 +215,8 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr,
                    "usage: %s [--out=PATH] [--runs=N] [--corpus-dir=DIR] "
                    "[--lang=python|java] [--model-out=FILE] "
-                   "[--model-in=FILE]\n",
+                   "[--model-in=FILE] [--profile-out=FILE] "
+                   "[--profile-hz=N]\n",
                    Argv[0]);
       return 2;
     }
@@ -219,6 +228,16 @@ int main(int Argc, char **Argv) {
                "(hardware_concurrency = " +
                    std::to_string(Hardware) +
                    ", min of " + std::to_string(Runs) + " run(s))");
+
+  // Declared before any pipeline below: pools join before the profiler
+  // uninstalls its span hook.
+  std::unique_ptr<prof::Profiler> Prof;
+  if (!ProfileOut.empty()) {
+    prof::ProfilerOptions PO;
+    PO.SampleOnSpanClose = true;
+    PO.SampleHz = ProfileHz;
+    Prof = std::make_unique<prof::Profiler>(PO);
+  }
 
   // The arena must outlive the corpus: --corpus-dir files reference its
   // mmapped buffers.
@@ -353,5 +372,13 @@ int main(int Argc, char **Argv) {
   Json << telemetry::statsJson(Meta);
   Json.close();
   std::printf("wrote %s\n", OutPath.c_str());
+  if (Prof) {
+    if (!Prof->writeFolded(ProfileOut)) {
+      std::fprintf(stderr, "cannot open %s for writing\n", ProfileOut.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (folded stacks, %llu samples)\n", ProfileOut.c_str(),
+                static_cast<unsigned long long>(Prof->samples()));
+  }
   return 0;
 }

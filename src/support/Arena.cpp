@@ -7,6 +7,7 @@
 
 #include "support/Arena.h"
 
+#include "support/Profiler.h"
 #include "support/Telemetry.h"
 
 #include <cstring>
@@ -45,6 +46,9 @@ Arena::Slab &Arena::addSlab(size_t MinBytes) {
   Reserved += Next;
   telemetry::count("arena.slabs");
   telemetry::count("arena.bytes", Next);
+  // Credit the slab to whichever span triggered the growth
+  // (`alloc.bytes.<span>`), so profiles show which stage allocates.
+  prof::noteAllocBytes(Next);
   return Slabs.back();
 }
 

@@ -1,0 +1,117 @@
+//===- support/Profiler.h - In-process sampling profiler --------*- C++ -*-==//
+//
+// Part of the Namer reproduction of "Learning to Find Naming Issues with Big
+// Code and Small Supervision" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An always-on, compile-out-able sampling profiler over the telemetry
+/// layer's live TraceSpan stacks. No unwinder: TraceSpan push/pop already
+/// maintains each thread's span nesting, and ThreadPool::parallelFor grafts
+/// the submitting thread's stack under worker-side spans (DESIGN.md,
+/// "Profiling"), so a sample is just a lock-free read of span-name
+/// pointers.
+///
+/// Two sample sources, combinable:
+///
+///  * Timer sampling (`SampleHz > 0`): a background thread walks every
+///    registered thread's live stack SampleHz times per second. This is
+///    the wall-clock-proportional mode for real profiles.
+///  * Close sampling (`SampleOnSpanClose`): every span close contributes
+///    one weight-1 sample of its full logical stack. Counts are structural
+///    (one per span, whatever the schedule), so the folded output is
+///    byte-identical at every worker count -- the deterministic mode
+///    `namer-scan --deterministic-obs --profile-out` uses.
+///
+/// Samples aggregate into Brendan Gregg collapsed ("folded") stacks --
+/// `pipeline.build;pipeline.ingest;ingest.file 123` -- consumable by
+/// flamegraph.pl and speedscope, and by the `namer-profile` report tool
+/// (top-N self time, inverted callers, before/after diff).
+///
+/// Every sample also bumps the `profiler.samples` counter. Overhead: a
+/// timer pass reads a few atomics per thread (well under the documented
+/// <=5% budget at the default rate); with NAMER_TELEMETRY compiled out the
+/// whole profiler degrades to no-ops and writeFolded() emits an empty
+/// file.
+///
+/// At most one Profiler should be alive at a time: the close-sampling hook
+/// is a process-wide singleton (telemetry::setSpanSampleHook).
+///
+/// The attribution helpers live here too:
+///
+///  * noteLockWait(Name, WaitNs) adds blocked-on-a-lock time to the
+///    counter `lock.wait_us.<Name>` (StringInterner shard mutexes pass the
+///    active span, ThreadPool condvar waits pass the parallelFor site).
+///  * noteAllocBytes(Bytes) credits allocation growth (Arena slabs,
+///    interner segments) to `alloc.bytes.<active span>`.
+///
+/// Both cache `Counter &` per name pointer (names have static storage, the
+/// TraceSpan contract), so the steady state is one relaxed add.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_SUPPORT_PROFILER_H
+#define NAMER_SUPPORT_PROFILER_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace namer {
+namespace prof {
+
+/// Configuration of one Profiler instance.
+struct ProfilerOptions {
+  /// Timer samples per second; 0 disables the background sampler thread
+  /// (samples then come from close sampling and/or manual tickForTest()).
+  unsigned SampleHz = 97;
+  /// Deterministic mode: sample every span close (weight 1) instead of
+  /// relying on wall-clock timing.
+  bool SampleOnSpanClose = false;
+};
+
+/// Aggregates stack samples into folded (collapsed) stacks. Thread-safe;
+/// see the file comment for the sampling model.
+class Profiler {
+public:
+  explicit Profiler(const ProfilerOptions &O);
+  ~Profiler(); ///< stops the sampler thread, uninstalls the close hook
+  Profiler(const Profiler &) = delete;
+  Profiler &operator=(const Profiler &) = delete;
+
+  /// One manual sampling pass over every thread's live stack (the
+  /// test-injectable "sampler clock": tests drive ticks explicitly instead
+  /// of depending on a timer). Returns how many stacks were sampled.
+  size_t tickForTest();
+
+  /// Total samples recorded so far (timer + close + manual).
+  uint64_t samples() const;
+
+  /// The collapsed-stack document: one `frame;frame;... count` line per
+  /// distinct stack, sorted by stack, newline-terminated. Byte-stable for
+  /// a given multiset of samples.
+  std::string foldedStacks() const;
+
+  /// Writes foldedStacks() to \p Path; false when the file cannot be
+  /// written.
+  bool writeFolded(const std::string &Path) const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+/// Adds \p WaitNs of lock-wait time to `lock.wait_us.<Name>` (microsecond
+/// granularity; sub-microsecond waits round down). \p Name must have
+/// static storage duration; nullptr attributes to "unattributed".
+void noteLockWait(const char *Name, uint64_t WaitNs);
+
+/// Credits \p Bytes of allocation growth to `alloc.bytes.<S>` where S is
+/// the calling thread's innermost open span ("unattributed" when none).
+void noteAllocBytes(uint64_t Bytes);
+
+} // namespace prof
+} // namespace namer
+
+#endif // NAMER_SUPPORT_PROFILER_H

@@ -3,6 +3,7 @@
 #include "support/StringInterner.h"
 
 #include "support/Hashing.h"
+#include "support/Profiler.h"
 #include "support/Telemetry.h"
 
 #include <bit>
@@ -45,6 +46,8 @@ void StringInterner::publish(Symbol S, const std::string *Str) {
     if (!Seg) {
       // Value-initialized: every slot starts null.
       Seg = new std::atomic<const std::string *>[segmentSize(K)]();
+      prof::noteAllocBytes(segmentSize(K) *
+                           sizeof(std::atomic<const std::string *>));
       Segments[K].store(Seg, std::memory_order_release);
     }
   }
@@ -60,7 +63,13 @@ Symbol StringInterner::intern(std::string_view Text) {
   std::unique_lock<std::mutex> L(Sh.M, std::try_to_lock);
   if (!L.owns_lock()) {
     telemetry::count("interner.shard_contention");
+    // Contended path only: time the blocking acquisition and attribute it
+    // to the active span (`lock.wait_us.<span>`), so the profiler shows
+    // which stage actually pays for shard contention.
+    uint64_t WaitStart = telemetry::nowNanos();
     L.lock();
+    prof::noteLockWait(telemetry::currentSpanName(),
+                       telemetry::nowNanos() - WaitStart);
   }
 #else
   std::lock_guard<std::mutex> L(Sh.M);

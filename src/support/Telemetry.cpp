@@ -227,12 +227,28 @@ struct SpanEvent {
   uint16_t Depth;
   uint64_t StartNs;
   uint64_t DurNs;
+  uint64_t SelfNs;
 };
+
+/// An interned logical span stack (outermost first) adopted by pool tasks
+/// through InheritedStackScope. Records are deduplicated in a global
+/// registry and deliberately leaked: a sampler thread may dereference one
+/// at any time, so nothing may ever free it.
+struct StackPrefixRec {
+  std::vector<const char *> Frames;
+};
+
+/// Hard cap on frames per assembled sample (prefix + own spans). Deeper
+/// stacks truncate at the root end of the own segment, never crash.
+constexpr size_t kMaxSampleFrames = 64;
 
 /// Per-thread event sink. Owned by the global registry (never destroyed
 /// before process exit), so worker threads may outlive any exporter call.
 /// The Live* arrays publish the thread's open-span stack (lock-free,
-/// bounded depth) for SpanWatchdog to scan.
+/// bounded depth) for SpanWatchdog and the profiler to scan; the Inherit*
+/// fields publish the adopted stack prefix under a seqlock (InheritSeq is
+/// odd while a scope is mid-update) so cross-thread readers never pair a
+/// new prefix with a stale base depth.
 struct ThreadBuffer {
   static constexpr size_t kMaxLiveDepth = 32;
   uint32_t Tid = 0;
@@ -241,6 +257,9 @@ struct ThreadBuffer {
   std::atomic<const char *> LiveName[kMaxLiveDepth] = {};
   std::atomic<uint64_t> LiveStart[kMaxLiveDepth] = {};
   std::atomic<uint32_t> LiveDepth{0};
+  std::atomic<uint32_t> InheritSeq{0};
+  std::atomic<const StackPrefixRec *> InheritPrefix{nullptr};
+  std::atomic<uint32_t> InheritBase{0};
 };
 
 struct ThreadRegistry {
@@ -257,6 +276,21 @@ ThreadRegistry &threadRegistry() {
 
 thread_local uint32_t TlsDepth = 0;
 
+/// Self-time accounting: TlsChildNs[d] accumulates the durations of
+/// completed spans at depth d. A span opening at depth D zeroes slot D+1;
+/// at close its self time is its duration minus whatever its direct
+/// children left in that slot. Purely thread-local, no synchronization.
+thread_local uint64_t TlsChildNs[ThreadBuffer::kMaxLiveDepth + 1] = {};
+
+/// Installed span-close sample sink. Swapped atomically as one allocation
+/// so a closing span never pairs a new hook with a stale context; retired
+/// sinks are leaked (tiny, and another thread may still be mid-call).
+struct SampleSink {
+  SpanSampleHook Fn;
+  void *Ctx;
+};
+std::atomic<SampleSink *> GSampleSink{nullptr};
+
 ThreadBuffer &threadBuffer() {
   thread_local ThreadBuffer *B = nullptr;
   if (!B) {
@@ -268,6 +302,59 @@ ThreadBuffer &threadBuffer() {
     GAllocations.fetch_add(1, std::memory_order_relaxed);
   }
   return *B;
+}
+
+/// Dedup registry of stack prefixes. Leaked records, stable addresses.
+const StackPrefixRec *internStackPrefix(const char *const *Frames,
+                                        size_t NumFrames) {
+  static std::mutex *M = new std::mutex;
+  static std::map<std::vector<const char *>, const StackPrefixRec *> *Cache =
+      new std::map<std::vector<const char *>, const StackPrefixRec *>;
+  std::vector<const char *> Key(Frames, Frames + NumFrames);
+  std::lock_guard<std::mutex> L(*M);
+  auto It = Cache->find(Key);
+  if (It != Cache->end())
+    return It->second;
+  auto *Rec = new StackPrefixRec{Key};
+  GAllocations.fetch_add(1, std::memory_order_relaxed);
+  Cache->emplace(std::move(Key), Rec);
+  return Rec;
+}
+
+/// Appends \p B's logical stack (adopted prefix + own open spans in
+/// [Base, Depth)) to \p Frames. \p OwnThread skips the seqlock (a thread
+/// reading its own buffer cannot race with itself); cross-thread readers
+/// retry while a scope hand-off is in flight. Own-thread reads use the
+/// caller-supplied \p OwnDepth (TlsDepth) rather than LiveDepth so frames
+/// beyond the live table are simply absent instead of stale.
+size_t assembleStack(ThreadBuffer &B, bool OwnThread, uint32_t OwnDepth,
+                     const char **Frames) {
+  for (int Attempt = 0;; ++Attempt) {
+    uint32_t Seq = B.InheritSeq.load(std::memory_order_acquire);
+    if (Seq & 1) {
+      if (OwnThread || Attempt > 64)
+        return 0; // writer never observes its own odd seq; bail cross-thread
+      continue;
+    }
+    const StackPrefixRec *Prefix =
+        B.InheritPrefix.load(std::memory_order_relaxed);
+    uint32_t Base = Prefix ? B.InheritBase.load(std::memory_order_relaxed) : 0;
+    size_t N = 0;
+    if (Prefix)
+      for (const char *F : Prefix->Frames)
+        if (N < kMaxSampleFrames)
+          Frames[N++] = F;
+    uint32_t Depth = OwnThread ? OwnDepth
+                               : B.LiveDepth.load(std::memory_order_acquire);
+    Depth = std::min<uint32_t>(Depth, ThreadBuffer::kMaxLiveDepth);
+    for (uint32_t K = Base; K < Depth; ++K) {
+      const char *Name = B.LiveName[K].load(std::memory_order_relaxed);
+      if (Name && N < kMaxSampleFrames)
+        Frames[N++] = Name;
+    }
+    if (OwnThread || B.InheritSeq.load(std::memory_order_acquire) == Seq)
+      return N;
+  }
 }
 
 struct EventSnapshot {
@@ -290,6 +377,7 @@ std::vector<EventSnapshot> snapshotEvents() {
 struct SpanAggregate {
   uint64_t Count = 0;
   uint64_t TotalNs = 0;
+  uint64_t SelfNs = 0;
   uint64_t MinNs = UINT64_MAX;
   uint64_t MaxNs = 0;
 };
@@ -301,6 +389,7 @@ aggregateSpans(const std::vector<EventSnapshot> &Events) {
     SpanAggregate &A = Out[E.Event.Name];
     ++A.Count;
     A.TotalNs += E.Event.DurNs;
+    A.SelfNs += E.Event.SelfNs;
     A.MinNs = std::min(A.MinNs, E.Event.DurNs);
     A.MaxNs = std::max(A.MaxNs, E.Event.DurNs);
   }
@@ -558,6 +647,9 @@ TraceSpan::TraceSpan(const char *SpanName) : Name(nullptr) {
     B.LiveStart[Depth].store(StartNs, std::memory_order_relaxed);
     B.LiveDepth.store(Depth + 1, std::memory_order_release);
   }
+  // Fresh child accumulator for this span's direct children.
+  if (Depth + 1 <= ThreadBuffer::kMaxLiveDepth)
+    TlsChildNs[Depth + 1] = 0;
 }
 
 TraceSpan::~TraceSpan() {
@@ -571,19 +663,112 @@ TraceSpan::~TraceSpan() {
   if (Depth < ThreadBuffer::kMaxLiveDepth)
     B.LiveDepth.store(Depth, std::memory_order_release);
   uint64_t Dur = End - StartNs;
+  // Exact self time: duration minus what direct children accumulated in
+  // this span's child slot; spans past the bounded table report self ==
+  // total (their children were untracked).
+  uint64_t SelfNs = Dur;
+  if (Depth + 1 <= ThreadBuffer::kMaxLiveDepth) {
+    uint64_t ChildNs = TlsChildNs[Depth + 1];
+    SelfNs = Dur >= ChildNs ? Dur - ChildNs : 0;
+  }
+  if (Depth <= ThreadBuffer::kMaxLiveDepth)
+    TlsChildNs[Depth] += Dur;
   uint64_t Deadline = GSpanDeadlineNs.load(std::memory_order_relaxed);
   if (Deadline != 0 && Dur > Deadline) {
     telemetry::count("watchdog.stalls");
     if (StallHook Hook = GStallHook.load(std::memory_order_relaxed))
       Hook(Name, Dur);
   }
+  // Close-driven sampling: the profiler's deterministic mode receives the
+  // full logical stack (inherited prefix + ancestors + this span). The
+  // live table still holds this span's name at [Depth]; ancestors at
+  // [Base, Depth) are still open, so their slots are valid too.
+  if (const SampleSink *Sink = GSampleSink.load(std::memory_order_acquire)) {
+    const char *Frames[kMaxSampleFrames + 1];
+    size_t N = assembleStack(B, /*OwnThread=*/true, Depth, Frames);
+    Frames[N++] = Name;
+    Sink->Fn(Frames, N, Dur, SelfNs, Sink->Ctx);
+  }
   std::lock_guard<std::mutex> L(B.M);
   if (B.Events.size() == B.Events.capacity())
     GAllocations.fetch_add(1, std::memory_order_relaxed);
-  B.Events.push_back({Name, Depth, StartNs, Dur});
+  B.Events.push_back({Name, Depth, StartNs, Dur, SelfNs});
 }
 
 uint32_t telemetry::currentThreadId() { return threadBuffer().Tid; }
+
+const char *telemetry::currentSpanName() {
+  if (!enabled() || TlsDepth == 0)
+    return nullptr;
+  uint32_t Depth = TlsDepth;
+  if (Depth > ThreadBuffer::kMaxLiveDepth)
+    return nullptr; // innermost span overflowed the live table
+  return threadBuffer().LiveName[Depth - 1].load(std::memory_order_relaxed);
+}
+
+const void *telemetry::captureStackPrefix() {
+  if (!enabled())
+    return nullptr;
+  ThreadBuffer &B = threadBuffer();
+  const char *Frames[kMaxSampleFrames];
+  size_t N = assembleStack(B, /*OwnThread=*/true, TlsDepth, Frames);
+  if (N == 0)
+    return nullptr;
+  return internStackPrefix(Frames, N);
+}
+
+InheritedStackScope::InheritedStackScope(const void *Prefix) {
+  if (!Prefix || !enabled())
+    return;
+  ThreadBuffer &B = threadBuffer();
+  Buf = &B;
+  SavedPrefix = B.InheritPrefix.load(std::memory_order_relaxed);
+  SavedBase = B.InheritBase.load(std::memory_order_relaxed);
+  uint32_t Seq = B.InheritSeq.load(std::memory_order_relaxed);
+  B.InheritSeq.store(Seq + 1, std::memory_order_release); // odd: in flight
+  B.InheritPrefix.store(static_cast<const StackPrefixRec *>(Prefix),
+                        std::memory_order_relaxed);
+  B.InheritBase.store(std::min<uint32_t>(TlsDepth,
+                                         ThreadBuffer::kMaxLiveDepth),
+                      std::memory_order_relaxed);
+  B.InheritSeq.store(Seq + 2, std::memory_order_release);
+}
+
+InheritedStackScope::~InheritedStackScope() {
+  if (!Buf)
+    return;
+  ThreadBuffer &B = *static_cast<ThreadBuffer *>(Buf);
+  uint32_t Seq = B.InheritSeq.load(std::memory_order_relaxed);
+  B.InheritSeq.store(Seq + 1, std::memory_order_release);
+  B.InheritPrefix.store(static_cast<const StackPrefixRec *>(SavedPrefix),
+                        std::memory_order_relaxed);
+  B.InheritBase.store(SavedBase, std::memory_order_relaxed);
+  B.InheritSeq.store(Seq + 2, std::memory_order_release);
+}
+
+void telemetry::setSpanSampleHook(SpanSampleHook Hook, void *Ctx) {
+  SampleSink *Next = Hook ? new SampleSink{Hook, Ctx} : nullptr;
+  // The displaced sink is leaked on purpose: a span closing on another
+  // thread may have loaded it a moment ago and still be inside the call.
+  GSampleSink.exchange(Next, std::memory_order_acq_rel);
+}
+
+size_t telemetry::sampleLiveStacks(SpanSampleHook Sink, void *Ctx) {
+  if (!Sink || !enabled())
+    return 0;
+  size_t Delivered = 0;
+  ThreadRegistry &R = threadRegistry();
+  std::lock_guard<std::mutex> L(R.M);
+  for (ThreadBuffer &B : R.Buffers) {
+    const char *Frames[kMaxSampleFrames];
+    size_t N = assembleStack(B, /*OwnThread=*/false, 0, Frames);
+    if (N == 0)
+      continue;
+    Sink(Frames, N, 0, 0, Ctx);
+    ++Delivered;
+  }
+  return Delivered;
+}
 
 void telemetry::reset() {
   ThreadRegistry &R = threadRegistry();
@@ -770,6 +955,7 @@ std::string telemetry::statsJson(const RunMeta &Meta) {
            "\": {\"count\": " + std::to_string(A.Count) +
            ", \"max_us\": " + formatMicros(A.MaxNs) +
            ", \"min_us\": " + formatMicros(A.MinNs) +
+           ", \"self_us\": " + formatMicros(A.SelfNs) +
            ", \"total_us\": " + formatMicros(A.TotalNs) + "}";
   }
   Out += Spans.empty() ? "}" : "\n  }";
@@ -874,9 +1060,11 @@ std::string telemetry::summaryTable() {
   });
 
   TextTable Table;
-  Table.setHeader({"span", "count", "total ms", "mean ms", "share"});
+  Table.setHeader({"span", "count", "total ms", "self ms", "mean ms",
+                   "share"});
   for (const auto &[Name, A] : Rows) {
     double TotalMs = static_cast<double>(A.TotalNs) / 1e6;
+    double SelfMs = static_cast<double>(A.SelfNs) / 1e6;
     double MeanMs = TotalMs / static_cast<double>(A.Count);
     double Share = GrandTotalNs
                        ? static_cast<double>(A.TotalNs) /
@@ -884,6 +1072,7 @@ std::string telemetry::summaryTable() {
                        : 0.0;
     Table.addRow({Name, std::to_string(A.Count),
                   TextTable::formatDouble(TotalMs, 2),
+                  TextTable::formatDouble(SelfMs, 2),
                   TextTable::formatDouble(MeanMs, 3),
                   TextTable::formatPercent(Share, 1)});
   }

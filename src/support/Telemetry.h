@@ -40,6 +40,17 @@
 ///   Degradation only: a stall bumps a counter and fires the stall hook,
 ///   it never aborts anything.
 ///
+/// * Profiler hooks -- the live-span stacks double as the sampling
+///   profiler's call-stack source (support/Profiler.h): sampleLiveStacks()
+///   reads every thread's open-span stack lock-free, setSpanSampleHook()
+///   streams one sample per span close, and captureStackPrefix() /
+///   InheritedStackScope let the thread pool graft the submitting thread's
+///   span stack under worker-side spans, so folded stacks are structural
+///   (identical at every worker count) rather than schedule-dependent.
+///   Span closes also derive exact self time (duration minus the summed
+///   durations of direct children), exported as `self_us` next to
+///   `total_us`.
+///
 /// * MetricsSnapshotter -- writes prometheusText() to a file atomically
 ///   (tmp + rename), either on demand or on a background interval, with a
 ///   final flush on destruction. Gives long runs live exposition without a
@@ -305,6 +316,61 @@ private:
 /// Dense id of the calling thread (0 for the first thread that records).
 uint32_t currentThreadId();
 
+/// Name of the innermost span currently open on the calling thread, or
+/// nullptr when none (or when the open spans overflow the bounded live
+/// table). The pointer has static storage duration (TraceSpan contract),
+/// so attribution helpers may key caches on it.
+const char *currentSpanName();
+
+/// Interns the calling thread's current *logical* span stack -- any
+/// inherited prefix (see InheritedStackScope) followed by the thread's own
+/// open spans -- and returns a stable opaque handle, or nullptr when the
+/// stack is empty or recording is disabled. Handles are deduplicated and
+/// deliberately leaked, so a sampler dereferencing one from another thread
+/// never races with its destruction.
+const void *captureStackPrefix();
+
+/// RAII adoption of a captured stack prefix: while alive, the current
+/// thread's logical span stack is the prefix plus every span the thread
+/// opens above its depth at scope entry. ThreadPool::parallelFor wraps each
+/// chunk task in one, so a worker executing `pipeline.ingest` chunks
+/// reports `pipeline.build;pipeline.ingest;ingest.file` exactly like the
+/// inline single-threaded run. Publication is seqlock-guarded so a
+/// concurrent sampler never observes a torn (prefix, base-depth) pair.
+/// A null prefix makes the scope a no-op. Scopes nest (restore-on-exit).
+class InheritedStackScope {
+public:
+  explicit InheritedStackScope(const void *Prefix);
+  ~InheritedStackScope();
+  InheritedStackScope(const InheritedStackScope &) = delete;
+  InheritedStackScope &operator=(const InheritedStackScope &) = delete;
+
+private:
+  void *Buf = nullptr; ///< owning ThreadBuffer; null when inactive
+  const void *SavedPrefix = nullptr;
+  uint32_t SavedBase = 0;
+};
+
+/// Sink receiving one stack sample: \p Frames[0..NumFrames) are span names
+/// outermost first (static storage). For span-close samples \p DurNs /
+/// \p SelfNs carry the closing span's cumulative and self time; live-stack
+/// samples pass zeros. Must be cheap and thread-safe: span-close hooks run
+/// inside ~TraceSpan on whatever thread closed the span.
+using SpanSampleHook = void (*)(const char *const *Frames, size_t NumFrames,
+                                uint64_t DurNs, uint64_t SelfNs, void *Ctx);
+
+/// Installs (or with nullptr clears) the hook called with the full logical
+/// stack at every span close. One hook process-wide; the profiler's
+/// deterministic close-sampling mode owns it.
+void setSpanSampleHook(SpanSampleHook Hook, void *Ctx);
+
+/// One sampling pass over every registered thread's live logical stack:
+/// calls \p Sink once per thread whose stack is non-empty (prefix frames
+/// included) and returns how many stacks it delivered. Lock-free with
+/// respect to the sampled threads -- they keep pushing/popping spans while
+/// the pass runs; a torn prefix handoff is retried via its seqlock.
+size_t sampleLiveStacks(SpanSampleHook Sink, void *Ctx);
+
 /// Sum of the durations (microseconds) of every completed span named
 /// \p Name recorded so far. Benches diff this around a run to price one
 /// stage without parsing statsJson().
@@ -363,7 +429,8 @@ std::string chromeTraceJson();
 /// The canonical flat stats JSON: {"meta": {...}, "counters": {...},
 /// "spans": {...}} plus Meta.Extra appended at top level. Counters embed
 /// gauges and flattened histograms; spans aggregate events by name into
-/// {count, total_us, min_us, max_us}. Keys are sorted.
+/// {count, max_us, min_us, self_us, total_us} -- self_us is the exact
+/// self time (total minus direct children). Keys are sorted.
 std::string statsJson(const RunMeta &Meta);
 
 /// Renders the span aggregates as a human-readable per-stage table
@@ -424,6 +491,19 @@ public:
 };
 
 inline uint32_t currentThreadId() { return 0; }
+inline const char *currentSpanName() { return nullptr; }
+inline const void *captureStackPrefix() { return nullptr; }
+
+class InheritedStackScope {
+public:
+  explicit InheritedStackScope(const void *) {}
+};
+
+using SpanSampleHook = void (*)(const char *const *, size_t, uint64_t,
+                                uint64_t, void *);
+inline void setSpanSampleHook(SpanSampleHook, void *) {}
+inline size_t sampleLiveStacks(SpanSampleHook, void *) { return 0; }
+
 inline double spanTotalUs(std::string_view) { return 0.0; }
 inline void reset() {}
 inline uint64_t debugAllocations() { return 0; }

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <map>
 
 using namespace namer;
 
@@ -31,6 +32,29 @@ telemetry::Counter &idleCounter() {
   return C;
 }
 } // namespace
+
+/// One labeled parallelFor site: its `pool.idle_us.<site>` /
+/// `lock.wait_us.<site>` counters resolved once. Sites are string literals
+/// (the TraceSpan naming contract), so the pointer identifies the site and
+/// the per-wait hot path in workerLoop is two relaxed adds.
+struct ThreadPool::SiteMetrics {
+  telemetry::Counter &IdleUs;
+  telemetry::Counter &LockWaitUs;
+};
+
+ThreadPool::SiteMetrics &ThreadPool::siteMetrics(const char *Site) {
+  static std::mutex M;
+  static auto &Cache = *new std::map<const void *, SiteMetrics *>();
+  std::lock_guard<std::mutex> L(M);
+  auto It = Cache.find(Site);
+  if (It != Cache.end())
+    return *It->second;
+  auto *SM = new SiteMetrics{
+      telemetry::metrics().counter(std::string("pool.idle_us.") + Site),
+      telemetry::metrics().counter(std::string("lock.wait_us.") + Site)};
+  Cache.emplace(Site, SM);
+  return *SM;
+}
 
 unsigned ThreadPool::resolveWorkerCount(unsigned Requested) {
   if (Requested != 0)
@@ -143,11 +167,13 @@ void ThreadPool::workerLoop(unsigned Id) {
       telemetry::metrics().histogram("pool.idle_wait_us").record(WaitedUs);
       // Attribute the wait to the labeled parallelFor the worker woke into
       // (its submit() is what ended the wait), making per-stage barrier
-      // cost visible next to the total.
-      if (const char *Site = ActiveSite.load(std::memory_order_acquire))
-        telemetry::metrics()
-            .counter(std::string("pool.idle_us.") + Site)
-            .add(WaitedUs);
+      // cost visible next to the total. The same wait is a condvar block,
+      // so it also feeds the stage's `lock.wait_us.<site>` contention
+      // series (support/Profiler.h).
+      if (SiteMetrics *SM = ActiveSite.load(std::memory_order_acquire)) {
+        SM->IdleUs.add(WaitedUs);
+        SM->LockWaitUs.add(WaitedUs);
+      }
     }
   }
 }
@@ -155,11 +181,10 @@ void ThreadPool::workerLoop(unsigned Id) {
 void ThreadPool::parallelFor(size_t Begin, size_t End,
                              const std::function<void(size_t)> &Body,
                              size_t GrainSize, const char *Site) {
-  // Register the per-site idle counter at zero even on the sequential fast
+  // Register the per-site counters at zero even on the sequential fast
   // paths, so every labeled stage shows up in stats exports regardless of
   // worker count.
-  if (Site && telemetry::enabled())
-    telemetry::metrics().counter(std::string("pool.idle_us.") + Site);
+  SiteMetrics *SM = Site && telemetry::enabled() ? &siteMetrics(Site) : nullptr;
   if (Begin >= End)
     return;
   size_t N = End - Begin;
@@ -172,13 +197,18 @@ void ThreadPool::parallelFor(size_t Begin, size_t End,
   }
 
   telemetry::count("pool.parallel_fors");
-  // Publish the site for idle attribution; restored on every exit path.
-  const char *PrevSite = ActiveSite.exchange(Site, std::memory_order_acq_rel);
+  // Publish the site metrics for idle attribution; restored on every exit
+  // path.
+  SiteMetrics *PrevSite = ActiveSite.exchange(SM, std::memory_order_acq_rel);
   struct SiteRestore {
     ThreadPool *Pool;
-    const char *Prev;
+    SiteMetrics *Prev;
     ~SiteRestore() { Pool->ActiveSite.store(Prev, std::memory_order_release); }
   } Restore{this, PrevSite};
+  // Snapshot the submitter's span stack once: every chunk task adopts it,
+  // so worker-side spans fold under the logical call stack (see
+  // InheritedStackScope) no matter which thread runs the chunk.
+  const void *StackPrefix = telemetry::captureStackPrefix();
   GrainSize = std::max<size_t>(GrainSize, 1);
   // Aim for several chunks per worker so stealing can balance skewed
   // per-iteration costs, without dropping below the grain size.
@@ -198,7 +228,8 @@ void ThreadPool::parallelFor(size_t Begin, size_t End,
   for (size_t C = 0; C != NumChunks; ++C) {
     size_t CB = Begin + C * Chunk;
     size_t CE = std::min(End, CB + Chunk);
-    submit([&State, &Body, CB, CE] {
+    submit([&State, &Body, StackPrefix, CB, CE] {
+      telemetry::InheritedStackScope Inherit(StackPrefix);
       if (!State.Failed.load(std::memory_order_relaxed)) {
         try {
           for (size_t I = CB; I != CE; ++I)

@@ -63,9 +63,14 @@ public:
   ///
   /// \p Site optionally names the call site (a string literal, like
   /// TraceSpan names). While this parallelFor runs, worker idle time is
-  /// additionally attributed to the counter `pool.idle_us.<Site>` (which
-  /// is registered at zero up front), so statsJson() shows which stage's
-  /// barrier the pool was parked behind.
+  /// additionally attributed to the counters `pool.idle_us.<Site>` and
+  /// `lock.wait_us.<Site>` (both registered at zero up front), so
+  /// statsJson() shows which stage's barrier the pool was parked behind.
+  ///
+  /// Each chunk task adopts the submitting thread's span stack
+  /// (telemetry::InheritedStackScope), so spans opened by \p Body fold
+  /// under the submitter's open spans in profiler stacks exactly as in a
+  /// single-threaded run.
   void parallelFor(size_t Begin, size_t End,
                    const std::function<void(size_t)> &Body,
                    size_t GrainSize = 1, const char *Site = nullptr);
@@ -102,9 +107,15 @@ private:
   bool Stopping = false;
   size_t QueuedTasks = 0; // guarded by SleepM
   std::atomic<unsigned> NextQueue{0};
-  /// Site label of the parallelFor currently draining, for per-site idle
-  /// attribution; null outside any labeled parallelFor.
-  std::atomic<const char *> ActiveSite{nullptr};
+  /// Cached metrics of one labeled parallelFor site: resolved once per
+  /// site (stable addresses, leaked), so workerLoop's per-wait attribution
+  /// is a relaxed add instead of a string concat + registry lookup on
+  /// every completed wait.
+  struct SiteMetrics;
+  static SiteMetrics &siteMetrics(const char *Site);
+  /// Metrics of the labeled parallelFor currently draining, for per-site
+  /// idle/wait attribution; null outside any labeled parallelFor.
+  std::atomic<SiteMetrics *> ActiveSite{nullptr};
 };
 
 } // namespace namer

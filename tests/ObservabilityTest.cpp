@@ -22,6 +22,7 @@
 
 #include "support/MemoryTracker.h"
 #include "support/MiniJson.h"
+#include "support/Profiler.h"
 #include "support/RunLedger.h"
 #include "support/Telemetry.h"
 
@@ -79,18 +80,32 @@ TEST(ObsPrometheusGolden, ExpositionBytes) {
   telemetry::metrics().histogram("obsg.hist").record(4);
   telemetry::metrics().histogram("obsg.hist").record(9);
   {
+    // Close-driven profiler (no timer thread at SampleHz=0): registers
+    // profiler.samples and counts one sample per span close below.
+    prof::ProfilerOptions PO;
+    PO.SampleHz = 0;
+    PO.SampleOnSpanClose = true;
+    prof::Profiler Prof(PO);
     telemetry::TraceSpan Outer("obsg.outer"); // 0ms .. 2ms
     ManualClockNs = 1'000'000;
     telemetry::TraceSpan Inner("obsg.inner"); // 1ms .. 2ms
+    prof::noteAllocBytes(4096);               // attributed to obsg.inner
+    prof::noteLockWait("obsg.outer", 3000);   // 3us blocked on a lock
     ManualClockNs = 2'000'000;
-  } // both close at the 2ms stamp
+  } // both spans close at the 2ms stamp, then the profiler detaches
 
   telemetry::PromExportOptions Opts;
   Opts.GitRev = "deadbeef";
   const std::string Expected =
       "# namer prometheus text exposition (stats schema 1)\n"
+      "# TYPE namer_alloc_bytes_obsg_inner_total counter\n"
+      "namer_alloc_bytes_obsg_inner_total 4096\n"
+      "# TYPE namer_lock_wait_us_obsg_outer_total counter\n"
+      "namer_lock_wait_us_obsg_outer_total 3\n"
       "# TYPE namer_obsg_files_total counter\n"
       "namer_obsg_files_total 3\n"
+      "# TYPE namer_profiler_samples_total counter\n"
+      "namer_profiler_samples_total 2\n"
       "# TYPE namer_obsg_gauge gauge\n"
       "namer_obsg_gauge -7\n"
       "# TYPE namer_obsg_hist histogram\n"

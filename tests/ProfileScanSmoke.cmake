@@ -1,0 +1,108 @@
+# Smoke test: the profiler determinism contract end to end. Run the real
+# namer-scan binary over the bundled mini corpus at --threads=1 and
+# --threads=8 with --deterministic-obs --profile-out, and require the
+# folded collapsed-stack profiles -- and the namer-profile reports over
+# them -- to be byte-identical across the two runs (close-driven sampling
+# is structural; see DESIGN.md, "Profiling"). When the build compiled the
+# telemetry layer out (-DTELEMETRY=OFF), --profile-out degrades to an
+# empty file by contract and the phase-coverage checks are skipped.
+# Invoked by ctest as
+#   cmake -DNAMER_SCAN=<exe> -DNAMER_PROFILE=<exe> -DCORPUS=<dir>
+#         -DOUT=<dir> -DTELEMETRY=<ON|OFF> -P ProfileScanSmoke.cmake
+
+foreach(Var NAMER_SCAN NAMER_PROFILE CORPUS OUT TELEMETRY)
+  if(NOT DEFINED ${Var})
+    message(FATAL_ERROR "ProfileScanSmoke.cmake requires -D${Var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT}")
+
+foreach(Threads 1 8)
+  execute_process(
+    COMMAND "${NAMER_SCAN}" "--threads=${Threads}" "--deterministic-obs"
+            "--profile-out=${OUT}/t${Threads}.folded" "${CORPUS}"
+    RESULT_VARIABLE Rc
+    OUTPUT_VARIABLE Stdout
+    ERROR_VARIABLE Stderr)
+  if(NOT Rc EQUAL 0)
+    message(FATAL_ERROR "namer-scan --threads=${Threads} failed (rc=${Rc})\n"
+        "stdout:\n${Stdout}\nstderr:\n${Stderr}")
+  endif()
+  if(NOT EXISTS "${OUT}/t${Threads}.folded")
+    message(FATAL_ERROR "namer-scan did not write ${OUT}/t${Threads}.folded")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files
+          "${OUT}/t1.folded" "${OUT}/t8.folded"
+  RESULT_VARIABLE Same)
+if(NOT Same EQUAL 0)
+  file(READ "${OUT}/t1.folded" One)
+  file(READ "${OUT}/t8.folded" Eight)
+  message(FATAL_ERROR "--deterministic-obs folded profiles differ between "
+      "--threads=1 and --threads=8\n--- t1 ---\n${One}\n--- t8 ---\n${Eight}")
+endif()
+
+# The profile must cover the pipeline's phases (with telemetry compiled
+# in; the notrace stub writes an empty file, already checked identical).
+file(READ "${OUT}/t1.folded" Folded)
+if(NOT TELEMETRY)
+  if(NOT Folded STREQUAL "")
+    message(FATAL_ERROR "notrace --profile-out should be empty:\n${Folded}")
+  endif()
+endif()
+set(PhaseNeedles)
+if(TELEMETRY)
+  set(PhaseNeedles
+    "pipeline.ingest"
+    "pipeline.histmine"
+    "fptree.build"
+    "pattern.prune"
+    "pipeline.scan"
+    "report.")
+endif()
+foreach(Needle IN LISTS PhaseNeedles)
+  string(FIND "${Folded}" "${Needle}" At)
+  if(At EQUAL -1)
+    message(FATAL_ERROR "folded profile is missing ${Needle}:\n${Folded}")
+  endif()
+endforeach()
+
+# namer-profile reports over the two profiles are byte-identical too. The
+# report header echoes the input path, so give both files the same name in
+# sibling directories and invoke with a relative path.
+foreach(Run r1 r2)
+  file(MAKE_DIRECTORY "${OUT}/${Run}")
+endforeach()
+file(COPY_FILE "${OUT}/t1.folded" "${OUT}/r1/profile.folded")
+file(COPY_FILE "${OUT}/t8.folded" "${OUT}/r2/profile.folded")
+foreach(Run r1 r2)
+  execute_process(
+    COMMAND "${NAMER_PROFILE}" --inverted --top=0 "profile.folded"
+    WORKING_DIRECTORY "${OUT}/${Run}"
+    RESULT_VARIABLE Rc
+    OUTPUT_VARIABLE Report)
+  if(NOT Rc EQUAL 0)
+    message(FATAL_ERROR "namer-profile failed on ${Run} (rc=${Rc})")
+  endif()
+  set(Report_${Run} "${Report}")
+endforeach()
+if(NOT Report_r1 STREQUAL Report_r2)
+  message(FATAL_ERROR "namer-profile reports differ between thread counts\n"
+      "--- t1 ---\n${Report_r1}\n--- t8 ---\n${Report_r2}")
+endif()
+
+# And the diff gate between them is clean at a zero threshold.
+execute_process(
+  COMMAND "${NAMER_PROFILE}" --diff --threshold=0.0
+          "${OUT}/t1.folded" "${OUT}/t8.folded"
+  RESULT_VARIABLE Rc
+  OUTPUT_VARIABLE Stdout)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "t1 vs t8 diff gate failed (rc=${Rc}):\n${Stdout}")
+endif()
+
+message(STATUS "profiler smoke OK: folded profile and reports "
+    "byte-identical at 1 and 8 threads")

@@ -1,0 +1,69 @@
+# Smoke test: the namer-profile exit-code contract on the committed
+# fixtures under tests/data/profile (0 ok, 1 io/parse error, 2 usage
+# error, 5 regression -- shared with namer-statdiff). Invoked by ctest as
+#   cmake -DNAMER_PROFILE=<exe> -DDATA=<dir> -P ProfileToolSmoke.cmake
+
+foreach(Var NAMER_PROFILE DATA)
+  if(NOT DEFINED ${Var})
+    message(FATAL_ERROR "ProfileToolSmoke.cmake requires -D${Var}=...")
+  endif()
+endforeach()
+
+function(run_profile ExpectRc)
+  execute_process(
+    COMMAND "${NAMER_PROFILE}" ${ARGN}
+    RESULT_VARIABLE Rc
+    OUTPUT_VARIABLE Stdout
+    ERROR_VARIABLE Stderr)
+  if(NOT Rc EQUAL ${ExpectRc})
+    message(FATAL_ERROR "namer-profile ${ARGN}: rc=${Rc}, want ${ExpectRc}\n"
+        "stdout:\n${Stdout}\nstderr:\n${Stderr}")
+  endif()
+  set(Stdout "${Stdout}" PARENT_SCOPE)
+endfunction()
+
+# Report mode: top table + inverted callers over the base fixture.
+run_profile(0 --inverted "${DATA}/base.folded")
+foreach(Needle
+    "700 samples"
+    "parse.python"
+    "inverted callers"
+    "<- pipeline.ingest 400")
+  string(FIND "${Stdout}" "${Needle}" At)
+  if(At EQUAL -1)
+    message(FATAL_ERROR "report is missing '${Needle}':\n${Stdout}")
+  endif()
+endforeach()
+
+# Diff of a profile against itself stays under any threshold.
+run_profile(0 --diff --threshold=0.5 "${DATA}/base.folded" "${DATA}/base.folded")
+string(FIND "${Stdout}" "ok (no frame past threshold)" At)
+if(At EQUAL -1)
+  message(FATAL_ERROR "self-diff did not report ok:\n${Stdout}")
+endif()
+
+# parse.python grows 400 -> 900 self samples (+125%) in the regress
+# fixture: past the 50% gate, exit 5; pipeline.scan's +5% stays under it.
+run_profile(5 --diff --threshold=0.5 "${DATA}/base.folded"
+    "${DATA}/regress.folded")
+string(FIND "${Stdout}" "REGRESSION frame parse.python: self 400 -> 900" At)
+if(At EQUAL -1)
+  message(FATAL_ERROR "diff did not flag the seeded regression:\n${Stdout}")
+endif()
+string(FIND "${Stdout}" "REGRESSION frame pipeline.scan" At)
+if(NOT At EQUAL -1)
+  message(FATAL_ERROR "diff flagged the under-threshold frame:\n${Stdout}")
+endif()
+
+# Without --threshold the same diff only reports (no gate).
+run_profile(0 --diff "${DATA}/base.folded" "${DATA}/regress.folded")
+
+# Usage errors: missing positional args, diff with one input, bad flag.
+run_profile(2)
+run_profile(2 --diff "${DATA}/base.folded")
+run_profile(2 --no-such-flag "${DATA}/base.folded")
+
+# I/O error: unreadable input.
+run_profile(1 "${DATA}/no-such-profile.folded")
+
+message(STATUS "namer-profile smoke OK: exit-code contract holds")

@@ -1,0 +1,216 @@
+//===- tests/ProfilerTest.cpp - In-process sampling profiler tests --------==//
+//
+// Covers the sampling profiler (support/Profiler.h): the close-driven
+// folded-stack golden, live-stack sampling via the test tick, the
+// byte-identity of close-mode profiles across thread-pool sizes (the
+// profiler determinism contract behind `--deterministic-obs
+// --profile-out`), the timer-driven sampler under concurrent span churn
+// (race coverage for the tsan preset), and -- when NAMER_TELEMETRY is
+// compiled out -- the inert stub surface. Built as namer_profile_tests so
+// `ctest -L profile` selects it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Profiler.h"
+#include "support/Telemetry.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace namer;
+
+namespace {
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+prof::ProfilerOptions closeModeOptions() {
+  prof::ProfilerOptions O;
+  O.SampleHz = 0; // no timer thread
+  O.SampleOnSpanClose = true;
+  return O;
+}
+
+} // namespace
+
+#if NAMER_TELEMETRY
+
+TEST(ProfilerFolded, CloseModeNestedGolden) {
+  telemetry::reset();
+  telemetry::setEnabled(true);
+  prof::Profiler Prof(closeModeOptions());
+  {
+    telemetry::TraceSpan Outer("pt.outer");
+    { telemetry::TraceSpan Inner("pt.inner"); }
+    { telemetry::TraceSpan Inner("pt.inner"); }
+    { telemetry::TraceSpan Leaf("pt.leaf"); }
+  }
+  // One weight-1 sample per span close, keyed by the full live stack at
+  // close time; foldedStacks() renders them sorted.
+  EXPECT_EQ(Prof.foldedStacks(), "pt.outer 1\n"
+                                 "pt.outer;pt.inner 2\n"
+                                 "pt.outer;pt.leaf 1\n");
+  EXPECT_EQ(Prof.samples(), 4u);
+
+  // writeFolded round-trips the same bytes through a file.
+  namespace fs = std::filesystem;
+  std::string Path = (fs::temp_directory_path() / "namer-pt.folded").string();
+  ASSERT_TRUE(Prof.writeFolded(Path));
+  EXPECT_EQ(slurp(Path), Prof.foldedStacks());
+  fs::remove(Path);
+  telemetry::reset();
+}
+
+TEST(ProfilerFolded, TickForTestSamplesLiveStacks) {
+  telemetry::reset();
+  telemetry::setEnabled(true);
+  prof::ProfilerOptions O; // no timer, no close hook: only explicit ticks
+  O.SampleHz = 0;
+  prof::Profiler Prof(O);
+
+  telemetry::TraceSpan Outer("pt.live.outer");
+  telemetry::TraceSpan Inner("pt.live.inner");
+  Prof.tickForTest();
+  EXPECT_EQ(Prof.foldedStacks(), "pt.live.outer;pt.live.inner 1\n");
+  Prof.tickForTest();
+  Prof.tickForTest();
+  EXPECT_EQ(Prof.foldedStacks(), "pt.live.outer;pt.live.inner 3\n");
+  EXPECT_EQ(Prof.samples(), 3u);
+  telemetry::reset();
+}
+
+TEST(ProfilerFolded, CloseModeByteIdenticalAcrossPoolSizes) {
+  // The determinism contract: close-driven sampling is structural (one
+  // sample per close, stacks grafted onto the submitter's prefix), so the
+  // folded profile of the same parallelFor workload is byte-identical at
+  // every worker count.
+  std::vector<std::string> Folded;
+  for (unsigned Workers : {1u, 8u}) {
+    telemetry::reset();
+    telemetry::setEnabled(true);
+    ThreadPool Pool(Workers);
+    std::string Bytes;
+    {
+      prof::Profiler Prof(closeModeOptions());
+      {
+        telemetry::TraceSpan Par("pt.par");
+        std::atomic<size_t> Sum{0};
+        Pool.parallelFor(
+            0, 64,
+            [&](size_t I) {
+              telemetry::TraceSpan Item("pt.item");
+              Sum.fetch_add(I, std::memory_order_relaxed);
+            },
+            1, "pt.site");
+        EXPECT_EQ(Sum.load(), size_t(64 * 63 / 2));
+      }
+      Bytes = Prof.foldedStacks();
+    }
+    Folded.push_back(Bytes);
+  }
+  ASSERT_EQ(Folded.size(), 2u);
+  // Worker-run items fold under the submitter's open span exactly as the
+  // inline (1-worker) run does.
+  EXPECT_EQ(Folded[0], "pt.par 1\n"
+                       "pt.par;pt.item 64\n");
+  EXPECT_EQ(Folded[0], Folded[1]);
+  telemetry::reset();
+}
+
+TEST(ProfilerStress, TimerSamplerUnderConcurrentSpanChurn) {
+  // Race coverage (the tsan preset runs this label): a timer-driven
+  // sampler walking live stacks while several threads open and close
+  // nested spans as fast as they can. Sample counts are timing-dependent;
+  // the assertions only pin the output format.
+  telemetry::reset();
+  telemetry::setEnabled(true);
+  {
+    prof::ProfilerOptions O;
+    O.SampleHz = 2000;
+    prof::Profiler Prof(O);
+    std::atomic<bool> Stop{false};
+    std::vector<std::thread> Threads;
+    for (int T = 0; T != 4; ++T)
+      Threads.emplace_back([&Stop] {
+        while (!Stop.load(std::memory_order_relaxed)) {
+          telemetry::TraceSpan A("pt.stress.a");
+          telemetry::TraceSpan B("pt.stress.b");
+        }
+      });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    Stop.store(true, std::memory_order_relaxed);
+    for (std::thread &T : Threads)
+      T.join();
+    // The profiler outlives the sampled threads (joined above), matching
+    // the namer-scan declaration-order contract. Every folded line must be
+    // "stack count\n" over the two stress frames.
+    std::istringstream Lines(Prof.foldedStacks());
+    std::string Line;
+    while (std::getline(Lines, Line)) {
+      size_t Space = Line.rfind(' ');
+      ASSERT_NE(Space, std::string::npos) << Line;
+      EXPECT_EQ(Line.rfind("pt.stress.a", 0), 0u) << Line;
+      EXPECT_GT(std::stoull(Line.substr(Space + 1)), 0u) << Line;
+    }
+  }
+  telemetry::reset();
+}
+
+TEST(ProfilerAttribution, UnattributedFallbacks) {
+  telemetry::reset();
+  telemetry::setEnabled(true);
+  // No span open and no site name: both families fall back to the
+  // "unattributed" series instead of dropping the data.
+  prof::noteLockWait(nullptr, 5'000);
+  prof::noteAllocBytes(100);
+  EXPECT_EQ(
+      telemetry::metrics().counter("lock.wait_us.unattributed").value(), 5u);
+  EXPECT_EQ(telemetry::metrics().counter("alloc.bytes.unattributed").value(),
+            100u);
+  {
+    telemetry::TraceSpan S("pt.attr");
+    prof::noteAllocBytes(8);
+  }
+  EXPECT_EQ(telemetry::metrics().counter("alloc.bytes.pt.attr").value(), 8u);
+  telemetry::reset();
+}
+
+#else // !NAMER_TELEMETRY
+
+TEST(ProfilerOffMode, StubsAreInertButKeepFileContract) {
+  prof::ProfilerOptions O;
+  O.SampleHz = 1000;
+  O.SampleOnSpanClose = true;
+  prof::Profiler Prof(O); // spawns nothing when compiled out
+  { telemetry::TraceSpan S("pt.off"); }
+  EXPECT_EQ(Prof.tickForTest(), 0u);
+  EXPECT_EQ(Prof.samples(), 0u);
+  EXPECT_TRUE(Prof.foldedStacks().empty());
+  prof::noteLockWait("pt.off", 1'000);
+  prof::noteAllocBytes(64);
+
+  // writeFolded still creates the requested (empty) file, so callers'
+  // --profile-out contract holds in notrace builds.
+  namespace fs = std::filesystem;
+  std::string Path =
+      (fs::temp_directory_path() / "namer-pt-off.folded").string();
+  ASSERT_TRUE(Prof.writeFolded(Path));
+  EXPECT_TRUE(slurp(Path).empty());
+  EXPECT_TRUE(fs::exists(Path));
+  fs::remove(Path);
+}
+
+#endif // NAMER_TELEMETRY

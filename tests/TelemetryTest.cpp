@@ -113,8 +113,8 @@ TEST(TelemetryGolden, StatsJsonBytes) {
     "golden.hist.sum": 13
   },
   "spans": {
-    "golden.inner": {"count": 1, "max_us": 1000.000, "min_us": 1000.000, "total_us": 1000.000},
-    "golden.outer": {"count": 1, "max_us": 3000.000, "min_us": 3000.000, "total_us": 3000.000}
+    "golden.inner": {"count": 1, "max_us": 1000.000, "min_us": 1000.000, "self_us": 1000.000, "total_us": 1000.000},
+    "golden.outer": {"count": 1, "max_us": 3000.000, "min_us": 3000.000, "self_us": 2000.000, "total_us": 3000.000}
   },
   "extra_flag": true
 }

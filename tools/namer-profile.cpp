@@ -1,0 +1,360 @@
+//===- tools/namer-profile.cpp - Folded-stack profile reports -------------==//
+///
+/// \file
+/// Renders reports over the collapsed-stack files the in-process profiler
+/// writes (`namer-scan --profile-out`, bench --profile-out; one
+/// `frame;frame;... count` line per distinct stack, support/Profiler.h):
+///
+///   namer-profile [options] <profile.folded>
+///   namer-profile --diff <old.folded> <new.folded> [options]
+///
+/// The default report is a top-N table of frames by self samples (samples
+/// whose stack ends in the frame) next to cumulative samples (stacks
+/// containing the frame); --inverted adds the inverted-callers view
+/// (which callers account for each hot frame's samples). --diff compares
+/// two profiles frame by frame and, when --threshold is given, exits 5 if
+/// any frame's self samples grew past it -- the before/after gate for perf
+/// PRs, sharing namer-statdiff's exit-code contract.
+///
+/// All reports are byte-deterministic functions of the input files, so
+/// profiles recorded under `--deterministic-obs` produce byte-identical
+/// reports at every --threads value.
+///
+/// Exit codes: 0 ok, 1 I/O or parse failure, 2 usage error, 5 regression
+/// (diff mode with --threshold only).
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/TextTable.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+using namer::TextTable;
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitIo = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitRegression = 5;
+
+struct Options {
+  bool Diff = false;
+  bool Inverted = false;
+  size_t Top = 20; ///< rows per table; 0 = unlimited
+  /// Diff gate: max relative self-sample increase per frame before exit 5.
+  /// Report-only when unset.
+  std::optional<double> Threshold;
+  /// Diff gate noise floor: frames whose baseline self samples are below
+  /// this are never regressions.
+  double MinSamples = 10.0;
+  std::vector<std::string> Paths;
+};
+
+void usage(std::FILE *To) {
+  std::fprintf(
+      To,
+      "usage: namer-profile [options] <profile.folded>\n"
+      "       namer-profile --diff <old.folded> <new.folded> [options]\n"
+      "\n"
+      "Reports over collapsed-stack profiles (namer-scan --profile-out).\n"
+      "\n"
+      "options:\n"
+      "  --top=N         rows per table (default 20, 0 = all)\n"
+      "  --inverted      add the inverted-callers view under the table\n"
+      "  --diff          compare two profiles (old new) frame by frame\n"
+      "  --threshold=F   diff gate: exit 5 when a frame's self samples grew\n"
+      "                  by more than this relative fraction (e.g. 0.5)\n"
+      "  --min-samples=N diff gate noise floor on baseline self samples\n"
+      "                  (default 10)\n"
+      "  -h, --help      this text\n"
+      "\n"
+      "exit codes: 0 ok, 1 io/parse error, 2 usage error, 5 regression\n");
+}
+
+/// Per-frame aggregates of one profile.
+struct FrameStats {
+  uint64_t Self = 0; ///< samples whose stack ends in this frame
+  uint64_t Cum = 0;  ///< samples whose stack contains this frame
+  /// Immediate caller -> samples arriving through it ("(root)" for stacks
+  /// starting at this frame).
+  std::map<std::string, uint64_t> Callers;
+};
+
+struct Profile {
+  uint64_t TotalSamples = 0;
+  std::map<std::string, FrameStats> Frames;
+};
+
+/// Parses one folded file; false (with a message) on I/O or format errors.
+bool loadProfile(const std::string &Path, Profile &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    std::fprintf(stderr, "namer-profile: cannot read %s\n", Path.c_str());
+    return false;
+  }
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    size_t Space = Line.rfind(' ');
+    char *End = nullptr;
+    uint64_t Count =
+        Space == std::string::npos
+            ? 0
+            : std::strtoull(Line.c_str() + Space + 1, &End, 10);
+    if (Space == std::string::npos || Space == 0 || !End || *End != '\0') {
+      std::fprintf(stderr, "namer-profile: %s:%zu: not a folded-stack line\n",
+                   Path.c_str(), LineNo);
+      return false;
+    }
+    std::string_view Stack(Line.c_str(), Space);
+    Out.TotalSamples += Count;
+    std::vector<std::string_view> Frames;
+    for (size_t At = 0; At <= Stack.size();) {
+      size_t Semi = Stack.find(';', At);
+      if (Semi == std::string_view::npos)
+        Semi = Stack.size();
+      Frames.push_back(Stack.substr(At, Semi - At));
+      At = Semi + 1;
+    }
+    std::set<std::string_view> Seen; // count recursion once for cum
+    for (size_t F = 0; F != Frames.size(); ++F) {
+      FrameStats &S = Out.Frames[std::string(Frames[F])];
+      if (Seen.insert(Frames[F]).second)
+        S.Cum += Count;
+      if (F + 1 == Frames.size())
+        S.Self += Count;
+      S.Callers[F == 0 ? std::string("(root)") : std::string(Frames[F - 1])] +=
+          Count;
+    }
+  }
+  return true;
+}
+
+/// Frames of \p P ordered hottest first: self samples descending, ties by
+/// name, truncated to \p Top (0 = all).
+std::vector<const std::pair<const std::string, FrameStats> *>
+hottestFrames(const Profile &P, size_t Top) {
+  std::vector<const std::pair<const std::string, FrameStats> *> Order;
+  for (const auto &Entry : P.Frames)
+    Order.push_back(&Entry);
+  std::stable_sort(Order.begin(), Order.end(),
+                   [](const auto *A, const auto *B) {
+                     if (A->second.Self != B->second.Self)
+                       return A->second.Self > B->second.Self;
+                     return A->first < B->first;
+                   });
+  if (Top && Order.size() > Top)
+    Order.resize(Top);
+  return Order;
+}
+
+std::string percentOf(uint64_t Part, uint64_t Whole) {
+  return Whole ? TextTable::formatPercent(double(Part) / double(Whole), 1)
+               : "-";
+}
+
+int report(const Options &Opts) {
+  Profile P;
+  if (!loadProfile(Opts.Paths[0], P))
+    return kExitIo;
+
+  auto Order = hottestFrames(P, Opts.Top);
+  std::printf("%s: %llu samples, %zu frames, %zu shown\n",
+              Opts.Paths[0].c_str(),
+              static_cast<unsigned long long>(P.TotalSamples),
+              P.Frames.size(), Order.size());
+  TextTable Table;
+  Table.setHeader({"frame", "self", "self%", "cum", "cum%"});
+  for (const auto *Entry : Order)
+    Table.addRow({Entry->first, std::to_string(Entry->second.Self),
+                  percentOf(Entry->second.Self, P.TotalSamples),
+                  std::to_string(Entry->second.Cum),
+                  percentOf(Entry->second.Cum, P.TotalSamples)});
+  std::printf("%s", Table.render().c_str());
+
+  if (Opts.Inverted) {
+    std::printf("\ninverted callers (hottest frames, callers by weight):\n");
+    for (const auto *Entry : Order) {
+      std::printf("%s (self %llu)\n", Entry->first.c_str(),
+                  static_cast<unsigned long long>(Entry->second.Self));
+      // Callers sorted by weight descending, ties by name.
+      std::vector<std::pair<std::string, uint64_t>> Callers(
+          Entry->second.Callers.begin(), Entry->second.Callers.end());
+      std::stable_sort(Callers.begin(), Callers.end(),
+                       [](const auto &A, const auto &B) {
+                         if (A.second != B.second)
+                           return A.second > B.second;
+                         return A.first < B.first;
+                       });
+      for (const auto &[Caller, Count] : Callers)
+        std::printf("  <- %s %llu\n", Caller.c_str(),
+                    static_cast<unsigned long long>(Count));
+    }
+  }
+  return kExitOk;
+}
+
+int diff(const Options &Opts) {
+  Profile Old, New;
+  if (!loadProfile(Opts.Paths[0], Old) || !loadProfile(Opts.Paths[1], New))
+    return kExitIo;
+
+  // Union of frames, ordered by absolute self delta descending (ties by
+  // name) so the biggest movers lead the table.
+  std::set<std::string> Names;
+  for (const auto &[Name, S] : Old.Frames)
+    Names.insert(Name);
+  for (const auto &[Name, S] : New.Frames)
+    Names.insert(Name);
+
+  struct Row {
+    std::string Name;
+    uint64_t OldSelf = 0, NewSelf = 0;
+  };
+  std::vector<Row> Rows;
+  for (const std::string &Name : Names) {
+    auto OldIt = Old.Frames.find(Name);
+    auto NewIt = New.Frames.find(Name);
+    Rows.push_back({Name, OldIt == Old.Frames.end() ? 0 : OldIt->second.Self,
+                    NewIt == New.Frames.end() ? 0 : NewIt->second.Self});
+  }
+  auto AbsDelta = [](const Row &R) {
+    return R.NewSelf > R.OldSelf ? R.NewSelf - R.OldSelf
+                                 : R.OldSelf - R.NewSelf;
+  };
+  std::stable_sort(Rows.begin(), Rows.end(),
+                   [&](const Row &A, const Row &B) {
+                     if (AbsDelta(A) != AbsDelta(B))
+                       return AbsDelta(A) > AbsDelta(B);
+                     return A.Name < B.Name;
+                   });
+
+  std::printf("diff %s (%llu samples) -> %s (%llu samples)\n",
+              Opts.Paths[0].c_str(),
+              static_cast<unsigned long long>(Old.TotalSamples),
+              Opts.Paths[1].c_str(),
+              static_cast<unsigned long long>(New.TotalSamples));
+  TextTable Table;
+  Table.setHeader({"frame", "old self", "new self", "delta", "rel"});
+  size_t Shown = 0;
+  for (const Row &R : Rows) {
+    if (Opts.Top && Shown == Opts.Top)
+      break;
+    ++Shown;
+    int64_t Delta = static_cast<int64_t>(R.NewSelf) -
+                    static_cast<int64_t>(R.OldSelf);
+    std::string Rel =
+        R.OldSelf ? TextTable::formatPercent(double(Delta) / double(R.OldSelf),
+                                             1)
+                  : (R.NewSelf ? "new" : "-");
+    Table.addRow({R.Name, std::to_string(R.OldSelf),
+                  std::to_string(R.NewSelf),
+                  (Delta >= 0 ? "+" : "") + std::to_string(Delta), Rel});
+  }
+  std::printf("%s", Table.render().c_str());
+
+  if (!Opts.Threshold)
+    return kExitOk;
+  // Gate: a frame regressed when its self samples grew past the threshold
+  // and the baseline was above the noise floor (brand-new frames gate on
+  // the floor alone).
+  size_t Regressions = 0;
+  for (const Row &R : Rows) {
+    if (R.NewSelf <= R.OldSelf)
+      continue;
+    double Base = std::max(double(R.OldSelf), Opts.MinSamples);
+    double Rel = double(R.NewSelf - R.OldSelf) / Base;
+    if (Rel <= *Opts.Threshold)
+      continue;
+    ++Regressions;
+    std::printf("REGRESSION frame %s: self %llu -> %llu (+%.1f%%, "
+                "threshold %.0f%%)\n",
+                R.Name.c_str(), static_cast<unsigned long long>(R.OldSelf),
+                static_cast<unsigned long long>(R.NewSelf), 100.0 * Rel,
+                100.0 * *Opts.Threshold);
+  }
+  if (Regressions) {
+    std::printf("namer-profile: %zu frame regression(s)\n", Regressions);
+    return kExitRegression;
+  }
+  std::printf("namer-profile: ok (no frame past threshold)\n");
+  return kExitOk;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  for (int I = 1; I != Argc; ++I) {
+    std::string_view Arg = Argv[I];
+    auto ValueOf =
+        [&](std::string_view Flag) -> std::optional<std::string_view> {
+      if (Arg.rfind(Flag, 0) == 0 && Arg.size() > Flag.size() &&
+          Arg[Flag.size()] == '=')
+        return Arg.substr(Flag.size() + 1);
+      return std::nullopt;
+    };
+    if (Arg == "-h" || Arg == "--help") {
+      usage(stdout);
+      return kExitOk;
+    } else if (Arg == "--diff") {
+      Opts.Diff = true;
+    } else if (Arg == "--inverted") {
+      Opts.Inverted = true;
+    } else if (auto V = ValueOf("--top")) {
+      char *End = nullptr;
+      std::string Buf(*V);
+      Opts.Top = std::strtoull(Buf.c_str(), &End, 10);
+      if (!End || *End != '\0' || Buf.empty()) {
+        std::fprintf(stderr, "namer-profile: bad --top\n");
+        return kExitUsage;
+      }
+    } else if (auto V = ValueOf("--threshold")) {
+      char *End = nullptr;
+      std::string Buf(*V);
+      double T = std::strtod(Buf.c_str(), &End);
+      if (!End || *End != '\0' || Buf.empty() || !std::isfinite(T) || T < 0) {
+        std::fprintf(stderr, "namer-profile: bad --threshold\n");
+        return kExitUsage;
+      }
+      Opts.Threshold = T;
+    } else if (auto V = ValueOf("--min-samples")) {
+      char *End = nullptr;
+      std::string Buf(*V);
+      Opts.MinSamples = std::strtod(Buf.c_str(), &End);
+      if (!End || *End != '\0' || Buf.empty() || Opts.MinSamples < 0 ||
+          !std::isfinite(Opts.MinSamples)) {
+        std::fprintf(stderr, "namer-profile: bad --min-samples\n");
+        return kExitUsage;
+      }
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "namer-profile: unknown option '%s'\n",
+                   std::string(Arg).c_str());
+      usage(stderr);
+      return kExitUsage;
+    } else {
+      Opts.Paths.emplace_back(Arg);
+    }
+  }
+  size_t Want = Opts.Diff ? 2 : 1;
+  if (Opts.Paths.size() != Want) {
+    usage(stderr);
+    return kExitUsage;
+  }
+  return Opts.Diff ? diff(Opts) : report(Opts);
+}

@@ -9,6 +9,7 @@
 //              [--fail-on-findings] [--model-out=FILE] [--model-in=FILE]
 //              [--incremental-state=DIR] [--ledger=FILE] [--metrics-out=FILE]
 //              [--metrics-interval-ms=N] [--span-deadline-ms=N]
+//              [--profile-out=FILE] [--profile-hz=N]
 //              [--deterministic-obs] DIR
 //
 // Patterns are mined from the bundled ecosystem corpus *plus* the scanned
@@ -27,6 +28,14 @@
 // per-feature classifier contributions) under each report, optionally
 // capped at N explanations. --fail-on-findings exits 2 when any finding
 // survives the classifier -- the CI contract.
+//
+// Profiling (DESIGN.md, "Profiling"): --profile-out writes folded
+// (collapsed) span stacks for flamegraph.pl / speedscope / namer-profile.
+// Every span close contributes one structural sample; unless
+// --deterministic-obs is set, a background sampler additionally walks the
+// live span stacks --profile-hz times per second (default 97) to add
+// wall-clock weight. Under --deterministic-obs only the structural samples
+// remain, so the folded file is byte-identical at every --threads value.
 //
 // Robustness (DESIGN.md, "Fault tolerance"): files that fail to ingest or
 // exceed a resource budget are quarantined, summarized on stderr, and never
@@ -49,6 +58,7 @@
 #include "namer/ModelStore.h"
 #include "support/Arena.h"
 #include "support/MemoryTracker.h"
+#include "support/Profiler.h"
 #include "support/RunLedger.h"
 #include "support/Telemetry.h"
 #include "support/TextTable.h"
@@ -119,6 +129,12 @@ struct Options {
   /// --span-deadline-ms=N: flag spans running longer than N ms
   /// (watchdog.stalls / ledger "stall" records; detection only).
   unsigned SpanDeadlineMs = 0;
+  /// --profile-out=FILE: write folded (collapsed) span stacks on exit.
+  std::string ProfileOut;
+  /// --profile-hz=N: live-stack sampling rate of the background sampler
+  /// (0 = structural close samples only; ignored under
+  /// --deterministic-obs, which always disables the timer).
+  unsigned ProfileHz = 97;
   /// --deterministic-obs: zero the telemetry clock and RSS sources and
   /// drop schedule-dependent series (pool.*, interner.shard_contention)
   /// from the exposition, so --ledger and --metrics-out files are
@@ -137,7 +153,8 @@ void printUsage(const char *Argv0) {
                "[--explain[=N]] [--fail-on-findings] [--model-out=FILE] "
                "[--model-in=FILE] [--incremental-state=DIR] [--ledger=FILE] "
                "[--metrics-out=FILE] [--metrics-interval-ms=N] "
-               "[--span-deadline-ms=N] [--deterministic-obs] DIR\n",
+               "[--span-deadline-ms=N] [--profile-out=FILE] [--profile-hz=N] "
+               "[--deterministic-obs] DIR\n",
                Argv0);
 }
 
@@ -203,6 +220,11 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
     } else if (Arg.rfind("--span-deadline-ms=", 0) == 0) {
       Opts.SpanDeadlineMs = static_cast<unsigned>(std::strtoul(
           Arg.c_str() + std::strlen("--span-deadline-ms="), nullptr, 10));
+    } else if (Arg.rfind("--profile-out=", 0) == 0) {
+      Opts.ProfileOut = Arg.substr(std::strlen("--profile-out="));
+    } else if (Arg.rfind("--profile-hz=", 0) == 0) {
+      Opts.ProfileHz = static_cast<unsigned>(std::strtoul(
+          Arg.c_str() + std::strlen("--profile-hz="), nullptr, 10));
     } else if (Arg == "--deterministic-obs") {
       Opts.DeterministicObs = true;
     } else if (Arg.rfind("--", 0) == 0) {
@@ -315,7 +337,8 @@ int main(int Argc, char **Argv) {
   telemetry::PromExportOptions PromOpts;
   PromOpts.GitRev = telemetry::defaultMeta("namer-scan", 0).GitRev;
   if (Opts.DeterministicObs)
-    PromOpts.ExcludePrefixes = {"pool.", "interner.shard_contention"};
+    PromOpts.ExcludePrefixes = {"pool.", "interner.shard_contention", "lock.",
+                                "alloc."};
   std::unique_ptr<telemetry::MetricsSnapshotter> Snapshotter;
   if (!Opts.MetricsOut.empty()) {
     telemetry::MetricsSnapshotter::Options SnapOpts;
@@ -323,6 +346,15 @@ int main(int Argc, char **Argv) {
     SnapOpts.IntervalMs = Opts.MetricsIntervalMs;
     SnapOpts.Export = PromOpts;
     Snapshotter = std::make_unique<telemetry::MetricsSnapshotter>(SnapOpts);
+  }
+  // Declared before the pipeline below so the pool's threads join before
+  // the profiler uninstalls its span hook and dies.
+  std::unique_ptr<prof::Profiler> Prof;
+  if (!Opts.ProfileOut.empty()) {
+    prof::ProfilerOptions PO;
+    PO.SampleOnSpanClose = true;
+    PO.SampleHz = Opts.DeterministicObs ? 0 : Opts.ProfileHz;
+    Prof = std::make_unique<prof::Profiler>(PO);
   }
 
   size_t Skipped = 0;
@@ -584,6 +616,17 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "wrote %s (run ledger, %llu records)\n",
                  Opts.LedgerFile.c_str(),
                  static_cast<unsigned long long>(Records));
+  }
+  if (Prof) {
+    if (Prof->writeFolded(Opts.ProfileOut))
+      std::fprintf(stderr, "wrote %s (folded stacks, %llu samples)\n",
+                   Opts.ProfileOut.c_str(),
+                   static_cast<unsigned long long>(Prof->samples()));
+    else {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   Opts.ProfileOut.c_str());
+      Exit = 1;
+    }
   }
   if (Snapshotter) {
     // Destruction joins the interval thread (when any) and writes the

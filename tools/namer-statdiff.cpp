@@ -20,6 +20,12 @@
 /// Exit codes: 0 no regression, 1 I/O or parse failure, 2 usage error,
 /// 5 regression detected (one line per finding on stdout).
 ///
+/// --update-baseline inverts the tool: instead of gating, it rewrites the
+/// baseline file from the current document, carrying the --ignore'd
+/// counters/spans over from the old baseline (their values are waived by
+/// the gate, so refreshing them would only churn the committed file).
+/// This replaces the manual copy step of the README refresh workflow.
+///
 //===----------------------------------------------------------------------===//
 
 #include "support/MiniJson.h"
@@ -50,6 +56,7 @@ struct Options {
   double SpanThreshold = 0.5;
   double MinSpanUs = 1000.0;
   std::vector<std::string> IgnorePrefixes;
+  bool UpdateBaseline = false;
 };
 
 void usage(std::FILE *To) {
@@ -71,6 +78,9 @@ void usage(std::FILE *To) {
       "                          below this noise floor (default 1000)\n"
       "  --ignore=PREFIX         skip counters/spans with this dotted-name\n"
       "                          prefix (repeatable)\n"
+      "  --update-baseline       rewrite <baseline.json> from\n"
+      "                          <current.json> instead of gating, keeping\n"
+      "                          the --ignore'd series from the old baseline\n"
       "  -h, --help              this text\n"
       "\n"
       "exit codes: 0 ok, 1 io/parse error, 2 usage error, 5 regression\n");
@@ -132,6 +142,166 @@ bool checkValue(const char *Kind, const std::string &Name, double Base,
               Kind, Name.c_str(), Base, Cur, 100.0 * Delta / std::max(std::fabs(Base), FloorForRel),
               100.0 * Threshold);
   return true;
+}
+
+/// Serializes \p V deterministically. Not byte-identical to the hand
+/// writers' layout, but structurally equal: objects/arrays of scalars stay
+/// on one line, nested containers indent by two spaces, numbers render as
+/// integers when integral and with three decimals otherwise (every
+/// consumer parses, none compares baseline bytes).
+void writeJson(const Value &V, std::string &Out, int Indent) {
+  auto WriteString = [&Out](const std::string &S) {
+    Out += '"';
+    for (char C : S) {
+      switch (C) {
+      case '"':
+        Out += "\\\"";
+        break;
+      case '\\':
+        Out += "\\\\";
+        break;
+      case '\n':
+        Out += "\\n";
+        break;
+      case '\t':
+        Out += "\\t";
+        break;
+      case '\r':
+        Out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(C) < 0x20) {
+          char Buf[8];
+          std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+          Out += Buf;
+        } else {
+          Out += C;
+        }
+      }
+    }
+    Out += '"';
+  };
+  auto IsLeaf = [](const Value &X) {
+    return !X.isObject() && !X.isArray();
+  };
+  switch (V.K) {
+  case Value::Kind::Null:
+    Out += "null";
+    break;
+  case Value::Kind::Bool:
+    Out += V.B ? "true" : "false";
+    break;
+  case Value::Kind::Number: {
+    char Buf[64];
+    double Rounded = std::nearbyint(V.Num);
+    if (Rounded == V.Num && std::fabs(V.Num) < 9007199254740992.0)
+      std::snprintf(Buf, sizeof(Buf), "%lld",
+                    static_cast<long long>(V.Num));
+    else
+      std::snprintf(Buf, sizeof(Buf), "%.3f", V.Num);
+    Out += Buf;
+    break;
+  }
+  case Value::Kind::String:
+    WriteString(V.Str);
+    break;
+  case Value::Kind::Array: {
+    bool Flat = true;
+    for (const Value &E : V.Arr)
+      Flat = Flat && IsLeaf(E);
+    Out += '[';
+    std::string Pad(static_cast<size_t>(Indent) + 2, ' ');
+    for (size_t I = 0; I != V.Arr.size(); ++I) {
+      if (Flat) {
+        if (I)
+          Out += ", ";
+      } else {
+        Out += I ? ",\n" : "\n";
+        Out += Pad;
+      }
+      writeJson(V.Arr[I], Out, Indent + 2);
+    }
+    if (!Flat && !V.Arr.empty()) {
+      Out += '\n';
+      Out += std::string(static_cast<size_t>(Indent), ' ');
+    }
+    Out += ']';
+    break;
+  }
+  case Value::Kind::Object: {
+    bool Flat = true;
+    for (const auto &[Key, Member] : V.Obj)
+      Flat = Flat && IsLeaf(Member);
+    // Big leaf objects (the counters section) stay one-per-line so the
+    // committed baseline diffs series by series; the top-level object
+    // always indents.
+    Flat = Flat && Indent > 0 && V.Obj.size() <= 10;
+    Out += '{';
+    std::string Pad(static_cast<size_t>(Indent) + 2, ' ');
+    for (size_t I = 0; I != V.Obj.size(); ++I) {
+      if (Flat) {
+        Out += I ? ", " : "";
+      } else {
+        Out += I ? ",\n" : "\n";
+        Out += Pad;
+      }
+      WriteString(V.Obj[I].first);
+      Out += ": ";
+      writeJson(V.Obj[I].second, Out, Indent + 2);
+    }
+    if (!Flat && !V.Obj.empty()) {
+      Out += '\n';
+      Out += std::string(static_cast<size_t>(Indent), ' ');
+    }
+    Out += '}';
+    break;
+  }
+  }
+}
+
+/// --update-baseline: rewrite the baseline file from the current document,
+/// carrying every --ignore'd counter/span over from the old baseline.
+int updateBaseline(const Options &Opts) {
+  std::optional<Value> Base = loadJson(Opts.BasePath);
+  std::optional<Value> Cur = loadJson(Opts.CurrentPath);
+  if (!Base || !Cur)
+    return kExitIo;
+  if (!Cur->find("counters") || !Cur->find("spans")) {
+    std::fprintf(stderr,
+                 "namer-statdiff: %s is not a stats document (no "
+                 "counters/spans objects)\n",
+                 Opts.CurrentPath.c_str());
+    return kExitIo;
+  }
+
+  size_t Kept = 0;
+  for (const char *Section : {"counters", "spans"}) {
+    const Value *BaseSec = Base->find(Section);
+    if (!BaseSec || !BaseSec->isObject())
+      continue;
+    for (auto &[Name, CurV] : const_cast<Value *>(Cur->find(Section))->Obj) {
+      if (!ignored(Name, Opts))
+        continue;
+      if (const Value *BaseV = BaseSec->find(Name)) {
+        CurV = *BaseV;
+        ++Kept;
+      }
+    }
+  }
+
+  std::string Out;
+  writeJson(*Cur, Out, 0);
+  Out += '\n';
+  std::ofstream File(Opts.BasePath, std::ios::binary | std::ios::trunc);
+  if (!File || !(File << Out).flush()) {
+    std::fprintf(stderr, "namer-statdiff: cannot write %s\n",
+                 Opts.BasePath.c_str());
+    return kExitIo;
+  }
+  std::printf("namer-statdiff: wrote %s from %s (%zu ignored series kept "
+              "from the old baseline)\n",
+              Opts.BasePath.c_str(), Opts.CurrentPath.c_str(), Kept);
+  return kExitOk;
 }
 
 int run(const Options &Opts) {
@@ -255,6 +425,8 @@ int main(int Argc, char **Argv) {
       }
     } else if (auto V = ValueOf("--ignore")) {
       Opts.IgnorePrefixes.emplace_back(*V);
+    } else if (Arg == "--update-baseline") {
+      Opts.UpdateBaseline = true;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "namer-statdiff: unknown option '%s'\n",
                    std::string(Arg).c_str());
@@ -270,5 +442,5 @@ int main(int Argc, char **Argv) {
   }
   Opts.BasePath = Positional[0];
   Opts.CurrentPath = Positional[1];
-  return run(Opts);
+  return Opts.UpdateBaseline ? updateBaseline(Opts) : run(Opts);
 }
