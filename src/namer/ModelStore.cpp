@@ -39,6 +39,51 @@ const char *model::modelErrorKindName(ModelErrorKind Kind) {
   return "unknown";
 }
 
+const char *model::modelErrorRemediation(ModelErrorKind Kind) {
+  switch (Kind) {
+  case ModelErrorKind::Io:
+    return "check that the path exists and is readable/writable; re-run "
+           "with --model-out to regenerate it";
+  case ModelErrorKind::BadMagic:
+    return "the file is not a namer model; point --model-in at a file "
+           "produced by --model-out";
+  case ModelErrorKind::BadEndian:
+    return "the model was written on a host with different byte order; "
+           "re-mine it on this host";
+  case ModelErrorKind::BadVersion:
+    return "the model was written by an incompatible namer version; "
+           "re-mine it with this binary";
+  case ModelErrorKind::Truncated:
+    return "the file is shorter than its header claims (interrupted "
+           "write?); delete it and re-mine";
+  case ModelErrorKind::BadChecksum:
+    return "a section's checksum does not match its bytes (corruption in "
+           "transit or on disk); delete it and re-mine";
+  case ModelErrorKind::SectionMissing:
+    return "a required section is absent; the file was produced by an "
+           "incompatible writer -- re-mine it with this binary";
+  case ModelErrorKind::Malformed:
+    return "a section's content is internally inconsistent; delete the "
+           "file and re-mine";
+  case ModelErrorKind::ConfigMismatch:
+    return "the model was mined under a different configuration; re-run "
+           "with the flags it was mined with, or re-mine under the "
+           "current ones";
+  }
+  return "delete the model file and re-mine";
+}
+
+std::string model::formatModelError(const ModelError &E) {
+  std::string Out = "model error [";
+  Out += modelErrorKindName(E.kind());
+  Out += "]: ";
+  Out += E.what();
+  Out += "\n  hint: ";
+  Out += modelErrorRemediation(E.kind());
+  Out += "\n";
+  return Out;
+}
+
 namespace {
 
 constexpr char kMagic[8] = {'N', 'A', 'M', 'R', 'M', 'D', 'L', '1'};

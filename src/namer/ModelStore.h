@@ -73,6 +73,10 @@ constexpr size_t kNumModelErrorKinds = 9;
 /// error output (the PR-4 error-taxonomy convention).
 const char *modelErrorKindName(ModelErrorKind Kind);
 
+/// One-line operator-facing remediation for each reject kind ("delete it
+/// and re-mine", "re-run with the flags it was mined with", ...).
+const char *modelErrorRemediation(ModelErrorKind Kind);
+
 /// Typed loader/saver failure. Loading any corrupt model file throws this
 /// (or, under fault injection with FaultKind::Throw, InjectedFault); it
 /// never crashes.
@@ -87,6 +91,10 @@ public:
 private:
   ModelErrorKind Kind;
 };
+
+/// The stderr diagnostic namer-scan/namer-serve print for a rejected
+/// model: "model error [<kind>]: <what>\n  hint: <remediation>\n".
+std::string formatModelError(const ModelError &E);
 
 /// The deserialized (or to-be-serialized) model, as plain data. String
 /// views point into the source the file was parsed from (the arena

@@ -8,6 +8,7 @@
 #include "namer/ModelStore.h"
 #include "pattern/PatternIndex.h"
 #include "support/Arena.h"
+#include "support/Cancellation.h"
 #include "support/FaultInjector.h"
 #include "support/Hashing.h"
 #include "support/MemoryTracker.h"
@@ -130,6 +131,11 @@ FileIngest ingestOneFile(const corpus::SourceFile &File,
     return Quarantined(ingest::IngestErrorKind::NodeBudget, 0, "injected");
   }
 
+  // Cancellation checkpoints bracket each per-file phase: a cancelled scan
+  // request (see support/Cancellation.h) abandons the file between phases,
+  // and the typed CancelledError is rethrown -- not quarantined -- by the
+  // ingest worker so the whole request unwinds.
+  cancel::checkpoint();
   std::string_view Contents = File.contents();
   if (Contents.size() > Limits.MaxFileBytes)
     return Quarantined(ingest::IngestErrorKind::FileTooLarge,
@@ -157,6 +163,7 @@ FileIngest ingestOneFile(const corpus::SourceFile &File,
 
   Tree Module = std::move(Parsed.Module);
 
+  cancel::checkpoint();
   OriginMap Origins;
   if (Config.UseAnalyses)
     Origins = computeOrigins(Module, Registry, Config.Analysis).Origins;
@@ -166,6 +173,7 @@ FileIngest ingestOneFile(const corpus::SourceFile &File,
                        "analyses exceeded " +
                            std::to_string(Limits.FileDeadlineMillis) + " ms");
 
+  cancel::checkpoint();
   telemetry::TraceSpan PathSpan("namepath.extract");
   for (NodeId Root : collectStatementRoots(Module)) {
     NodeKind Kind = Module.node(Root).Kind;
@@ -349,6 +357,11 @@ void NamerPipeline::ingestCorpus(const corpus::Corpus &C,
       Hashes[I] = incremental::contentHash(Contents);
       try {
         Ingested[I] = ingestOneFile(*Files[I], C.Lang, Registry, Config);
+      } catch (const cancel::CancelledError &) {
+        // Request cancellation is not a per-file failure: rethrow so
+        // parallelFor surfaces the typed error to the request, instead of
+        // quarantining the file the deadline happened to land on.
+        throw;
       } catch (const std::exception &E) {
         FileIngest Fail;
         Fail.Quarantine = ingest::QuarantineRecord{
@@ -375,6 +388,7 @@ void NamerPipeline::ingestCorpus(const corpus::Corpus &C,
     // folded-end interning.
     StringInterner::BatchHandle CommitBatch(Ctx->strings());
     for (size_t I = 0; I != Files.size(); ++I) {
+      cancel::checkpoint();
       if (Plan &&
           Plan->Entries[I].Change == incremental::FileChange::Unchanged) {
         // Cache replay: the statement stream this file contributed to the
@@ -527,6 +541,8 @@ void NamerPipeline::mineModel(const corpus::Corpus &C) {
         Tree Before = parseInto(C.Commits[I].Before, C.Lang, Local);
         Tree After = parseInto(C.Commits[I].After, C.Lang, Local);
         Renames[I] = ConfusingPairMiner::collectRenames(Before, After);
+      } catch (const cancel::CancelledError &) {
+        throw; // request cancellation, not a commit-level failure
       } catch (const std::exception &) {
         Renames[I].clear();
         Failed[I] = 1;
@@ -600,6 +616,7 @@ void NamerPipeline::scanStatements() {
   std::unordered_set<RepoId> ViolatingRepos;
   Witnesses.assign(Patterns.size(), {});
   for (StmtId S = 0; S != Statements.size(); ++S) {
+    cancel::checkpoint();
     const std::vector<PatternHit> &Hits = AllHits[S];
     Index.addStatement(Statements[S], Hits);
     // Several mined patterns (condition variants of the same idiom) can
@@ -719,11 +736,19 @@ void NamerPipeline::loadModel(const std::string &Path) {
 }
 
 void NamerPipeline::loadModelImpl(const std::string &Path) {
-  assert(Statements.empty() && !ModelLoaded &&
-         "loadModel requires a fresh pipeline");
   Arena Mem;
   model::ModelFile F = model::load(Path, Mem);
+  applyModel(F);
+}
 
+void NamerPipeline::loadModel(const model::ModelFile &F) {
+  applyModel(F);
+  samplePhaseMemory();
+}
+
+void NamerPipeline::applyModel(const model::ModelFile &F) {
+  assert(Statements.empty() && !ModelLoaded &&
+         "loadModel requires a fresh pipeline");
   // Invalidation rules: a model mined under different ingest semantics
   // (analyses, resource budgets) or mining thresholds describes a
   // different statement stream / pattern set -- reject rather than serve
@@ -767,14 +792,17 @@ void NamerPipeline::loadModelImpl(const std::string &Path) {
       throw model::ModelError(model::ModelErrorKind::Malformed,
                               "path-table snapshot out of order at path " +
                                   std::to_string(Id));
-  Patterns = std::move(F.Patterns);
+  // Copies, not moves: the ModelFile may be a shared immutable snapshot
+  // (service::ModelSnapshot) applied concurrently by many request
+  // pipelines.
+  Patterns = F.Patterns;
   for (const ConfusingPair &P : F.Pairs)
     Pairs->addPair(P.Mistaken, P.Correct, P.Count);
   if (F.ClassifierPresent) {
     Classifier.restore(F.Classifier);
     Trained = true;
   }
-  Manifest = std::move(F.Manifest);
+  Manifest = F.Manifest;
   for (const incremental::FileState &E : Manifest.Files)
     for (const incremental::CachedStmt &S : E.Stmts)
       for (PathId Id : S.Paths)

@@ -42,6 +42,10 @@ namespace ledger {
 class RunLedger;
 }
 
+namespace model {
+struct ModelFile;
+}
+
 /// A naming issue report: statement location, flagged name, suggested fix.
 struct Report {
   std::string File;
@@ -115,6 +119,15 @@ public:
   /// (see DESIGN.md, "Model store & incremental scan" for the invalidation
   /// rules).
   void loadModel(const std::string &Path);
+
+  /// Applies an already-parsed model directly -- the scan service path:
+  /// many request pipelines share one immutable ModelSnapshot, so the
+  /// ModelFile is taken by const reference and everything that aliases its
+  /// backing storage is copied during the apply. Same invalidation rules
+  /// and typed errors as the path overload; the caller keeps the backing
+  /// storage (the snapshot's arena) alive for the duration of the call
+  /// only.
+  void loadModel(const model::ModelFile &F);
 
   /// The scan phase: re-evaluates \p C against the loaded model without
   /// re-mining (no fptree.* / pattern.prune work at all). With \p UseCache
@@ -224,6 +237,8 @@ private:
   /// model_save/model_load ledger records (outcome, duration, RSS delta).
   void saveModelImpl(const std::string &Path) const;
   void loadModelImpl(const std::string &Path);
+  /// Shared tail of both loadModel overloads: config-echo checks + apply.
+  void applyModel(const model::ModelFile &F);
 
   PipelineConfig Config;
   std::unique_ptr<AstContext> Ctx;

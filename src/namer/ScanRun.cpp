@@ -1,0 +1,70 @@
+//===- namer/ScanRun.cpp --------------------------------------------------==//
+
+#include "namer/ScanRun.h"
+
+#include "namer/FindingsExport.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+using namespace namer;
+
+std::vector<Explanation>
+namer::selectFindings(const NamerPipeline &P,
+                      const FindingSelectOptions &Opts) {
+  bool Classify = Opts.UseClassifier && P.classifierTrained();
+  std::unordered_set<std::string_view> Only(Opts.OnlyPaths.begin(),
+                                            Opts.OnlyPaths.end());
+  // Keep the violation next to its report so the explainability layer can
+  // rebuild the full evidence chain for the selected ones.
+  struct Finding {
+    Report R;
+    Violation V;
+  };
+  std::vector<Finding> Findings;
+  for (const Violation &V : P.violations()) {
+    Report R = P.makeReport(V);
+    if (!Opts.PathPrefix.empty() && R.File.rfind(Opts.PathPrefix, 0) != 0)
+      continue;
+    if (!Only.empty() && !Only.count(R.File))
+      continue;
+    if (Classify && !P.classify(V))
+      continue;
+    Findings.push_back(Finding{std::move(R), V});
+  }
+  // Selection: most confident first, ties broken by the canonical report
+  // order so truncation is deterministic at every thread count.
+  std::sort(Findings.begin(), Findings.end(),
+            [](const Finding &A, const Finding &B) {
+              if (A.R.Confidence != B.R.Confidence)
+                return A.R.Confidence > B.R.Confidence;
+              return reportOrderLess(A.R, B.R);
+            });
+  if (Findings.size() > Opts.MaxReports)
+    Findings.resize(Opts.MaxReports);
+
+  std::vector<Explanation> Explanations;
+  Explanations.reserve(Findings.size());
+  for (const Finding &F : Findings)
+    Explanations.push_back(explainViolation(P, F.V));
+  sortExplanations(Explanations);
+  return Explanations;
+}
+
+std::string namer::renderReportLine(const Report &R) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%u", R.Line);
+  std::string Line = R.File;
+  Line += ":";
+  Line += Buf;
+  Line += ": naming issue: '";
+  Line += R.Original;
+  Line += "' is suspicious here; suggested fix: '";
+  Line += R.Suggested;
+  Line += "' [";
+  Line += R.Kind == PatternKind::Consistency ? "consistency"
+                                             : "confusing-word";
+  Line += "]\n";
+  return Line;
+}

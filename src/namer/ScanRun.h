@@ -1,0 +1,58 @@
+//===- namer/ScanRun.h - Shared finding selection + rendering ---*- C++ -*-==//
+//
+// Part of the Namer reproduction of "Learning to Find Naming Issues with Big
+// Code and Small Supervision" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The finding selection and report rendering shared by the batch CLI
+/// (tools/namer-scan) and the scan service (src/service). Both front ends
+/// must emit byte-identical report lines for the same pipeline state --
+/// that identity is the service's post-soak acceptance check -- so the
+/// classifier filter, the confidence-then-canonical sort, the MaxReports
+/// truncation and the printf format all live here, once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_NAMER_SCANRUN_H
+#define NAMER_NAMER_SCANRUN_H
+
+#include "namer/Explain.h"
+#include "namer/Pipeline.h"
+
+#include <string>
+#include <vector>
+
+namespace namer {
+
+/// How to select the findings of a completed build()/scanWith().
+struct FindingSelectOptions {
+  /// Keep only reports whose file path starts with this prefix (the
+  /// scanned tree / the request's repository); empty keeps everything.
+  std::string PathPrefix;
+  /// When non-empty, keep only reports for exactly these paths -- the
+  /// inline files of a service request, which have no common directory
+  /// prefix to filter by. Applied in addition to PathPrefix.
+  std::vector<std::string> OnlyPaths;
+  /// Filter violations through the trained classifier. Ignored (treated
+  /// as false) when the pipeline has no trained classifier.
+  bool UseClassifier = true;
+  /// Keep the most confident N findings (ties broken by the canonical
+  /// report order, so truncation is deterministic at every thread count).
+  size_t MaxReports = 50;
+};
+
+/// Selects the findings of \p P per \p Opts and explains each one;
+/// returned in the canonical (file, line, original, suggested) order of
+/// sortExplanations().
+std::vector<Explanation> selectFindings(const NamerPipeline &P,
+                                        const FindingSelectOptions &Opts);
+
+/// The canonical one-line diagnostic for a report, newline-terminated --
+/// the exact bytes namer-scan prints and the service echoes.
+std::string renderReportLine(const Report &R);
+
+} // namespace namer
+
+#endif // NAMER_NAMER_SCANRUN_H

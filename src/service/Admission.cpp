@@ -1,0 +1,88 @@
+//===- service/Admission.cpp ----------------------------------------------==//
+
+#include "service/Admission.h"
+
+#include "support/MemoryTracker.h"
+#include "support/Telemetry.h"
+
+using namespace namer;
+using namespace namer::service;
+
+const char *service::admitResultName(AdmitResult R) {
+  switch (R) {
+  case AdmitResult::Admitted:
+    return "admitted";
+  case AdmitResult::QueueFull:
+    return "queue-full";
+  case AdmitResult::TenantOverBudget:
+    return "tenant-over-budget";
+  case AdmitResult::RssPressure:
+    return "rss-pressure";
+  case AdmitResult::RequestTooLarge:
+    return "request-too-large";
+  case AdmitResult::Draining:
+    return "draining";
+  }
+  return "queue-full";
+}
+
+AdmissionController::AdmissionController(AdmissionConfig C)
+    : C(std::move(C)) {
+  // Register every rejection series (and the admitted count) at zero.
+  telemetry::count("serve.admitted", 0);
+  for (size_t R = 1; R != kNumAdmitResults; ++R)
+    telemetry::count("serve.rejected." +
+                         std::string(admitResultName(
+                             static_cast<AdmitResult>(R))),
+                     0);
+  telemetry::gaugeSet("serve.in_flight", 0);
+}
+
+AdmitResult AdmissionController::admit(const std::string &Tenant,
+                                       size_t Bytes, size_t Files) {
+  AdmitResult R = AdmitResult::Admitted;
+  {
+    std::lock_guard<std::mutex> L(M);
+    if (Draining)
+      R = AdmitResult::Draining;
+    else if (Bytes > C.MaxRequestBytes || Files > C.MaxRequestFiles)
+      R = AdmitResult::RequestTooLarge;
+    else if (InFlight >= C.MaxQueueDepth)
+      R = AdmitResult::QueueFull;
+    else if (PerTenant[Tenant] >= C.MaxPerTenant)
+      R = AdmitResult::TenantOverBudget;
+    else if (C.MaxRssKb && memory::currentRssKb() > C.MaxRssKb)
+      R = AdmitResult::RssPressure;
+    else {
+      ++InFlight;
+      ++PerTenant[Tenant];
+      telemetry::gaugeSet("serve.in_flight",
+                          static_cast<int64_t>(InFlight));
+    }
+  }
+  if (R == AdmitResult::Admitted)
+    telemetry::count("serve.admitted");
+  else
+    telemetry::count("serve.rejected." + std::string(admitResultName(R)));
+  return R;
+}
+
+void AdmissionController::release(const std::string &Tenant) {
+  std::lock_guard<std::mutex> L(M);
+  if (InFlight)
+    --InFlight;
+  auto It = PerTenant.find(Tenant);
+  if (It != PerTenant.end() && It->second && --It->second == 0)
+    PerTenant.erase(It);
+  telemetry::gaugeSet("serve.in_flight", static_cast<int64_t>(InFlight));
+}
+
+void AdmissionController::setDraining(bool D) {
+  std::lock_guard<std::mutex> L(M);
+  Draining = D;
+}
+
+size_t AdmissionController::inFlight() const {
+  std::lock_guard<std::mutex> L(M);
+  return InFlight;
+}

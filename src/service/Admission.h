@@ -1,0 +1,93 @@
+//===- service/Admission.h - Scan service admission control -----*- C++ -*-==//
+//
+// Part of the Namer reproduction of "Learning to Find Naming Issues with Big
+// Code and Small Supervision" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Load shedding for the scan service (DESIGN.md, "Scan service"). Every
+/// request passes one admit() gate before it is queued: global queue
+/// depth, per-tenant in-flight budget, request size, and RSS pressure.
+/// Rejections are *typed* -- the client receives the kebab-case reason in
+/// an `overloaded` response -- and counted per reason
+/// (`serve.rejected.<reason>`), so dashboards can tell a hot tenant from
+/// a memory-squeezed host.
+///
+/// Admitted requests hold their slot (global + tenant) until release();
+/// the service pairs the two in its completion path, which runs for every
+/// outcome including exceptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_SERVICE_ADMISSION_H
+#define NAMER_SERVICE_ADMISSION_H
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace namer {
+namespace service {
+
+struct AdmissionConfig {
+  /// Requests admitted but not yet finished, across all tenants.
+  size_t MaxQueueDepth = 64;
+  /// In-flight requests per tenant bucket.
+  size_t MaxPerTenant = 8;
+  /// Shed load when the process RSS exceeds this (0 = no RSS gate).
+  uint64_t MaxRssKb = 0;
+  /// Per-request payload budgets (inline files).
+  size_t MaxRequestBytes = 8u << 20;
+  size_t MaxRequestFiles = 4096;
+};
+
+/// Why a request was (not) admitted. Keep admitResultName in sync.
+enum class AdmitResult : uint8_t {
+  Admitted,
+  QueueFull,
+  TenantOverBudget,
+  RssPressure,
+  RequestTooLarge,
+  Draining,
+};
+
+constexpr size_t kNumAdmitResults = 6;
+
+/// Stable kebab-case name, e.g. "tenant-over-budget"; "admitted" for the
+/// success case.
+const char *admitResultName(AdmitResult R);
+
+class AdmissionController {
+public:
+  explicit AdmissionController(AdmissionConfig C);
+
+  /// Gates one request: \p Tenant's bucket (empty = anonymous), \p Bytes /
+  /// \p Files the inline payload size. On Admitted the slot is held until
+  /// release(Tenant).
+  AdmitResult admit(const std::string &Tenant, size_t Bytes, size_t Files);
+
+  /// Returns an admitted request's slot. Must pair with a successful
+  /// admit() for the same tenant.
+  void release(const std::string &Tenant);
+
+  /// Once draining, every admit() returns Draining (typed shed during
+  /// graceful shutdown).
+  void setDraining(bool D);
+
+  size_t inFlight() const;
+
+private:
+  AdmissionConfig C;
+  mutable std::mutex M;
+  size_t InFlight = 0;                                // guarded by M
+  std::unordered_map<std::string, size_t> PerTenant;  // guarded by M
+  bool Draining = false;                              // guarded by M
+};
+
+} // namespace service
+} // namespace namer
+
+#endif // NAMER_SERVICE_ADMISSION_H

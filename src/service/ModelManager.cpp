@@ -1,0 +1,133 @@
+//===- service/ModelManager.cpp -------------------------------------------==//
+
+#include "service/ModelManager.h"
+
+#include "support/FaultInjector.h"
+#include "support/Telemetry.h"
+
+#include <chrono>
+#include <sys/stat.h>
+#include <thread>
+
+using namespace namer;
+using namespace namer::service;
+
+namespace {
+
+/// st_mtime of \p Path in nanoseconds; 0 when the file cannot be stat'ed.
+uint64_t fileMtimeNs(const std::string &Path) {
+  struct stat St;
+  if (::stat(Path.c_str(), &St) != 0)
+    return 0;
+  return static_cast<uint64_t>(St.st_mtim.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(St.st_mtim.tv_nsec);
+}
+
+} // namespace
+
+ModelManager::ModelManager(Options O) : O(std::move(O)) {
+  if (this->O.MaxRetries == 0)
+    this->O.MaxRetries = 1;
+  // PR-4 convention: every series this subsystem can emit exists from the
+  // first exposition, as zero.
+  telemetry::count("snapshot.loads", 0);
+  telemetry::count("snapshot.retries", 0);
+  telemetry::count("snapshot.swaps", 0);
+  telemetry::count("snapshot.swap_failures", 0);
+  telemetry::gaugeSet("snapshot.version", 0);
+}
+
+std::shared_ptr<ModelSnapshot>
+ModelManager::loadWithRetry(std::string *ErrorOut) {
+  for (unsigned Attempt = 0; Attempt != O.MaxRetries; ++Attempt) {
+    if (Attempt != 0) {
+      telemetry::count("snapshot.retries");
+      unsigned Ms = O.BackoffBaseMs << (Attempt - 1);
+      if (O.BackoffSleep)
+        O.BackoffSleep(Ms);
+      else if (Ms)
+        std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+    }
+    try {
+      // The injected fault stands in for the transient loader errors the
+      // backoff exists for (NFS hiccup, half-written file mid-rename).
+      // Each attempt gets its own injection key -- swaps are serialized
+      // under SwapM, so the sequence is deterministic -- which lets a
+      // seeded rate fail *some* attempts instead of all-or-nothing on the
+      // constant path.
+      faultinject::ScopedKey Key(O.Path + "#" +
+                                 std::to_string(NumLoadAttempts++));
+      if (auto Kind = faultinject::fire("model.swap"))
+        throw model::ModelError(model::ModelErrorKind::Io, "injected");
+      auto Snap = std::make_shared<ModelSnapshot>();
+      Snap->Path = O.Path;
+      Snap->MtimeNs = fileMtimeNs(O.Path);
+      Snap->File = model::load(O.Path, Snap->Mem);
+      telemetry::count("snapshot.loads");
+      return Snap;
+    } catch (const std::exception &E) {
+      if (ErrorOut)
+        *ErrorOut = E.what();
+    }
+  }
+  return nullptr;
+}
+
+void ModelManager::loadInitial() {
+  std::lock_guard<std::mutex> SwapLock(SwapM);
+  std::string Error;
+  std::shared_ptr<ModelSnapshot> Snap = loadWithRetry(&Error);
+  if (!Snap)
+    throw model::ModelError(model::ModelErrorKind::Io,
+                            "initial model load failed: " + Error);
+  std::lock_guard<std::mutex> L(M);
+  Snap->Version = NextVersion++;
+  telemetry::gaugeSet("snapshot.version",
+                      static_cast<int64_t>(Snap->Version));
+  Current = std::move(Snap);
+}
+
+std::shared_ptr<const ModelSnapshot> ModelManager::current() const {
+  std::lock_guard<std::mutex> L(M);
+  return Current;
+}
+
+bool ModelManager::swapNow() {
+  std::lock_guard<std::mutex> SwapLock(SwapM);
+  std::string Error;
+  std::shared_ptr<ModelSnapshot> Snap = loadWithRetry(&Error);
+  std::lock_guard<std::mutex> L(M);
+  if (!Snap) {
+    // Exhausted retries: keep serving the previous snapshot.
+    ++NumSwapFailures;
+    telemetry::count("snapshot.swap_failures");
+    return false;
+  }
+  Snap->Version = NextVersion++;
+  ++NumSwaps;
+  telemetry::count("snapshot.swaps");
+  telemetry::gaugeSet("snapshot.version",
+                      static_cast<int64_t>(Snap->Version));
+  Current = std::move(Snap);
+  return true;
+}
+
+bool ModelManager::pollAndSwap() {
+  uint64_t Mtime = fileMtimeNs(O.Path);
+  {
+    std::lock_guard<std::mutex> L(M);
+    if (!Current || Mtime == 0 || Mtime == Current->MtimeNs)
+      return false;
+  }
+  return swapNow();
+}
+
+uint64_t ModelManager::swaps() const {
+  std::lock_guard<std::mutex> L(M);
+  return NumSwaps;
+}
+
+uint64_t ModelManager::swapFailures() const {
+  std::lock_guard<std::mutex> L(M);
+  return NumSwapFailures;
+}

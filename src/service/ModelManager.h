@@ -1,0 +1,117 @@
+//===- service/ModelManager.h - Atomic model hot-swap -----------*- C++ -*-==//
+//
+// Part of the Namer reproduction of "Learning to Find Naming Issues with Big
+// Code and Small Supervision" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immutable, ref-counted model snapshots for the scan service (DESIGN.md,
+/// "Scan service"). The manager owns the *current* snapshot pointer; every
+/// admitted request pins the snapshot it starts with by copying the
+/// shared_ptr, so a hot-swap mid-scan never invalidates in-flight work --
+/// the old snapshot dies when its last request finishes.
+///
+/// Swaps are triggered by SIGHUP, an explicit "swap" request, or (when
+/// polling is enabled) an mtime change of the model file. A load that
+/// fails with a transient error is retried with exponential backoff; when
+/// the retries are exhausted the previous snapshot stays current and the
+/// failure is counted (`snapshot.swap_failures`), never fatal.
+///
+/// Fault site `model.swap` fires once per load attempt: Throw-kind faults
+/// are the transient error the backoff exists for.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_SERVICE_MODELMANAGER_H
+#define NAMER_SERVICE_MODELMANAGER_H
+
+#include "namer/ModelStore.h"
+#include "support/Arena.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace namer {
+namespace service {
+
+/// One immutable loaded model. The arena owns the mapped bytes every
+/// string_view in File aliases; requests apply File to a fresh pipeline
+/// (NamerPipeline::loadModel(const model::ModelFile &)) while holding a
+/// shared_ptr to the whole snapshot.
+struct ModelSnapshot {
+  std::string Path;
+  /// Monotonic swap generation (1 = the initial load). Exported as the
+  /// `snapshot.version` gauge.
+  uint64_t Version = 0;
+  /// st_mtime of the file the snapshot was loaded from, in nanoseconds;
+  /// the poll path compares against it.
+  uint64_t MtimeNs = 0;
+  Arena Mem;
+  model::ModelFile File;
+};
+
+class ModelManager {
+public:
+  struct Options {
+    std::string Path;
+    /// Load attempts per swap (>= 1); transient failures back off
+    /// BackoffBaseMs * 2^attempt between tries.
+    unsigned MaxRetries = 3;
+    unsigned BackoffBaseMs = 10;
+    /// Backoff sleeper, injectable so tests run without wall-clock waits;
+    /// null sleeps for real.
+    std::function<void(unsigned Ms)> BackoffSleep;
+  };
+
+  explicit ModelManager(Options O);
+
+  /// Loads the initial snapshot. Throws model::ModelError (after the same
+  /// retry/backoff as any swap) when the model cannot be loaded at all --
+  /// the service refuses to start without a model.
+  void loadInitial();
+
+  /// The current snapshot (never null after loadInitial()). Callers keep
+  /// the returned shared_ptr for the duration of their scan: that pin is
+  /// what makes hot-swap safe.
+  std::shared_ptr<const ModelSnapshot> current() const;
+
+  /// Re-loads the model file and atomically publishes the new snapshot.
+  /// Returns true on success; on failure the previous snapshot stays
+  /// current. Counted: `snapshot.swaps`, `snapshot.swap_failures`,
+  /// `snapshot.retries`, `snapshot.loads`; gauge `snapshot.version`.
+  bool swapNow();
+
+  /// Stat()s the model file; swaps when its mtime differs from the
+  /// current snapshot's. Returns true when a swap happened.
+  bool pollAndSwap();
+
+  uint64_t swaps() const;
+  uint64_t swapFailures() const;
+
+private:
+  /// One full load (all retries) of Path; returns null when every attempt
+  /// failed. Fires fault site `model.swap` per attempt.
+  std::shared_ptr<ModelSnapshot> loadWithRetry(std::string *ErrorOut);
+
+  Options O;
+  /// Load attempts ever made; forms the per-attempt injection key
+  /// "<path>#<n>". Guarded by SwapM (every load runs under it).
+  uint64_t NumLoadAttempts = 0;
+  mutable std::mutex M;
+  std::shared_ptr<const ModelSnapshot> Current; // guarded by M
+  uint64_t NextVersion = 1;                     // guarded by M
+  uint64_t NumSwaps = 0;                        // guarded by M
+  uint64_t NumSwapFailures = 0;                 // guarded by M
+  /// Serializes swapNow()/pollAndSwap() so concurrent triggers (SIGHUP +
+  /// poll + explicit request) produce a clean version sequence.
+  std::mutex SwapM;
+};
+
+} // namespace service
+} // namespace namer
+
+#endif // NAMER_SERVICE_MODELMANAGER_H

@@ -1,0 +1,153 @@
+//===- service/Protocol.cpp -----------------------------------------------==//
+
+#include "service/Protocol.h"
+
+#include "support/MiniJson.h"
+
+#include <cstdio>
+
+using namespace namer;
+using namespace namer::service;
+
+const char *service::statusName(Status S) {
+  switch (S) {
+  case Status::Ok:
+    return "ok";
+  case Status::Overloaded:
+    return "overloaded";
+  case Status::DeadlineExceeded:
+    return "deadline-exceeded";
+  case Status::Cancelled:
+    return "cancelled";
+  case Status::InvalidRequest:
+    return "invalid-request";
+  case Status::ModelError:
+    return "model-error";
+  case Status::Fault:
+    return "fault";
+  case Status::ShuttingDown:
+    return "shutting-down";
+  }
+  return "fault";
+}
+
+std::string service::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+bool service::parseRequest(const std::string &Line, Request &R,
+                           std::string *Error) {
+  auto Fail = [&](const char *Why) {
+    if (Error)
+      *Error = Why;
+    return false;
+  };
+  std::string ParseError;
+  std::optional<json::Value> Doc = json::parse(Line, &ParseError);
+  if (!Doc)
+    return Fail(("bad json: " + ParseError).c_str());
+  if (!Doc->isObject())
+    return Fail("request must be a JSON object");
+
+  if (const json::Value *Id = Doc->find("id")) {
+    if (!Id->isString())
+      return Fail("'id' must be a string");
+    R.Id = Id->Str;
+  }
+  const json::Value *Method = Doc->find("method");
+  if (!Method || !Method->isString() || Method->Str.empty())
+    return Fail("missing 'method'");
+  R.Method = Method->Str;
+  if (R.Method != "scan" && R.Method != "ping" && R.Method != "stats" &&
+      R.Method != "swap" && R.Method != "shutdown")
+    return Fail("unknown method");
+  if (const json::Value *Tenant = Doc->find("tenant")) {
+    if (!Tenant->isString())
+      return Fail("'tenant' must be a string");
+    R.Tenant = Tenant->Str;
+  }
+  if (const json::Value *Deadline = Doc->find("deadline_ms")) {
+    if (!Deadline->isNumber() || Deadline->Num < 0)
+      return Fail("'deadline_ms' must be a non-negative number");
+    R.DeadlineMs = static_cast<uint64_t>(Deadline->Num);
+  }
+  if (const json::Value *Max = Doc->find("max_reports")) {
+    if (!Max->isNumber() || Max->Num < 0)
+      return Fail("'max_reports' must be a non-negative number");
+    R.MaxReports = static_cast<size_t>(Max->Num);
+  }
+  if (const json::Value *Dir = Doc->find("dir")) {
+    if (!Dir->isString())
+      return Fail("'dir' must be a string");
+    R.Dir = Dir->Str;
+  }
+  if (const json::Value *Files = Doc->find("files")) {
+    if (!Files->isArray())
+      return Fail("'files' must be an array");
+    for (const json::Value &F : Files->Arr) {
+      const json::Value *Path = F.find("path");
+      const json::Value *Content = F.find("content");
+      if (!F.isObject() || !Path || !Path->isString() || Path->Str.empty() ||
+          !Content || !Content->isString())
+        return Fail("each file needs a 'path' and a 'content' string");
+      R.Files.push_back(ScanFile{Path->Str, Content->Str});
+    }
+  }
+  if (R.Method == "scan" && R.Dir.empty() && R.Files.empty())
+    return Fail("scan needs a 'dir' or non-empty 'files'");
+  if (!R.Dir.empty() && !R.Files.empty())
+    return Fail("'dir' and 'files' are mutually exclusive");
+  return true;
+}
+
+std::string service::renderResponse(const Response &R) {
+  // Sorted keys: detail, <extra members>, id, reports, status. Optional
+  // members are omitted when empty, like the ledger writer.
+  std::string Out = "{";
+  if (!R.Detail.empty())
+    Out += "\"detail\":\"" + jsonEscape(R.Detail) + "\",";
+  Out += "\"id\":\"" + jsonEscape(R.Id) + "\",";
+  if (!R.Extra.empty()) {
+    Out += R.Extra;
+    Out += ",";
+  }
+  if (R.St == Status::Ok && !R.Reports.empty()) {
+    Out += "\"reports\":[";
+    for (size_t I = 0; I != R.Reports.size(); ++I) {
+      if (I)
+        Out += ",";
+      Out += "\"" + jsonEscape(R.Reports[I]) + "\"";
+    }
+    Out += "],";
+  }
+  Out += "\"status\":\"";
+  Out += statusName(R.St);
+  Out += "\"}\n";
+  return Out;
+}

@@ -1,0 +1,108 @@
+//===- service/Protocol.h - Scan service wire protocol ----------*- C++ -*-==//
+//
+// Part of the Namer reproduction of "Learning to Find Naming Issues with Big
+// Code and Small Supervision" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line-delimited JSON protocol of namer-serve (DESIGN.md, "Scan
+/// service"): one request object per line in, one response object per line
+/// out. Parsing goes through support/MiniJson; responses are emitted by
+/// hand with sorted keys (the repo-wide byte-stable-writer convention), so
+/// goldens can compare whole lines.
+///
+/// Request:  {"id":"r1","method":"scan","tenant":"ci","deadline_ms":5000,
+///            "dir":"/path/to/tree"} -- or inline sources via
+///            "files":[{"path":"a.py","content":"..."}].
+/// Response: {"id":"r1","reports":[...],"status":"ok"}; every failure is a
+/// typed status from statusName(): overloaded, deadline-exceeded,
+/// cancelled, invalid-request, model-error, fault, shutting-down.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_SERVICE_PROTOCOL_H
+#define NAMER_SERVICE_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace namer {
+namespace service {
+
+/// Typed outcome of one request. Every response carries exactly one.
+enum class Status : uint8_t {
+  Ok,
+  Overloaded,
+  DeadlineExceeded,
+  Cancelled,
+  InvalidRequest,
+  ModelError,
+  Fault,
+  ShuttingDown,
+};
+
+constexpr size_t kNumStatuses = 8;
+
+/// Stable kebab-case wire name, e.g. "deadline-exceeded".
+const char *statusName(Status S);
+
+/// One inline source file of a scan request.
+struct ScanFile {
+  std::string Path;
+  std::string Content;
+};
+
+/// Sentinel for "no deadline_ms in the request" -- the server default
+/// applies. An *explicit* deadline_ms of 0 arms an already-elapsed
+/// deadline: the scan trips at its first checkpoint, deterministically
+/// (the chaos tests' deadline path).
+inline constexpr uint64_t kNoDeadline = ~0ull;
+
+struct Request {
+  std::string Id;
+  /// "scan", "ping", "stats", "swap" or "shutdown".
+  std::string Method;
+  /// Admission-control bucket; empty means the anonymous tenant.
+  std::string Tenant;
+  /// kNoDeadline = absent (server default); 0 = already elapsed.
+  uint64_t DeadlineMs = kNoDeadline;
+  /// Directory to scan (server-side path) -- or inline Files.
+  std::string Dir;
+  std::vector<ScanFile> Files;
+  size_t MaxReports = 50;
+};
+
+struct Response {
+  std::string Id;
+  Status St = Status::Ok;
+  /// Human-readable context for non-ok statuses (admission reason, the
+  /// ModelError text, ...). Never parsed by clients.
+  std::string Detail;
+  /// Canonical report lines (ScanRun renderReportLine, newline stripped),
+  /// present on ok scans.
+  std::vector<std::string> Reports;
+  /// Extra pre-rendered JSON members ("key":value, comma-joined), used by
+  /// stats/ping responses. Keys must sort after "id" and before "reports"
+  /// to keep the sorted-key contract; the writer asserts nothing -- keep
+  /// them lowercase and in range.
+  std::string Extra;
+};
+
+/// Parses one request line. Returns false and fills \p Error on malformed
+/// JSON or a structurally invalid request (the caller answers
+/// invalid-request; the connection survives).
+bool parseRequest(const std::string &Line, Request &R, std::string *Error);
+
+/// Renders one response as a single JSON line (sorted keys, trailing
+/// newline).
+std::string renderResponse(const Response &R);
+
+/// JSON string escaping shared by the service writers.
+std::string jsonEscape(const std::string &S);
+
+} // namespace service
+} // namespace namer
+
+#endif // NAMER_SERVICE_PROTOCOL_H

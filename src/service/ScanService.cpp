@@ -1,0 +1,309 @@
+//===- service/ScanService.cpp --------------------------------------------==//
+
+#include "service/ScanService.h"
+
+#include "namer/Pipeline.h"
+#include "namer/ScanRun.h"
+#include "support/FaultInjector.h"
+#include "support/Telemetry.h"
+
+#include <cassert>
+#include <chrono>
+#include <filesystem>
+
+using namespace namer;
+using namespace namer::service;
+namespace fs = std::filesystem;
+
+ScanService::ScanService(ServiceConfig Cfg) : C(std::move(Cfg)) {
+  if (C.ScanWorkers == 0)
+    C.ScanWorkers = 1;
+  // +1: the submitting (accept) thread has a helper queue it never drains,
+  // so all ScanWorkers spawned threads are available for detached tasks.
+  Pool = std::make_unique<ThreadPool>(C.ScanWorkers + 1);
+  Admit = std::make_unique<AdmissionController>(C.Admission);
+  C.Model.Path = C.ModelPath;
+  Models = std::make_unique<ModelManager>(C.Model);
+  // Register every response-status series at zero (PR-4 convention), so
+  // the first exposition already names everything a soak can produce.
+  telemetry::count("serve.requests", 0);
+  telemetry::count("serve.drain.cancelled", 0);
+  for (size_t S = 0; S != kNumStatuses; ++S)
+    telemetry::count("serve.status." +
+                         std::string(statusName(static_cast<Status>(S))),
+                     0);
+  if (telemetry::enabled())
+    telemetry::metrics().histogram("serve.scan_us");
+}
+
+ScanService::~ScanService() {
+  // Admitted-but-unscheduled tasks still run (cancelled, typed) before the
+  // pool joins; member destruction order alone would tear Admit/Models
+  // down first, so drain explicitly.
+  drain(0);
+  Pool.reset();
+}
+
+void ScanService::start() {
+  Models->loadInitial();
+  if (C.WithEcosystemCorpus) {
+    C.BaseCorpus.Lang = C.Lang;
+    Base = corpus::generateCorpus(C.BaseCorpus);
+  } else {
+    Base.Lang = C.Lang;
+  }
+}
+
+size_t ScanService::inFlight() const {
+  std::lock_guard<std::mutex> L(M);
+  return Live.size();
+}
+
+corpus::Corpus ScanService::makeRequestCorpus(const Request &R,
+                                              Arena &FileArena,
+                                              std::string *LoadError) const {
+  corpus::Corpus Corp;
+  Corp.Lang = Base.Lang;
+  Corp.Repos.reserve(Base.Repos.size() + 1);
+  for (const corpus::Repository &BaseRepo : Base.Repos) {
+    corpus::Repository Copy;
+    Copy.Name = BaseRepo.Name;
+    Copy.Files.reserve(BaseRepo.Files.size());
+    for (const corpus::SourceFile &F : BaseRepo.Files) {
+      corpus::SourceFile S;
+      S.Path = F.Path;
+      S.View = F.contents(); // aliases the service-lifetime base corpus
+      S.Mapped = true;
+      Copy.Files.push_back(std::move(S));
+    }
+    Corp.Repos.push_back(std::move(Copy));
+  }
+
+  corpus::Repository Mine;
+  if (!R.Dir.empty()) {
+    Mine.Name = R.Dir;
+    const char *Extension =
+        Corp.Lang == corpus::Language::Python ? ".py" : ".java";
+    std::error_code Ec;
+    for (fs::recursive_directory_iterator It(R.Dir, Ec), End; It != End;
+         It.increment(Ec)) {
+      if (Ec)
+        break;
+      if (!It->is_regular_file() || It->path().extension() != Extension)
+        continue;
+      std::string Path = It->path().string();
+      std::optional<Arena::FileMapping> Mapped = FileArena.mapFile(Path);
+      if (!Mapped)
+        continue;
+      corpus::SourceFile F;
+      F.Path = std::move(Path);
+      F.View = Mapped->Contents;
+      F.Mapped = true;
+      Mine.Files.push_back(std::move(F));
+    }
+    if (Mine.Files.empty()) {
+      *LoadError = "no scannable files under '" + R.Dir + "'";
+      return Corp;
+    }
+  } else {
+    Mine.Name = "<inline>";
+    for (const ScanFile &F : R.Files) {
+      corpus::SourceFile S;
+      S.Path = F.Path;
+      S.Text = F.Content;
+      Mine.Files.push_back(std::move(S));
+    }
+  }
+  Corp.Repos.push_back(std::move(Mine));
+  return Corp;
+}
+
+Response ScanService::runScan(const Request &R,
+                              std::shared_ptr<cancel::CancelToken> Tok) {
+  Response Out;
+  Out.Id = R.Id;
+  uint64_t StartNs = telemetry::nowNanos();
+  // The request's token becomes ambient for everything the pipeline does
+  // on this thread (and, via parallelFor's capture, any thread helping
+  // it); its injection key attributes chaos faults to the request.
+  cancel::CancelScope Scope(Tok.get());
+  faultinject::ScopedKey Key(R.Id);
+  try {
+    if (auto Kind = faultinject::fire("serve.scan")) {
+      // Non-throw kinds map onto the two typed degradations a scan can
+      // hit mid-flight.
+      Out.St = *Kind == faultinject::FaultKind::Timeout
+                   ? Status::DeadlineExceeded
+                   : Status::Overloaded;
+      Out.Detail = "injected";
+      return Out;
+    }
+    Tok->checkpoint();
+
+    // Pin the snapshot for the whole scan: a concurrent hot-swap replaces
+    // Models->current() but never this request's model.
+    std::shared_ptr<const ModelSnapshot> Snap = Models->current();
+    assert(Snap && "start() must run before submit()");
+
+    // The snapshot's config echo *is* the request pipeline's config, so
+    // loadModel's invalidation rules pass by construction -- the model
+    // defines the scan's semantics, the service only schedules it.
+    PipelineConfig PC;
+    PC.UseAnalyses = Snap->File.UseAnalyses;
+    PC.UseClassifier = Snap->File.UseClassifier;
+    PC.Seed = Snap->File.Seed;
+    PC.Miner = Snap->File.Miner;
+    PC.Limits = Snap->File.Limits;
+    PC.Threads = 1; // concurrency is across requests, not within one
+
+    Arena FileArena;
+    std::string LoadError;
+    corpus::Corpus Corp = makeRequestCorpus(R, FileArena, &LoadError);
+    if (!LoadError.empty()) {
+      Out.St = Status::InvalidRequest;
+      Out.Detail = LoadError;
+      return Out;
+    }
+
+    NamerPipeline P(PC);
+    P.loadModel(Snap->File);
+    P.scanWith(Corp, /*UseCache=*/true);
+
+    FindingSelectOptions Sel;
+    Sel.PathPrefix = R.Dir;
+    for (const ScanFile &F : R.Files)
+      Sel.OnlyPaths.push_back(F.Path);
+    Sel.UseClassifier = Snap->File.UseClassifier;
+    Sel.MaxReports = R.MaxReports;
+    for (const Explanation &E : selectFindings(P, Sel)) {
+      std::string Line = renderReportLine(E.R);
+      if (!Line.empty() && Line.back() == '\n')
+        Line.pop_back();
+      Out.Reports.push_back(std::move(Line));
+    }
+    Out.St = Status::Ok;
+    telemetry::histogramRecord("serve.scan_us",
+                               (telemetry::nowNanos() - StartNs) / 1000);
+  } catch (const cancel::CancelledError &E) {
+    // Partial work (statements, per-request interners, arenas) died with
+    // the unwound pipeline; only the typed status leaves this frame.
+    Out.Reports.clear();
+    Out.St = E.reason() == cancel::CancelReason::Explicit
+                 ? Status::Cancelled
+                 : Status::DeadlineExceeded;
+  } catch (const faultinject::InjectedFault &E) {
+    Out.Reports.clear();
+    Out.St = Status::Fault;
+    Out.Detail = E.what();
+  } catch (const model::ModelError &E) {
+    Out.Reports.clear();
+    Out.St = Status::ModelError;
+    Out.Detail = E.what();
+  } catch (const std::exception &E) {
+    Out.Reports.clear();
+    Out.St = Status::Fault;
+    Out.Detail = E.what();
+  }
+  return Out;
+}
+
+void ScanService::submit(Request R, std::function<void(Response)> Done) {
+  telemetry::count("serve.requests");
+  auto Finish = [](Response Resp, const std::function<void(Response)> &Cb) {
+    telemetry::count("serve.status." +
+                     std::string(statusName(Resp.St)));
+    Cb(std::move(Resp));
+  };
+
+  Response Rej;
+  Rej.Id = R.Id;
+  // Chaos site 1: the admission edge. Throw-kind faults surface as typed
+  // `fault` responses; the process and the connection survive.
+  try {
+    faultinject::ScopedKey Key(R.Id);
+    if (auto Kind = faultinject::fire("serve.admit")) {
+      Rej.St = *Kind == faultinject::FaultKind::Timeout
+                   ? Status::DeadlineExceeded
+                   : Status::Overloaded;
+      Rej.Detail = "injected";
+      Finish(std::move(Rej), Done);
+      return;
+    }
+  } catch (const faultinject::InjectedFault &E) {
+    Rej.St = Status::Fault;
+    Rej.Detail = E.what();
+    Finish(std::move(Rej), Done);
+    return;
+  }
+
+  size_t Bytes = 0;
+  for (const ScanFile &F : R.Files)
+    Bytes += F.Path.size() + F.Content.size();
+  AdmitResult A = Admit->admit(R.Tenant, Bytes, R.Files.size());
+  if (A != AdmitResult::Admitted) {
+    Rej.St = A == AdmitResult::Draining ? Status::ShuttingDown
+                                        : Status::Overloaded;
+    Rej.Detail = admitResultName(A);
+    Finish(std::move(Rej), Done);
+    return;
+  }
+
+  // The deadline clock starts at admission -- queue wait counts against
+  // the request's budget, which is what keeps an overloaded queue from
+  // serving every request late instead of some requests on time.
+  auto Tok = std::make_shared<cancel::CancelToken>();
+  uint64_t DeadlineMs = R.DeadlineMs != kNoDeadline
+                            ? R.DeadlineMs
+                            : (C.DefaultDeadlineMs ? C.DefaultDeadlineMs
+                                                   : kNoDeadline);
+  if (DeadlineMs != kNoDeadline)
+    Tok->setDeadlineFromNowMs(DeadlineMs);
+
+  uint64_t Seq;
+  {
+    std::lock_guard<std::mutex> L(M);
+    Seq = NextSeq++;
+    Live.emplace(Seq, Tok);
+  }
+
+  auto Task = [this, Seq, Tok, R = std::move(R),
+               Done = std::move(Done), Finish]() mutable {
+    Response Out = runScan(R, Tok);
+    std::string Tenant = R.Tenant;
+    {
+      std::lock_guard<std::mutex> L(M);
+      Live.erase(Seq);
+    }
+    IdleCv.notify_all();
+    Admit->release(Tenant);
+    Finish(std::move(Out), Done);
+  };
+  // workerCount() includes the accept thread's helper slot; > 1 means a
+  // spawned worker exists to take the detached task.
+  if (Pool->workerCount() > 1) {
+    bool Scheduled = Pool->async(std::move(Task));
+    assert(Scheduled && "multi-worker pool rejected async task");
+    (void)Scheduled;
+  } else {
+    Task(); // degenerate single-worker configuration: run inline
+  }
+}
+
+size_t ScanService::drain(uint64_t MaxWaitMs) {
+  Admit->setDraining(true);
+  std::unique_lock<std::mutex> L(M);
+  IdleCv.wait_for(L, std::chrono::milliseconds(MaxWaitMs),
+                  [&] { return Live.empty(); });
+  size_t Cancelled = Live.size();
+  // Stragglers get an explicit cancel; their next checkpoint unwinds them
+  // into typed `cancelled` responses, so the final wait is bounded by one
+  // checkpoint interval, not a scan.
+  for (auto &[Seq, LiveTok] : Live) {
+    (void)Seq;
+    LiveTok->cancel();
+  }
+  IdleCv.wait(L, [&] { return Live.empty(); });
+  if (Cancelled)
+    telemetry::count("serve.drain.cancelled", Cancelled);
+  return Cancelled;
+}

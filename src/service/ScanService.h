@@ -1,0 +1,130 @@
+//===- service/ScanService.h - Fault-tolerant scan scheduler ----*- C++ -*-==//
+//
+// Part of the Namer reproduction of "Learning to Find Naming Issues with Big
+// Code and Small Supervision" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-lived scan service behind tools/namer-serve (DESIGN.md, "Scan
+/// service"). One ScanService owns:
+///
+///  - a work-stealing ThreadPool the scan requests are scheduled onto
+///    (each request runs single-threaded inside one pool task, so
+///    concurrency = parallel requests, not parallel files);
+///  - an AdmissionController shedding load with typed `overloaded`
+///    responses before any work is queued;
+///  - a ModelManager whose immutable snapshots every admitted request pins
+///    for its whole scan, making hot-swap invisible to in-flight work;
+///  - a per-request CancelToken carrying the deadline; the pipeline's
+///    cooperative checkpoints turn it into a typed `deadline-exceeded`
+///    response with all partial work discarded by unwinding.
+///
+/// Every submitted request gets exactly one completion callback with a
+/// well-formed typed Response -- injected faults, cancelled scans and
+/// model rejects included; the process never aborts. Scans serve warm from
+/// the snapshot's manifest (PR-7 byte-identity: a clean request's report
+/// lines equal a cold namer-scan run on the same tree).
+///
+/// Fault sites: `serve.admit` (before admission), `serve.scan` (inside the
+/// request task), `model.swap` (per load attempt, in ModelManager).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_SERVICE_SCANSERVICE_H
+#define NAMER_SERVICE_SCANSERVICE_H
+
+#include "corpus/Corpus.h"
+#include "service/Admission.h"
+#include "service/ModelManager.h"
+#include "service/Protocol.h"
+#include "support/Cancellation.h"
+#include "support/ThreadPool.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace namer {
+namespace service {
+
+struct ServiceConfig {
+  std::string ModelPath;
+  corpus::Language Lang = corpus::Language::Python;
+  /// Concurrent scan requests. The pool is built with ScanWorkers + 1
+  /// workers: the +1 is the submitting thread's helper slot, which the
+  /// accept loop never occupies, leaving ScanWorkers spawned threads to
+  /// run detached request tasks.
+  unsigned ScanWorkers = 4;
+  AdmissionConfig Admission;
+  /// ModelManager knobs; Path is overwritten with ModelPath.
+  ModelManager::Options Model;
+  /// Applied when a request carries deadline_ms 0; 0 = no deadline.
+  uint64_t DefaultDeadlineMs = 0;
+  /// Mine-time ecosystem corpus every request is scanned against (the
+  /// snapshot's manifest replays it warm). Lang is overwritten with Lang
+  /// above. Tests shrink NumRepos; must match the corpus the model was
+  /// mined over or every ecosystem file re-ingests cold.
+  corpus::CorpusConfig BaseCorpus;
+  /// Skip the ecosystem corpus entirely (requests scan only their own
+  /// files; manifest diff marks everything deleted). Debug knob.
+  bool WithEcosystemCorpus = true;
+};
+
+class ScanService {
+public:
+  explicit ScanService(ServiceConfig C);
+  ~ScanService();
+
+  /// Loads the initial model snapshot (throws model::ModelError when that
+  /// fails after retries) and generates the base corpus. Call once before
+  /// submit().
+  void start();
+
+  /// Schedules one scan request. \p Done is called exactly once, from the
+  /// pool thread that ran (or rejected) the request, with a typed
+  /// Response. Rejections (admission, injected admit faults, draining)
+  /// complete synchronously on the caller's thread.
+  void submit(Request R, std::function<void(Response)> Done);
+
+  /// Stops admitting (typed `draining` rejections), waits up to
+  /// \p MaxWaitMs for in-flight scans, then cancels the stragglers and
+  /// waits for them to unwind. Returns the number of scans cancelled.
+  size_t drain(uint64_t MaxWaitMs);
+
+  ModelManager &models() { return *Models; }
+  AdmissionController &admission() { return *Admit; }
+  size_t inFlight() const;
+
+private:
+  /// The pool-task body: pins the snapshot, builds the per-request corpus
+  /// and pipeline, scans, selects findings. Never throws; every outcome
+  /// becomes a typed Response.
+  Response runScan(const Request &R,
+                   std::shared_ptr<cancel::CancelToken> Tok);
+
+  /// Shallow per-request copy of the base corpus (views alias the base
+  /// files' bytes; the service outlives every request) plus the request's
+  /// own repository.
+  corpus::Corpus makeRequestCorpus(const Request &R, Arena &FileArena,
+                                   std::string *LoadError) const;
+
+  ServiceConfig C;
+  std::unique_ptr<ThreadPool> Pool;
+  std::unique_ptr<AdmissionController> Admit;
+  std::unique_ptr<ModelManager> Models;
+  corpus::Corpus Base;
+
+  mutable std::mutex M;
+  std::condition_variable IdleCv;
+  uint64_t NextSeq = 0;                                       // guarded by M
+  std::map<uint64_t, std::shared_ptr<cancel::CancelToken>> Live; // by M
+};
+
+} // namespace service
+} // namespace namer
+
+#endif // NAMER_SERVICE_SCANSERVICE_H

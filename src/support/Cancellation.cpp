@@ -1,0 +1,61 @@
+//===- support/Cancellation.cpp -------------------------------------------==//
+
+#include "support/Cancellation.h"
+
+#include <chrono>
+
+using namespace namer;
+using namespace namer::cancel;
+
+namespace {
+
+/// Ambient token of the current thread; installed by CancelScope.
+thread_local const CancelToken *CurrentToken = nullptr;
+
+uint64_t steadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+const char *cancel::cancelReasonName(CancelReason Reason) {
+  switch (Reason) {
+  case CancelReason::None:
+    return "none";
+  case CancelReason::Explicit:
+    return "cancelled";
+  case CancelReason::Deadline:
+    return "deadline-exceeded";
+  }
+  return "none";
+}
+
+void CancelToken::setDeadlineFromNowMs(uint64_t Millis) {
+  DeadlineNs.store(steadyNowNs() + Millis * 1000000ull,
+                   std::memory_order_release);
+}
+
+CancelReason CancelToken::state() const {
+  if (Cancelled.load(std::memory_order_acquire))
+    return CancelReason::Explicit;
+  uint64_t D = DeadlineNs.load(std::memory_order_acquire);
+  if (D != ~0ull && steadyNowNs() >= D)
+    return CancelReason::Deadline;
+  return CancelReason::None;
+}
+
+CancelScope::CancelScope(const CancelToken *Token) : Saved(CurrentToken) {
+  CurrentToken = Token;
+}
+
+CancelScope::~CancelScope() { CurrentToken = Saved; }
+
+const CancelToken *cancel::currentToken() { return CurrentToken; }
+
+void cancel::checkpoint() {
+  if (const CancelToken *T = CurrentToken)
+    T->checkpoint();
+}

@@ -1,0 +1,120 @@
+//===- support/Cancellation.h - Cooperative cancellation --------*- C++ -*-==//
+//
+// Part of the Namer reproduction of "Learning to Find Naming Issues with Big
+// Code and Small Supervision" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cooperative cancellation for request-scoped work. The scan service
+/// (DESIGN.md, "Scan service") gives every request a CancelToken carrying
+/// its deadline; the pipeline's hot loops poll it at checkpoints and bail
+/// out with a *typed* CancelledError instead of running to completion --
+/// partial work is discarded, per-request arenas are freed by unwinding,
+/// and the process never aborts.
+///
+/// Tokens are ambient: a CancelScope installs one for the current thread,
+/// and ThreadPool::parallelFor captures the submitting thread's token at
+/// entry -- chunk tasks re-install it on whichever worker runs them, check
+/// it before executing each chunk, and stop scheduling further chunk bodies
+/// the moment it trips. Code that never sees a scope (every batch CLI path)
+/// pays one thread-local load per checkpoint and nothing else.
+///
+/// Determinism: explicit cancel() and a zero/elapsed deadline are
+/// deterministic; a mid-flight wall-clock deadline is inherently not (the
+/// service documents that; tests pin deadlines to 0 or cancel explicitly).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_SUPPORT_CANCELLATION_H
+#define NAMER_SUPPORT_CANCELLATION_H
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+
+namespace namer {
+namespace cancel {
+
+/// Why a token tripped. None means "still live".
+enum class CancelReason : uint8_t { None, Explicit, Deadline };
+
+/// Stable kebab-case name ("cancelled", "deadline-exceeded"); "none" for
+/// None. Used for response statuses and telemetry suffixes.
+const char *cancelReasonName(CancelReason Reason);
+
+/// The typed cancellation signal. Thrown by CancelToken::checkpoint() and
+/// propagated verbatim by ThreadPool::parallelFor, so callers can
+/// distinguish "request cancelled" from a genuine worker failure.
+class CancelledError : public std::runtime_error {
+public:
+  explicit CancelledError(CancelReason Reason)
+      : std::runtime_error(Reason == CancelReason::Deadline
+                               ? "deadline exceeded"
+                               : "cancelled"),
+        Reason(Reason) {}
+  CancelReason reason() const { return Reason; }
+
+private:
+  CancelReason Reason;
+};
+
+/// One request's cancellation state: an explicit flag plus an optional
+/// steady-clock deadline. Thread-safe; cancel() may race checkpoints
+/// freely. Not copyable (checkpoints hold the address).
+class CancelToken {
+public:
+  CancelToken() = default;
+  CancelToken(const CancelToken &) = delete;
+  CancelToken &operator=(const CancelToken &) = delete;
+
+  /// Arms the deadline \p Millis from now (steady clock). 0 arms an
+  /// already-elapsed deadline: the next checkpoint trips deterministically.
+  void setDeadlineFromNowMs(uint64_t Millis);
+
+  /// Requests cancellation; checkpoints trip from now on.
+  void cancel() { Cancelled.store(true, std::memory_order_release); }
+
+  /// Non-throwing poll: the reason the token has tripped, None while live.
+  /// Explicit cancellation wins over an elapsed deadline.
+  CancelReason state() const;
+
+  /// Throws CancelledError when the token has tripped; otherwise returns.
+  void checkpoint() const {
+    CancelReason R = state();
+    if (R != CancelReason::None)
+      throw CancelledError(R);
+  }
+
+private:
+  std::atomic<bool> Cancelled{false};
+  /// Steady-clock deadline in nanoseconds since the clock's epoch;
+  /// UINT64_MAX = no deadline armed.
+  std::atomic<uint64_t> DeadlineNs{~0ull};
+};
+
+/// RAII ambient-token scope for the current thread. Nestable: the previous
+/// token is restored on destruction. ThreadPool re-installs the submitter's
+/// token inside chunk tasks with this.
+class CancelScope {
+public:
+  explicit CancelScope(const CancelToken *Token);
+  ~CancelScope();
+  CancelScope(const CancelScope &) = delete;
+  CancelScope &operator=(const CancelScope &) = delete;
+
+private:
+  const CancelToken *Saved;
+};
+
+/// The current thread's ambient token (nullptr outside any scope).
+const CancelToken *currentToken();
+
+/// Checkpoints against the ambient token; no-op without one. The hook the
+/// pipeline's sequential loops call.
+void checkpoint();
+
+} // namespace cancel
+} // namespace namer
+
+#endif // NAMER_SUPPORT_CANCELLATION_H

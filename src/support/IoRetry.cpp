@@ -1,0 +1,44 @@
+//===- support/IoRetry.cpp ------------------------------------------------==//
+
+#include "support/IoRetry.h"
+
+#include "support/Telemetry.h"
+
+#include <atomic>
+#include <cerrno>
+
+using namespace namer;
+
+namespace {
+
+std::atomic<io::WriteFn> GWriteFn{nullptr};
+
+size_t doWrite(const void *Ptr, size_t ItemSize, size_t Count,
+               std::FILE *File) {
+  if (io::WriteFn Fn = GWriteFn.load(std::memory_order_acquire))
+    return Fn(Ptr, ItemSize, Count, File);
+  return std::fwrite(Ptr, ItemSize, Count, File);
+}
+
+} // namespace
+
+void io::setWriteFnForTest(WriteFn Fn) {
+  GWriteFn.store(Fn, std::memory_order_release);
+}
+
+bool io::fwriteAll(std::FILE *File, const char *Data, size_t Size) {
+  size_t Written = doWrite(Data, 1, Size, File);
+  if (Written == Size)
+    return true;
+  // One retry: a short write from an interrupted syscall (EINTR) leaves the
+  // stream flagged; clear it and push the remainder once before giving up.
+  if (errno == EINTR)
+    errno = 0;
+  std::clearerr(File);
+  telemetry::count("io.write_retries");
+  Written += doWrite(Data + Written, 1, Size - Written, File);
+  if (Written == Size)
+    return true;
+  telemetry::count("io.write_errors");
+  return false;
+}

@@ -1,0 +1,46 @@
+//===- support/IoRetry.h - Short-write/EINTR-tolerant file IO ---*- C++ -*-==//
+//
+// Part of the Namer reproduction of "Learning to Find Naming Issues with Big
+// Code and Small Supervision" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability writers (RunLedger appends, MetricsSnapshotter
+/// expositions) must not lose the tail of a run to a transient EINTR or a
+/// short fwrite. fwriteAll() writes a buffer completely, retrying the
+/// remainder once after a short write (clearing the stream's error state
+/// when errno says EINTR) before surfacing the failure; every retry is
+/// counted in `io.write_retries`, every surfaced failure in
+/// `io.write_errors`.
+///
+/// Tests inject failures through setWriteFnForTest(): the hook replaces the
+/// underlying fwrite so short writes and EINTR are exercised
+/// deterministically without signals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NAMER_SUPPORT_IORETRY_H
+#define NAMER_SUPPORT_IORETRY_H
+
+#include <cstddef>
+#include <cstdio>
+
+namespace namer {
+namespace io {
+
+/// Writes all \p Size bytes of \p Data to \p File. On a short write the
+/// stream error state is cleared and the remainder is retried exactly once;
+/// a second short write fails. Returns true when every byte was written.
+bool fwriteAll(std::FILE *File, const char *Data, size_t Size);
+
+/// Underlying write primitive, fwrite-compatible. Tests swap it to inject
+/// short writes / EINTR; nullptr restores the real fwrite.
+using WriteFn = size_t (*)(const void *Ptr, size_t ItemSize, size_t Count,
+                           std::FILE *File);
+void setWriteFnForTest(WriteFn Fn);
+
+} // namespace io
+} // namespace namer
+
+#endif // NAMER_SUPPORT_IORETRY_H

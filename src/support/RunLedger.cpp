@@ -2,6 +2,7 @@
 
 #include "support/RunLedger.h"
 
+#include "support/IoRetry.h"
 #include "support/Telemetry.h"
 
 #include <cinttypes>
@@ -89,7 +90,11 @@ void RunLedger::append(const Record &R) {
   Line += "\"schema_version\":" + std::to_string(kLedgerSchemaVersion) + ",";
   Line += "\"seq\":" + std::to_string(Seq) + "}\n";
   ++Seq;
-  std::fwrite(Line.data(), 1, Line.size(), File);
+  // EINTR/short-write tolerant: a run's tail records (run_end, the final
+  // phase) must survive a signal landing mid-append. fwriteAll retries the
+  // remainder once; a persistent failure only drops this line, never
+  // corrupts earlier ones (each append is a self-contained line + flush).
+  io::fwriteAll(File, Line.data(), Line.size());
   std::fflush(File);
   telemetry::count("ledger.records");
 }

@@ -2,6 +2,7 @@
 
 #include "support/Telemetry.h"
 
+#include "support/IoRetry.h"
 #include "support/TextTable.h"
 
 #include <algorithm>
@@ -109,15 +110,19 @@ struct MetricsSnapshotter::Impl {
 
   bool write() {
     // tmp + rename: a scraper tailing Path never observes a torn document.
+    // io::fwriteAll rides out one EINTR/short write, so a signal landing
+    // mid-exposition (the namer-scan SIGTERM flush path) still produces a
+    // complete document.
     std::string Doc = prometheusText(O.Export);
     std::string Tmp = O.Path + ".tmp";
     {
-      std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+      std::FILE *Out = std::fopen(Tmp.c_str(), "wb");
       if (!Out)
         return false;
-      Out << Doc;
-      Out.flush();
-      if (!Out)
+      bool Ok = io::fwriteAll(Out, Doc.data(), Doc.size());
+      Ok = std::fflush(Out) == 0 && Ok;
+      Ok = std::fclose(Out) == 0 && Ok;
+      if (!Ok)
         return false;
     }
     if (std::rename(Tmp.c_str(), O.Path.c_str()) != 0)

@@ -2,6 +2,7 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/Cancellation.h"
 #include "support/Telemetry.h"
 
 #include <algorithm>
@@ -93,6 +94,13 @@ ThreadPool::~ThreadPool() {
   SleepCv.notify_all();
   for (std::thread &T : Threads)
     T.join();
+}
+
+bool ThreadPool::async(std::function<void()> Task) {
+  if (Queues.empty())
+    return false;
+  submit(std::move(Task));
+  return true;
 }
 
 void ThreadPool::submit(std::function<void()> Task) {
@@ -187,12 +195,19 @@ void ThreadPool::parallelFor(size_t Begin, size_t End,
   SiteMetrics *SM = Site && telemetry::enabled() ? &siteMetrics(Site) : nullptr;
   if (Begin >= End)
     return;
+  // The submitter's ambient cancel token governs this whole parallelFor:
+  // the inline paths poll it between iterations, and every chunk task
+  // re-installs and polls it before running (see the chunk lambda below).
+  const cancel::CancelToken *Tok = cancel::currentToken();
   size_t N = End - Begin;
   // Sequential fast paths: single-worker pools, nested calls from inside a
   // task, and ranges too small to split.
   if (NumWorkers <= 1 || InPoolTask || N == 1) {
-    for (size_t I = Begin; I != End; ++I)
+    for (size_t I = Begin; I != End; ++I) {
+      if (Tok)
+        Tok->checkpoint();
       Body(I);
+    }
     return;
   }
 
@@ -222,14 +237,29 @@ void ThreadPool::parallelFor(size_t Begin, size_t End,
     std::condition_variable DoneCv;
     std::exception_ptr Exc;           // guarded by DoneM
     std::atomic<bool> Failed{false};
+    /// First observed cancel reason (cancel::CancelReason as uint8_t);
+    /// 0 = not cancelled. Set by the chunk that noticed the tripped token.
+    std::atomic<uint8_t> CancelledWhy{0};
   } State;
   State.Remaining = NumChunks;
 
   for (size_t C = 0; C != NumChunks; ++C) {
     size_t CB = Begin + C * Chunk;
     size_t CE = std::min(End, CB + Chunk);
-    submit([&State, &Body, StackPrefix, CB, CE] {
+    submit([&State, &Body, StackPrefix, Tok, CB, CE] {
       telemetry::InheritedStackScope Inherit(StackPrefix);
+      // Re-install the submitter's token on this worker so nested
+      // checkpoints (and nested inline parallelFors) see it, then poll it
+      // once per chunk: a tripped token stops all further chunk bodies.
+      cancel::CancelScope Ambient(Tok);
+      if (Tok) {
+        cancel::CancelReason R = Tok->state();
+        if (R != cancel::CancelReason::None) {
+          State.CancelledWhy.store(static_cast<uint8_t>(R),
+                                   std::memory_order_relaxed);
+          State.Failed.store(true, std::memory_order_relaxed);
+        }
+      }
       if (!State.Failed.load(std::memory_order_relaxed)) {
         try {
           for (size_t I = CB; I != CE; ++I)
@@ -266,4 +296,8 @@ void ThreadPool::parallelFor(size_t Begin, size_t End,
   }
   if (State.Exc)
     std::rethrow_exception(State.Exc);
+  // A chunk observed the tripped token and skipped (no body threw, so no
+  // exception carries the signal): surface the typed cancellation here.
+  if (uint8_t Why = State.CancelledWhy.load(std::memory_order_relaxed))
+    throw cancel::CancelledError(static_cast<cancel::CancelReason>(Why));
 }

@@ -58,6 +58,14 @@ public:
   /// until all iterations finished. The first exception thrown by a body
   /// is rethrown here (remaining chunks are skipped once one body threw).
   ///
+  /// Cancellation: the submitting thread's ambient cancel::CancelToken
+  /// (see support/Cancellation.h) is captured at entry and re-installed in
+  /// every chunk task. Once the token trips, no further chunk body runs --
+  /// queued chunks drain as no-ops -- and parallelFor throws the typed
+  /// cancel::CancelledError after the barrier. A body that checkpoints and
+  /// throws CancelledError itself propagates the same way. The pool stays
+  /// fully reusable afterward.
+  ///
   /// Nested calls (from inside a task) run inline sequentially, so bodies
   /// may themselves use parallelFor freely.
   ///
@@ -74,6 +82,15 @@ public:
   void parallelFor(size_t Begin, size_t End,
                    const std::function<void(size_t)> &Body,
                    size_t GrainSize = 1, const char *Site = nullptr);
+
+  /// Schedules one detached task onto the pool and returns immediately;
+  /// the scan service's request scheduler runs every admitted request
+  /// through this. Requires a pool with >= 2 workers (a single-worker pool
+  /// has no spawned threads to run detached work); returns false -- and
+  /// does not run the task -- when the pool cannot. The task must not
+  /// throw; wrap bodies that can fail. Outstanding async tasks are drained
+  /// before the destructor returns.
+  bool async(std::function<void()> Task);
 
   /// parallelFor over a vector, collecting F(Items[I]) into slot I of the
   /// result. R must be default-constructible.

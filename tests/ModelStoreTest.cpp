@@ -29,6 +29,7 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -370,4 +371,73 @@ TEST(ModelErrors, HeaderAndTableCorruptionFailsTyped) {
     } catch (const model::ModelError &) {
     }
   }
+}
+
+//===----------------------------------------------------------------------===//
+// The typed ModelError taxonomy as operators see it: formatModelError
+// must, for every one of the nine kinds, lead with the kebab-case
+// taxonomy name and carry a non-empty remediation hint. namer-scan and
+// namer-serve print exactly this string to stderr on any model reject.
+//===----------------------------------------------------------------------===//
+
+TEST(ModelStore, EveryErrorKindFormatsWithNameAndHint) {
+  using model::ModelErrorKind;
+  const ModelErrorKind Kinds[] = {
+      ModelErrorKind::Io,           ModelErrorKind::BadMagic,
+      ModelErrorKind::BadEndian,    ModelErrorKind::BadVersion,
+      ModelErrorKind::Truncated,    ModelErrorKind::BadChecksum,
+      ModelErrorKind::SectionMissing, ModelErrorKind::Malformed,
+      ModelErrorKind::ConfigMismatch};
+  static_assert(sizeof(Kinds) / sizeof(Kinds[0]) ==
+                    model::kNumModelErrorKinds,
+                "new ModelErrorKind: add it here and to the remediation "
+                "table");
+  std::set<std::string> Names, Hints;
+  for (ModelErrorKind Kind : Kinds) {
+    const char *Name = model::modelErrorKindName(Kind);
+    const char *Hint = model::modelErrorRemediation(Kind);
+    ASSERT_NE(Name, nullptr);
+    ASSERT_NE(Hint, nullptr);
+    EXPECT_GT(std::string(Hint).size(), 10u)
+        << Name << ": a hint must actually help";
+    // Kebab-case, no spaces, distinct per kind.
+    EXPECT_EQ(std::string(Name).find(' '), std::string::npos);
+    EXPECT_TRUE(Names.insert(Name).second) << "duplicate name " << Name;
+    EXPECT_TRUE(Hints.insert(Hint).second) << "duplicate hint for " << Name;
+
+    model::ModelError E(Kind, "context detail");
+    std::string Msg = model::formatModelError(E);
+    EXPECT_NE(Msg.find("model error ["), std::string::npos) << Msg;
+    EXPECT_NE(Msg.find(Name), std::string::npos)
+        << "kind name missing: " << Msg;
+    EXPECT_NE(Msg.find("context detail"), std::string::npos) << Msg;
+    EXPECT_NE(Msg.find("hint: "), std::string::npos) << Msg;
+    EXPECT_NE(Msg.find(Hint), std::string::npos)
+        << "remediation missing: " << Msg;
+  }
+}
+
+TEST(ModelStore, CorruptFileRejectsWithActionableStderrText) {
+  // The end-to-end shape of a reject: corrupt one byte of a valid model,
+  // load it, and check the formatted error names a *specific* kind (the
+  // checksum catches content corruption) plus its hint.
+  corpus::Corpus C = makeCorpus(corpus::Language::Python);
+  auto P = buildCold(C, 1);
+  std::string Path = tempPath("model_fmt_corrupt.namrmdl");
+  P->saveModel(Path);
+  std::string Bytes = slurp(Path);
+  Bytes[Bytes.size() / 2] ^= 0x40;
+  std::ofstream(Path, std::ios::binary | std::ios::trunc) << Bytes;
+  try {
+    NamerPipeline Fresh(makeConfig(1));
+    Fresh.loadModel(Path);
+    FAIL() << "corrupt model loaded";
+  } catch (const model::ModelError &E) {
+    std::string Msg = model::formatModelError(E);
+    EXPECT_NE(Msg.find(model::modelErrorKindName(E.kind())),
+              std::string::npos);
+    EXPECT_NE(Msg.find(model::modelErrorRemediation(E.kind())),
+              std::string::npos);
+  }
+  std::filesystem::remove(Path);
 }

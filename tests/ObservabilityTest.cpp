@@ -436,3 +436,119 @@ TEST(ObsSnapshotter, PeriodicIntervalFlushes) {
   EXPECT_FALSE(slurp(Path).empty());
   fs::remove(Path);
 }
+
+//===----------------------------------------------------------------------===//
+// IoRetry: the one-retry EINTR/short-write contract of io::fwriteAll,
+// which RunLedger appends and MetricsSnapshotter expositions write
+// through. Failures are injected via setWriteFnForTest -- no signals, no
+// timing.
+//===----------------------------------------------------------------------===//
+
+#include "support/IoRetry.h"
+
+#include <cerrno>
+#include <cstdio>
+
+namespace {
+
+/// Injected write behavior: the first GShortCalls calls write only half
+/// of what they were asked (actually writing those bytes, as a real
+/// interrupted fwrite would) and set errno to EINTR; later calls pass
+/// through. File-scope because WriteFn is a plain function pointer.
+int GShortCalls = 0;
+size_t shortThenFullWrite(const void *Ptr, size_t ItemSize, size_t Count,
+                          std::FILE *File) {
+  if (GShortCalls > 0) {
+    --GShortCalls;
+    size_t Half = Count / 2;
+    size_t Wrote = std::fwrite(Ptr, ItemSize, Half, File);
+    errno = EINTR;
+    return Wrote;
+  }
+  return std::fwrite(Ptr, ItemSize, Count, File);
+}
+
+std::string readAll(std::FILE *File) {
+  std::fflush(File);
+  std::rewind(File);
+  std::string Out;
+  char Buf[256];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), File)) > 0)
+    Out.append(Buf, N);
+  return Out;
+}
+
+} // namespace
+
+TEST(IoRetry, RecoversFromOneShortWrite) {
+  std::FILE *File = std::tmpfile();
+  ASSERT_NE(File, nullptr);
+  GShortCalls = 1;
+  io::setWriteFnForTest(shortThenFullWrite);
+  const std::string Line = "{\"event\":\"run_end\",\"outcome\":\"ok\"}\n";
+  bool Ok = io::fwriteAll(File, Line.data(), Line.size());
+  io::setWriteFnForTest(nullptr);
+  EXPECT_TRUE(Ok) << "one EINTR short write must be absorbed";
+  // Nothing lost, nothing duplicated: the retry pushed exactly the
+  // remainder.
+  EXPECT_EQ(readAll(File), Line);
+  std::fclose(File);
+}
+
+TEST(IoRetry, SurfacesPersistentShortWrites) {
+  std::FILE *File = std::tmpfile();
+  ASSERT_NE(File, nullptr);
+  GShortCalls = 2; // both the write and its one retry come up short
+  io::setWriteFnForTest(shortThenFullWrite);
+  const std::string Line(64, 'x');
+  EXPECT_FALSE(io::fwriteAll(File, Line.data(), Line.size()));
+  io::setWriteFnForTest(nullptr);
+  std::fclose(File);
+}
+
+TEST(IoRetry, CleanWritesBypassTheRetryPath) {
+  std::FILE *File = std::tmpfile();
+  ASSERT_NE(File, nullptr);
+  const std::string Line = "plain\n";
+  EXPECT_TRUE(io::fwriteAll(File, Line.data(), Line.size()));
+  EXPECT_EQ(readAll(File), Line);
+  std::fclose(File);
+}
+
+TEST(IoRetry, LedgerAppendsSurviveInjectedShortWrites) {
+  // End to end through RunLedger: every append goes through fwriteAll, so
+  // a ledger written entirely under injected EINTR short writes must be
+  // byte-identical to a clean one.
+  namespace fs = std::filesystem;
+  auto WriteLedger = [](const std::string &Path, bool Inject) {
+    ledger::RunLedger Ledger;
+    ASSERT_TRUE(Ledger.open(Path, "rev-test"));
+    for (int I = 0; I != 8; ++I) {
+      if (Inject) {
+        GShortCalls = 1;
+        io::setWriteFnForTest(shortThenFullWrite);
+      }
+      ledger::Record R;
+      R.Event = "phase";
+      R.Name = "p" + std::to_string(I);
+      Ledger.append(R);
+      io::setWriteFnForTest(nullptr);
+    }
+    Ledger.close();
+  };
+  std::string Clean = (fs::temp_directory_path() / "ioretry_clean.jsonl")
+                          .string();
+  std::string Faulty = (fs::temp_directory_path() / "ioretry_faulty.jsonl")
+                           .string();
+  WriteLedger(Clean, false);
+  WriteLedger(Faulty, true);
+  std::ifstream A(Clean, std::ios::binary), B(Faulty, std::ios::binary);
+  std::stringstream SA, SB;
+  SA << A.rdbuf();
+  SB << B.rdbuf();
+  EXPECT_EQ(SA.str(), SB.str());
+  EXPECT_FALSE(SA.str().empty());
+  fs::remove(Clean);
+  fs::remove(Faulty);
+}

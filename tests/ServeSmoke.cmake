@@ -1,0 +1,77 @@
+# Smoke test: the scan service's byte-identity acceptance check, on the
+# real binaries. Mine a model with namer-scan (which also prints the cold
+# run's report lines), then serve the same tree through namer-serve
+# --stdin-jsonl and require the served reports to be byte-identical to the
+# cold scan, the control methods to answer typed, and an explicit
+# deadline_ms of 0 to produce a typed deadline-exceeded. Invoked by ctest:
+#   cmake -DNAMER_SCAN=<exe> -DNAMER_SERVE=<exe> -DCORPUS=<dir> -DOUT=<dir>
+#         -P ServeSmoke.cmake
+
+foreach(Var NAMER_SCAN NAMER_SERVE CORPUS OUT)
+  if(NOT DEFINED ${Var})
+    message(FATAL_ERROR "ServeSmoke.cmake requires -D${Var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT}")
+
+# The cold run: reports on stdout, model persisted for the service.
+execute_process(
+  COMMAND "${NAMER_SCAN}" "--threads=1"
+          "--model-out=${OUT}/model.namrmdl" "${CORPUS}"
+  RESULT_VARIABLE Rc
+  OUTPUT_VARIABLE Cold
+  ERROR_VARIABLE Stderr)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "cold namer-scan failed (rc=${Rc})\n${Stderr}")
+endif()
+if(Cold STREQUAL "")
+  message(FATAL_ERROR "cold namer-scan found no reports in ${CORPUS}; the "
+      "identity check needs at least one")
+endif()
+
+# One JSONL session: ping, the scan, an already-elapsed deadline, and a
+# malformed line. Responses come back in request order.
+file(WRITE "${OUT}/requests.jsonl"
+  "{\"id\":\"r1\",\"method\":\"ping\"}\n"
+  "{\"id\":\"r2\",\"method\":\"scan\",\"dir\":\"${CORPUS}\"}\n"
+  "{\"id\":\"r3\",\"method\":\"scan\",\"dir\":\"${CORPUS}\",\"deadline_ms\":0}\n"
+  "this is not json\n")
+
+execute_process(
+  COMMAND "${NAMER_SERVE}" "--model=${OUT}/model.namrmdl" "--stdin-jsonl"
+          "--workers=2"
+  INPUT_FILE "${OUT}/requests.jsonl"
+  OUTPUT_FILE "${OUT}/responses.jsonl"
+  ERROR_VARIABLE ServeErr
+  RESULT_VARIABLE Rc)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "namer-serve failed (rc=${Rc})\n${ServeErr}")
+endif()
+
+# Expected r2: the cold report lines verbatim, as the JSON "reports" array.
+# Plain string surgery only -- report lines legitimately contain ';', which
+# CMake lists would mangle.
+string(REGEX REPLACE "\n$" "" ColdBody "${Cold}")
+string(REPLACE "\n" "\",\"" Joined "${ColdBody}")
+set(Expected "")
+string(APPEND Expected
+  "{\"id\":\"r1\",\"model_version\":1,\"status\":\"ok\"}\n"
+  "{\"id\":\"r2\",\"reports\":[\"${Joined}\"],\"status\":\"ok\"}\n"
+  "{\"id\":\"r3\",\"status\":\"deadline-exceeded\"}\n")
+
+file(READ "${OUT}/responses.jsonl" Got)
+string(FIND "${Got}" "${Expected}" At)
+if(NOT At EQUAL 0)
+  message(FATAL_ERROR "served responses are not byte-identical to the cold "
+      "scan\n--- expected prefix ---\n${Expected}\n--- got ---\n${Got}")
+endif()
+# The malformed line must have produced a typed invalid-request response
+# (its detail wording is free-form, so substring-check the status only).
+string(FIND "${Got}" "\"status\":\"invalid-request\"" At)
+if(At EQUAL -1)
+  message(FATAL_ERROR "malformed line did not yield a typed "
+      "invalid-request response:\n${Got}")
+endif()
+
+message(STATUS "serve smoke OK: served reports byte-identical to cold scan")

@@ -1,0 +1,586 @@
+//===- tests/ServiceTest.cpp - fault-tolerant scan service ----------------==//
+//
+// Pins the scan-service contract (DESIGN.md, "Scan service"):
+//
+//   * admission control sheds load with typed reasons (queue depth,
+//     per-tenant budget, payload size, draining) and releases slots;
+//   * the wire protocol round-trips requests and renders responses with
+//     sorted keys, byte-stably;
+//   * the model manager hot-swaps atomically -- failed swaps keep the old
+//     snapshot current, retries back off, in-flight pins survive;
+//   * a served scan's report lines are byte-identical to a direct
+//     pipeline run over the same input (the namer-scan identity);
+//   * deadlines and drain turn into typed responses, never aborts;
+//   * the chaos soak: >= 200 concurrent requests against a hot-swapping
+//     model, with faults firing at serve.admit / serve.scan / model.swap
+//     when NAMER_FAULT_INJECTION is on, all receive exactly one
+//     well-formed typed response, and a clean request afterwards is
+//     byte-identical to one from before the storm.
+//
+//===----------------------------------------------------------------------===//
+
+#include "namer/Pipeline.h"
+#include "namer/ScanRun.h"
+#include "service/Admission.h"
+#include "service/ModelManager.h"
+#include "service/Protocol.h"
+#include "service/ScanService.h"
+#include "support/FaultInjector.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace namer;
+using namespace namer::service;
+
+namespace {
+
+/// Per-process temp path: ctest runs each test in its own process, often
+/// in parallel, so shared fixture files must not collide across them.
+std::string tempPath(const char *Name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::to_string(::getpid()) + "_" + Name))
+      .string();
+}
+
+/// The mine-time corpus every service test shares. Small enough to mine in
+/// well under a second, big enough to produce patterns and violations.
+corpus::CorpusConfig baseCorpusConfig() {
+  corpus::CorpusConfig Config;
+  Config.Lang = corpus::Language::Python;
+  Config.NumRepos = 40;
+  return Config;
+}
+
+PipelineConfig minerConfig() {
+  PipelineConfig PC;
+  PC.Miner.MinPatternSupport = 20;
+  PC.Threads = 1;
+  return PC;
+}
+
+/// Mines a model over the shared corpus and saves it to \p Path once per
+/// process; returns the path. Every service test loads this file.
+const std::string &sharedModelPath() {
+  static const std::string Path = [] {
+    std::string P = tempPath("service_test_model.namrmdl");
+    corpus::Corpus C = corpus::generateCorpus(baseCorpusConfig());
+    NamerPipeline Miner(minerConfig());
+    Miner.build(C);
+    Miner.saveModel(P);
+    return P;
+  }();
+  return Path;
+}
+
+/// Inline request payload: the bytes of a mine-time corpus file that holds
+/// at least one violation, served under a fresh path. The same content on
+/// the same model must produce the same findings from any front end.
+struct InlinePayload {
+  std::string Path = "request/app.py";
+  std::string Content;
+};
+
+const InlinePayload &sharedPayload() {
+  static const InlinePayload P = [] {
+    InlinePayload Out;
+    corpus::Corpus C = corpus::generateCorpus(baseCorpusConfig());
+    NamerPipeline Miner(minerConfig());
+    Miner.build(C);
+    std::string ViolatingFile;
+    if (!Miner.violations().empty()) {
+      const Report R =
+          explainViolation(Miner, Miner.violations().front()).R;
+      ViolatingFile = R.File;
+    }
+    for (const corpus::Repository &Repo : C.Repos)
+      for (const corpus::SourceFile &F : Repo.Files)
+        if (F.Path == ViolatingFile || Out.Content.empty())
+          Out.Content = std::string(F.contents());
+    return Out;
+  }();
+  return P;
+}
+
+ServiceConfig serviceConfig() {
+  ServiceConfig SC;
+  SC.ModelPath = sharedModelPath();
+  SC.Lang = corpus::Language::Python;
+  SC.BaseCorpus = baseCorpusConfig();
+  SC.ScanWorkers = 4;
+  return SC;
+}
+
+Request scanRequest(std::string Id) {
+  Request R;
+  R.Id = std::move(Id);
+  R.Method = "scan";
+  R.Files.push_back({sharedPayload().Path, sharedPayload().Content});
+  return R;
+}
+
+/// Submits \p R and blocks for its response.
+Response submitAndWait(ScanService &S, Request R) {
+  std::mutex M;
+  std::condition_variable Cv;
+  bool Got = false;
+  Response Out;
+  S.submit(std::move(R), [&](Response Resp) {
+    std::lock_guard<std::mutex> L(M);
+    Out = std::move(Resp);
+    Got = true;
+    Cv.notify_one();
+  });
+  std::unique_lock<std::mutex> L(M);
+  Cv.wait(L, [&] { return Got; });
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Admission control
+//===----------------------------------------------------------------------===//
+
+TEST(AdmissionTest, QueueDepthGate) {
+  AdmissionConfig C;
+  C.MaxQueueDepth = 2;
+  C.MaxPerTenant = 2;
+  AdmissionController A(C);
+  EXPECT_EQ(A.admit("a", 0, 0), AdmitResult::Admitted);
+  EXPECT_EQ(A.admit("b", 0, 0), AdmitResult::Admitted);
+  EXPECT_EQ(A.admit("c", 0, 0), AdmitResult::QueueFull);
+  A.release("a");
+  EXPECT_EQ(A.admit("c", 0, 0), AdmitResult::Admitted);
+  EXPECT_EQ(A.inFlight(), 2u);
+}
+
+TEST(AdmissionTest, PerTenantBudget) {
+  AdmissionConfig C;
+  C.MaxQueueDepth = 8;
+  C.MaxPerTenant = 1;
+  AdmissionController A(C);
+  EXPECT_EQ(A.admit("ci", 0, 0), AdmitResult::Admitted);
+  EXPECT_EQ(A.admit("ci", 0, 0), AdmitResult::TenantOverBudget);
+  // Another tenant still fits; the anonymous tenant is its own bucket.
+  EXPECT_EQ(A.admit("dev", 0, 0), AdmitResult::Admitted);
+  EXPECT_EQ(A.admit("", 0, 0), AdmitResult::Admitted);
+  A.release("ci");
+  EXPECT_EQ(A.admit("ci", 0, 0), AdmitResult::Admitted);
+}
+
+TEST(AdmissionTest, PayloadBudgetAndDraining) {
+  AdmissionConfig C;
+  C.MaxRequestBytes = 100;
+  C.MaxRequestFiles = 2;
+  AdmissionController A(C);
+  EXPECT_EQ(A.admit("", 101, 1), AdmitResult::RequestTooLarge);
+  EXPECT_EQ(A.admit("", 10, 3), AdmitResult::RequestTooLarge);
+  EXPECT_EQ(A.admit("", 10, 2), AdmitResult::Admitted);
+  A.setDraining(true);
+  EXPECT_EQ(A.admit("", 0, 0), AdmitResult::Draining);
+  A.setDraining(false);
+  EXPECT_EQ(A.admit("", 0, 0), AdmitResult::Admitted);
+}
+
+TEST(AdmissionTest, ResultNamesAreKebabCase) {
+  EXPECT_STREQ(admitResultName(AdmitResult::Admitted), "admitted");
+  EXPECT_STREQ(admitResultName(AdmitResult::QueueFull), "queue-full");
+  EXPECT_STREQ(admitResultName(AdmitResult::TenantOverBudget),
+               "tenant-over-budget");
+  EXPECT_STREQ(admitResultName(AdmitResult::RssPressure), "rss-pressure");
+  EXPECT_STREQ(admitResultName(AdmitResult::RequestTooLarge),
+               "request-too-large");
+  EXPECT_STREQ(admitResultName(AdmitResult::Draining), "draining");
+}
+
+//===----------------------------------------------------------------------===//
+// Wire protocol
+//===----------------------------------------------------------------------===//
+
+TEST(ProtocolTest, ParsesScanRequest) {
+  Request R;
+  std::string Error;
+  ASSERT_TRUE(parseRequest(
+      R"({"id":"r1","method":"scan","tenant":"ci","deadline_ms":250,)"
+      R"("files":[{"path":"a.py","content":"x = 1\n"}],"max_reports":7})",
+      R, &Error))
+      << Error;
+  EXPECT_EQ(R.Id, "r1");
+  EXPECT_EQ(R.Method, "scan");
+  EXPECT_EQ(R.Tenant, "ci");
+  EXPECT_EQ(R.DeadlineMs, 250u);
+  ASSERT_EQ(R.Files.size(), 1u);
+  EXPECT_EQ(R.Files[0].Path, "a.py");
+  EXPECT_EQ(R.Files[0].Content, "x = 1\n");
+  EXPECT_EQ(R.MaxReports, 7u);
+}
+
+TEST(ProtocolTest, AbsentDeadlineIsSentinelExplicitZeroIsZero) {
+  Request R;
+  ASSERT_TRUE(parseRequest(
+      R"({"id":"a","method":"scan","dir":"/tmp"})", R, nullptr));
+  EXPECT_EQ(R.DeadlineMs, kNoDeadline);
+  Request Z;
+  ASSERT_TRUE(parseRequest(
+      R"({"id":"z","method":"scan","dir":"/tmp","deadline_ms":0})", Z,
+      nullptr));
+  EXPECT_EQ(Z.DeadlineMs, 0u);
+}
+
+TEST(ProtocolTest, RejectsMalformedRequests) {
+  Request R;
+  std::string Error;
+  // Not JSON at all.
+  EXPECT_FALSE(parseRequest("not json", R, &Error));
+  // No method.
+  EXPECT_FALSE(parseRequest(R"({"id":"r1"})", R, &Error));
+  // Scan without dir or files.
+  EXPECT_FALSE(parseRequest(R"({"id":"r1","method":"scan"})", R, &Error));
+  // Both dir and files.
+  EXPECT_FALSE(parseRequest(
+      R"({"id":"r1","method":"scan","dir":"/tmp",)"
+      R"("files":[{"path":"a.py","content":""}]})",
+      R, &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(ProtocolTest, RendersResponsesSortedAndByteStable) {
+  Response Ok;
+  Ok.Id = "r1";
+  Ok.St = Status::Ok;
+  Ok.Reports = {"a.py:1: naming issue: 'x' is suspicious here; "
+                "suggested fix: 'y' [consistency]"};
+  EXPECT_EQ(renderResponse(Ok),
+            "{\"id\":\"r1\",\"reports\":[\"a.py:1: naming issue: 'x' is "
+            "suspicious here; suggested fix: 'y' "
+            "[consistency]\"],\"status\":\"ok\"}\n");
+
+  Response Rej;
+  Rej.Id = "r2";
+  Rej.St = Status::Overloaded;
+  Rej.Detail = "queue-full";
+  EXPECT_EQ(renderResponse(Rej),
+            "{\"detail\":\"queue-full\",\"id\":\"r2\","
+            "\"status\":\"overloaded\"}\n");
+}
+
+TEST(ProtocolTest, StatusNamesAreTyped) {
+  EXPECT_STREQ(statusName(Status::Ok), "ok");
+  EXPECT_STREQ(statusName(Status::Overloaded), "overloaded");
+  EXPECT_STREQ(statusName(Status::DeadlineExceeded), "deadline-exceeded");
+  EXPECT_STREQ(statusName(Status::Cancelled), "cancelled");
+  EXPECT_STREQ(statusName(Status::InvalidRequest), "invalid-request");
+  EXPECT_STREQ(statusName(Status::ModelError), "model-error");
+  EXPECT_STREQ(statusName(Status::Fault), "fault");
+  EXPECT_STREQ(statusName(Status::ShuttingDown), "shutting-down");
+}
+
+//===----------------------------------------------------------------------===//
+// Model manager
+//===----------------------------------------------------------------------===//
+
+TEST(ModelManagerTest, LoadsAndSwaps) {
+  ModelManager::Options O;
+  O.Path = sharedModelPath();
+  ModelManager M(O);
+  M.loadInitial();
+  std::shared_ptr<const ModelSnapshot> First = M.current();
+  ASSERT_TRUE(First);
+  EXPECT_EQ(First->Version, 1u);
+
+  ASSERT_TRUE(M.swapNow());
+  std::shared_ptr<const ModelSnapshot> Second = M.current();
+  EXPECT_EQ(Second->Version, 2u);
+  EXPECT_EQ(M.swaps(), 1u);
+  // The pinned first snapshot is still alive and untouched: in-flight
+  // scans keep the model they started with.
+  EXPECT_EQ(First->Version, 1u);
+  EXPECT_FALSE(First->File.Patterns.empty());
+}
+
+TEST(ModelManagerTest, FailedSwapKeepsPreviousSnapshot) {
+  // A private copy of the model, corrupted after the initial load.
+  std::string Path = tempPath("service_test_swapfail.namrmdl");
+  std::filesystem::copy_file(
+      sharedModelPath(), Path,
+      std::filesystem::copy_options::overwrite_existing);
+  std::vector<unsigned> Sleeps;
+  ModelManager::Options O;
+  O.Path = Path;
+  O.MaxRetries = 3;
+  O.BackoffBaseMs = 10;
+  O.BackoffSleep = [&Sleeps](unsigned Ms) { Sleeps.push_back(Ms); };
+  ModelManager M(O);
+  M.loadInitial();
+  std::shared_ptr<const ModelSnapshot> Good = M.current();
+
+  std::ofstream(Path, std::ios::binary | std::ios::trunc)
+      << "NOT A MODEL";
+  EXPECT_FALSE(M.swapNow());
+  // The bad file never became current; the failure was counted; each of
+  // the three attempts but the last backed off exponentially.
+  EXPECT_EQ(M.current().get(), Good.get());
+  EXPECT_EQ(M.swapFailures(), 1u);
+  EXPECT_EQ(Sleeps, (std::vector<unsigned>{10, 20}));
+}
+
+TEST(ModelManagerTest, PollSwapsOnMtimeChangeOnly) {
+  std::string Path = tempPath("service_test_poll.namrmdl");
+  std::filesystem::copy_file(
+      sharedModelPath(), Path,
+      std::filesystem::copy_options::overwrite_existing);
+  ModelManager::Options O;
+  O.Path = Path;
+  ModelManager M(O);
+  M.loadInitial();
+  EXPECT_FALSE(M.pollAndSwap()) << "unchanged mtime must not swap";
+  // Rewrite the file (same bytes, new mtime) far enough in the future
+  // that coarse filesystem timestamps cannot alias.
+  std::filesystem::last_write_time(
+      Path, std::filesystem::file_time_type::clock::now() +
+                std::chrono::seconds(5));
+  EXPECT_TRUE(M.pollAndSwap());
+  EXPECT_EQ(M.current()->Version, 2u);
+  EXPECT_FALSE(M.pollAndSwap()) << "poll after swap must be a no-op";
+}
+
+TEST(ModelManagerTest, InitialLoadFailureIsTypedAndFatal) {
+  ModelManager::Options O;
+  O.Path = tempPath("service_test_missing.namrmdl");
+  std::filesystem::remove(O.Path);
+  O.BackoffSleep = [](unsigned) {};
+  ModelManager M(O);
+  EXPECT_THROW(M.loadInitial(), model::ModelError);
+}
+
+//===----------------------------------------------------------------------===//
+// Scan service
+//===----------------------------------------------------------------------===//
+
+/// The namer-scan identity: a served clean request's report lines equal a
+/// direct loadModel+scanWith+selectFindings run over the same input, byte
+/// for byte.
+TEST(ScanServiceTest, ServedReportsMatchDirectPipeline) {
+  ScanService S(serviceConfig());
+  S.start();
+  Response Served = submitAndWait(S, scanRequest("identity"));
+  ASSERT_EQ(Served.St, Status::Ok) << Served.Detail;
+
+  // The direct run: same model, same base corpus, same inline file.
+  std::shared_ptr<const ModelSnapshot> Snap = S.models().current();
+  PipelineConfig PC;
+  PC.UseAnalyses = Snap->File.UseAnalyses;
+  PC.UseClassifier = Snap->File.UseClassifier;
+  PC.Seed = Snap->File.Seed;
+  PC.Miner = Snap->File.Miner;
+  PC.Limits = Snap->File.Limits;
+  PC.Threads = 1;
+  corpus::Corpus C = corpus::generateCorpus(baseCorpusConfig());
+  corpus::Repository Mine;
+  Mine.Name = "<inline>";
+  corpus::SourceFile F;
+  F.Path = sharedPayload().Path;
+  F.Text = sharedPayload().Content;
+  Mine.Files.push_back(std::move(F));
+  C.Repos.push_back(std::move(Mine));
+
+  NamerPipeline P(PC);
+  P.loadModel(sharedModelPath());
+  P.scanWith(C, /*UseCache=*/true);
+  FindingSelectOptions Sel;
+  Sel.OnlyPaths.push_back(sharedPayload().Path);
+  Sel.UseClassifier = Snap->File.UseClassifier;
+  std::vector<std::string> Direct;
+  for (const Explanation &E : selectFindings(P, Sel)) {
+    std::string Line = renderReportLine(E.R);
+    if (!Line.empty() && Line.back() == '\n')
+      Line.pop_back();
+    Direct.push_back(std::move(Line));
+  }
+  EXPECT_EQ(Served.Reports, Direct);
+}
+
+TEST(ScanServiceTest, ExplicitZeroDeadlineTripsDeterministically) {
+  ScanService S(serviceConfig());
+  S.start();
+  Request R = scanRequest("dl0");
+  R.DeadlineMs = 0; // already elapsed: first checkpoint trips
+  Response Resp = submitAndWait(S, std::move(R));
+  EXPECT_EQ(Resp.St, Status::DeadlineExceeded);
+  EXPECT_TRUE(Resp.Reports.empty()) << "partial work must be discarded";
+}
+
+TEST(ScanServiceTest, ShedsTypedWhenQueueFull) {
+  ServiceConfig SC = serviceConfig();
+  SC.Admission.MaxQueueDepth = 0; // every request sheds
+  ScanService S(SC);
+  S.start();
+  Response Resp = submitAndWait(S, scanRequest("shed"));
+  EXPECT_EQ(Resp.St, Status::Overloaded);
+  EXPECT_EQ(Resp.Detail, "queue-full");
+}
+
+TEST(ScanServiceTest, DirRequestOnMissingTreeIsInvalid) {
+  ScanService S(serviceConfig());
+  S.start();
+  Request R;
+  R.Id = "nodir";
+  R.Method = "scan";
+  R.Dir = tempPath("service_test_no_such_dir");
+  Response Resp = submitAndWait(S, std::move(R));
+  EXPECT_EQ(Resp.St, Status::InvalidRequest);
+}
+
+TEST(ScanServiceTest, DrainRejectsNewWorkTyped) {
+  ScanService S(serviceConfig());
+  S.start();
+  EXPECT_EQ(S.drain(/*MaxWaitMs=*/0), 0u) << "nothing in flight";
+  Response Resp = submitAndWait(S, scanRequest("late"));
+  EXPECT_EQ(Resp.St, Status::ShuttingDown);
+  EXPECT_EQ(Resp.Detail, "draining");
+}
+
+//===----------------------------------------------------------------------===//
+// The chaos soak
+//===----------------------------------------------------------------------===//
+
+/// >= 200 concurrent requests from 8 client threads against a model that
+/// is hot-swapped throughout, with (under NAMER_FAULT_INJECTION) seeded
+/// faults firing at serve.admit, serve.scan and model.swap. Every request
+/// must receive exactly one well-formed typed response; the process must
+/// never abort; and once the storm is over, a clean request must be
+/// byte-identical to one served before it.
+TEST(ScanServiceTest, ChaosSoak) {
+  constexpr size_t kClients = 8;
+  constexpr size_t kPerClient = 26; // 208 requests total
+  ServiceConfig SC = serviceConfig();
+  // Queue deep enough for the whole storm: the typed shedding in the mix
+  // comes from the per-tenant budget (the open-loop clients burst far
+  // past 4 in flight per tenant), which keeps every *deadline* request --
+  // sent under its own one-shot tenant -- admissible, so the
+  // deadline-exceeded path is guaranteed to appear in the soak.
+  SC.Admission.MaxQueueDepth = 256;
+  SC.Admission.MaxPerTenant = 4;
+  ScanService S(SC);
+  S.start();
+
+  Response Before = submitAndWait(S, scanRequest("before"));
+  ASSERT_EQ(Before.St, Status::Ok) << Before.Detail;
+
+  if (faultinject::compiledIn()) {
+    faultinject::armSeeded("serve.admit", /*Seed=*/20210620, /*Rate=*/0.1,
+                           faultinject::FaultKind::Throw);
+    faultinject::armSeeded("serve.scan", /*Seed=*/20210621, /*Rate=*/0.1,
+                           faultinject::FaultKind::Throw);
+    faultinject::armSeeded("model.swap", /*Seed=*/20210622, /*Rate=*/0.3,
+                           faultinject::FaultKind::Throw);
+  }
+
+  std::mutex M;
+  std::vector<Response> Responses;
+  std::atomic<size_t> Outstanding{0};
+  std::atomic<bool> StopSwapping{false};
+
+  // The hot-swapper: re-publishes the model as fast as it can. Under
+  // injection, model.swap Throw faults exercise the retry/backoff path;
+  // failed swaps must keep the previous snapshot serving.
+  std::thread Swapper([&] {
+    while (!StopSwapping.load(std::memory_order_acquire)) {
+      S.models().swapNow();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  std::vector<std::thread> Clients;
+  for (size_t C = 0; C != kClients; ++C) {
+    Clients.emplace_back([&, C] {
+      for (size_t I = 0; I != kPerClient; ++I) {
+        // Built with += to sidestep GCC 12's -Wrestrict false positive
+        // on chained const char* + std::string concatenation.
+        std::string Id = "c";
+        Id += std::to_string(C);
+        Id += '-';
+        Id += std::to_string(I);
+        Request R = scanRequest(Id);
+        R.Tenant = "tenant" + std::to_string(C % 3);
+        if (I % 5 == 4) {
+          R.DeadlineMs = 0; // deterministic deadline trips in the mix
+          R.Tenant = "dl-" + Id; // one-shot tenant: never budget-shed
+        }
+        Outstanding.fetch_add(1, std::memory_order_relaxed);
+        S.submit(std::move(R), [&](Response Resp) {
+          std::lock_guard<std::mutex> L(M);
+          Responses.push_back(std::move(Resp));
+          Outstanding.fetch_sub(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (std::thread &T : Clients)
+    T.join();
+  // Completion callbacks fire from pool threads; wait for the last one.
+  while (Outstanding.load(std::memory_order_acquire) != 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  StopSwapping.store(true, std::memory_order_release);
+  Swapper.join();
+  uint64_t Fired = faultinject::firedCount(); // disarm() zeroes the counter
+  faultinject::disarm();
+
+  // Exactly one response per request, every one well-formed and typed.
+  std::lock_guard<std::mutex> L(M);
+  ASSERT_EQ(Responses.size(), kClients * kPerClient);
+  std::set<std::string> Ids;
+  size_t StatusCounts[kNumStatuses] = {};
+  for (const Response &Resp : Responses) {
+    EXPECT_TRUE(Ids.insert(Resp.Id).second)
+        << "duplicate response for " << Resp.Id;
+    ASSERT_LT(static_cast<size_t>(Resp.St), kNumStatuses);
+    ++StatusCounts[static_cast<size_t>(Resp.St)];
+    if (Resp.St != Status::Ok) {
+      EXPECT_TRUE(Resp.Reports.empty())
+          << Resp.Id << ": failed requests must not leak partial reports";
+    }
+    // Every response renders as one well-formed line.
+    std::string Line = renderResponse(Resp);
+    EXPECT_EQ(Line.back(), '\n');
+    EXPECT_EQ(Line.find('\n'), Line.size() - 1);
+  }
+  std::string Distribution;
+  for (size_t S = 0; S != kNumStatuses; ++S)
+    Distribution += std::string(statusName(static_cast<Status>(S))) + "=" +
+                    std::to_string(StatusCounts[S]) + " ";
+  // The deterministic deadline requests alone guarantee a mix of
+  // statuses; at least some requests must also have succeeded.
+  EXPECT_GT(StatusCounts[static_cast<size_t>(Status::Ok)], 0u)
+      << Distribution;
+  EXPECT_GT(StatusCounts[static_cast<size_t>(Status::DeadlineExceeded)],
+            0u)
+      << Distribution;
+  // The open-loop burst (26 requests per client, 4-per-tenant budget)
+  // makes typed load shedding certain.
+  EXPECT_GT(StatusCounts[static_cast<size_t>(Status::Overloaded)], 0u);
+
+  // The model kept swapping under fire the whole time.
+  EXPECT_GT(S.models().swaps(), 0u);
+  if (faultinject::compiledIn()) {
+    EXPECT_GT(Fired, 0u) << "chaos rules armed but no site ever fired";
+  }
+
+  // Post-soak byte-identity: the storm left no residue in the service.
+  Response After = submitAndWait(S, scanRequest("after"));
+  ASSERT_EQ(After.St, Status::Ok) << After.Detail;
+  EXPECT_EQ(After.Reports, Before.Reports);
+}
+
+} // namespace

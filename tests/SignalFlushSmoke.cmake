@@ -1,0 +1,57 @@
+# Smoke test: interrupt-flush of the observability sinks. namer-scan with
+# --ledger/--metrics-out that receives SIGTERM (raised deterministically
+# from the main thread via the hidden --test-raise-signal flag) must exit
+# 128+15, append a final run_end record with outcome "interrupted" to the
+# ledger, and leave a complete metrics exposition on disk -- the run is
+# killed, its telemetry is not. Invoked by ctest:
+#   cmake -DNAMER_SCAN=<exe> -DCORPUS=<dir> -DOUT=<dir>
+#         -P SignalFlushSmoke.cmake
+
+foreach(Var NAMER_SCAN CORPUS OUT)
+  if(NOT DEFINED ${Var})
+    message(FATAL_ERROR "SignalFlushSmoke.cmake requires -D${Var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT}")
+
+foreach(Sig TERM INT)
+  if(Sig STREQUAL "TERM")
+    set(ExpectRc 143) # 128 + SIGTERM(15)
+    set(ExpectName "SIGTERM")
+  else()
+    set(ExpectRc 130) # 128 + SIGINT(2)
+    set(ExpectName "SIGINT")
+  endif()
+  execute_process(
+    COMMAND "${NAMER_SCAN}" "--threads=1" "--test-raise-signal=${Sig}"
+            "--ledger=${OUT}/${Sig}.jsonl"
+            "--metrics-out=${OUT}/${Sig}.prom" "${CORPUS}"
+    RESULT_VARIABLE Rc
+    OUTPUT_VARIABLE Stdout
+    ERROR_VARIABLE Stderr)
+  if(NOT Rc EQUAL ${ExpectRc})
+    message(FATAL_ERROR "--test-raise-signal=${Sig}: expected exit "
+        "${ExpectRc}, got '${Rc}'\nstdout:\n${Stdout}\nstderr:\n${Stderr}")
+  endif()
+
+  file(READ "${OUT}/${Sig}.jsonl" Ledger)
+  foreach(Needle
+      [["event":"run_start"]]
+      "\"event\":\"run_end\",\"name\":\"${ExpectName}\""
+      [["outcome":"interrupted"]])
+    string(FIND "${Ledger}" "${Needle}" At)
+    if(At EQUAL -1)
+      message(FATAL_ERROR "${Sig}: ledger is missing ${Needle}:\n${Ledger}")
+    endif()
+  endforeach()
+
+  file(READ "${OUT}/${Sig}.prom" Prom)
+  string(FIND "${Prom}" "# namer prometheus text exposition" At)
+  if(At EQUAL -1)
+    message(FATAL_ERROR
+        "${Sig}: metrics exposition missing or truncated:\n${Prom}")
+  endif()
+endforeach()
+
+message(STATUS "signal-flush smoke OK: ledger + metrics survive SIGTERM/SIGINT")

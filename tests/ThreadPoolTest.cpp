@@ -1,5 +1,6 @@
 //===- tests/ThreadPoolTest.cpp - work-stealing pool tests ----------------==//
 
+#include "support/Cancellation.h"
 #include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
@@ -7,6 +8,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 using namespace namer;
@@ -184,4 +186,132 @@ TEST(ThreadPool, ManySmallLoopsDoNotLeakTasks) {
     Pool.parallelFor(0, 17, [&](size_t) { ++Count; });
     ASSERT_EQ(Count.load(), 17u);
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Cooperative cancellation (support/Cancellation.h). The contract: once
+// the submitting thread's ambient token trips, parallelFor stops running
+// further chunk bodies, throws the *typed* cancel::CancelledError after
+// the barrier, and leaves the pool fully reusable. Pinned at Threads=1
+// (inline fast path) and Threads=8 (real workers) because the two
+// executions share no code path.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs the cancel-mid-flight scenario on a pool of \p Workers: the body
+/// cancels the token partway through, later iterations must not run, and
+/// the loop must throw CancelledError with the Explicit reason.
+void runCancelMidFlight(unsigned Workers) {
+  ThreadPool Pool(Workers);
+  cancel::CancelToken Tok;
+  cancel::CancelScope Ambient(&Tok);
+  std::atomic<size_t> Ran{0};
+  bool Threw = false;
+  try {
+    // Grain 1 so every iteration is its own chunk: once the token trips,
+    // queued chunks must drain as no-ops instead of running their bodies.
+    Pool.parallelFor(
+        0, 10000,
+        [&](size_t I) {
+          Ran.fetch_add(1, std::memory_order_relaxed);
+          if (I == 7)
+            Tok.cancel();
+          cancel::checkpoint();
+        },
+        /*GrainSize=*/1);
+  } catch (const cancel::CancelledError &E) {
+    Threw = true;
+    EXPECT_EQ(E.reason(), cancel::CancelReason::Explicit);
+  }
+  ASSERT_TRUE(Threw) << "cancellation must surface as CancelledError";
+  // Not every scheduled chunk ran: cancellation stopped the loop long
+  // before the full range. (Workers already mid-body may each finish one
+  // iteration, so the bound is workers+cancel point, not exact.)
+  EXPECT_LT(Ran.load(), 10000u);
+
+  // The pool survives: a fresh loop on the same pool runs to completion,
+  // and a fresh token is not poisoned by the old one.
+  cancel::CancelToken Fresh;
+  cancel::CancelScope Scope2(&Fresh);
+  std::atomic<size_t> Count{0};
+  Pool.parallelFor(0, 100, [&](size_t) {
+    Count.fetch_add(1, std::memory_order_relaxed);
+    cancel::checkpoint();
+  });
+  EXPECT_EQ(Count.load(), 100u);
+}
+
+} // namespace
+
+TEST(ThreadPool, CancelMidFlightStopsSchedulingInline) {
+  runCancelMidFlight(1);
+}
+
+TEST(ThreadPool, CancelMidFlightStopsSchedulingParallel) {
+  runCancelMidFlight(8);
+}
+
+TEST(ThreadPool, ElapsedDeadlinePropagatesTypedReason) {
+  for (unsigned Workers : {1u, 8u}) {
+    ThreadPool Pool(Workers);
+    cancel::CancelToken Tok;
+    Tok.setDeadlineFromNowMs(0); // already elapsed: trips deterministically
+    cancel::CancelScope Ambient(&Tok);
+    try {
+      Pool.parallelFor(0, 64, [&](size_t) { cancel::checkpoint(); });
+      FAIL() << "elapsed deadline must cancel the loop (workers="
+             << Workers << ")";
+    } catch (const cancel::CancelledError &E) {
+      EXPECT_EQ(E.reason(), cancel::CancelReason::Deadline);
+    }
+  }
+}
+
+TEST(ThreadPool, UncancelledTokenCostsNothing) {
+  // A live ambient token must not perturb results or completion.
+  for (unsigned Workers : {1u, 8u}) {
+    ThreadPool Pool(Workers);
+    cancel::CancelToken Tok;
+    cancel::CancelScope Ambient(&Tok);
+    std::atomic<size_t> Count{0};
+    Pool.parallelFor(0, 1000, [&](size_t) {
+      Count.fetch_add(1, std::memory_order_relaxed);
+      cancel::checkpoint();
+    });
+    EXPECT_EQ(Count.load(), 1000u) << "workers=" << Workers;
+  }
+}
+
+TEST(ThreadPool, BodyExceptionBeatsConcurrentCancel) {
+  // When a body throws a real error and the token also trips, the real
+  // error wins -- cancellation must never mask a genuine failure.
+  ThreadPool Pool(4);
+  cancel::CancelToken Tok;
+  cancel::CancelScope Ambient(&Tok);
+  EXPECT_THROW(Pool.parallelFor(0, 100,
+                                [&](size_t I) {
+                                  if (I == 3) {
+                                    Tok.cancel();
+                                    throw std::runtime_error("real failure");
+                                  }
+                                  cancel::checkpoint();
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, AsyncRunsDetachedTasks) {
+  ThreadPool Pool(4);
+  std::atomic<size_t> Done{0};
+  for (int I = 0; I != 64; ++I)
+    ASSERT_TRUE(Pool.async([&] { Done.fetch_add(1); }));
+  while (Done.load() != 64)
+    std::this_thread::yield();
+}
+
+TEST(ThreadPool, AsyncRefusesSingleWorkerPool) {
+  // A 1-worker pool has no spawned threads; a detached task would never
+  // run. The call must refuse rather than strand the task.
+  ThreadPool Pool(1);
+  EXPECT_FALSE(Pool.async([] {}));
 }

@@ -56,6 +56,7 @@
 #include "namer/Evaluation.h"
 #include "namer/FindingsExport.h"
 #include "namer/ModelStore.h"
+#include "namer/ScanRun.h"
 #include "support/Arena.h"
 #include "support/MemoryTracker.h"
 #include "support/Profiler.h"
@@ -64,6 +65,7 @@
 #include "support/TextTable.h"
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -72,6 +74,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unistd.h>
 #include <vector>
 
 using namespace namer;
@@ -140,6 +143,10 @@ struct Options {
   /// from the exposition, so --ledger and --metrics-out files are
   /// byte-identical at every --threads value.
   bool DeterministicObs = false;
+  /// --test-raise-signal=TERM|INT (hidden): raise the signal from the main
+  /// thread at a fixed point (after the build, before reports), so the
+  /// interrupt-flush path is exercised deterministically under ctest.
+  int TestRaiseSignal = 0;
   std::string Directory;
 };
 
@@ -227,6 +234,10 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
           Arg.c_str() + std::strlen("--profile-hz="), nullptr, 10));
     } else if (Arg == "--deterministic-obs") {
       Opts.DeterministicObs = true;
+    } else if (Arg == "--test-raise-signal=TERM") {
+      Opts.TestRaiseSignal = SIGTERM;
+    } else if (Arg == "--test-raise-signal=INT") {
+      Opts.TestRaiseSignal = SIGINT;
     } else if (Arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
       return false;
@@ -309,6 +320,36 @@ void stallToLedger(const char *Span, uint64_t DurationNs) {
   R.Outcome = "deadline-exceeded";
   R.DurationUs = DurationNs / 1000;
   GStallLedger->append(R);
+}
+
+/// Interrupt-flush state: on SIGINT/SIGTERM the run ledger gets its
+/// run_end record (outcome "interrupted") and the metrics exposition its
+/// final write before the process exits 128+sig. Best-effort -- the
+/// handler allocates, which a signal landing inside malloc could deadlock;
+/// losing the flush there costs nothing the interrupt wasn't already
+/// losing. The --test-raise-signal path raises from the main thread at a
+/// safe point, so the ctest coverage is deterministic.
+ledger::RunLedger *GFlushLedger = nullptr;
+telemetry::MetricsSnapshotter *GFlushSnapshotter = nullptr;
+uint64_t GRunStartNs = 0;
+volatile std::sig_atomic_t GFlushing = 0;
+
+void onInterrupt(int Sig) {
+  if (GFlushing)
+    _exit(128 + Sig);
+  GFlushing = 1;
+  if (GFlushLedger && GFlushLedger->isOpen()) {
+    ledger::Record End;
+    End.Event = "run_end";
+    End.Name = Sig == SIGINT ? "SIGINT" : "SIGTERM";
+    End.Outcome = "interrupted";
+    End.DurationUs = (telemetry::nowNanos() - GRunStartNs) / 1000;
+    GFlushLedger->append(End);
+    GFlushLedger->close();
+  }
+  if (GFlushSnapshotter)
+    GFlushSnapshotter->flushNow();
+  _exit(128 + Sig);
 }
 
 } // namespace
@@ -411,6 +452,14 @@ int main(int Argc, char **Argv) {
     Ledger.append(Start);
     GStallLedger = &Ledger;
   }
+  // Interrupt flush (see onInterrupt): armed once both sinks exist, so an
+  // operator's Ctrl-C still leaves a well-formed ledger tail and a final
+  // metrics exposition behind.
+  GFlushLedger = &Ledger;
+  GFlushSnapshotter = Snapshotter.get();
+  GRunStartNs = RunStartNs;
+  std::signal(SIGINT, onInterrupt);
+  std::signal(SIGTERM, onInterrupt);
 
   NamerPipeline Namer(PC);
   if (Ledger.isOpen())
@@ -443,7 +492,7 @@ int main(int Argc, char **Argv) {
                    Namer.patterns().size(), Namer.pairs().numPairs());
     }
   } catch (const model::ModelError &E) {
-    std::fprintf(stderr, "model error: %s\n", E.what());
+    std::fputs(model::formatModelError(E).c_str(), stderr);
     return 4;
   }
   if (Namer.numQuarantined()) {
@@ -471,50 +520,21 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  // Collect findings inside the scanned tree only, keeping the violation
-  // next to its report so the explainability layer can rebuild the full
-  // evidence chain for the selected ones.
-  struct Finding {
-    Report R;
-    Violation V;
-  };
-  std::vector<Finding> Findings;
-  for (const Violation &V : Namer.violations()) {
-    Report R = Namer.makeReport(V);
-    if (R.File.rfind(Opts.Directory, 0) != 0)
-      continue;
-    if (Opts.UseClassifier && !Namer.classify(V))
-      continue;
-    Findings.push_back(Finding{std::move(R), V});
-  }
-  // Selection: most confident first, ties broken by the canonical report
-  // order so truncation is deterministic at every thread count.
-  std::sort(Findings.begin(), Findings.end(),
-            [](const Finding &A, const Finding &B) {
-              if (A.R.Confidence != B.R.Confidence)
-                return A.R.Confidence > B.R.Confidence;
-              return reportOrderLess(A.R, B.R);
-            });
-  if (Findings.size() > Opts.MaxReports)
-    Findings.resize(Opts.MaxReports);
+  if (Opts.TestRaiseSignal)
+    std::raise(Opts.TestRaiseSignal); // fixed point: build done, no reports
 
-  // Build explanations for every selected finding and emit everything in
-  // the canonical (file, line, original, suggested) order.
-  std::vector<Explanation> Explanations;
-  Explanations.reserve(Findings.size());
-  for (const Finding &F : Findings)
-    Explanations.push_back(explainViolation(Namer, F.V));
-  sortExplanations(Explanations);
+  // Findings inside the scanned tree only: selection, truncation and the
+  // canonical emit order live in namer/ScanRun.h, shared with namer-serve
+  // (the two front ends must print byte-identical report lines).
+  FindingSelectOptions Select;
+  Select.PathPrefix = Opts.Directory;
+  Select.UseClassifier = Opts.UseClassifier;
+  Select.MaxReports = Opts.MaxReports;
+  std::vector<Explanation> Explanations = selectFindings(Namer, Select);
 
   size_t Explained = 0;
   for (const Explanation &E : Explanations) {
-    const Report &R = E.R;
-    std::printf("%s:%u: naming issue: '%s' is suspicious here; suggested "
-                "fix: '%s' [%s]\n",
-                R.File.c_str(), R.Line, R.Original.c_str(),
-                R.Suggested.c_str(),
-                R.Kind == PatternKind::Consistency ? "consistency"
-                                                   : "confusing-word");
+    std::fputs(renderReportLine(E.R).c_str(), stdout);
     if (Opts.Explain && Explained < Opts.ExplainLimit) {
       std::printf("%s", renderExplanation(E).c_str());
       ++Explained;
@@ -535,7 +555,7 @@ int main(int Argc, char **Argv) {
                    model::kSchemaVersion);
       return true;
     } catch (const model::ModelError &E) {
-      std::fprintf(stderr, "model error: %s\n", E.what());
+      std::fputs(model::formatModelError(E).c_str(), stderr);
       return false;
     }
   };
@@ -631,6 +651,7 @@ int main(int Argc, char **Argv) {
   if (Snapshotter) {
     // Destruction joins the interval thread (when any) and writes the
     // final exposition -- flush-on-exit is the contract.
+    GFlushSnapshotter = nullptr;
     Snapshotter.reset();
     std::fprintf(stderr, "wrote %s (prometheus text exposition)\n",
                  Opts.MetricsOut.c_str());

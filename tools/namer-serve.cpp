@@ -1,0 +1,491 @@
+//===- tools/namer-serve.cpp - Long-lived namer scan service --------------==//
+//
+// Serves scan requests against a saved model over line-delimited JSON:
+//
+//   namer-serve --model=FILE [--lang=python|java]
+//               (--stdin-jsonl | --socket=PATH)
+//               [--workers=N] [--max-queue=N] [--max-per-tenant=N]
+//               [--max-rss-kb=N] [--default-deadline-ms=N]
+//               [--watch-model[=MS]] [--drain-wait-ms=N]
+//               [--no-ecosystem-corpus] [--corpus-repos=N]
+//               [--ledger=FILE] [--metrics-out=FILE]
+//               [--metrics-interval-ms=N]
+//
+// One request object per line in, one response object per line out (see
+// src/service/Protocol.h). --stdin-jsonl serves stdin->stdout -- the mode
+// tests and local tooling use; no networking involved. --socket listens on
+// a Unix domain socket, one thread per connection, same protocol.
+//
+// Fault tolerance (DESIGN.md, "Scan service"): admission control sheds
+// load with typed `overloaded` responses; per-request deadlines turn into
+// typed `deadline-exceeded` with partial work discarded; SIGHUP (or
+// --watch-model polling, or a "swap" request) hot-swaps the model
+// atomically while in-flight scans finish on the snapshot they pinned;
+// SIGTERM/SIGINT drains gracefully -- stop admitting, wait
+// --drain-wait-ms, cancel stragglers, flush ledger + metrics, exit 0.
+//
+// Responses are emitted in request order (a reorder buffer holds completed
+// ones until their predecessors finish), so piped sessions are
+// deterministic even with full request concurrency.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ScanService.h"
+#include "support/MemoryTracker.h"
+#include "support/RunLedger.h"
+#include "support/Telemetry.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <poll.h>
+#include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace namer;
+using namespace namer::service;
+
+namespace {
+
+struct Options {
+  std::string Model;
+  corpus::Language Lang = corpus::Language::Python;
+  bool StdinJsonl = false;
+  std::string SocketPath;
+  unsigned Workers = 4;
+  size_t MaxQueue = 64;
+  size_t MaxPerTenant = 8;
+  uint64_t MaxRssKb = 0;
+  uint64_t DefaultDeadlineMs = 0;
+  /// --watch-model[=MS]: poll the model file's mtime every MS (default
+  /// 1000) and hot-swap on change. SIGHUP swaps regardless.
+  unsigned WatchModelMs = 0;
+  uint64_t DrainWaitMs = 5000;
+  bool EcosystemCorpus = true;
+  /// --corpus-repos=N: size of the generated ecosystem corpus (must match
+  /// what the model was mined over; 0 = the generator default).
+  size_t CorpusRepos = 0;
+  std::string LedgerFile;
+  std::string MetricsOut;
+  unsigned MetricsIntervalMs = 0;
+};
+
+void printUsage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --model=FILE (--stdin-jsonl | --socket=PATH) "
+      "[--lang=python|java] [--workers=N] [--max-queue=N] "
+      "[--max-per-tenant=N] [--max-rss-kb=N] [--default-deadline-ms=N] "
+      "[--watch-model[=MS]] [--drain-wait-ms=N] [--no-ecosystem-corpus] "
+      "[--corpus-repos=N] [--ledger=FILE] [--metrics-out=FILE] "
+      "[--metrics-interval-ms=N]\n",
+      Argv0);
+}
+
+bool parseArgs(int Argc, char **Argv, Options &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto UnsignedOf = [&Arg](const char *Flag) {
+      return std::strtoull(Arg.c_str() + std::strlen(Flag), nullptr, 10);
+    };
+    if (Arg.rfind("--model=", 0) == 0) {
+      Opts.Model = Arg.substr(std::strlen("--model="));
+    } else if (Arg == "--lang=python") {
+      Opts.Lang = corpus::Language::Python;
+    } else if (Arg == "--lang=java") {
+      Opts.Lang = corpus::Language::Java;
+    } else if (Arg == "--stdin-jsonl") {
+      Opts.StdinJsonl = true;
+    } else if (Arg.rfind("--socket=", 0) == 0) {
+      Opts.SocketPath = Arg.substr(std::strlen("--socket="));
+    } else if (Arg.rfind("--workers=", 0) == 0) {
+      Opts.Workers = static_cast<unsigned>(UnsignedOf("--workers="));
+    } else if (Arg.rfind("--max-queue=", 0) == 0) {
+      Opts.MaxQueue = static_cast<size_t>(UnsignedOf("--max-queue="));
+    } else if (Arg.rfind("--max-per-tenant=", 0) == 0) {
+      Opts.MaxPerTenant =
+          static_cast<size_t>(UnsignedOf("--max-per-tenant="));
+    } else if (Arg.rfind("--max-rss-kb=", 0) == 0) {
+      Opts.MaxRssKb = UnsignedOf("--max-rss-kb=");
+    } else if (Arg.rfind("--default-deadline-ms=", 0) == 0) {
+      Opts.DefaultDeadlineMs = UnsignedOf("--default-deadline-ms=");
+    } else if (Arg == "--watch-model") {
+      Opts.WatchModelMs = 1000;
+    } else if (Arg.rfind("--watch-model=", 0) == 0) {
+      Opts.WatchModelMs =
+          static_cast<unsigned>(UnsignedOf("--watch-model="));
+      if (Opts.WatchModelMs == 0)
+        Opts.WatchModelMs = 1000;
+    } else if (Arg.rfind("--drain-wait-ms=", 0) == 0) {
+      Opts.DrainWaitMs = UnsignedOf("--drain-wait-ms=");
+    } else if (Arg == "--no-ecosystem-corpus") {
+      Opts.EcosystemCorpus = false;
+    } else if (Arg.rfind("--corpus-repos=", 0) == 0) {
+      Opts.CorpusRepos = static_cast<size_t>(UnsignedOf("--corpus-repos="));
+    } else if (Arg.rfind("--ledger=", 0) == 0) {
+      Opts.LedgerFile = Arg.substr(std::strlen("--ledger="));
+    } else if (Arg.rfind("--metrics-out=", 0) == 0) {
+      Opts.MetricsOut = Arg.substr(std::strlen("--metrics-out="));
+    } else if (Arg.rfind("--metrics-interval-ms=", 0) == 0) {
+      Opts.MetricsIntervalMs =
+          static_cast<unsigned>(UnsignedOf("--metrics-interval-ms="));
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      return false;
+    }
+  }
+  if (Opts.Model.empty())
+    return false;
+  // Exactly one listening mode.
+  return Opts.StdinJsonl != !Opts.SocketPath.empty();
+}
+
+/// Signal flags, polled by the accept loops. sig_atomic_t + no work in the
+/// handlers: the drain/flush runs on the main thread.
+volatile std::sig_atomic_t GTerm = 0;
+volatile std::sig_atomic_t GHup = 0;
+
+void onTerm(int) { GTerm = 1; }
+void onHup(int) { GHup = 1; }
+
+/// Emits responses in request order no matter what order scans finish in:
+/// completed responses park in a map keyed by their admission sequence
+/// until every earlier one has been written. Keeps piped sessions
+/// deterministic under full concurrency.
+class OrderedWriter {
+public:
+  explicit OrderedWriter(std::FILE *Out) : Out(Out) {}
+
+  /// Reserves the next slot in the output order.
+  uint64_t reserve() {
+    std::lock_guard<std::mutex> L(M);
+    return NextTicket++;
+  }
+
+  void complete(uint64_t Ticket, std::string Line) {
+    std::lock_guard<std::mutex> L(M);
+    Pending.emplace(Ticket, std::move(Line));
+    while (!Pending.empty() && Pending.begin()->first == NextWrite) {
+      std::fputs(Pending.begin()->second.c_str(), Out);
+      Pending.erase(Pending.begin());
+      ++NextWrite;
+    }
+    std::fflush(Out);
+    if (Pending.empty())
+      Cv.notify_all();
+  }
+
+  /// Blocks until every reserved slot has been written.
+  void flushAll() {
+    std::unique_lock<std::mutex> L(M);
+    Cv.wait(L, [&] { return NextWrite == NextTicket; });
+  }
+
+private:
+  std::FILE *Out;
+  std::mutex M;
+  std::condition_variable Cv;
+  uint64_t NextTicket = 0;
+  uint64_t NextWrite = 0;
+  std::map<uint64_t, std::string> Pending;
+};
+
+/// Handles one request line: control methods answer synchronously, scans
+/// go through the service. Every path completes the writer ticket exactly
+/// once.
+void handleLine(const std::string &Line, ScanService &Service,
+                OrderedWriter &Writer, std::atomic<bool> &ShutdownRequested) {
+  uint64_t Ticket = Writer.reserve();
+  Request R;
+  std::string Error;
+  if (!parseRequest(Line, R, &Error)) {
+    Response Resp;
+    Resp.Id = R.Id;
+    Resp.St = Status::InvalidRequest;
+    Resp.Detail = Error;
+    telemetry::count("serve.status.invalid-request");
+    Writer.complete(Ticket, renderResponse(Resp));
+    return;
+  }
+  if (R.Method == "scan") {
+    Service.submit(std::move(R), [&Writer, Ticket](Response Resp) {
+      Writer.complete(Ticket, renderResponse(Resp));
+    });
+    return;
+  }
+  Response Resp;
+  Resp.Id = R.Id;
+  if (R.Method == "ping") {
+    Resp.Extra = "\"model_version\":" +
+                 std::to_string(Service.models().current()->Version);
+  } else if (R.Method == "stats") {
+    Resp.Extra =
+        "\"in_flight\":" + std::to_string(Service.inFlight()) +
+        ",\"model_version\":" +
+        std::to_string(Service.models().current()->Version) +
+        ",\"model_swaps\":" + std::to_string(Service.models().swaps());
+  } else if (R.Method == "swap") {
+    bool Ok = Service.models().swapNow();
+    Resp.Extra = "\"model_version\":" +
+                 std::to_string(Service.models().current()->Version);
+    if (!Ok) {
+      Resp.St = Status::ModelError;
+      Resp.Detail = "swap failed; previous model stays current";
+    }
+  } else if (R.Method == "shutdown") {
+    ShutdownRequested.store(true, std::memory_order_release);
+  }
+  telemetry::count("serve.status." + std::string(statusName(Resp.St)));
+  Writer.complete(Ticket, renderResponse(Resp));
+}
+
+/// stdin -> stdout JSONL session. poll()s stdin with a 100ms tick so
+/// signal flags and the model watcher stay responsive between lines.
+int serveStdin(ScanService &Service, const Options &Opts) {
+  OrderedWriter Writer(stdout);
+  std::atomic<bool> ShutdownRequested{false};
+  std::string Buffer;
+  uint64_t SinceLastPollMs = 0;
+  bool Eof = false;
+  while (!Eof && !GTerm &&
+         !ShutdownRequested.load(std::memory_order_acquire)) {
+    if (GHup) {
+      GHup = 0;
+      Service.models().swapNow();
+    }
+    if (Opts.WatchModelMs && SinceLastPollMs >= Opts.WatchModelMs) {
+      SinceLastPollMs = 0;
+      Service.models().pollAndSwap();
+    }
+    struct pollfd Pfd = {0 /*stdin*/, POLLIN, 0};
+    int Ready = ::poll(&Pfd, 1, 100);
+    if (Ready < 0) {
+      if (errno == EINTR)
+        continue; // signal: loop re-checks the flags
+      break;
+    }
+    if (Ready == 0) {
+      SinceLastPollMs += 100;
+      continue;
+    }
+    char Chunk[4096];
+    ssize_t N = ::read(0, Chunk, sizeof(Chunk));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (N == 0) {
+      Eof = true;
+      break;
+    }
+    Buffer.append(Chunk, static_cast<size_t>(N));
+    size_t Start = 0;
+    for (size_t Nl; (Nl = Buffer.find('\n', Start)) != std::string::npos;
+         Start = Nl + 1) {
+      std::string LineStr = Buffer.substr(Start, Nl - Start);
+      if (!LineStr.empty())
+        handleLine(LineStr, Service, Writer, ShutdownRequested);
+      if (ShutdownRequested.load(std::memory_order_acquire))
+        break;
+    }
+    Buffer.erase(0, Start);
+  }
+  // EOF / SIGTERM / shutdown request: answer everything already admitted,
+  // then drain.
+  Writer.flushAll();
+  size_t Cancelled = Service.drain(Opts.DrainWaitMs);
+  if (Cancelled)
+    std::fprintf(stderr, "drain: cancelled %zu in-flight scan(s)\n",
+                 Cancelled);
+  return 0;
+}
+
+/// One connected Unix-socket client: same JSONL session as stdin mode,
+/// with a per-connection ordered writer.
+void serveConnection(int Fd, ScanService &Service) {
+  std::FILE *Out = ::fdopen(::dup(Fd), "w");
+  if (!Out)
+    return;
+  OrderedWriter Writer(Out);
+  std::atomic<bool> ShutdownRequested{false};
+  std::string Buffer;
+  char Chunk[4096];
+  for (;;) {
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      break;
+    Buffer.append(Chunk, static_cast<size_t>(N));
+    size_t Start = 0;
+    for (size_t Nl; (Nl = Buffer.find('\n', Start)) != std::string::npos;
+         Start = Nl + 1) {
+      std::string LineStr = Buffer.substr(Start, Nl - Start);
+      if (!LineStr.empty())
+        handleLine(LineStr, Service, Writer, ShutdownRequested);
+    }
+    Buffer.erase(0, Start);
+    if (ShutdownRequested.load(std::memory_order_acquire)) {
+      GTerm = 1; // a shutdown request over any connection stops the server
+      break;
+    }
+  }
+  Writer.flushAll();
+  std::fclose(Out);
+  ::close(Fd);
+}
+
+int serveSocket(ScanService &Service, const Options &Opts) {
+  int Listen = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Listen < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  struct sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Opts.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "socket path too long\n");
+    ::close(Listen);
+    return 1;
+  }
+  std::strncpy(Addr.sun_path, Opts.SocketPath.c_str(),
+               sizeof(Addr.sun_path) - 1);
+  ::unlink(Opts.SocketPath.c_str());
+  if (::bind(Listen, reinterpret_cast<struct sockaddr *>(&Addr),
+             sizeof(Addr)) != 0 ||
+      ::listen(Listen, 16) != 0) {
+    std::perror("bind/listen");
+    ::close(Listen);
+    return 1;
+  }
+  std::fprintf(stderr, "listening on %s\n", Opts.SocketPath.c_str());
+  std::vector<std::thread> Connections;
+  uint64_t SinceLastPollMs = 0;
+  while (!GTerm) {
+    if (GHup) {
+      GHup = 0;
+      Service.models().swapNow();
+    }
+    if (Opts.WatchModelMs && SinceLastPollMs >= Opts.WatchModelMs) {
+      SinceLastPollMs = 0;
+      Service.models().pollAndSwap();
+    }
+    struct pollfd Pfd = {Listen, POLLIN, 0};
+    int Ready = ::poll(&Pfd, 1, 100);
+    if (Ready < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (Ready == 0) {
+      SinceLastPollMs += 100;
+      continue;
+    }
+    int Fd = ::accept(Listen, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    Connections.emplace_back(
+        [Fd, &Service] { serveConnection(Fd, Service); });
+  }
+  ::close(Listen);
+  ::unlink(Opts.SocketPath.c_str());
+  for (std::thread &T : Connections)
+    T.join();
+  size_t Cancelled = Service.drain(Opts.DrainWaitMs);
+  if (Cancelled)
+    std::fprintf(stderr, "drain: cancelled %zu in-flight scan(s)\n",
+                 Cancelled);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseArgs(Argc, Argv, Opts)) {
+    printUsage(Argv[0]);
+    return 2;
+  }
+
+  std::signal(SIGTERM, onTerm);
+  std::signal(SIGINT, onTerm);
+  std::signal(SIGHUP, onHup);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  telemetry::PromExportOptions PromOpts;
+  PromOpts.GitRev = telemetry::defaultMeta("namer-serve", 0).GitRev;
+  std::unique_ptr<telemetry::MetricsSnapshotter> Snapshotter;
+  if (!Opts.MetricsOut.empty()) {
+    telemetry::MetricsSnapshotter::Options SnapOpts;
+    SnapOpts.Path = Opts.MetricsOut;
+    SnapOpts.IntervalMs = Opts.MetricsIntervalMs;
+    SnapOpts.Export = PromOpts;
+    Snapshotter = std::make_unique<telemetry::MetricsSnapshotter>(SnapOpts);
+  }
+
+  ServiceConfig SC;
+  SC.ModelPath = Opts.Model;
+  SC.Lang = Opts.Lang;
+  SC.ScanWorkers = Opts.Workers;
+  SC.Admission.MaxQueueDepth = Opts.MaxQueue;
+  SC.Admission.MaxPerTenant = Opts.MaxPerTenant;
+  SC.Admission.MaxRssKb = Opts.MaxRssKb;
+  SC.DefaultDeadlineMs = Opts.DefaultDeadlineMs;
+  SC.WithEcosystemCorpus = Opts.EcosystemCorpus;
+  if (Opts.CorpusRepos)
+    SC.BaseCorpus.NumRepos = Opts.CorpusRepos;
+
+  ledger::RunLedger Ledger;
+  uint64_t RunStartNs = telemetry::nowNanos();
+  if (!Opts.LedgerFile.empty()) {
+    if (!Ledger.open(Opts.LedgerFile,
+                     ledger::RunLedger::makeRunId(PromOpts.GitRev, 0))) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   Opts.LedgerFile.c_str());
+      return 1;
+    }
+    ledger::Record Start;
+    Start.Event = "run_start";
+    Start.Name = Opts.Model;
+    Ledger.append(Start);
+  }
+
+  ScanService Service(SC);
+  try {
+    Service.start();
+  } catch (const model::ModelError &E) {
+    std::fputs(model::formatModelError(E).c_str(), stderr);
+    return 4;
+  }
+  std::fprintf(stderr, "model %s loaded (version %llu)\n",
+               Opts.Model.c_str(),
+               static_cast<unsigned long long>(
+                   Service.models().current()->Version));
+
+  int Exit = Opts.StdinJsonl ? serveStdin(Service, Opts)
+                             : serveSocket(Service, Opts);
+
+  if (Ledger.isOpen()) {
+    ledger::Record End;
+    End.Event = "run_end";
+    End.Name = Opts.Model;
+    End.Outcome = GTerm ? "drained" : "ok";
+    End.DurationUs = (telemetry::nowNanos() - RunStartNs) / 1000;
+    Ledger.append(End);
+    Ledger.close();
+  }
+  if (Snapshotter)
+    Snapshotter.reset(); // final exposition write (flush-on-exit contract)
+  return Exit;
+}
